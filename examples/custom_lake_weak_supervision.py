@@ -1,0 +1,120 @@
+"""Bring your own lake + extend the labeling framework.
+
+Demonstrates the two extension points a downstream adopter needs:
+
+1. Building a :class:`~repro.relational.catalog.DataLake` from raw CSV
+   payloads and documents (no generator involved).
+2. Plugging a *custom labeling function* into the weak-supervision stage —
+   here a lexicon-based relatedness check, standing in for the LLM-based
+   labeling functions the paper describes as future extensions (§4.1).
+3. Supplying a tiny gold-label set so weak labeling functions get switched
+   off automatically.
+
+Run:  python examples/custom_lake_weak_supervision.py
+"""
+
+from __future__ import annotations
+
+from repro import CMDL, CMDLConfig, DataLake, Document
+from repro.relational.csvio import table_from_csv
+from repro.weaklabel.lf import LabelingFunction
+
+MOVIES_CSV = """title,director,year,rating
+Solaris Run,R. Velez,2019,7.9
+Glass Harbor,M. Ito,2021,8.3
+Night Cartography,A. Boateng,2018,7.1
+Paper Lanterns,S. Novak,2020,6.8
+The Quiet Divide,R. Velez,2022,8.0
+"""
+
+ACTORS_CSV = """actor,film,role
+J. Mercer,Solaris Run,lead
+P. Andersson,Glass Harbor,lead
+L. Okafor,Night Cartography,support
+J. Mercer,The Quiet Divide,lead
+D. Farkas,Paper Lanterns,support
+"""
+
+CITIES_CSV = """city,country,population
+Lisbon,Portugal,545000
+Porto,Portugal,232000
+Seville,Spain,688000
+"""
+
+REVIEWS = [
+    ("rev:1", "Solaris Run review",
+     "Solaris Run is a patient, gorgeous film. J. Mercer anchors every "
+     "scene and the score never overreaches."),
+    ("rev:2", "Glass Harbor notes",
+     "Glass Harbor earns its rating: Ito frames the harbor like a memory. "
+     "P. Andersson gives the performance of the year."),
+    ("rev:3", "Travel diary",
+     "Lisbon in spring: the population of tourists doubles, and Porto is "
+     "only a train ride away."),
+]
+
+#: The custom LF's domain knowledge: film-related vocabulary.
+FILM_LEXICON = {"film", "score", "scene", "rating", "performance", "lead",
+                "role", "director"}
+
+
+def main() -> None:
+    lake = DataLake(name="film-lake")
+    lake.add_table(table_from_csv("movies", MOVIES_CSV))
+    lake.add_table(table_from_csv("actors", ACTORS_CSV))
+    lake.add_table(table_from_csv("cities", CITIES_CSV))
+    for doc_id, title, text in REVIEWS:
+        lake.add_document(Document(doc_id, title, text))
+    print(f"Custom lake: {lake!r}")
+
+    # A lexicon LF: vote "related" when the document is film-themed and the
+    # column belongs to a film table. Any callable with this signature plugs
+    # in — an LLM prompt would go here.
+    documents = {d.doc_id: d.text.lower() for d in lake.documents}
+
+    def film_affinity(pair: tuple[str, str]) -> int:
+        doc_id, column_id = pair
+        doc_is_film = sum(w in documents[doc_id] for w in FILM_LEXICON) >= 2
+        col_is_film = column_id.split(".")[0] in ("movies", "actors")
+        return 1 if (doc_is_film and col_is_film) else 0
+
+    config = CMDLConfig(
+        sample_fraction=1.0,  # the lake is tiny; label everything
+        top_k_probe=3,
+        max_epochs=40,
+        extra_labeling_functions=[LabelingFunction("film_lexicon",
+                                                   film_affinity)],
+    )
+    cmdl = CMDL(config)
+
+    # A 4-pair gold set — enough for the LF-pruning phase to measure the
+    # labeling functions.
+    gold = [
+        ("rev:1", "movies.title", 1),
+        ("rev:1", "cities.city", 0),
+        ("rev:3", "cities.city", 1),
+        ("rev:3", "movies.title", 0),
+    ]
+    engine = cmdl.fit(lake, gold_pairs=gold)
+
+    report = cmdl.labeling_report
+    print("\nLabeling-function accuracies on the gold set:")
+    for name, acc in sorted(report.lf_accuracies.items()):
+        state = "disabled" if name in report.disabled_lfs else "kept"
+        print(f"  {name:18s} {acc:.2f}  [{state}]")
+
+    print("\nTables related to the Glass Harbor review:")
+    for table, score in engine.cross_modal_search("rev:2", top_n=3):
+        print(f"  {table}  ({score:.3f})")
+
+    print("\nTables related to the travel diary:")
+    for table, score in engine.cross_modal_search("rev:3", top_n=3):
+        print(f"  {table}  ({score:.3f})")
+
+    print("\nTables joinable with 'movies':")
+    for table, score in engine.joinable("movies", top_n=2):
+        print(f"  {table}  ({score:.3f})")
+
+
+if __name__ == "__main__":
+    main()

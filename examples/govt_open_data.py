@@ -1,0 +1,76 @@
+"""Government open-data scenario: semantic discovery vs keyword search.
+
+The UK-Open lake's documents talk about metrics by *synonym* ("residents"
+instead of "population") and use inflected topic vocabulary, so keyword
+search misses most of each document's related tables. This example shows
+CMDL's cross-modal search finding the full table family where BM25 stalls,
+then uses unionability to expand a family — the workflow a data journalist
+would run on open-data portals.
+
+Run:  python examples/govt_open_data.py
+"""
+
+from __future__ import annotations
+
+from repro import CMDL, CMDLConfig, generate_ukopen_lake
+from repro.baselines import CMDLDocToTable, ElasticSearchBaseline
+from repro.eval.metrics import recall_at_k
+
+
+def main() -> None:
+    print("Generating the UK-Open lake ...")
+    generated = generate_ukopen_lake()
+    lake = generated.lake
+    print(f"  {lake!r}")
+
+    cmdl = CMDL(CMDLConfig(sample_fraction=0.3, max_epochs=80))
+    engine = cmdl.fit(lake)
+
+    gt = generated.ground_truth("doc_to_table")
+    doc_id = gt.queries[0]
+    doc = lake.document(doc_id)
+    print(f"\nQuery document: {doc_id}")
+    print(f"  title: {doc.title}")
+    print(f"  text:  {doc.text[:120]}...")
+    relevant = gt.relevant(doc_id)
+    print(f"  true table family ({len(relevant)}): {sorted(relevant)}")
+
+    print("\nCMDL cross-modal search (solo embeddings):")
+    cmdl_hits = engine.cross_modal_search(doc_id, top_n=8,
+                                          representation="solo")
+    for table, score in cmdl_hits:
+        marker = "*" if table in relevant else " "
+        print(f"  {marker} {table}  ({score:.3f})")
+
+    print("\nBM25 keyword baseline:")
+    bm25 = ElasticSearchBaseline(engine.profile, "bm25")
+    bm25_hits = bm25.rank_tables(doc_id, k=8)
+    for table, score in bm25_hits:
+        marker = "*" if table in relevant else " "
+        print(f"  {marker} {table}  ({score:.3f})")
+
+    # One document is anecdote; averaged over queries the keyword method's
+    # recall ceiling shows (paper §6.1: elastic recall "always very low").
+    cmdl_method = CMDLDocToTable(engine, "solo")
+    cmdl_recalls, bm25_recalls = [], []
+    for q in gt.queries[:25]:
+        rel = gt.relevant(q)
+        cmdl_recalls.append(
+            recall_at_k([t for t, _ in cmdl_method.rank_tables(q, 15)], rel, 15))
+        bm25_recalls.append(
+            recall_at_k([t for t, _ in bm25.rank_tables(q, 15)], rel, 15))
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    print(f"\nmean recall@15 over 25 documents: "
+          f"CMDL {mean(cmdl_recalls):.2f} vs BM25 {mean(bm25_recalls):.2f}")
+
+    # Expand a discovered table into its unionable family (Q5-style).
+    seed_table = next(iter(sorted(relevant)))
+    union = engine.unionable(seed_table, top_n=5)
+    print(f"\nTables unionable with '{seed_table}':")
+    for table, score in union:
+        marker = "*" if table in gt.relevant(doc_id) else " "
+        print(f"  {marker} {table}  ({score:.3f})")
+
+
+if __name__ == "__main__":
+    main()

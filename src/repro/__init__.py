@@ -1,0 +1,42 @@
+"""repro: full reproduction of CMDL (VLDB 2023).
+
+CMDL -- Cross Modal Data Discovery over Structured and Unstructured Data
+Lakes (Eltabakh, Kunjir, Elmagarmid, Ahmad; arXiv:2306.00932).
+
+Quickstart::
+
+    from repro import CMDL, generate_pharma_lake
+
+    generated = generate_pharma_lake()
+    engine = CMDL().fit(generated.lake)
+    docs = engine.content_search("thymidylate synthase", mode="text")
+    tables = engine.cross_modal_search(docs[1], top_n=3)
+    joinable = engine.pkfk(tables[1], top_n=2)
+"""
+
+from repro.core.system import CMDL, CMDLConfig
+from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Column, Table
+from repro.lakes import (
+    generate_mlopen_lake,
+    generate_pharma_lake,
+    generate_ukopen_lake,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMDL",
+    "CMDLConfig",
+    "DiscoveryEngine",
+    "DiscoveryResultSet",
+    "DataLake",
+    "Document",
+    "Column",
+    "Table",
+    "generate_pharma_lake",
+    "generate_ukopen_lake",
+    "generate_mlopen_lake",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Approximate-nearest-neighbour substrate (Annoy stand-in).
+
+CMDL indexes solo and joint embeddings with Annoy's random-projection
+space-partitioning trees (paper §3). :class:`RPForestIndex` reimplements the
+same scheme: a forest of trees, each recursively splitting points by the
+sign of a random hyperplane through two sampled points; queries descend all
+trees with a priority queue and candidates are re-ranked exactly by cosine
+similarity. :class:`ExactIndex` is the brute-force reference used in tests
+to bound the forest's recall.
+"""
+
+from repro.ann.rpforest import RPForestIndex
+from repro.ann.exact import ExactIndex
+
+__all__ = ["RPForestIndex", "ExactIndex"]

@@ -1,0 +1,58 @@
+"""Exact (brute-force) nearest-neighbour index by cosine similarity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ExactIndex:
+    """Reference NN index: exact cosine-similarity ranking."""
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self._keys: list[str] = []
+        self._rows: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+
+    def add(self, key: str, vector: np.ndarray) -> None:
+        if len(vector) != self.dim:
+            raise ValueError(f"vector has dim {len(vector)}, index expects {self.dim}")
+        self._keys.append(key)
+        norm = np.linalg.norm(vector)
+        self._rows.append(vector / norm if norm > 0 else vector)
+        self._matrix = None
+
+    def build(self) -> "ExactIndex":
+        if self._rows:
+            self._matrix = np.vstack(self._rows)
+        else:
+            self._matrix = np.zeros((0, self.dim))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def query(
+        self, vector: np.ndarray, k: int = 10, exclude: set[str] | None = None
+    ) -> list[tuple[str, float]]:
+        """Top-k keys by cosine similarity to ``vector``."""
+        if self._matrix is None:
+            self.build()
+        if self._matrix.shape[0] == 0:
+            return []
+        exclude = exclude or set()
+        norm = np.linalg.norm(vector)
+        q = vector / norm if norm > 0 else vector
+        sims = self._matrix @ q
+        order = np.argsort(-sims, kind="stable")
+        out = []
+        for idx in order:
+            key = self._keys[idx]
+            if key in exclude:
+                continue
+            out.append((key, float(sims[idx])))
+            if len(out) == k:
+                break
+        return out

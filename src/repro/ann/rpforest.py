@@ -1,0 +1,163 @@
+"""Random-projection tree forest (Annoy-style approximate NN index).
+
+Each tree recursively partitions the points: at a node, two distinct points
+are sampled and the splitting hyperplane is the perpendicular bisector of
+the segment between them (Annoy's "two means" split in its simplest form).
+Leaves hold at most ``leaf_size`` points. A query descends every tree with a
+shared max-heap prioritised by margin distance, collecting at least
+``search_k`` candidates, which are then re-ranked exactly by cosine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class _Node:
+    """Internal split node or leaf of one RP tree."""
+
+    # Leaf: indexes is set, normal/offset/children are None.
+    indexes: list[int] | None = None
+    normal: np.ndarray | None = None
+    offset: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indexes is not None
+
+
+class RPForestIndex:
+    """Forest of random-projection trees with exact candidate re-ranking."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_trees: int = 8,
+        leaf_size: int = 16,
+        seed: int = 0,
+    ):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if num_trees <= 0 or leaf_size <= 1:
+            raise ValueError("num_trees must be >=1 and leaf_size >= 2")
+        self.dim = dim
+        self.num_trees = num_trees
+        self.leaf_size = leaf_size
+        self.seed = seed
+        self._keys: list[str] = []
+        self._rows: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+        self._trees: list[_Node] = []
+
+    # -------------------------------------------------------------- build
+
+    def add(self, key: str, vector: np.ndarray) -> None:
+        if len(vector) != self.dim:
+            raise ValueError(f"vector has dim {len(vector)}, index expects {self.dim}")
+        norm = np.linalg.norm(vector)
+        self._keys.append(key)
+        self._rows.append(vector / norm if norm > 0 else np.asarray(vector, dtype=float))
+        self._matrix = None
+        self._trees = []
+
+    def build(self) -> "RPForestIndex":
+        """(Re)build the forest over all added points."""
+        if not self._rows:
+            self._matrix = np.zeros((0, self.dim))
+            self._trees = []
+            return self
+        self._matrix = np.vstack(self._rows)
+        rng = ensure_rng(self.seed)
+        all_indexes = list(range(len(self._keys)))
+        self._trees = [
+            self._build_node(all_indexes, rng, depth=0) for _ in range(self.num_trees)
+        ]
+        return self
+
+    def _build_node(self, indexes: list[int], rng, depth: int) -> _Node:
+        if len(indexes) <= self.leaf_size or depth > 32:
+            return _Node(indexes=list(indexes))
+        # Sample two distinct points; hyperplane = perpendicular bisector.
+        i, j = rng.choice(len(indexes), size=2, replace=False)
+        p, q = self._matrix[indexes[i]], self._matrix[indexes[j]]
+        normal = p - q
+        norm = np.linalg.norm(normal)
+        if norm < 1e-12:
+            # Identical sample points: random hyperplane through the origin.
+            normal = rng.standard_normal(self.dim)
+            norm = np.linalg.norm(normal)
+        normal = normal / norm
+        midpoint = (p + q) / 2.0
+        offset = float(normal @ midpoint)
+        projections = self._matrix[indexes] @ normal - offset
+        left_idx = [ix for ix, s in zip(indexes, projections) if s <= 0]
+        right_idx = [ix for ix, s in zip(indexes, projections) if s > 0]
+        if not left_idx or not right_idx:
+            return _Node(indexes=list(indexes))
+        return _Node(
+            normal=normal,
+            offset=offset,
+            left=self._build_node(left_idx, rng, depth + 1),
+            right=self._build_node(right_idx, rng, depth + 1),
+        )
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -------------------------------------------------------------- query
+
+    def query(
+        self,
+        vector: np.ndarray,
+        k: int = 10,
+        search_k: int | None = None,
+        exclude: set[str] | None = None,
+    ) -> list[tuple[str, float]]:
+        """Top-k keys by cosine similarity with approximate candidate search.
+
+        ``search_k`` is the candidate budget (default: ``k * num_trees * 4``,
+        matching Annoy's rule of thumb); higher values trade speed for recall.
+        """
+        if self._matrix is None or (not self._trees and self._rows):
+            self.build()
+        if self._matrix.shape[0] == 0:
+            return []
+        exclude = exclude or set()
+        norm = np.linalg.norm(vector)
+        q = vector / norm if norm > 0 else np.asarray(vector, dtype=float)
+        budget = search_k if search_k is not None else max(k * self.num_trees * 4, k)
+
+        candidates: set[int] = set()
+        # Shared priority queue over (negative margin, tiebreak, node): explore
+        # the most promising branch across all trees first, like Annoy.
+        heap: list[tuple[float, int, _Node]] = []
+        counter = 0
+        for tree in self._trees:
+            heapq.heappush(heap, (-np.inf, counter, tree))
+            counter += 1
+        while heap and len(candidates) < budget:
+            _, _, node = heapq.heappop(heap)
+            while not node.is_leaf:
+                margin = float(node.normal @ q - node.offset)
+                near, far = (node.left, node.right) if margin <= 0 else (node.right, node.left)
+                heapq.heappush(heap, (-abs(margin), counter, far))
+                counter += 1
+                node = near
+            candidates.update(node.indexes)
+
+        scored = []
+        for idx in candidates:
+            key = self._keys[idx]
+            if key in exclude:
+                continue
+            scored.append((key, float(self._matrix[idx] @ q)))
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[:k]

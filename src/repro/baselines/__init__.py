@@ -1,0 +1,37 @@
+"""Baseline systems the paper compares against (§6, "Baselines").
+
+* :mod:`repro.baselines.elastic` — keyword-search families: BM25 over
+  content+schema, LM-Dirichlet over content+schema, BM25 content-only,
+  BM25 schema-only (the four elastic settings of Figure 6).
+* :mod:`repro.baselines.containment` — containment search via minwise
+  hashing + LSH Ensemble (sketch-based baseline of Figure 6).
+* :mod:`repro.baselines.entity_matching` — SpaCy-style entity extraction +
+  Jaccard/Jaro matching, plus the domain-tuned "SciSpaCy" variant.
+* :mod:`repro.baselines.aurum` — Aurum (Fernandez et al., ICDE 2018):
+  Jaccard-similarity knowledge graph; join, PK-FK, and max-combined
+  unionability.
+* :mod:`repro.baselines.d3l` — D3L (Bogatu et al., ICDE 2020):
+  multi-signal sketches combined by weighted Euclidean distance at query
+  time.
+
+All baselines consume the same :class:`~repro.core.profiler.Profile` CMDL
+uses, so comparisons isolate the *method*, not the feature extraction.
+"""
+
+from repro.baselines.base import DocToTableMethod
+from repro.baselines.elastic import ElasticSearchBaseline
+from repro.baselines.containment import ContainmentSearchBaseline
+from repro.baselines.entity_matching import EntityMatchingBaseline
+from repro.baselines.aurum import AurumBaseline
+from repro.baselines.d3l import D3LBaseline
+from repro.baselines.cmdl_adapter import CMDLDocToTable
+
+__all__ = [
+    "DocToTableMethod",
+    "ElasticSearchBaseline",
+    "ContainmentSearchBaseline",
+    "EntityMatchingBaseline",
+    "AurumBaseline",
+    "D3LBaseline",
+    "CMDLDocToTable",
+]

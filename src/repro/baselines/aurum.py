@@ -1,0 +1,129 @@
+"""Aurum baseline (Fernandez et al., ICDE 2018) as characterised in §6.
+
+Aurum materialises schema- and content-similarity links between column
+pairs in a knowledge graph. The operative differences from CMDL:
+
+* joins and PK-FK inclusion are scored with symmetric *Jaccard similarity*
+  (not set containment) — which collapses under skewed cardinalities;
+* unionability combines only schema-name similarity and content Jaccard,
+  taking the *maximum* of the two scores, with no ensemble or alignment.
+
+Numeric columns use the same numeric-overlap measure as CMDL (hence the
+identical ChEBI row in Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiler import Profile
+from repro.relational.stats import numeric_overlap
+from repro.text.similarity import jaccard, name_similarity
+
+
+@dataclass(frozen=True)
+class AurumPKFKLink:
+    pk_column: str
+    fk_column: str
+    score: float
+
+
+class AurumBaseline:
+    """Join, PK-FK, and union discovery with Aurum's scoring choices."""
+
+    name = "aurum"
+
+    def __init__(
+        self,
+        profile: Profile,
+        uniqueness: dict[str, float],
+        pkfk_jaccard_threshold: float = 0.5,
+        pkfk_name_threshold: float = 0.35,
+        key_uniqueness_threshold: float = 0.9,
+        numeric_threshold: float = 0.85,
+    ):
+        self.profile = profile
+        self.uniqueness = uniqueness
+        self.pkfk_jaccard_threshold = pkfk_jaccard_threshold
+        self.pkfk_name_threshold = pkfk_name_threshold
+        self.key_uniqueness_threshold = key_uniqueness_threshold
+        self.numeric_threshold = numeric_threshold
+        self._eligible = [
+            cid for cid, s in profile.columns.items()
+            if s.tags is not None and s.tags.join_discovery
+        ]
+
+    # ------------------------------------------------------------- joins
+
+    def joinable_columns(self, column_id: str, k: int = 10) -> list[tuple[str, float]]:
+        """Top-k joinable columns by Jaccard *similarity*."""
+        query = self.profile.columns[column_id]
+        scored = []
+        for candidate in self._eligible:
+            other = self.profile.columns[candidate]
+            if candidate == column_id or other.table_name == query.table_name:
+                continue
+            s = jaccard(query.value_set, other.value_set)
+            if s > 0:
+                scored.append((candidate, s))
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[:k]
+
+    # -------------------------------------------------------------- pkfk
+
+    def discover_pkfk(self, table_scope: set[str] | None = None) -> list[AurumPKFKLink]:
+        """PK-FK via Jaccard similarity as the inclusion measure."""
+        links = []
+        pk_candidates = [
+            cid for cid, s in self.profile.columns.items()
+            if s.tags is not None and s.tags.pkfk_discovery
+            and self.uniqueness.get(cid, 0.0) >= self.key_uniqueness_threshold
+        ]
+        fk_candidates = [
+            cid for cid, s in self.profile.columns.items()
+            if s.tags is not None and s.tags.pkfk_discovery
+        ]
+        for pk in sorted(pk_candidates):
+            pk_sketch = self.profile.columns[pk]
+            if table_scope is not None and pk_sketch.table_name not in table_scope:
+                continue
+            for fk in sorted(fk_candidates):
+                fk_sketch = self.profile.columns[fk]
+                if fk == pk or fk_sketch.table_name == pk_sketch.table_name:
+                    continue
+                if table_scope is not None and fk_sketch.table_name not in table_scope:
+                    continue
+                if name_similarity(pk_sketch.column_name,
+                                   fk_sketch.column_name) < self.pkfk_name_threshold:
+                    continue
+                if pk_sketch.numeric is not None and fk_sketch.numeric is not None:
+                    inclusion = numeric_overlap(fk_sketch.numeric, pk_sketch.numeric)
+                    if inclusion < self.numeric_threshold:
+                        continue
+                else:
+                    inclusion = jaccard(fk_sketch.value_set, pk_sketch.value_set)
+                    if inclusion < self.pkfk_jaccard_threshold:
+                        continue
+                links.append(AurumPKFKLink(pk, fk, inclusion))
+        links.sort(key=lambda l: (-l.score, l.pk_column, l.fk_column))
+        return links
+
+    # -------------------------------------------------------------- union
+
+    def unionable_tables(self, table_name: str, k: int = 10) -> list[tuple[str, float]]:
+        """Union by max(schema similarity, content Jaccard), no alignment."""
+        query_columns = self.profile.columns_of_table(table_name)
+        best: dict[str, float] = {}
+        for qc in query_columns:
+            qs = self.profile.columns[qc]
+            for cid, cs in self.profile.columns.items():
+                if cs.table_name == table_name:
+                    continue
+                score = max(
+                    name_similarity(qs.column_name, cs.column_name),
+                    jaccard(qs.value_set, cs.value_set),
+                )
+                if score > best.get(cs.table_name, 0.0):
+                    best[cs.table_name] = score
+        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

@@ -1,0 +1,32 @@
+"""Common interfaces for evaluated methods."""
+
+from __future__ import annotations
+
+from repro.core.profiler import Profile
+
+
+class DocToTableMethod:
+    """A method ranking tables by relatedness to a query document."""
+
+    name: str = "base"
+
+    def __init__(self, profile: Profile):
+        self.profile = profile
+
+    def rank_tables(self, doc_id: str, k: int) -> list[tuple[str, float]]:
+        """Top-k (table, score) for the document. Override in subclasses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- helpers
+
+    def aggregate_columns_to_tables(
+        self, column_hits: list[tuple[str, float]], k: int
+    ) -> list[tuple[str, float]]:
+        """Column scores -> table scores (max per table), ranked."""
+        best: dict[str, float] = {}
+        for col_id, score in column_hits:
+            table = self.profile.columns[col_id].table_name
+            if score > best.get(table, float("-inf")):
+                best[table] = score
+        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

@@ -1,0 +1,30 @@
+"""Adapter exposing CMDL's cross-modal search as a DocToTableMethod.
+
+Three variants, matching Figure 6's CMDL labels: solo embeddings, joint
+embeddings, and joint + gold tuning (the latter differs only in how the
+engine was fitted — with gold pairs passed to :meth:`repro.core.system.CMDL.fit`).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import DocToTableMethod
+from repro.core.discovery import DiscoveryEngine
+
+
+class CMDLDocToTable(DocToTableMethod):
+    """Ranks tables with a fitted CMDL engine."""
+
+    def __init__(self, engine: DiscoveryEngine, representation: str = "joint",
+                 label: str | None = None):
+        super().__init__(engine.profile)
+        if representation not in ("joint", "solo"):
+            raise ValueError(f"unknown representation {representation!r}")
+        self.engine = engine
+        self.representation = representation
+        self.name = label or f"cmdl_{representation}"
+
+    def rank_tables(self, doc_id: str, k: int) -> list[tuple[str, float]]:
+        drs = self.engine.cross_modal_search(
+            doc_id, top_n=k, representation=self.representation
+        )
+        return list(drs.items)

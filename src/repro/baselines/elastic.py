@@ -1,0 +1,57 @@
+"""Elastic-search baselines for doc->table discovery (Figure 6).
+
+Four settings, matching the paper's labels:
+
+* ``bm25`` — BM25 over the union of content values and schema information;
+* ``lm_dirichlet`` — LM-Dirichlet over the same union;
+* ``bm25_content`` — BM25 over content values only;
+* ``bm25_schema`` — BM25 over schema information only.
+
+Each extracts the query document's keywords and searches an index built on
+the tabular columns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.baselines.base import DocToTableMethod
+from repro.core.profiler import Profile
+from repro.search.engine import SearchEngine
+
+ELASTIC_MODES = ("bm25", "lm_dirichlet", "bm25_content", "bm25_schema")
+
+
+class ElasticSearchBaseline(DocToTableMethod):
+    """Keyword search from document terms into column indexes."""
+
+    def __init__(self, profile: Profile, mode: str = "bm25"):
+        if mode not in ELASTIC_MODES:
+            raise ValueError(f"unknown elastic mode {mode!r}; expected {ELASTIC_MODES}")
+        super().__init__(profile)
+        self.mode = mode
+        self.name = f"elastic_{mode}"
+        ranker = "lm_dirichlet" if mode == "lm_dirichlet" else "bm25"
+        self.engine = SearchEngine(ranker=ranker)
+        text_columns = set(profile.text_discovery_columns())
+        for col_id, sketch in profile.columns.items():
+            if col_id not in text_columns:
+                continue
+            terms: Counter = Counter()
+            if mode in ("bm25", "lm_dirichlet", "bm25_content"):
+                terms.update(sketch.content_bow.terms)
+            if mode in ("bm25", "lm_dirichlet", "bm25_schema"):
+                terms.update(sketch.metadata_bow.terms)
+            if terms:
+                self.engine.add(col_id, terms)
+
+    def rank_tables(self, doc_id: str, k: int) -> list[tuple[str, float]]:
+        sketch = self.profile.documents[doc_id]
+        query: Counter = Counter()
+        if self.mode == "bm25_schema":
+            query.update(sketch.metadata_bow.terms)
+            query.update(sketch.content_bow.terms)
+        else:
+            query.update(sketch.content_bow.terms)
+        hits = self.engine.search(query, k=max(5 * k, 20))
+        return self.aggregate_columns_to_tables(hits, k)

@@ -1,0 +1,30 @@
+"""CMDL core: the paper's primary contribution.
+
+Modules map to the architecture of Figure 2:
+
+* :mod:`repro.core.tagging` — heuristic-based column tagging.
+* :mod:`repro.core.profiler` — sketches and statistics per DE.
+* :mod:`repro.core.indexes` — the indexing framework over all sketch types.
+* :mod:`repro.core.labeling` — weak-supervised training dataset generator.
+* :mod:`repro.core.joint` — joint representation learning (triplet loss).
+* :mod:`repro.core.joinability` / :mod:`repro.core.pkfk` /
+  :mod:`repro.core.unionability` — structured discovery tasks.
+* :mod:`repro.core.ekg` — Enterprise Knowledge Graph builder.
+* :mod:`repro.core.discovery` — SRQL-style query interface.
+* :mod:`repro.core.system` — the :class:`CMDL` facade wiring it all.
+"""
+
+from repro.core.system import CMDL, CMDLConfig
+from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
+from repro.core.profiler import Profile, Profiler
+from repro.core.indexes import IndexCatalog
+
+__all__ = [
+    "CMDL",
+    "CMDLConfig",
+    "DiscoveryEngine",
+    "DiscoveryResultSet",
+    "Profile",
+    "Profiler",
+    "IndexCatalog",
+]

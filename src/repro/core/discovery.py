@@ -1,0 +1,262 @@
+"""SRQL-style discovery interface (paper §5.2).
+
+:class:`DiscoveryEngine` exposes the discovery primitives of the paper's
+motivation pipeline (Figure 1 / §5.2): ``content_search`` (Q1),
+``cross_modal_search`` (Q2/Q3), ``pkfk`` (Q4), ``unionable`` (Q5), plus
+``joinable`` and keyword search over either modality. Results are
+:class:`DiscoveryResultSet` objects carrying scores and provenance, and can
+be composed (intersect / unite with normalised score sums).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.indexes import IndexCatalog
+from repro.core.joinability import JoinDiscovery
+from repro.core.joint.model import JointRepresentationModel
+from repro.core.pkfk import PKFKDiscovery, PKFKLink
+from repro.core.profiler import DESketch, DOCUMENT, Profile
+from repro.core.unionability import UnionDiscovery
+from repro.text.pipeline import BagOfWords
+from repro.text.tokenizer import tokenize
+
+
+@dataclass
+class DiscoveryResultSet:
+    """A ranked discovery answer with provenance (the paper's DRS)."""
+
+    items: list[tuple[str, float]]
+    operation: str
+    inputs: dict = field(default_factory=dict)
+
+    def ids(self) -> list[str]:
+        return [i for i, _ in self.items]
+
+    def scores(self) -> dict[str, float]:
+        return dict(self.items)
+
+    def __getitem__(self, rank: int) -> str:
+        """1-based positional access, matching the paper's ``r1.[1]``."""
+        if not 1 <= rank <= len(self.items):
+            raise IndexError(
+                f"rank {rank} out of range for DRS of size {len(self.items)}"
+            )
+        return self.items[rank - 1][0]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    # ----------------------------------------------------------- composition
+
+    def intersect(self, other: "DiscoveryResultSet") -> "DiscoveryResultSet":
+        """Keep ids in both, scores = normalised sum (paper §5.2)."""
+        mine, theirs = self.scores(), other.scores()
+        common = set(mine) & set(theirs)
+        combined = self._normalised_sum(mine, theirs, common)
+        return DiscoveryResultSet(
+            combined, operation=f"({self.operation} ∩ {other.operation})"
+        )
+
+    def unite(self, other: "DiscoveryResultSet") -> "DiscoveryResultSet":
+        """Keep ids in either, scores = normalised sum."""
+        mine, theirs = self.scores(), other.scores()
+        keys = set(mine) | set(theirs)
+        combined = self._normalised_sum(mine, theirs, keys)
+        return DiscoveryResultSet(
+            combined, operation=f"({self.operation} ∪ {other.operation})"
+        )
+
+    @staticmethod
+    def _normalised_sum(a: dict, b: dict, keys: set) -> list[tuple[str, float]]:
+        def norm(d: dict) -> dict:
+            top = max(d.values(), default=0.0)
+            return {k: (v / top if top > 0 else 0.0) for k, v in d.items()}
+
+        na, nb = norm(a), norm(b)
+        items = [(k, na.get(k, 0.0) + nb.get(k, 0.0)) for k in keys]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+
+class DiscoveryEngine:
+    """The queryable CMDL instance for one lake."""
+
+    def __init__(
+        self,
+        profile: Profile,
+        indexes: IndexCatalog,
+        joint_model: JointRepresentationModel | None,
+        uniqueness: dict[str, float],
+        pkfk_params: dict | None = None,
+    ):
+        self.profile = profile
+        self.indexes = indexes
+        self.joint_model = joint_model
+        self.join_discovery = JoinDiscovery(profile)
+        self.union_discovery = UnionDiscovery(profile)
+        self.pkfk_discovery = PKFKDiscovery(
+            profile, uniqueness, **(pkfk_params or {})
+        )
+        self._pkfk_cache: list[PKFKLink] | None = None
+
+    # --------------------------------------------------------- text queries
+
+    def _text_sketch(self, text: str) -> DESketch:
+        """Ad-hoc sketch for a free-text query (not a profiled DE).
+
+        Free-text queries are served by the containment + keyword paths,
+        which only need the token bag and a compatible minhash signature;
+        profiled document ids additionally unlock the embedding paths.
+        """
+        from repro.sketch.minhash import MinHash  # local to avoid cycle
+
+        any_sketch = next(iter(self.profile.documents.values()), None) or next(
+            iter(self.profile.columns.values())
+        )
+        dim = len(any_sketch.content_embedding)
+        bow = BagOfWords(Counter(tokenize(text)))
+        signature = MinHash(
+            num_hashes=any_sketch.signature.num_hashes,
+            seed=any_sketch.signature.seed,
+        ).signature(bow.vocabulary)
+        return DESketch(
+            de_id="<query>",
+            kind=DOCUMENT,
+            content_bow=bow,
+            metadata_bow=BagOfWords(),
+            signature=signature,
+            content_embedding=np.zeros(dim),
+            metadata_embedding=np.zeros(dim),
+        )
+
+    def content_search(self, value: str, mode: str = "text",
+                       k: int = 10) -> DiscoveryResultSet:
+        """Keyword search over documents (``mode='text'``) or columns."""
+        if mode not in ("text", "table"):
+            raise ValueError(f"mode must be 'text' or 'table', got {mode!r}")
+        terms = tokenize(value)
+        engine = self.indexes.doc_content if mode == "text" else self.indexes.column_content
+        hits = engine.search(terms, k=k)
+        return DiscoveryResultSet(
+            hits, operation="content_search", inputs={"value": value, "mode": mode}
+        )
+
+    def metadata_search(self, value: str, mode: str = "text",
+                        k: int = 10) -> DiscoveryResultSet:
+        """Keyword search over metadata (titles / schema names)."""
+        if mode not in ("text", "table"):
+            raise ValueError(f"mode must be 'text' or 'table', got {mode!r}")
+        terms = tokenize(value)
+        engine = (
+            self.indexes.doc_metadata if mode == "text" else self.indexes.column_metadata
+        )
+        hits = engine.search(terms, k=k)
+        return DiscoveryResultSet(
+            hits, operation="metadata_search", inputs={"value": value, "mode": mode}
+        )
+
+    # --------------------------------------------------------- cross-modal
+
+    def cross_modal_search(
+        self,
+        value: str,
+        top_n: int = 3,
+        representation: str = "joint",
+        column_k: int | None = None,
+    ) -> DiscoveryResultSet:
+        """Find tables related to a document (Q2/Q3 of the paper).
+
+        ``value`` is a profiled document id, or free text (in which case the
+        containment + keyword path is used). ``representation`` selects the
+        embedding space: ``"joint"`` (default; requires a trained model) or
+        ``"solo"``.
+        """
+        if representation not in ("joint", "solo"):
+            raise ValueError(f"unknown representation {representation!r}")
+        column_k = column_k or max(top_n * 5, 10)
+
+        if value in self.profile.documents:
+            sketch = self.profile.documents[value]
+            if representation == "joint":
+                if not self.indexes.has_joint or self.joint_model is None:
+                    raise RuntimeError(
+                        "joint representation not trained; build CMDL with "
+                        "use_joint=True or query with representation='solo'"
+                    )
+                query_vec = self.joint_model.embed(sketch.encoding[None, :])[0]
+                hits = self.indexes.column_joint.query(query_vec, k=column_k)
+            else:
+                hits = self.indexes.column_solo.query(sketch.encoding, k=column_k)
+        else:
+            # Free-text query: containment + content keyword scores.
+            sketch = self._text_sketch(value)
+            containment = dict(
+                self.indexes.column_containment.query(sketch.signature, k=column_k)
+            )
+            keyword = dict(
+                self.indexes.column_content.search(sketch.content_bow.terms,
+                                                   k=column_k)
+            )
+            top_kw = max(keyword.values(), default=1.0) or 1.0
+            merged = {
+                cid: containment.get(cid, 0.0) + keyword.get(cid, 0.0) / top_kw
+                for cid in set(containment) | set(keyword)
+            }
+            hits = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))[:column_k]
+
+        tables = self._aggregate_to_tables(hits)
+        return DiscoveryResultSet(
+            tables[:top_n],
+            operation="crossModal_search",
+            inputs={"value": value, "representation": representation},
+        )
+
+    def _aggregate_to_tables(
+        self, column_hits: list[tuple[str, float]]
+    ) -> list[tuple[str, float]]:
+        """Aggregate column relatedness to the table level (max per table)."""
+        best: dict[str, float] = {}
+        for col_id, score in column_hits:
+            table = self.profile.columns[col_id].table_name
+            if score > best.get(table, float("-inf")):
+                best[table] = score
+        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked
+
+    # ---------------------------------------------------------- structured
+
+    def joinable(self, table_name: str, top_n: int = 2) -> DiscoveryResultSet:
+        hits = self.join_discovery.joinable_tables(table_name, k=top_n)
+        return DiscoveryResultSet(
+            hits, operation="joinable", inputs={"table": table_name}
+        )
+
+    def pkfk(self, table_name: str, top_n: int = 2) -> DiscoveryResultSet:
+        """Tables PK-FK-joinable with ``table_name``."""
+        if self._pkfk_cache is None:
+            self._pkfk_cache = self.pkfk_discovery.discover()
+        best: dict[str, float] = {}
+        for link in self._pkfk_cache:
+            pk_table = self.profile.columns[link.pk_column].table_name
+            fk_table = self.profile.columns[link.fk_column].table_name
+            if pk_table == table_name and fk_table != table_name:
+                best[fk_table] = max(best.get(fk_table, 0.0), link.score)
+            elif fk_table == table_name and pk_table != table_name:
+                best[pk_table] = max(best.get(pk_table, 0.0), link.score)
+        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        return DiscoveryResultSet(
+            ranked[:top_n], operation="pkfk", inputs={"table": table_name}
+        )
+
+    def unionable(self, table_name: str, top_n: int = 2) -> DiscoveryResultSet:
+        hits = self.union_discovery.unionable_tables(table_name, k=top_n)
+        return DiscoveryResultSet(
+            hits, operation="unionable", inputs={"table": table_name}
+        )

@@ -1,0 +1,130 @@
+"""Enterprise Knowledge Graph builder (paper §5.1).
+
+Materialises the discovered relationships as a typed, weighted graph over
+column, table, and document nodes. An edge is materialised when its
+relationship strength exceeds a threshold or the target is within the
+source's top-k (paper §2.1). Structural edges (column -> its table) tie the
+two node levels together.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.profiler import COLUMN, DOCUMENT, Profile
+from repro.core.relationships import NodeKind, RelationType
+
+
+class EKG:
+    """Typed multigraph with convenience accessors."""
+
+    def __init__(self) -> None:
+        self.graph = nx.MultiDiGraph()
+
+    def add_node(self, node_id: str, kind: NodeKind) -> None:
+        self.graph.add_node(node_id, kind=kind.value)
+
+    def add_edge(self, source: str, target: str, rel_type: RelationType,
+                 weight: float) -> None:
+        self.graph.add_edge(source, target, key=rel_type.value,
+                            rel_type=rel_type.value, weight=weight)
+
+    def neighbors(
+        self, node_id: str, rel_type: RelationType | None = None
+    ) -> list[tuple[str, str, float]]:
+        """(neighbor, rel_type, weight) triples from ``node_id``."""
+        if node_id not in self.graph:
+            return []
+        out = []
+        for _, target, data in self.graph.out_edges(node_id, data=True):
+            if rel_type is not None and data["rel_type"] != rel_type.value:
+                continue
+            out.append((target, data["rel_type"], data["weight"]))
+        out.sort(key=lambda t: (-t[2], t[0]))
+        return out
+
+    def combined_strength(self, source: str, target: str) -> float:
+        """Normalised sum of relationship weights between a DE pair (§5.2)."""
+        if source not in self.graph:
+            return 0.0
+        weights = [
+            data["weight"]
+            for _, t, data in self.graph.out_edges(source, data=True)
+            if t == target
+        ]
+        if not weights:
+            return 0.0
+        return sum(weights) / len(weights)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+
+class EKGBuilder:
+    """Builds the EKG from a profile and the discovery components."""
+
+    def __init__(self, profile: Profile, top_k: int = 5, threshold: float = 0.5):
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        self.profile = profile
+        self.top_k = top_k
+        self.threshold = threshold
+
+    def build(
+        self,
+        join_discovery=None,
+        pkfk_links=None,
+        union_discovery=None,
+        doc_column_links: dict[str, list[tuple[str, float]]] | None = None,
+    ) -> EKG:
+        """Assemble the graph from whichever components are supplied."""
+        ekg = EKG()
+        for doc_id in self.profile.documents:
+            ekg.add_node(doc_id, NodeKind.DOCUMENT)
+        for table_name, column_ids in self.profile.table_columns.items():
+            ekg.add_node(table_name, NodeKind.TABLE)
+            for cid in column_ids:
+                ekg.add_node(cid, NodeKind.COLUMN)
+                # Structural membership edge ties column to table level.
+                ekg.add_edge(cid, table_name, RelationType.NAME_SIMILARITY, 1.0)
+
+        if join_discovery is not None:
+            for cid in self.profile.columns:
+                sketch = self.profile.columns[cid]
+                if sketch.tags is None or not sketch.tags.join_discovery:
+                    continue
+                for other, score in join_discovery.joinable_columns(
+                    cid, k=self.top_k, min_score=self.threshold
+                ):
+                    ekg.add_edge(cid, other,
+                                 RelationType.CONTENT_CONTAINMENT, score)
+
+        if pkfk_links is not None:
+            for link in pkfk_links:
+                pk_table = self.profile.columns[link.pk_column].table_name
+                fk_table = self.profile.columns[link.fk_column].table_name
+                ekg.add_edge(pk_table, fk_table, RelationType.PKFK, link.score)
+                ekg.add_edge(fk_table, pk_table, RelationType.PKFK, link.score)
+
+        if union_discovery is not None:
+            for table_name in self.profile.table_columns:
+                for other, score in union_discovery.unionable_tables(
+                    table_name, k=self.top_k
+                ):
+                    if score >= self.threshold:
+                        ekg.add_edge(table_name, other,
+                                     RelationType.UNIONABLE, score)
+
+        if doc_column_links:
+            for doc_id, hits in doc_column_links.items():
+                for col_id, score in hits[: self.top_k]:
+                    ekg.add_edge(doc_id, col_id,
+                                 RelationType.DOC_COLUMN_JOINT, score)
+                    ekg.add_edge(col_id, doc_id,
+                                 RelationType.DOC_COLUMN_JOINT, score)
+        return ekg

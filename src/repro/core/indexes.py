@@ -1,0 +1,103 @@
+"""Indexing framework: one index per sketch type (paper §3, Figure 2).
+
+From a :class:`~repro.core.profiler.Profile` the catalog builds:
+
+* BM25 engines over content and metadata, separately for documents and for
+  text-discovery columns (four "elastic" indexes);
+* an LSH Ensemble over the column minhash signatures (containment);
+* ANN (random-projection forest) indexes over the 200-d solo encodings of
+  documents and columns;
+* after joint-model training, ANN indexes over the 100-d joint embeddings
+  (:meth:`index_joint_embeddings`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.rpforest import RPForestIndex
+from repro.core.profiler import Profile
+from repro.search.engine import SearchEngine
+from repro.sketch.lshensemble import LSHEnsemble
+
+
+class IndexCatalog:
+    """All CMDL indexes for one profiled lake."""
+
+    def __init__(
+        self,
+        profile: Profile,
+        num_partitions: int = 8,
+        num_bands: int = 16,
+        num_trees: int = 8,
+        ranker: str = "bm25",
+        seed: int = 0,
+    ):
+        self.profile = profile
+        self.seed = seed
+
+        self.doc_content = SearchEngine(ranker=ranker)
+        self.doc_metadata = SearchEngine(ranker=ranker)
+        self.column_content = SearchEngine(ranker=ranker)
+        self.column_metadata = SearchEngine(ranker=ranker)
+        self.column_containment = LSHEnsemble(
+            num_partitions=num_partitions, num_bands=num_bands
+        )
+
+        text_columns = set(profile.text_discovery_columns())
+        encoding_dim = None
+
+        for doc_id, sketch in profile.documents.items():
+            self.doc_content.add(doc_id, sketch.content_bow.terms)
+            self.doc_metadata.add(doc_id, sketch.metadata_bow.terms)
+            encoding_dim = encoding_dim or len(sketch.encoding)
+        for col_id, sketch in profile.columns.items():
+            encoding_dim = encoding_dim or len(sketch.encoding)
+            if col_id not in text_columns:
+                continue
+            self.column_content.add(col_id, sketch.content_bow.terms)
+            self.column_metadata.add(col_id, sketch.metadata_bow.terms)
+            self.column_containment.add(col_id, sketch.signature)
+        self.column_containment.build()
+
+        dim = encoding_dim or 200
+        self.doc_solo = RPForestIndex(dim=dim, num_trees=num_trees, seed=seed)
+        self.column_solo = RPForestIndex(dim=dim, num_trees=num_trees, seed=seed)
+        for doc_id, sketch in profile.documents.items():
+            self.doc_solo.add(doc_id, sketch.encoding)
+        for col_id, sketch in profile.columns.items():
+            if col_id in text_columns:
+                self.column_solo.add(col_id, sketch.encoding)
+        self.doc_solo.build()
+        self.column_solo.build()
+
+        self.doc_joint: RPForestIndex | None = None
+        self.column_joint: RPForestIndex | None = None
+
+    # ------------------------------------------------------------- joint
+
+    def index_joint_embeddings(
+        self,
+        doc_vectors: dict[str, np.ndarray],
+        column_vectors: dict[str, np.ndarray],
+        num_trees: int = 8,
+    ) -> None:
+        """Index the joint-space vectors produced by the trained model."""
+        dims = {len(v) for v in doc_vectors.values()} | {
+            len(v) for v in column_vectors.values()
+        }
+        if len(dims) != 1:
+            raise ValueError(f"inconsistent joint vector dims: {sorted(dims)}")
+        dim = dims.pop()
+        self.doc_joint = RPForestIndex(dim=dim, num_trees=num_trees, seed=self.seed)
+        self.column_joint = RPForestIndex(dim=dim, num_trees=num_trees, seed=self.seed)
+        for doc_id, vec in doc_vectors.items():
+            self.doc_joint.add(doc_id, vec)
+        for col_id, vec in column_vectors.items():
+            self.column_joint.add(col_id, vec)
+        self.doc_joint.build()
+        self.column_joint.build()
+
+    @property
+    def has_joint(self) -> bool:
+        return self.column_joint is not None

@@ -1,0 +1,78 @@
+"""Syntactic join discovery via Jaccard set containment (paper §5.1, §6.2).
+
+CMDL's key difference from Aurum/D3L here: the joinability score between
+two columns is the *maximum directional set containment* rather than
+symmetric Jaccard similarity, which stays robust when the joined columns
+have very different cardinalities (the low-mQCR regime of Benchmarks
+2B/2C-LS).
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import Profile
+from repro.text.similarity import jaccard_containment
+
+
+class JoinDiscovery:
+    """Top-k joinable-column / joinable-table search over a profile."""
+
+    def __init__(self, profile: Profile, use_exact_sets: bool = True):
+        self.profile = profile
+        self.use_exact_sets = use_exact_sets
+        self._eligible = [
+            cid for cid, s in profile.columns.items()
+            if s.tags is not None and s.tags.join_discovery
+        ]
+
+    # ------------------------------------------------------------- scoring
+
+    def score(self, col_a: str, col_b: str) -> float:
+        """Max-direction containment between two columns' value sets."""
+        sa = self.profile.columns[col_a]
+        sb = self.profile.columns[col_b]
+        if self.use_exact_sets:
+            fwd = jaccard_containment(sa.value_set, sb.value_set)
+            bwd = jaccard_containment(sb.value_set, sa.value_set)
+        else:
+            fwd = sa.signature.containment(sb.signature)
+            bwd = sb.signature.containment(sa.signature)
+        return max(fwd, bwd)
+
+    # ------------------------------------------------------------- queries
+
+    def joinable_columns(
+        self, column_id: str, k: int = 10, min_score: float = 0.0
+    ) -> list[tuple[str, float]]:
+        """Top-k joinable columns in *other* tables, by containment."""
+        query_table = self.profile.columns[column_id].table_name
+        scored = []
+        for candidate in self._eligible:
+            if candidate == column_id:
+                continue
+            if self.profile.columns[candidate].table_name == query_table:
+                continue
+            s = self.score(column_id, candidate)
+            if s > min_score:
+                scored.append((candidate, s))
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[:k]
+
+    def joinable_tables(
+        self, table_name: str, k: int = 10, per_column_k: int = 10
+    ) -> list[tuple[str, float]]:
+        """Top-k tables joinable with ``table_name``.
+
+        A candidate table's score is the best containment over all column
+        pairs between the two tables.
+        """
+        best: dict[str, float] = {}
+        for column_id in self.profile.columns_of_table(table_name):
+            sketch = self.profile.columns[column_id]
+            if sketch.tags is None or not sketch.tags.join_discovery:
+                continue
+            for other, score in self.joinable_columns(column_id, k=per_column_k):
+                other_table = self.profile.columns[other].table_name
+                if score > best.get(other_table, 0.0):
+                    best[other_table] = score
+        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

@@ -1,0 +1,24 @@
+"""Joint Representation Learning (paper §4.2, Figures 4 and 5).
+
+The training dataset of (doc, col, relatedness) rows is partitioned into
+mini batches preserving the document:column ratio; per document, positive
+columns are aggregated into one instance and hard negatives (inside the
+cutoff range) into another, yielding exactly one triplet per document; the
+200 -> 100 MLP is trained with the triplet margin loss until the epoch loss
+stabilises.
+"""
+
+from repro.core.joint.minibatch import MiniBatch, MiniBatchGenerator
+from repro.core.joint.triplets import Triplet, TripletGenerator
+from repro.core.joint.model import JointRepresentationModel
+from repro.core.joint.trainer import JointTrainer, TrainingResult
+
+__all__ = [
+    "MiniBatch",
+    "MiniBatchGenerator",
+    "Triplet",
+    "TripletGenerator",
+    "JointRepresentationModel",
+    "JointTrainer",
+    "TrainingResult",
+]

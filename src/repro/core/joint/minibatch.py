@@ -1,0 +1,73 @@
+"""Mini-batch generation over the labeled training dataset (paper §4.2).
+
+A mini batch is a small m x n matrix of documents against columns with
+their relatedness scores; the m:n ratio matches the document:column ratio
+of the full training dataset, and the union of one epoch's batches covers
+every document. Batches are re-randomised every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labeling import TrainingPair
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class MiniBatch:
+    """One m x n slice of the training matrix."""
+
+    doc_ids: list[str]
+    column_ids: list[str]
+    scores: np.ndarray  # shape (m, n), relatedness in [0, 1]
+
+
+class MiniBatchGenerator:
+    """Partitions the training dataset into ratio-preserving mini batches."""
+
+    def __init__(self, pairs: list[TrainingPair], batch_fraction: float = 0.08,
+                 seed: int = 0):
+        if not pairs:
+            raise ValueError("training dataset is empty")
+        if not 0.0 < batch_fraction <= 1.0:
+            raise ValueError(f"batch_fraction must be in (0,1], got {batch_fraction}")
+        self.batch_fraction = batch_fraction
+        self.seed = seed
+        self._scores: dict[tuple[str, str], float] = {
+            (p.doc_id, p.column_id): p.relatedness for p in pairs
+        }
+        self.doc_ids = sorted({p.doc_id for p in pairs})
+        self.column_ids = sorted({p.column_id for p in pairs})
+        self._epoch = 0
+
+    @property
+    def docs_per_batch(self) -> int:
+        return max(1, int(round(len(self.doc_ids) * self.batch_fraction)))
+
+    @property
+    def columns_per_batch(self) -> int:
+        return max(2, int(round(len(self.column_ids) * self.batch_fraction)))
+
+    def epoch(self) -> list[MiniBatch]:
+        """Generate one epoch: non-overlapping doc partitions, fresh shuffle."""
+        rng = ensure_rng(self.seed + self._epoch)
+        self._epoch += 1
+        docs = list(self.doc_ids)
+        cols = list(self.column_ids)
+        rng.shuffle(docs)
+        m = self.docs_per_batch
+        n = self.columns_per_batch
+        batches = []
+        for start in range(0, len(docs), m):
+            batch_docs = docs[start : start + m]
+            pick = rng.choice(len(cols), size=min(n, len(cols)), replace=False)
+            batch_cols = [cols[i] for i in sorted(pick)]
+            scores = np.zeros((len(batch_docs), len(batch_cols)))
+            for i, d in enumerate(batch_docs):
+                for j, c in enumerate(batch_cols):
+                    scores[i, j] = self._scores.get((d, c), 0.0)
+            batches.append(MiniBatch(batch_docs, batch_cols, scores))
+        return batches

@@ -1,0 +1,128 @@
+"""Training loop for the joint representation model (paper §4.2).
+
+Each epoch regenerates mini batches, produces one aggregated triplet per
+document (or all combinations when hard sampling is disabled for the
+ablation), and performs one optimiser step per batch with the triplet
+margin loss. Training converges when the epoch loss change drops below a
+tolerance across consecutive epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.joint.minibatch import MiniBatchGenerator
+from repro.core.joint.model import JointRepresentationModel
+from repro.core.joint.triplets import Triplet, TripletGenerator
+from repro.nn.losses import TripletMarginLoss
+from repro.nn.optim import Adam
+from repro.utils.timing import Timer
+
+
+@dataclass
+class TrainingResult:
+    """Convergence diagnostics for one training run."""
+
+    epochs: int
+    seconds: float
+    final_loss: float
+    error_percent: float  # fraction of triplets violating the margin, x100
+    loss_history: list[float] = field(default_factory=list)
+
+
+class JointTrainer:
+    """Trains a :class:`JointRepresentationModel` from triplets."""
+
+    def __init__(
+        self,
+        model: JointRepresentationModel,
+        margin: float = 0.2,
+        lr: float = 1e-3,
+        max_epochs: int = 300,
+        patience: int = 5,
+        tol: float = 1e-4,
+    ):
+        if max_epochs <= 0 or patience <= 0:
+            raise ValueError("max_epochs and patience must be positive")
+        self.model = model
+        self.loss_fn = TripletMarginLoss(margin=margin)
+        self.optimizer = Adam(model.parameters, model.gradients, lr=lr)
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.tol = tol
+
+    # ------------------------------------------------------------ training
+
+    def train(
+        self,
+        batches: MiniBatchGenerator,
+        triplet_gen: TripletGenerator,
+    ) -> TrainingResult:
+        """Run epochs until the loss stabilises or max_epochs is reached."""
+        history: list[float] = []
+        stable = 0
+        with Timer() as timer:
+            for _ in range(self.max_epochs):
+                epoch_loss = self._run_epoch(batches, triplet_gen)
+                history.append(epoch_loss)
+                if len(history) >= 2 and abs(history[-2] - epoch_loss) < self.tol:
+                    stable += 1
+                    if stable >= self.patience:
+                        break
+                else:
+                    stable = 0
+        error = self._error_percent(batches, triplet_gen)
+        return TrainingResult(
+            epochs=len(history),
+            seconds=timer.elapsed,
+            final_loss=history[-1] if history else 0.0,
+            error_percent=error,
+            loss_history=history,
+        )
+
+    def _run_epoch(
+        self, batches: MiniBatchGenerator, triplet_gen: TripletGenerator
+    ) -> float:
+        total_loss = 0.0
+        total_triplets = 0
+        for batch in batches.epoch():
+            triplets = triplet_gen.triplets(batch, embed_fn=self.model.embed)
+            if not triplets:
+                continue
+            loss = self._step(triplets)
+            total_loss += loss * len(triplets)
+            total_triplets += len(triplets)
+        return total_loss / total_triplets if total_triplets else 0.0
+
+    def _step(self, triplets: list[Triplet]) -> float:
+        # Stack anchor/positive/negative rows into one batch so a single
+        # forward/backward pass handles the shared network exactly.
+        b = len(triplets)
+        stacked = np.vstack(
+            [t.anchor for t in triplets]
+            + [t.positive for t in triplets]
+            + [t.negative for t in triplets]
+        )
+        self.model.zero_grad()
+        z = self.model.embed(stacked)
+        loss, ga, gp, gn = self.loss_fn(z[:b], z[b : 2 * b], z[2 * b :])
+        self.model.backward(np.vstack([ga, gp, gn]))
+        self.optimizer.step()
+        return loss
+
+    def _error_percent(
+        self, batches: MiniBatchGenerator, triplet_gen: TripletGenerator
+    ) -> float:
+        """Margin-violation percentage over one fresh epoch of triplets."""
+        violations = []
+        for batch in batches.epoch():
+            triplets = triplet_gen.triplets(batch, embed_fn=self.model.embed)
+            if not triplets:
+                continue
+            za = self.model.embed(np.vstack([t.anchor for t in triplets]))
+            zp = self.model.embed(np.vstack([t.positive for t in triplets]))
+            zn = self.model.embed(np.vstack([t.negative for t in triplets]))
+            violations.append(self.loss_fn.violation_rate(za, zp, zn))
+        return 100.0 * float(np.mean(violations)) if violations else 0.0

@@ -1,0 +1,225 @@
+"""Profiler: sketches and statistics per discoverable element (paper §3).
+
+For every DE (document or tabular column) the profiler builds:
+
+* the content bag of words (documents via the NLP pipeline; columns via
+  cell-value tokenisation),
+* the metadata bag of words (titles / table+column names),
+* a minwise-hashing signature of the content token set (containment),
+* solo embeddings: 100-d mean-pooled word vectors for metadata and for
+  content — concatenated they form the 200-d input encoding of the joint
+  model (paper §4.2),
+* numeric statistics for numeric columns,
+* the column's task tags.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tagging import ColumnTags, tag_column
+from repro.embed.pooling import POOLERS
+from repro.relational.catalog import DataLake, Document
+from repro.relational.stats import NumericStats, numeric_stats
+from repro.relational.table import Column
+from repro.sketch.minhash import MinHash, MinHashSignature
+from repro.text.pipeline import BagOfWords, DocumentPipeline
+from repro.text.tokenizer import split_identifier, tokenize
+from repro.utils.timing import Timer
+
+#: DE kind markers used in every index key.
+DOCUMENT = "document"
+COLUMN = "column"
+
+
+@dataclass
+class DESketch:
+    """All profiler outputs for one discoverable element."""
+
+    de_id: str
+    kind: str  # DOCUMENT or COLUMN
+    content_bow: BagOfWords
+    metadata_bow: BagOfWords
+    signature: MinHashSignature
+    content_embedding: np.ndarray
+    metadata_embedding: np.ndarray
+    numeric: NumericStats | None = None
+    tags: ColumnTags | None = None
+    table_name: str = ""
+    column_name: str = ""
+    #: Raw distinct cell values (columns) / content vocabulary (documents).
+    #: Join, PK-FK, and union containment are *value*-equality semantics
+    #: (paper §3: "percentage of their overlapping values"), distinct from
+    #: the tokenised bag used for text discovery.
+    value_set: frozenset[str] = frozenset()
+
+    @property
+    def encoding(self) -> np.ndarray:
+        """The 200-d input encoding: metadata solo ++ content solo."""
+        return np.concatenate([self.metadata_embedding, self.content_embedding])
+
+    @property
+    def token_set(self) -> set[str]:
+        return self.content_bow.vocabulary
+
+
+@dataclass
+class Profile:
+    """The profiled lake: sketches per DE plus build-time accounting."""
+
+    documents: dict[str, DESketch] = field(default_factory=dict)
+    columns: dict[str, DESketch] = field(default_factory=dict)
+    table_columns: dict[str, list[str]] = field(default_factory=dict)
+    structured_seconds: float = 0.0
+    unstructured_seconds: float = 0.0
+
+    def sketch(self, de_id: str) -> DESketch:
+        if de_id in self.documents:
+            return self.documents[de_id]
+        if de_id in self.columns:
+            return self.columns[de_id]
+        raise KeyError(f"no sketch for DE {de_id!r}")
+
+    @property
+    def num_des(self) -> int:
+        return len(self.documents) + len(self.columns)
+
+    def columns_of_table(self, table_name: str) -> list[str]:
+        return self.table_columns.get(table_name, [])
+
+    def text_discovery_columns(self) -> list[str]:
+        """Columns tagged as eligible for doc-column / keyword discovery."""
+        return [
+            cid for cid, s in self.columns.items()
+            if s.tags is not None and s.tags.text_discovery
+        ]
+
+
+class Profiler:
+    """Builds a :class:`Profile` for a data lake."""
+
+    def __init__(
+        self,
+        embedding_dim: int = 100,
+        num_hashes: int = 128,
+        pooling: str = "mean",
+        max_doc_frequency: float = 0.5,
+        embedder=None,
+        seed: int = 0,
+    ):
+        if pooling not in POOLERS:
+            raise ValueError(f"unknown pooling {pooling!r}; expected {list(POOLERS)}")
+        self.embedding_dim = embedding_dim
+        self.pooling = POOLERS[pooling]
+        self.minhash = MinHash(num_hashes=num_hashes, seed=seed)
+        self.pipeline = DocumentPipeline(max_doc_frequency=max_doc_frequency)
+        self.embedder = embedder  # resolved lazily in profile() if None
+        self.seed = seed
+
+    # ------------------------------------------------------------ helpers
+
+    def _embed_bow(self, bow: BagOfWords) -> np.ndarray:
+        words = sorted(bow.vocabulary)
+        matrix = self.embedder.embed_words(words)
+        return self.pooling(matrix, dim_hint=self.embedding_dim)
+
+    def _column_tokens(self, column: Column) -> Counter:
+        """Tokenise a column's cell values into its content bag of words."""
+        terms: Counter = Counter()
+        for value in column.non_missing:
+            tokens = tokenize(value)
+            if len(tokens) == 1:
+                # Single-token cells (ids, names) kept verbatim.
+                terms[tokens[0]] += 1
+            else:
+                terms.update(tokens)
+        return terms
+
+    # ------------------------------------------------------------ profiling
+
+    def profile(self, lake: DataLake) -> Profile:
+        """Profile every document and column of ``lake``."""
+        profile = Profile()
+
+        # Resolve the embedder lazily: by default train a blended embedder
+        # on the lake's own text (the stand-in for a pre-trained fasttext).
+        # Tables contribute *row-wise* token lists: a row is the unit of
+        # co-occurrence (key values appear next to the attributes that
+        # describe them), which is what lets the distributional component
+        # bridge document vocabulary to column vocabulary.
+        if self.embedder is None:
+            from repro.embed.blended import build_lake_embedder
+
+            corpora = [tokenize(d.text) for d in lake.documents]
+            for table in lake.tables:
+                for row in table.rows():
+                    corpora.append([t for cell in row for t in tokenize(cell)])
+            self.embedder = build_lake_embedder(
+                corpora, dim=self.embedding_dim, seed=self.seed
+            )
+
+        with Timer() as t_docs:
+            self.pipeline.fit(d.text for d in lake.documents)
+            for document in lake.documents:
+                profile.documents[document.doc_id] = self._profile_document(document)
+        profile.unstructured_seconds = t_docs.elapsed
+
+        with Timer() as t_cols:
+            for table in lake.tables:
+                ids = []
+                for column in table.columns:
+                    sketch = self._profile_column(column)
+                    profile.columns[sketch.de_id] = sketch
+                    ids.append(sketch.de_id)
+                profile.table_columns[table.name] = ids
+        profile.structured_seconds = t_cols.elapsed
+        return profile
+
+    def _profile_document(self, document: Document) -> DESketch:
+        content = self.pipeline.transform(document.text)
+        meta_terms = Counter(tokenize(document.title))
+        if document.source:
+            meta_terms.update(tokenize(document.source))
+        metadata = BagOfWords(meta_terms)
+        return DESketch(
+            de_id=document.doc_id,
+            kind=DOCUMENT,
+            content_bow=content,
+            metadata_bow=metadata,
+            signature=self.minhash.signature(content.vocabulary),
+            content_embedding=self._embed_bow_guarded(content),
+            metadata_embedding=self._embed_bow_guarded(metadata),
+            value_set=frozenset(content.vocabulary),
+        )
+
+    def _profile_column(self, column: Column) -> DESketch:
+        tags = tag_column(column)
+        content = BagOfWords(self._column_tokens(column))
+        meta_terms = Counter(split_identifier(column.name))
+        meta_terms.update(split_identifier(column.table_name))
+        metadata = BagOfWords(meta_terms)
+        numeric = (
+            numeric_stats(column.numeric_values) if tags.numeric_profile else None
+        )
+        return DESketch(
+            de_id=column.qualified_name,
+            kind=COLUMN,
+            content_bow=content,
+            metadata_bow=metadata,
+            signature=self.minhash.signature(content.vocabulary),
+            content_embedding=self._embed_bow_guarded(content),
+            metadata_embedding=self._embed_bow_guarded(metadata),
+            numeric=numeric,
+            tags=tags,
+            table_name=column.table_name,
+            column_name=column.name,
+            value_set=frozenset(column.distinct_values),
+        )
+
+    def _embed_bow_guarded(self, bow: BagOfWords) -> np.ndarray:
+        if not bow.vocabulary:
+            return np.zeros(self.embedding_dim)
+        return self._embed_bow(bow)

@@ -1,0 +1,47 @@
+"""Relationship types of the Enterprise Knowledge Graph (paper §2.1, §5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RelationType(Enum):
+    """Typed edges of the EKG."""
+
+    # document-column (cross-modal)
+    DOC_COLUMN_JOINT = "doc_column_joint"          # joint-embedding proximity
+    DOC_COLUMN_CONTAINMENT = "doc_column_containment"
+    DOC_COLUMN_SEMANTIC = "doc_column_semantic"    # solo-embedding proximity
+
+    # column-column
+    CONTENT_CONTAINMENT = "content_containment"
+    NAME_SIMILARITY = "name_similarity"
+    SEMANTIC_SIMILARITY = "semantic_similarity"
+    NUMERIC_OVERLAP = "numeric_overlap"
+
+    # table-table (higher order)
+    PKFK = "pkfk"
+    UNIONABLE = "unionable"
+
+
+class NodeKind(Enum):
+    """Node types of the EKG."""
+
+    DOCUMENT = "document"
+    COLUMN = "column"
+    TABLE = "table"
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A scored, typed relationship between two DEs."""
+
+    source: str
+    target: str
+    rel_type: RelationType
+    weight: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.weight:
+            raise ValueError(f"relationship weight must be >= 0, got {self.weight}")

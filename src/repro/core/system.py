@@ -1,0 +1,168 @@
+"""The CMDL facade: profile -> index -> label -> train -> discover.
+
+:class:`CMDL` wires every component of Figure 2 into a single ``fit`` call
+over a :class:`~repro.relational.catalog.DataLake`, returning a
+:class:`~repro.core.discovery.DiscoveryEngine`. Diagnostics from each stage
+(profiling times, labeling report, joint-training result) are retained on
+the instance for the efficiency experiments (§6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.discovery import DiscoveryEngine
+from repro.core.indexes import IndexCatalog
+from repro.core.joint.minibatch import MiniBatchGenerator
+from repro.core.joint.model import JointRepresentationModel
+from repro.core.joint.trainer import JointTrainer, TrainingResult
+from repro.core.joint.triplets import TripletGenerator
+from repro.core.labeling import LabelingReport, TrainingDatasetGenerator
+from repro.core.profiler import Profile, Profiler
+from repro.relational.catalog import DataLake
+from repro.weaklabel.lf import LabelingFunction
+
+
+@dataclass
+class CMDLConfig:
+    """All knobs, defaulted to the paper's settings (§6, "Default Settings").
+
+    * ``sample_fraction`` = 10% of DEs for the labeling sample;
+    * ``batch_fraction`` = 8% mini-batch matrix size;
+    * ``hard_sampling`` = "average" cutoff, enabled by default;
+    * ``margin`` (triplet loss beta) = 0.2;
+    * joint model: 200-d input (2 x 100-d solo), 100-d output.
+    """
+
+    embedding_dim: int = 100
+    num_hashes: int = 128
+    pooling: str = "mean"
+    ranker: str = "bm25"
+
+    use_joint: bool = True
+    sample_fraction: float = 0.1
+    top_k_probe: int = 10
+    gold_relative_threshold: float = 0.5
+
+    batch_fraction: float = 0.08
+    positive_threshold: float = 0.5
+    hard_sampling: str = "average"
+    margin: float = 0.2
+    learning_rate: float = 1e-3
+    max_epochs: int = 120
+    hidden_layers: list[int] = field(default_factory=lambda: [160, 128])
+    joint_dim: int = 100
+
+    pkfk_containment_threshold: float = 0.85
+    pkfk_name_threshold: float = 0.35
+    pkfk_key_uniqueness: float = 0.85
+
+    seed: int = 0
+    extra_labeling_functions: list[LabelingFunction] = field(default_factory=list)
+
+
+class CMDL:
+    """Cross Modal Data Discovery over Structured and Unstructured Data Lakes."""
+
+    def __init__(self, config: CMDLConfig | None = None):
+        self.config = config or CMDLConfig()
+        self.profile: Profile | None = None
+        self.indexes: IndexCatalog | None = None
+        self.joint_model: JointRepresentationModel | None = None
+        self.labeling_report: LabelingReport | None = None
+        self.training_result: TrainingResult | None = None
+        self.engine: DiscoveryEngine | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(
+        self,
+        lake: DataLake,
+        gold_pairs: list[tuple[str, str, int]] | None = None,
+    ) -> DiscoveryEngine:
+        """Build the full CMDL stack over ``lake``.
+
+        ``gold_pairs`` — optional tiny (doc, col, label) ground truth; when
+        supplied, the labeling stage prunes weak LFs against it (the paper's
+        "joint embedding + gold tuning" variant).
+        """
+        cfg = self.config
+        profiler = Profiler(
+            embedding_dim=cfg.embedding_dim,
+            num_hashes=cfg.num_hashes,
+            pooling=cfg.pooling,
+            seed=cfg.seed,
+        )
+        self.profile = profiler.profile(lake)
+        self.indexes = IndexCatalog(self.profile, ranker=cfg.ranker, seed=cfg.seed)
+
+        if cfg.use_joint and self.profile.documents:
+            self._train_joint(gold_pairs)
+
+        uniqueness = {c.qualified_name: c.uniqueness for c in lake.columns}
+        self.engine = DiscoveryEngine(
+            profile=self.profile,
+            indexes=self.indexes,
+            joint_model=self.joint_model,
+            uniqueness=uniqueness,
+            pkfk_params={
+                "containment_threshold": cfg.pkfk_containment_threshold,
+                "name_threshold": cfg.pkfk_name_threshold,
+                "key_uniqueness_threshold": cfg.pkfk_key_uniqueness,
+            },
+        )
+        return self.engine
+
+    # ------------------------------------------------------------ internals
+
+    def _train_joint(self, gold_pairs) -> None:
+        cfg = self.config
+        generator = TrainingDatasetGenerator(
+            self.profile,
+            self.indexes,
+            sample_fraction=cfg.sample_fraction,
+            top_k=cfg.top_k_probe,
+            gold_relative_threshold=cfg.gold_relative_threshold,
+            seed=cfg.seed,
+            extra_lfs=cfg.extra_labeling_functions,
+        )
+        dataset, self.labeling_report = generator.generate(gold_pairs=gold_pairs)
+        if not dataset:
+            return
+
+        encodings = {
+            de_id: sketch.encoding
+            for de_id, sketch in {**self.profile.documents,
+                                  **self.profile.columns}.items()
+        }
+        batches = MiniBatchGenerator(
+            dataset, batch_fraction=cfg.batch_fraction, seed=cfg.seed
+        )
+        triplet_gen = TripletGenerator(
+            encodings,
+            positive_threshold=cfg.positive_threshold,
+            hard_sampling=cfg.hard_sampling,
+        )
+        self.joint_model = JointRepresentationModel(
+            in_dim=2 * cfg.embedding_dim,
+            hidden=cfg.hidden_layers,
+            out_dim=cfg.joint_dim,
+            seed=cfg.seed,
+        )
+        trainer = JointTrainer(
+            self.joint_model,
+            margin=cfg.margin,
+            lr=cfg.learning_rate,
+            max_epochs=cfg.max_epochs,
+        )
+        self.training_result = trainer.train(batches, triplet_gen)
+
+        doc_vectors = self.joint_model.embed_all(
+            {d: s.encoding for d, s in self.profile.documents.items()}
+        )
+        text_columns = set(self.profile.text_discovery_columns())
+        col_vectors = self.joint_model.embed_all(
+            {c: s.encoding for c, s in self.profile.columns.items()
+             if c in text_columns}
+        )
+        self.indexes.index_joint_embeddings(doc_vectors, col_vectors)

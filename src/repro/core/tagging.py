@@ -1,0 +1,71 @@
+"""Heuristic-based column tagging (paper §3).
+
+Tags decide which discovery tasks a column participates in and which
+sketches the profiler builds for it:
+
+* document-column / keyword-search discoveries: text columns only, and not
+  low-cardinality categoricals (their few distinct values carry no
+  discriminative signal);
+* PK-FK discoveries: exclude dates and long-text columns;
+* numeric statistics: numeric columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.table import Column
+from repro.relational.types import ColumnType
+
+
+@dataclass(frozen=True)
+class ColumnTags:
+    """Task-eligibility tags computed for one column."""
+
+    text_discovery: bool    # doc-column relatedness + keyword search
+    pkfk_discovery: bool    # PK-FK join candidates
+    join_discovery: bool    # syntactic (value-overlap) joins
+    numeric_profile: bool   # maintain numeric statistics
+
+
+def tag_column(
+    column: Column,
+    categorical_threshold: float = 0.05,
+    long_text_tokens: int = 12,
+) -> ColumnTags:
+    """Apply CMDL's tagging heuristics to ``column``.
+
+    ``categorical_threshold`` is the distinct-to-rows ratio below which a
+    text column counts as categorical (excluded from text discovery).
+    ``long_text_tokens`` is the mean-token cutoff above which a column is a
+    free-text blob (excluded from PK-FK discovery).
+    """
+    dtype = column.dtype
+    is_numeric = dtype.is_numeric
+    is_date = dtype is ColumnType.DATE
+    is_empty = dtype is ColumnType.EMPTY
+
+    non_missing = column.non_missing
+    rows = max(len(column.values), 1)
+    categorical = (
+        not is_numeric
+        and not is_date
+        and column.cardinality / rows < categorical_threshold
+    )
+    if non_missing:
+        mean_tokens = sum(len(v.split()) for v in non_missing) / len(non_missing)
+    else:
+        mean_tokens = 0.0
+    long_text = mean_tokens > long_text_tokens
+
+    text_eligible = (
+        not is_empty and not is_numeric and not is_date and not categorical
+    )
+    pkfk_eligible = not is_empty and not is_date and not long_text
+    join_eligible = not is_empty and not is_numeric and not is_date
+    return ColumnTags(
+        text_discovery=text_eligible,
+        pkfk_discovery=pkfk_eligible,
+        join_discovery=join_eligible,
+        numeric_profile=is_numeric,
+    )

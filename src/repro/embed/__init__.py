@@ -1,0 +1,37 @@
+"""Word-embedding substrate.
+
+CMDL's profiler applies a pre-trained fasttext model to each word and mean
+pools the vectors into a 100-d "solo embedding" per DE (paper §3). No
+pre-trained model is available offline, so we provide two from-scratch
+equivalents:
+
+* :class:`HashingEmbedder` — fasttext-style: a word's vector is the mean of
+  vectors of its character n-grams, each drawn deterministically from a
+  shared hashed bucket table. Morphologically similar words (drug/drugs,
+  reductase/synthase sharing '-ase') land nearby, which is exactly the
+  property the discovery signals rely on.
+* :class:`PPMIEmbedder` — corpus-trained: positive pointwise mutual
+  information co-occurrence matrix factorised with truncated SVD. Words used
+  in similar contexts (e.g. two drug names appearing with the same enzymes)
+  land nearby — this supplies the *distributional* semantics a pre-trained
+  model would.
+
+The default embedder used by the profiler blends both so that vectors carry
+surface-form and contextual signal, mirroring what fasttext trained on a
+domain corpus provides.
+"""
+
+from repro.embed.hashing_embedder import HashingEmbedder
+from repro.embed.ppmi import PPMIEmbedder
+from repro.embed.pooling import mean_pool, max_pool, min_pool
+from repro.embed.blended import BlendedEmbedder, build_lake_embedder
+
+__all__ = [
+    "HashingEmbedder",
+    "PPMIEmbedder",
+    "BlendedEmbedder",
+    "build_lake_embedder",
+    "mean_pool",
+    "max_pool",
+    "min_pool",
+]

@@ -1,0 +1,90 @@
+"""Blended word embedder: surface-form + distributional signal.
+
+A pre-trained fasttext model carries both morphological information (from
+subwords) and distributional information (from training on a big corpus).
+We reproduce the combination by concat-projecting the deterministic
+:class:`HashingEmbedder` vector with the lake-trained :class:`PPMIEmbedder`
+vector: each contributes ``dim`` components, then the concatenation is
+reduced back to ``dim`` by a fixed random projection (Johnson-Lindenstrauss),
+keeping the output dimensionality at the paper's 100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embed.hashing_embedder import HashingEmbedder
+from repro.embed.ppmi import PPMIEmbedder
+
+
+class BlendedEmbedder:
+    """Word embedder blending subword-hash and PPMI-SVD vectors."""
+
+    def __init__(
+        self,
+        dim: int = 100,
+        subword: HashingEmbedder | None = None,
+        distributional: PPMIEmbedder | None = None,
+        subword_weight: float = 0.5,
+        seed: int = 0,
+    ):
+        if not 0.0 <= subword_weight <= 1.0:
+            raise ValueError(f"subword_weight must be in [0,1], got {subword_weight}")
+        self.dim = dim
+        self.subword = subword or HashingEmbedder(dim=dim, seed=seed)
+        self.distributional = distributional
+        self.subword_weight = subword_weight
+        rng = np.random.default_rng(seed + 7)
+        # Fixed JL projection from 2*dim to dim, shared by all words.
+        self._projection = rng.standard_normal((2 * dim, dim)) / np.sqrt(dim)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def embed_word(self, word: str) -> np.ndarray:
+        word = word.lower()
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        sub = self.subword.embed_word(word)
+        if self.distributional is not None and self.distributional.is_fitted:
+            dist = self.distributional.embed_word(word)
+        else:
+            dist = np.zeros(self.dim)
+        if not np.any(dist):
+            # OOV in the distributional model: rely purely on subwords, as
+            # fasttext does for unseen words.
+            vec = sub
+        else:
+            w = self.subword_weight
+            stacked = np.concatenate([w * sub, (1.0 - w) * dist])
+            vec = stacked @ self._projection
+            norm = np.linalg.norm(vec)
+            if norm > 0:
+                vec = vec / norm
+        self._cache[word] = vec
+        return vec
+
+    def embed_words(self, words: list[str]) -> np.ndarray:
+        if not words:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed_word(w) for w in words])
+
+    def similarity(self, w1: str, w2: str) -> float:
+        v1, v2 = self.embed_word(w1), self.embed_word(w2)
+        n1, n2 = np.linalg.norm(v1), np.linalg.norm(v2)
+        if n1 == 0 or n2 == 0:
+            return 0.0
+        return float(np.dot(v1, v2) / (n1 * n2))
+
+
+def build_lake_embedder(
+    token_corpora: list[list[str]], dim: int = 100, seed: int = 0
+) -> BlendedEmbedder:
+    """Train a blended embedder on the lake's own token corpus.
+
+    ``token_corpora`` is a list of token lists (documents' and columns' term
+    bags). This is the stand-in for "load a pre-trained fasttext model":
+    the returned embedder provides a vector for *every* word (subword path
+    covers OOV) with distributional structure learned from the lake.
+    """
+    distributional = PPMIEmbedder(dim=dim, seed=seed).fit(token_corpora)
+    return BlendedEmbedder(dim=dim, distributional=distributional, seed=seed)

@@ -1,0 +1,92 @@
+"""Subword-hashing word embedder (fasttext-style, deterministic).
+
+fasttext (Bojanowski et al. 2016) represents a word as the sum of vectors of
+its character n-grams, looked up in a fixed-size hashed bucket table. We
+reproduce the representation side: bucket vectors are generated
+deterministically (unit Gaussians seeded by the bucket id), so any two
+processes produce identical embeddings without a training phase. The
+resulting space encodes *surface-form* similarity: words sharing many
+n-grams get high cosine similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.hashing import stable_hash_64
+
+
+class HashingEmbedder:
+    """Deterministic character-n-gram embedding model.
+
+    Parameters
+    ----------
+    dim: output vector dimensionality (paper uses 100-d sub-encodings).
+    min_n, max_n: n-gram size range; fasttext defaults are 3..6.
+    num_buckets: size of the shared n-gram bucket table.
+    """
+
+    def __init__(
+        self,
+        dim: int = 100,
+        min_n: int = 3,
+        max_n: int = 5,
+        num_buckets: int = 1 << 17,
+        seed: int = 0,
+    ):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 1 <= min_n <= max_n:
+            raise ValueError(f"invalid n-gram range [{min_n}, {max_n}]")
+        self.dim = dim
+        self.min_n = min_n
+        self.max_n = max_n
+        self.num_buckets = num_buckets
+        self.seed = seed
+        self._cache: dict[str, np.ndarray] = {}
+
+    # ---------------------------------------------------------- internals
+
+    def _ngrams(self, word: str) -> list[str]:
+        """Boundary-marked character n-grams plus the whole word itself."""
+        marked = f"<{word}>"
+        grams = [marked]  # whole-word entry, as in fasttext
+        for n in range(self.min_n, self.max_n + 1):
+            if n >= len(marked):
+                break
+            grams.extend(marked[i : i + n] for i in range(len(marked) - n + 1))
+        return grams
+
+    def _bucket_vector(self, gram: str) -> np.ndarray:
+        bucket = stable_hash_64(gram, self.seed) % self.num_buckets
+        rng = np.random.default_rng(bucket ^ (self.seed << 32))
+        return rng.standard_normal(self.dim)
+
+    # -------------------------------------------------------------- public
+
+    def embed_word(self, word: str) -> np.ndarray:
+        """Return the (unit-normalised) vector for ``word``."""
+        word = word.lower()
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        grams = self._ngrams(word)
+        vec = np.zeros(self.dim)
+        for gram in grams:
+            vec += self._bucket_vector(gram)
+        vec /= len(grams)
+        norm = np.linalg.norm(vec)
+        if norm > 0:
+            vec = vec / norm
+        self._cache[word] = vec
+        return vec
+
+    def embed_words(self, words: list[str]) -> np.ndarray:
+        """Stack word vectors into an (n, dim) matrix."""
+        if not words:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed_word(w) for w in words])
+
+    def similarity(self, w1: str, w2: str) -> float:
+        """Cosine similarity between two word vectors."""
+        return float(np.dot(self.embed_word(w1), self.embed_word(w2)))

@@ -1,0 +1,53 @@
+"""Pooling of word vectors into a DE-level solo embedding.
+
+CMDL uses mean pooling (paper §3, footnote 3): unlike min or max pooling,
+which are biased toward a few extreme values, the mean represents the whole
+set — and matches the aggregation used by the Aurum/D3L comparators. Min and
+max pooling are provided for the ablation discussed in that footnote.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _empty_guard(matrix: np.ndarray, dim_hint: int | None) -> np.ndarray | None:
+    if matrix.size == 0:
+        dim = dim_hint if dim_hint is not None else (
+            matrix.shape[1] if matrix.ndim == 2 else 0
+        )
+        return np.zeros(dim)
+    return None
+
+
+def mean_pool(matrix: np.ndarray, dim_hint: int | None = None) -> np.ndarray:
+    """Column-wise mean of an (n, dim) word-vector matrix, unit-normalised."""
+    empty = _empty_guard(matrix, dim_hint)
+    if empty is not None:
+        return empty
+    pooled = matrix.mean(axis=0)
+    norm = np.linalg.norm(pooled)
+    return pooled / norm if norm > 0 else pooled
+
+
+def max_pool(matrix: np.ndarray, dim_hint: int | None = None) -> np.ndarray:
+    """Column-wise maximum (biased toward extremes; ablation only)."""
+    empty = _empty_guard(matrix, dim_hint)
+    if empty is not None:
+        return empty
+    pooled = matrix.max(axis=0)
+    norm = np.linalg.norm(pooled)
+    return pooled / norm if norm > 0 else pooled
+
+
+def min_pool(matrix: np.ndarray, dim_hint: int | None = None) -> np.ndarray:
+    """Column-wise minimum (biased toward extremes; ablation only)."""
+    empty = _empty_guard(matrix, dim_hint)
+    if empty is not None:
+        return empty
+    pooled = matrix.min(axis=0)
+    norm = np.linalg.norm(pooled)
+    return pooled / norm if norm > 0 else pooled
+
+
+POOLERS = {"mean": mean_pool, "max": max_pool, "min": min_pool}

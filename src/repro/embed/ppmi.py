@@ -1,0 +1,116 @@
+"""Corpus-trained embeddings via PPMI + truncated SVD.
+
+The classic count-based alternative to skip-gram (Levy & Goldberg 2014):
+build a word-context co-occurrence matrix over a sliding window, transform
+to positive pointwise mutual information, and factorise with sparse SVD.
+Words appearing in similar contexts obtain similar vectors — this is the
+distributional-semantics signal a pre-trained fasttext model would
+contribute, learned here directly from the lake's own text.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import svds
+
+
+class PPMIEmbedder:
+    """PPMI-SVD embedding model trained on tokenised sentences."""
+
+    def __init__(self, dim: int = 100, window: int = 4, min_count: int = 2,
+                 seed: int = 0):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.dim = dim
+        self.window = window
+        self.min_count = min_count
+        self.seed = seed
+        self.vocabulary: dict[str, int] = {}
+        self._vectors: np.ndarray | None = None
+
+    # ---------------------------------------------------------------- fit
+
+    def fit(self, token_lists: list[list[str]]) -> "PPMIEmbedder":
+        """Train on a corpus given as lists of (already lowercased) tokens."""
+        word_counts = Counter(t for tokens in token_lists for t in tokens)
+        vocab = sorted(w for w, c in word_counts.items() if c >= self.min_count)
+        self.vocabulary = {w: i for i, w in enumerate(vocab)}
+        v = len(vocab)
+        if v == 0:
+            self._vectors = np.zeros((0, self.dim))
+            return self
+
+        cooc: Counter = Counter()
+        for tokens in token_lists:
+            ids = [self.vocabulary[t] for t in tokens if t in self.vocabulary]
+            for i, wi in enumerate(ids):
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        cooc[(wi, ids[j])] += 1
+
+        if not cooc:
+            self._vectors = np.zeros((v, self.dim))
+            return self
+
+        rows, cols, data = [], [], []
+        total = sum(cooc.values())
+        row_sums = Counter()
+        col_sums = Counter()
+        for (i, j), c in cooc.items():
+            row_sums[i] += c
+            col_sums[j] += c
+        for (i, j), c in cooc.items():
+            pmi = np.log((c * total) / (row_sums[i] * col_sums[j]))
+            if pmi > 0:
+                rows.append(i)
+                cols.append(j)
+                data.append(pmi)
+
+        matrix = csr_matrix((data, (rows, cols)), shape=(v, v))
+        k = min(self.dim, v - 1, matrix.nnz)
+        if k < 1:
+            self._vectors = np.zeros((v, self.dim))
+            return self
+        u, s, _ = svds(matrix, k=k, random_state=self.seed)
+        # svds returns ascending singular values; order is irrelevant for
+        # cosine similarity but we sort for determinism of the layout.
+        order = np.argsort(-s)
+        emb = u[:, order] * np.sqrt(s[order])
+        vectors = np.zeros((v, self.dim))
+        vectors[:, : emb.shape[1]] = emb
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._vectors = vectors / norms
+        return self
+
+    # -------------------------------------------------------------- lookup
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._vectors is not None
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.vocabulary
+
+    def embed_word(self, word: str) -> np.ndarray:
+        """Vector for ``word``; the zero vector for out-of-vocabulary words."""
+        if self._vectors is None:
+            raise RuntimeError("PPMIEmbedder is not fitted; call fit() first")
+        idx = self.vocabulary.get(word.lower())
+        if idx is None:
+            return np.zeros(self.dim)
+        return self._vectors[idx]
+
+    def similarity(self, w1: str, w2: str) -> float:
+        v1, v2 = self.embed_word(w1), self.embed_word(w2)
+        n1, n2 = np.linalg.norm(v1), np.linalg.norm(v2)
+        if n1 == 0 or n2 == 0:
+            return 0.0
+        return float(np.dot(v1, v2) / (n1 * n2))

@@ -1,0 +1,39 @@
+"""Evaluation framework: metrics, benchmark definitions, sweep runners.
+
+Implements the paper's evaluation methodology (§6): top-k precision/recall,
+R-precision (k = ground-truth size, making P = R as in Table 3), Relative
+Recall (Table 5), the mQCR statistic, and the nine benchmarks of Table 2.
+"""
+
+from repro.eval.metrics import (
+    precision_at_k,
+    recall_at_k,
+    precision_recall,
+    r_precision,
+    relative_recall,
+)
+from repro.eval.benchmarks import Benchmark, BENCHMARK_BUILDERS, build_benchmark
+from repro.eval.runner import (
+    evaluate_doc_to_table,
+    evaluate_join,
+    evaluate_pkfk,
+    evaluate_union_curve,
+)
+from repro.eval.reporting import format_table, format_series
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "precision_recall",
+    "r_precision",
+    "relative_recall",
+    "Benchmark",
+    "BENCHMARK_BUILDERS",
+    "build_benchmark",
+    "evaluate_doc_to_table",
+    "evaluate_join",
+    "evaluate_pkfk",
+    "evaluate_union_curve",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,196 @@
+"""The nine benchmarks of Table 2, bound to the synthetic lakes.
+
+Each :class:`Benchmark` carries the lake, the task's ground truth, the
+result scope (tables of the benchmark's data collections — results outside
+the scope are ignored, since each benchmark evaluates one collection), and
+the k sweep used by its figure. Lakes are generated once per process and
+shared across benchmarks via a module-level cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.lakes.base import GeneratedLake
+from repro.lakes.groundtruth import GroundTruth
+from repro.lakes.mlopen import generate_mlopen_lake
+from repro.lakes.pharma import generate_pharma_lake
+from repro.lakes.ukopen import generate_ukopen_lake
+
+#: k sweeps from Figure 6's caption.
+K_SWEEP_1A = (5, 15, 25, 35, 45, 55)
+K_SWEEP_1BC = (1, 2, 4, 6, 8, 10, 12, 14, 16, 18)
+
+
+@dataclass
+class Benchmark:
+    """One benchmark row of Table 2."""
+
+    benchmark_id: str
+    task: str
+    generated: GeneratedLake
+    ground_truth: GroundTruth
+    scope_tables: set[str] | None = None  # None = whole lake
+    k_values: tuple[int, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    @property
+    def lake(self):
+        return self.generated.lake
+
+    def in_scope(self, table_name: str) -> bool:
+        return self.scope_tables is None or table_name in self.scope_tables
+
+    def filter_results(self, items: list[tuple[str, float]]) -> list[tuple[str, float]]:
+        """Drop results outside the benchmark's data-collection scope."""
+        if self.scope_tables is None:
+            return items
+        return [(t, s) for t, s in items if t in self.scope_tables]
+
+
+@lru_cache(maxsize=None)
+def _pharma(seed: int = 0) -> GeneratedLake:
+    from repro.lakes.pharma import PharmaLakeConfig
+
+    return generate_pharma_lake(PharmaLakeConfig(seed=seed))
+
+
+@lru_cache(maxsize=None)
+def _ukopen(seed: int = 0) -> GeneratedLake:
+    from repro.lakes.ukopen import UKOpenLakeConfig
+
+    return generate_ukopen_lake(UKOpenLakeConfig(seed=seed))
+
+
+@lru_cache(maxsize=None)
+def _mlopen(seed: int = 0) -> GeneratedLake:
+    from repro.lakes.mlopen import MLOpenLakeConfig
+
+    return generate_mlopen_lake(MLOpenLakeConfig(seed=seed))
+
+
+# ---------------------------------------------------------------- builders
+
+
+def benchmark_1a(seed: int = 0) -> Benchmark:
+    """Doc->Table on UK-Open: synthetic text + govt data."""
+    gen = _ukopen(seed)
+    return Benchmark(
+        "1A", "doc_to_table", gen, gen.ground_truth("doc_to_table"),
+        scope_tables=set(gen.tables_in("govt")), k_values=K_SWEEP_1A,
+        description="Synthetic text + Govt. data",
+    )
+
+
+def benchmark_1b(seed: int = 0) -> Benchmark:
+    """Doc->Table on Pharma: PubMed + DrugBank."""
+    gen = _pharma(seed)
+    return Benchmark(
+        "1B", "doc_to_table", gen, gen.ground_truth("doc_to_table"),
+        scope_tables=set(gen.tables_in("drugbank")), k_values=K_SWEEP_1BC,
+        description="PubMed + DrugBank",
+    )
+
+
+def benchmark_1c(seed: int = 0) -> Benchmark:
+    """Doc->Table on ML-Open: Reviews + MS."""
+    gen = _mlopen(seed)
+    return Benchmark(
+        "1C", "doc_to_table", gen, gen.ground_truth("doc_to_table"),
+        scope_tables=set(gen.tables_in("ms")), k_values=K_SWEEP_1BC,
+        description="Reviews + MS",
+    )
+
+
+def benchmark_2a(seed: int = 0) -> Benchmark:
+    """Syntactic join on UK-Open (manually-annotated ground truth)."""
+    gen = _ukopen(seed)
+    return Benchmark(
+        "2A", "syntactic_join", gen, gen.ground_truth("syntactic_join"),
+        scope_tables=set(gen.tables_in("govt")),
+        description="Govt. data",
+    )
+
+
+def benchmark_2b(seed: int = 0) -> Benchmark:
+    """Syntactic join on Pharma DrugBank (brute-force ground truth)."""
+    gen = _pharma(seed)
+    return Benchmark(
+        "2B", "syntactic_join", gen, gen.ground_truth("syntactic_join"),
+        scope_tables=set(gen.tables_in("drugbank")),
+        description="DrugBank",
+    )
+
+
+def benchmark_2c(collection: str = "ss", seed: int = 0) -> Benchmark:
+    """Syntactic join on ML-Open SS/MS/LS (brute-force ground truth)."""
+    if collection not in ("ss", "ms", "ls"):
+        raise ValueError(f"collection must be ss|ms|ls, got {collection!r}")
+    gen = _mlopen(seed)
+    return Benchmark(
+        f"2C-{collection.upper()}", "syntactic_join", gen,
+        gen.ground_truth(f"syntactic_join:{collection}"),
+        scope_tables=set(gen.tables_in(collection)),
+        description=collection.upper(),
+    )
+
+
+def benchmark_2d(database: str = "drugbank", seed: int = 0) -> Benchmark:
+    """PK-FK discovery on Pharma's three databases."""
+    if database not in ("drugbank", "chembl", "chebi"):
+        raise ValueError(f"database must be drugbank|chembl|chebi, got {database!r}")
+    gen = _pharma(seed)
+    return Benchmark(
+        f"2D-{database}", "pkfk", gen, gen.ground_truth(f"pkfk:{database}"),
+        scope_tables=set(gen.tables_in(database)),
+        description=database,
+    )
+
+
+def benchmark_3a(seed: int = 0) -> Benchmark:
+    """Unionability on UK-Open (families from the generator, as in D3L)."""
+    gen = _ukopen(seed)
+    return Benchmark(
+        "3A", "union", gen, gen.ground_truth("union"),
+        scope_tables=set(gen.tables_in("govt")),
+        description="Govt. data",
+    )
+
+
+def benchmark_3b(seed: int = 0) -> Benchmark:
+    """Unionability on DrugBank-Synthetic (projection/selection tables)."""
+    gen = _pharma(seed)
+    scope = set(gen.tables_in("drugbank_synthetic")) | set(gen.tables_in("drugbank"))
+    return Benchmark(
+        "3B", "union", gen, gen.ground_truth("union"),
+        scope_tables=scope,
+        description="DrugBank-Synthetic",
+    )
+
+
+BENCHMARK_BUILDERS = {
+    "1A": benchmark_1a,
+    "1B": benchmark_1b,
+    "1C": benchmark_1c,
+    "2A": benchmark_2a,
+    "2B": benchmark_2b,
+    "2C-SS": lambda seed=0: benchmark_2c("ss", seed),
+    "2C-MS": lambda seed=0: benchmark_2c("ms", seed),
+    "2C-LS": lambda seed=0: benchmark_2c("ls", seed),
+    "2D-drugbank": lambda seed=0: benchmark_2d("drugbank", seed),
+    "2D-chembl": lambda seed=0: benchmark_2d("chembl", seed),
+    "2D-chebi": lambda seed=0: benchmark_2d("chebi", seed),
+    "3A": benchmark_3a,
+    "3B": benchmark_3b,
+}
+
+
+def build_benchmark(benchmark_id: str, seed: int = 0) -> Benchmark:
+    try:
+        return BENCHMARK_BUILDERS[benchmark_id](seed=seed)
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {benchmark_id!r}; "
+            f"available: {sorted(BENCHMARK_BUILDERS)}"
+        ) from None

@@ -1,0 +1,53 @@
+"""Accuracy metrics (paper §6, "Evaluation Metrics")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def precision_at_k(retrieved: list[str], relevant: set[str], k: int) -> float:
+    """|top-k ∩ relevant| / k (0.0 for k <= 0)."""
+    if k <= 0:
+        return 0.0
+    top = retrieved[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / k
+
+
+def recall_at_k(retrieved: list[str], relevant: set[str], k: int) -> float:
+    """|top-k ∩ relevant| / |relevant| (0.0 for empty ground truth)."""
+    if not relevant or k <= 0:
+        return 0.0
+    top = retrieved[:k]
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(relevant)
+
+
+def precision_recall(
+    retrieved: list[str], relevant: set[str], k: int
+) -> tuple[float, float]:
+    return precision_at_k(retrieved, relevant, k), recall_at_k(retrieved, relevant, k)
+
+
+def r_precision(retrieved: list[str], relevant: set[str]) -> float:
+    """Precision at k = |relevant| — equal to recall at that k (Table 3)."""
+    r = len(relevant)
+    if r == 0:
+        return 0.0
+    return precision_at_k(retrieved, relevant, r)
+
+
+def relative_recall(
+    found_by_measure: set[str], found_by_union: set[str]
+) -> float:
+    """|true matches by S| / |true matches by union of all measures| (Table 5)."""
+    if not found_by_union:
+        return 0.0
+    return len(found_by_measure & found_by_union) / len(found_by_union)
+
+
+def mean_metric(values: list[float]) -> float:
+    """Mean over queries; 0.0 for an empty list."""
+    return float(np.mean(values)) if values else 0.0

@@ -1,0 +1,47 @@
+"""Paper-style text rendering of result tables and figure series."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str = "",
+    float_digits: int = 2,
+) -> str:
+    """Render an aligned text table."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: list,
+    x_attr: str = "k",
+    y_attrs: tuple[str, ...] = ("precision", "recall"),
+) -> str:
+    """Render a PR sweep as one labelled line per point."""
+    lines = [name]
+    for p in points:
+        x = getattr(p, x_attr)
+        ys = "  ".join(f"{a}={getattr(p, a):.3f}" for a in y_attrs)
+        lines.append(f"  {x_attr}={x:<4} {ys}")
+    return "\n".join(lines)

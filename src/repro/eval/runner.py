@@ -1,0 +1,216 @@
+"""Benchmark sweep drivers.
+
+Each evaluator averages per-query precision/recall over the benchmark's
+ground-truth queries, mirroring the paper's methodology: top-k queries for
+Doc->Table (Figure 6) and unionability (Figure 7), k = |ground truth| for
+syntactic joins (Table 3, "R-precision"), and a single discovery run for
+PK-FK (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.benchmarks import Benchmark
+from repro.eval.metrics import mean_metric, precision_at_k, recall_at_k
+
+
+@dataclass(frozen=True)
+class PRPoint:
+    """One (k, precision, recall) sweep point averaged over queries."""
+
+    k: int
+    precision: float
+    recall: float
+
+
+# ------------------------------------------------------------- doc->table
+
+
+def evaluate_doc_to_table(
+    method,
+    benchmark: Benchmark,
+    k_values: tuple[int, ...] | None = None,
+    max_queries: int | None = None,
+) -> list[PRPoint]:
+    """Sweep k for one Doc->Table method (Figure 6).
+
+    ``method`` implements ``rank_tables(doc_id, k)``. Results outside the
+    benchmark's collection scope are filtered before scoring.
+    """
+    ks = k_values or benchmark.k_values or (1, 5, 10)
+    queries = benchmark.ground_truth.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    points = []
+    max_k = max(ks)
+    rankings: dict[str, list[str]] = {}
+    for doc_id in queries:
+        items = method.rank_tables(doc_id, max_k * 3)
+        items = benchmark.filter_results(items)
+        rankings[doc_id] = [t for t, _ in items]
+    for k in ks:
+        precisions, recalls = [], []
+        for doc_id in queries:
+            relevant = {
+                t for t in benchmark.ground_truth.relevant(doc_id)
+                if benchmark.in_scope(t)
+            }
+            if not relevant:
+                continue
+            retrieved = rankings[doc_id]
+            precisions.append(precision_at_k(retrieved, relevant, k))
+            recalls.append(recall_at_k(retrieved, relevant, k))
+        points.append(PRPoint(k, mean_metric(precisions), mean_metric(recalls)))
+    return points
+
+
+# ------------------------------------------------------------------ joins
+
+
+def evaluate_join(
+    join_fn,
+    benchmark: Benchmark,
+    max_queries: int | None = None,
+) -> float:
+    """R-precision (= recall at k = |GT|) for syntactic joins (Table 3).
+
+    ``join_fn(column_id, k)`` returns ranked (column_id, score) pairs.
+    """
+    queries = benchmark.ground_truth.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    scores = []
+    for column_id in queries:
+        relevant = benchmark.ground_truth.relevant(column_id)
+        if not relevant:
+            continue
+        k = len(relevant)
+        # Rank generously, then restrict to the benchmark's collection:
+        # 2B/2C evaluate one data collection even though methods search the
+        # whole lake.
+        items = join_fn(column_id, k * 5)
+        retrieved = [
+            c for c, _ in items if benchmark.in_scope(c.split(".", 1)[0])
+        ][:k]
+        scores.append(precision_at_k(retrieved, relevant, k))
+    return mean_metric(scores)
+
+
+# ------------------------------------------------------------------ pkfk
+
+
+def evaluate_pkfk(
+    discovered_links: list[tuple[str, str]],
+    benchmark: Benchmark,
+) -> tuple[float, float]:
+    """Precision/recall of a discovered PK-FK link set (Table 4).
+
+    Links are (pk_column, fk_column) pairs; ground truth stores pk -> fks.
+    """
+    truth = {
+        (pk, fk)
+        for pk in benchmark.ground_truth.queries
+        for fk in benchmark.ground_truth.relevant(pk)
+    }
+    found = set(discovered_links)
+    if not found:
+        return 0.0, 0.0
+    tp = len(found & truth)
+    precision = tp / len(found)
+    recall = tp / len(truth) if truth else 0.0
+    return precision, recall
+
+
+# ------------------------------------------------------------------ union
+
+
+def evaluate_union_curve(
+    union_fn,
+    benchmark: Benchmark,
+    k_values: tuple[int, ...],
+    max_queries: int | None = None,
+) -> list[PRPoint]:
+    """P@K / R@K curves for unionable-table discovery (Figure 7).
+
+    ``union_fn(table_name, k)`` returns ranked (table, score) pairs.
+    """
+    queries = benchmark.ground_truth.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    max_k = max(k_values)
+    rankings = {}
+    for table in queries:
+        items = union_fn(table, max_k)
+        items = benchmark.filter_results(items)
+        rankings[table] = [t for t, _ in items]
+    points = []
+    for k in k_values:
+        precisions, recalls = [], []
+        for table in queries:
+            relevant = {
+                t for t in benchmark.ground_truth.relevant(table)
+                if benchmark.in_scope(t)
+            }
+            if not relevant:
+                continue
+            precisions.append(precision_at_k(rankings[table], relevant, k))
+            recalls.append(recall_at_k(rankings[table], relevant, k))
+        points.append(PRPoint(k, mean_metric(precisions), mean_metric(recalls)))
+    return points
+
+
+# -------------------------------------------------------- relative recall
+
+
+def union_relative_recall(
+    union_discovery,
+    benchmark: Benchmark,
+    measures: tuple[str, ...],
+    k: int = 10,
+    max_queries: int | None = None,
+) -> dict[str, dict[str, float]]:
+    """Table 5: per-measure Relative Recall and queries-answered fraction.
+
+    For each measure (and the full ensemble, keyed ``"ensemble"``), collect
+    the true matches found across all queries; RR = |found by S| / |found by
+    union of all individual measures + ensemble|.
+    """
+    queries = benchmark.ground_truth.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    found: dict[str, set[tuple[str, str]]] = {m: set() for m in measures}
+    found["ensemble"] = set()
+    answered: dict[str, int] = {m: 0 for m in list(measures) + ["ensemble"]}
+
+    def run(measure_key: str, measure_arg: str | None):
+        for table in queries:
+            relevant = {
+                t for t in benchmark.ground_truth.relevant(table)
+                if benchmark.in_scope(t)
+            }
+            if not relevant:
+                continue
+            items = union_discovery.unionable_tables(table, k=k, measure=measure_arg)
+            hits = {(table, t) for t, _ in items if t in relevant}
+            if hits:
+                answered[measure_key] += 1
+            found[measure_key].update(hits)
+
+    for measure in measures:
+        run(measure, measure)
+    run("ensemble", None)
+
+    union_found = set().union(*found.values()) if found else set()
+    num_queries = sum(
+        1 for t in queries
+        if any(benchmark.in_scope(x) for x in benchmark.ground_truth.relevant(t))
+    ) or 1
+    return {
+        key: {
+            "relative_recall": (len(found[key] & union_found) / len(union_found))
+            if union_found else 0.0,
+            "queries_answered": answered[key] / num_queries,
+        }
+        for key in found
+    }

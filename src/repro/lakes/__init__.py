@@ -1,0 +1,35 @@
+"""Synthetic data-lake generators (the stand-ins for the paper's test suite).
+
+The paper evaluates on three real lakes (Table 1): Pharma (DrugBank + ChEMBL
++ ChEBI tables with PubMed abstracts), UK-Open (government CSVs + synthetic
+text), and ML-Open (Kaggle/OpenML CSVs + movie reviews). None are available
+offline, so these generators synthesise lakes with the same *statistical
+shape* — table/column/document counts (scaled), numeric-attribute fractions,
+key-sharing join structure, skewed cardinalities (the mQCR knob), and
+documents derived from table rows so that cross-modal ground truth is exact.
+
+Every generator is fully seeded: the same seed yields byte-identical lakes
+and ground truth across processes.
+"""
+
+from repro.lakes.vocab import DomainVocabulary, pharma_vocabulary, govt_vocabulary, ml_vocabulary
+from repro.lakes.groundtruth import GroundTruth
+from repro.lakes.pharma import PharmaLakeConfig, generate_pharma_lake
+from repro.lakes.ukopen import UKOpenLakeConfig, generate_ukopen_lake
+from repro.lakes.mlopen import MLOpenLakeConfig, generate_mlopen_lake
+from repro.lakes.synthesis import derive_unionable_tables
+
+__all__ = [
+    "DomainVocabulary",
+    "pharma_vocabulary",
+    "govt_vocabulary",
+    "ml_vocabulary",
+    "GroundTruth",
+    "PharmaLakeConfig",
+    "generate_pharma_lake",
+    "UKOpenLakeConfig",
+    "generate_ukopen_lake",
+    "MLOpenLakeConfig",
+    "generate_mlopen_lake",
+    "derive_unionable_tables",
+]

@@ -1,0 +1,41 @@
+"""Common container for a generated lake and its ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lakes.groundtruth import GroundTruth
+from repro.relational.catalog import DataLake
+
+
+@dataclass
+class GeneratedLake:
+    """A synthetic lake bundled with every ground truth its benchmarks need.
+
+    ``ground_truths`` is keyed by task name (e.g. ``"doc_to_table"``,
+    ``"syntactic_join"``, ``"pkfk:drugbank"``, ``"union"``).
+    ``collections`` groups table names by data collection (Table 1's rows).
+    """
+
+    lake: DataLake
+    ground_truths: dict[str, GroundTruth] = field(default_factory=dict)
+    collections: dict[str, list[str]] = field(default_factory=dict)
+    pkfk_pairs: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+
+    def ground_truth(self, task: str) -> GroundTruth:
+        try:
+            return self.ground_truths[task]
+        except KeyError:
+            raise KeyError(
+                f"lake {self.lake.name!r} has no ground truth for task {task!r}; "
+                f"available: {sorted(self.ground_truths)}"
+            ) from None
+
+    def tables_in(self, collection: str) -> list[str]:
+        try:
+            return self.collections[collection]
+        except KeyError:
+            raise KeyError(
+                f"lake {self.lake.name!r} has no collection {collection!r}; "
+                f"available: {sorted(self.collections)}"
+            ) from None

@@ -1,0 +1,178 @@
+"""Ground-truth containers and brute-force generators.
+
+Mirrors Table 2's "Ground Truth Generation" column: generator-recorded truth
+(synthetic benchmarks), truth "from the database" (cross-references planted
+by the lake generator), brute-force all-pairs set similarity (syntactic
+joins), schema definitions (PK-FK), and simulated manual annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.relational.catalog import DataLake
+from repro.relational.table import Column
+from repro.text.similarity import jaccard_containment
+
+
+@dataclass
+class GroundTruth:
+    """Query DE -> relevant answer DEs, plus benchmark metadata.
+
+    ``answers`` maps a query identifier (doc id, qualified column name, or
+    table name depending on the task) to the set of relevant result
+    identifiers. ``query_cardinality`` and ``answer_cardinality`` record the
+    DE sizes needed to compute the paper's mQCR statistic.
+    """
+
+    task: str
+    answers: dict[str, set[str]] = field(default_factory=dict)
+    query_cardinality: dict[str, int] = field(default_factory=dict)
+    answer_cardinality: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ mutation
+
+    def add(self, query: str, answer: str) -> None:
+        self.answers.setdefault(query, set()).add(answer)
+
+    def merge(self, other: "GroundTruth") -> None:
+        for query, answer_set in other.answers.items():
+            self.answers.setdefault(query, set()).update(answer_set)
+        self.query_cardinality.update(other.query_cardinality)
+        self.answer_cardinality.update(other.answer_cardinality)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def queries(self) -> list[str]:
+        """Queries with at least one true answer, deterministic order."""
+        return sorted(q for q, a in self.answers.items() if a)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def relevant(self, query: str) -> set[str]:
+        return self.answers.get(query, set())
+
+    # ------------------------------------------------------------ statistics
+
+    def average_answer_size(self) -> float:
+        sizes = [len(self.answers[q]) for q in self.queries]
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    def mqcr(self) -> float:
+        """Median Query Cardinality Ratio over all ground-truth links.
+
+        For a link q -> a, QCR = |q| / |a| using the recorded DE
+        cardinalities (bag-of-words size for documents, distinct-value count
+        for columns); the median over all links measures the skewness the
+        paper uses to explain containment's advantage.
+        """
+        ratios = []
+        for query in self.queries:
+            qc = self.query_cardinality.get(query)
+            if not qc:
+                continue
+            for answer in self.answers[query]:
+                ac = self.answer_cardinality.get(answer)
+                if ac:
+                    ratios.append(min(1.0, qc / ac))
+        return float(np.median(ratios)) if ratios else 0.0
+
+
+# ----------------------------------------------------------------------
+# Brute-force generators
+# ----------------------------------------------------------------------
+
+
+def brute_force_joinable_columns(
+    lake: DataLake,
+    containment_threshold: float = 0.5,
+    min_distinct: int = 3,
+    table_names: list[str] | None = None,
+) -> GroundTruth:
+    """All-pairs exact set-containment join ground truth (Benchmarks 2B/2C).
+
+    Two text columns from distinct tables are joinable iff the containment
+    in either direction reaches ``containment_threshold``. This is the
+    "expensive all-pairs exact set similarity" the paper runs (§6.2), made
+    feasible by our lake sizes. ``table_names`` restricts the search to one
+    data collection (e.g. DrugBank only, per Benchmark 2B).
+    """
+    gt = GroundTruth(task="syntactic_join")
+    scope = set(table_names) if table_names is not None else None
+    columns = [
+        c for c in lake.columns
+        if not c.dtype.is_numeric and c.cardinality >= min_distinct
+        and (scope is None or c.table_name in scope)
+    ]
+    for c in columns:
+        gt.query_cardinality[c.qualified_name] = c.cardinality
+        gt.answer_cardinality[c.qualified_name] = c.cardinality
+    for i, a in enumerate(columns):
+        for b in columns[i + 1 :]:
+            if a.table_name == b.table_name:
+                continue
+            fwd = jaccard_containment(a.distinct_values, b.distinct_values)
+            bwd = jaccard_containment(b.distinct_values, a.distinct_values)
+            if max(fwd, bwd) >= containment_threshold:
+                gt.add(a.qualified_name, b.qualified_name)
+                gt.add(b.qualified_name, a.qualified_name)
+    return gt
+
+
+def pkfk_ground_truth_from_schema(
+    pkfk_pairs: list[tuple[str, str]],
+) -> GroundTruth:
+    """PK-FK truth from schema definitions (Benchmark 2D, ChEMBL/ChEBI style).
+
+    ``pkfk_pairs`` lists (pk_qualified_column, fk_qualified_column) links as
+    declared by the generating schema.
+    """
+    gt = GroundTruth(task="pkfk")
+    for pk, fk in pkfk_pairs:
+        gt.add(pk, fk)
+    return gt
+
+
+def noisy_manual_annotation(
+    gt: GroundTruth,
+    rng: np.random.Generator,
+    miss_rate: float = 0.2,
+    spurious: dict[str, list[str]] | None = None,
+    spurious_rate: float = 0.1,
+) -> GroundTruth:
+    """Simulate human annotation: drop some true links, add plausible ones.
+
+    The paper's manually-annotated benchmarks (2A, 1C) have ground truth
+    that "does not necessarily imply high syntactic overlap" (§6.2) — human
+    annotators judge semantic relatedness, missing some mechanical overlaps
+    and adding links no sketch can see. This transform reproduces that
+    characteristic, which is what drags every system's accuracy down on 2A.
+    """
+    if not 0.0 <= miss_rate < 1.0:
+        raise ValueError(f"miss_rate must be in [0, 1), got {miss_rate}")
+    if not 0.0 <= spurious_rate <= 1.0:
+        raise ValueError(f"spurious_rate must be in [0, 1], got {spurious_rate}")
+    noisy = GroundTruth(task=gt.task)
+    noisy.query_cardinality.update(gt.query_cardinality)
+    noisy.answer_cardinality.update(gt.answer_cardinality)
+    for query in gt.queries:
+        kept = {a for a in gt.answers[query] if rng.random() >= miss_rate}
+        for answer in kept:
+            noisy.add(query, answer)
+        if spurious and query in spurious:
+            for candidate in spurious[query]:
+                if rng.random() < spurious_rate:
+                    noisy.add(query, candidate)
+    return noisy
+
+
+def record_column_cardinalities(gt: GroundTruth, columns: list[Column]) -> None:
+    """Fill cardinality maps from live Column objects (for mQCR)."""
+    for column in columns:
+        gt.query_cardinality.setdefault(column.qualified_name, column.cardinality)
+        gt.answer_cardinality.setdefault(column.qualified_name, column.cardinality)

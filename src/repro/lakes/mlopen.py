@@ -1,0 +1,238 @@
+"""The ML-Open lake: open-portal ML datasets + review documents.
+
+Reproduces the shape of the NextiaJD-derived testbed used by the paper
+(Table 1): three collections at increasing scale and numeric fraction —
+Small Scale (SS, ~33% numeric), Medium Scale (MS, ~46%), Large Scale (LS,
+~69%, strongly skewed key cardinalities giving the mQCR ~0.02 regime where
+containment dominates Jaccard in Benchmark 2C-LS) — plus a corpus of movie
+reviews whose doc->table ground truth is *manually annotated* in the paper
+(Benchmark 1C), simulated here with annotation noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lakes.base import GeneratedLake
+from repro.lakes.groundtruth import (
+    GroundTruth,
+    brute_force_joinable_columns,
+    noisy_manual_annotation,
+)
+from repro.lakes.vocab import ml_vocabulary
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class MLOpenLakeConfig:
+    """Scale knobs for the ML-Open lake (defaults well below the paper)."""
+
+    ss_tables: int = 10
+    ss_rows: int = 40
+    ms_tables: int = 20
+    ms_rows: int = 100
+    ls_tables: int = 12
+    ls_rows: int = 320
+    num_reviews: int = 150
+    noise_reviews: int = 30
+    annotation_miss_rate: float = 0.2
+    seed: int = 0
+
+
+def _entity_pool(theme: str, size: int, rng: np.random.Generator) -> list[str]:
+    """Key-entity names for a theme (movie titles, neighbourhoods, ...)."""
+    return [f"{theme}-{int(rng.integers(10_000, 99_999))}-{i}" for i in range(size)]
+
+
+def _collection_tables(
+    prefix: str,
+    num_tables: int,
+    rows: int,
+    numeric_fraction: float,
+    themes: list[str],
+    features: list[str],
+    rng: np.random.Generator,
+    key_skew: float = 0.0,
+) -> tuple[list[Table], dict[str, list[str]]]:
+    """Tables for one collection; tables of the same theme share key pools.
+
+    ``key_skew`` > 0 makes some tables' key columns small subsets of the
+    theme pool (the LS low-mQCR regime); 0 keeps cardinalities comparable.
+    """
+    pools: dict[str, list[str]] = {}
+    theme_tables: dict[str, list[str]] = {}
+    tables = []
+    for i in range(num_tables):
+        theme = themes[i % len(themes)]
+        if theme not in pools:
+            pools[theme] = _entity_pool(theme, max(rows, 50), rng)
+        pool = pools[theme]
+        if key_skew > 0 and (i // len(themes)) % 2 == 1:
+            # Skewed variant (alternating *within* each theme): the key
+            # column draws from a small slice of the theme pool, so its
+            # true join partners are the large-key variants — containment
+            # 1.0 but tiny Jaccard.
+            slice_size = max(5, int(len(pool) * (1.0 - key_skew)))
+            pool = pool[:slice_size]
+        keys = [pool[int(rng.integers(len(pool)))] for _ in range(rows)]
+        n_features = 4
+        n_numeric = max(1, round(n_features * numeric_fraction))
+        data: dict[str, list[str]] = {f"{theme}_id": keys}
+        picked = [features[int(j)] for j in
+                  rng.choice(len(features), size=n_features, replace=False)]
+        for j, feature in enumerate(picked):
+            if j < n_numeric:
+                data[feature] = [f"{rng.uniform(0, 1000):.2f}" for _ in range(rows)]
+            else:
+                data[feature] = [
+                    f"{theme} {feature} level {int(rng.integers(1, 6))}"
+                    for _ in range(rows)
+                ]
+        name = f"{prefix}_{theme}_{i}"
+        tables.append(Table.from_dict(name, data))
+        theme_tables.setdefault(theme, []).append(name)
+    return tables, theme_tables
+
+
+def _ls_catalog_table(ls_tables: list[Table], rng: np.random.Generator) -> Table:
+    """Cardinality-matched sibling columns for the skewed LS key columns.
+
+    Each sibling shares ~45% of one LS key column's values plus junk: its
+    Jaccard similarity with that key exceeds the key's Jaccard with its
+    true (much larger) join partners, while its containment stays below the
+    join threshold — the low-mQCR regime of Benchmark 2C-LS where
+    containment-based ranking wins (paper Table 3).
+    """
+    pools = {}
+    for table in ls_tables:
+        key = table.columns[0]
+        distinct = sorted(key.distinct_values)
+        if len(distinct) <= 60:  # the skewed (small-key) variants
+            base = f"cat_{table.name.removeprefix('ls_')}"
+            pools[f"{base}_a"] = distinct
+            pools[f"{base}_b"] = distinct
+    if not pools:
+        pools["cat_empty"] = ["none"]
+    rows = max(len(p) for p in pools.values())
+    data = {}
+    for sib_name, pool in pools.items():
+        keep_n = max(1, int(len(pool) * 0.45))
+        keep = [pool[i] for i in rng.choice(len(pool), size=keep_n,
+                                            replace=False)]
+        junk = [f"cat-{int(rng.integers(10_000, 99_999))}-{sib_name}-{i}"
+                for i in range(len(pool) - keep_n)]
+        distinct = keep + junk
+        data[sib_name] = [distinct[i % len(distinct)] for i in range(rows)]
+    return Table.from_dict("ls_catalog", data)
+
+
+def _generate_reviews(
+    cfg: MLOpenLakeConfig,
+    ms_tables: list[Table],
+    theme_tables: dict[str, list[str]],
+    vocab,
+    rng: np.random.Generator,
+) -> tuple[list[Document], GroundTruth]:
+    """Movie-review documents mentioning key entities of MS tables."""
+    gt = GroundTruth(task="doc_to_table")
+    adjectives = vocab.pool("review_adjective")
+    nouns = vocab.pool("review_noun")
+    documents = []
+    key_bearing = [t for t in ms_tables if t.num_columns >= 1]
+    for i in range(cfg.num_reviews):
+        table = key_bearing[int(rng.integers(len(key_bearing)))]
+        key_col = table.columns[0]
+        theme = key_col.name.removesuffix("_id")
+        # Reviews cite entities the way people write, not the way the table
+        # stores them: the trailing row discriminator is dropped, so exact
+        # keyword matches cannot pinpoint tables — only subword/semantic
+        # proximity can, which is what defeats keyword search on 1C.
+        cited = []
+        for _ in range(3):
+            entity = key_col.values[int(rng.integers(len(key_col.values)))]
+            cited.append(entity.rsplit("-", 1)[0])
+        adj1 = adjectives[int(rng.integers(len(adjectives)))]
+        adj2 = adjectives[int(rng.integers(len(adjectives)))]
+        noun1 = nouns[int(rng.integers(len(nouns)))]
+        noun2 = nouns[int(rng.integers(len(nouns)))]
+        text = (
+            f"Watched {cited[0]} last night, after {cited[1]} and "
+            f"{cited[2]} earlier this week. The {noun1} was {adj1} and the "
+            f"{noun2} felt {adj2}. As {theme} entries go, {cited[0]} stands "
+            f"out for its {noun1}."
+        )
+        doc = Document(
+            doc_id=f"review:{i:05d}",
+            title=f"Review of {cited[0]}",
+            text=text,
+            source="Reviews",
+        )
+        documents.append(doc)
+        for name in theme_tables.get(theme, []):
+            gt.add(doc.doc_id, name)
+        gt.query_cardinality[doc.doc_id] = len(set(text.lower().split()))
+    for i in range(cfg.noise_reviews):
+        adj = adjectives[int(rng.integers(len(adjectives)))]
+        noun = nouns[int(rng.integers(len(nouns)))]
+        documents.append(
+            Document(
+                doc_id=f"review:noise:{i:05d}",
+                title=f"Untitled musings {i}",
+                text=(f"A {adj} {noun} can carry a film further than any "
+                      f"budget. Craft matters more than spectacle."),
+                source="Reviews",
+            )
+        )
+    return documents, gt
+
+
+def generate_mlopen_lake(config: MLOpenLakeConfig | None = None) -> GeneratedLake:
+    """Generate the ML-Open lake with Benchmarks 1C/2C ground truth."""
+    cfg = config or MLOpenLakeConfig()
+    rng = ensure_rng(cfg.seed)
+    vocab = ml_vocabulary(seed=cfg.seed)
+    themes = vocab.pool("theme")
+    features = vocab.pool("feature")
+
+    ss_tables, _ = _collection_tables(
+        "ss", cfg.ss_tables, cfg.ss_rows, 0.33, themes[:4], features, rng)
+    ms_tables, ms_theme_tables = _collection_tables(
+        "ms", cfg.ms_tables, cfg.ms_rows, 0.46, themes[4:10], features, rng)
+    ls_tables, _ = _collection_tables(
+        "ls", cfg.ls_tables, cfg.ls_rows, 0.69, themes[10:14], features, rng,
+        key_skew=0.9)
+    ls_tables.append(_ls_catalog_table(ls_tables, rng))
+
+    lake = DataLake(name="ml_open")
+    for table in ss_tables + ms_tables + ls_tables:
+        lake.add_table(table)
+
+    documents, raw_doc_gt = _generate_reviews(cfg, ms_tables, ms_theme_tables,
+                                              vocab, rng)
+    lake.add_documents(documents)
+    for table in lake.tables:
+        raw_doc_gt.answer_cardinality[table.name] = max(
+            (c.cardinality for c in table.columns), default=1
+        )
+    doc_gt = noisy_manual_annotation(raw_doc_gt, rng,
+                                     miss_rate=cfg.annotation_miss_rate)
+
+    generated = GeneratedLake(
+        lake=lake,
+        collections={
+            "ss": [t.name for t in ss_tables],
+            "ms": [t.name for t in ms_tables],
+            "ls": [t.name for t in ls_tables],
+        },
+    )
+    generated.ground_truths["doc_to_table"] = doc_gt
+    for coll in ("ss", "ms", "ls"):
+        generated.ground_truths[f"syntactic_join:{coll}"] = (
+            brute_force_joinable_columns(
+                lake, table_names=generated.collections[coll])
+        )
+    return generated

@@ -1,0 +1,606 @@
+"""The Pharma lake: DrugBank + ChEMBL + ChEBI tables with PubMed abstracts.
+
+Reproduces the statistical shape of the paper's Pharma test suite (Table 1):
+
+* **DrugBank**-style CSV tables — mostly text, ~7% numeric attributes, and
+  — deliberately — a few duplicated primary-key rows, because the paper
+  attributes CMDL's reduced PK-FK precision on DrugBank to key duplicates
+  ("a lack of enforcement of key constraints", §6.2).
+* **ChEMBL**-style tables — ~41% numeric, with schema-declared PK-FK links.
+* **ChEBI**-style tables — numeric keys only; all PK-FK constraints are on
+  numeric columns (§6.2's explanation for Aurum/CMDL parity there).
+* **PubMed** abstracts generated from the database rows themselves, so each
+  abstract's doc->table ground truth is exact ("from the database",
+  Benchmark 1B). Noise abstracts with no table links are added so that the
+  number of queries is below the number of documents, as in Table 2.
+* **DrugBank-Synthetic** union tables derived by projection/selection
+  (Benchmark 3B).
+
+FK columns sample a *subset* of PK values with repetition, which yields the
+low mQCR / high-skew regime of Benchmark 2B where set containment beats
+Jaccard similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lakes.base import GeneratedLake
+from repro.lakes.groundtruth import (
+    GroundTruth,
+    brute_force_joinable_columns,
+    pkfk_ground_truth_from_schema,
+)
+from repro.lakes.synthesis import derive_unionable_tables
+from repro.lakes.vocab import pharma_vocabulary
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class PharmaLakeConfig:
+    """Scale knobs for the Pharma lake (defaults ~8x below the paper)."""
+
+    num_drugs: int = 120
+    num_enzymes: int = 60
+    num_documents: int = 160
+    noise_documents: int = 40
+    interactions_rows: int = 200
+    targets_rows: int = 180
+    chembl_compounds: int = 150
+    chebi_compounds: int = 80
+    union_derived_per_base: int = 4
+    duplicate_key_fraction: float = 0.05
+    seed: int = 0
+
+
+def _drug_id(i: int) -> str:
+    return f"DB{i:05d}"
+
+
+def _enzyme_id(i: int) -> str:
+    return f"BE{i:07d}"
+
+
+def _fk_sample(pk_values: list[str], n: int, rng: np.random.Generator,
+               coverage: float = 0.5) -> list[str]:
+    """Sample FK values from a subset of the PKs (with repetition).
+
+    ``coverage`` controls which fraction of PK values ever appear as FKs;
+    the result is fully contained in the PK column (containment 1.0) while
+    its Jaccard similarity with the PK column stays low — the skew that
+    separates CMDL from Aurum in Benchmarks 2B/2D.
+    """
+    pool_size = max(1, int(len(pk_values) * coverage))
+    pool = [pk_values[i] for i in rng.choice(len(pk_values), size=pool_size,
+                                             replace=False)]
+    return [pool[i] for i in rng.integers(0, len(pool), size=n)]
+
+
+def _build_drugbank(cfg: PharmaLakeConfig, vocab, rng) -> tuple[
+    list[Table], list[tuple[str, str]], dict[str, dict]
+]:
+    """DrugBank tables, intended PK-FK pairs, and entity cross-references."""
+    drugs = vocab.pool("drug")[: cfg.num_drugs]
+    enzymes = vocab.pool("enzyme")[: cfg.num_enzymes]
+    genes = vocab.pool("gene")[: cfg.num_enzymes]
+    conditions = vocab.pool("condition")
+    effects = vocab.pool("effect")
+    actions = vocab.pool("action")
+
+    drug_ids = [_drug_id(i + 1) for i in range(cfg.num_drugs)]
+    enzyme_ids = [_enzyme_id(i + 1) for i in range(cfg.num_enzymes)]
+    drug_condition = {
+        d: conditions[int(rng.integers(len(conditions)))] for d in drug_ids
+    }
+
+    # drugs table, with a few duplicated key rows (paper §6.2).
+    dup = max(1, int(cfg.num_drugs * cfg.duplicate_key_fraction))
+    dup_idx = rng.choice(cfg.num_drugs, size=dup, replace=False).tolist()
+    ids_col, names_col, desc_col, type_col, year_col = [], [], [], [], []
+    for i, (did, name) in enumerate(zip(drug_ids, drugs)):
+        repeats = 2 if i in dup_idx else 1
+        for _ in range(repeats):
+            ids_col.append(did)
+            names_col.append(name)
+            desc_col.append(
+                f"{name} is a chemotherapy drug used in the treatment of "
+                f"{drug_condition[did]}."
+            )
+            type_col.append("small molecule" if rng.random() < 0.8 else "biotech")
+            year_col.append(str(int(rng.integers(1960, 2023))))
+    drugs_table = Table.from_dict(
+        "drugs",
+        {"drug_id": ids_col, "name": names_col, "description": desc_col,
+         "type": type_col, "approval_year": year_col},
+    )
+
+    enzymes_table = Table.from_dict(
+        "enzymes",
+        {
+            "enzyme_id": enzyme_ids,
+            "name": enzymes,
+            "gene": genes,
+            "organism": ["Humans"] * cfg.num_enzymes,
+        },
+    )
+
+    def _distractor_values(n: int, mix: float = 0.42) -> list[str]:
+        """Column values mixing drug ids (sub-containment-threshold) with junk.
+
+        Distractor columns have moderate Jaccard similarity with the key
+        columns but containment below the join threshold: under Jaccard
+        ranking (Aurum/D3L) they displace the true low-coverage FK links,
+        under containment ranking (CMDL) they stay below every true link —
+        the mechanism behind Table 3's Benchmark-2B gap.
+        """
+        out = []
+        for i in range(n):
+            if rng.random() < mix:
+                out.append(drug_ids[int(rng.integers(len(drug_ids)))])
+            else:
+                out.append(f"XX{int(rng.integers(10_000, 99_999))}-{i}")
+        return out
+
+    # enzyme_targets: which drug targets which enzyme.
+    target_rows = cfg.targets_rows
+    target_drug = _fk_sample(drug_ids, target_rows, rng, coverage=0.22)
+    target_enzyme = [enzymes[int(rng.integers(len(enzymes)))] for _ in range(target_rows)]
+    enzyme_targets = Table.from_dict(
+        "enzyme_targets",
+        {
+            "id": [_enzyme_id(5000 + i) for i in range(target_rows)],
+            "target": target_enzyme,
+            "action": [("yes" if rng.random() < 0.7 else "unknown") for _ in range(target_rows)],
+            "drug_key": target_drug,
+        },
+    )
+
+    inter_rows = cfg.interactions_rows
+    inter_1 = _fk_sample(drug_ids, inter_rows, rng, coverage=0.30)
+    inter_2 = _fk_sample(drug_ids, inter_rows, rng, coverage=0.28)
+    inter_effects = [
+        f"may increase the risk of {effects[int(rng.integers(len(effects)))]} "
+        f"such as {effects[int(rng.integers(len(effects)))]}"
+        for _ in range(inter_rows)
+    ]
+    drug_interactions = Table.from_dict(
+        "drug_interactions",
+        {"drug_1": inter_1, "drug_2": inter_2, "effect": inter_effects},
+    )
+
+    cond_rows = cfg.num_drugs
+    cond_drug = _fk_sample(drug_ids, cond_rows, rng, coverage=0.20)
+    drug_conditions = Table.from_dict(
+        "drug_conditions",
+        {
+            "drug_id": cond_drug,
+            "condition": [drug_condition[d] for d in cond_drug],
+            "phase": [str(int(rng.integers(1, 5))) for _ in range(cond_rows)],
+        },
+    )
+
+    dose_rows = cfg.num_drugs
+    dose_drug = _fk_sample(drug_ids, dose_rows, rng, coverage=0.25)
+    drug_dosages = Table.from_dict(
+        "drug_dosages",
+        {
+            "drug_id": dose_drug,
+            "form": [("tablet" if rng.random() < 0.5 else "injection")
+                     for _ in range(dose_rows)],
+            "strength_mg": [f"{rng.integers(5, 500)}" for _ in range(dose_rows)],
+            "batch_code": _distractor_values(dose_rows),
+        },
+    )
+
+    manufacturers = [
+        f"{vocab.pool('drug')[i][:5]} Pharma"
+        for i in range(0, min(40, cfg.num_drugs), 2)
+    ]
+    manufacturer_ids = [f"MF{i:04d}" for i in range(len(manufacturers))]
+    manufacturers_table = Table.from_dict(
+        "manufacturers",
+        {
+            "manufacturer_id": manufacturer_ids,
+            "company": manufacturers,
+            "country": [
+                ["USA", "Germany", "Switzerland", "UK", "Japan"][int(rng.integers(5))]
+                for _ in manufacturers
+            ],
+        },
+    )
+
+    dm_rows = cfg.num_drugs
+    drug_manufacturers = Table.from_dict(
+        "drug_manufacturers",
+        {
+            "drug_id": _fk_sample(drug_ids, dm_rows, rng, coverage=0.35),
+            "manufacturer_id": _fk_sample(manufacturer_ids, dm_rows, rng, coverage=0.9),
+        },
+    )
+
+    atc_rows = cfg.num_drugs
+    atc_codes = Table.from_dict(
+        "atc_codes",
+        {
+            "drug_id": _fk_sample(drug_ids, atc_rows, rng, coverage=0.30),
+            "audit_ref": _distractor_values(atc_rows),
+            "atc_code": [
+                f"L{rng.integers(1, 5)}{chr(65 + rng.integers(6))}"
+                f"{chr(65 + rng.integers(6))}{rng.integers(1, 99):02d}"
+                for _ in range(atc_rows)
+            ],
+            "level": [str(int(rng.integers(1, 6))) for _ in range(atc_rows)],
+        },
+    )
+
+    ref_rows = cfg.num_drugs
+    ref_drug = _fk_sample(drug_ids, ref_rows, rng, coverage=0.22)
+    drug_by_id = dict(zip(drug_ids, drugs))
+    references = Table.from_dict(
+        "literature_references",
+        {
+            "ref_id": [f"REF{i:05d}" for i in range(ref_rows)],
+            "drug_id": ref_drug,
+            "pubmed_id": [str(int(rng.integers(10_000_000, 35_000_000)))
+                          for _ in range(ref_rows)],
+            "legacy_code": _distractor_values(ref_rows),
+            "title": [
+                f"Clinical evaluation of {drug_by_id[d]} in "
+                f"{drug_condition[d]}" for d in ref_drug
+            ],
+        },
+    )
+
+    categories = ["antifolate", "antimetabolite", "alkylating agent",
+                  "antibiotic", "antiviral", "kinase inhibitor",
+                  "monoclonal antibody", "immunosuppressant"]
+    cat_rows = cfg.num_drugs
+    drug_categories = Table.from_dict(
+        "drug_categories",
+        {
+            "drug_id": _fk_sample(drug_ids, cat_rows, rng, coverage=0.32),
+            "category": [categories[int(rng.integers(len(categories)))]
+                         for _ in range(cat_rows)],
+        },
+    )
+
+    # etl_staging: cardinality-matched "sibling" columns, one per FK column.
+    # A sibling shares ~45% of its FK's value pool (plus junk), so its
+    # Jaccard similarity with the FK *exceeds* the FK's Jaccard with the
+    # true key column, while its containment stays below the join
+    # threshold. This is the skewed-cardinality regime of Benchmark 2B
+    # (mQCR 0.08 in the paper) where Jaccard ranking fails and set
+    # containment does not (§6.2).
+    fk_pools = {
+        "stg_target_drug": target_drug,
+        "stg_cond_drug": cond_drug,
+        "stg_dose_drug": dose_drug,
+        "stg_inter_first": inter_1,
+        "stg_inter_second": inter_2,
+        "stg_ref_drug": ref_drug,
+    }
+    staging_rows = max(len(set(v)) for v in fk_pools.values())
+    staging_data = {}
+    for sib_name, fk_values in fk_pools.items():
+        pool = sorted(set(fk_values))
+        keep = [pool[i] for i in rng.choice(len(pool),
+                                            size=int(len(pool) * 0.45),
+                                            replace=False)]
+        junk = [f"ZZ{int(rng.integers(10_000, 99_999))}-{sib_name}-{i}"
+                for i in range(len(pool) - len(keep))]
+        distinct = keep + junk
+        # Pad by cycling existing values so the distinct count stays fixed.
+        column = [distinct[i % len(distinct)] for i in range(staging_rows)]
+        staging_data[sib_name] = column
+    etl_staging = Table.from_dict("etl_staging", staging_data)
+
+    tables = [
+        drugs_table, enzymes_table, enzyme_targets, drug_interactions,
+        drug_conditions, drug_dosages, manufacturers_table,
+        drug_manufacturers, atc_codes, references, drug_categories,
+        etl_staging,
+    ]
+    pkfk = [
+        ("drugs.drug_id", "enzyme_targets.drug_key"),
+        ("drugs.drug_id", "drug_interactions.drug_1"),
+        ("drugs.drug_id", "drug_interactions.drug_2"),
+        ("drugs.drug_id", "drug_conditions.drug_id"),
+        ("drugs.drug_id", "drug_dosages.drug_id"),
+        ("drugs.drug_id", "drug_manufacturers.drug_id"),
+        ("drugs.drug_id", "atc_codes.drug_id"),
+        ("drugs.drug_id", "literature_references.drug_id"),
+        ("drugs.drug_id", "drug_categories.drug_id"),
+        ("enzymes.name", "enzyme_targets.target"),
+        ("manufacturers.manufacturer_id", "drug_manufacturers.manufacturer_id"),
+    ]
+    xrefs = {
+        "drug_ids": dict(zip(drug_ids, drugs)),
+        "drug_condition": drug_condition,
+        "enzyme_names": enzymes,
+        "targets_by_drug": _group_targets(target_drug, target_enzyme),
+        "interaction_pairs": list(zip(inter_1, inter_2, inter_effects)),
+    }
+    return tables, pkfk, xrefs
+
+
+def _group_targets(target_drug: list[str], target_enzyme: list[str]) -> dict[str, list[str]]:
+    grouped: dict[str, list[str]] = {}
+    for drug, enzyme in zip(target_drug, target_enzyme):
+        grouped.setdefault(drug, []).append(enzyme)
+    return grouped
+
+
+def _build_chembl(cfg: PharmaLakeConfig, vocab, rng) -> tuple[
+    list[Table], list[tuple[str, str]]
+]:
+    n = cfg.chembl_compounds
+    molregnos = [str(100_000 + i) for i in range(n)]
+    # Half the ChEMBL names are DrugBank drug names: realistic overlap that
+    # enables cross-collection semantic joins.
+    drugs = vocab.pool("drug")
+    names = [
+        drugs[i % len(drugs)] if i % 2 == 0 else f"CHEMBL-compound-{i}"
+        for i in range(n)
+    ]
+    compounds = Table.from_dict(
+        "compounds",
+        {
+            "molregno": molregnos,
+            "chembl_id": [f"CHEMBL{i + 1000}" for i in range(n)],
+            "pref_name": names,
+            "mw_freebase": [f"{rng.uniform(100, 900):.2f}" for _ in range(n)],
+            "alogp": [f"{rng.uniform(-3, 8):.2f}" for _ in range(n)],
+            "psa": [f"{rng.uniform(10, 250):.2f}" for _ in range(n)],
+        },
+    )
+
+    num_assays = max(10, n // 4)
+    assay_ids = [str(5000 + i) for i in range(num_assays)]
+    target_ids = [str(9000 + i) for i in range(cfg.num_enzymes)]
+    assays = Table.from_dict(
+        "assays",
+        {
+            "assay_id": assay_ids,
+            "description": [
+                f"Binding assay against {vocab.pool('enzyme')[int(rng.integers(cfg.num_enzymes))]}"
+                for _ in range(num_assays)
+            ],
+            "target_id": _fk_sample(target_ids, num_assays, rng, coverage=0.6),
+            "assay_type": [("B" if rng.random() < 0.6 else "F")
+                           for _ in range(num_assays)],
+        },
+    )
+
+    act_rows = n * 2
+    activities = Table.from_dict(
+        "activities",
+        {
+            "activity_id": [str(70_000 + i) for i in range(act_rows)],
+            "molregno": _fk_sample(molregnos, act_rows, rng, coverage=0.5),
+            "assay_id": _fk_sample(assay_ids, act_rows, rng, coverage=0.7),
+            "standard_value": [f"{rng.uniform(0.1, 10000):.1f}" for _ in range(act_rows)],
+            "standard_units": ["nM"] * act_rows,
+        },
+    )
+
+    target_dictionary = Table.from_dict(
+        "target_dictionary",
+        {
+            "target_id": target_ids,
+            "pref_name": vocab.pool("enzyme")[: cfg.num_enzymes],
+            "organism": ["Homo sapiens"] * cfg.num_enzymes,
+        },
+    )
+
+    syn_rows = n
+    molecule_synonyms = Table.from_dict(
+        "molecule_synonyms",
+        {
+            "molregno": _fk_sample(molregnos, syn_rows, rng, coverage=0.55),
+            "synonym": [f"{names[int(rng.integers(n))]}" for _ in range(syn_rows)],
+            "syn_type": [("TRADE_NAME" if rng.random() < 0.5 else "RESEARCH_CODE")
+                         for _ in range(syn_rows)],
+        },
+    )
+
+    tables = [compounds, assays, activities, target_dictionary, molecule_synonyms]
+    pkfk = [
+        ("compounds.molregno", "activities.molregno"),
+        ("assays.assay_id", "activities.assay_id"),
+        ("target_dictionary.target_id", "assays.target_id"),
+        ("compounds.molregno", "molecule_synonyms.molregno"),
+    ]
+    return tables, pkfk
+
+
+def _build_chebi(cfg: PharmaLakeConfig, vocab, rng) -> tuple[
+    list[Table], list[tuple[str, str]]
+]:
+    n = cfg.chebi_compounds
+    ids = [str(20_000 + i) for i in range(n)]
+    chebi_compounds = Table.from_dict(
+        "chebi_compounds",
+        {
+            "id": ids,
+            "chebi_name": [f"chebi-{vocab.pool('drug')[i % cfg.num_drugs].lower()}"
+                           for i in range(n)],
+            "mass": [f"{rng.uniform(50, 1200):.3f}" for _ in range(n)],
+            "charge": [str(int(rng.integers(-3, 4))) for _ in range(n)],
+        },
+    )
+    rel_rows = n * 2
+    chebi_relations = Table.from_dict(
+        "chebi_relations",
+        {
+            "rel_id": [str(40_000 + i) for i in range(rel_rows)],
+            "init_id": _fk_sample(ids, rel_rows, rng, coverage=0.6),
+            "final_id": _fk_sample(ids, rel_rows, rng, coverage=0.6),
+            "status": [("C" if rng.random() < 0.9 else "E") for _ in range(rel_rows)],
+        },
+    )
+    name_rows = n
+    chebi_names = Table.from_dict(
+        "chebi_names",
+        {
+            "name_id": [str(60_000 + i) for i in range(name_rows)],
+            "compound_id": _fk_sample(ids, name_rows, rng, coverage=0.7),
+            "adapted": [("T" if rng.random() < 0.5 else "F") for _ in range(name_rows)],
+        },
+    )
+    tables = [chebi_compounds, chebi_relations, chebi_names]
+    pkfk = [
+        ("chebi_compounds.id", "chebi_relations.init_id"),
+        ("chebi_compounds.id", "chebi_relations.final_id"),
+        ("chebi_compounds.id", "chebi_names.compound_id"),
+    ]
+    return tables, pkfk
+
+
+_ABSTRACT_TEMPLATES = [
+    ("{drug} is a novel antifolate that inhibits {enzyme} and {enzyme2}, "
+     "among others. {drug} is active against {condition} cells in vitro."),
+    ("Several agents can inhibit thymidine synthesis by targeting {enzyme}. "
+     "But some of them, like {drug}, cause {effect} and inhibit the immune "
+     "system."),
+    ("In a phase II study, {drug} demonstrated activity in patients with "
+     "{condition}. The most common adverse events were {effect} and "
+     "{effect2}."),
+    ("Co-administration of {drug} with {drug2} may increase the severity of "
+     "{effect}. Monitoring is recommended for patients with {condition}."),
+    ("The enzyme {enzyme} plays a central role in {condition}. Inhibition "
+     "by {drug} was associated with reduced {effect} in preclinical models."),
+]
+
+_NOISE_TEMPLATES = [
+    ("Epidemiological surveillance of {condition} remains a public health "
+     "priority. Regional registries reported heterogeneous incidence."),
+    ("Management guidelines for {condition} emphasise early screening. "
+     "Lifestyle interventions reduced overall burden in cohort studies."),
+    ("The etiology of {condition} involves complex environmental factors. "
+     "Further longitudinal research is warranted."),
+]
+
+
+def _generate_documents(cfg: PharmaLakeConfig, xrefs: dict, vocab, rng) -> tuple[
+    list[Document], GroundTruth
+]:
+    """PubMed-style abstracts + exact doc->table links (Benchmark 1B)."""
+    gt = GroundTruth(task="doc_to_table")
+    documents: list[Document] = []
+    drug_ids = list(xrefs["drug_ids"])
+    conditions = vocab.pool("condition")
+    effects = vocab.pool("effect")
+    enzymes = xrefs["enzyme_names"]
+
+    for i in range(cfg.num_documents):
+        did = drug_ids[int(rng.integers(len(drug_ids)))]
+        drug = xrefs["drug_ids"][did]
+        drug_enzymes = xrefs["targets_by_drug"].get(did, [])
+        enzyme = (drug_enzymes[int(rng.integers(len(drug_enzymes)))]
+                  if drug_enzymes else enzymes[int(rng.integers(len(enzymes)))])
+        enzyme2 = enzymes[int(rng.integers(len(enzymes)))]
+        condition = xrefs["drug_condition"][did]
+        effect = effects[int(rng.integers(len(effects)))]
+        effect2 = effects[int(rng.integers(len(effects)))]
+        template_idx = int(rng.integers(len(_ABSTRACT_TEMPLATES)))
+        template = _ABSTRACT_TEMPLATES[template_idx]
+        drug2_id = drug_ids[int(rng.integers(len(drug_ids)))]
+        drug2 = xrefs["drug_ids"][drug2_id]
+        text = template.format(
+            drug=drug, drug2=drug2, enzyme=enzyme, enzyme2=enzyme2,
+            condition=condition, effect=effect, effect2=effect2,
+        )
+        doc = Document(
+            doc_id=f"pubmed:{i:05d}",
+            title=f"{drug} and {enzyme}: a review",
+            text=text,
+            source="PubMed",
+        )
+        documents.append(doc)
+        # Exact links: mentioning a drug links the doc to drug-bearing
+        # tables; mentioning an enzyme links enzyme tables; templates with
+        # interactions/conditions link those tables.
+        gt.add(doc.doc_id, "drugs")
+        if "{enzyme}" in template:
+            gt.add(doc.doc_id, "enzymes")
+            gt.add(doc.doc_id, "enzyme_targets")
+        if "{drug2}" in template:
+            gt.add(doc.doc_id, "drug_interactions")
+        if "{condition}" in template:
+            gt.add(doc.doc_id, "drug_conditions")
+        gt.query_cardinality[doc.doc_id] = len(set(text.lower().split()))
+
+    for i in range(cfg.noise_documents):
+        condition = conditions[int(rng.integers(len(conditions)))]
+        template = _NOISE_TEMPLATES[int(rng.integers(len(_NOISE_TEMPLATES)))]
+        documents.append(
+            Document(
+                doc_id=f"pubmed:noise:{i:05d}",
+                title=f"Notes on {condition}",
+                text=template.format(condition=condition),
+                source="PubMed",
+            )
+        )
+    return documents, gt
+
+
+def generate_pharma_lake(config: PharmaLakeConfig | None = None) -> GeneratedLake:
+    """Generate the Pharma lake with all its benchmarks' ground truth."""
+    cfg = config or PharmaLakeConfig()
+    rng = ensure_rng(cfg.seed)
+    vocab = pharma_vocabulary(num_drugs=cfg.num_drugs,
+                              num_enzymes=cfg.num_enzymes, seed=cfg.seed)
+
+    drugbank_tables, drugbank_pkfk, xrefs = _build_drugbank(cfg, vocab, rng)
+    chembl_tables, chembl_pkfk = _build_chembl(cfg, vocab, rng)
+    chebi_tables, chebi_pkfk = _build_chebi(cfg, vocab, rng)
+
+    lake = DataLake(name="pharma")
+    for table in drugbank_tables + chembl_tables + chebi_tables:
+        lake.add_table(table)
+
+    documents, doc_gt = _generate_documents(cfg, xrefs, vocab, rng)
+    lake.add_documents(documents)
+    for table in lake.tables:
+        doc_gt.answer_cardinality[table.name] = max(
+            (c.cardinality for c in table.columns), default=1
+        )
+
+    union_bases = [t for t in drugbank_tables
+                   if t.num_columns >= 3][:8]
+    derived, union_gt = derive_unionable_tables(
+        union_bases,
+        derived_per_base=cfg.union_derived_per_base,
+        seed=ensure_rng(cfg.seed + 1),
+        name_prefix="dbsyn",
+    )
+    for table in derived:
+        lake.add_table(table)
+
+    drugbank_names = [t.name for t in drugbank_tables]
+    join_gt = brute_force_joinable_columns(lake, table_names=drugbank_names)
+
+    generated = GeneratedLake(
+        lake=lake,
+        collections={
+            "drugbank": drugbank_names,
+            "chembl": [t.name for t in chembl_tables],
+            "chebi": [t.name for t in chebi_tables],
+            "drugbank_synthetic": [t.name for t in derived],
+        },
+        pkfk_pairs={
+            "drugbank": drugbank_pkfk,
+            "chembl": chembl_pkfk,
+            "chebi": chebi_pkfk,
+        },
+    )
+    generated.ground_truths["doc_to_table"] = doc_gt
+    generated.ground_truths["syntactic_join"] = join_gt
+    generated.ground_truths["union"] = union_gt
+    for db, pairs in generated.pkfk_pairs.items():
+        generated.ground_truths[f"pkfk:{db}"] = pkfk_ground_truth_from_schema(pairs)
+    return generated

@@ -1,0 +1,273 @@
+"""Domain vocabularies for the synthetic lakes.
+
+Each domain provides entity-name generators (drugs, enzymes, places, ...)
+and sentence templates. Names are composed from domain-plausible stems and
+suffixes so that (a) they are unique enough for keyword search to work where
+the paper says it works (Pharma drug names, Benchmark 1B) and (b) they share
+subword structure so embedding similarity behaves like it does on real data
+(e.g. all enzymes end in '-ase').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+# --------------------------------------------------------------------------
+# Pharma building blocks
+# --------------------------------------------------------------------------
+
+_DRUG_STEMS = [
+    "peme", "metho", "fluoro", "cis", "oxa", "carbo", "doce", "pacli",
+    "gemci", "irino", "eto", "vin", "doxo", "epi", "ida", "mito", "ble",
+    "capeci", "tega", "ralti", "lome", "tri", "clo", "flu", "cyta", "deci",
+    "aza", "neva", "zido", "lami", "stavu", "tenofo", "abaca", "efavi",
+    "ritona", "saquina", "indina", "ampre", "ataza", "dolute", "ralte",
+]
+_DRUG_SUFFIXES = [
+    "trexed", "trexate", "uracil", "platin", "taxel", "tabine", "tecan",
+    "poside", "blastine", "rubicin", "mycin", "citabine", "fur", "titrexed",
+    "zolamide", "phosphamide", "darabine", "citidine", "rapine", "vudine",
+    "vir", "navir", "gravir", "mab", "nib", "zumab", "ximab",
+]
+_ENZYME_STEMS = [
+    "thymidylate", "dihydrofolate", "ribonucleotide", "adenosine",
+    "cytidine", "guanylate", "purine", "pyrimidine", "folate", "glutamate",
+    "aspartate", "serine", "tyrosine", "histidine", "alanine", "carbonic",
+    "glucose", "lactate", "pyruvate", "citrate", "malate", "fumarate",
+    "succinate", "acetyl", "methyl", "phospho", "glyco", "lipo", "amino",
+    "carboxy", "hydroxy", "nucleoside", "xanthine", "uridine", "inosine",
+]
+_ENZYME_KINDS = [
+    "synthase", "synthetase", "reductase", "kinase", "mutase", "oxidase",
+    "transferase", "hydrolase", "isomerase", "ligase", "dehydrogenase",
+    "phosphatase", "carboxylase", "anhydrase", "esterase", "peptidase",
+]
+_CONDITIONS = [
+    "pancreatic cancer", "breast cancer", "lung carcinoma", "leukemia",
+    "lymphoma", "melanoma", "colorectal cancer", "ovarian cancer",
+    "hypertension", "diabetes", "arthritis", "asthma", "epilepsy",
+    "depression", "anemia", "hepatitis", "influenza", "tuberculosis",
+    "malaria", "osteoporosis", "glaucoma", "psoriasis", "migraine",
+]
+_EFFECTS = [
+    "bone marrow suppression", "peripheral neuropathy", "nausea",
+    "hepatotoxicity", "nephrotoxicity", "cardiotoxicity", "fatigue",
+    "immune suppression", "hair loss", "mucositis", "fever", "chills",
+    "body aches", "rash", "anemia", "thrombocytopenia", "neutropenia",
+]
+_ACTIONS = ["inhibitor", "activator", "substrate", "antagonist", "agonist",
+            "modulator", "blocker", "inducer"]
+
+# --------------------------------------------------------------------------
+# Government / open-data building blocks
+# --------------------------------------------------------------------------
+
+_PLACE_STEMS = [
+    "ash", "bir", "brad", "bri", "cam", "can", "car", "ches", "dar", "der",
+    "dur", "exe", "glou", "hamp", "here", "hull", "lan", "lee", "lei",
+    "lin", "liver", "man", "new", "nor", "not", "oxf", "ply", "ports",
+    "pres", "read", "shef", "south", "stoke", "sun", "swin", "wake",
+    "war", "wig", "win", "wol", "wor", "york",
+]
+_PLACE_SUFFIXES = [
+    "field", "ford", "ham", "ton", "bury", "chester", "mouth", "pool",
+    "wich", "caster", "borough", "bridge", "minster", "gate", "well",
+]
+_DEPARTMENTS = [
+    "education", "health", "transport", "housing", "environment", "justice",
+    "treasury", "culture", "defence", "energy", "planning", "welfare",
+]
+_GOVT_METRICS = [
+    "population", "budget", "expenditure", "income", "employment",
+    "attendance", "enrollment", "capacity", "emissions", "incidents",
+    "collisions", "complaints", "grants", "subsidies", "revenue",
+]
+
+#: Topical vocabulary per department: family tables carry programme columns
+#: drawn from these pools and documents mention other words from the same
+#: pool, so documents relate to their tables through topical (semantic)
+#: proximity with only partial exact-keyword overlap — the regime of
+#: Benchmark 1A where embedding signals beat keyword search (paper §6.1).
+DEPARTMENT_TOPICS = {
+    "education": ["school", "pupil", "teacher", "literacy", "classroom",
+                  "curriculum", "tuition", "nursery", "exam", "truancy"],
+    "health": ["hospital", "patient", "clinic", "nurse", "vaccination",
+               "surgery", "ambulance", "ward", "screening", "obesity"],
+    "transport": ["road", "bus", "rail", "cycling", "junction", "pothole",
+                  "congestion", "timetable", "freight", "parking"],
+    "housing": ["tenancy", "landlord", "homelessness", "dwelling", "rent",
+                "mortgage", "eviction", "insulation", "lettings", "repairs"],
+    "environment": ["recycling", "flooding", "wildlife", "litter", "parks",
+                    "drainage", "air", "rivers", "woodland", "allotment"],
+    "justice": ["court", "probation", "offender", "sentencing", "bail",
+                "tribunal", "custody", "magistrate", "parole", "warrant"],
+    "treasury": ["tax", "bond", "audit", "pension", "deficit", "levy",
+                 "procurement", "inflation", "reserve", "valuation"],
+    "culture": ["museum", "library", "theatre", "festival", "heritage",
+                "gallery", "archive", "orchestra", "sculpture", "archives"],
+    "defence": ["barracks", "regiment", "cadet", "veteran", "garrison",
+                "reserve", "logistics", "drill", "armoury", "deployment"],
+    "energy": ["turbine", "solar", "grid", "meter", "insulation", "biomass",
+               "substation", "tariff", "storage", "hydrogen"],
+    "planning": ["zoning", "permit", "greenbelt", "appeal", "survey",
+                 "blueprint", "easement", "drainage", "facade", "plot"],
+    "welfare": ["benefit", "claimant", "allowance", "foster", "carer",
+                "disability", "safeguarding", "outreach", "voucher",
+                "hardship"],
+}
+
+#: How prose refers to each metric — documents use these synonyms, so pure
+#: keyword search cannot match the column names (the semantic gap that
+#: defeats elastic search on Benchmark 1A, paper §6.1).
+GOVT_METRIC_SYNONYMS = {
+    "population": "residents",
+    "budget": "funding",
+    "expenditure": "spending",
+    "income": "earnings",
+    "employment": "jobs",
+    "attendance": "turnout",
+    "enrollment": "admissions",
+    "capacity": "headroom",
+    "emissions": "pollution",
+    "incidents": "occurrences",
+    "collisions": "crashes",
+    "complaints": "grievances",
+    "grants": "awards",
+    "subsidies": "support payments",
+    "revenue": "receipts",
+}
+
+# --------------------------------------------------------------------------
+# ML / open-portal building blocks
+# --------------------------------------------------------------------------
+
+_ML_THEMES = [
+    "movies", "housing", "wine", "iris", "titanic", "loans", "churn",
+    "sales", "weather", "stocks", "energy", "crops", "students", "flights",
+    "taxis", "bikes", "songs", "books", "games", "restaurants",
+]
+_ML_FEATURES = [
+    "score", "rating", "price", "area", "rooms", "age", "duration",
+    "length", "width", "height", "weight", "volume", "count", "amount",
+    "speed", "distance", "temperature", "humidity", "pressure", "quality",
+]
+_REVIEW_ADJECTIVES = [
+    "gripping", "tedious", "brilliant", "forgettable", "charming",
+    "clumsy", "haunting", "predictable", "inventive", "bloated",
+    "tense", "warm", "hollow", "sharp", "uneven", "lively",
+]
+_REVIEW_NOUNS = [
+    "plot", "performance", "dialogue", "pacing", "score", "cinematography",
+    "ending", "premise", "cast", "direction", "screenplay", "tone",
+]
+
+
+@dataclass
+class DomainVocabulary:
+    """A bundle of entity-name pools for one domain."""
+
+    name: str
+    pools: dict[str, list[str]] = field(default_factory=dict)
+
+    def pool(self, kind: str) -> list[str]:
+        try:
+            return self.pools[kind]
+        except KeyError:
+            raise KeyError(
+                f"vocabulary {self.name!r} has no pool {kind!r}; "
+                f"available: {sorted(self.pools)}"
+            ) from None
+
+    def sample(self, kind: str, n: int, rng) -> list[str]:
+        """Sample ``n`` entries (with replacement if the pool is smaller)."""
+        pool = self.pool(kind)
+        rng = ensure_rng(rng)
+        replace = n > len(pool)
+        picks = rng.choice(len(pool), size=n, replace=replace)
+        return [pool[i] for i in picks]
+
+
+def _compose(stems: list[str], suffixes: list[str], count: int,
+             rng: np.random.Generator) -> list[str]:
+    """Compose ``count`` unique names as stem+suffix pairs."""
+    names: list[str] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(names) < count and attempts < count * 50:
+        attempts += 1
+        stem = stems[int(rng.integers(len(stems)))]
+        suffix = suffixes[int(rng.integers(len(suffixes)))]
+        name = stem + suffix
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    # Deterministic fallback when the combinatorial space is exhausted.
+    i = 0
+    while len(names) < count:
+        candidate = f"{stems[i % len(stems)]}{suffixes[i % len(suffixes)]}{i}"
+        if candidate not in seen:
+            seen.add(candidate)
+            names.append(candidate)
+        i += 1
+    return names
+
+
+def pharma_vocabulary(num_drugs: int = 400, num_enzymes: int = 150,
+                      seed: int = 0) -> DomainVocabulary:
+    """Pharmaceutical vocabulary: drugs, enzymes, genes, conditions, effects."""
+    rng = ensure_rng(seed)
+    drugs = [n.capitalize() for n in _compose(_DRUG_STEMS, _DRUG_SUFFIXES, num_drugs, rng)]
+    enzyme_names = _compose(_ENZYME_STEMS, [" " + k for k in _ENZYME_KINDS],
+                            num_enzymes, rng)
+    enzymes = [n.capitalize() for n in enzyme_names]
+    genes = [
+        f"{e.split()[0][:4].upper()}{rng.integers(1, 30)}" for e in enzyme_names
+    ]
+    return DomainVocabulary(
+        name="pharma",
+        pools={
+            "drug": drugs,
+            "enzyme": enzymes,
+            "gene": genes,
+            "condition": list(_CONDITIONS),
+            "effect": list(_EFFECTS),
+            "action": list(_ACTIONS),
+        },
+    )
+
+
+def govt_vocabulary(num_places: int = 300, seed: int = 0) -> DomainVocabulary:
+    """Government open-data vocabulary: places, departments, metrics."""
+    rng = ensure_rng(seed)
+    places = [n.capitalize() for n in _compose(_PLACE_STEMS, _PLACE_SUFFIXES,
+                                               num_places, rng)]
+    return DomainVocabulary(
+        name="govt",
+        pools={
+            "place": places,
+            "department": list(_DEPARTMENTS),
+            "metric": list(_GOVT_METRICS),
+        },
+    )
+
+
+def ml_vocabulary(seed: int = 0) -> DomainVocabulary:
+    """ML open-portal vocabulary: dataset themes, feature names, review text."""
+    rng = ensure_rng(seed)
+    titles = [
+        f"{theme}-{rng.integers(100, 999)}" for theme in _ML_THEMES for _ in range(3)
+    ]
+    return DomainVocabulary(
+        name="ml",
+        pools={
+            "theme": list(_ML_THEMES),
+            "feature": list(_ML_FEATURES),
+            "title": titles,
+            "review_adjective": list(_REVIEW_ADJECTIVES),
+            "review_noun": list(_REVIEW_NOUNS),
+        },
+    )

@@ -1,0 +1,26 @@
+"""Minimal neural-network substrate (the PyTorch stand-in).
+
+CMDL's joint representation model is a deep multi-layer network with
+200-dimensional inputs and 100-dimensional outputs trained with the triplet
+margin loss (paper §4.2). This package provides the necessary machinery
+from scratch on numpy: dense layers with exact analytic gradients, ReLU /
+tanh activations, SGD and Adam optimisers, and the triplet margin loss with
+Euclidean distances.
+"""
+
+from repro.nn.layers import Dense, ReLU, Tanh, Sequential
+from repro.nn.losses import triplet_margin_loss, TripletMarginLoss
+from repro.nn.optim import SGD, Adam
+from repro.nn.mlp import MLP
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+    "triplet_margin_loss",
+    "TripletMarginLoss",
+    "SGD",
+    "Adam",
+    "MLP",
+]

@@ -1,0 +1,121 @@
+"""Layers with forward/backward passes (batch-first convention)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class Layer:
+    """Base layer protocol: forward caches what backward needs."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), return dL/d(input), accumulating param grads."""
+        raise NotImplementedError
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+    def zero_grad(self) -> None:
+        for g in self.gradients:
+            g[...] = 0.0
+
+
+class Dense(Layer):
+    """Affine layer y = x W + b with He-uniform initialisation."""
+
+    def __init__(self, in_dim: int, out_dim: int, seed: int | None = 0):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"invalid dims ({in_dim}, {out_dim})")
+        rng = ensure_rng(seed)
+        limit = np.sqrt(6.0 / in_dim)
+        self.weight = rng.uniform(-limit, limit, size=(in_dim, out_dim))
+        self.bias = np.zeros(out_dim)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight += self._input.T @ grad_output
+        self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Sequential(Layer):
+    """Layer composition; forward left-to-right, backward right-to-left."""
+
+    def __init__(self, layers: list[Layer]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients]

@@ -1,0 +1,68 @@
+"""Triplet margin loss (paper Eq. 1) with analytic gradients.
+
+L(x_t) = max(0, beta + d(x_t, x_cp) - d(x_t, x_cn))
+
+with d the Euclidean distance, x_t the anchor (document), x_cp the positive
+column aggregate, and x_cn the hard-negative column aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def triplet_margin_loss(
+    anchor: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+    margin: float = 0.2,
+) -> tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched triplet margin loss.
+
+    All inputs are (batch, dim). Returns (mean loss, grad_anchor,
+    grad_positive, grad_negative), each gradient shaped like its input and
+    already divided by the batch size.
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    diff_p = anchor - positive
+    diff_n = anchor - negative
+    dist_p = np.sqrt((diff_p**2).sum(axis=1) + _EPS)
+    dist_n = np.sqrt((diff_n**2).sum(axis=1) + _EPS)
+    raw = margin + dist_p - dist_n
+    active = raw > 0
+    batch = anchor.shape[0]
+    loss = float(np.where(active, raw, 0.0).mean()) if batch else 0.0
+
+    # d(dist)/d(x) = diff / dist; zero where the hinge is inactive.
+    unit_p = diff_p / dist_p[:, None]
+    unit_n = diff_n / dist_n[:, None]
+    mask = active[:, None].astype(float) / max(batch, 1)
+    grad_anchor = mask * (unit_p - unit_n)
+    grad_positive = mask * (-unit_p)
+    grad_negative = mask * unit_n
+    return loss, grad_anchor, grad_positive, grad_negative
+
+
+class TripletMarginLoss:
+    """Stateful wrapper holding the margin, matching the paper's beta=0.2."""
+
+    def __init__(self, margin: float = 0.2):
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        self.margin = margin
+
+    def __call__(self, anchor, positive, negative):
+        return triplet_margin_loss(anchor, positive, negative, margin=self.margin)
+
+    def violation_rate(self, anchor, positive, negative) -> float:
+        """Fraction of triplets violating the margin (the paper's "error %")."""
+        diff_p = anchor - positive
+        diff_n = anchor - negative
+        dist_p = np.sqrt((diff_p**2).sum(axis=1) + _EPS)
+        dist_n = np.sqrt((diff_n**2).sum(axis=1) + _EPS)
+        if anchor.shape[0] == 0:
+            return 0.0
+        return float((self.margin + dist_p - dist_n > 0).mean())

@@ -1,0 +1,66 @@
+"""Multi-layer perceptron assembled from the layer primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU, Sequential, Tanh
+
+
+class MLP:
+    """Feed-forward network: Dense(+activation) stack with shared backprop.
+
+    ``hidden`` lists the hidden-layer widths; the paper's joint model maps
+    200 -> ... -> 100 with a deep multi-layer topology, e.g.
+    ``MLP(200, [160, 128], 100)``.
+    """
+
+    ACTIVATIONS = {"relu": ReLU, "tanh": Tanh}
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: list[int],
+        out_dim: int,
+        activation: str = "relu",
+        seed: int = 0,
+    ):
+        if activation not in self.ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; expected {list(self.ACTIVATIONS)}"
+            )
+        act = self.ACTIVATIONS[activation]
+        dims = [in_dim, *hidden, out_dim]
+        layers = []
+        for i, (a, b) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Dense(a, b, seed=seed + i))
+            if i < len(dims) - 2:
+                layers.append(act())
+        self.network = Sequential(layers)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.in_dim:
+            raise ValueError(f"input dim {x.shape[1]} != model in_dim {self.in_dim}")
+        return self.network.forward(x)
+
+    __call__ = forward
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.network.backward(grad_output)
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return self.network.parameters
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return self.network.gradients
+
+    def zero_grad(self) -> None:
+        self.network.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters)

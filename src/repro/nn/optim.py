@@ -1,0 +1,67 @@
+"""Gradient-descent optimisers: plain SGD and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[np.ndarray], gradients: list[np.ndarray],
+                 lr: float = 0.01, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must pair up")
+        self.parameters = parameters
+        self.gradients = gradients
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in parameters]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.parameters, self.gradients, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+    def zero_grad(self) -> None:
+        for g in self.gradients:
+            g[...] = 0.0
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba 2015)."""
+
+    def __init__(self, parameters: list[np.ndarray], gradients: list[np.ndarray],
+                 lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must pair up")
+        self.parameters = parameters
+        self.gradients = gradients
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.parameters, self.gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for g in self.gradients:
+            g[...] = 0.0

@@ -1,0 +1,29 @@
+"""Relational substrate: tables, columns, type inference, stats, CSV IO.
+
+CMDL's discoverable elements on the structured side are *columns* (and tables
+as higher-order DEs, paper §2.1). This package provides the in-memory
+representation of the structured half of a data lake.
+"""
+
+from repro.relational.types import ColumnType, infer_column_type, infer_value_type
+from repro.relational.table import Column, Table
+from repro.relational.stats import NumericStats, numeric_stats, numeric_overlap
+from repro.relational.csvio import read_csv, write_csv, table_from_csv, table_to_csv
+from repro.relational.catalog import DataLake, Document
+
+__all__ = [
+    "ColumnType",
+    "infer_column_type",
+    "infer_value_type",
+    "Column",
+    "Table",
+    "NumericStats",
+    "numeric_stats",
+    "numeric_overlap",
+    "read_csv",
+    "write_csv",
+    "table_from_csv",
+    "table_to_csv",
+    "DataLake",
+    "Document",
+]

@@ -1,0 +1,137 @@
+"""The data lake catalog: tables + documents under one namespace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.table import Column, Table
+
+
+@dataclass
+class Document:
+    """An unstructured discoverable element.
+
+    Documents are assumed short (several sentences, paper §2.1); longer
+    uploads should be pre-split into paragraph-sized units by the caller via
+    :meth:`split_long`.
+    """
+
+    doc_id: str
+    title: str
+    text: str
+    source: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def split_long(self, max_sentences: int = 6) -> list["Document"]:
+        """Logically break a long document into smaller DE units (paper §2.1)."""
+        from repro.text.tokenizer import sentences
+
+        sents = sentences(self.text)
+        if len(sents) <= max_sentences:
+            return [self]
+        parts = []
+        for i in range(0, len(sents), max_sentences):
+            chunk = " ".join(sents[i : i + max_sentences])
+            parts.append(
+                Document(
+                    doc_id=f"{self.doc_id}#p{i // max_sentences}",
+                    title=self.title,
+                    text=chunk,
+                    source=self.source,
+                    metadata=dict(self.metadata),
+                )
+            )
+        return parts
+
+
+class DataLake:
+    """A collection of named tables and documents (one lake = one catalog).
+
+    The lake is the unit over which CMDL profiles, indexes, trains, and
+    discovers. Column DEs are addressed by qualified name ``table.column``;
+    document DEs by their ``doc_id``.
+    """
+
+    def __init__(self, name: str = "lake"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._documents: dict[str, Document] = {}
+
+    # -------------------------------------------------------------- tables
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise ValueError(f"duplicate table name {table.name!r}")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"lake {self.name!r} has no table {name!r}") from None
+
+    @property
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    # -------------------------------------------------------------- columns
+
+    @property
+    def columns(self) -> list[Column]:
+        return [c for t in self.tables for c in t.columns]
+
+    def column(self, qualified_name: str) -> Column:
+        table_name, _, column_name = qualified_name.partition(".")
+        return self.table(table_name).column(column_name)
+
+    # ------------------------------------------------------------ documents
+
+    def add_document(self, document: Document) -> None:
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate document id {document.doc_id!r}")
+        self._documents[document.doc_id] = document
+
+    def add_documents(self, documents: list[Document]) -> None:
+        for document in documents:
+            self.add_document(document)
+
+    def document(self, doc_id: str) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise KeyError(f"lake {self.name!r} has no document {doc_id!r}") from None
+
+    @property
+    def documents(self) -> list[Document]:
+        return list(self._documents.values())
+
+    # ------------------------------------------------------------- summary
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._tables)
+
+    @property
+    def num_columns(self) -> int:
+        return sum(t.num_columns for t in self.tables)
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._documents)
+
+    def numeric_fraction(self) -> float:
+        """Fraction of columns with numeric type (Table 1's last column)."""
+        cols = self.columns
+        if not cols:
+            return 0.0
+        return sum(1 for c in cols if c.dtype.is_numeric) / len(cols)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataLake({self.name!r}, tables={self.num_tables}, "
+            f"columns={self.num_columns}, documents={self.num_documents})"
+        )

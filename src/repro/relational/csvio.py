@@ -1,0 +1,57 @@
+"""CSV serialisation for tables (the lake's on-disk tabular format)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.relational.table import Column, Table
+
+
+def read_csv(text: str) -> tuple[list[str], list[list[str]]]:
+    """Parse CSV text into (header, rows)."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def write_csv(header: list[str], rows: list[list[str]]) -> str:
+    """Serialise (header, rows) into CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def table_from_csv(name: str, source: str | Path) -> Table:
+    """Load a table from CSV text or a CSV file path."""
+    if isinstance(source, Path):
+        text = source.read_text()
+    else:
+        path = Path(source)
+        # Heuristic: multi-line or comma-bearing strings are CSV payloads,
+        # anything else is treated as a filename.
+        if "\n" not in source and "," not in source and path.exists():
+            text = path.read_text()
+        else:
+            text = source
+    header, rows = read_csv(text)
+    if not header:
+        return Table(name, [])
+    columns = [
+        Column(col_name, [row[i] if i < len(row) else "" for row in rows])
+        for i, col_name in enumerate(header)
+    ]
+    return Table(name, columns)
+
+
+def table_to_csv(table: Table, path: str | Path | None = None) -> str:
+    """Serialise a table to CSV text, optionally writing it to ``path``."""
+    text = write_csv(table.column_names, [list(r) for r in table.rows()])
+    if path is not None:
+        Path(path).write_text(text)
+    return text

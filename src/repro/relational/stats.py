@@ -1,0 +1,80 @@
+"""Numeric column statistics and numeric-overlap similarity (paper §3, §5.1).
+
+For numeric columns the profiler maintains distinct counts, domain size, and
+min/max values; these feed the numeric-based overlap similarity used by both
+CMDL and Aurum for columns where set semantics are meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NumericStats:
+    """Summary statistics of a numeric column."""
+
+    count: int
+    distinct: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    @property
+    def domain_size(self) -> float:
+        return self.maximum - self.minimum
+
+    def range_overlap(self, other: "NumericStats") -> float:
+        """Length of [min,max] intersection over the smaller range.
+
+        An asymmetric-insensitive containment-style measure: 1.0 when one
+        range is fully inside the other, 0.0 when disjoint. Point ranges
+        (min == max) count as fully overlapping when the point lies inside
+        the other range.
+        """
+        lo = max(self.minimum, other.minimum)
+        hi = min(self.maximum, other.maximum)
+        if hi < lo:
+            return 0.0
+        inter = hi - lo
+        smaller = min(self.domain_size, other.domain_size)
+        if smaller == 0.0:
+            return 1.0
+        return inter / smaller
+
+    def inclusion(self, other: "NumericStats") -> bool:
+        """True if this column's range lies within ``other``'s range."""
+        return other.minimum <= self.minimum and self.maximum <= other.maximum
+
+
+def numeric_stats(values: list[float]) -> NumericStats | None:
+    """Compute :class:`NumericStats`, or None for an empty value list."""
+    if not values:
+        return None
+    arr = np.asarray(values, dtype=float)
+    return NumericStats(
+        count=int(arr.size),
+        distinct=int(np.unique(arr).size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+    )
+
+
+def numeric_overlap(a: NumericStats | None, b: NumericStats | None) -> float:
+    """Numeric similarity combining range overlap and distribution proximity.
+
+    Range overlap dominates (weight 0.7); the remaining 0.3 rewards similar
+    means relative to the joint spread, which separates columns that share a
+    range but have very different distributions (e.g. ids vs small counts).
+    """
+    if a is None or b is None:
+        return 0.0
+    overlap = a.range_overlap(b)
+    spread = max(a.std + b.std, 1e-9)
+    mean_proximity = float(np.exp(-abs(a.mean - b.mean) / spread))
+    return 0.7 * overlap + 0.3 * mean_proximity

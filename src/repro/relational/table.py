@@ -1,0 +1,146 @@
+"""Table and Column: the structured discoverable elements of the lake."""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.relational.types import ColumnType, infer_column_type, is_missing
+
+
+class Column:
+    """A named column with string-encoded values.
+
+    Columns are the basic unit of discovery over structured data (paper
+    §2.1): joinability, unionability, and cross-modal relatedness are all
+    computed at column granularity and aggregated to the table level.
+    """
+
+    def __init__(self, name: str, values: list[str], table_name: str = ""):
+        self.name = name
+        self.values = [str(v) for v in values]
+        self.table_name = table_name
+
+    # ----------------------------------------------------------- identity
+
+    @property
+    def qualified_name(self) -> str:
+        """``table.column`` identifier, unique within a lake."""
+        return f"{self.table_name}.{self.name}" if self.table_name else self.name
+
+    # ----------------------------------------------------------- contents
+
+    @cached_property
+    def non_missing(self) -> list[str]:
+        return [v for v in self.values if not is_missing(v)]
+
+    @cached_property
+    def distinct_values(self) -> set[str]:
+        return set(self.non_missing)
+
+    @cached_property
+    def dtype(self) -> ColumnType:
+        return infer_column_type(self.values)
+
+    @cached_property
+    def numeric_values(self) -> list[float]:
+        """Parsed numeric cells (empty unless the column is numeric)."""
+        if not self.dtype.is_numeric:
+            return []
+        out = []
+        for v in self.non_missing:
+            try:
+                out.append(float(v))
+            except ValueError:
+                continue
+        return out
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.distinct_values)
+
+    @property
+    def uniqueness(self) -> float:
+        """Distinct / non-missing ratio; ~1.0 suggests a key column."""
+        if not self.non_missing:
+            return 0.0
+        return len(self.distinct_values) / len(self.non_missing)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.qualified_name!r}, n={len(self.values)}, type={self.dtype.value})"
+
+
+class Table:
+    """A named table: an ordered collection of equally-long columns."""
+
+    def __init__(self, name: str, columns: list[Column]):
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"columns of table {name!r} have unequal lengths: {sorted(lengths)}")
+        self.name = name
+        self.columns = list(columns)
+        for column in self.columns:
+            column.table_name = name
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise ValueError(f"table {name!r} has duplicate column names")
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, list]) -> "Table":
+        """Build a table from ``{column_name: values}``."""
+        return cls(name, [Column(cn, [str(v) for v in vs]) for cn, vs in data.items()])
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def rows(self) -> list[tuple[str, ...]]:
+        """Materialise the table as row tuples."""
+        return list(zip(*(c.values for c in self.columns))) if self.columns else []
+
+    # ------------------------------------------------------ derived tables
+
+    def project(self, column_names: list[str], new_name: str) -> "Table":
+        """Return a new table keeping only ``column_names`` (in order)."""
+        cols = [Column(n, list(self.column(n).values)) for n in column_names]
+        return Table(new_name, cols)
+
+    def select_rows(self, row_indexes: list[int], new_name: str) -> "Table":
+        """Return a new table keeping only the given row positions."""
+        cols = [
+            Column(c.name, [c.values[i] for i in row_indexes]) for c in self.columns
+        ]
+        return Table(new_name, cols)
+
+    def rename_columns(self, mapping: dict[str, str], new_name: str) -> "Table":
+        """Return a copy with columns renamed per ``mapping`` (missing = keep)."""
+        cols = [
+            Column(mapping.get(c.name, c.name), list(c.values)) for c in self.columns
+        ]
+        return Table(new_name, cols)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.num_rows}x{self.num_columns})"

@@ -1,0 +1,78 @@
+"""Column type inference (text / numeric / date / categorical detection)."""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+from typing import Iterable
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_DATE_RES = (
+    re.compile(r"^\d{4}-\d{1,2}-\d{1,2}$"),          # 2023-06-01
+    re.compile(r"^\d{1,2}/\d{1,2}/\d{2,4}$"),        # 6/1/2023
+    re.compile(r"^\d{1,2}-[A-Za-z]{3}-\d{2,4}$"),    # 1-Jun-2023
+    re.compile(r"^\d{4}/\d{1,2}/\d{1,2}$"),          # 2023/06/01
+)
+
+_MISSING = {"", "na", "n/a", "null", "none", "nan", "-", "?"}
+
+
+class ColumnType(Enum):
+    """Inferred storage type of a column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    DATE = "date"
+    TEXT = "text"
+    EMPTY = "empty"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+
+def is_missing(value: str) -> bool:
+    """True if the cell encodes a missing value."""
+    return value.strip().lower() in _MISSING
+
+
+def infer_value_type(value: str) -> ColumnType:
+    """Infer the type of a single cell value."""
+    v = value.strip()
+    if is_missing(v):
+        return ColumnType.EMPTY
+    if _INT_RE.match(v):
+        return ColumnType.INTEGER
+    if _FLOAT_RE.match(v):
+        return ColumnType.FLOAT
+    for pattern in _DATE_RES:
+        if pattern.match(v):
+            return ColumnType.DATE
+    return ColumnType.TEXT
+
+
+def infer_column_type(values: Iterable[str], threshold: float = 0.9) -> ColumnType:
+    """Infer a column's type by majority vote over non-missing cells.
+
+    A column is declared numeric/date only if at least ``threshold`` of its
+    non-missing values parse as such; otherwise it falls back to TEXT (mixed
+    columns behave like text for discovery purposes).
+    """
+    counts = {t: 0 for t in ColumnType}
+    total = 0
+    for value in values:
+        t = infer_value_type(value)
+        if t is ColumnType.EMPTY:
+            continue
+        counts[t] += 1
+        total += 1
+    if total == 0:
+        return ColumnType.EMPTY
+    if (counts[ColumnType.INTEGER] + counts[ColumnType.FLOAT]) >= threshold * total:
+        if counts[ColumnType.FLOAT] > 0:
+            return ColumnType.FLOAT
+        return ColumnType.INTEGER
+    if counts[ColumnType.DATE] >= threshold * total:
+        return ColumnType.DATE
+    return ColumnType.TEXT

@@ -1,0 +1,20 @@
+"""Keyword-search substrate: an in-process "elastic search" engine.
+
+CMDL maintains BM25 indexes on both content and metadata of documents and
+tabular columns (paper §3), and the evaluation additionally compares against
+an LM-Dirichlet ranking (Figure 6). This package provides an inverted index
+with both scoring functions, equivalent in semantics to the Elasticsearch
+configuration the paper uses, but fully in-process.
+"""
+
+from repro.search.inverted_index import InvertedIndex, Posting
+from repro.search.scoring import BM25Scorer, LMDirichletScorer
+from repro.search.engine import SearchEngine
+
+__all__ = [
+    "InvertedIndex",
+    "Posting",
+    "BM25Scorer",
+    "LMDirichletScorer",
+    "SearchEngine",
+]

@@ -1,0 +1,67 @@
+"""SearchEngine: top-k keyword retrieval facade over the inverted index."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.search.inverted_index import InvertedIndex
+from repro.search.scoring import BM25Scorer, LMDirichletScorer
+
+
+class SearchEngine:
+    """A named keyword index with pluggable ranking (bm25 | lm_dirichlet).
+
+    This is the in-process stand-in for one Elasticsearch index: CMDL keeps
+    separate engines for document content, document metadata, column content,
+    and column metadata (paper §3).
+    """
+
+    RANKERS = ("bm25", "lm_dirichlet")
+
+    def __init__(self, ranker: str = "bm25", k1: float = 1.2, b: float = 0.75,
+                 mu: float = 2000.0):
+        if ranker not in self.RANKERS:
+            raise ValueError(f"unknown ranker {ranker!r}; expected one of {self.RANKERS}")
+        self.ranker = ranker
+        self.index = InvertedIndex()
+        self._bm25_params = (k1, b)
+        self._mu = mu
+        self._scorer = None
+
+    # -------------------------------------------------------------- build
+
+    def add(self, key: str, terms: list[str] | Counter) -> None:
+        self.index.add(key, terms)
+        self._scorer = None  # statistics changed; rebuild lazily
+
+    def __len__(self) -> int:
+        return self.index.num_docs
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.index
+
+    # -------------------------------------------------------------- query
+
+    def _get_scorer(self):
+        if self._scorer is None:
+            if self.ranker == "bm25":
+                k1, b = self._bm25_params
+                self._scorer = BM25Scorer(self.index, k1=k1, b=b)
+            else:
+                self._scorer = LMDirichletScorer(self.index, mu=self._mu)
+        return self._scorer
+
+    def search(
+        self,
+        query_terms: list[str] | Counter,
+        k: int = 10,
+        exclude: set[str] | None = None,
+    ) -> list[tuple[str, float]]:
+        """Return the top-k (key, score) pairs for the query term bag."""
+        exclude = exclude or set()
+        scored = self._get_scorer().scores(query_terms)
+        ranked = sorted(
+            ((key, s) for key, s in scored.items() if key not in exclude),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        return ranked[:k]

@@ -1,0 +1,73 @@
+"""Term -> postings inverted index with corpus statistics."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One (document, term) occurrence record."""
+
+    doc_key: str
+    term_frequency: int
+
+
+class InvertedIndex:
+    """Inverted index over pre-tokenised term bags.
+
+    Documents are added as ``(key, terms)`` where ``terms`` is any iterable
+    of strings (typically the output of the text pipeline or a column's
+    token bag). The index maintains the statistics both BM25 and
+    LM-Dirichlet need: document frequencies, document lengths, collection
+    term frequencies.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, list[Posting]] = defaultdict(list)
+        self._doc_lengths: dict[str, int] = {}
+        self._collection_tf: Counter = Counter()
+
+    # -------------------------------------------------------------- build
+
+    def add(self, key: str, terms: list[str] | Counter) -> None:
+        if key in self._doc_lengths:
+            raise ValueError(f"duplicate index key {key!r}")
+        tf = terms if isinstance(terms, Counter) else Counter(terms)
+        self._doc_lengths[key] = sum(tf.values())
+        for term, count in tf.items():
+            self._postings[term].append(Posting(key, count))
+            self._collection_tf[term] += count
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def num_docs(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def collection_length(self) -> int:
+        return sum(self._doc_lengths.values())
+
+    @property
+    def average_doc_length(self) -> float:
+        return self.collection_length / self.num_docs if self.num_docs else 0.0
+
+    def doc_length(self, key: str) -> int:
+        return self._doc_lengths.get(key, 0)
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def collection_frequency(self, term: str) -> int:
+        return self._collection_tf.get(term, 0)
+
+    def postings(self, term: str) -> list[Posting]:
+        return self._postings.get(term, [])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._doc_lengths
+
+    def keys(self) -> list[str]:
+        return list(self._doc_lengths)

@@ -1,0 +1,86 @@
+"""Ranking functions: Okapi BM25 and LM with Dirichlet smoothing.
+
+BM25 (Robertson & Zaragoza 2009) is Elasticsearch's default similarity and
+the paper's primary keyword-search baseline; the LM-Dirichlet variant is the
+second elastic setting evaluated in Figure 6.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.search.inverted_index import InvertedIndex
+
+
+class BM25Scorer:
+    """Okapi BM25 with the Lucene/Elasticsearch idf formulation."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2, b: float = 0.75):
+        if k1 < 0 or not 0.0 <= b <= 1.0:
+            raise ValueError(f"invalid BM25 parameters k1={k1}, b={b}")
+        self.index = index
+        self.k1 = k1
+        self.b = b
+
+    def idf(self, term: str) -> float:
+        n = self.index.document_frequency(term)
+        big_n = self.index.num_docs
+        # Lucene's non-negative idf: ln(1 + (N - n + 0.5) / (n + 0.5)).
+        return math.log(1.0 + (big_n - n + 0.5) / (n + 0.5))
+
+    def scores(self, query_terms: list[str] | Counter) -> dict[str, float]:
+        """Accumulate BM25 scores for all documents matching any query term."""
+        qtf = query_terms if isinstance(query_terms, Counter) else Counter(query_terms)
+        avgdl = self.index.average_doc_length or 1.0
+        out: dict[str, float] = {}
+        for term, q_count in qtf.items():
+            idf = self.idf(term)
+            if idf <= 0.0:
+                continue
+            for posting in self.index.postings(term):
+                dl = self.index.doc_length(posting.doc_key)
+                tf = posting.term_frequency
+                denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avgdl)
+                score = idf * tf * (self.k1 + 1.0) / denom
+                out[posting.doc_key] = out.get(posting.doc_key, 0.0) + q_count * score
+        return out
+
+
+class LMDirichletScorer:
+    """Query-likelihood language model with Dirichlet-prior smoothing.
+
+    score(q, d) = sum_t qtf(t) * log( (tf(t,d) + mu * p(t|C)) / (|d| + mu) )
+                  restricted to matched documents and normalised to be
+                  comparable across documents (we use the standard Lucene
+                  formulation which subtracts the collection-only score,
+                  keeping scores >= 0 for matching terms).
+    """
+
+    def __init__(self, index: InvertedIndex, mu: float = 2000.0):
+        if mu <= 0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        self.index = index
+        self.mu = mu
+
+    def _collection_prob(self, term: str) -> float:
+        cl = self.index.collection_length or 1
+        return self.index.collection_frequency(term) / cl
+
+    def scores(self, query_terms: list[str] | Counter) -> dict[str, float]:
+        qtf = query_terms if isinstance(query_terms, Counter) else Counter(query_terms)
+        out: dict[str, float] = {}
+        for term, q_count in qtf.items():
+            p_c = self._collection_prob(term)
+            if p_c <= 0.0:
+                continue
+            for posting in self.index.postings(term):
+                dl = self.index.doc_length(posting.doc_key)
+                tf = posting.term_frequency
+                # Lucene LMDirichlet: log(1 + tf / (mu * p_c)) + doc norm.
+                score = math.log(1.0 + tf / (self.mu * p_c)) + math.log(
+                    self.mu / (dl + self.mu)
+                )
+                score = max(0.0, score)
+                out[posting.doc_key] = out.get(posting.doc_key, 0.0) + q_count * score
+        return out

@@ -1,0 +1,14 @@
+"""Minwise-hashing sketches and LSH indexes.
+
+Implements the containment-search substrate CMDL relies on (paper §3):
+minhash signatures, a banded LSH index for Jaccard-similarity search, and the
+LSH Ensemble of Zhu et al. (VLDB 2016) for Jaccard *set containment* search,
+which partitions the indexed sets by size so the asymmetric containment
+measure remains accurate under skewed cardinalities.
+"""
+
+from repro.sketch.minhash import MinHash, MinHashSignature
+from repro.sketch.lsh import LSHIndex
+from repro.sketch.lshensemble import LSHEnsemble
+
+__all__ = ["MinHash", "MinHashSignature", "LSHIndex", "LSHEnsemble"]

@@ -1,0 +1,76 @@
+"""Banded Locality Sensitive Hashing index over minhash signatures.
+
+Standard banding scheme: a signature of k hash values is split into b bands
+of r = k/b rows; two sets collide if any band hashes identically. With
+Jaccard similarity s the collision probability is 1 - (1 - s^r)^b, an S-curve
+whose threshold ~ (1/b)^(1/r).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.sketch.minhash import MinHashSignature
+
+
+class LSHIndex:
+    """LSH index supporting candidate retrieval and score-ranked top-k query.
+
+    Candidates come from band-bucket collisions; the final ranking re-scores
+    candidates with the (estimated) Jaccard similarity of full signatures, so
+    the index never returns false positives above a true-similar entry.
+    """
+
+    def __init__(self, num_bands: int = 16):
+        if num_bands <= 0:
+            raise ValueError(f"num_bands must be positive, got {num_bands}")
+        self.num_bands = num_bands
+        self._buckets: list[dict[int, list[str]]] = [
+            defaultdict(list) for _ in range(num_bands)
+        ]
+        self._signatures: dict[str, MinHashSignature] = {}
+
+    # -------------------------------------------------------------- build
+
+    def add(self, key: str, signature: MinHashSignature) -> None:
+        if key in self._signatures:
+            raise ValueError(f"duplicate LSH key {key!r}")
+        self._signatures[key] = signature
+        for band, h in enumerate(signature.band_hashes(self.num_bands)):
+            self._buckets[band][h].append(key)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._signatures
+
+    def signature_of(self, key: str) -> MinHashSignature:
+        return self._signatures[key]
+
+    # -------------------------------------------------------------- query
+
+    def candidates(self, signature: MinHashSignature) -> set[str]:
+        """Keys colliding with the query in at least one band."""
+        found: set[str] = set()
+        for band, h in enumerate(signature.band_hashes(self.num_bands)):
+            found.update(self._buckets[band].get(h, ()))
+        return found
+
+    def query(
+        self, signature: MinHashSignature, k: int = 10, exclude: set[str] | None = None
+    ) -> list[tuple[str, float]]:
+        """Top-k keys by estimated Jaccard similarity among band candidates.
+
+        Falls back to a full scan when banding yields no candidates (small
+        indexes / low-similarity regimes), so the method is total.
+        """
+        exclude = exclude or set()
+        candidate_keys = self.candidates(signature) - exclude
+        if not candidate_keys:
+            candidate_keys = set(self._signatures) - exclude
+        scored = [
+            (key, signature.jaccard(self._signatures[key])) for key in candidate_keys
+        ]
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[:k]

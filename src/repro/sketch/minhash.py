@@ -1,0 +1,126 @@
+"""Minwise hashing signatures.
+
+A MinHash signature of a set S stores, for k independent hash functions, the
+minimum hash value over S. The fraction of agreeing components between two
+signatures is an unbiased estimator of their Jaccard similarity; combined
+with the true set sizes it also estimates containment (Zhu et al. 2016):
+
+    containment(Q, X) ≈ j * (|Q| + |X|) / ((1 + j) * |Q|)
+
+where j is the estimated Jaccard similarity.
+
+Hashing uses the universal family h(x) = (a*x + b) mod p with the Mersenne
+prime p = 2^31 - 1, so that a*x fits in uint64 and the whole signature
+computation vectorises over items and hash functions at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.hashing import stable_hash_32, stable_hash_64
+
+# 2^31 - 1: products a*x stay below 2^62, safely inside uint64.
+MINHASH_PRIME = (1 << 31) - 1
+
+
+class MinHash:
+    """Factory for fixed-width minhash signatures sharing one hash family."""
+
+    def __init__(self, num_hashes: int = 128, seed: int = 0):
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self._a = np.array(
+            [stable_hash_32(f"minhash-a-{i}", seed) % (MINHASH_PRIME - 1) + 1
+             for i in range(num_hashes)],
+            dtype=np.uint64,
+        )
+        self._b = np.array(
+            [stable_hash_32(f"minhash-b-{i}", seed) % MINHASH_PRIME
+             for i in range(num_hashes)],
+            dtype=np.uint64,
+        )
+
+    def signature(self, items: set[str] | list[str]) -> "MinHashSignature":
+        """Compute the signature of a set of string items."""
+        distinct = set(items)
+        if not distinct:
+            return MinHashSignature(
+                values=np.full(self.num_hashes, MINHASH_PRIME, dtype=np.uint64),
+                set_size=0,
+                num_hashes=self.num_hashes,
+                seed=self.seed,
+            )
+        fingerprints = np.array(
+            [stable_hash_32(item, self.seed) % MINHASH_PRIME for item in distinct],
+            dtype=np.uint64,
+        )
+        # (k, n) = a[:,None] * x[None,:] + b[:,None], all exact in uint64.
+        hashed = (self._a[:, None] * fingerprints[None, :] + self._b[:, None]) % np.uint64(
+            MINHASH_PRIME
+        )
+        return MinHashSignature(
+            values=hashed.min(axis=1),
+            set_size=len(distinct),
+            num_hashes=self.num_hashes,
+            seed=self.seed,
+        )
+
+
+class MinHashSignature:
+    """A computed minhash signature with Jaccard / containment estimators."""
+
+    def __init__(self, values: np.ndarray, set_size: int, num_hashes: int, seed: int):
+        self.values = values
+        self.set_size = set_size
+        self.num_hashes = num_hashes
+        self.seed = seed
+
+    def _check_compatible(self, other: "MinHashSignature") -> None:
+        if self.num_hashes != other.num_hashes or self.seed != other.seed:
+            raise ValueError(
+                "signatures are incomparable: built with different hash families "
+                f"({self.num_hashes}/{self.seed} vs {other.num_hashes}/{other.seed})"
+            )
+
+    def jaccard(self, other: "MinHashSignature") -> float:
+        """Estimate Jaccard similarity as the fraction of matching components."""
+        self._check_compatible(other)
+        if self.set_size == 0 and other.set_size == 0:
+            return 0.0
+        return float(np.mean(self.values == other.values))
+
+    def containment(self, other: "MinHashSignature") -> float:
+        """Estimate containment of *this* set in ``other`` (|A∩B| / |A|)."""
+        self._check_compatible(other)
+        if self.set_size == 0:
+            return 0.0
+        j = self.jaccard(other)
+        estimate = j * (self.set_size + other.set_size) / ((1.0 + j) * self.set_size)
+        return float(min(1.0, max(0.0, estimate)))
+
+    def band_hashes(self, num_bands: int) -> list[int]:
+        """Hash the signature into ``num_bands`` band buckets (for LSH)."""
+        if self.num_hashes % num_bands != 0:
+            raise ValueError(
+                f"num_hashes ({self.num_hashes}) not divisible by bands ({num_bands})"
+            )
+        rows = self.num_hashes // num_bands
+        out = []
+        for band in range(num_bands):
+            chunk = self.values[band * rows : (band + 1) * rows]
+            out.append(stable_hash_64(chunk.tobytes(), seed=band))
+        return out
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MinHashSignature)
+            and self.num_hashes == other.num_hashes
+            and self.seed == other.seed
+            and bool(np.all(self.values == other.values))
+        )
+
+    def __repr__(self) -> str:
+        return f"MinHashSignature(k={self.num_hashes}, |S|={self.set_size})"

@@ -1,0 +1,37 @@
+"""NLP substrate: the document-transformation pipeline of CMDL (paper §3).
+
+CMDL converts each unstructured document into a column-style bag of words via
+tokenisation, stop-word removal, part-of-speech filtering (keep nouns), and
+lemmatisation, then drops non-discriminative high-document-frequency terms.
+The paper uses Gensim/NLTK for this; we implement an equivalent rule-based
+pipeline so the system is fully self-contained.
+"""
+
+from repro.text.tokenizer import tokenize, sentences
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.pos import is_probable_noun
+from repro.text.lemmatizer import lemmatize
+from repro.text.pipeline import DocumentPipeline, BagOfWords
+from repro.text.similarity import (
+    jaccard,
+    jaccard_containment,
+    jaro,
+    jaro_winkler,
+    name_similarity,
+)
+
+__all__ = [
+    "tokenize",
+    "sentences",
+    "STOPWORDS",
+    "is_stopword",
+    "is_probable_noun",
+    "lemmatize",
+    "DocumentPipeline",
+    "BagOfWords",
+    "jaccard",
+    "jaccard_containment",
+    "jaro",
+    "jaro_winkler",
+    "name_similarity",
+]

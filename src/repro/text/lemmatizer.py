@@ -1,0 +1,74 @@
+"""Rule-based English lemmatiser (noun-oriented).
+
+The pipeline only keeps nouns, so the lemmatiser focuses on plural and
+inflectional noun morphology plus a small irregular table. Rules follow the
+standard order-sensitive suffix-rewrite approach (as in the Porter/NLTK
+WordNet lemmatiser fallback behaviour for nouns).
+"""
+
+from __future__ import annotations
+
+_IRREGULAR = {
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "people": "person",
+    "mice": "mouse",
+    "feet": "foot",
+    "teeth": "tooth",
+    "geese": "goose",
+    "data": "datum",
+    "criteria": "criterion",
+    "phenomena": "phenomenon",
+    "analyses": "analysis",
+    "bases": "basis",
+    "diagnoses": "diagnosis",
+    "hypotheses": "hypothesis",
+    "indices": "index",
+    "matrices": "matrix",
+    "vertices": "vertex",
+}
+
+# Words ending in 's' that are not plural.
+_S_FINAL_SINGULARS = frozenset(
+    """
+    bus gas lens news series species analysis basis diagnosis synthesis
+    thesis virus status corpus census focus bonus campus crisis axis
+    diabetes rabies measles kudos pancreas atlas canvas alias bias iris
+    """.split()
+)
+
+
+def lemmatize(token: str) -> str:
+    """Return the lemma (singular form) of a lowercased noun token.
+
+    >>> lemmatize("enzymes")
+    'enzyme'
+    >>> lemmatize("interactions")
+    'interaction'
+    >>> lemmatize("studies")
+    'study'
+    >>> lemmatize("synthesis")
+    'synthesis'
+    """
+    if token in _IRREGULAR:
+        return _IRREGULAR[token]
+    if token in _S_FINAL_SINGULARS or len(token) <= 3:
+        return token
+    if token.endswith("ies") and len(token) > 4:
+        return token[:-3] + "y"
+    if token.endswith("sses") or token.endswith("shes") or token.endswith("ches"):
+        return token[:-2]
+    if token.endswith("xes") or token.endswith("zes"):
+        return token[:-2]
+    if token.endswith("ves") and len(token) > 4:
+        # knives -> knife, but leaves "curves" -> "curve" handled by final 's'
+        stem = token[:-3]
+        if stem.endswith(("i", "l", "r", "a")):  # knife, wolf/shelf, scarf, leaf
+            return stem + ("fe" if stem.endswith("i") else "f")
+        return token[:-1]
+    if token.endswith("ss") or token.endswith("us") or token.endswith("is"):
+        return token
+    if token.endswith("s"):
+        return token[:-1]
+    return token

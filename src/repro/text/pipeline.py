@@ -1,0 +1,117 @@
+"""Document -> column-style bag-of-words transformation (paper §3, Figure 2).
+
+Each document goes through tokenisation, stop-word removal, POS filtering
+(retain nouns), and lemmatisation; finally terms that occur in a large
+fraction of documents are dropped as non-discriminative. The output
+:class:`BagOfWords` is the unified column-style format consumed by the
+profiler for both modalities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.text.lemmatizer import lemmatize
+from repro.text.pos import is_probable_noun
+from repro.text.stopwords import is_stopword
+from repro.text.tokenizer import tokenize
+
+
+@dataclass
+class BagOfWords:
+    """Column-style representation of a document (or a column's values)."""
+
+    terms: Counter = field(default_factory=Counter)
+
+    @property
+    def vocabulary(self) -> set[str]:
+        return set(self.terms)
+
+    @property
+    def total(self) -> int:
+        return sum(self.terms.values())
+
+    def top(self, n: int) -> list[str]:
+        """The ``n`` most frequent terms (ties broken alphabetically)."""
+        return [t for t, _ in sorted(self.terms.items(), key=lambda kv: (-kv[1], kv[0]))[:n]]
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.terms
+
+    def __iter__(self):
+        return iter(self.terms)
+
+
+class DocumentPipeline:
+    """NLP-based format transformation from raw text to :class:`BagOfWords`.
+
+    Parameters
+    ----------
+    max_doc_frequency:
+        Terms appearing in more than this fraction of documents (measured on
+        the corpus passed to :meth:`fit`) are filtered out as
+        non-discriminative, per paper §3.
+    keep_pos_nouns:
+        Apply the heuristic noun filter. Disabled for metadata strings, where
+        every token is content-bearing.
+    """
+
+    def __init__(self, max_doc_frequency: float = 0.5, keep_pos_nouns: bool = True):
+        if not 0.0 < max_doc_frequency <= 1.0:
+            raise ValueError(f"max_doc_frequency must be in (0, 1], got {max_doc_frequency}")
+        self.max_doc_frequency = max_doc_frequency
+        self.keep_pos_nouns = keep_pos_nouns
+        self._common_terms: set[str] = set()
+        self._num_docs_fit = 0
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, corpus: Iterable[str]) -> "DocumentPipeline":
+        """Learn the corpus-wide document frequencies used for term filtering."""
+        doc_freq: Counter = Counter()
+        n = 0
+        for text in corpus:
+            n += 1
+            doc_freq.update(set(self._base_terms(text)))
+        self._num_docs_fit = n
+        # "Occurs in a large number of documents" is only meaningful with a
+        # corpus of some size; on a handful of documents the filter would
+        # delete the entire vocabulary.
+        if n >= 5:
+            cutoff = self.max_doc_frequency * n
+            self._common_terms = {t for t, df in doc_freq.items() if df > cutoff}
+        else:
+            self._common_terms = set()
+        return self
+
+    # ------------------------------------------------------------ transform
+
+    def transform(self, text: str) -> BagOfWords:
+        """Transform one document into its bag-of-words representation."""
+        terms = [t for t in self._base_terms(text) if t not in self._common_terms]
+        return BagOfWords(Counter(terms))
+
+    def fit_transform(self, corpus: list[str]) -> list[BagOfWords]:
+        self.fit(corpus)
+        return [self.transform(text) for text in corpus]
+
+    # ------------------------------------------------------------ internals
+
+    def _base_terms(self, text: str) -> list[str]:
+        """Tokenise + stopword-filter + POS-filter + lemmatise."""
+        out = []
+        for token in tokenize(text):
+            if is_stopword(token):
+                continue
+            if self.keep_pos_nouns and not is_probable_noun(token):
+                continue
+            lemma = lemmatize(token)
+            if len(lemma) < 2:
+                continue
+            out.append(lemma)
+        return out

@@ -1,0 +1,77 @@
+"""Heuristic part-of-speech filtering.
+
+The CMDL pipeline keeps only noun terms (paper §3). A full statistical POS
+tagger is out of scope and unnecessary: for the discovery task, what matters
+is dropping the verb/adjective/adverb/function-word bulk so that the bag of
+words concentrates on content-bearing nouns (drug names, enzyme names, place
+names, column-value vocabulary). We implement the suffix + closed-class
+heuristics classically used for unknown-word POS guessing, which work well for
+this purpose and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+# Closed-class non-noun words common in technical prose and not always caught
+# by the stop-word list.
+_NON_NOUN_WORDS = frozenset(
+    """
+    is are was were be been being have has had do does did can could may
+    might must shall should will would inhibit inhibits inhibited increase
+    increases increased decrease decreases decreased cause causes caused
+    target targets targeted show shows showed found find finds use uses used
+    include includes included contain contains contained suggest suggests
+    suggested report reports reported associated related against active
+    severe greater larger smaller higher lower novel new old known unknown
+    several many much other another same different such very more most less
+    least
+    """.split()
+)
+
+# Suffixes that strongly indicate verbs, adverbs, or adjectives. Plain "-ed"
+# is deliberately NOT here: domain nouns such as drug names (pemetrexed)
+# end in -ed, and losing them would destroy the discovery signal; common
+# participles are caught by the closed-class list and "-ated"/"-ized" below.
+_NON_NOUN_SUFFIXES = (
+    "ly",     # adverbs: rapidly, severely
+    "ing",    # gerunds/participles: targeting, developing
+    "ated",   # participles: associated, elevated
+    "ized",   # participles: characterized
+    "ised",   # participles: characterised
+    "ive",    # adjectives: active, effective
+    "ous",    # adjectives: dangerous, aqueous
+    "able",   # adjectives: capable
+    "ible",   # adjectives: possible
+    "ful",    # adjectives: useful
+    "less",   # adjectives: harmless
+    "est",    # superlatives: largest
+)
+
+# Suffixes that strongly indicate nouns and override the non-noun suffixes
+# (e.g. "-tion" contains no blocked suffix but "reduction" matters; "-ase"
+# catches enzymes like reductase/synthase which end in neither list).
+_NOUN_SUFFIXES = (
+    "tion", "sion", "ment", "ness", "ity", "ance", "ence", "ship", "ism",
+    "ase", "ine", "ide", "ate", "ol", "gen", "cyte", "emia", "itis", "oma",
+    "er", "or", "ist", "age", "ery", "ure",
+)
+
+
+def is_probable_noun(token: str) -> bool:
+    """Heuristically decide whether ``token`` (lowercased) is a noun.
+
+    Numbers are rejected; capitalisation is not available post-lowercasing so
+    the decision rests on closed-class membership and suffix morphology.
+    Unknown words with neutral morphology default to *noun*, which matches the
+    behaviour needed for domain terms (drug names, gene symbols, place names).
+    """
+    if not token or token[0].isdigit():
+        return False
+    if token in _NON_NOUN_WORDS:
+        return False
+    for suffix in _NOUN_SUFFIXES:
+        if token.endswith(suffix) and len(token) > len(suffix) + 1:
+            return True
+    for suffix in _NON_NOUN_SUFFIXES:
+        if token.endswith(suffix) and len(token) > len(suffix) + 1:
+            return False
+    return True

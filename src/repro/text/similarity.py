@@ -1,0 +1,97 @@
+"""Set and string similarity measures used throughout CMDL.
+
+Includes the two Jaccard variants central to the paper (symmetric similarity
+vs the asymmetric *set containment* CMDL adopts, §3), plus the Jaro and
+Jaro-Winkler string metrics used by the entity-matching baselines and the
+schema-name similarity used for PK-FK and unionability.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.text.tokenizer import split_identifier
+
+
+def jaccard(a: Collection, b: Collection) -> float:
+    """Symmetric Jaccard similarity |A ∩ B| / |A ∪ B| (Aurum/D3L's measure)."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def jaccard_containment(a: Collection, b: Collection) -> float:
+    """Asymmetric Jaccard set containment |A ∩ B| / |A| (CMDL's measure).
+
+    Measured *from* ``a`` (e.g. the document side) *into* ``b`` (the column
+    side); robust when the two domain sizes are very different (paper §3).
+    """
+    sa = set(a)
+    if not sa:
+        return 0.0
+    return len(sa & set(b)) / len(sa)
+
+
+def jaro(s1: str, s2: str) -> float:
+    """Jaro string similarity in [0, 1]."""
+    if s1 == s2:
+        return 1.0
+    len1, len2 = len(s1), len(s2)
+    if not len1 or not len2:
+        return 0.0
+    match_window = max(len1, len2) // 2 - 1
+    match_window = max(match_window, 0)
+    s1_matches = [False] * len1
+    s2_matches = [False] * len2
+    matches = 0
+    for i, ch in enumerate(s1):
+        lo = max(0, i - match_window)
+        hi = min(len2, i + match_window + 1)
+        for j in range(lo, hi):
+            if s2_matches[j] or s2[j] != ch:
+                continue
+            s1_matches[i] = s2_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i in range(len1):
+        if not s1_matches[i]:
+            continue
+        while not s2_matches[k]:
+            k += 1
+        if s1[i] != s2[k]:
+            transpositions += 1
+        k += 1
+    transpositions //= 2
+    return (
+        matches / len1 + matches / len2 + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(s1: str, s2: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro boosted for common prefixes (<= 4 chars)."""
+    base = jaro(s1, s2)
+    prefix = 0
+    for c1, c2 in zip(s1[:4], s2[:4]):
+        if c1 != c2:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def name_similarity(name1: str, name2: str) -> float:
+    """Schema-name similarity: token Jaccard blended with Jaro-Winkler.
+
+    Identifier names like ``drug_id`` vs ``DrugKey`` match partially on tokens
+    and strongly on character shape; the blend (token-set Jaccard and
+    Jaro-Winkler on the normalised string, averaged) is robust to both naming
+    conventions.
+    """
+    t1, t2 = split_identifier(name1), split_identifier(name2)
+    token_score = jaccard(t1, t2)
+    string_score = jaro_winkler(" ".join(t1), " ".join(t2))
+    return 0.5 * token_score + 0.5 * string_score

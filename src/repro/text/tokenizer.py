@@ -1,0 +1,49 @@
+"""Tokenisation for documents, cell values, and schema names."""
+
+from __future__ import annotations
+
+import re
+
+# Words: letter-initiated alphanumerics, allowing internal hyphens and
+# apostrophes ("drug-drug", "don't"); numbers kept as separate tokens so the
+# pipeline's POS filter can drop them.
+_TOKEN_RE = re.compile(r"[A-Za-z][A-Za-z0-9'\-]*|[0-9]+(?:\.[0-9]+)?")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+
+
+def tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word tokens.
+
+    >>> tokenize("Pemetrexed inhibits thymidylate synthase.")
+    ['pemetrexed', 'inhibits', 'thymidylate', 'synthase']
+    """
+    tokens = _TOKEN_RE.findall(text)
+    if lowercase:
+        tokens = [t.lower() for t in tokens]
+    return tokens
+
+
+def sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on terminal punctuation."""
+    parts = _SENTENCE_RE.split(text.strip())
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def split_identifier(name: str) -> list[str]:
+    """Tokenise a schema identifier such as ``Enzyme_Targets`` or ``drugKey``.
+
+    Handles snake_case, kebab-case, CamelCase and whitespace.
+
+    >>> split_identifier("Enzyme_Targets")
+    ['enzyme', 'targets']
+    >>> split_identifier("drugKey")
+    ['drug', 'key']
+    """
+    pieces = re.split(r"[\s_\-./]+", name.strip())
+    tokens: list[str] = []
+    for piece in pieces:
+        if not piece:
+            continue
+        tokens.extend(t.lower() for t in _CAMEL_RE.split(piece) if t)
+    return tokens

@@ -1,0 +1,18 @@
+"""Shared low-level utilities: stable hashing, RNG plumbing, and timers.
+
+Everything in :mod:`repro` that needs hashing or randomness goes through this
+module so that runs are reproducible across processes (Python's built-in
+``hash`` is salted per process and therefore unusable for sketches).
+"""
+
+from repro.utils.hashing import stable_hash_32, stable_hash_64, hash_family
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+__all__ = [
+    "stable_hash_32",
+    "stable_hash_64",
+    "hash_family",
+    "ensure_rng",
+    "Timer",
+]

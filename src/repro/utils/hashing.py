@@ -1,0 +1,66 @@
+"""Stable, process-independent hash functions.
+
+The minhash sketches, LSH bands, and the subword-hashing embedder all need
+hash functions that (a) are deterministic across interpreter sessions and
+(b) can be drawn as an indexed family ``h_0, h_1, ...``. We build them from
+blake2b with an explicit seed baked into the key, which is both fast and has
+excellent distribution properties.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Callable
+
+_MASK_64 = (1 << 64) - 1
+_MASK_32 = (1 << 32) - 1
+
+# Parameters of the classic universal-hash family h(x) = (a*x + b) mod p.
+# 2**61 - 1 is a Mersenne prime, the standard choice for 64-bit minhash.
+MERSENNE_PRIME = (1 << 61) - 1
+
+
+def stable_hash_64(value: str | bytes, seed: int = 0) -> int:
+    """Return a deterministic 64-bit hash of ``value``.
+
+    Unlike ``hash()``, the result does not depend on ``PYTHONHASHSEED`` and is
+    identical across processes and platforms.
+    """
+    if isinstance(value, str):
+        value = value.encode("utf-8", errors="replace")
+    key = struct.pack("<Q", seed & _MASK_64)
+    digest = hashlib.blake2b(value, digest_size=8, key=key).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+def stable_hash_32(value: str | bytes, seed: int = 0) -> int:
+    """Return a deterministic 32-bit hash of ``value``."""
+    return stable_hash_64(value, seed) & _MASK_32
+
+
+def hash_family(num_hashes: int, seed: int = 0) -> list[Callable[[int], int]]:
+    """Return ``num_hashes`` independent universal hash functions over ints.
+
+    Each function maps a 64-bit integer to ``[0, 2**61 - 2]`` using the
+    multiply-add-mod-prime construction. The (a, b) coefficients are derived
+    deterministically from ``seed`` so sketches built in different processes
+    are comparable.
+    """
+    if num_hashes <= 0:
+        raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+    functions = []
+    for i in range(num_hashes):
+        a = stable_hash_64(f"minhash-a-{i}", seed) % (MERSENNE_PRIME - 1) + 1
+        b = stable_hash_64(f"minhash-b-{i}", seed) % MERSENNE_PRIME
+
+        def h(x: int, a: int = a, b: int = b) -> int:
+            return (a * x + b) % MERSENNE_PRIME
+
+        functions.append(h)
+    return functions
+
+
+def token_fingerprint(token: str, seed: int = 0) -> int:
+    """Map a token to the 64-bit integer domain used by the hash families."""
+    return stable_hash_64(token, seed)

@@ -1,0 +1,24 @@
+"""Random-number-generator plumbing.
+
+All stochastic components (lake generators, samplers, NN initialisation,
+mini-batch shuffling) accept either an integer seed, an existing
+``numpy.random.Generator``, or ``None``; :func:`ensure_rng` normalises the
+three cases so call sites stay tidy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for any accepted seed spec."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` statistically independent child generators."""
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,38 @@
+"""Wall-clock timing helpers used by the profiler and benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+def time_call(fn, *args, repeat: int = 1, **kwargs):
+    """Call ``fn`` ``repeat`` times; return (last result, mean seconds)."""
+    if repeat <= 0:
+        raise ValueError("repeat must be positive")
+    result = None
+    start = time.perf_counter()
+    for _ in range(repeat):
+        result = fn(*args, **kwargs)
+    elapsed = (time.perf_counter() - start) / repeat
+    return result, elapsed

@@ -1,0 +1,31 @@
+"""Weak-supervision substrate (the Snorkel stand-in, paper §4.1).
+
+Components:
+
+* :class:`LabelingFunction` — a named weak labeler emitting 1 (related),
+  0 (unrelated), or ABSTAIN per data point.
+* :class:`GenerativeLabelModel` — estimates each LF's accuracy purely from
+  agreements/disagreements (Dawid-Skene EM, the same family as Snorkel's
+  generative model) and combines the noisy votes into probabilistic labels.
+* :class:`LogisticRegression` — the discriminative stage: trained with the
+  standard cross-entropy loss on input features against the probabilistic
+  labels, so the model generalises beyond the labeled points.
+* :func:`prune_labeling_functions` — the paper's gold-label preprocessing:
+  switch off LFs whose measured accuracy falls below a threshold fraction of
+  the best LF's accuracy.
+"""
+
+from repro.weaklabel.lf import ABSTAIN, LabelingFunction, apply_labeling_functions
+from repro.weaklabel.generative import GenerativeLabelModel
+from repro.weaklabel.discriminative import LogisticRegression
+from repro.weaklabel.gold import lf_accuracies_on_gold, prune_labeling_functions
+
+__all__ = [
+    "ABSTAIN",
+    "LabelingFunction",
+    "apply_labeling_functions",
+    "GenerativeLabelModel",
+    "LogisticRegression",
+    "lf_accuracies_on_gold",
+    "prune_labeling_functions",
+]

@@ -1,0 +1,82 @@
+"""Discriminative stage: logistic regression on input features.
+
+The probabilistic labels from the generative model are put through a
+discriminator trained with the standard cross-entropy loss over the input
+features, ensuring generalisation beyond the labeled points (paper §4.1).
+Soft targets are supported directly (cross entropy against probabilities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class LogisticRegression:
+    """L2-regularised logistic regression trained by full-batch gradient descent."""
+
+    def __init__(
+        self,
+        lr: float = 0.5,
+        l2: float = 1e-4,
+        max_iter: int = 500,
+        tol: float = 1e-7,
+        seed: int = 0,
+    ):
+        if lr <= 0 or max_iter <= 0:
+            raise ValueError("lr and max_iter must be positive")
+        self.lr = lr
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self.n_iter_: int = 0
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 0.5 * (1.0 + np.tanh(0.5 * z))  # numerically stable sigmoid
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LogisticRegression":
+        """Fit on (n, d) features against soft or hard targets in [0, 1]."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise ValueError("features and targets disagree on n")
+        n, d = x.shape
+        rng = ensure_rng(self.seed)
+        w = rng.normal(scale=0.01, size=d)
+        b = 0.0
+        prev_loss = np.inf
+        for iteration in range(self.max_iter):
+            p = self._sigmoid(x @ w + b)
+            error = p - y
+            grad_w = x.T @ error / n + self.l2 * w
+            grad_b = float(error.mean())
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+            eps = 1e-12
+            loss = float(
+                -np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+                + 0.5 * self.l2 * np.dot(w, w)
+            )
+            self.n_iter_ = iteration + 1
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.weights = w
+        self.bias = b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit() the model before calling predict_proba()")
+        x = np.asarray(features, dtype=float)
+        return self._sigmoid(x @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)

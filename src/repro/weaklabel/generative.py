@@ -1,0 +1,109 @@
+"""Generative label model: combine noisy LF votes into probabilistic labels.
+
+Snorkel's generative model estimates LF accuracies using only their
+agreements and disagreements, then reweights and combines their outputs
+(paper §4.1). We implement the canonical member of that family: the binary
+Dawid-Skene model fit with EM. Each LF j has a (class-conditional) accuracy
+alpha_j = P(vote = y | not abstain); the latent true label y has prior pi.
+
+E-step:  P(y=1 | votes_i) ∝ pi * prod_j alpha_j^[v=1] (1-alpha_j)^[v=0]
+M-step:  alpha_j = expected fraction of non-abstain votes matching y.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.weaklabel.lf import ABSTAIN
+
+
+class GenerativeLabelModel:
+    """Dawid-Skene EM over a {0, 1, ABSTAIN} vote matrix."""
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-6, seed: int = 0):
+        if max_iter <= 0:
+            raise ValueError(f"max_iter must be positive, got {max_iter}")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.lf_accuracies: np.ndarray | None = None
+        self.class_prior: float | None = None
+        self.n_iter_: int = 0
+
+    def fit(self, votes: np.ndarray) -> "GenerativeLabelModel":
+        """Fit LF accuracies from the (n, m) vote matrix."""
+        votes = np.asarray(votes)
+        if votes.ndim != 2:
+            raise ValueError(f"votes must be 2-D, got shape {votes.shape}")
+        n, m = votes.shape
+        pos = votes == 1
+        neg = votes == 0
+        voted = votes != ABSTAIN
+
+        # Initialise from the majority-vote posterior: per-LF accuracies are
+        # seeded by how often each LF agrees with the majority, which puts
+        # EM in the right basin immediately.
+        pos_counts = pos.sum(axis=1)
+        vote_counts = np.maximum(voted.sum(axis=1), 1)
+        prob = np.clip(pos_counts / vote_counts, 0.05, 0.95)
+        pi = float(np.clip(prob.mean(), 0.05, 0.95))
+        agree0 = pos * prob[:, None] + neg * (1.0 - prob)[:, None]
+        denom0 = np.maximum(voted.sum(axis=0).astype(float), 1.0)
+        alpha = np.clip(agree0.sum(axis=0) / denom0, 0.05, 0.95)
+
+        prev_ll = -np.inf
+        for iteration in range(self.max_iter):
+            # E-step in log space for numerical stability.
+            log_a = np.log(np.clip(alpha, 1e-6, 1 - 1e-6))
+            log_na = np.log(np.clip(1.0 - alpha, 1e-6, 1 - 1e-6))
+            # Likelihood of votes under y=1: vote==1 -> alpha, vote==0 -> 1-alpha.
+            ll_pos = pos @ log_a + neg @ log_na + np.log(pi)
+            ll_neg = neg @ log_a + pos @ log_na + np.log(1.0 - pi)
+            shift = np.maximum(ll_pos, ll_neg)
+            w_pos = np.exp(ll_pos - shift)
+            w_neg = np.exp(ll_neg - shift)
+            prob = w_pos / (w_pos + w_neg)
+
+            # M-step.
+            pi = float(np.clip(prob.mean(), 0.01, 0.99))
+            agree = pos * prob[:, None] + neg * (1.0 - prob)[:, None]
+            denom = voted.sum(axis=0).astype(float)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                alpha_new = np.where(denom > 0, agree.sum(axis=0) / denom, 0.5)
+            alpha = np.clip(alpha_new, 0.01, 0.99)
+
+            ll = float(np.sum(shift + np.log(w_pos + w_neg)))
+            self.n_iter_ = iteration + 1
+            if abs(ll - prev_ll) < self.tol * max(1.0, abs(prev_ll)):
+                break
+            prev_ll = ll
+
+        # Polarity guard: Dawid-Skene is symmetric under a global label flip.
+        # Like Snorkel, we assume labeling functions are better than chance on
+        # average; if EM converged to the flipped mode, un-flip it.
+        if float(alpha.mean()) < 0.5:
+            alpha = 1.0 - alpha
+            pi = 1.0 - pi
+
+        self.lf_accuracies = alpha
+        self.class_prior = pi
+        return self
+
+    def predict_proba(self, votes: np.ndarray) -> np.ndarray:
+        """Posterior P(y=1 | votes) for each row of the vote matrix."""
+        if self.lf_accuracies is None:
+            raise RuntimeError("fit() the model before calling predict_proba()")
+        votes = np.asarray(votes)
+        pos = votes == 1
+        neg = votes == 0
+        log_a = np.log(np.clip(self.lf_accuracies, 1e-6, 1 - 1e-6))
+        log_na = np.log(np.clip(1.0 - self.lf_accuracies, 1e-6, 1 - 1e-6))
+        ll_pos = pos @ log_a + neg @ log_na + np.log(self.class_prior)
+        ll_neg = neg @ log_a + pos @ log_na + np.log(1.0 - self.class_prior)
+        shift = np.maximum(ll_pos, ll_neg)
+        w_pos = np.exp(ll_pos - shift)
+        w_neg = np.exp(ll_neg - shift)
+        return w_pos / (w_pos + w_neg)
+
+    def fit_predict_proba(self, votes: np.ndarray) -> np.ndarray:
+        return self.fit(votes).predict_proba(votes)

@@ -1,0 +1,66 @@
+"""Gold-label preprocessing: measure and prune weak labeling functions.
+
+With only a handful of LFs, Snorkel cannot always null out a poor one
+(paper §4.1). CMDL's remedy: when a tiny gold-labeled set exists, measure
+each LF's accuracy on it and switch off every LF whose accuracy is below a
+threshold (default 50%) *relative to the best LF's accuracy*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.weaklabel.lf import ABSTAIN, LabelingFunction, apply_labeling_functions
+
+
+def lf_accuracies_on_gold(
+    lfs: Sequence[LabelingFunction],
+    gold_points: Sequence[object],
+    gold_labels: Sequence[int],
+) -> dict[str, float]:
+    """Per-LF accuracy over non-abstain votes on the gold set.
+
+    An LF that abstains everywhere gets accuracy 0.0 (it carries no signal
+    on this data and should not survive pruning by default).
+    """
+    if len(gold_points) != len(gold_labels):
+        raise ValueError("gold points and labels disagree on length")
+    votes = apply_labeling_functions(lfs, gold_points)
+    labels = np.asarray(gold_labels)
+    out: dict[str, float] = {}
+    for j, lf in enumerate(lfs):
+        col = votes[:, j]
+        voted = col != ABSTAIN
+        if not voted.any():
+            out[lf.name] = 0.0
+            continue
+        out[lf.name] = float((col[voted] == labels[voted]).mean())
+    return out
+
+
+def prune_labeling_functions(
+    lfs: Sequence[LabelingFunction],
+    gold_points: Sequence[object],
+    gold_labels: Sequence[int],
+    relative_threshold: float = 0.5,
+) -> dict[str, float]:
+    """Disable LFs whose gold accuracy < threshold * best accuracy.
+
+    Mutates ``lf.enabled`` in place (disabled LFs abstain on every point),
+    and returns the measured accuracies for reporting. At least one LF (the
+    best) always remains enabled.
+    """
+    if not 0.0 < relative_threshold <= 1.0:
+        raise ValueError(
+            f"relative_threshold must be in (0, 1], got {relative_threshold}"
+        )
+    accuracies = lf_accuracies_on_gold(lfs, gold_points, gold_labels)
+    best = max(accuracies.values(), default=0.0)
+    if best <= 0.0:
+        return accuracies  # nothing measurable; leave all LFs on
+    cutoff = relative_threshold * best
+    for lf in lfs:
+        lf.enabled = accuracies[lf.name] >= cutoff
+    return accuracies

@@ -1,0 +1,55 @@
+"""Labeling-function abstraction."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Sentinel vote for "this LF has no opinion on this point".
+ABSTAIN = -1
+
+
+class LabelingFunction:
+    """A named weak labeler: point -> {0, 1, ABSTAIN}.
+
+    ``fn`` may encode any heuristic — in CMDL the four main LFs are top-k
+    probes of the semantic, syntactic, content-keyword, and metadata-keyword
+    indexes (paper Figure 3). The class is deliberately open so new signals
+    (e.g. an LLM-based relatedness check) plug in without system changes.
+    """
+
+    def __init__(self, name: str, fn: Callable[[object], int]):
+        if not name:
+            raise ValueError("labeling function needs a non-empty name")
+        self.name = name
+        self.fn = fn
+        self.enabled = True
+
+    def __call__(self, point: object) -> int:
+        if not self.enabled:
+            return ABSTAIN
+        vote = self.fn(point)
+        if vote not in (0, 1, ABSTAIN):
+            raise ValueError(
+                f"labeling function {self.name!r} returned {vote!r}; "
+                "expected 0, 1, or ABSTAIN"
+            )
+        return vote
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"LabelingFunction({self.name!r}, {state})"
+
+
+def apply_labeling_functions(
+    lfs: Sequence[LabelingFunction], points: Sequence[object]
+) -> np.ndarray:
+    """Build the (n_points, n_lfs) vote matrix with values {0, 1, ABSTAIN}."""
+    if not lfs:
+        raise ValueError("need at least one labeling function")
+    votes = np.full((len(points), len(lfs)), ABSTAIN, dtype=int)
+    for j, lf in enumerate(lfs):
+        for i, point in enumerate(points):
+            votes[i, j] = lf(point)
+    return votes

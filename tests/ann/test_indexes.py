@@ -1,0 +1,139 @@
+"""Tests for the exact and random-projection-forest ANN indexes."""
+
+import numpy as np
+import pytest
+
+from repro.ann.exact import ExactIndex
+from repro.ann.rpforest import RPForestIndex
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    return np.random.default_rng(0).standard_normal((200, 16))
+
+
+@pytest.fixture(scope="module")
+def exact(points) -> ExactIndex:
+    idx = ExactIndex(dim=16)
+    for i, v in enumerate(points):
+        idx.add(f"p{i}", v)
+    return idx.build()
+
+
+@pytest.fixture(scope="module")
+def forest(points) -> RPForestIndex:
+    idx = RPForestIndex(dim=16, num_trees=8, leaf_size=8, seed=0)
+    for i, v in enumerate(points):
+        idx.add(f"p{i}", v)
+    return idx.build()
+
+
+class TestExactIndex:
+    def test_self_is_nearest(self, exact, points):
+        assert exact.query(points[17], k=1)[0][0] == "p17"
+
+    def test_scores_descending(self, exact, points):
+        result = exact.query(points[0], k=10)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclude(self, exact, points):
+        result = exact.query(points[3], k=5, exclude={"p3"})
+        assert all(k != "p3" for k, _ in result)
+
+    def test_k_larger_than_index(self):
+        idx = ExactIndex(dim=2)
+        idx.add("a", np.array([1.0, 0.0]))
+        assert len(idx.query(np.array([1.0, 0.0]), k=10)) == 1
+
+    def test_empty_index(self):
+        assert ExactIndex(dim=4).query(np.zeros(4), k=3) == []
+
+    def test_dim_mismatch_rejected(self):
+        idx = ExactIndex(dim=4)
+        with pytest.raises(ValueError, match="dim"):
+            idx.add("a", np.zeros(5))
+
+    def test_zero_vector_handled(self):
+        idx = ExactIndex(dim=3)
+        idx.add("z", np.zeros(3))
+        idx.add("a", np.array([1.0, 0, 0]))
+        result = idx.query(np.array([1.0, 0, 0]), k=2)
+        assert result[0][0] == "a"
+
+
+class TestRPForest:
+    def test_self_is_nearest(self, forest, points):
+        assert forest.query(points[42], k=1)[0][0] == "p42"
+
+    def test_recall_against_exact(self, forest, exact, points):
+        """The forest must recover most of the exact top-10."""
+        recalls = []
+        for i in range(0, 50, 5):
+            true_top = {k for k, _ in exact.query(points[i], k=10)}
+            approx_top = {k for k, _ in forest.query(points[i], k=10)}
+            recalls.append(len(true_top & approx_top) / 10)
+        assert np.mean(recalls) > 0.8
+
+    def test_search_k_improves_recall(self, points, exact):
+        idx = RPForestIndex(dim=16, num_trees=2, leaf_size=4, seed=1)
+        for i, v in enumerate(points):
+            idx.add(f"p{i}", v)
+        idx.build()
+        q = points[7]
+        true_top = {k for k, _ in exact.query(q, k=10)}
+        small = {k for k, _ in idx.query(q, k=10, search_k=10)}
+        large = {k for k, _ in idx.query(q, k=10, search_k=200)}
+        assert len(large & true_top) >= len(small & true_top)
+
+    def test_exclude(self, forest, points):
+        result = forest.query(points[3], k=5, exclude={"p3"})
+        assert all(k != "p3" for k, _ in result)
+
+    def test_empty_index(self):
+        idx = RPForestIndex(dim=4)
+        assert idx.build().query(np.zeros(4), k=3) == []
+
+    def test_auto_build_on_query(self, points):
+        idx = RPForestIndex(dim=16, seed=0)
+        for i, v in enumerate(points[:20]):
+            idx.add(f"p{i}", v)
+        assert idx.query(points[0], k=1)[0][0] == "p0"
+
+    def test_add_invalidates_build(self, points):
+        idx = RPForestIndex(dim=16, seed=0)
+        for i, v in enumerate(points[:10]):
+            idx.add(f"p{i}", v)
+        idx.build()
+        idx.add("new", points[11])
+        assert "new" in [k for k, _ in idx.query(points[11], k=1)]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RPForestIndex(dim=0)
+        with pytest.raises(ValueError):
+            RPForestIndex(dim=4, num_trees=0)
+        with pytest.raises(ValueError):
+            RPForestIndex(dim=4, leaf_size=1)
+
+    def test_dim_mismatch_rejected(self):
+        idx = RPForestIndex(dim=4)
+        with pytest.raises(ValueError, match="dim"):
+            idx.add("a", np.zeros(3))
+
+    def test_duplicate_points_ok(self):
+        idx = RPForestIndex(dim=4, num_trees=4, leaf_size=2, seed=0)
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        for i in range(20):
+            idx.add(f"dup{i}", v)
+        idx.build()
+        assert len(idx.query(v, k=5)) == 5
+
+    def test_deterministic_given_seed(self, points):
+        def build():
+            idx = RPForestIndex(dim=16, num_trees=4, seed=5)
+            for i, v in enumerate(points[:50]):
+                idx.add(f"p{i}", v)
+            return idx.build().query(points[3], k=5)
+
+        assert build() == build()

@@ -1,0 +1,147 @@
+"""Tests for the Aurum and D3L baseline systems."""
+
+import pytest
+
+from repro.baselines.aurum import AurumBaseline
+from repro.baselines.d3l import D3LBaseline, format_pattern
+from repro.core.profiler import Profiler
+from repro.relational.catalog import DataLake
+from repro.relational.table import Table
+
+
+@pytest.fixture(scope="module")
+def skewed_lake() -> DataLake:
+    """PK of 100 values; FK covering only 10 - the containment-vs-Jaccard gap."""
+    lake = DataLake("skewed")
+    lake.add_table(Table.from_dict("drugs", {
+        "drug_id": [f"DB{i:05d}" for i in range(100)],
+        "name": [f"compound{i}" for i in range(100)],
+    }))
+    lake.add_table(Table.from_dict("targets", {
+        "target_id": [f"T{i}" for i in range(50)],
+        "drug_ref": [f"DB{i % 10:05d}" for i in range(50)],
+    }))
+    lake.add_table(Table.from_dict("balanced", {
+        "drug_key": [f"DB{i:05d}" for i in range(100)],
+        "status": [("active" if i % 2 else "retired") for i in range(100)],
+    }))
+    return lake
+
+
+@pytest.fixture(scope="module")
+def profile(skewed_lake):
+    return Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(skewed_lake)
+
+
+@pytest.fixture(scope="module")
+def uniqueness(skewed_lake):
+    return {c.qualified_name: c.uniqueness for c in skewed_lake.columns}
+
+
+class TestAurumJoins:
+    def test_balanced_join_found(self, profile, uniqueness):
+        aurum = AurumBaseline(profile, uniqueness)
+        hits = dict(aurum.joinable_columns("drugs.drug_id", k=5))
+        assert hits.get("balanced.drug_key", 0) == pytest.approx(1.0)
+
+    def test_skewed_join_underscored(self, profile, uniqueness):
+        """Aurum's Jaccard similarity collapses on skewed cardinalities."""
+        aurum = AurumBaseline(profile, uniqueness)
+        hits = dict(aurum.joinable_columns("drugs.drug_id", k=5))
+        assert hits.get("targets.drug_ref", 0.0) <= 0.15
+
+    def test_cmdl_containment_not_fooled(self, profile):
+        """Contrast: CMDL's containment scores the same pair at 1.0."""
+        from repro.core.joinability import JoinDiscovery
+
+        jd = JoinDiscovery(profile)
+        assert jd.score("drugs.drug_id", "targets.drug_ref") == pytest.approx(1.0)
+
+
+class TestAurumPKFK:
+    def test_balanced_fk_found(self, profile, uniqueness):
+        aurum = AurumBaseline(profile, uniqueness)
+        pairs = {(l.pk_column, l.fk_column) for l in aurum.discover_pkfk()}
+        assert ("drugs.drug_id", "balanced.drug_key") in pairs
+
+    def test_skewed_fk_missed(self, profile, uniqueness):
+        """The recall gap of Table 4: Jaccard misses partial-coverage FKs."""
+        aurum = AurumBaseline(profile, uniqueness)
+        pairs = {(l.pk_column, l.fk_column) for l in aurum.discover_pkfk()}
+        assert ("drugs.drug_id", "targets.drug_ref") not in pairs
+
+    def test_cmdl_finds_skewed_fk(self, profile, uniqueness):
+        from repro.core.pkfk import PKFKDiscovery
+
+        cmdl = PKFKDiscovery(profile, uniqueness)
+        pairs = {(l.pk_column, l.fk_column) for l in cmdl.discover()}
+        assert ("drugs.drug_id", "targets.drug_ref") in pairs
+
+    def test_table_scope(self, profile, uniqueness):
+        aurum = AurumBaseline(profile, uniqueness)
+        links = aurum.discover_pkfk(table_scope={"drugs", "balanced"})
+        tables = {profile.columns[l.fk_column].table_name for l in links}
+        assert "targets" not in tables
+
+
+class TestAurumUnion:
+    def test_max_combination(self, profile, uniqueness):
+        aurum = AurumBaseline(profile, uniqueness)
+        hits = aurum.unionable_tables("drugs", k=3)
+        assert hits
+        assert all(0 <= s <= 1.0 + 1e-9 for _, s in hits)
+
+
+class TestFormatPattern:
+    def test_id_pattern(self):
+        assert format_pattern("DB00642") == "a9"
+
+    def test_float_pattern(self):
+        assert format_pattern("12.5") == "9.9"
+
+    def test_word_pattern(self):
+        assert format_pattern("aspirin") == "a"
+
+    def test_mixed(self):
+        assert format_pattern("3-Jun-2023") == "9-a-9"
+
+
+class TestD3L:
+    def test_signal_similarities_complete(self, profile):
+        d3l = D3LBaseline(profile)
+        sims = d3l.signal_similarities("drugs.drug_id", "balanced.drug_key")
+        assert set(sims) == set(D3LBaseline.SIGNALS)
+        assert sims["value"] == pytest.approx(1.0)
+        assert sims["format"] == pytest.approx(1.0)
+
+    def test_combined_distance_bounds(self, profile):
+        d3l = D3LBaseline(profile)
+        d = d3l.combined_distance("drugs.drug_id", "balanced.drug_key")
+        assert 0.0 <= d <= 1.0 + 1e-9
+
+    def test_identical_columns_near_zero_distance(self, profile):
+        d3l = D3LBaseline(profile)
+        d_same = d3l.combined_distance("drugs.drug_id", "balanced.drug_key")
+        d_diff = d3l.combined_distance("drugs.drug_id", "balanced.status")
+        assert d_same < d_diff
+
+    def test_join_prefers_value_overlap(self, profile):
+        d3l = D3LBaseline(profile)
+        hits = dict(d3l.joinable_columns("drugs.drug_id", k=5))
+        assert hits.get("balanced.drug_key", 0) > hits.get("targets.drug_ref", 0)
+
+    def test_union_ranks_schema_twin_first(self, profile):
+        d3l = D3LBaseline(profile)
+        hits = d3l.unionable_tables("drugs", k=3)
+        assert hits[0][0] == "balanced"
+
+    def test_invalid_weights(self, profile):
+        with pytest.raises(ValueError):
+            D3LBaseline(profile, weights={"smell": 1.0})
+
+    def test_custom_weights_change_ranking(self, profile):
+        full = D3LBaseline(profile)
+        name_only = D3LBaseline(profile, weights={"name": 1.0})
+        d_full = full.combined_distance("drugs.drug_id", "targets.drug_ref")
+        d_name = name_only.combined_distance("drugs.drug_id", "targets.drug_ref")
+        assert d_full != d_name

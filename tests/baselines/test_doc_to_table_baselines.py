@@ -1,0 +1,150 @@
+"""Tests for the elastic, containment, and entity-matching baselines."""
+
+import pytest
+
+from repro.baselines.containment import ContainmentSearchBaseline
+from repro.baselines.elastic import ELASTIC_MODES, ElasticSearchBaseline
+from repro.baselines.entity_matching import (
+    EntityExtractor,
+    EntityMatchingBaseline,
+    JaroBudgetExceeded,
+)
+from repro.baselines.cmdl_adapter import CMDLDocToTable
+from repro.core.indexes import IndexCatalog
+from repro.core.profiler import Profiler
+
+
+@pytest.fixture()
+def setup(toy_lake):
+    profile = Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(toy_lake)
+    indexes = IndexCatalog(profile, num_partitions=2, num_bands=8,
+                           num_trees=4, seed=0)
+    return toy_lake, profile, indexes
+
+
+class TestElastic:
+    def test_all_modes_construct(self, setup):
+        _, profile, _ = setup
+        for mode in ELASTIC_MODES:
+            baseline = ElasticSearchBaseline(profile, mode)
+            assert baseline.name == f"elastic_{mode}"
+
+    def test_bm25_finds_related_table(self, setup):
+        _, profile, _ = setup
+        baseline = ElasticSearchBaseline(profile, "bm25")
+        tables = baseline.rank_tables("doc:aspirin", k=3)
+        assert tables
+        assert tables[0][0] in ("drugs", "targets")
+
+    def test_unknown_mode_rejected(self, setup):
+        _, profile, _ = setup
+        with pytest.raises(ValueError):
+            ElasticSearchBaseline(profile, "bm42")
+
+    def test_city_doc_finds_cities(self, setup):
+        _, profile, _ = setup
+        baseline = ElasticSearchBaseline(profile, "bm25_content")
+        tables = baseline.rank_tables("doc:city", k=2)
+        assert tables[0][0] == "cities"
+
+
+class TestContainment:
+    def test_rank_tables(self, setup):
+        _, profile, indexes = setup
+        baseline = ContainmentSearchBaseline(profile, indexes)
+        tables = baseline.rank_tables("doc:aspirin", k=3)
+        assert tables
+
+    def test_scores_quantised(self, setup):
+        _, profile, indexes = setup
+        baseline = ContainmentSearchBaseline(profile, indexes,
+                                             num_threshold_buckets=4)
+        tables = baseline.rank_tables("doc:aspirin", k=5)
+        for _, score in tables:
+            assert score == pytest.approx(round(score * 4) / 4, abs=1e-9)
+
+
+class TestEntityExtractor:
+    def test_capitalised_spans(self):
+        entities = EntityExtractor().extract(
+            "Aspirin inhibits Cox Synthase in trials.")
+        assert "Aspirin" in entities
+        assert "Cox Synthase" in entities
+
+    def test_codes(self):
+        entities = EntityExtractor().extract("See DB00642 for details")
+        assert "DB00642" in entities
+
+    def test_domain_lexicon(self):
+        ex = EntityExtractor(lexicon={"thymidylate synthase"})
+        entities = ex.extract("it binds thymidylate synthase tightly")
+        assert "thymidylate synthase" in entities
+
+    def test_short_spans_dropped(self):
+        assert "It" not in EntityExtractor().extract("It works")
+
+
+class TestEntityMatching:
+    def test_generic_jaccard(self, setup):
+        lake, profile, _ = setup
+        baseline = EntityMatchingBaseline(profile, lake, matcher="jaccard")
+        tables = baseline.rank_tables("doc:aspirin", k=3)
+        assert isinstance(tables, list)
+
+    def test_domain_beats_generic_on_pharma(self, setup):
+        lake, profile, _ = setup
+        lexicon = {"aspirin", "ibuprofen", "cox synthase"}
+        domain = EntityMatchingBaseline(profile, lake, matcher="jaccard",
+                                        extractor="domain", lexicon=lexicon)
+        tables = dict(domain.rank_tables("doc:aspirin", k=5))
+        assert "drugs" in tables or "targets" in tables
+
+    def test_domain_requires_lexicon(self, setup):
+        lake, profile, _ = setup
+        with pytest.raises(ValueError, match="lexicon"):
+            EntityMatchingBaseline(profile, lake, extractor="domain")
+
+    def test_jaro_budget_exceeded(self, setup):
+        lake, profile, _ = setup
+        baseline = EntityMatchingBaseline(profile, lake, matcher="jaro",
+                                          max_pairs_budget=2)
+        with pytest.raises(JaroBudgetExceeded):
+            baseline.rank_tables("doc:aspirin", k=3)
+
+    def test_jaro_within_budget(self, setup):
+        lake, profile, _ = setup
+        baseline = EntityMatchingBaseline(profile, lake, matcher="jaro",
+                                          match_threshold=0.8)
+        tables = baseline.rank_tables("doc:aspirin", k=3)
+        assert isinstance(tables, list)
+
+    def test_invalid_matcher(self, setup):
+        lake, profile, _ = setup
+        with pytest.raises(ValueError):
+            EntityMatchingBaseline(profile, lake, matcher="levenshtein")
+
+    def test_no_entities_empty_result(self, setup):
+        lake, profile, _ = setup
+        baseline = EntityMatchingBaseline(profile, lake)
+        # doc with no caps beyond sentence starts of stop-ish words: build one
+        # by querying a doc whose extractor output may be empty is fragile;
+        # instead check the contract directly.
+        baseline._documents["doc:lower"] = "nothing capitalised here at all"
+        assert baseline.rank_tables("doc:lower", k=3) == []
+
+
+class TestCMDLAdapter:
+    def test_wraps_engine(self, engine, pharma_generated):
+        gt = pharma_generated.ground_truth("doc_to_table")
+        adapter = CMDLDocToTable(engine, "joint")
+        tables = adapter.rank_tables(gt.queries[0], k=3)
+        assert tables
+        assert adapter.name == "cmdl_joint"
+
+    def test_invalid_representation(self, engine):
+        with pytest.raises(ValueError):
+            CMDLDocToTable(engine, "psychic")
+
+    def test_custom_label(self, engine):
+        adapter = CMDLDocToTable(engine, "solo", label="cmdl_gold")
+        assert adapter.name == "cmdl_gold"

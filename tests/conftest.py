@@ -1,0 +1,125 @@
+"""Shared fixtures: tiny lakes and fitted engines, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import CMDL, CMDLConfig
+from repro.lakes.mlopen import MLOpenLakeConfig, generate_mlopen_lake
+from repro.lakes.pharma import PharmaLakeConfig, generate_pharma_lake
+from repro.lakes.ukopen import UKOpenLakeConfig, generate_ukopen_lake
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+
+TINY_PHARMA = PharmaLakeConfig(
+    num_drugs=40,
+    num_enzymes=20,
+    num_documents=40,
+    noise_documents=8,
+    interactions_rows=60,
+    targets_rows=50,
+    chembl_compounds=40,
+    chebi_compounds=24,
+    union_derived_per_base=2,
+    seed=0,
+)
+
+TINY_UKOPEN = UKOpenLakeConfig(
+    num_families=5,
+    tables_per_family=3,
+    rows_per_table=30,
+    num_places=80,
+    num_documents=50,
+    noise_documents=8,
+    seed=0,
+)
+
+TINY_MLOPEN = MLOpenLakeConfig(
+    ss_tables=6,
+    ss_rows=20,
+    ms_tables=8,
+    ms_rows=30,
+    ls_tables=6,
+    ls_rows=60,
+    num_reviews=40,
+    noise_reviews=8,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def pharma_generated():
+    return generate_pharma_lake(TINY_PHARMA)
+
+
+@pytest.fixture(scope="session")
+def ukopen_generated():
+    return generate_ukopen_lake(TINY_UKOPEN)
+
+
+@pytest.fixture(scope="session")
+def mlopen_generated():
+    return generate_mlopen_lake(TINY_MLOPEN)
+
+
+@pytest.fixture(scope="session")
+def pharma_lake(pharma_generated):
+    return pharma_generated.lake
+
+
+@pytest.fixture(scope="session")
+def fitted_cmdl(pharma_lake):
+    """A CMDL instance fitted on the tiny pharma lake (joint model included)."""
+    cmdl = CMDL(CMDLConfig(sample_fraction=0.4, max_epochs=25, seed=0))
+    cmdl.fit(pharma_lake)
+    return cmdl
+
+
+@pytest.fixture(scope="session")
+def engine(fitted_cmdl):
+    return fitted_cmdl.engine
+
+
+@pytest.fixture()
+def toy_lake() -> DataLake:
+    """A handcrafted 3-table, 3-document lake with obvious relationships."""
+    lake = DataLake(name="toy")
+    lake.add_table(Table.from_dict(
+        "drugs",
+        {
+            "drug_id": ["D1", "D2", "D3", "D4"],
+            "name": ["aspirin", "ibuprofen", "codeine", "morphine"],
+            "year": ["1999", "2001", "2005", "2010"],
+        },
+    ))
+    lake.add_table(Table.from_dict(
+        "targets",
+        {
+            "target_id": ["T1", "T2", "T3"],
+            "drug_ref": ["D1", "D2", "D2"],
+            "protein": ["cox synthase", "cox reductase", "mu receptor"],
+        },
+    ))
+    lake.add_table(Table.from_dict(
+        "cities",
+        {
+            "city": ["london", "paris", "berlin", "madrid"],
+            "population": ["8.9", "2.1", "3.6", "3.2"],
+        },
+    ))
+    lake.add_document(Document(
+        doc_id="doc:aspirin",
+        title="Aspirin and cox synthase",
+        text="Aspirin inhibits cox synthase and reduces inflammation.",
+    ))
+    lake.add_document(Document(
+        doc_id="doc:ibuprofen",
+        title="Ibuprofen study",
+        text="Ibuprofen targets cox reductase in chronic inflammation.",
+    ))
+    lake.add_document(Document(
+        doc_id="doc:city",
+        title="Urban growth",
+        text="The population of london and berlin keeps growing.",
+    ))
+    return lake

@@ -1,0 +1,157 @@
+"""Tests for the discovery engine and the CMDL facade (uses session fixtures)."""
+
+import pytest
+
+from repro.core.discovery import DiscoveryResultSet
+from repro.core.system import CMDL, CMDLConfig
+
+
+class TestDiscoveryResultSet:
+    def test_one_based_indexing(self):
+        drs = DiscoveryResultSet([("a", 0.9), ("b", 0.5)], operation="test")
+        assert drs[1] == "a"
+        assert drs[2] == "b"
+
+    def test_index_out_of_range(self):
+        drs = DiscoveryResultSet([("a", 0.9)], operation="test")
+        with pytest.raises(IndexError):
+            drs[0]
+        with pytest.raises(IndexError):
+            drs[2]
+
+    def test_ids_scores_len_iter(self):
+        drs = DiscoveryResultSet([("a", 0.9), ("b", 0.5)], operation="test")
+        assert drs.ids() == ["a", "b"]
+        assert drs.scores() == {"a": 0.9, "b": 0.5}
+        assert len(drs) == 2
+        assert list(drs) == [("a", 0.9), ("b", 0.5)]
+
+    def test_intersect(self):
+        a = DiscoveryResultSet([("x", 1.0), ("y", 0.5)], operation="a")
+        b = DiscoveryResultSet([("y", 2.0), ("z", 1.0)], operation="b")
+        merged = a.intersect(b)
+        assert merged.ids() == ["y"]
+        assert merged.scores()["y"] == pytest.approx(0.5 + 1.0)
+
+    def test_unite(self):
+        a = DiscoveryResultSet([("x", 1.0)], operation="a")
+        b = DiscoveryResultSet([("y", 1.0)], operation="b")
+        merged = a.unite(b)
+        assert set(merged.ids()) == {"x", "y"}
+
+
+class TestContentSearch:
+    def test_doc_search_finds_relevant(self, engine, pharma_generated):
+        doc = pharma_generated.lake.documents[0]
+        token = sorted(engine.profile.documents[doc.doc_id].content_bow)[0]
+        result = engine.content_search(token, mode="text", k=10)
+        assert doc.doc_id in result.ids()
+
+    def test_table_mode_returns_columns(self, engine):
+        result = engine.content_search("enzyme", mode="table", k=5)
+        assert all("." in cid for cid in result.ids())
+
+    def test_invalid_mode(self, engine):
+        with pytest.raises(ValueError):
+            engine.content_search("x", mode="rows")
+
+    def test_metadata_search(self, engine):
+        result = engine.metadata_search("drug", mode="table", k=5)
+        assert len(result) > 0
+        assert any("drug" in cid for cid in result.ids())
+
+
+class TestCrossModalSearch:
+    def test_joint_search_returns_tables(self, engine, pharma_generated):
+        gt = pharma_generated.ground_truth("doc_to_table")
+        doc_id = gt.queries[0]
+        result = engine.cross_modal_search(doc_id, top_n=3)
+        assert 0 < len(result) <= 3
+        table_names = set(pharma_generated.lake.table_names)
+        assert all(t in table_names for t in result.ids())
+
+    def test_solo_representation(self, engine, pharma_generated):
+        gt = pharma_generated.ground_truth("doc_to_table")
+        result = engine.cross_modal_search(gt.queries[0], top_n=3,
+                                           representation="solo")
+        assert len(result) > 0
+
+    def test_joint_hits_ground_truth(self, engine, pharma_generated):
+        """Averaged over queries, top-3 recall must be well above random."""
+        gt = pharma_generated.ground_truth("doc_to_table")
+        hits = 0
+        for doc_id in gt.queries[:20]:
+            result = engine.cross_modal_search(doc_id, top_n=3)
+            if set(result.ids()) & gt.relevant(doc_id):
+                hits += 1
+        assert hits >= 10
+
+    def test_free_text_query(self, engine):
+        result = engine.cross_modal_search(
+            "thymidylate synthase inhibition by antifolates", top_n=3)
+        assert len(result) > 0
+
+    def test_invalid_representation(self, engine):
+        with pytest.raises(ValueError):
+            engine.cross_modal_search("x", representation="quantum")
+
+    def test_provenance_recorded(self, engine, pharma_generated):
+        gt = pharma_generated.ground_truth("doc_to_table")
+        result = engine.cross_modal_search(gt.queries[0], top_n=2)
+        assert result.operation == "crossModal_search"
+        assert result.inputs["value"] == gt.queries[0]
+
+
+class TestStructuredOps:
+    def test_pkfk_finds_fk_tables(self, engine):
+        result = engine.pkfk("drugs", top_n=5)
+        assert len(result) > 0
+
+    def test_joinable(self, engine):
+        result = engine.joinable("drugs", top_n=3)
+        assert len(result) > 0
+        assert "drugs" not in result.ids()
+
+    def test_unionable_finds_derived(self, engine, pharma_generated):
+        derived = pharma_generated.tables_in("drugbank_synthetic")
+        base = derived[0].split("_", 1)[1].rsplit("_", 1)[0]
+        result = engine.unionable(base, top_n=5)
+        assert set(result.ids()) & set(derived)
+
+
+class TestCMDLFacade:
+    def test_fit_populates_diagnostics(self, fitted_cmdl):
+        assert fitted_cmdl.profile is not None
+        assert fitted_cmdl.indexes is not None
+        assert fitted_cmdl.labeling_report is not None
+        assert fitted_cmdl.training_result is not None
+        assert fitted_cmdl.joint_model is not None
+
+    def test_joint_indexed(self, fitted_cmdl):
+        assert fitted_cmdl.indexes.has_joint
+
+    def test_no_joint_mode(self, pharma_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, seed=0))
+        engine = cmdl.fit(pharma_lake)
+        assert cmdl.joint_model is None
+        with pytest.raises(RuntimeError, match="joint representation"):
+            engine.cross_modal_search(
+                pharma_lake.documents[0].doc_id, representation="joint")
+
+    def test_solo_works_without_joint(self, pharma_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, seed=0))
+        engine = cmdl.fit(pharma_lake)
+        result = engine.cross_modal_search(
+            pharma_lake.documents[0].doc_id, top_n=3, representation="solo")
+        assert len(result) > 0
+
+    def test_motivating_pipeline_runs(self, engine):
+        """The Q1-Q5 chain from the paper's Figure 1."""
+        r1 = engine.content_search("synthase", mode="text", k=3)
+        assert len(r1) > 0
+        r2 = engine.cross_modal_search(r1[1], top_n=3)
+        assert len(r2) > 0
+        r4 = engine.pkfk(r2[1], top_n=2)
+        r5 = engine.unionable(r2[1], top_n=2)
+        assert r4.operation == "pkfk"
+        assert r5.operation == "unionable"

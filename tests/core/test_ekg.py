@@ -1,0 +1,109 @@
+"""Tests for the EKG builder."""
+
+import pytest
+
+from repro.core.ekg import EKG, EKGBuilder
+from repro.core.joinability import JoinDiscovery
+from repro.core.pkfk import PKFKDiscovery
+from repro.core.profiler import Profiler
+from repro.core.relationships import NodeKind, RelationType, Relationship
+from repro.core.unionability import UnionDiscovery
+
+
+@pytest.fixture(scope="module")
+def toy_profile_module(request):
+    toy_lake = request.getfixturevalue("toy_lake")
+    return Profiler(embedding_dim=16, num_hashes=64, seed=0).profile(toy_lake)
+
+
+@pytest.fixture()
+def built(toy_lake):
+    profile = Profiler(embedding_dim=16, num_hashes=64, seed=0).profile(toy_lake)
+    uniqueness = {c.qualified_name: c.uniqueness for c in toy_lake.columns}
+    builder = EKGBuilder(profile, top_k=3, threshold=0.3)
+    ekg = builder.build(
+        join_discovery=JoinDiscovery(profile),
+        pkfk_links=PKFKDiscovery(profile, uniqueness).discover(),
+        union_discovery=UnionDiscovery(profile),
+        doc_column_links={"doc:aspirin": [("drugs.name", 0.9)]},
+    )
+    return profile, ekg
+
+
+class TestRelationship:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Relationship("a", "b", RelationType.PKFK, -0.1)
+
+
+class TestEKGStructure:
+    def test_all_node_kinds_present(self, built):
+        profile, ekg = built
+        kinds = {d["kind"] for _, d in ekg.graph.nodes(data=True)}
+        assert kinds == {k.value for k in NodeKind}
+
+    def test_node_counts(self, built):
+        profile, ekg = built
+        expected = (
+            len(profile.documents) + len(profile.columns)
+            + len(profile.table_columns)
+        )
+        assert ekg.num_nodes == expected
+
+    def test_structural_column_table_edges(self, built):
+        _, ekg = built
+        neighbors = [t for t, _, _ in ekg.neighbors("drugs.name")]
+        assert "drugs" in neighbors
+
+    def test_doc_column_edges_bidirectional(self, built):
+        _, ekg = built
+        fwd = ekg.neighbors("doc:aspirin", RelationType.DOC_COLUMN_JOINT)
+        bwd = ekg.neighbors("drugs.name", RelationType.DOC_COLUMN_JOINT)
+        assert ("drugs.name", RelationType.DOC_COLUMN_JOINT.value, 0.9) in fwd
+        assert any(t == "doc:aspirin" for t, _, _ in bwd)
+
+    def test_pkfk_edges_at_table_level(self, built):
+        _, ekg = built
+        pkfk_edges = ekg.neighbors("drugs", RelationType.PKFK)
+        assert any(t == "targets" for t, _, _ in pkfk_edges)
+
+    def test_neighbors_sorted_by_weight(self, built):
+        _, ekg = built
+        for node in list(ekg.graph.nodes)[:10]:
+            weights = [w for _, _, w in ekg.neighbors(node)]
+            assert weights == sorted(weights, reverse=True)
+
+    def test_neighbors_of_missing_node(self, built):
+        _, ekg = built
+        assert ekg.neighbors("ghost") == []
+
+    def test_combined_strength(self, built):
+        _, ekg = built
+        assert ekg.combined_strength("doc:aspirin", "drugs.name") > 0
+        assert ekg.combined_strength("doc:aspirin", "cities.city") == 0.0
+        assert ekg.combined_strength("ghost", "x") == 0.0
+
+
+class TestEKGBuilderOptions:
+    def test_empty_build(self, toy_lake):
+        profile = Profiler(embedding_dim=16, num_hashes=64, seed=0).profile(toy_lake)
+        ekg = EKGBuilder(profile).build()
+        assert ekg.num_nodes > 0
+        # Only structural edges exist.
+        rel_types = {d["rel_type"] for _, _, d in ekg.graph.edges(data=True)}
+        assert rel_types <= {RelationType.NAME_SIMILARITY.value}
+
+    def test_invalid_top_k(self, toy_lake):
+        profile = Profiler(embedding_dim=16, num_hashes=64, seed=0).profile(toy_lake)
+        with pytest.raises(ValueError):
+            EKGBuilder(profile, top_k=0)
+
+    def test_standalone_ekg(self):
+        ekg = EKG()
+        ekg.add_node("a", NodeKind.TABLE)
+        ekg.add_node("b", NodeKind.TABLE)
+        ekg.add_edge("a", "b", RelationType.UNIONABLE, 0.7)
+        assert ekg.num_edges == 1
+        assert ekg.neighbors("a", RelationType.UNIONABLE) == [
+            ("b", "unionable", 0.7)
+        ]

@@ -1,0 +1,113 @@
+"""Failure-injection and degenerate-input tests for the CMDL stack."""
+
+import pytest
+
+from repro.core.system import CMDL, CMDLConfig
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+
+
+def minimal_lake(num_docs=3, num_rows=6) -> DataLake:
+    lake = DataLake("minimal")
+    lake.add_table(Table.from_dict("t", {
+        "key": [f"k{i}" for i in range(num_rows)],
+        "label": [f"item {i}" for i in range(num_rows)],
+    }))
+    for i in range(num_docs):
+        lake.add_document(Document(f"d{i}", f"note {i}",
+                                   f"item {i} relates to k{i} somehow."))
+    return lake
+
+
+class TestDegenerateLakes:
+    def test_empty_lake(self):
+        engine = CMDL(CMDLConfig(seed=0)).fit(DataLake("empty"))
+        assert engine.content_search("anything", mode="text").items == []
+
+    def test_documents_only(self):
+        lake = DataLake("docs-only")
+        lake.add_document(Document("d", "t", "an isolated note about enzymes"))
+        cmdl = CMDL(CMDLConfig(seed=0))
+        engine = cmdl.fit(lake)
+        hits = engine.content_search("enzyme", mode="text", k=3)
+        assert hits.ids() == ["d"]
+
+    def test_single_row_tables(self):
+        lake = DataLake("single-row")
+        lake.add_table(Table.from_dict("t1", {"a": ["x"]}))
+        lake.add_table(Table.from_dict("t2", {"b": ["x"]}))
+        engine = CMDL(CMDLConfig(use_joint=False, seed=0)).fit(lake)
+        assert isinstance(engine.joinable("t1", top_n=1).items, list)
+
+    def test_all_numeric_lake(self):
+        lake = DataLake("numeric")
+        lake.add_table(Table.from_dict("m", {
+            "x": [str(i) for i in range(20)],
+            "y": [str(i * 2) for i in range(20)],
+        }))
+        lake.add_document(Document("d", "numbers", "a memo about measurements"))
+        cmdl = CMDL(CMDLConfig(seed=0))
+        engine = cmdl.fit(lake)
+        # No text-discovery columns -> no joint model, but the engine works.
+        assert engine.unionable("m", top_n=1).operation == "unionable"
+
+    def test_missing_values_everywhere(self):
+        lake = DataLake("sparse")
+        lake.add_table(Table.from_dict("s", {
+            "a": ["", "NA", "x", "", "y"],
+            "b": ["", "", "", "", ""],
+        }))
+        lake.add_document(Document("d", "t", "notes mentioning x and y"))
+        engine = CMDL(CMDLConfig(use_joint=False, seed=0)).fit(lake)
+        assert engine.profile.columns["s.b"].value_set == frozenset()
+
+    def test_duplicate_heavy_keys(self):
+        lake = DataLake("dups")
+        lake.add_table(Table.from_dict("k", {
+            "id": ["a"] * 10 + ["b"] * 10,
+        }))
+        engine = CMDL(CMDLConfig(use_joint=False, seed=0)).fit(lake)
+        # Cardinality 2/20 -> never a PK candidate.
+        assert engine.pkfk("k", top_n=2).items == []
+
+
+class TestQueryErrors:
+    def test_unknown_table_queries(self):
+        engine = CMDL(CMDLConfig(use_joint=False, seed=0)).fit(minimal_lake())
+        assert engine.unionable("ghost", top_n=2).items == []
+        assert engine.pkfk("ghost", top_n=2).items == []
+        with pytest.raises(KeyError):
+            engine.join_discovery.joinable_columns("ghost.col", k=2)
+
+    def test_unknown_document_falls_back_to_text(self):
+        engine = CMDL(CMDLConfig(seed=0)).fit(minimal_lake())
+        # An unknown id is treated as free text; should not raise.
+        result = engine.cross_modal_search("item 2 relates", top_n=2)
+        assert isinstance(result.items, list)
+
+    def test_empty_query_text(self):
+        engine = CMDL(CMDLConfig(seed=0)).fit(minimal_lake())
+        assert engine.content_search("", mode="text").items == []
+
+
+class TestConfigSurface:
+    def test_small_sample_still_fits(self):
+        lake = minimal_lake(num_docs=5)
+        cmdl = CMDL(CMDLConfig(sample_fraction=0.2, max_epochs=3, seed=0))
+        cmdl.fit(lake)
+        assert cmdl.labeling_report.sampled_docs == 1
+
+    def test_median_hard_sampling_config(self):
+        lake = minimal_lake(num_docs=5)
+        cmdl = CMDL(CMDLConfig(hard_sampling="median", max_epochs=3, seed=0))
+        engine = cmdl.fit(lake)
+        assert engine is cmdl.engine
+
+    def test_lm_dirichlet_ranker_config(self):
+        lake = minimal_lake()
+        cmdl = CMDL(CMDLConfig(ranker="lm_dirichlet", use_joint=False, seed=0))
+        engine = cmdl.fit(lake)
+        # 'item' occurs in every document and is filtered as
+        # non-discriminative; the per-document key token survives.
+        hits = engine.content_search("k1", mode="text", k=2)
+        assert hits.ids()[0] == "d1"

@@ -1,0 +1,214 @@
+"""Tests for mini-batching, triplet generation, the model, and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint.minibatch import MiniBatchGenerator
+from repro.core.joint.model import JointRepresentationModel
+from repro.core.joint.trainer import JointTrainer
+from repro.core.joint.triplets import TripletGenerator
+from repro.core.labeling import TrainingPair
+
+
+def make_pairs(num_docs=10, num_cols=20, seed=0) -> list[TrainingPair]:
+    """Planted structure: doc i is related to columns with j % num_docs == i."""
+    pairs = []
+    for i in range(num_docs):
+        for j in range(num_cols):
+            related = (j % num_docs) == i
+            pairs.append(TrainingPair(f"d{i}", f"c{j}", 0.9 if related else 0.1))
+    return pairs
+
+
+def make_encodings(num_docs=10, num_cols=20, dim=16, seed=0):
+    """Encodings where related pairs are *not* yet close (training must fix)."""
+    rng = np.random.default_rng(seed)
+    enc = {f"d{i}": rng.standard_normal(dim) for i in range(num_docs)}
+    enc.update({f"c{j}": rng.standard_normal(dim) for j in range(num_cols)})
+    return enc
+
+
+class TestMiniBatchGenerator:
+    def test_epoch_covers_all_docs(self):
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=0.3, seed=0)
+        batches = gen.epoch()
+        covered = {d for b in batches for d in b.doc_ids}
+        assert covered == {f"d{i}" for i in range(10)}
+
+    def test_batches_disjoint_in_docs(self):
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=0.3, seed=0)
+        batches = gen.epoch()
+        seen = []
+        for b in batches:
+            seen.extend(b.doc_ids)
+        assert len(seen) == len(set(seen))
+
+    def test_scores_looked_up(self):
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=1.0, seed=0)
+        batch = gen.epoch()[0]
+        i = batch.doc_ids.index("d0")
+        j = batch.column_ids.index("c0")
+        assert batch.scores[i, j] == 0.9
+
+    def test_epochs_reshuffle(self):
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=0.3, seed=0)
+        first = [b.doc_ids for b in gen.epoch()]
+        second = [b.doc_ids for b in gen.epoch()]
+        assert first != second
+
+    def test_batch_fraction_sizes(self):
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=0.2, seed=0)
+        assert gen.docs_per_batch == 2
+        assert gen.columns_per_batch == 4
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            MiniBatchGenerator([], batch_fraction=0.1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            MiniBatchGenerator(make_pairs(), batch_fraction=0.0)
+
+
+class TestTripletGenerator:
+    def test_one_triplet_per_doc_with_hard_sampling(self):
+        enc = make_encodings()
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=1.0, seed=0)
+        batch = gen.epoch()[0]
+        tg = TripletGenerator(enc, positive_threshold=0.5, hard_sampling="average")
+        triplets = tg.triplets(batch)
+        assert len(triplets) == len(batch.doc_ids)
+
+    def test_disabled_hard_sampling_blows_up_combinatorially(self):
+        enc = make_encodings()
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=1.0, seed=0)
+        batch = gen.epoch()[0]
+        aggregated = TripletGenerator(enc, hard_sampling="average").triplets(batch)
+        exploded = TripletGenerator(enc, hard_sampling="disabled").triplets(batch)
+        assert len(exploded) > 5 * len(aggregated)
+
+    def test_docs_without_both_sides_skipped(self):
+        """Paper footnote 4: anchors need >= 1 positive and >= 1 negative."""
+        pairs = [TrainingPair("d0", "c0", 0.9), TrainingPair("d0", "c1", 0.9),
+                 TrainingPair("d1", "c0", 0.1), TrainingPair("d1", "c1", 0.1)]
+        enc = {k: np.ones(4) for k in ("d0", "d1", "c0", "c1")}
+        gen = MiniBatchGenerator(pairs, batch_fraction=1.0, seed=0)
+        triplets = TripletGenerator(enc).triplets(gen.epoch()[0])
+        assert triplets == []
+
+    def test_positive_aggregation_is_mean(self):
+        pairs = [TrainingPair("d0", "c0", 0.9), TrainingPair("d0", "c1", 0.9),
+                 TrainingPair("d0", "c2", 0.1)]
+        enc = {"d0": np.zeros(2), "c0": np.array([1.0, 0.0]),
+               "c1": np.array([0.0, 1.0]), "c2": np.array([5.0, 5.0])}
+        gen = MiniBatchGenerator(pairs, batch_fraction=1.0, seed=0)
+        t = TripletGenerator(enc).triplets(gen.epoch()[0])[0]
+        assert np.allclose(t.anchor, [0.0, 0.0])
+        assert np.allclose(t.positive, [0.5, 0.5])
+        assert np.allclose(t.negative, [5.0, 5.0])
+
+    def test_hard_negatives_within_cutoff(self):
+        pairs = [TrainingPair("d0", "c0", 0.9),
+                 TrainingPair("d0", "near", 0.1),
+                 TrainingPair("d0", "far", 0.1)]
+        enc = {"d0": np.zeros(2), "c0": np.array([0.1, 0.0]),
+               "near": np.array([1.0, 0.0]), "far": np.array([50.0, 0.0])}
+        gen = MiniBatchGenerator(pairs, batch_fraction=1.0, seed=0)
+        t = TripletGenerator(enc, hard_sampling="average").triplets(gen.epoch()[0])[0]
+        # Average distance = 25.5; only 'near' (1.0) falls inside the cutoff.
+        assert np.allclose(t.negative, [1.0, 0.0])
+
+    def test_median_cutoff_variant(self):
+        enc = make_encodings()
+        gen = MiniBatchGenerator(make_pairs(), batch_fraction=1.0, seed=0)
+        batch = gen.epoch()[0]
+        triplets = TripletGenerator(enc, hard_sampling="median").triplets(batch)
+        assert triplets
+
+    def test_embed_fn_changes_selection_space(self):
+        pairs = [TrainingPair("d0", "c0", 0.9),
+                 TrainingPair("d0", "n1", 0.1),
+                 TrainingPair("d0", "n2", 0.1)]
+        # In input space n1 is nearer; the embed flips the order.
+        enc = {"d0": np.array([0.0, 0.0]), "c0": np.array([0.1, 0.0]),
+               "n1": np.array([1.0, 0.0]), "n2": np.array([2.0, 0.0])}
+
+        def flip(x):
+            return -x[:, ::-1] * np.array([1.0, 3.0])
+
+        gen = MiniBatchGenerator(pairs, batch_fraction=1.0, seed=0)
+        t_plain = TripletGenerator(enc).triplets(gen.epoch()[0])[0]
+        gen2 = MiniBatchGenerator(pairs, batch_fraction=1.0, seed=0)
+        t_embed = TripletGenerator(enc).triplets(gen2.epoch()[0], embed_fn=flip)
+        assert t_embed  # selection in the embedded space still yields a triplet
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TripletGenerator({}, hard_sampling="extreme")
+        with pytest.raises(ValueError):
+            TripletGenerator({}, positive_threshold=0.0)
+
+
+class TestJointModel:
+    def test_output_shape(self):
+        model = JointRepresentationModel(in_dim=16, hidden=[12], out_dim=8, seed=0)
+        out = model.embed(np.zeros((3, 16)))
+        assert out.shape == (3, 8)
+
+    def test_initial_space_preserves_structure(self):
+        """At init the joint space is a JL projection: neighbours persist."""
+        rng = np.random.default_rng(0)
+        model = JointRepresentationModel(in_dim=32, hidden=[16], out_dim=16, seed=0)
+        a = rng.standard_normal(32)
+        near = a + 0.01 * rng.standard_normal(32)
+        far = rng.standard_normal(32) * 5
+        za, znear, zfar = model.embed(np.vstack([a, near, far]))
+        assert np.linalg.norm(za - znear) < np.linalg.norm(za - zfar)
+
+    def test_embed_all_preserves_keys(self):
+        model = JointRepresentationModel(in_dim=4, hidden=[], out_dim=2, seed=0)
+        out = model.embed_all({"a": np.zeros(4), "b": np.ones(4)})
+        assert set(out) == {"a", "b"}
+        assert out["a"].shape == (2,)
+
+    def test_embed_all_empty(self):
+        model = JointRepresentationModel(in_dim=4, hidden=[], out_dim=2, seed=0)
+        assert model.embed_all({}) == {}
+
+
+class TestJointTrainer:
+    def test_training_reduces_loss(self):
+        enc = make_encodings(num_docs=8, num_cols=16, dim=16)
+        pairs = make_pairs(num_docs=8, num_cols=16)
+        batches = MiniBatchGenerator(pairs, batch_fraction=0.5, seed=0)
+        tg = TripletGenerator(enc)
+        model = JointRepresentationModel(in_dim=16, hidden=[12], out_dim=8, seed=0)
+        trainer = JointTrainer(model, margin=0.2, lr=5e-3, max_epochs=40)
+        result = trainer.train(batches, tg)
+        assert result.epochs >= 1
+        assert result.loss_history[-1] <= result.loss_history[0] + 1e-9
+
+    def test_convergence_stops_early(self):
+        enc = {f"d{i}": np.zeros(4) for i in range(4)}
+        enc.update({f"c{j}": np.ones(4) for j in range(8)})
+        pairs = [TrainingPair(f"d{i}", f"c{j}", 0.9 if j % 2 else 0.1)
+                 for i in range(4) for j in range(8)]
+        batches = MiniBatchGenerator(pairs, batch_fraction=1.0, seed=0)
+        model = JointRepresentationModel(in_dim=4, hidden=[], out_dim=2, seed=0)
+        trainer = JointTrainer(model, max_epochs=300, patience=3, tol=1e-3)
+        result = trainer.train(batches, TripletGenerator(enc))
+        assert result.epochs < 300
+
+    def test_error_percent_bounded(self):
+        enc = make_encodings(num_docs=6, num_cols=12, dim=8)
+        pairs = make_pairs(num_docs=6, num_cols=12)
+        batches = MiniBatchGenerator(pairs, batch_fraction=0.5, seed=0)
+        model = JointRepresentationModel(in_dim=8, hidden=[], out_dim=4, seed=0)
+        trainer = JointTrainer(model, max_epochs=5)
+        result = trainer.train(batches, TripletGenerator(enc))
+        assert 0.0 <= result.error_percent <= 100.0
+
+    def test_invalid_params(self):
+        model = JointRepresentationModel(in_dim=4, hidden=[], out_dim=2)
+        with pytest.raises(ValueError):
+            JointTrainer(model, max_epochs=0)

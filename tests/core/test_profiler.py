@@ -1,0 +1,117 @@
+"""Tests for the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import COLUMN, DOCUMENT, Profiler
+
+
+@pytest.fixture()
+def toy_profile(toy_lake):
+    return Profiler(embedding_dim=32, num_hashes=64, seed=0).profile(toy_lake)
+
+
+class TestProfileStructure:
+    def test_all_des_profiled(self, toy_profile, toy_lake):
+        assert len(toy_profile.documents) == toy_lake.num_documents
+        assert len(toy_profile.columns) == toy_lake.num_columns
+        assert toy_profile.num_des == toy_lake.num_documents + toy_lake.num_columns
+
+    def test_kinds(self, toy_profile):
+        assert all(s.kind == DOCUMENT for s in toy_profile.documents.values())
+        assert all(s.kind == COLUMN for s in toy_profile.columns.values())
+
+    def test_table_columns_map(self, toy_profile):
+        assert toy_profile.columns_of_table("drugs") == [
+            "drugs.drug_id", "drugs.name", "drugs.year",
+        ]
+        assert toy_profile.columns_of_table("missing") == []
+
+    def test_sketch_lookup(self, toy_profile):
+        assert toy_profile.sketch("doc:aspirin").kind == DOCUMENT
+        assert toy_profile.sketch("drugs.name").kind == COLUMN
+        with pytest.raises(KeyError):
+            toy_profile.sketch("nope")
+
+    def test_timings_recorded(self, toy_profile):
+        assert toy_profile.structured_seconds > 0
+        assert toy_profile.unstructured_seconds > 0
+
+
+class TestDocumentSketches:
+    def test_content_bow_nouns(self, toy_profile):
+        bow = toy_profile.documents["doc:aspirin"].content_bow
+        assert "aspirin" in bow
+        assert "synthase" in bow
+        assert "the" not in bow
+
+    def test_metadata_from_title(self, toy_profile):
+        meta = toy_profile.documents["doc:aspirin"].metadata_bow
+        assert "aspirin" in meta
+
+    def test_embedding_dims(self, toy_profile):
+        sketch = toy_profile.documents["doc:aspirin"]
+        assert sketch.content_embedding.shape == (32,)
+        assert sketch.metadata_embedding.shape == (32,)
+        assert sketch.encoding.shape == (64,)
+
+    def test_signature_tracks_content(self, toy_profile):
+        sketch = toy_profile.documents["doc:aspirin"]
+        assert sketch.signature.set_size == len(sketch.content_bow.vocabulary)
+
+
+class TestColumnSketches:
+    def test_metadata_includes_table_and_column_names(self, toy_profile):
+        meta = toy_profile.columns["targets.drug_ref"].metadata_bow
+        assert "drug" in meta
+        assert "ref" in meta
+        assert "targets" in meta
+
+    def test_numeric_stats_for_numeric_columns(self, toy_profile):
+        assert toy_profile.columns["drugs.year"].numeric is not None
+        assert toy_profile.columns["drugs.name"].numeric is None
+
+    def test_tags_present(self, toy_profile):
+        assert toy_profile.columns["drugs.name"].tags is not None
+
+    def test_text_discovery_columns(self, toy_profile):
+        eligible = toy_profile.text_discovery_columns()
+        assert "drugs.name" in eligible
+        assert "drugs.year" not in eligible
+
+    def test_multi_token_cells_tokenised(self, toy_profile):
+        bow = toy_profile.columns["targets.protein"].content_bow
+        assert "cox" in bow
+        assert "synthase" in bow
+
+    def test_single_token_cells_verbatim(self, toy_profile):
+        bow = toy_profile.columns["drugs.drug_id"].content_bow
+        assert "d1" in bow
+
+
+class TestSemanticSpace:
+    def test_related_doc_column_closer_than_unrelated(self, toy_profile):
+        doc = toy_profile.documents["doc:aspirin"].encoding
+        drug_names = toy_profile.columns["drugs.name"].encoding
+        cities = toy_profile.columns["cities.city"].encoding
+
+        def cos(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        assert cos(doc, drug_names) > cos(doc, cities)
+
+    def test_pooling_option(self, toy_lake):
+        p = Profiler(embedding_dim=16, pooling="max", seed=0).profile(toy_lake)
+        assert p.num_des > 0
+
+    def test_invalid_pooling(self):
+        with pytest.raises(ValueError):
+            Profiler(pooling="median")
+
+    def test_custom_embedder_used(self, toy_lake):
+        from repro.embed.hashing_embedder import HashingEmbedder
+
+        embedder = HashingEmbedder(dim=16, seed=0)
+        p = Profiler(embedding_dim=16, embedder=embedder, seed=0)
+        profile = p.profile(toy_lake)
+        assert profile.documents["doc:aspirin"].content_embedding.shape == (16,)

@@ -1,0 +1,161 @@
+"""Tests for joinability, PK-FK, and unionability discovery."""
+
+import pytest
+
+from repro.core.joinability import JoinDiscovery
+from repro.core.pkfk import PKFKDiscovery
+from repro.core.profiler import Profiler
+from repro.core.unionability import UNION_MEASURES, UnionDiscovery
+from repro.relational.catalog import DataLake
+from repro.relational.table import Table
+
+
+@pytest.fixture(scope="module")
+def structured_lake() -> DataLake:
+    lake = DataLake("structured")
+    lake.add_table(Table.from_dict("drugs", {
+        "drug_id": [f"DB{i:05d}" for i in range(40)],
+        "name": [f"compound{i}" for i in range(40)],
+        "score": [f"{i * 0.5:.1f}" for i in range(40)],
+    }))
+    # FK table: drug_ref covers only the first 10 drugs (skewed containment).
+    lake.add_table(Table.from_dict("targets", {
+        "target_id": [f"T{i}" for i in range(40)],
+        "drug_ref": [f"DB{i % 10:05d}" for i in range(40)],
+    }))
+    # Unionable variant of drugs (projection + rename).
+    lake.add_table(Table.from_dict("drugs_copy", {
+        "drug_key": [f"DB{i:05d}" for i in range(10, 30)],
+        "title": [f"compound{i}" for i in range(10, 30)],
+        "score": [f"{i * 0.5:.1f}" for i in range(10, 30)],
+    }))
+    # Unrelated table.
+    lake.add_table(Table.from_dict("cities", {
+        "city": [f"town{i}" for i in range(40)],
+        "population": [str(1000 + i) for i in range(40)],
+    }))
+    return lake
+
+
+@pytest.fixture(scope="module")
+def profile(structured_lake):
+    return Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(structured_lake)
+
+
+@pytest.fixture(scope="module")
+def uniqueness(structured_lake):
+    return {c.qualified_name: c.uniqueness for c in structured_lake.columns}
+
+
+class TestJoinDiscovery:
+    def test_fk_found_from_pk(self, profile):
+        jd = JoinDiscovery(profile)
+        hits = jd.joinable_columns("drugs.drug_id", k=3)
+        # Both the FK column and the projected copy are perfect containments.
+        top = dict(hits)
+        assert top["targets.drug_ref"] == pytest.approx(1.0)
+        assert top["drugs_copy.drug_key"] == pytest.approx(1.0)
+
+    def test_containment_is_max_direction(self, profile):
+        jd = JoinDiscovery(profile)
+        # drug_ref (10 distinct) fully contained in drug_id (40 distinct).
+        assert jd.score("targets.drug_ref", "drugs.drug_id") == pytest.approx(1.0)
+        assert jd.score("drugs.drug_id", "targets.drug_ref") == pytest.approx(1.0)
+
+    def test_same_table_excluded(self, profile):
+        jd = JoinDiscovery(profile)
+        hits = jd.joinable_columns("drugs.drug_id", k=10)
+        assert all(not c.startswith("drugs.") for c, _ in hits)
+
+    def test_min_score_filters(self, profile):
+        jd = JoinDiscovery(profile)
+        hits = jd.joinable_columns("cities.city", k=10, min_score=0.5)
+        assert hits == []
+
+    def test_joinable_tables(self, profile):
+        jd = JoinDiscovery(profile)
+        tables = jd.joinable_tables("drugs", k=3)
+        assert tables[0][0] in ("targets", "drugs_copy")
+
+    def test_sketch_mode(self, profile):
+        jd = JoinDiscovery(profile, use_exact_sets=False)
+        hits = jd.joinable_columns("drugs.drug_id", k=3)
+        assert hits[0][0] == "targets.drug_ref"
+
+
+class TestPKFKDiscovery:
+    def test_fk_link_found(self, profile, uniqueness):
+        pkfk = PKFKDiscovery(profile, uniqueness)
+        links = pkfk.discover()
+        pairs = {(l.pk_column, l.fk_column) for l in links}
+        assert ("drugs.drug_id", "targets.drug_ref") in pairs
+
+    def test_low_uniqueness_pk_rejected(self, profile, uniqueness):
+        loose = dict(uniqueness)
+        loose["drugs.drug_id"] = 0.5  # pretend the key has many duplicates
+        pkfk = PKFKDiscovery(profile, loose)
+        pairs = {(l.pk_column, l.fk_column) for l in pkfk.discover()}
+        assert ("drugs.drug_id", "targets.drug_ref") not in pairs
+
+    def test_name_filter_blocks_coincidental(self, profile, uniqueness):
+        pkfk = PKFKDiscovery(profile, uniqueness, name_threshold=0.99)
+        pairs = {(l.pk_column, l.fk_column) for l in pkfk.discover()}
+        assert ("drugs.drug_id", "targets.drug_ref") not in pairs
+
+    def test_table_scope(self, profile, uniqueness):
+        pkfk = PKFKDiscovery(profile, uniqueness)
+        links = pkfk.discover(table_scope={"drugs", "cities"})
+        tables = {profile.columns[l.fk_column].table_name for l in links}
+        assert "targets" not in tables
+
+    def test_scores_sorted(self, profile, uniqueness):
+        links = PKFKDiscovery(profile, uniqueness).discover()
+        scores = [l.score for l in links]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestUnionDiscovery:
+    def test_union_variant_found(self, profile):
+        ud = UnionDiscovery(profile)
+        hits = ud.unionable_tables("drugs", k=3)
+        assert hits[0][0] == "drugs_copy"
+
+    def test_unrelated_ranked_lower(self, profile):
+        ud = UnionDiscovery(profile)
+        scores = dict(ud.unionable_tables("drugs", k=10))
+        assert scores.get("drugs_copy", 0) > scores.get("cities", 0)
+
+    def test_single_measure_variants(self, profile):
+        ud = UnionDiscovery(profile)
+        for measure in UNION_MEASURES:
+            hits = ud.unionable_tables("drugs", k=3, measure=measure)
+            assert isinstance(hits, list)
+
+    def test_name_measure_sees_renames_partially(self, profile):
+        ud = UnionDiscovery(profile)
+        # 'score' column is shared verbatim -> name measure finds drugs_copy.
+        hits = dict(ud.unionable_tables("drugs", k=5, measure="name"))
+        assert "drugs_copy" in hits
+
+    def test_containment_measure(self, profile):
+        ud = UnionDiscovery(profile)
+        hits = dict(ud.unionable_tables("drugs", k=5, measure="containment"))
+        assert "drugs_copy" in hits
+
+    def test_unknown_measure_rejected(self, profile):
+        ud = UnionDiscovery(profile)
+        with pytest.raises(ValueError):
+            ud.single_measure_score("drugs.name", "drugs_copy.title", "vibes")
+
+    def test_invalid_weights_rejected(self, profile):
+        with pytest.raises(ValueError):
+            UnionDiscovery(profile, weights={"sparkle": 1.0})
+
+    def test_ensemble_is_weighted_mean(self, profile):
+        ud = UnionDiscovery(profile, weights={"name": 1.0})
+        only_name = ud.ensemble_score("drugs.name", "drugs_copy.title")
+        direct = ud.single_measure_score("drugs.name", "drugs_copy.title", "name")
+        assert only_name == pytest.approx(direct)
+
+    def test_missing_table_empty(self, profile):
+        assert UnionDiscovery(profile).unionable_tables("ghost", k=3) == []

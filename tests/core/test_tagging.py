@@ -1,0 +1,80 @@
+"""Tests for column tagging heuristics."""
+
+from repro.core.tagging import tag_column
+from repro.relational.table import Column
+
+
+class TestTextDiscovery:
+    def test_text_column_eligible(self):
+        col = Column("name", [f"drug{i}" for i in range(50)])
+        assert tag_column(col).text_discovery
+
+    def test_numeric_excluded(self):
+        col = Column("dose", [str(i) for i in range(50)])
+        tags = tag_column(col)
+        assert not tags.text_discovery
+        assert tags.numeric_profile
+
+    def test_date_excluded(self):
+        col = Column("when", ["2020-01-01", "2020-02-01"] * 10)
+        assert not tag_column(col).text_discovery
+
+    def test_low_cardinality_categorical_excluded(self):
+        col = Column("flag", (["yes"] * 50 + ["no"] * 50))
+        assert not tag_column(col).text_discovery
+
+    def test_high_cardinality_text_kept(self):
+        col = Column("id", [f"X{i}" for i in range(100)])
+        assert tag_column(col).text_discovery
+
+    def test_empty_column_excluded(self):
+        col = Column("empty", ["", "NA", ""])
+        tags = tag_column(col)
+        assert not tags.text_discovery
+        assert not tags.pkfk_discovery
+
+
+class TestPKFKDiscovery:
+    def test_id_columns_eligible(self):
+        col = Column("drug_id", [f"DB{i:05d}" for i in range(50)])
+        assert tag_column(col).pkfk_discovery
+
+    def test_numeric_keys_eligible(self):
+        col = Column("molregno", [str(100000 + i) for i in range(50)])
+        assert tag_column(col).pkfk_discovery
+
+    def test_dates_excluded(self):
+        col = Column("when", ["2020-01-01"] * 20)
+        assert not tag_column(col).pkfk_discovery
+
+    def test_long_text_excluded(self):
+        long_text = "this is a long descriptive paragraph " * 2
+        col = Column("description", [long_text + str(i) for i in range(20)])
+        assert not tag_column(col).pkfk_discovery
+
+
+class TestJoinDiscovery:
+    def test_text_eligible(self):
+        col = Column("name", [f"n{i}" for i in range(20)])
+        assert tag_column(col).join_discovery
+
+    def test_numeric_excluded(self):
+        col = Column("value", [str(i) for i in range(20)])
+        assert not tag_column(col).join_discovery
+
+    def test_categorical_still_joinable(self):
+        # Unlike text discovery, low-cardinality columns can still join.
+        col = Column("status", ["active"] * 50 + ["retired"] * 50)
+        assert tag_column(col).join_discovery
+
+
+class TestThresholds:
+    def test_categorical_threshold_respected(self):
+        col = Column("c", [f"v{i % 8}" for i in range(100)])  # ratio 0.08
+        assert tag_column(col, categorical_threshold=0.05).text_discovery
+        assert not tag_column(col, categorical_threshold=0.10).text_discovery
+
+    def test_long_text_threshold_respected(self):
+        col = Column("c", ["one two three four five six"] * 10)
+        assert tag_column(col, long_text_tokens=3).pkfk_discovery is False
+        assert tag_column(col, long_text_tokens=10).pkfk_discovery is True

@@ -1,0 +1,75 @@
+"""Tests for the subword-hashing embedder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embed.hashing_embedder import HashingEmbedder
+
+words = st.text(alphabet="abcdefghijklmnop", min_size=1, max_size=12)
+
+
+@pytest.fixture(scope="module")
+def embedder() -> HashingEmbedder:
+    return HashingEmbedder(dim=64, seed=0)
+
+
+class TestEmbedWord:
+    def test_shape_and_norm(self, embedder):
+        v = embedder.embed_word("drug")
+        assert v.shape == (64,)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_deterministic(self, embedder):
+        assert (embedder.embed_word("drug") == embedder.embed_word("drug")).all()
+
+    def test_case_insensitive(self, embedder):
+        assert (embedder.embed_word("Drug") == embedder.embed_word("drug")).all()
+
+    def test_morphological_similarity(self, embedder):
+        # Shared subwords -> higher similarity than unrelated words.
+        related = embedder.similarity("reductase", "synthase")  # share '-ase'
+        inflected = embedder.similarity("school", "schools")
+        unrelated = embedder.similarity("school", "enzyme")
+        assert inflected > unrelated
+        assert related > unrelated
+
+    def test_seed_changes_space(self):
+        e1 = HashingEmbedder(dim=32, seed=1)
+        e2 = HashingEmbedder(dim=32, seed=2)
+        assert not np.allclose(e1.embed_word("drug"), e2.embed_word("drug"))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dim=0)
+        with pytest.raises(ValueError):
+            HashingEmbedder(min_n=4, max_n=3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(words)
+    def test_unit_norm_property(self, word):
+        e = HashingEmbedder(dim=32)
+        assert np.linalg.norm(e.embed_word(word)) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestEmbedWords:
+    def test_matrix_shape(self, embedder):
+        m = embedder.embed_words(["a", "b", "c"])
+        assert m.shape == (3, 64)
+
+    def test_empty(self, embedder):
+        assert embedder.embed_words([]).shape == (0, 64)
+
+    def test_cache_consistency(self, embedder):
+        first = embedder.embed_word("cachetest").copy()
+        again = embedder.embed_word("cachetest")
+        assert (first == again).all()
+
+
+class TestSimilarity:
+    def test_self_similarity(self, embedder):
+        assert embedder.similarity("drug", "drug") == pytest.approx(1.0)
+
+    def test_bounded(self, embedder):
+        for a, b in [("drug", "city"), ("enzyme", "protein")]:
+            assert -1.0 <= embedder.similarity(a, b) <= 1.0

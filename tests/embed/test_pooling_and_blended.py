@@ -1,0 +1,95 @@
+"""Tests for pooling and the blended embedder."""
+
+import numpy as np
+import pytest
+
+from repro.embed.blended import BlendedEmbedder, build_lake_embedder
+from repro.embed.hashing_embedder import HashingEmbedder
+from repro.embed.pooling import POOLERS, max_pool, mean_pool, min_pool
+from repro.embed.ppmi import PPMIEmbedder
+
+
+class TestPooling:
+    def test_mean_pool_unit_norm(self):
+        m = np.random.default_rng(0).standard_normal((5, 8))
+        v = mean_pool(m)
+        assert v.shape == (8,)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_empty_matrix_uses_hint(self):
+        assert mean_pool(np.zeros((0, 0)), dim_hint=16).shape == (16,)
+
+    def test_single_row(self):
+        m = np.ones((1, 4))
+        v = mean_pool(m)
+        assert np.allclose(v, 0.5)
+
+    def test_max_pool_takes_extremes(self):
+        m = np.array([[1.0, -5.0], [0.0, 3.0]])
+        v = max_pool(m)
+        expected = np.array([1.0, 3.0])
+        assert np.allclose(v, expected / np.linalg.norm(expected))
+
+    def test_min_pool_takes_extremes(self):
+        m = np.array([[1.0, -5.0], [0.0, 3.0]])
+        v = min_pool(m)
+        expected = np.array([0.0, -5.0])
+        assert np.allclose(v, expected / np.linalg.norm(expected))
+
+    def test_registry(self):
+        assert set(POOLERS) == {"mean", "max", "min"}
+
+    def test_mean_less_biased_than_max(self):
+        """Footnote 3's rationale: mean pooling represents the whole set."""
+        rng = np.random.default_rng(1)
+        cluster = rng.standard_normal((20, 8)) * 0.1 + 1.0
+        outlier = rng.standard_normal((1, 8)) * 10
+        both = np.vstack([cluster, outlier])
+        mean_shift = np.linalg.norm(mean_pool(both) - mean_pool(cluster))
+        max_shift = np.linalg.norm(max_pool(both) - max_pool(cluster))
+        assert mean_shift < max_shift
+
+
+class TestBlendedEmbedder:
+    def test_oov_falls_back_to_subword(self):
+        dist = PPMIEmbedder(dim=16, min_count=1).fit([["known", "word"]] * 3)
+        blended = BlendedEmbedder(dim=16, distributional=dist, seed=0)
+        sub_only = blended.subword.embed_word("neverseen")
+        assert np.allclose(blended.embed_word("neverseen"), sub_only)
+
+    def test_known_word_uses_both(self):
+        dist = PPMIEmbedder(dim=16, min_count=1).fit([["known", "word"]] * 3)
+        blended = BlendedEmbedder(dim=16, distributional=dist, seed=0)
+        v = blended.embed_word("known")
+        assert not np.allclose(v, blended.subword.embed_word("known"))
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-9)
+
+    def test_no_distributional_model(self):
+        blended = BlendedEmbedder(dim=16, seed=0)
+        v = blended.embed_word("anything")
+        assert v.shape == (16,)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            BlendedEmbedder(subword_weight=1.5)
+
+    def test_embed_words_matrix(self):
+        blended = BlendedEmbedder(dim=8, seed=0)
+        assert blended.embed_words(["a", "b"]).shape == (2, 8)
+        assert blended.embed_words([]).shape == (0, 8)
+
+    def test_similarity_bounds(self):
+        blended = BlendedEmbedder(dim=16, seed=0)
+        assert -1.0 <= blended.similarity("drug", "city") <= 1.0
+
+
+class TestBuildLakeEmbedder:
+    def test_trains_distributional_part(self):
+        corpora = [["drug", "enzyme"], ["drug", "protein"]] * 5
+        e = build_lake_embedder(corpora, dim=16, seed=0)
+        assert e.distributional.is_fitted
+        assert "drug" in e.distributional
+
+    def test_provides_vector_for_any_word(self):
+        e = build_lake_embedder([["a", "b"]] * 3, dim=8, seed=0)
+        assert e.embed_word("completely-novel").shape == (8,)

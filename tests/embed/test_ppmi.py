@@ -1,0 +1,70 @@
+"""Tests for the PPMI-SVD corpus embedder."""
+
+import numpy as np
+import pytest
+
+from repro.embed.ppmi import PPMIEmbedder
+
+
+@pytest.fixture(scope="module")
+def corpus() -> list[list[str]]:
+    # Two topical clusters: pharma words co-occur, geo words co-occur.
+    pharma = [["drug", "enzyme", "inhibitor", "protein"] for _ in range(20)]
+    geo = [["city", "population", "region", "district"] for _ in range(20)]
+    return pharma + geo
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus) -> PPMIEmbedder:
+    return PPMIEmbedder(dim=16, window=3, min_count=2, seed=0).fit(corpus)
+
+
+class TestFit:
+    def test_vocabulary_built(self, fitted):
+        assert "drug" in fitted
+        assert "city" in fitted
+
+    def test_min_count_respected(self, corpus):
+        e = PPMIEmbedder(dim=8, min_count=50).fit(corpus)
+        assert "drug" not in e
+
+    def test_empty_corpus(self):
+        e = PPMIEmbedder(dim=8).fit([])
+        assert e.is_fitted
+        assert (e.embed_word("anything") == 0).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PPMIEmbedder(dim=0)
+        with pytest.raises(ValueError):
+            PPMIEmbedder(window=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PPMIEmbedder().embed_word("x")
+
+
+class TestSemantics:
+    def test_cluster_similarity(self, fitted):
+        same = fitted.similarity("drug", "enzyme")
+        cross = fitted.similarity("drug", "city")
+        assert same > cross
+
+    def test_oov_is_zero_vector(self, fitted):
+        assert (fitted.embed_word("neverseen") == 0).all()
+
+    def test_oov_similarity_zero(self, fitted):
+        assert fitted.similarity("neverseen", "drug") == 0.0
+
+    def test_vectors_unit_norm(self, fitted):
+        v = fitted.embed_word("drug")
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic(self, corpus):
+        a = PPMIEmbedder(dim=16, seed=0).fit(corpus).embed_word("drug")
+        b = PPMIEmbedder(dim=16, seed=0).fit(corpus).embed_word("drug")
+        assert np.allclose(a, b)
+
+    def test_dim_larger_than_vocab_ok(self):
+        e = PPMIEmbedder(dim=100, min_count=1).fit([["a", "b"], ["a", "b"]])
+        assert e.embed_word("a").shape == (100,)

@@ -1,0 +1,166 @@
+"""Tests for benchmark definitions, runners, and reporting."""
+
+import pytest
+
+from repro.eval.benchmarks import (
+    BENCHMARK_BUILDERS,
+    Benchmark,
+    build_benchmark,
+)
+from repro.eval.reporting import format_series, format_table
+from repro.eval.runner import (
+    PRPoint,
+    evaluate_doc_to_table,
+    evaluate_join,
+    evaluate_pkfk,
+    evaluate_union_curve,
+)
+from repro.lakes.groundtruth import GroundTruth
+
+
+class StubMethod:
+    """Returns a fixed ranking regardless of query."""
+
+    def __init__(self, ranking):
+        self.ranking = ranking
+
+    def rank_tables(self, doc_id, k):
+        return self.ranking[:k]
+
+
+def stub_benchmark(answers: dict, scope=None, task="doc_to_table") -> Benchmark:
+    gt = GroundTruth(task=task)
+    for q, rel in answers.items():
+        for a in rel:
+            gt.add(q, a)
+    return Benchmark("T", task, generated=None, ground_truth=gt,
+                     scope_tables=scope, k_values=(1, 2))
+
+
+class TestBenchmarkScope:
+    def test_filter_results(self):
+        b = stub_benchmark({"q": {"a"}}, scope={"a", "b"})
+        filtered = b.filter_results([("a", 1.0), ("z", 0.9)])
+        assert filtered == [("a", 1.0)]
+
+    def test_no_scope_passthrough(self):
+        b = stub_benchmark({"q": {"a"}})
+        assert b.filter_results([("z", 1.0)]) == [("z", 1.0)]
+
+    def test_in_scope(self):
+        b = stub_benchmark({"q": {"a"}}, scope={"a"})
+        assert b.in_scope("a")
+        assert not b.in_scope("z")
+
+
+class TestDocToTableRunner:
+    def test_perfect_method(self):
+        b = stub_benchmark({"q1": {"a"}, "q2": {"a"}})
+        method = StubMethod([("a", 1.0)])
+        points = evaluate_doc_to_table(method, b, k_values=(1,))
+        assert points[0].precision == 1.0
+        assert points[0].recall == 1.0
+
+    def test_useless_method(self):
+        b = stub_benchmark({"q1": {"a"}})
+        method = StubMethod([("z", 1.0)])
+        points = evaluate_doc_to_table(method, b, k_values=(1,))
+        assert points[0].precision == 0.0
+
+    def test_out_of_scope_results_ignored(self):
+        b = stub_benchmark({"q1": {"a"}}, scope={"a"})
+        method = StubMethod([("z", 1.0), ("a", 0.9)])
+        points = evaluate_doc_to_table(method, b, k_values=(1,))
+        assert points[0].precision == 1.0
+
+    def test_max_queries(self):
+        b = stub_benchmark({f"q{i}": {"a"} for i in range(10)})
+        calls = []
+
+        class Counting(StubMethod):
+            def rank_tables(self, doc_id, k):
+                calls.append(doc_id)
+                return super().rank_tables(doc_id, k)
+
+        evaluate_doc_to_table(Counting([("a", 1.0)]), b, k_values=(1,),
+                              max_queries=3)
+        assert len(calls) == 3
+
+
+class TestJoinRunner:
+    def test_r_precision_perfect(self):
+        b = stub_benchmark({"c1": {"c2", "c3"}}, task="syntactic_join")
+        score = evaluate_join(lambda cid, k: [("c2", 1.0), ("c3", 0.9)][:k], b)
+        assert score == 1.0
+
+    def test_r_precision_half(self):
+        b = stub_benchmark({"c1": {"c2", "c3"}}, task="syntactic_join")
+        score = evaluate_join(lambda cid, k: [("c2", 1.0), ("zz", 0.9)][:k], b)
+        assert score == 0.5
+
+
+class TestPKFKRunner:
+    def test_precision_recall(self):
+        b = stub_benchmark({"pk1": {"fk1", "fk2"}}, task="pkfk")
+        found = [("pk1", "fk1"), ("pk1", "bogus")]
+        precision, recall = evaluate_pkfk(found, b)
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_empty_found(self):
+        b = stub_benchmark({"pk1": {"fk1"}}, task="pkfk")
+        assert evaluate_pkfk([], b) == (0.0, 0.0)
+
+
+class TestUnionRunner:
+    def test_curve_shape(self):
+        b = stub_benchmark({"t1": {"t2", "t3"}}, task="union")
+        points = evaluate_union_curve(
+            lambda t, k: [("t2", 1.0), ("t3", 0.9), ("x", 0.1)][:k],
+            b, k_values=(1, 2, 3))
+        assert [p.k for p in points] == [1, 2, 3]
+        assert points[2].recall == 1.0
+        assert points[0].precision == 1.0
+
+
+class TestBenchmarkBuilders:
+    def test_registry_complete(self):
+        expected = {"1A", "1B", "1C", "2A", "2B", "2C-SS", "2C-MS", "2C-LS",
+                    "2D-drugbank", "2D-chembl", "2D-chebi", "3A", "3B"}
+        assert set(BENCHMARK_BUILDERS) == expected
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_benchmark("9Z")
+
+    def test_build_1b(self):
+        b = build_benchmark("1B")
+        assert b.task == "doc_to_table"
+        assert b.ground_truth.num_queries > 0
+        assert b.scope_tables
+        assert b.k_values
+
+    def test_lakes_cached_across_benchmarks(self):
+        b1 = build_benchmark("1B")
+        b2 = build_benchmark("2B")
+        assert b1.lake is b2.lake
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["name", "score"], [["cmdl", 0.87], ["aurum", 0.2]],
+                           title="Table X")
+        assert "Table X" in out
+        assert "cmdl" in out
+        assert "0.87" in out
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_format_series(self):
+        points = [PRPoint(1, 0.5, 0.25), PRPoint(5, 0.4, 0.6)]
+        out = format_series("cmdl", points)
+        assert "cmdl" in out
+        assert "k=1" in out
+        assert "precision=0.500" in out

@@ -1,0 +1,98 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.metrics import (
+    mean_metric,
+    precision_at_k,
+    r_precision,
+    recall_at_k,
+    relative_recall,
+)
+
+ranked = st.lists(st.text(alphabet="abcdef", min_size=1, max_size=2),
+                  max_size=15, unique=True)
+relevant_sets = st.sets(st.text(alphabet="abcdef", min_size=1, max_size=2),
+                        max_size=10)
+
+
+class TestPrecisionRecall:
+    def test_perfect_retrieval(self):
+        assert precision_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+        assert recall_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+
+    def test_half_precision(self):
+        assert precision_at_k(["a", "x"], {"a"}, 2) == 0.5
+
+    def test_recall_denominator_is_relevant(self):
+        assert recall_at_k(["a"], {"a", "b", "c", "d"}, 1) == 0.25
+
+    def test_k_zero(self):
+        assert precision_at_k(["a"], {"a"}, 0) == 0.0
+        assert recall_at_k(["a"], {"a"}, 0) == 0.0
+
+    def test_empty_relevant(self):
+        assert recall_at_k(["a"], set(), 5) == 0.0
+
+    def test_empty_retrieved(self):
+        assert precision_at_k([], {"a"}, 5) == 0.0
+
+    def test_precision_counts_only_topk(self):
+        assert precision_at_k(["x", "y", "a"], {"a"}, 2) == 0.0
+
+    def test_precision_divides_by_k_not_retrieved(self):
+        # Fewer results than k: missing slots count against precision.
+        assert precision_at_k(["a"], {"a"}, 4) == 0.25
+
+    @given(ranked, relevant_sets, st.integers(min_value=1, max_value=20))
+    def test_bounds(self, retrieved, relevant, k):
+        assert 0.0 <= precision_at_k(retrieved, relevant, k) <= 1.0
+        assert 0.0 <= recall_at_k(retrieved, relevant, k) <= 1.0
+
+    @given(ranked, relevant_sets)
+    def test_recall_monotone_in_k(self, retrieved, relevant):
+        recalls = [recall_at_k(retrieved, relevant, k) for k in range(1, 10)]
+        assert recalls == sorted(recalls)
+
+
+class TestRPrecision:
+    def test_equals_recall_at_r(self):
+        retrieved = ["a", "b", "x", "y"]
+        relevant = {"a", "b", "c"}
+        assert r_precision(retrieved, relevant) == pytest.approx(
+            recall_at_k(retrieved, relevant, 3))
+
+    def test_empty_relevant(self):
+        assert r_precision(["a"], set()) == 0.0
+
+    @given(ranked, relevant_sets)
+    def test_p_equals_r_property(self, retrieved, relevant):
+        """Table 3's property: at k = |GT|, precision and recall coincide."""
+        k = len(relevant)
+        if k == 0:
+            return
+        assert precision_at_k(retrieved, relevant, k) == pytest.approx(
+            recall_at_k(retrieved, relevant, k))
+
+
+class TestRelativeRecall:
+    def test_full_coverage(self):
+        assert relative_recall({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_partial(self):
+        assert relative_recall({"a"}, {"a", "b", "c", "d"}) == 0.25
+
+    def test_extraneous_ignored(self):
+        assert relative_recall({"a", "z"}, {"a", "b"}) == 0.5
+
+    def test_empty_union(self):
+        assert relative_recall({"a"}, set()) == 0.0
+
+
+class TestMeanMetric:
+    def test_mean(self):
+        assert mean_metric([0.0, 1.0]) == 0.5
+
+    def test_empty(self):
+        assert mean_metric([]) == 0.0

@@ -1,0 +1,139 @@
+"""Tests for the three lake generators (shape, ground truth, determinism)."""
+
+import pytest
+
+from repro.lakes.mlopen import MLOpenLakeConfig, generate_mlopen_lake
+from repro.lakes.pharma import PharmaLakeConfig, generate_pharma_lake
+from repro.lakes.ukopen import UKOpenLakeConfig, generate_ukopen_lake
+
+
+class TestPharmaLake:
+    def test_collections_partition_base_tables(self, pharma_generated):
+        gen = pharma_generated
+        names = set(gen.lake.table_names)
+        for coll in ("drugbank", "chembl", "chebi", "drugbank_synthetic"):
+            assert set(gen.tables_in(coll)) <= names
+
+    def test_document_counts(self, pharma_generated):
+        gen = pharma_generated
+        assert gen.lake.num_documents == 48  # 40 linked + 8 noise
+
+    def test_noise_docs_not_in_ground_truth(self, pharma_generated):
+        gt = pharma_generated.ground_truth("doc_to_table")
+        assert not any(q.startswith("pubmed:noise") for q in gt.queries)
+
+    def test_doc_gt_links_point_to_real_tables(self, pharma_generated):
+        gen = pharma_generated
+        gt = gen.ground_truth("doc_to_table")
+        names = set(gen.lake.table_names)
+        for q in gt.queries:
+            assert gt.relevant(q) <= names
+
+    def test_fk_contained_in_pk(self, pharma_generated):
+        lake = pharma_generated.lake
+        fk = lake.column("enzyme_targets.drug_key").distinct_values
+        pk = lake.column("drugs.drug_id").distinct_values
+        assert fk <= pk
+
+    def test_fk_skew_exists(self, pharma_generated):
+        """FK columns cover only part of the PK domain (the mQCR knob)."""
+        lake = pharma_generated.lake
+        fk = lake.column("enzyme_targets.drug_key").distinct_values
+        pk = lake.column("drugs.drug_id").distinct_values
+        assert len(fk) < len(pk)
+
+    def test_duplicate_keys_planted(self, pharma_generated):
+        drugs = pharma_generated.lake.column("drugs.drug_id")
+        assert drugs.uniqueness < 1.0  # the paper's DrugBank duplicates
+
+    def test_pkfk_ground_truth_per_database(self, pharma_generated):
+        for db in ("drugbank", "chembl", "chebi"):
+            gt = pharma_generated.ground_truth(f"pkfk:{db}")
+            assert gt.num_queries >= 1
+
+    def test_chebi_keys_numeric(self, pharma_generated):
+        lake = pharma_generated.lake
+        assert lake.column("chebi_compounds.id").dtype.is_numeric
+        assert lake.column("chebi_relations.init_id").dtype.is_numeric
+
+    def test_deterministic(self):
+        cfg = PharmaLakeConfig(num_drugs=20, num_enzymes=10, num_documents=10,
+                               noise_documents=2, interactions_rows=20,
+                               targets_rows=20, chembl_compounds=15,
+                               chebi_compounds=10, seed=5)
+        a = generate_pharma_lake(cfg)
+        b = generate_pharma_lake(cfg)
+        assert a.lake.table_names == b.lake.table_names
+        assert a.lake.table("drugs").rows() == b.lake.table("drugs").rows()
+        assert [d.text for d in a.lake.documents] == [d.text for d in b.lake.documents]
+
+
+class TestUKOpenLake:
+    def test_family_structure(self, ukopen_generated):
+        gen = ukopen_generated
+        assert gen.lake.num_tables == 15  # 5 families x 3
+
+    def test_union_gt_families(self, ukopen_generated):
+        gt = ukopen_generated.ground_truth("union")
+        for q in gt.queries:
+            assert len(gt.relevant(q)) == 2  # family of 3 minus self
+
+    def test_docs_have_table_links(self, ukopen_generated):
+        gt = ukopen_generated.ground_truth("doc_to_table")
+        assert gt.num_queries > 0
+        assert gt.average_answer_size() == pytest.approx(3.0)
+
+    def test_join_gt_is_noisy_subset(self, ukopen_generated):
+        """Manual annotation keeps only part of the exact joins."""
+        from repro.lakes.groundtruth import brute_force_joinable_columns
+
+        exact = brute_force_joinable_columns(ukopen_generated.lake,
+                                             containment_threshold=0.5)
+        noisy = ukopen_generated.ground_truth("syntactic_join")
+        exact_links = {(q, a) for q in exact.queries for a in exact.relevant(q)}
+        noisy_links = {(q, a) for q in noisy.queries for a in noisy.relevant(q)}
+        assert noisy_links != exact_links
+
+    def test_programme_column_present(self, ukopen_generated):
+        table = ukopen_generated.lake.tables[0]
+        assert "programme" in table
+
+
+class TestMLOpenLake:
+    def test_collection_sizes(self, mlopen_generated):
+        gen = mlopen_generated
+        assert len(gen.tables_in("ss")) == 6
+        assert len(gen.tables_in("ms")) == 8
+        # LS includes the ls_catalog sibling table (the 2C-LS distractor).
+        assert len(gen.tables_in("ls")) == 7
+        assert "ls_catalog" in gen.tables_in("ls")
+
+    def test_numeric_fraction_increases_with_scale(self, mlopen_generated):
+        gen = mlopen_generated
+
+        def frac(coll):
+            cols = [c for name in gen.tables_in(coll)
+                    for c in gen.lake.table(name).columns]
+            return sum(1 for c in cols if c.dtype.is_numeric) / len(cols)
+
+        assert frac("ss") < frac("ls")
+
+    def test_ls_key_skew(self, mlopen_generated):
+        """LS pairs tables with very different key cardinalities."""
+        gen = mlopen_generated
+        ls_key_cards = [
+            gen.lake.table(name).columns[0].cardinality
+            for name in gen.tables_in("ls")
+        ]
+        assert max(ls_key_cards) > 2 * min(ls_key_cards)
+
+    def test_reviews_linked_to_theme_tables(self, mlopen_generated):
+        gt = mlopen_generated.ground_truth("doc_to_table")
+        assert gt.num_queries > 0
+
+    def test_join_gt_per_collection(self, mlopen_generated):
+        for coll in ("ss", "ms", "ls"):
+            gt = mlopen_generated.ground_truth(f"syntactic_join:{coll}")
+            scope = set(mlopen_generated.tables_in(coll))
+            for q in gt.queries:
+                assert q.split(".")[0] in scope

@@ -1,0 +1,129 @@
+"""Tests for ground-truth containers and brute-force generators."""
+
+import numpy as np
+import pytest
+
+from repro.lakes.groundtruth import (
+    GroundTruth,
+    brute_force_joinable_columns,
+    noisy_manual_annotation,
+    pkfk_ground_truth_from_schema,
+)
+from repro.relational.catalog import DataLake
+from repro.relational.table import Table
+
+
+class TestGroundTruth:
+    def test_add_and_relevant(self):
+        gt = GroundTruth(task="t")
+        gt.add("q1", "a1")
+        gt.add("q1", "a2")
+        assert gt.relevant("q1") == {"a1", "a2"}
+        assert gt.relevant("missing") == set()
+
+    def test_queries_sorted_and_nonempty(self):
+        gt = GroundTruth(task="t")
+        gt.add("b", "x")
+        gt.add("a", "y")
+        gt.answers["empty"] = set()
+        assert gt.queries == ["a", "b"]
+        assert gt.num_queries == 2
+
+    def test_average_answer_size(self):
+        gt = GroundTruth(task="t")
+        gt.add("q1", "a")
+        gt.add("q2", "a")
+        gt.add("q2", "b")
+        assert gt.average_answer_size() == 1.5
+
+    def test_merge(self):
+        a = GroundTruth(task="t")
+        a.add("q", "x")
+        b = GroundTruth(task="t")
+        b.add("q", "y")
+        b.add("r", "z")
+        a.merge(b)
+        assert a.relevant("q") == {"x", "y"}
+        assert a.relevant("r") == {"z"}
+
+    def test_mqcr(self):
+        gt = GroundTruth(task="t")
+        gt.add("q", "a")
+        gt.query_cardinality["q"] = 5
+        gt.answer_cardinality["a"] = 100
+        assert gt.mqcr() == pytest.approx(0.05)
+
+    def test_mqcr_clamped_at_one(self):
+        gt = GroundTruth(task="t")
+        gt.add("q", "a")
+        gt.query_cardinality["q"] = 100
+        gt.answer_cardinality["a"] = 5
+        assert gt.mqcr() == 1.0
+
+    def test_mqcr_empty(self):
+        assert GroundTruth(task="t").mqcr() == 0.0
+
+
+@pytest.fixture()
+def join_lake() -> DataLake:
+    lake = DataLake("join")
+    lake.add_table(Table.from_dict("pk", {"id": [f"K{i}" for i in range(20)]}))
+    lake.add_table(Table.from_dict(
+        "fk", {"ref": [f"K{i % 5}" for i in range(20)]}
+    ))
+    lake.add_table(Table.from_dict(
+        "unrelated", {"name": [f"x{i}" for i in range(20)]}
+    ))
+    return lake
+
+
+class TestBruteForceJoins:
+    def test_containment_pair_found(self, join_lake):
+        gt = brute_force_joinable_columns(join_lake, containment_threshold=0.5)
+        assert "fk.ref" in gt.relevant("pk.id")
+        assert "pk.id" in gt.relevant("fk.ref")
+
+    def test_unrelated_excluded(self, join_lake):
+        gt = brute_force_joinable_columns(join_lake)
+        assert "unrelated.name" not in gt.relevant("pk.id")
+
+    def test_table_scope(self, join_lake):
+        gt = brute_force_joinable_columns(join_lake, table_names=["pk", "unrelated"])
+        assert gt.relevant("pk.id") == set()
+
+    def test_cardinalities_recorded(self, join_lake):
+        gt = brute_force_joinable_columns(join_lake)
+        assert gt.query_cardinality["pk.id"] == 20
+        assert gt.query_cardinality["fk.ref"] == 5
+
+
+class TestSchemaPKFK:
+    def test_pairs_recorded(self):
+        gt = pkfk_ground_truth_from_schema([("a.id", "b.ref"), ("a.id", "c.ref")])
+        assert gt.relevant("a.id") == {"b.ref", "c.ref"}
+
+
+class TestNoisyAnnotation:
+    def test_miss_rate_drops_links(self):
+        gt = GroundTruth(task="t")
+        for i in range(200):
+            gt.add(f"q{i}", "a")
+        rng = np.random.default_rng(0)
+        noisy = noisy_manual_annotation(gt, rng, miss_rate=0.5)
+        kept = sum(1 for q in gt.answers if noisy.relevant(q))
+        assert 60 < kept < 140
+
+    def test_spurious_added(self):
+        gt = GroundTruth(task="t")
+        gt.add("q", "a")
+        rng = np.random.default_rng(0)
+        noisy = noisy_manual_annotation(
+            gt, rng, miss_rate=0.0,
+            spurious={"q": ["b", "c", "d"]}, spurious_rate=1.0,
+        )
+        assert noisy.relevant("q") == {"a", "b", "c", "d"}
+
+    def test_invalid_rates(self):
+        gt = GroundTruth(task="t")
+        with pytest.raises(ValueError):
+            noisy_manual_annotation(gt, np.random.default_rng(0), miss_rate=1.0)

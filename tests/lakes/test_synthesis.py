@@ -1,0 +1,79 @@
+"""Tests for unionable-table synthesis."""
+
+import pytest
+
+from repro.lakes.synthesis import derive_unionable_tables
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def base_tables() -> list[Table]:
+    return [
+        Table.from_dict("drugs", {
+            "drug_id": [f"D{i}" for i in range(20)],
+            "name": [f"drug{i}" for i in range(20)],
+            "description": [f"text {i}" for i in range(20)],
+        }),
+        Table.from_dict("places", {
+            "place": [f"P{i}" for i in range(20)],
+            "value": [str(i) for i in range(20)],
+        }),
+    ]
+
+
+class TestDerivation:
+    def test_counts(self, base_tables):
+        derived, gt = derive_unionable_tables(base_tables, derived_per_base=3, seed=0)
+        assert len(derived) == 6
+
+    def test_rows_subset_of_base(self, base_tables):
+        derived, _ = derive_unionable_tables(base_tables, derived_per_base=2, seed=0)
+        base_ids = set(base_tables[0].column("drug_id").values)
+        for t in derived:
+            if not t.name.startswith("syn_drugs"):
+                continue
+            for col in t.columns:
+                if "drug" in col.name or "id" in col.name:
+                    assert set(col.values) <= base_ids
+
+    def test_names_prefixed(self, base_tables):
+        derived, _ = derive_unionable_tables(base_tables, name_prefix="foo", seed=0)
+        assert all(t.name.startswith("foo_") for t in derived)
+
+    def test_row_fraction_respected(self, base_tables):
+        derived, _ = derive_unionable_tables(
+            base_tables, derived_per_base=5, min_row_fraction=0.5, seed=0)
+        assert all(t.num_rows >= 10 for t in derived)
+
+    def test_invalid_count(self, base_tables):
+        with pytest.raises(ValueError):
+            derive_unionable_tables(base_tables, derived_per_base=0)
+
+    def test_deterministic(self, base_tables):
+        d1, _ = derive_unionable_tables(base_tables, seed=4)
+        d2, _ = derive_unionable_tables(base_tables, seed=4)
+        assert [t.name for t in d1] == [t.name for t in d2]
+        assert d1[0].rows() == d2[0].rows()
+
+
+class TestUnionGroundTruth:
+    def test_family_is_clique(self, base_tables):
+        _, gt = derive_unionable_tables(base_tables, derived_per_base=2, seed=0)
+        family = {"drugs", "syn_drugs_0", "syn_drugs_1"}
+        for member in family:
+            assert gt.relevant(member) == family - {member}
+
+    def test_cross_family_not_unionable(self, base_tables):
+        _, gt = derive_unionable_tables(base_tables, derived_per_base=2, seed=0)
+        assert "places" not in gt.relevant("drugs")
+        assert not gt.relevant("drugs") & gt.relevant("places")
+
+    def test_renaming_keeps_some_schema_signal(self, base_tables):
+        derived, _ = derive_unionable_tables(
+            base_tables, derived_per_base=4, rename_probability=0.5, seed=1)
+        renamed = [
+            t for t in derived
+            if set(t.column_names) - {"drug_id", "name", "description",
+                                      "place", "value"}
+        ]
+        assert renamed  # some tables actually got synonym-renamed columns

@@ -1,0 +1,81 @@
+"""Tests for domain vocabularies."""
+
+import pytest
+
+from repro.lakes.vocab import (
+    DEPARTMENT_TOPICS,
+    GOVT_METRIC_SYNONYMS,
+    DomainVocabulary,
+    govt_vocabulary,
+    ml_vocabulary,
+    pharma_vocabulary,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestPharmaVocabulary:
+    def test_pool_sizes(self):
+        v = pharma_vocabulary(num_drugs=50, num_enzymes=30, seed=0)
+        assert len(v.pool("drug")) == 50
+        assert len(v.pool("enzyme")) == 30
+        assert len(v.pool("gene")) == 30
+
+    def test_names_unique(self):
+        v = pharma_vocabulary(num_drugs=300, num_enzymes=100, seed=0)
+        assert len(set(v.pool("drug"))) == 300
+        assert len(set(v.pool("enzyme"))) == 100
+
+    def test_deterministic(self):
+        a = pharma_vocabulary(seed=3).pool("drug")
+        b = pharma_vocabulary(seed=3).pool("drug")
+        assert a == b
+
+    def test_enzymes_look_like_enzymes(self):
+        v = pharma_vocabulary(num_enzymes=40, seed=0)
+        kinds = ("ase",)
+        assert all(e.lower().endswith(kinds) or " " in e for e in v.pool("enzyme"))
+
+    def test_missing_pool_raises(self):
+        v = pharma_vocabulary(seed=0)
+        with pytest.raises(KeyError, match="no pool"):
+            v.pool("spaceships")
+
+
+class TestGovtVocabulary:
+    def test_places_capitalised_unique(self):
+        v = govt_vocabulary(num_places=150, seed=0)
+        places = v.pool("place")
+        assert len(set(places)) == 150
+        assert all(p[0].isupper() for p in places)
+
+    def test_every_department_has_topics(self):
+        v = govt_vocabulary(seed=0)
+        for dept in v.pool("department"):
+            assert dept in DEPARTMENT_TOPICS
+            assert len(DEPARTMENT_TOPICS[dept]) >= 8
+
+    def test_every_metric_has_synonym(self):
+        v = govt_vocabulary(seed=0)
+        for metric in v.pool("metric"):
+            assert metric in GOVT_METRIC_SYNONYMS
+            # Synonym differs from the metric (the semantic gap is real).
+            assert GOVT_METRIC_SYNONYMS[metric] != metric
+
+
+class TestMLVocabulary:
+    def test_pools_present(self):
+        v = ml_vocabulary(seed=0)
+        for pool in ("theme", "feature", "title", "review_adjective",
+                     "review_noun"):
+            assert v.pool(pool)
+
+
+class TestSample:
+    def test_sample_within_pool(self):
+        v = DomainVocabulary("x", {"w": ["a", "b", "c"]})
+        picks = v.sample("w", 2, ensure_rng(0))
+        assert set(picks) <= {"a", "b", "c"}
+
+    def test_sample_with_replacement_when_large(self):
+        v = DomainVocabulary("x", {"w": ["a"]})
+        assert v.sample("w", 5, ensure_rng(0)) == ["a"] * 5

@@ -1,0 +1,158 @@
+"""Tests for NN layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU, Sequential, Tanh
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, seed=0)
+        out = layer.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_is_affine(self):
+        layer = Dense(2, 2, seed=0)
+        x = np.array([[1.0, 2.0]])
+        assert np.allclose(layer.forward(x), x @ layer.weight + layer.bias)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_weight_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, seed=1)
+        x = rng.standard_normal((4, 3))
+
+        def loss():
+            return float(layer.forward(x).sum())
+
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        num = numerical_gradient(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, num, atol=1e-5)
+
+    def test_bias_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, seed=1)
+        x = rng.standard_normal((4, 3))
+
+        def loss():
+            return float(layer.forward(x).sum())
+
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        num = numerical_gradient(loss, layer.bias)
+        assert np.allclose(layer.grad_bias, num, atol=1e-5)
+
+    def test_input_gradient(self):
+        layer = Dense(3, 2, seed=1)
+        x = np.random.default_rng(0).standard_normal((4, 3))
+        layer.forward(x)
+        grad_in = layer.backward(np.ones((4, 2)))
+        assert np.allclose(grad_in, np.ones((4, 2)) @ layer.weight.T)
+
+    def test_gradients_accumulate(self):
+        layer = Dense(2, 2, seed=0)
+        x = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.grad_weight, 2 * first)
+
+    def test_zero_grad(self):
+        layer = Dense(2, 2, seed=0)
+        layer.forward(np.ones((1, 2)))
+        layer.backward(np.ones((1, 2)))
+        layer.zero_grad()
+        assert (layer.grad_weight == 0).all()
+        assert (layer.grad_bias == 0).all()
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_masks(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 2.0]]))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        assert np.allclose(grad, [[0.0, 5.0]])
+
+    def test_tanh_forward(self):
+        out = Tanh().forward(np.array([[0.0, 100.0]]))
+        assert out[0, 0] == 0.0
+        assert out[0, 1] == pytest.approx(1.0)
+
+    def test_tanh_gradient_check(self):
+        tanh = Tanh()
+        x = np.random.default_rng(0).standard_normal((2, 3))
+
+        def loss():
+            return float(np.tanh(x).sum())
+
+        tanh.forward(x)
+        analytic = tanh.backward(np.ones((2, 3)))
+        num = numerical_gradient(loss, x)
+        assert np.allclose(analytic, num, atol=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.zeros((1, 1)))
+
+
+class TestSequential:
+    def test_composition(self):
+        net = Sequential([Dense(3, 4, seed=0), ReLU(), Dense(4, 2, seed=1)])
+        out = net.forward(np.zeros((2, 3)))
+        assert out.shape == (2, 2)
+
+    def test_parameters_collected(self):
+        net = Sequential([Dense(3, 4, seed=0), ReLU(), Dense(4, 2, seed=1)])
+        assert len(net.parameters) == 4  # two weights + two biases
+        assert len(net.gradients) == 4
+
+    def test_end_to_end_gradient_check(self):
+        rng = np.random.default_rng(3)
+        net = Sequential([Dense(3, 5, seed=0), Tanh(), Dense(5, 2, seed=1)])
+        x = rng.standard_normal((4, 3))
+
+        def loss():
+            return float(net.forward(x).sum())
+
+        net.zero_grad()
+        net.forward(x)
+        net.backward(np.ones((4, 2)))
+        for param, grad in zip(net.parameters, net.gradients):
+            num = numerical_gradient(loss, param)
+            assert np.allclose(grad, num, atol=1e-4)

@@ -1,0 +1,116 @@
+"""Tests for the triplet margin loss, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import TripletMarginLoss, triplet_margin_loss
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLossValue:
+    def test_satisfied_triplet_zero_loss(self):
+        anchor = np.array([[0.0, 0.0]])
+        positive = np.array([[0.1, 0.0]])
+        negative = np.array([[5.0, 0.0]])
+        loss, *_ = triplet_margin_loss(anchor, positive, negative, margin=0.2)
+        assert loss == 0.0
+
+    def test_violated_triplet_positive_loss(self):
+        anchor = np.array([[0.0, 0.0]])
+        positive = np.array([[3.0, 0.0]])
+        negative = np.array([[0.5, 0.0]])
+        loss, *_ = triplet_margin_loss(anchor, positive, negative, margin=0.2)
+        assert loss == pytest.approx(0.2 + 3.0 - 0.5, abs=1e-4)
+
+    def test_margin_boundary(self):
+        anchor = np.array([[0.0]])
+        positive = np.array([[1.0]])
+        negative = np.array([[1.0]])
+        loss, *_ = triplet_margin_loss(anchor, positive, negative, margin=0.5)
+        assert loss == pytest.approx(0.5, abs=1e-4)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            triplet_margin_loss(np.zeros((1, 2)), np.zeros((1, 2)),
+                                np.zeros((1, 2)), margin=-0.1)
+
+    def test_batch_mean(self):
+        anchor = np.zeros((2, 1))
+        positive = np.array([[3.0], [0.1]])
+        negative = np.array([[0.5], [9.0]])
+        loss, *_ = triplet_margin_loss(anchor, positive, negative, margin=0.2)
+        # First triplet violates by 2.7, second is satisfied.
+        assert loss == pytest.approx(2.7 / 2, abs=1e-4)
+
+
+class TestGradients:
+    def test_gradient_check_all_inputs(self):
+        rng = np.random.default_rng(0)
+        anchor = rng.standard_normal((3, 4))
+        positive = rng.standard_normal((3, 4))
+        negative = rng.standard_normal((3, 4))
+
+        loss, ga, gp, gn = triplet_margin_loss(anchor, positive, negative, 0.5)
+
+        for array, grad in ((anchor, ga), (positive, gp), (negative, gn)):
+            def f():
+                return triplet_margin_loss(anchor, positive, negative, 0.5)[0]
+
+            num = numerical_gradient(f, array)
+            assert np.allclose(grad, num, atol=1e-4)
+
+    def test_inactive_triplets_zero_gradient(self):
+        anchor = np.array([[0.0, 0.0]])
+        positive = np.array([[0.1, 0.0]])
+        negative = np.array([[9.0, 0.0]])
+        _, ga, gp, gn = triplet_margin_loss(anchor, positive, negative, 0.2)
+        assert (ga == 0).all() and (gp == 0).all() and (gn == 0).all()
+
+    def test_gradient_directions(self):
+        """Gradient descent pulls positive closer and pushes negative away."""
+        anchor = np.array([[0.0, 0.0]])
+        positive = np.array([[2.0, 0.0]])
+        negative = np.array([[1.0, 0.0]])
+        _, _, gp, gn = triplet_margin_loss(anchor, positive, negative, 0.2)
+        new_positive = positive - 0.1 * gp
+        new_negative = negative - 0.1 * gn
+        assert np.linalg.norm(new_positive - anchor) < np.linalg.norm(positive - anchor)
+        assert np.linalg.norm(new_negative - anchor) > np.linalg.norm(negative - anchor)
+
+
+class TestTripletMarginLossClass:
+    def test_callable(self):
+        loss_fn = TripletMarginLoss(margin=0.3)
+        loss, *_ = loss_fn(np.zeros((1, 2)), np.ones((1, 2)), np.ones((1, 2)))
+        assert loss == pytest.approx(0.3, abs=1e-4)
+
+    def test_violation_rate(self):
+        loss_fn = TripletMarginLoss(margin=0.2)
+        anchor = np.zeros((2, 1))
+        positive = np.array([[3.0], [0.01]])
+        negative = np.array([[0.5], [9.0]])
+        assert loss_fn.violation_rate(anchor, positive, negative) == 0.5
+
+    def test_violation_rate_empty(self):
+        loss_fn = TripletMarginLoss()
+        assert loss_fn.violation_rate(np.zeros((0, 2)), np.zeros((0, 2)),
+                                      np.zeros((0, 2))) == 0.0
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            TripletMarginLoss(margin=-1.0)

@@ -1,0 +1,130 @@
+"""Tests for optimisers and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_problem():
+    """Minimise ||w - target||^2 via the optimiser interface."""
+    target = np.array([3.0, -2.0])
+    w = np.zeros(2)
+    g = np.zeros(2)
+
+    def compute_grad():
+        g[...] = 2 * (w - target)
+
+    return w, g, target, compute_grad
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w, g, target, compute_grad = quadratic_problem()
+        opt = SGD([w], [g], lr=0.1)
+        for _ in range(200):
+            compute_grad()
+            opt.step()
+        assert np.allclose(w, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        w1, g1, target, grad1 = quadratic_problem()
+        opt1 = SGD([w1], [g1], lr=0.01)
+        w2, g2, _, grad2 = quadratic_problem()
+        opt2 = SGD([w2], [g2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            grad1()
+            opt1.step()
+            grad2()
+            opt2.step()
+        assert np.linalg.norm(w2 - target) < np.linalg.norm(w1 - target)
+
+    def test_zero_grad(self):
+        w, g, _, compute_grad = quadratic_problem()
+        opt = SGD([w], [g], lr=0.1)
+        compute_grad()
+        opt.zero_grad()
+        assert (g == 0).all()
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [np.zeros(1)], lr=0.0)
+
+    def test_mismatched_params(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w, g, target, compute_grad = quadratic_problem()
+        opt = Adam([w], [g], lr=0.1)
+        for _ in range(500):
+            compute_grad()
+            opt.step()
+        assert np.allclose(w, target, atol=1e-2)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], [np.zeros(1)], lr=-1.0)
+
+    def test_step_counts(self):
+        w, g, _, compute_grad = quadratic_problem()
+        opt = Adam([w], [g], lr=0.1)
+        compute_grad()
+        opt.step()
+        assert opt._t == 1
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = MLP(8, [6, 5], 4, seed=0)
+        out = mlp(np.zeros((3, 8)))
+        assert out.shape == (3, 4)
+
+    def test_single_sample_promoted(self):
+        mlp = MLP(4, [3], 2, seed=0)
+        assert mlp(np.zeros(4)).shape == (1, 2)
+
+    def test_dim_mismatch(self):
+        mlp = MLP(4, [], 2, seed=0)
+        with pytest.raises(ValueError, match="dim"):
+            mlp(np.zeros((1, 5)))
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            MLP(4, [3], 2, activation="swish")
+
+    def test_no_hidden_layers(self):
+        mlp = MLP(4, [], 2, seed=0)
+        assert len(mlp.parameters) == 2
+
+    def test_num_parameters(self):
+        mlp = MLP(4, [3], 2, seed=0)
+        assert mlp.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_learns_simple_regression(self):
+        """The MLP + Adam must fit y = x W for a fixed random W."""
+        rng = np.random.default_rng(0)
+        true_w = rng.standard_normal((5, 2))
+        x = rng.standard_normal((64, 5))
+        y = x @ true_w
+        mlp = MLP(5, [16], 2, seed=0)
+        opt = Adam(mlp.parameters, mlp.gradients, lr=1e-2)
+        first_loss = None
+        for _ in range(300):
+            pred = mlp(x)
+            err = pred - y
+            loss = float((err**2).mean())
+            if first_loss is None:
+                first_loss = loss
+            mlp.zero_grad()
+            mlp.backward(2 * err / err.size)
+            opt.step()
+        assert loss < first_loss * 0.05
+
+    def test_tanh_activation_variant(self):
+        mlp = MLP(4, [3], 2, activation="tanh", seed=0)
+        assert mlp(np.ones((2, 4))).shape == (2, 2)

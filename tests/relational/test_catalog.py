@@ -1,0 +1,75 @@
+"""Tests for DataLake and Document."""
+
+import pytest
+
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def lake() -> DataLake:
+    lake = DataLake("test")
+    lake.add_table(Table.from_dict("t1", {"a": ["1", "2"], "b": ["x", "y"]}))
+    lake.add_table(Table.from_dict("t2", {"c": ["p", "q"]}))
+    lake.add_document(Document("d1", "Title one", "Some text here."))
+    return lake
+
+
+class TestDataLake:
+    def test_counts(self, lake):
+        assert lake.num_tables == 2
+        assert lake.num_columns == 3
+        assert lake.num_documents == 1
+
+    def test_duplicate_table_rejected(self, lake):
+        with pytest.raises(ValueError, match="duplicate"):
+            lake.add_table(Table.from_dict("t1", {"z": ["0", "0"]}))
+
+    def test_duplicate_document_rejected(self, lake):
+        with pytest.raises(ValueError, match="duplicate"):
+            lake.add_document(Document("d1", "t", "x"))
+
+    def test_missing_table_raises(self, lake):
+        with pytest.raises(KeyError, match="no table"):
+            lake.table("nope")
+
+    def test_missing_document_raises(self, lake):
+        with pytest.raises(KeyError, match="no document"):
+            lake.document("nope")
+
+    def test_column_by_qualified_name(self, lake):
+        col = lake.column("t1.a")
+        assert col.values == ["1", "2"]
+
+    def test_numeric_fraction(self, lake):
+        # 'a' is numeric out of 3 columns.
+        assert lake.numeric_fraction() == pytest.approx(1 / 3)
+
+    def test_numeric_fraction_empty_lake(self):
+        assert DataLake().numeric_fraction() == 0.0
+
+    def test_add_documents_bulk(self, lake):
+        lake.add_documents([Document("d2", "t", "x"), Document("d3", "t", "y")])
+        assert lake.num_documents == 3
+
+    def test_repr(self, lake):
+        assert "tables=2" in repr(lake)
+
+
+class TestDocumentSplitting:
+    def test_short_document_unsplit(self):
+        d = Document("d", "t", "One. Two. Three.")
+        assert d.split_long(max_sentences=6) == [d]
+
+    def test_long_document_split(self):
+        text = " ".join(f"Sentence number {i}." for i in range(14))
+        parts = Document("d", "t", text).split_long(max_sentences=6)
+        assert len(parts) == 3
+        assert parts[0].doc_id == "d#p0"
+        assert parts[2].doc_id == "d#p2"
+
+    def test_split_preserves_metadata(self):
+        text = " ".join(f"S {i}." for i in range(10))
+        d = Document("d", "t", text, source="src", metadata={"k": "v"})
+        parts = d.split_long(max_sentences=4)
+        assert all(p.source == "src" and p.metadata == {"k": "v"} for p in parts)

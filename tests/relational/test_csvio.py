@@ -1,0 +1,53 @@
+"""Tests for CSV IO."""
+
+from pathlib import Path
+
+from repro.relational.csvio import read_csv, table_from_csv, table_to_csv, write_csv
+from repro.relational.table import Table
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        header = ["a", "b"]
+        rows = [["1", "x"], ["2", "y,z"]]
+        text = write_csv(header, rows)
+        h2, r2 = read_csv(text)
+        assert h2 == header
+        assert r2 == rows
+
+    def test_quoted_commas(self):
+        text = write_csv(["a"], [["hello, world"]])
+        _, rows = read_csv(text)
+        assert rows[0][0] == "hello, world"
+
+    def test_empty(self):
+        assert read_csv("") == ([], [])
+
+
+class TestTableCsv:
+    def test_table_from_csv_text(self):
+        t = table_from_csv("t", "a,b\n1,x\n2,y\n")
+        assert t.column_names == ["a", "b"]
+        assert t.column("a").values == ["1", "2"]
+
+    def test_short_rows_padded(self):
+        t = table_from_csv("t", "a,b\n1\n")
+        assert t.column("b").values == [""]
+
+    def test_table_to_csv_roundtrip(self):
+        t = Table.from_dict("t", {"x": ["1", "2"], "y": ["a", "b"]})
+        text = table_to_csv(t)
+        t2 = table_from_csv("t2", text)
+        assert t2.column("x").values == t.column("x").values
+        assert t2.column("y").values == t.column("y").values
+
+    def test_file_roundtrip(self, tmp_path: Path):
+        t = Table.from_dict("t", {"x": ["1"]})
+        path = tmp_path / "t.csv"
+        table_to_csv(t, path)
+        t2 = table_from_csv("t", path)
+        assert t2.column("x").values == ["1"]
+
+    def test_empty_csv_gives_empty_table(self):
+        t = table_from_csv("t", "\n")
+        assert t.num_columns == 0

@@ -1,0 +1,89 @@
+"""Tests for numeric statistics and numeric overlap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.stats import NumericStats, numeric_overlap, numeric_stats
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestNumericStats:
+    def test_basic(self):
+        s = numeric_stats([1.0, 2.0, 3.0, 3.0])
+        assert s.count == 4
+        assert s.distinct == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.mean == pytest.approx(2.25)
+
+    def test_empty_is_none(self):
+        assert numeric_stats([]) is None
+
+    def test_domain_size(self):
+        s = numeric_stats([10.0, 20.0])
+        assert s.domain_size == 10.0
+
+    @given(st.lists(floats, min_size=1, max_size=30))
+    def test_bounds_property(self, values):
+        s = numeric_stats(values)
+        slack = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum - slack <= s.mean <= s.maximum + slack
+
+
+class TestRangeOverlap:
+    def test_identical(self):
+        a = numeric_stats([0.0, 10.0])
+        assert a.range_overlap(a) == 1.0
+
+    def test_disjoint(self):
+        a = numeric_stats([0.0, 1.0])
+        b = numeric_stats([5.0, 6.0])
+        assert a.range_overlap(b) == 0.0
+
+    def test_contained(self):
+        small = numeric_stats([4.0, 6.0])
+        big = numeric_stats([0.0, 10.0])
+        assert small.range_overlap(big) == 1.0
+        assert big.range_overlap(small) == 1.0  # over the smaller range
+
+    def test_partial(self):
+        a = numeric_stats([0.0, 10.0])
+        b = numeric_stats([5.0, 15.0])
+        assert a.range_overlap(b) == pytest.approx(0.5)
+
+    def test_point_range_inside(self):
+        point = numeric_stats([5.0])
+        wide = numeric_stats([0.0, 10.0])
+        assert point.range_overlap(wide) == 1.0
+
+    def test_inclusion(self):
+        inner = numeric_stats([2.0, 3.0])
+        outer = numeric_stats([0.0, 10.0])
+        assert inner.inclusion(outer)
+        assert not outer.inclusion(inner)
+
+
+class TestNumericOverlap:
+    def test_none_inputs(self):
+        s = numeric_stats([1.0])
+        assert numeric_overlap(None, s) == 0.0
+        assert numeric_overlap(s, None) == 0.0
+        assert numeric_overlap(None, None) == 0.0
+
+    def test_identical_high(self):
+        s = numeric_stats([1.0, 2.0, 3.0])
+        assert numeric_overlap(s, s) == pytest.approx(1.0)
+
+    def test_disjoint_low(self):
+        a = numeric_stats([0.0, 1.0])
+        b = numeric_stats([1000.0, 1001.0])
+        assert numeric_overlap(a, b) < 0.1
+
+    @given(st.lists(floats, min_size=2, max_size=20),
+           st.lists(floats, min_size=2, max_size=20))
+    def test_bounded_and_symmetricish(self, xs, ys):
+        a, b = numeric_stats(xs), numeric_stats(ys)
+        v1, v2 = numeric_overlap(a, b), numeric_overlap(b, a)
+        assert 0.0 <= v1 <= 1.0
+        assert v1 == pytest.approx(v2)

@@ -1,0 +1,114 @@
+"""Tests for Column and Table."""
+
+import pytest
+
+from repro.relational.table import Column, Table
+from repro.relational.types import ColumnType
+
+
+@pytest.fixture()
+def drugs_table() -> Table:
+    return Table.from_dict(
+        "drugs",
+        {
+            "drug_id": ["D1", "D2", "D3", "D3"],
+            "name": ["aspirin", "ibuprofen", "codeine", "codeine"],
+            "dose": ["10", "20", "", "30"],
+        },
+    )
+
+
+class TestColumn:
+    def test_qualified_name(self, drugs_table):
+        assert drugs_table.column("name").qualified_name == "drugs.name"
+
+    def test_distinct_and_cardinality(self, drugs_table):
+        col = drugs_table.column("drug_id")
+        assert col.distinct_values == {"D1", "D2", "D3"}
+        assert col.cardinality == 3
+
+    def test_non_missing_skips_empties(self, drugs_table):
+        assert drugs_table.column("dose").non_missing == ["10", "20", "30"]
+
+    def test_uniqueness(self, drugs_table):
+        assert drugs_table.column("drug_id").uniqueness == 0.75
+        assert drugs_table.column("dose").uniqueness == 1.0
+
+    def test_uniqueness_empty(self):
+        assert Column("c", ["", "NA"]).uniqueness == 0.0
+
+    def test_dtype(self, drugs_table):
+        assert drugs_table.column("dose").dtype is ColumnType.INTEGER
+        assert drugs_table.column("name").dtype is ColumnType.TEXT
+
+    def test_numeric_values(self, drugs_table):
+        assert drugs_table.column("dose").numeric_values == [10.0, 20.0, 30.0]
+        assert drugs_table.column("name").numeric_values == []
+
+    def test_len_and_repr(self, drugs_table):
+        col = drugs_table.column("name")
+        assert len(col) == 4
+        assert "drugs.name" in repr(col)
+
+
+class TestTable:
+    def test_shape(self, drugs_table):
+        assert drugs_table.num_rows == 4
+        assert drugs_table.num_columns == 3
+        assert drugs_table.column_names == ["drug_id", "name", "dose"]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            Table("bad", [Column("a", ["1"]), Column("b", ["1", "2"])])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table("bad", [Column("a", ["1"]), Column("a", ["2"])])
+
+    def test_missing_column_raises(self, drugs_table):
+        with pytest.raises(KeyError, match="no column"):
+            drugs_table.column("nope")
+
+    def test_contains(self, drugs_table):
+        assert "name" in drugs_table
+        assert "nope" not in drugs_table
+
+    def test_rows(self, drugs_table):
+        rows = drugs_table.rows()
+        assert rows[0] == ("D1", "aspirin", "10")
+        assert len(rows) == 4
+
+    def test_empty_table(self):
+        t = Table("empty", [])
+        assert t.num_rows == 0
+        assert t.rows() == []
+
+    def test_column_table_name_set(self, drugs_table):
+        assert all(c.table_name == "drugs" for c in drugs_table.columns)
+
+
+class TestDerivedTables:
+    def test_project(self, drugs_table):
+        p = drugs_table.project(["name", "dose"], "p")
+        assert p.column_names == ["name", "dose"]
+        assert p.num_rows == 4
+        assert p.name == "p"
+
+    def test_project_leaves_base_untouched(self, drugs_table):
+        drugs_table.project(["name"], "p")
+        assert drugs_table.num_columns == 3
+
+    def test_select_rows(self, drugs_table):
+        s = drugs_table.select_rows([0, 2], "s")
+        assert s.num_rows == 2
+        assert s.column("drug_id").values == ["D1", "D3"]
+
+    def test_rename_columns(self, drugs_table):
+        r = drugs_table.rename_columns({"name": "title"}, "r")
+        assert "title" in r
+        assert "name" not in r
+        assert r.column("title").values == drugs_table.column("name").values
+
+    def test_rename_partial_mapping(self, drugs_table):
+        r = drugs_table.rename_columns({}, "r")
+        assert r.column_names == drugs_table.column_names

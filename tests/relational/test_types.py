@@ -1,0 +1,66 @@
+"""Tests for column type inference."""
+
+from repro.relational.types import (
+    ColumnType,
+    infer_column_type,
+    infer_value_type,
+    is_missing,
+)
+
+
+class TestValueType:
+    def test_integers(self):
+        assert infer_value_type("42") is ColumnType.INTEGER
+        assert infer_value_type("-7") is ColumnType.INTEGER
+
+    def test_floats(self):
+        assert infer_value_type("3.14") is ColumnType.FLOAT
+        assert infer_value_type("1e5") is ColumnType.FLOAT
+        assert infer_value_type(".5") is ColumnType.FLOAT
+
+    def test_dates(self):
+        for v in ("2023-06-01", "6/1/2023", "1-Jun-2023", "2023/06/01"):
+            assert infer_value_type(v) is ColumnType.DATE, v
+
+    def test_text(self):
+        assert infer_value_type("aspirin") is ColumnType.TEXT
+        assert infer_value_type("DB00642") is ColumnType.TEXT
+
+    def test_missing(self):
+        for v in ("", "NA", "null", "None", "-", "?", "n/a"):
+            assert infer_value_type(v) is ColumnType.EMPTY, v
+
+    def test_is_missing(self):
+        assert is_missing("  NA ")
+        assert not is_missing("0")
+
+
+class TestColumnType:
+    def test_integer_column(self):
+        assert infer_column_type(["1", "2", "3"]) is ColumnType.INTEGER
+
+    def test_float_wins_if_any_float(self):
+        assert infer_column_type(["1", "2.5", "3"]) is ColumnType.FLOAT
+
+    def test_mixed_falls_to_text(self):
+        assert infer_column_type(["1", "a", "b", "c"]) is ColumnType.TEXT
+
+    def test_mostly_numeric_with_noise(self):
+        values = ["1"] * 95 + ["x"] * 5
+        assert infer_column_type(values) is ColumnType.INTEGER
+
+    def test_date_column(self):
+        assert infer_column_type(["2020-01-01", "2020-01-02"]) is ColumnType.DATE
+
+    def test_empty_column(self):
+        assert infer_column_type(["", "NA"]) is ColumnType.EMPTY
+        assert infer_column_type([]) is ColumnType.EMPTY
+
+    def test_missing_ignored(self):
+        assert infer_column_type(["1", "", "2", "NA"]) is ColumnType.INTEGER
+
+    def test_is_numeric_property(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.DATE.is_numeric

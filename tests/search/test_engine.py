@@ -1,0 +1,60 @@
+"""Tests for the SearchEngine facade."""
+
+import pytest
+
+from repro.search.engine import SearchEngine
+
+
+@pytest.fixture()
+def engine() -> SearchEngine:
+    e = SearchEngine()
+    e.add("d1", ["drug", "enzyme"])
+    e.add("d2", ["drug", "city", "city"])
+    e.add("d3", ["population"])
+    return e
+
+
+class TestSearch:
+    def test_topk(self, engine):
+        result = engine.search(["drug"], k=1)
+        assert len(result) == 1
+
+    def test_ranked_descending(self, engine):
+        result = engine.search(["drug", "city"], k=3)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclude(self, engine):
+        result = engine.search(["drug"], k=5, exclude={"d1"})
+        assert all(key != "d1" for key, _ in result)
+
+    def test_no_match(self, engine):
+        assert engine.search(["nothing"], k=5) == []
+
+    def test_len_contains(self, engine):
+        assert len(engine) == 3
+        assert "d1" in engine
+
+    def test_unknown_ranker_rejected(self):
+        with pytest.raises(ValueError, match="unknown ranker"):
+            SearchEngine(ranker="tfidf")
+
+    def test_lm_dirichlet_ranker(self):
+        e = SearchEngine(ranker="lm_dirichlet")
+        e.add("d1", ["drug", "drug"])
+        e.add("d2", ["drug", "x", "y", "z"])
+        result = e.search(["drug"], k=2)
+        assert result[0][0] == "d1"
+
+    def test_incremental_add_rebuilds_scorer(self, engine):
+        before = engine.search(["drug"], k=5)
+        engine.add("d4", ["drug"] * 10)
+        after = engine.search(["drug"], k=5)
+        assert len(after) == len(before) + 1
+
+    def test_deterministic_tiebreak(self):
+        e = SearchEngine()
+        e.add("b", ["x"])
+        e.add("a", ["x"])
+        result = e.search(["x"], k=2)
+        assert [k for k, _ in result] == ["a", "b"]

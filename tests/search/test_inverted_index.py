@@ -1,0 +1,60 @@
+"""Tests for the inverted index."""
+
+from collections import Counter
+
+import pytest
+
+from repro.search.inverted_index import InvertedIndex
+
+
+@pytest.fixture()
+def index() -> InvertedIndex:
+    idx = InvertedIndex()
+    idx.add("d1", ["drug", "enzyme", "drug"])
+    idx.add("d2", ["city", "population"])
+    idx.add("d3", Counter({"drug": 1, "city": 2}))
+    return idx
+
+
+class TestStats:
+    def test_num_docs(self, index):
+        assert index.num_docs == 3
+
+    def test_doc_length(self, index):
+        assert index.doc_length("d1") == 3
+        assert index.doc_length("d3") == 3
+        assert index.doc_length("missing") == 0
+
+    def test_collection_length(self, index):
+        assert index.collection_length == 8
+
+    def test_average_doc_length(self, index):
+        assert index.average_doc_length == pytest.approx(8 / 3)
+
+    def test_average_empty_index(self):
+        assert InvertedIndex().average_doc_length == 0.0
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("drug") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_collection_frequency(self, index):
+        assert index.collection_frequency("drug") == 3
+        assert index.collection_frequency("city") == 3
+
+
+class TestPostings:
+    def test_term_frequency_recorded(self, index):
+        postings = {p.doc_key: p.term_frequency for p in index.postings("drug")}
+        assert postings == {"d1": 2, "d3": 1}
+
+    def test_missing_term(self, index):
+        assert index.postings("nothing") == []
+
+    def test_duplicate_key_rejected(self, index):
+        with pytest.raises(ValueError, match="duplicate"):
+            index.add("d1", ["x"])
+
+    def test_contains_and_keys(self, index):
+        assert "d1" in index
+        assert set(index.keys()) == {"d1", "d2", "d3"}

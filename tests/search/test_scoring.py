@@ -1,0 +1,99 @@
+"""Tests for BM25 and LM-Dirichlet scoring."""
+
+import math
+
+import pytest
+
+from repro.search.inverted_index import InvertedIndex
+from repro.search.scoring import BM25Scorer, LMDirichletScorer
+
+
+@pytest.fixture()
+def index() -> InvertedIndex:
+    idx = InvertedIndex()
+    idx.add("d1", ["drug"] * 3 + ["enzyme"])
+    idx.add("d2", ["drug"] + ["city"] * 5)
+    idx.add("d3", ["city", "population", "budget"])
+    idx.add("d4", ["enzyme", "protein", "enzyme"])
+    return idx
+
+
+class TestBM25:
+    def test_matching_docs_scored(self, index):
+        scores = BM25Scorer(index).scores(["drug"])
+        assert set(scores) == {"d1", "d2"}
+
+    def test_tf_increases_score(self, index):
+        scores = BM25Scorer(index).scores(["drug"])
+        assert scores["d1"] > scores["d2"]
+
+    def test_rare_term_higher_idf(self, index):
+        scorer = BM25Scorer(index)
+        assert scorer.idf("population") > scorer.idf("drug")
+
+    def test_idf_non_negative(self, index):
+        scorer = BM25Scorer(index)
+        for term in ("drug", "city", "enzyme", "unseen"):
+            assert scorer.idf(term) >= 0.0
+
+    def test_query_term_weight(self, index):
+        once = BM25Scorer(index).scores(["drug"])
+        twice = BM25Scorer(index).scores(["drug", "drug"])
+        assert twice["d1"] == pytest.approx(2 * once["d1"])
+
+    def test_unseen_term_no_matches(self, index):
+        assert BM25Scorer(index).scores(["zzz"]) == {}
+
+    def test_invalid_params(self, index):
+        with pytest.raises(ValueError):
+            BM25Scorer(index, k1=-1)
+        with pytest.raises(ValueError):
+            BM25Scorer(index, b=2.0)
+
+    def test_length_normalisation(self):
+        idx = InvertedIndex()
+        idx.add("short", ["drug"])
+        idx.add("long", ["drug"] + ["filler"] * 50)
+        scores = BM25Scorer(idx).scores(["drug"])
+        assert scores["short"] > scores["long"]
+
+    def test_multi_term_accumulates(self, index):
+        single = BM25Scorer(index).scores(["drug"])
+        multi = BM25Scorer(index).scores(["drug", "enzyme"])
+        assert multi["d1"] > single["d1"]
+
+
+class TestLMDirichlet:
+    def test_matching_docs_scored(self, index):
+        scores = LMDirichletScorer(index).scores(["drug"])
+        assert "d1" in scores and "d2" in scores
+
+    def test_tf_ordering(self, index):
+        scores = LMDirichletScorer(index, mu=100).scores(["drug"])
+        assert scores["d1"] > scores["d2"]
+
+    def test_scores_non_negative(self, index):
+        scores = LMDirichletScorer(index).scores(["drug", "city", "enzyme"])
+        assert all(v >= 0.0 for v in scores.values())
+
+    def test_unseen_term_ignored(self, index):
+        assert LMDirichletScorer(index).scores(["zzz"]) == {}
+
+    def test_invalid_mu(self, index):
+        with pytest.raises(ValueError):
+            LMDirichletScorer(index, mu=0)
+
+    def test_mu_smooths(self, index):
+        tight = LMDirichletScorer(index, mu=10).scores(["drug"])
+        smooth = LMDirichletScorer(index, mu=10_000).scores(["drug"])
+        # Heavier smoothing compresses the scores toward zero.
+        assert max(smooth.values()) < max(tight.values())
+
+    def test_formula_spot_check(self):
+        idx = InvertedIndex()
+        idx.add("d", ["t", "t", "u"])
+        scorer = LMDirichletScorer(idx, mu=100.0)
+        p_c = 2 / 3
+        expected = math.log(1 + 2 / (100 * p_c)) + math.log(100 / (3 + 100))
+        got = scorer.scores(["t"])["d"]
+        assert got == pytest.approx(max(0.0, expected))

@@ -1,0 +1,81 @@
+"""Tests for the banded LSH index."""
+
+import pytest
+
+from repro.sketch.lsh import LSHIndex
+from repro.sketch.minhash import MinHash
+
+
+@pytest.fixture(scope="module")
+def mh() -> MinHash:
+    return MinHash(num_hashes=128, seed=0)
+
+
+def build_index(mh, sets: dict[str, set[str]], num_bands: int = 16) -> LSHIndex:
+    index = LSHIndex(num_bands=num_bands)
+    for key, s in sets.items():
+        index.add(key, mh.signature(s))
+    return index
+
+
+class TestBuild:
+    def test_len_and_contains(self, mh):
+        index = build_index(mh, {"a": {"x"}, "b": {"y"}})
+        assert len(index) == 2
+        assert "a" in index
+        assert "c" not in index
+
+    def test_duplicate_key_rejected(self, mh):
+        index = build_index(mh, {"a": {"x"}})
+        with pytest.raises(ValueError, match="duplicate"):
+            index.add("a", mh.signature({"z"}))
+
+    def test_rejects_bad_bands(self):
+        with pytest.raises(ValueError):
+            LSHIndex(num_bands=0)
+
+
+class TestQuery:
+    def test_identical_set_found_first(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i, i + 20)} for i in range(10)}
+        index = build_index(mh, sets)
+        result = index.query(mh.signature(sets["s4"]), k=3)
+        assert result[0][0] == "s4"
+        assert result[0][1] == 1.0
+
+    def test_k_limits_results(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i, i + 5)} for i in range(10)}
+        index = build_index(mh, sets)
+        assert len(index.query(mh.signature({"x1", "x2"}), k=4)) == 4
+
+    def test_exclude(self, mh):
+        sets = {"a": {"x", "y"}, "b": {"x", "y"}}
+        index = build_index(mh, sets)
+        result = index.query(mh.signature({"x", "y"}), k=5, exclude={"a"})
+        assert "a" not in [k for k, _ in result]
+
+    def test_fallback_full_scan_when_no_candidates(self, mh):
+        # A query with zero overlap lands in no bucket; the fallback still
+        # returns ranked results.
+        sets = {"a": {f"x{i}" for i in range(20)}}
+        index = build_index(mh, sets)
+        result = index.query(mh.signature({f"z{i}" for i in range(20)}), k=1)
+        assert result[0][0] == "a"
+
+    def test_similar_sets_collide(self, mh):
+        base = {f"x{i}" for i in range(50)}
+        near = set(list(base)[:48]) | {"extra1", "extra2"}
+        index = build_index(mh, {"base": base})
+        candidates = index.candidates(mh.signature(near))
+        assert "base" in candidates
+
+    def test_scores_sorted_descending(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i * 3, i * 3 + 10)} for i in range(8)}
+        index = build_index(mh, sets)
+        result = index.query(mh.signature(sets["s0"]), k=8)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_signature_of(self, mh):
+        index = build_index(mh, {"a": {"x"}})
+        assert index.signature_of("a") == mh.signature({"x"})

@@ -1,0 +1,111 @@
+"""Tests for the LSH Ensemble containment index."""
+
+import pytest
+
+from repro.sketch.lshensemble import LSHEnsemble
+from repro.sketch.minhash import MinHash
+
+
+@pytest.fixture(scope="module")
+def mh() -> MinHash:
+    return MinHash(num_hashes=128, seed=0)
+
+
+def build(mh, sets: dict[str, set[str]], **kwargs) -> LSHEnsemble:
+    ens = LSHEnsemble(**kwargs)
+    for key, s in sets.items():
+        ens.add(key, mh.signature(s))
+    return ens.build()
+
+
+class TestBuild:
+    def test_len_before_and_after_build(self, mh):
+        ens = LSHEnsemble()
+        ens.add("a", mh.signature({"x"}))
+        assert len(ens) == 1
+        ens.build()
+        assert len(ens) == 1
+
+    def test_add_after_build_rejected(self, mh):
+        ens = build(mh, {"a": {"x"}})
+        with pytest.raises(RuntimeError, match="already built"):
+            ens.add("b", mh.signature({"y"}))
+
+    def test_build_idempotent(self, mh):
+        ens = build(mh, {"a": {"x"}})
+        assert ens.build() is ens
+
+    def test_rejects_bad_partitions(self):
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_partitions=0)
+
+    def test_partition_by_size(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(5 * (i + 1))} for i in range(8)}
+        ens = build(mh, sets, num_partitions=4)
+        # Small sets land in earlier partitions than large ones.
+        assert ens.partition_of(5) <= ens.partition_of(40)
+
+    def test_partition_of_requires_build(self, mh):
+        ens = LSHEnsemble()
+        ens.add("a", mh.signature({"x"}))
+        with pytest.raises(RuntimeError, match="build"):
+            ens.partition_of(3)
+
+
+class TestContainmentQuery:
+    def test_contained_set_ranked_top(self, mh):
+        sets = {
+            "superset": {f"x{i}" for i in range(100)},
+            "other": {f"y{i}" for i in range(100)},
+        }
+        ens = build(mh, sets)
+        query = mh.signature({f"x{i}" for i in range(10)})
+        result = ens.query(query, k=2)
+        assert result[0][0] == "superset"
+        # The containment estimator's variance is amplified by |B|/|A| for
+        # small queries; 128 hashes give a coarse but correctly-ranked score.
+        assert result[0][1] > 0.4
+
+    def test_containment_estimate_tightens_with_hashes(self):
+        big_mh = MinHash(num_hashes=2048, seed=0)
+        superset = big_mh.signature({f"x{i}" for i in range(100)})
+        query = big_mh.signature({f"x{i}" for i in range(10)})
+        assert query.containment(superset) > 0.8
+
+    def test_skewed_cardinality_found(self, mh):
+        """The ensemble's raison d'etre: small query inside one huge set."""
+        sets = {f"s{i}": {f"v{i}_{j}" for j in range(10 + 40 * i)} for i in range(10)}
+        sets["huge"] = {f"q{j}" for j in range(500)}
+        ens = build(mh, sets, num_partitions=5)
+        query = mh.signature({f"q{j}" for j in range(8)})
+        assert ens.query(query, k=1)[0][0] == "huge"
+
+    def test_threshold_filters(self, mh):
+        sets = {"far": {f"y{i}" for i in range(50)}}
+        ens = build(mh, sets)
+        query = mh.signature({f"x{i}" for i in range(20)})
+        assert ens.query(query, k=5, threshold=0.5) == []
+
+    def test_exclude(self, mh):
+        sets = {"a": {"x", "y", "z"}, "b": {"x", "y", "w"}}
+        ens = build(mh, sets)
+        result = ens.query(mh.signature({"x", "y"}), k=5, exclude={"a"})
+        assert all(key != "a" for key, _ in result)
+
+    def test_query_builds_lazily(self, mh):
+        ens = LSHEnsemble()
+        ens.add("a", mh.signature({"x", "y"}))
+        result = ens.query(mh.signature({"x"}), k=1)
+        assert result[0][0] == "a"
+
+    def test_k_respected(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(20)} for i in range(10)}
+        ens = build(mh, sets)
+        assert len(ens.query(mh.signature({"x1"}), k=3)) == 3
+
+    def test_scores_descending(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i, i + 30)} for i in range(10)}
+        ens = build(mh, sets)
+        result = ens.query(mh.signature({f"x{j}" for j in range(5, 15)}), k=10)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)

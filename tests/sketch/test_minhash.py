@@ -1,0 +1,144 @@
+"""Tests for minwise hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.minhash import MinHash, MINHASH_PRIME
+
+small_sets = st.sets(st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+                     min_size=0, max_size=30)
+
+
+@pytest.fixture(scope="module")
+def mh() -> MinHash:
+    return MinHash(num_hashes=256, seed=0)
+
+
+class TestSignature:
+    def test_deterministic(self, mh):
+        s1 = mh.signature({"a", "b", "c"})
+        s2 = mh.signature({"a", "b", "c"})
+        assert s1 == s2
+
+    def test_order_invariant(self, mh):
+        assert mh.signature(["a", "b", "c"]) == mh.signature(["c", "a", "b"])
+
+    def test_duplicates_ignored(self, mh):
+        assert mh.signature(["a", "a", "b"]) == mh.signature(["a", "b"])
+
+    def test_empty_set(self, mh):
+        s = mh.signature(set())
+        assert s.set_size == 0
+        assert (s.values == MINHASH_PRIME).all()
+
+    def test_values_below_prime(self, mh):
+        s = mh.signature({"x", "y"})
+        assert (s.values < MINHASH_PRIME).all()
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MinHash(num_hashes=0)
+
+
+class TestJaccardEstimation:
+    def test_identical_sets(self, mh):
+        s = mh.signature({"a", "b", "c"})
+        assert s.jaccard(s) == 1.0
+
+    def test_disjoint_sets(self, mh):
+        a = mh.signature({f"a{i}" for i in range(20)})
+        b = mh.signature({f"b{i}" for i in range(20)})
+        assert a.jaccard(b) < 0.1
+
+    def test_estimate_close_to_truth(self, mh):
+        a_set = {f"x{i}" for i in range(100)}
+        b_set = {f"x{i}" for i in range(50, 150)}
+        truth = len(a_set & b_set) / len(a_set | b_set)
+        estimate = mh.signature(a_set).jaccard(mh.signature(b_set))
+        assert abs(estimate - truth) < 0.12
+
+    def test_incompatible_signatures_rejected(self):
+        s1 = MinHash(num_hashes=64).signature({"a"})
+        s2 = MinHash(num_hashes=128).signature({"a"})
+        with pytest.raises(ValueError, match="incomparable"):
+            s1.jaccard(s2)
+
+    def test_different_seeds_rejected(self):
+        s1 = MinHash(num_hashes=64, seed=1).signature({"a"})
+        s2 = MinHash(num_hashes=64, seed=2).signature({"a"})
+        with pytest.raises(ValueError, match="incomparable"):
+            s1.jaccard(s2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_sets, small_sets)
+    def test_estimate_bounded(self, a, b):
+        mh = MinHash(num_hashes=64)
+        assert 0.0 <= mh.signature(a).jaccard(mh.signature(b)) <= 1.0
+
+
+class TestContainmentEstimation:
+    def test_subset_containment_high(self, mh):
+        small = {f"x{i}" for i in range(10)}
+        big = {f"x{i}" for i in range(200)}
+        est = mh.signature(small).containment(mh.signature(big))
+        assert est > 0.8
+
+    def test_empty_query(self, mh):
+        assert mh.signature(set()).containment(mh.signature({"a"})) == 0.0
+
+    def test_clamped_to_unit(self, mh):
+        a = mh.signature({"a", "b"})
+        b = mh.signature({"a", "b", "c"})
+        assert 0.0 <= a.containment(b) <= 1.0
+
+    def test_asymmetry(self, mh):
+        small = {f"x{i}" for i in range(10)}
+        big = {f"x{i}" for i in range(100)}
+        fwd = mh.signature(small).containment(mh.signature(big))
+        bwd = mh.signature(big).containment(mh.signature(small))
+        assert fwd > bwd
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_sets, small_sets)
+    def test_containment_bounded(self, a, b):
+        mh = MinHash(num_hashes=64)
+        assert 0.0 <= mh.signature(a).containment(mh.signature(b)) <= 1.0
+
+
+class TestBandHashes:
+    def test_band_count(self, mh):
+        s = mh.signature({"a"})
+        assert len(s.band_hashes(16)) == 16
+
+    def test_indivisible_bands_rejected(self, mh):
+        s = mh.signature({"a"})
+        with pytest.raises(ValueError, match="divisible"):
+            s.band_hashes(7)
+
+    def test_identical_signatures_same_bands(self, mh):
+        s1 = mh.signature({"a", "b"})
+        s2 = mh.signature({"b", "a"})
+        assert s1.band_hashes(8) == s2.band_hashes(8)
+
+    def test_different_sets_differ_somewhere(self, mh):
+        s1 = mh.signature({f"x{i}" for i in range(30)})
+        s2 = mh.signature({f"y{i}" for i in range(30)})
+        assert s1.band_hashes(8) != s2.band_hashes(8)
+
+
+class TestVectorisedCorrectness:
+    def test_min_matches_manual(self):
+        """The vectorised (a*x+b) mod p minimum must equal a scalar loop."""
+        mh = MinHash(num_hashes=8, seed=3)
+        items = {"alpha", "beta", "gamma"}
+        sig = mh.signature(items)
+        from repro.utils.hashing import stable_hash_32
+
+        fingerprints = [stable_hash_32(i, 3) % MINHASH_PRIME for i in items]
+        for k in range(8):
+            expected = min(
+                (int(mh._a[k]) * x + int(mh._b[k])) % MINHASH_PRIME
+                for x in fingerprints
+            )
+            assert int(sig.values[k]) == expected

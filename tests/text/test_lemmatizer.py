@@ -1,0 +1,69 @@
+"""Tests for repro.text.lemmatizer."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.lemmatizer import lemmatize
+
+
+class TestRegularPlurals:
+    def test_simple_s(self):
+        assert lemmatize("enzymes") == "enzyme"
+        assert lemmatize("drugs") == "drug"
+
+    def test_ies(self):
+        assert lemmatize("studies") == "study"
+        assert lemmatize("cities") == "city"
+
+    def test_sses(self):
+        assert lemmatize("classes") == "class"
+
+    def test_ches_shes(self):
+        assert lemmatize("branches") == "branch"
+        assert lemmatize("dishes") == "dish"
+
+    def test_xes(self):
+        assert lemmatize("boxes") == "box"
+
+
+class TestNonPlurals:
+    def test_is_final(self):
+        assert lemmatize("synthesis") == "synthesis"
+        assert lemmatize("analysis") == "analysis"
+
+    def test_us_final(self):
+        assert lemmatize("virus") == "virus"
+        assert lemmatize("status") == "status"
+
+    def test_ss_final(self):
+        assert lemmatize("glass") == "glass"
+
+    def test_short_words_untouched(self):
+        assert lemmatize("gas") == "gas"
+        assert lemmatize("bus") == "bus"
+
+    def test_singular_untouched(self):
+        assert lemmatize("enzyme") == "enzyme"
+
+
+class TestIrregulars:
+    def test_irregular_table(self):
+        assert lemmatize("children") == "child"
+        assert lemmatize("mice") == "mouse"
+        assert lemmatize("analyses") == "analysis"
+        assert lemmatize("criteria") == "criterion"
+        assert lemmatize("matrices") == "matrix"
+
+
+class TestProperties:
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_idempotent_on_output(self, word):
+        once = lemmatize(word)
+        assert lemmatize(once) == lemmatize(lemmatize(once))
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=4, max_size=15))
+    def test_output_not_longer(self, word):
+        assert len(lemmatize(word)) <= len(word) + 1  # ves->fe can add one
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_never_empty(self, word):
+        assert lemmatize(word)

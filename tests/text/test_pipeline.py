@@ -1,0 +1,94 @@
+"""Tests for the document -> BoW pipeline."""
+
+import pytest
+
+from repro.text.pipeline import BagOfWords, DocumentPipeline
+
+
+class TestBagOfWords:
+    def test_vocabulary_and_total(self):
+        from collections import Counter
+
+        bow = BagOfWords(Counter({"drug": 2, "enzyme": 1}))
+        assert bow.vocabulary == {"drug", "enzyme"}
+        assert bow.total == 3
+        assert len(bow) == 2
+        assert "drug" in bow
+
+    def test_top_orders_by_frequency_then_alpha(self):
+        from collections import Counter
+
+        bow = BagOfWords(Counter({"b": 2, "a": 2, "c": 5}))
+        assert bow.top(2) == ["c", "a"]
+
+    def test_empty(self):
+        bow = BagOfWords()
+        assert bow.total == 0
+        assert bow.top(3) == []
+
+
+class TestDocumentPipeline:
+    def test_keeps_nouns_only(self):
+        p = DocumentPipeline()
+        bow = p.transform("Pemetrexed strongly inhibits thymidylate synthase.")
+        assert "synthase" in bow
+        assert "pemetrexed" in bow
+        assert "inhibits" not in bow
+        assert "strongly" not in bow
+
+    def test_removes_stopwords(self):
+        p = DocumentPipeline()
+        bow = p.transform("The drug and the enzyme.")
+        assert "the" not in bow
+        assert "and" not in bow
+
+    def test_lemmatizes(self):
+        p = DocumentPipeline()
+        bow = p.transform("Enzymes and drugs as interactions.")
+        assert "enzyme" in bow
+        assert "interaction" in bow
+
+    def test_common_term_filtering(self):
+        docs = [f"The protein binds ligand number {i}." for i in range(10)]
+        p = DocumentPipeline(max_doc_frequency=0.5)
+        p.fit(docs)
+        bow = p.transform(docs[0])
+        # 'protein' and 'ligand' occur in every doc -> filtered.
+        assert "protein" not in bow
+        assert "ligand" not in bow
+
+    def test_rare_terms_survive_filtering(self):
+        docs = ["The unique pemetrexed case."] + [
+            f"Common protein study {i}." for i in range(9)
+        ]
+        p = DocumentPipeline(max_doc_frequency=0.5)
+        p.fit(docs)
+        assert "pemetrexed" in p.transform(docs[0])
+
+    def test_fit_transform(self):
+        p = DocumentPipeline()
+        bows = p.fit_transform(["An enzyme.", "A drug."])
+        assert len(bows) == 2
+
+    def test_invalid_max_doc_frequency(self):
+        with pytest.raises(ValueError):
+            DocumentPipeline(max_doc_frequency=0.0)
+        with pytest.raises(ValueError):
+            DocumentPipeline(max_doc_frequency=1.5)
+
+    def test_without_pos_filter(self):
+        p = DocumentPipeline(keep_pos_nouns=False)
+        bow = p.transform("Pemetrexed strongly inhibits synthase")
+        # Verbs/adverbs survive (lemmatised), unlike with the noun filter.
+        assert "inhibit" in bow
+        assert "strongly" in bow
+
+    def test_short_lemmas_dropped(self):
+        p = DocumentPipeline()
+        bow = p.transform("a b c enzyme")
+        assert all(len(t) >= 2 for t in bow.vocabulary)
+
+    def test_unfit_pipeline_transform_ok(self):
+        # No fit() -> no common-term filtering, but transform still works.
+        p = DocumentPipeline()
+        assert "enzyme" in p.transform("enzyme")

@@ -1,0 +1,64 @@
+"""Tests for the POS heuristics and stop words."""
+
+from repro.text.pos import is_probable_noun
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_common_function_words(self):
+        for w in ("the", "and", "of", "with", "is", "was"):
+            assert is_stopword(w)
+
+    def test_content_words_kept(self):
+        for w in ("drug", "enzyme", "population", "synthase"):
+            assert not is_stopword(w)
+
+    def test_numbers_words(self):
+        assert is_stopword("one")
+        assert is_stopword("ten")
+
+    def test_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+
+    def test_contractions(self):
+        assert is_stopword("don't")
+
+
+class TestNounHeuristic:
+    def test_domain_nouns_pass(self):
+        for w in ("drug", "enzyme", "synthase", "reductase", "interaction",
+                  "pemetrexed", "population", "hospital"):
+            assert is_probable_noun(w), w
+
+    def test_verbs_rejected(self):
+        for w in ("inhibits", "increase", "targeting", "developing",
+                  "showed", "causes"):
+            assert not is_probable_noun(w), w
+
+    def test_adverbs_rejected(self):
+        for w in ("rapidly", "severely", "locally"):
+            assert not is_probable_noun(w), w
+
+    def test_adjectives_rejected(self):
+        for w in ("active", "dangerous", "useful", "possible", "largest"):
+            assert not is_probable_noun(w), w
+
+    def test_numbers_rejected(self):
+        assert not is_probable_noun("123")
+        assert not is_probable_noun("12.5")
+
+    def test_empty_rejected(self):
+        assert not is_probable_noun("")
+
+    def test_ed_final_domain_terms_kept(self):
+        # Drug names ending in -ed must survive (pemetrexed, raltitrexed).
+        assert is_probable_noun("pemetrexed")
+        assert is_probable_noun("raltitrexed")
+
+    def test_ated_participles_rejected(self):
+        assert not is_probable_noun("associated")
+        assert not is_probable_noun("elevated")
+
+    def test_noun_suffixes_override(self):
+        for w in ("information", "statement", "activity", "distance"):
+            assert is_probable_noun(w), w

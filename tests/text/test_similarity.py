@@ -1,0 +1,122 @@
+"""Tests for set/string similarity measures."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.similarity import (
+    jaccard,
+    jaccard_containment,
+    jaro,
+    jaro_winkler,
+    name_similarity,
+)
+
+sets = st.sets(st.text(alphabet="abcde", min_size=1, max_size=3), max_size=12)
+words = st.text(alphabet="abcdefghij", max_size=12)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_known_value(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == 0.5
+
+    @given(sets, sets)
+    def test_symmetric(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(sets, sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    def test_accepts_lists(self):
+        assert jaccard(["a", "a", "b"], ["a", "b"]) == 1.0
+
+
+class TestContainment:
+    def test_subset_is_one(self):
+        assert jaccard_containment({"a", "b"}, {"a", "b", "c", "d"}) == 1.0
+
+    def test_asymmetric(self):
+        a, b = {"a", "b"}, {"a", "b", "c", "d"}
+        assert jaccard_containment(a, b) == 1.0
+        assert jaccard_containment(b, a) == 0.5
+
+    def test_empty_query(self):
+        assert jaccard_containment(set(), {"a"}) == 0.0
+
+    def test_skew_robustness_vs_jaccard(self):
+        # The paper's motivating case: a small set fully inside a huge one.
+        small = {f"x{i}" for i in range(5)}
+        huge = {f"x{i}" for i in range(500)}
+        assert jaccard_containment(small, huge) == 1.0
+        assert jaccard(small, huge) == 0.01
+
+    @given(sets, sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard_containment(a, b) <= 1.0
+
+    @given(sets)
+    def test_self_containment(self, a):
+        expected = 1.0 if a else 0.0
+        assert jaccard_containment(a, a) == expected
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert abs(jaro("martha", "marhta") - 0.9444) < 1e-3
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("", "") == 1.0
+
+    def test_no_overlap(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(words, words)
+    def test_symmetric(self, a, b):
+        assert abs(jaro(a, b) - jaro(b, a)) < 1e-12
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("drugbank", "drugbase") > jaro("drugbank", "drugbase")
+
+    def test_identical(self):
+        assert jaro_winkler("same", "same") == 1.0
+
+    @given(words, words)
+    def test_at_least_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+    @given(words, words)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0 + 1e-12
+
+
+class TestNameSimilarity:
+    def test_same_identifier_different_convention(self):
+        assert name_similarity("drug_id", "DrugId") > 0.9
+
+    def test_partial_token_overlap(self):
+        s = name_similarity("drug_id", "drug_key")
+        assert 0.3 < s < 1.0
+
+    def test_unrelated(self):
+        assert name_similarity("population", "drug_id") < 0.5
+
+    def test_identical(self):
+        assert name_similarity("enzyme_targets", "enzyme_targets") == 1.0

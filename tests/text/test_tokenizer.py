@@ -1,0 +1,88 @@
+"""Tests for repro.text.tokenizer."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.tokenizer import sentences, split_identifier, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Pemetrexed inhibits synthase.") == [
+            "pemetrexed", "inhibits", "synthase",
+        ]
+
+    def test_keeps_numbers(self):
+        assert tokenize("value 12.5 units") == ["value", "12.5", "units"]
+
+    def test_hyphenated_words(self):
+        assert "drug-drug" in tokenize("drug-drug interaction")
+
+    def test_apostrophes(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_no_lowercase_option(self):
+        assert tokenize("Aspirin", lowercase=False) == ["Aspirin"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("!!! ... ???") == []
+
+    def test_alphanumeric_codes(self):
+        assert tokenize("DB00642 and BE0000324") == ["db00642", "and", "be0000324"]
+
+    @given(st.text())
+    def test_never_raises(self, s):
+        tokens = tokenize(s)
+        assert isinstance(tokens, list)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+                   min_size=1))
+    def test_ascii_letters_yield_tokens(self, s):
+        assert tokenize(s)
+
+
+class TestSentences:
+    def test_splits_on_period(self):
+        out = sentences("First sentence. Second one.")
+        assert len(out) == 2
+
+    def test_question_exclamation(self):
+        out = sentences("Really? Yes! Indeed.")
+        assert len(out) == 3
+
+    def test_single_sentence(self):
+        assert sentences("No terminal punctuation here") == [
+            "No terminal punctuation here"
+        ]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+    def test_strips_whitespace(self):
+        out = sentences("A.   B.")
+        assert out[1] == "B."
+
+
+class TestSplitIdentifier:
+    def test_snake_case(self):
+        assert split_identifier("Enzyme_Targets") == ["enzyme", "targets"]
+
+    def test_camel_case(self):
+        assert split_identifier("drugKey") == ["drug", "key"]
+
+    def test_pascal_with_acronym(self):
+        assert split_identifier("HTTPServer") == ["http", "server"]
+
+    def test_kebab_and_dots(self):
+        assert split_identifier("drug-bank.csv") == ["drug", "bank", "csv"]
+
+    def test_whitespace(self):
+        assert split_identifier("  drug  name ") == ["drug", "name"]
+
+    def test_empty(self):
+        assert split_identifier("") == []
+
+    def test_single_word(self):
+        assert split_identifier("drugs") == ["drugs"]

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import (
+    MERSENNE_PRIME,
+    hash_family,
+    stable_hash_32,
+    stable_hash_64,
+    token_fingerprint,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash_64("hello") == stable_hash_64("hello")
+
+    def test_seed_changes_value(self):
+        assert stable_hash_64("hello", seed=1) != stable_hash_64("hello", seed=2)
+
+    def test_different_inputs_differ(self):
+        assert stable_hash_64("hello") != stable_hash_64("world")
+
+    def test_accepts_bytes(self):
+        assert stable_hash_64(b"hello") == stable_hash_64("hello")
+
+    def test_32_bit_range(self):
+        for value in ("a", "b", "longer string", ""):
+            assert 0 <= stable_hash_32(value) < 2**32
+
+    def test_64_bit_range(self):
+        assert 0 <= stable_hash_64("x") < 2**64
+
+    @given(st.text())
+    def test_stable_across_calls_property(self, s):
+        assert stable_hash_64(s) == stable_hash_64(s)
+
+    @given(st.text(min_size=1), st.integers(min_value=0, max_value=2**32))
+    def test_seeded_in_range(self, s, seed):
+        assert 0 <= stable_hash_64(s, seed) < 2**64
+
+    def test_unicode_handled(self):
+        assert stable_hash_64("naïve café 東京") == stable_hash_64("naïve café 東京")
+
+
+class TestHashFamily:
+    def test_size(self):
+        assert len(hash_family(7)) == 7
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            hash_family(0)
+
+    def test_functions_differ(self):
+        h = hash_family(3)
+        values = {f(12345) for f in h}
+        assert len(values) == 3
+
+    def test_deterministic_family(self):
+        h1 = hash_family(4, seed=9)
+        h2 = hash_family(4, seed=9)
+        for f1, f2 in zip(h1, h2):
+            assert f1(42) == f2(42)
+
+    def test_output_below_prime(self):
+        for f in hash_family(8):
+            for x in (0, 1, 2**40, 2**63):
+                assert 0 <= f(x) < MERSENNE_PRIME
+
+
+class TestTokenFingerprint:
+    def test_matches_stable_hash(self):
+        assert token_fingerprint("abc") == stable_hash_64("abc")
+
+    def test_seed_respected(self):
+        assert token_fingerprint("abc", 5) != token_fingerprint("abc", 6)

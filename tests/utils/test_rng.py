@@ -1,0 +1,40 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_from_int(self):
+        rng = ensure_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(ensure_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        children = spawn(ensure_rng(0), 2)
+        a = children[0].integers(0, 10**6, size=8)
+        b = children[1].integers(0, 10**6, size=8)
+        assert not (a == b).all()
+
+    def test_deterministic(self):
+        a = spawn(ensure_rng(7), 3)[1].integers(0, 10**6, size=4)
+        b = spawn(ensure_rng(7), 3)[1].integers(0, 10**6, size=4)
+        assert (a == b).all()

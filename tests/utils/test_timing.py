@@ -1,0 +1,46 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Timer, time_call
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_zero_before_exit(self):
+        t = Timer()
+        assert t.elapsed == 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+        assert isinstance(first, float)
+
+
+class TestTimeCall:
+    def test_returns_result_and_seconds(self):
+        result, seconds = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_repeat_averages(self):
+        result, seconds = time_call(lambda: "x", repeat=3)
+        assert result == "x"
+        assert seconds >= 0.0
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: 1, repeat=0)
+
+    def test_args_passed(self):
+        result, _ = time_call(lambda a, b=0: a + b, 1, b=2)
+        assert result == 3

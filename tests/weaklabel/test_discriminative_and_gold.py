@@ -1,0 +1,115 @@
+"""Tests for the discriminative model and gold-label LF pruning."""
+
+import numpy as np
+import pytest
+
+from repro.weaklabel.discriminative import LogisticRegression
+from repro.weaklabel.gold import lf_accuracies_on_gold, prune_labeling_functions
+from repro.weaklabel.lf import ABSTAIN, LabelingFunction
+
+
+@pytest.fixture()
+def separable():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((300, 4))
+    w = np.array([2.0, -1.0, 0.5, 0.0])
+    y = (x @ w > 0).astype(float)
+    return x, y
+
+
+class TestLogisticRegression:
+    def test_fits_separable_data(self, separable):
+        x, y = separable
+        model = LogisticRegression(seed=0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_soft_targets_accepted(self, separable):
+        x, y = separable
+        soft = np.clip(y * 0.9 + 0.05, 0, 1)
+        model = LogisticRegression(seed=0).fit(x, soft)
+        assert ((model.predict_proba(x) > 0.5) == y.astype(bool)).mean() > 0.9
+
+    def test_probabilities_bounded(self, separable):
+        x, y = separable
+        probs = LogisticRegression(seed=0).fit(x, y).predict_proba(x)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(lr=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+    def test_l2_shrinks_weights(self, separable):
+        x, y = separable
+        loose = LogisticRegression(l2=1e-6, seed=0).fit(x, y)
+        tight = LogisticRegression(l2=1.0, seed=0).fit(x, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+
+def make_lfs():
+    good = LabelingFunction("good", lambda p: p % 2)          # perfect
+    noisy = LabelingFunction("noisy", lambda p: (p % 2) if p % 3 else 1 - (p % 2))
+    bad = LabelingFunction("bad", lambda p: 1 - (p % 2))      # inverted
+    quiet = LabelingFunction("quiet", lambda p: ABSTAIN)      # always abstains
+    return good, noisy, bad, quiet
+
+
+class TestGoldAccuracies:
+    def test_measured_accuracies(self):
+        good, noisy, bad, quiet = make_lfs()
+        points = list(range(100))
+        labels = [p % 2 for p in points]
+        acc = lf_accuracies_on_gold([good, noisy, bad, quiet], points, labels)
+        assert acc["good"] == 1.0
+        assert 0.6 < acc["noisy"] < 0.72
+        assert acc["bad"] == 0.0
+        assert acc["quiet"] == 0.0
+
+    def test_length_mismatch_rejected(self):
+        good, *_ = make_lfs()
+        with pytest.raises(ValueError):
+            lf_accuracies_on_gold([good], [1, 2], [1])
+
+
+class TestPruning:
+    def test_weak_lfs_disabled(self):
+        good, noisy, bad, quiet = make_lfs()
+        points = list(range(100))
+        labels = [p % 2 for p in points]
+        prune_labeling_functions([good, noisy, bad, quiet], points, labels,
+                                 relative_threshold=0.5)
+        assert good.enabled
+        assert noisy.enabled           # 0.66 >= 0.5 * 1.0
+        assert not bad.enabled
+        assert not quiet.enabled
+
+    def test_best_always_survives(self):
+        _, _, bad, _ = make_lfs()
+        points = list(range(20))
+        labels = [p % 2 for p in points]
+        prune_labeling_functions([bad], points, labels)
+        # 'bad' is the only (hence best) LF with accuracy 0 -> all stay on.
+        assert bad.enabled
+
+    def test_threshold_validation(self):
+        good, *_ = make_lfs()
+        with pytest.raises(ValueError):
+            prune_labeling_functions([good], [0], [0], relative_threshold=0.0)
+
+    def test_disabled_lf_abstains_afterwards(self):
+        good, noisy, bad, quiet = make_lfs()
+        points = list(range(100))
+        labels = [p % 2 for p in points]
+        prune_labeling_functions([good, bad], points, labels)
+        assert bad(3) == ABSTAIN

@@ -1,0 +1,106 @@
+"""Tests for the generative label model (Dawid-Skene EM)."""
+
+import numpy as np
+import pytest
+
+from repro.weaklabel.generative import GenerativeLabelModel
+from repro.weaklabel.lf import ABSTAIN
+
+
+def make_votes(truth: np.ndarray, accuracies: list[float],
+               abstain_rates: list[float], seed: int = 0) -> np.ndarray:
+    """Simulate LF votes with given per-LF accuracy and abstain rate."""
+    rng = np.random.default_rng(seed)
+    n, m = len(truth), len(accuracies)
+    votes = np.full((n, m), ABSTAIN, dtype=int)
+    for j, (acc, ab) in enumerate(zip(accuracies, abstain_rates)):
+        for i in range(n):
+            if rng.random() < ab:
+                continue
+            votes[i, j] = truth[i] if rng.random() < acc else 1 - truth[i]
+    return votes
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """Five LFs: enough redundancy for the accuracies to be identifiable.
+
+    With very few LFs (e.g. the paper's four) the likelihood surface is
+    nearly flat between parameter modes — which is precisely why CMDL adds
+    the gold-label pruning phase (§4.1). These tests use five so EM's
+    estimates are pinned down.
+    """
+    rng = np.random.default_rng(1)
+    truth = rng.integers(0, 2, size=600)
+    votes = make_votes(truth, [0.92, 0.85, 0.75, 0.65, 0.55],
+                       [0.1, 0.1, 0.2, 0.1, 0.1])
+    return truth, votes
+
+
+class TestFit:
+    def test_accuracy_ordering_recovered(self, scenario):
+        truth, votes = scenario
+        model = GenerativeLabelModel(seed=0).fit(votes)
+        acc = model.lf_accuracies
+        assert acc[0] > acc[2] > acc[4]
+
+    def test_accuracy_estimates_close(self, scenario):
+        truth, votes = scenario
+        model = GenerativeLabelModel(seed=0).fit(votes)
+        assert abs(model.lf_accuracies[0] - 0.92) < 0.08
+        assert abs(model.lf_accuracies[2] - 0.75) < 0.08
+
+    def test_prior_estimated(self, scenario):
+        _, votes = scenario
+        model = GenerativeLabelModel(seed=0).fit(votes)
+        assert 0.3 < model.class_prior < 0.7
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            GenerativeLabelModel().fit(np.zeros(5))
+
+    def test_rejects_bad_max_iter(self):
+        with pytest.raises(ValueError):
+            GenerativeLabelModel(max_iter=0)
+
+    def test_polarity_guard(self):
+        """Mostly-adversarial LFs must not flip the label convention."""
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 2, size=400)
+        votes = make_votes(truth, [0.8, 0.7, 0.65], [0.0, 0.0, 0.0])
+        model = GenerativeLabelModel(seed=0).fit(votes)
+        assert model.lf_accuracies.mean() >= 0.5
+
+
+class TestPredict:
+    def test_probabilities_bounded(self, scenario):
+        _, votes = scenario
+        probs = GenerativeLabelModel(seed=0).fit_predict_proba(votes)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_labels_match_truth(self, scenario):
+        truth, votes = scenario
+        probs = GenerativeLabelModel(seed=0).fit_predict_proba(votes)
+        predicted = (probs > 0.5).astype(int)
+        accuracy = (predicted == truth).mean()
+        assert accuracy > 0.85
+
+    def test_better_than_single_best_lf(self, scenario):
+        """Combining weak LFs must beat the best one alone (Snorkel's point)."""
+        truth, votes = scenario
+        probs = GenerativeLabelModel(seed=0).fit_predict_proba(votes)
+        combined = ((probs > 0.5).astype(int) == truth).mean()
+        voted = votes[:, 0] != ABSTAIN
+        best_alone = (votes[voted, 0] == truth[voted]).mean() * voted.mean() + \
+            0.5 * (1 - voted.mean())
+        assert combined >= best_alone - 0.02
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GenerativeLabelModel().predict_proba(np.zeros((2, 2), dtype=int))
+
+    def test_all_abstain_row(self):
+        votes = np.array([[ABSTAIN, ABSTAIN], [1, 1], [0, 0]])
+        probs = GenerativeLabelModel(seed=0).fit_predict_proba(votes)
+        # The abstain-only row falls back near the class prior.
+        assert 0.0 <= probs[0] <= 1.0

@@ -1,0 +1,60 @@
+"""Tests for the labeling-function abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.weaklabel.lf import ABSTAIN, LabelingFunction, apply_labeling_functions
+
+
+class TestLabelingFunction:
+    def test_basic_vote(self):
+        lf = LabelingFunction("even", lambda x: int(x % 2 == 0))
+        assert lf(2) == 1
+        assert lf(3) == 0
+
+    def test_disabled_lf_abstains(self):
+        lf = LabelingFunction("x", lambda x: 1)
+        lf.enabled = False
+        assert lf(0) == ABSTAIN
+
+    def test_invalid_vote_rejected(self):
+        lf = LabelingFunction("bad", lambda x: 7)
+        with pytest.raises(ValueError, match="returned"):
+            lf(0)
+
+    def test_abstain_allowed(self):
+        lf = LabelingFunction("maybe", lambda x: ABSTAIN)
+        assert lf(0) == ABSTAIN
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            LabelingFunction("", lambda x: 1)
+
+    def test_repr_shows_state(self):
+        lf = LabelingFunction("x", lambda p: 1)
+        assert "on" in repr(lf)
+        lf.enabled = False
+        assert "off" in repr(lf)
+
+
+class TestApplyLabelingFunctions:
+    def test_matrix_shape(self):
+        lfs = [LabelingFunction("a", lambda x: 1),
+               LabelingFunction("b", lambda x: 0)]
+        votes = apply_labeling_functions(lfs, [1, 2, 3])
+        assert votes.shape == (3, 2)
+        assert (votes[:, 0] == 1).all()
+        assert (votes[:, 1] == 0).all()
+
+    def test_empty_lfs_rejected(self):
+        with pytest.raises(ValueError):
+            apply_labeling_functions([], [1])
+
+    def test_abstain_encoded(self):
+        lfs = [LabelingFunction("a", lambda x: ABSTAIN)]
+        votes = apply_labeling_functions(lfs, [1])
+        assert votes[0, 0] == ABSTAIN
+
+    def test_dtype_int(self):
+        lfs = [LabelingFunction("a", lambda x: 1)]
+        assert apply_labeling_functions(lfs, [0]).dtype == np.dtype(int)
