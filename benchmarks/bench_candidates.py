@@ -1,0 +1,136 @@
+"""Micro-benchmark: indexed vs exact structured-discovery latency.
+
+Compares the two strategies of the candidate-generation layer on the seed
+lakes — per-query joinable-column search, per-table unionable search, and
+the full PK-FK sweep — and checks that top-k results agree. Run it as a
+smoke check (no joint training, finishes in well under a minute)::
+
+    PYTHONPATH=src python benchmarks/bench_candidates.py
+
+It is intentionally NOT named ``test_*``: the tier-1 suite should not pay
+for a latency sweep. The ``slow``-marked parity tests in
+``tests/core/test_candidates.py`` cover correctness.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.joinability import JoinDiscovery
+from repro.core.pkfk import PKFKDiscovery
+from repro.core.system import CMDL, CMDLConfig
+from repro.core.unionability import UnionDiscovery
+from repro.eval.benchmarks import build_benchmark
+from repro.eval.reporting import format_table
+
+MAX_QUERIES = 15
+
+
+def _timed(fn, queries):
+    """Mean per-query milliseconds and the per-query results."""
+    results = []
+    start = time.perf_counter()
+    for q in queries:
+        results.append(fn(q))
+    elapsed = time.perf_counter() - start
+    return 1000.0 * elapsed / max(len(queries), 1), results
+
+
+def _agreement(exact_results, indexed_results):
+    """Fraction of queries whose top-k id lists agree exactly."""
+    same = sum(
+        [i for i, _ in e] == [i for i, _ in x]
+        for e, x in zip(exact_results, indexed_results)
+    )
+    return same / max(len(exact_results), 1)
+
+
+def run(bench_id: str, lake=None, scope_tables=None) -> list[list]:
+    if lake is None:
+        bench = build_benchmark(bench_id)
+        lake, scope_tables = bench.lake, bench.scope_tables
+    in_scope = (lambda t: True) if scope_tables is None else scope_tables.__contains__
+    engine = CMDL(CMDLConfig(use_joint=False)).fit(lake)
+    profile = engine.profile
+
+    rows = []
+
+    # Joinable-column queries over the benchmark's eligible columns.
+    join_queries = [
+        cid for cid, s in profile.columns.items()
+        if s.tags is not None and s.tags.join_discovery
+        and in_scope(s.table_name)
+    ][:MAX_QUERIES]
+    exact_jd = JoinDiscovery(profile)
+    indexed_jd = engine.join_discovery
+    ems, er = _timed(lambda c: exact_jd.joinable_columns(c, k=10), join_queries)
+    ims, ir = _timed(lambda c: indexed_jd.joinable_columns(c, k=10), join_queries)
+    rows.append(["join", len(join_queries), round(ems, 2), round(ims, 2),
+                 round(ems / ims, 1) if ims else float("inf"),
+                 round(_agreement(er, ir), 2)])
+
+    # Unionable-table queries.
+    union_queries = sorted(t for t in profile.table_columns if in_scope(t))
+    union_queries = union_queries[:MAX_QUERIES]
+    exact_ud = UnionDiscovery(profile)
+    indexed_ud = engine.union_discovery
+    ems, er = _timed(lambda t: exact_ud.unionable_tables(t, k=5), union_queries)
+    ims, ir = _timed(lambda t: indexed_ud.unionable_tables(t, k=5), union_queries)
+    rows.append(["union", len(union_queries), round(ems, 2), round(ims, 2),
+                 round(ems / ims, 1) if ims else float("inf"),
+                 round(_agreement(er, ir), 2)])
+
+    # Full PK-FK sweep (one "query" = the whole discover pass).
+    uniq = {c.qualified_name: c.uniqueness for c in lake.columns}
+    exact_pkfk = PKFKDiscovery(profile, uniq)
+    indexed_pkfk = PKFKDiscovery(
+        profile, uniq, candidates=engine.candidates
+    )
+    ems, er = _timed(lambda _: exact_pkfk.discover(table_scope=scope_tables), [None])
+    ims, ir = _timed(lambda _: indexed_pkfk.discover(table_scope=scope_tables), [None])
+    links = lambda res: [(l.pk_column, l.fk_column) for l in res[0]]
+    rows.append(["pkfk sweep", 1, round(ems, 2), round(ims, 2),
+                 round(ems / ims, 1) if ims else float("inf"),
+                 1.0 if links(er) == links(ir) else 0.0])
+
+    return rows
+
+
+HEADERS = ["Operation", "Queries", "Exact ms/q", "Indexed ms/q", "Speedup",
+           "Top-k agreement"]
+
+
+def run_scaled() -> list[list]:
+    """A lake large enough for LSH banding to activate (partitions > scan
+    limit), demonstrating the sub-linear regime the seed lakes are below."""
+    from repro.lakes.mlopen import MLOpenLakeConfig, generate_mlopen_lake
+
+    config = MLOpenLakeConfig(
+        ss_tables=30, ss_rows=30, ms_tables=40, ms_rows=50, ls_tables=40,
+        ls_rows=80, num_reviews=30, noise_reviews=5, seed=0,
+    )
+    lake = generate_mlopen_lake(config).lake
+    return run("scaled-mlopen", lake=lake, scope_tables=None)
+
+
+def main(scaled: bool = False) -> None:
+    for bench_id in ("2A", "2C-LS", "2D-drugbank"):
+        print(format_table(
+            HEADERS, run(bench_id),
+            title=f"Candidate layer: indexed vs exact ({bench_id})",
+        ))
+        print()
+    if scaled:
+        print(format_table(
+            HEADERS, run_scaled(),
+            title="Candidate layer: indexed vs exact (scaled ML-Open)",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main(scaled="--scaled" in sys.argv[1:])

@@ -11,6 +11,8 @@ Aurum vs CMDL on the three Pharma databases. The paper's shapes:
 
 from __future__ import annotations
 
+import time
+
 from conftest import emit, uniqueness_of
 from repro.baselines import AurumBaseline
 from repro.core.pkfk import PKFKDiscovery
@@ -19,12 +21,15 @@ from repro.eval.reporting import format_table
 from repro.eval.runner import evaluate_pkfk
 
 
-def _evaluate(database, profile, uniq):
+def _evaluate(database, engine, uniq):
+    """Aurum (profile-level baseline) vs CMDL via the fitted engine's
+    default indexed PK-FK discovery path."""
+    profile = engine.profile
     bench = build_benchmark(f"2D-{database}")
     scope = bench.scope_tables
     cmdl_links = [
         (l.pk_column, l.fk_column)
-        for l in PKFKDiscovery(profile, uniq).discover(table_scope=scope)
+        for l in engine.pkfk_discovery.discover(table_scope=scope)
     ]
     aurum_links = [
         (l.pk_column, l.fk_column)
@@ -36,13 +41,13 @@ def _evaluate(database, profile, uniq):
 
 
 def test_table4_pkfk(benchmark, pharma_cmdl):
-    profile = pharma_cmdl.profile
+    engine = pharma_cmdl.engine
     uniq = uniqueness_of(build_benchmark("2D-drugbank").lake)
 
     def run():
         rows = []
         for database in ("drugbank", "chembl", "chebi"):
-            known, (ap, ar), (cp, cr) = _evaluate(database, profile, uniq)
+            known, (ap, ar), (cp, cr) = _evaluate(database, engine, uniq)
             rows.append([database, known, f"{ap:.2f}/{ar:.2f}",
                          f"{cp:.2f}/{cr:.2f}"])
         return rows
@@ -64,3 +69,34 @@ def test_table4_pkfk(benchmark, pharma_cmdl):
 
     chebi = {r[0]: r for r in rows}["chebi"]
     assert chebi[2] == chebi[3]  # identical numeric-key results
+
+
+def test_table4_indexed_vs_exact(pharma_cmdl):
+    """Candidate-layer check: the engine's default indexed PK-FK sweep must
+    return exactly the oracle's links on every 2D scope."""
+    indexed_discovery = pharma_cmdl.engine.pkfk_discovery
+    assert indexed_discovery.strategy == "indexed"
+    exact_discovery = PKFKDiscovery(
+        pharma_cmdl.profile, indexed_discovery.uniqueness
+    )
+
+    rows = []
+    for database in ("drugbank", "chembl", "chebi"):
+        scope = build_benchmark(f"2D-{database}").scope_tables
+        timings = {}
+        links = {}
+        for label, discovery in (("exact", exact_discovery),
+                                 ("indexed", indexed_discovery)):
+            start = time.perf_counter()
+            links[label] = discovery.discover(table_scope=scope)
+            timings[label] = 1000.0 * (time.perf_counter() - start)
+        assert [(l.pk_column, l.fk_column) for l in links["exact"]] == [
+            (l.pk_column, l.fk_column) for l in links["indexed"]
+        ]
+        rows.append([database, len(links["indexed"]),
+                     round(timings["exact"], 1), round(timings["indexed"], 1)])
+
+    emit(format_table(
+        ["Database", "Links", "Exact ms", "Indexed ms"],
+        rows, title="Table 4 addendum: indexed vs exact PK-FK sweep",
+    ))

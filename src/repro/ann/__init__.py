@@ -6,10 +6,12 @@ same scheme: a forest of trees, each recursively splitting points by the
 sign of a random hyperplane through two sampled points; queries descend all
 trees with a priority queue and candidates are re-ranked exactly by cosine
 similarity. :class:`ExactIndex` is the brute-force reference used in tests
-to bound the forest's recall.
+to bound the forest's recall. :class:`IntervalIndex` is the 1-d numeric
+range index used by the candidate-generation layer.
 """
 
 from repro.ann.rpforest import RPForestIndex
 from repro.ann.exact import ExactIndex
+from repro.ann.intervals import IntervalIndex
 
-__all__ = ["RPForestIndex", "ExactIndex"]
+__all__ = ["RPForestIndex", "ExactIndex", "IntervalIndex"]

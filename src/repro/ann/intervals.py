@@ -1,0 +1,123 @@
+"""1-d interval index over numeric column ranges.
+
+Serves the numeric probes of the candidate-generation layer: given a query
+column's :class:`~repro.relational.stats.NumericStats`, return every indexed
+column whose ``[min, max]`` range overlaps the query range — plus columns
+whose *mean* lies within a few joint standard deviations of the query mean,
+because :func:`~repro.relational.stats.numeric_overlap` awards up to 0.3 for
+distribution proximity even when the ranges are disjoint.
+
+The scan is a handful of vectorised numpy comparisons over pre-built arrays,
+so a probe costs O(#numeric columns) with a tiny constant — the expensive
+per-pair ensemble scoring happens only on the survivors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.stats import NumericStats
+
+
+class IntervalIndex:
+    """Range-overlap index over ``(key, NumericStats)`` entries."""
+
+    def __init__(self) -> None:
+        self._keys: list[str] = []
+        self._key_set: set[str] = set()
+        self._stats: list[NumericStats] = []
+        self._mins: np.ndarray | None = None
+        self._maxs: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+        self._stds: np.ndarray | None = None
+
+    # -------------------------------------------------------------- build
+
+    def add(self, key: str, stats: NumericStats) -> None:
+        if key in self._key_set:
+            raise ValueError(f"duplicate interval key {key!r}")
+        self._keys.append(key)
+        self._key_set.add(key)
+        self._stats.append(stats)
+        self._mins = None  # arrays are stale; rebuilt lazily
+
+    def build(self) -> "IntervalIndex":
+        self._mins = np.array([s.minimum for s in self._stats], dtype=float)
+        self._maxs = np.array([s.maximum for s in self._stats], dtype=float)
+        self._means = np.array([s.mean for s in self._stats], dtype=float)
+        self._stds = np.array([s.std for s in self._stats], dtype=float)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._key_set
+
+    # -------------------------------------------------------------- query
+
+    def query(
+        self,
+        stats: NumericStats,
+        mean_slack: float = 4.0,
+        exclude: set[str] | None = None,
+    ) -> list[str]:
+        """Keys whose range overlaps ``stats`` or whose mean is nearby.
+
+        ``mean_slack`` widens the mean-proximity window to ``mean_slack *
+        (std_query + std_entry)``; at the default of 4 the proximity term of
+        ``numeric_overlap`` has decayed below 0.006, so anything outside the
+        window cannot meaningfully score.
+        """
+        if not self._keys:
+            return []
+        if self._mins is None:
+            self.build()
+        exclude = exclude or set()
+        overlap = (self._mins <= stats.maximum) & (self._maxs >= stats.minimum)
+        nearby = np.abs(self._means - stats.mean) <= mean_slack * (
+            self._stds + stats.std
+        )
+        hits = np.nonzero(overlap | nearby)[0]
+        return [self._keys[i] for i in hits if self._keys[i] not in exclude]
+
+    def query_scored(
+        self,
+        stats: NumericStats,
+        k: int | None = None,
+        threshold: float | None = None,
+        exclude: set[str] | None = None,
+    ) -> list[str]:
+        """Keys ranked by the exact ``numeric_overlap`` measure, vectorised.
+
+        The score replicates :func:`~repro.relational.stats.numeric_overlap`
+        (0.7 · range-overlap + 0.3 · mean proximity) over the whole index in
+        one numpy pass, so a capped (``k``) or thresholded (``threshold``)
+        probe loses nothing relative to scoring every pair one by one.
+        """
+        if not self._keys:
+            return []
+        if self._mins is None:
+            self.build()
+        exclude = exclude or set()
+        lo = np.maximum(self._mins, stats.minimum)
+        hi = np.minimum(self._maxs, stats.maximum)
+        domains = self._maxs - self._mins
+        smaller = np.minimum(domains, stats.maximum - stats.minimum)
+        overlap = np.where(
+            hi < lo,
+            0.0,
+            np.where(
+                smaller == 0.0,
+                1.0,
+                (hi - lo) / np.where(smaller == 0.0, 1.0, smaller),
+            ),
+        )
+        spread = np.maximum(self._stds + stats.std, 1e-9)
+        proximity = np.exp(-np.abs(self._means - stats.mean) / spread)
+        score = 0.7 * overlap + 0.3 * proximity
+        order = np.argsort(-score, kind="stable")
+        if threshold is not None:
+            order = order[score[order] >= threshold]
+        hits = [self._keys[i] for i in order if self._keys[i] not in exclude]
+        return hits if k is None else hits[:k]

@@ -1,0 +1,408 @@
+"""Shared candidate-generation layer for structured discovery.
+
+Every structured-discovery module (:class:`~repro.core.joinability.JoinDiscovery`,
+:class:`~repro.core.unionability.UnionDiscovery`,
+:class:`~repro.core.pkfk.PKFKDiscovery`) routes its candidate generation
+through :class:`CandidateGenerator` when running with ``strategy="indexed"``.
+Instead of exact-scoring every eligible column pair (O(N²) in columns), each
+query probes the sketch indexes the catalog already maintains:
+
+* value-set LSH Ensemble — band-collision candidates for value containment
+  (joins, PK-FK inclusion, the union containment measure);
+* schema-name inverted indexes — column-name token and character-trigram
+  probes (PK-FK name filter, the union name measure);
+* numeric interval index — range-overlap probes (numeric PK-FK inclusion,
+  the union numeric measure);
+* content-embedding ANN forest — semantic probes (the union semantic
+  measure).
+
+The layer only *generates* candidates; exact scoring (containment, the
+4-measure ensemble, inclusion checks) still runs downstream on the candidate
+set, so indexed results are a subset-ranked-identically of the exact path
+whenever the probes reach full recall — which they do on small lakes, where
+every LSH partition falls under the full-scan limit and the ANN budget
+covers the whole forest. On large lakes the probes go sub-linear and trade
+a bounded amount of recall for throughput (paper §6.4).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.profiler import DESketch, Profile
+from repro.text.tokenizer import name_trigrams, split_identifier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (indexes -> this)
+    from repro.core.indexes import IndexCatalog
+
+#: Strategy names understood by the structured-discovery modules.
+STRATEGIES = ("indexed", "exact")
+
+
+def resolve_strategy(strategy: str | None, candidates) -> str:
+    """Resolve the strategy knob shared by all structured-discovery modules.
+
+    ``None`` picks ``"indexed"`` when a generator is supplied and ``"exact"``
+    otherwise, so direct construction without an index catalog keeps working.
+    """
+    if strategy is None:
+        strategy = "indexed" if candidates is not None else "exact"
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    if strategy == "indexed" and candidates is None:
+        raise ValueError("strategy='indexed' requires a CandidateGenerator")
+    return strategy
+
+
+class CandidateGenerator:
+    """Index-backed candidate sets for join, union, and PK-FK discovery."""
+
+    def __init__(
+        self,
+        profile: Profile,
+        indexes: "IndexCatalog",
+        probe_multiplier: int = 4,
+        min_probe: int = 32,
+    ):
+        """``probe_multiplier`` scales each probe's budget relative to the
+        caller's k; ``min_probe`` floors it so small-k queries keep recall."""
+        self.profile = profile
+        self.indexes = indexes
+        self.probe_multiplier = probe_multiplier
+        self.min_probe = min_probe
+        self._join_eligible = {
+            cid for cid, s in profile.columns.items()
+            if s.tags is not None and s.tags.join_discovery
+        }
+        self._pkfk_eligible = {
+            cid for cid, s in profile.columns.items()
+            if s.tags is not None and s.tags.pkfk_discovery
+        }
+        # Stacked value-set signatures for the vectorised containment
+        # re-rank: one (num_columns, num_hashes) equality pass per probe
+        # instead of a python-level signature comparison per pair.
+        self._sig_keys = list(profile.columns)
+        self._sig_index = {cid: i for i, cid in enumerate(self._sig_keys)}
+        if self._sig_keys:
+            self._sig_matrix = np.vstack(
+                [profile.columns[c].join_signature.values for c in self._sig_keys]
+            )
+            self._sig_sizes = np.array(
+                [profile.columns[c].join_signature.set_size for c in self._sig_keys],
+                dtype=float,
+            )
+        else:
+            self._sig_matrix = None
+            self._sig_sizes = None
+        self._join_mask = np.fromiter(
+            (cid in self._join_eligible for cid in self._sig_keys),
+            dtype=bool, count=len(self._sig_keys),
+        )
+        self._pkfk_mask = np.fromiter(
+            (cid in self._pkfk_eligible for cid in self._sig_keys),
+            dtype=bool, count=len(self._sig_keys),
+        )
+        self._all_mask = np.ones(len(self._sig_keys), dtype=bool)
+        self._table_mask_cache: dict[str, np.ndarray] = {}
+        # Widest table in the lake: the name probe over-fetches by this much
+        # so same-table hits (stripped afterwards) cannot displace
+        # cross-table candidates out of the top-k cut.
+        self._max_table_width = max(
+            (len(cols) for cols in profile.table_columns.values()), default=0
+        )
+        # Name probes depend only on the column *name*, the budget, and a
+        # stable exclusion tag ("all" columns or only pkfk-eligible ones) —
+        # cache per (tag, name, k). Per-sweep exclusions (a table scope)
+        # bypass the cache.
+        self._name_probe_cache: dict[tuple[str, str, int], frozenset[str]] = {}
+        self._static_name_excludes: dict[str, frozenset[str]] = {
+            "all": frozenset(),
+            "pkfk": frozenset(set(self._sig_keys) - self._pkfk_eligible),
+        }
+
+    # ------------------------------------------------------------- probes
+
+    def _probe_k(self, k: int) -> int:
+        return max(k * self.probe_multiplier, self.min_probe)
+
+    def _allowed_mask(self, eligibility: np.ndarray, sketch: DESketch) -> np.ndarray:
+        """Boolean mask over profile column order: eligible columns outside
+        the query's own table (applied *before* the containment cut so
+        ineligible entries don't consume probe budget)."""
+        table = sketch.table_name
+        if table not in self._table_mask_cache:
+            mask = np.ones(len(self._sig_keys), dtype=bool)
+            for cid in self.profile.columns_of_table(table):
+                mask[self._sig_index[cid]] = False
+            self._table_mask_cache[table] = mask
+        allowed = eligibility & self._table_mask_cache[table]
+        if sketch.de_id in self._sig_index:
+            allowed = allowed.copy()
+            allowed[self._sig_index[sketch.de_id]] = False
+        return allowed
+
+    def _containment_probe(
+        self, sketch: DESketch, k: int, allowed: np.ndarray
+    ) -> set[str]:
+        """Value-containment candidates, capped by a cheap signature re-rank.
+
+        When the LSH Ensemble's partitions are big enough for banding to
+        prune, the raw pool is the band-collision candidate set; otherwise
+        (small lakes) every allowed column is considered. Either way the
+        pool is cut to the top ``probe_k`` entries by *estimated
+        max-direction containment*, computed in one vectorised pass over the
+        stacked signatures. Exact set containment then runs only on the
+        survivors — the sketch-then-verify pattern that turns the O(N)
+        exact-scoring scan into O(probe_k) exact scoring per query.
+        """
+        if self._sig_matrix is None:
+            return set()
+        sig = sketch.join_signature
+        ensemble = self.indexes.value_containment
+        if ensemble.prunes:
+            pool = sorted(ensemble.candidate_keys(sig))
+            idx = np.fromiter(
+                (self._sig_index[c] for c in pool), dtype=np.intp, count=len(pool)
+            )
+            idx = idx[allowed[idx]]
+        else:
+            idx = np.nonzero(allowed)[0]
+        cap = self._probe_k(k)
+        if idx.size == 0:
+            return set()
+        if idx.size > cap:
+            jaccard = (self._sig_matrix[idx] == sig.values).mean(axis=1)
+            sizes = self._sig_sizes[idx]
+            smaller = np.minimum(sizes, float(sig.set_size))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                estimate = np.where(
+                    smaller > 0,
+                    jaccard * (sizes + sig.set_size) / ((1.0 + jaccard) * smaller),
+                    0.0,
+                )
+            idx = idx[np.argsort(-estimate, kind="stable")[:cap]]
+        return {self._sig_keys[i] for i in idx}
+
+    #: Query rows per chunk of the batched signature comparison; bounds the
+    #: (chunk, num_columns, num_hashes) boolean intermediate to a few MB.
+    BATCH_CHUNK = 64
+
+    def _containment_probe_batch(
+        self, sketches: list[DESketch], k: int, masks: list[np.ndarray]
+    ) -> list[set[str]]:
+        """Vectorised :meth:`_containment_probe` for many queries at once.
+
+        One chunked ``(queries, columns, hashes)`` equality pass replaces the
+        per-query numpy round-trips — the per-query overhead that otherwise
+        dominates sweep-style callers (PK-FK scans every candidate PK).
+        Falls back to per-query probes when banding is active, where each
+        pool is already sub-linear.
+        """
+        if self._sig_matrix is None:
+            return [set() for _ in sketches]
+        if self.indexes.value_containment.prunes:
+            return [
+                self._containment_probe(s, k, m) for s, m in zip(sketches, masks)
+            ]
+        cap = self._probe_k(k)
+        results: list[set[str]] = []
+        sizes = self._sig_sizes[None, :]
+        for start in range(0, len(sketches), self.BATCH_CHUNK):
+            chunk = sketches[start : start + self.BATCH_CHUNK]
+            query_values = np.vstack([s.join_signature.values for s in chunk])
+            query_sizes = np.array(
+                [float(s.join_signature.set_size) for s in chunk]
+            )[:, None]
+            jaccard = (query_values[:, None, :] == self._sig_matrix[None, :, :]).mean(
+                axis=2
+            )
+            smaller = np.minimum(sizes, query_sizes)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                estimate = np.where(
+                    smaller > 0,
+                    jaccard * (sizes + query_sizes) / ((1.0 + jaccard) * smaller),
+                    0.0,
+                )
+            for row, mask in zip(estimate, masks[start : start + self.BATCH_CHUNK]):
+                row = np.where(mask, row, -1.0)
+                idx = np.argsort(-row, kind="stable")[:cap]
+                results.append({self._sig_keys[i] for i in idx if row[i] >= 0.0})
+        return results
+
+    def _name_probe_raw(self, name: str, k: int, exclude: set[str]) -> frozenset[str]:
+        tokens = split_identifier(name)
+        grams = name_trigrams(name)
+        found = {
+            key
+            for key, _ in self.indexes.column_schema.search(tokens, k=k,
+                                                            exclude=exclude)
+        }
+        found |= {
+            key
+            for key, _ in self.indexes.column_schema_ngrams.search(grams, k=k,
+                                                                   exclude=exclude)
+        }
+        return frozenset(found)
+
+    def _name_probe(
+        self,
+        sketch: DESketch,
+        k: int,
+        tag: str = "all",
+        extra_exclude: set[str] | None = None,
+    ) -> frozenset[str]:
+        """Schema-name candidates; exclusions are applied *before* the top-k
+        cut so ineligible / out-of-scope columns don't consume budget.
+
+        ``tag`` selects a stable eligibility exclusion (cacheable);
+        ``extra_exclude`` carries per-sweep exclusions (a table scope) and
+        bypasses the cache.
+        """
+        # Over-fetch by the widest table so stripping same-table hits later
+        # cannot cost cross-table recall; keeps the per-name cache exact.
+        k = k + self._max_table_width
+        static = self._static_name_excludes[tag]
+        if extra_exclude:
+            return self._name_probe_raw(
+                sketch.column_name, k, set(static) | extra_exclude
+            )
+        cache_key = (tag, sketch.column_name, k)
+        if cache_key not in self._name_probe_cache:
+            self._name_probe_cache[cache_key] = self._name_probe_raw(
+                sketch.column_name, k, set(static)
+            )
+        return self._name_probe_cache[cache_key]
+
+    def _numeric_probe(
+        self,
+        sketch: DESketch,
+        k: int | None = None,
+        threshold: float | None = None,
+        exclude: set[str] | None = None,
+    ) -> set[str]:
+        """Numeric-range candidates ranked by the exact overlap measure.
+
+        ``k`` caps the probe (union's per-measure budget); ``threshold``
+        instead keeps everything at or above a score floor (PK-FK's numeric
+        inclusion threshold), which preserves full recall for the filter.
+        ``exclude`` is applied before the cut so excluded entries (the
+        query's own table) don't consume probe budget.
+        """
+        if sketch.numeric is None:
+            return set()
+        return set(
+            self.indexes.column_numeric.query_scored(
+                sketch.numeric, k=k, threshold=threshold, exclude=exclude
+            )
+        )
+
+    def _semantic_probe(
+        self, sketch: DESketch, k: int, exclude: set[str] | None = None
+    ) -> set[str]:
+        return {
+            key
+            for key, _ in self.indexes.column_semantic.query(
+                sketch.content_embedding, k=k, exclude=exclude
+            )
+        }
+
+    def _other_table(self, candidates: set[str], sketch: DESketch) -> set[str]:
+        return {
+            cid for cid in candidates
+            if cid != sketch.de_id
+            and self.profile.columns[cid].table_name != sketch.table_name
+        }
+
+    # ------------------------------------------------------------ queries
+
+    def join_candidates(self, column_id: str, k: int = 10) -> set[str]:
+        """Join-eligible columns in other tables that may contain / be
+        contained in ``column_id``'s value set (syntactic-join probe)."""
+        sketch = self.profile.columns[column_id]
+        allowed = self._allowed_mask(self._join_mask, sketch)
+        return self._containment_probe(sketch, k, allowed)
+
+    def union_candidates(self, column_id: str, k: int = 10) -> set[str]:
+        """Columns in other tables that may score on *any* of the union
+        ensemble's four measures against ``column_id``."""
+        sketch = self.profile.columns[column_id]
+        allowed = self._allowed_mask(self._all_mask, sketch)
+        own_table = set(self.profile.columns_of_table(sketch.table_name))
+        probe_k = self._probe_k(k)
+        found = self._containment_probe(sketch, k, allowed)
+        found |= self._name_probe(sketch, probe_k)
+        found |= self._numeric_probe(sketch, k=probe_k, exclude=own_table)
+        found |= self._semantic_probe(sketch, probe_k, exclude=own_table)
+        return self._other_table(found, sketch)
+
+    def _scope_restrictions(
+        self, table_scope: set[str] | None
+    ) -> tuple[np.ndarray, set[str]]:
+        """(eligibility mask, exclusion set) restricting PK-FK probes to a
+        table scope — folded into the probes *before* their top-k cuts so
+        out-of-scope columns cannot evict in-scope true links."""
+        if table_scope is None:
+            return self._pkfk_mask, set()
+        in_scope = np.fromiter(
+            (self.profile.columns[c].table_name in table_scope
+             for c in self._sig_keys),
+            dtype=bool, count=len(self._sig_keys),
+        )
+        out_of_scope = {
+            cid for cid, inside in zip(self._sig_keys, in_scope) if not inside
+        }
+        return self._pkfk_mask & in_scope, out_of_scope
+
+    def pkfk_candidates(
+        self,
+        pk_column_id: str,
+        k: int = 10,
+        numeric_threshold: float | None = None,
+        table_scope: set[str] | None = None,
+    ) -> set[str]:
+        """PK-FK-eligible FK candidates for one PK column.
+
+        A true link must pass BOTH the name filter and the inclusion filter,
+        but the probes are unioned (not intersected) so that a miss by one
+        probe family cannot drop a true link from the candidate set.
+        ``numeric_threshold`` (the caller's inclusion threshold) makes the
+        numeric probe exhaustive above the floor rather than top-k capped;
+        ``table_scope`` restricts candidates to a table subset.
+        """
+        return self.pkfk_candidates_batch(
+            [pk_column_id], k=k, numeric_threshold=numeric_threshold,
+            table_scope=table_scope,
+        )[pk_column_id]
+
+    def pkfk_candidates_batch(
+        self,
+        pk_column_ids: list[str],
+        k: int = 10,
+        numeric_threshold: float | None = None,
+        table_scope: set[str] | None = None,
+    ) -> dict[str, set[str]]:
+        """:meth:`pkfk_candidates` for a whole PK sweep in one batched pass."""
+        eligibility, scope_exclude = self._scope_restrictions(table_scope)
+        sketches = [self.profile.columns[pk] for pk in pk_column_ids]
+        masks = [self._allowed_mask(eligibility, s) for s in sketches]
+        probe_k = self._probe_k(k)
+        contained = self._containment_probe_batch(sketches, k, masks)
+        out: dict[str, set[str]] = {}
+        for pk, sketch, found in zip(pk_column_ids, sketches, contained):
+            found |= self._name_probe(
+                sketch, probe_k, tag="pkfk", extra_exclude=scope_exclude or None
+            )
+            if numeric_threshold is not None:
+                found |= self._numeric_probe(
+                    sketch, threshold=numeric_threshold, exclude=scope_exclude
+                )
+            else:
+                own_table = set(self.profile.columns_of_table(sketch.table_name))
+                found |= self._numeric_probe(
+                    sketch, k=probe_k, exclude=own_table | scope_exclude
+                )
+            found &= self._pkfk_eligible
+            out[pk] = self._other_table(found, sketch)
+        return out

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.candidates import CandidateGenerator, resolve_strategy
 from repro.core.indexes import IndexCatalog
 from repro.core.joinability import JoinDiscovery
 from repro.core.joint.model import JointRepresentationModel
@@ -95,14 +96,28 @@ class DiscoveryEngine:
         joint_model: JointRepresentationModel | None,
         uniqueness: dict[str, float],
         pkfk_params: dict | None = None,
+        strategy: str = "indexed",
     ):
+        """``strategy`` picks the structured-discovery path: ``"indexed"``
+        (default) routes join/union/PK-FK candidate generation through the
+        sketch indexes; ``"exact"`` brute-forces every eligible pair."""
         self.profile = profile
         self.indexes = indexes
         self.joint_model = joint_model
-        self.join_discovery = JoinDiscovery(profile)
-        self.union_discovery = UnionDiscovery(profile)
+        candidates = (
+            CandidateGenerator(profile, indexes) if strategy == "indexed" else None
+        )
+        self.strategy = resolve_strategy(strategy, candidates)
+        self.candidates = candidates
+        self.join_discovery = JoinDiscovery(
+            profile, candidates=candidates, strategy=self.strategy
+        )
+        self.union_discovery = UnionDiscovery(
+            profile, candidates=candidates, strategy=self.strategy
+        )
         self.pkfk_discovery = PKFKDiscovery(
-            profile, uniqueness, **(pkfk_params or {})
+            profile, uniqueness, candidates=candidates, strategy=self.strategy,
+            **(pkfk_params or {})
         )
         self._pkfk_cache: list[PKFKLink] | None = None
 
@@ -118,8 +133,13 @@ class DiscoveryEngine:
         from repro.sketch.minhash import MinHash  # local to avoid cycle
 
         any_sketch = next(iter(self.profile.documents.values()), None) or next(
-            iter(self.profile.columns.values())
+            iter(self.profile.columns.values()), None
         )
+        if any_sketch is None:
+            raise ValueError(
+                "cannot build a free-text query sketch over an empty profile "
+                "(no documents and no columns to borrow hash-family settings from)"
+            )
         dim = len(any_sketch.content_embedding)
         bow = BagOfWords(Counter(tokenize(text)))
         signature = MinHash(

@@ -9,16 +9,28 @@ From a :class:`~repro.core.profiler.Profile` the catalog builds:
   documents and columns;
 * after joint-model training, ANN indexes over the 100-d joint embeddings
   (:meth:`index_joint_embeddings`).
+
+For the structured-discovery candidate layer it additionally indexes *every*
+column (not just the text-discovery subset):
+
+* ``value_containment`` — LSH Ensemble over value-set minhash signatures
+  (value-equality semantics, the measure joins and PK-FK inclusion use);
+* ``column_schema`` / ``column_schema_ngrams`` — inverted indexes over
+  column-name tokens and character trigrams (schema-name probes);
+* ``column_numeric`` — interval index over numeric column ranges;
+* ``column_semantic`` — ANN index over the content solo embeddings.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.ann.intervals import IntervalIndex
 from repro.ann.rpforest import RPForestIndex
 from repro.core.profiler import Profile
 from repro.search.engine import SearchEngine
 from repro.sketch.lshensemble import LSHEnsemble
+from repro.text.tokenizer import name_trigrams, split_identifier
 
 
 class IndexCatalog:
@@ -44,8 +56,20 @@ class IndexCatalog:
             num_partitions=num_partitions, num_bands=num_bands
         )
 
+        # Candidate-layer indexes: cover ALL columns, because the exact
+        # structured scorers (join containment, the union 4-measure ensemble,
+        # PK-FK inclusion) are defined over value sets / names / ranges of
+        # any column, not just the text-discovery subset.
+        self.value_containment = LSHEnsemble(
+            num_partitions=num_partitions, num_bands=num_bands
+        )
+        self.column_schema = SearchEngine(ranker=ranker)
+        self.column_schema_ngrams = SearchEngine(ranker=ranker)
+        self.column_numeric = IntervalIndex()
+
         text_columns = set(profile.text_discovery_columns())
         encoding_dim = None
+        embedding_dim = None
 
         for doc_id, sketch in profile.documents.items():
             self.doc_content.add(doc_id, sketch.content_bow.terms)
@@ -53,12 +77,27 @@ class IndexCatalog:
             encoding_dim = encoding_dim or len(sketch.encoding)
         for col_id, sketch in profile.columns.items():
             encoding_dim = encoding_dim or len(sketch.encoding)
+            embedding_dim = embedding_dim or len(sketch.content_embedding)
+            self.value_containment.add(col_id, sketch.join_signature)
+            self.column_schema.add(col_id, split_identifier(sketch.column_name))
+            self.column_schema_ngrams.add(col_id, name_trigrams(sketch.column_name))
+            if sketch.numeric is not None:
+                self.column_numeric.add(col_id, sketch.numeric)
             if col_id not in text_columns:
                 continue
             self.column_content.add(col_id, sketch.content_bow.terms)
             self.column_metadata.add(col_id, sketch.metadata_bow.terms)
             self.column_containment.add(col_id, sketch.signature)
         self.column_containment.build()
+        self.value_containment.build()
+        self.column_numeric.build()
+
+        self.column_semantic = RPForestIndex(
+            dim=embedding_dim or 100, num_trees=num_trees, seed=seed
+        )
+        for col_id, sketch in profile.columns.items():
+            self.column_semantic.add(col_id, sketch.content_embedding)
+        self.column_semantic.build()
 
         dim = encoding_dim or 200
         self.doc_solo = RPForestIndex(dim=dim, num_trees=num_trees, seed=seed)

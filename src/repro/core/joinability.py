@@ -9,16 +9,31 @@ have very different cardinalities (the low-mQCR regime of Benchmarks
 
 from __future__ import annotations
 
+from repro.core.candidates import CandidateGenerator, resolve_strategy
 from repro.core.profiler import Profile
 from repro.text.similarity import jaccard_containment
 
 
 class JoinDiscovery:
-    """Top-k joinable-column / joinable-table search over a profile."""
+    """Top-k joinable-column / joinable-table search over a profile.
 
-    def __init__(self, profile: Profile, use_exact_sets: bool = True):
+    ``strategy="indexed"`` pulls per-query candidates from the
+    :class:`~repro.core.candidates.CandidateGenerator` (value-containment LSH
+    probes) and exact-scores only those; ``strategy="exact"`` scans every
+    eligible column pair and serves as the correctness oracle.
+    """
+
+    def __init__(
+        self,
+        profile: Profile,
+        use_exact_sets: bool = True,
+        candidates: CandidateGenerator | None = None,
+        strategy: str | None = None,
+    ):
         self.profile = profile
         self.use_exact_sets = use_exact_sets
+        self.candidates = candidates
+        self.strategy = resolve_strategy(strategy, candidates)
         self._eligible = [
             cid for cid, s in profile.columns.items()
             if s.tags is not None and s.tags.join_discovery
@@ -45,8 +60,14 @@ class JoinDiscovery:
     ) -> list[tuple[str, float]]:
         """Top-k joinable columns in *other* tables, by containment."""
         query_table = self.profile.columns[column_id].table_name
+        if self.strategy == "indexed":
+            # Iteration order is irrelevant: the score sort below breaks ties
+            # by candidate id, so the result is deterministic either way.
+            pool = self.candidates.join_candidates(column_id, k=k)
+        else:
+            pool = self._eligible
         scored = []
-        for candidate in self._eligible:
+        for candidate in pool:
             if candidate == column_id:
                 continue
             if self.profile.columns[candidate].table_name == query_table:

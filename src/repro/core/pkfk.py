@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.candidates import CandidateGenerator, resolve_strategy
 from repro.core.profiler import Profile
 from repro.relational.stats import numeric_overlap
-from repro.text.similarity import jaccard_containment, name_similarity
+from repro.text.similarity import cached_name_similarity, jaccard_containment
 
 
 @dataclass(frozen=True)
@@ -45,18 +46,27 @@ class PKFKDiscovery:
         name_threshold: float = 0.35,
         key_uniqueness_threshold: float = 0.85,
         numeric_threshold: float = 0.85,
+        candidates: CandidateGenerator | None = None,
+        strategy: str | None = None,
     ):
         # Note the key-uniqueness default of 0.85 (not 1.0): real lakes
         # contain duplicated keys (DrugBank, §6.2), so CMDL accepts
         # near-keys — raising recall at some precision cost, exactly the
         # DrugBank trade-off of Table 4.
-        """``uniqueness_map`` gives distinct/non-missing per column id."""
+        """``uniqueness_map`` gives distinct/non-missing per column id.
+
+        ``strategy="indexed"`` restricts the FK candidates of each PK to the
+        index probes (name, value containment, numeric range) instead of all
+        tagged columns; ``strategy="exact"`` is the brute-force oracle.
+        """
         self.profile = profile
         self.uniqueness = uniqueness_map
         self.containment_threshold = containment_threshold
         self.name_threshold = name_threshold
         self.key_uniqueness_threshold = key_uniqueness_threshold
         self.numeric_threshold = numeric_threshold
+        self.candidates = candidates
+        self.strategy = resolve_strategy(strategy, candidates)
 
     def _candidate_pks(self) -> list[str]:
         out = []
@@ -77,18 +87,34 @@ class PKFKDiscovery:
         """All PK-FK links (optionally restricted to a table subset)."""
         links: list[PKFKLink] = []
         pks = self._candidate_pks()
-        fks = self._candidate_fks()
+        if table_scope is not None:
+            pks = [
+                pk for pk in pks
+                if self.profile.columns[pk].table_name in table_scope
+            ]
+        if self.strategy == "indexed":
+            fks = []  # unused: each PK gets its own pool below
+            pools = self.candidates.pkfk_candidates_batch(
+                pks, numeric_threshold=self.numeric_threshold,
+                table_scope=table_scope,
+            )
+        else:
+            fks = self._candidate_fks()
         for pk in pks:
             pk_sketch = self.profile.columns[pk]
-            if table_scope is not None and pk_sketch.table_name not in table_scope:
-                continue
-            for fk in fks:
+            if self.strategy == "indexed":
+                # No need to sort the pool: every surviving pair is appended
+                # and the final links.sort canonicalises the output order.
+                fk_pool = pools[pk]
+            else:
+                fk_pool = fks
+            for fk in fk_pool:
                 fk_sketch = self.profile.columns[fk]
                 if fk == pk or fk_sketch.table_name == pk_sketch.table_name:
                     continue
                 if table_scope is not None and fk_sketch.table_name not in table_scope:
                     continue
-                name_score = name_similarity(
+                name_score = cached_name_similarity(
                     pk_sketch.column_name, fk_sketch.column_name
                 )
                 if name_score < self.name_threshold:

@@ -55,6 +55,15 @@ class DESketch:
     #: (paper §3: "percentage of their overlapping values"), distinct from
     #: the tokenised bag used for text discovery.
     value_set: frozenset[str] = frozenset()
+    #: Minhash over :attr:`value_set` (vs :attr:`signature`, which is over
+    #: the tokenised content bag). Feeds the value-containment LSH Ensemble
+    #: of the candidate-generation layer; None for hand-built sketches.
+    value_signature: MinHashSignature | None = None
+
+    @property
+    def join_signature(self) -> MinHashSignature:
+        """The signature matching value-equality semantics, with fallback."""
+        return self.value_signature if self.value_signature is not None else self.signature
 
     @property
     def encoding(self) -> np.ndarray:
@@ -184,15 +193,18 @@ class Profiler:
         if document.source:
             meta_terms.update(tokenize(document.source))
         metadata = BagOfWords(meta_terms)
+        signature = self.minhash.signature(content.vocabulary)
         return DESketch(
             de_id=document.doc_id,
             kind=DOCUMENT,
             content_bow=content,
             metadata_bow=metadata,
-            signature=self.minhash.signature(content.vocabulary),
+            signature=signature,
             content_embedding=self._embed_bow_guarded(content),
             metadata_embedding=self._embed_bow_guarded(metadata),
             value_set=frozenset(content.vocabulary),
+            # For documents the value set IS the content vocabulary.
+            value_signature=signature,
         )
 
     def _profile_column(self, column: Column) -> DESketch:
@@ -217,6 +229,7 @@ class Profiler:
             table_name=column.table_name,
             column_name=column.name,
             value_set=frozenset(column.distinct_values),
+            value_signature=self.minhash.signature(column.distinct_values),
         )
 
     def _embed_bow_guarded(self, bow: BagOfWords) -> np.ndarray:

@@ -57,6 +57,11 @@ class CMDLConfig:
     pkfk_name_threshold: float = 0.35
     pkfk_key_uniqueness: float = 0.85
 
+    #: Structured-discovery path: "indexed" serves join/union/PK-FK candidate
+    #: generation from the sketch indexes (sub-linear probes, §6.4);
+    #: "exact" brute-forces every eligible pair (the correctness oracle).
+    discovery_strategy: str = "indexed"
+
     seed: int = 0
     extra_labeling_functions: list[LabelingFunction] = field(default_factory=list)
 
@@ -110,6 +115,7 @@ class CMDL:
                 "name_threshold": cfg.pkfk_name_threshold,
                 "key_uniqueness_threshold": cfg.pkfk_key_uniqueness,
             },
+            strategy=cfg.discovery_strategy,
         )
         return self.engine
 

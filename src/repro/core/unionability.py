@@ -17,22 +17,32 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from repro.core.candidates import CandidateGenerator, resolve_strategy
 from repro.core.profiler import Profile
 from repro.relational.stats import numeric_overlap
-from repro.text.similarity import jaccard_containment, name_similarity
+from repro.text.similarity import cached_name_similarity, jaccard_containment
 
 #: The four component measures of the ensemble.
 UNION_MEASURES = ("name", "containment", "numeric", "semantic")
 
 
 class UnionDiscovery:
-    """Top-k unionable-table search over a profile."""
+    """Top-k unionable-table search over a profile.
+
+    ``strategy="indexed"`` generates per-query-column candidates from the
+    index-backed :class:`~repro.core.candidates.CandidateGenerator` (one
+    probe per ensemble measure) instead of scoring every column of every
+    other table; ``strategy="exact"`` is the brute-force oracle. Either way
+    candidate tables are aligned with the exact bipartite matching.
+    """
 
     def __init__(
         self,
         profile: Profile,
         weights: dict[str, float] | None = None,
         candidate_k: int = 10,
+        candidates: CandidateGenerator | None = None,
+        strategy: str | None = None,
     ):
         self.profile = profile
         self.weights = weights or {m: 1.0 for m in UNION_MEASURES}
@@ -40,6 +50,8 @@ class UnionDiscovery:
         if unknown:
             raise ValueError(f"unknown union measures: {sorted(unknown)}")
         self.candidate_k = candidate_k
+        self.candidates = candidates
+        self.strategy = resolve_strategy(strategy, candidates)
 
     # -------------------------------------------------------- column scores
 
@@ -48,7 +60,7 @@ class UnionDiscovery:
         sa = self.profile.columns[col_a]
         sb = self.profile.columns[col_b]
         scores = {
-            "name": name_similarity(sa.column_name, sb.column_name),
+            "name": cached_name_similarity(sa.column_name, sb.column_name),
             "containment": max(
                 jaccard_containment(sa.value_set, sb.value_set),
                 jaccard_containment(sb.value_set, sa.value_set),
@@ -58,11 +70,14 @@ class UnionDiscovery:
         }
         return scores
 
-    def ensemble_score(self, col_a: str, col_b: str) -> float:
-        """Weighted mean of the four measures (CMDL's combination)."""
-        scores = self.column_scores(col_a, col_b)
+    def _combine(self, scores: dict[str, float]) -> float:
+        """Weighted mean of precomputed measure scores (CMDL's combination)."""
         total_weight = sum(self.weights.values())
         return sum(self.weights[m] * scores[m] for m in self.weights) / total_weight
+
+    def ensemble_score(self, col_a: str, col_b: str) -> float:
+        """Weighted mean of the four measures (CMDL's combination)."""
+        return self._combine(self.column_scores(col_a, col_b))
 
     def single_measure_score(self, col_a: str, col_b: str, measure: str) -> float:
         if measure not in UNION_MEASURES:
@@ -89,22 +104,41 @@ class UnionDiscovery:
         ``measure`` restricts the column scoring to one individual measure
         (Table 5's Relative Recall analysis); None uses the full ensemble.
         """
+        if measure is not None and measure not in UNION_MEASURES:
+            raise ValueError(f"unknown measure {measure!r}")
         query_columns = self.profile.columns_of_table(table_name)
         if not query_columns:
             return []
 
-        def pair_score(a: str, b: str) -> float:
-            if measure is None:
-                return self.ensemble_score(a, b)
-            return self.single_measure_score(a, b, measure)
+        # Per-query memo: candidate generation and alignment both score the
+        # same (query column, other column) pairs, so each pair's 4-measure
+        # dict is computed at most once per unionable_tables call.
+        score_cache: dict[tuple[str, str], dict[str, float]] = {}
 
-        # Candidate generation: per query column, its top-k columns anywhere.
+        def pair_measures(a: str, b: str) -> dict[str, float]:
+            key = (a, b)
+            if key not in score_cache:
+                score_cache[key] = self.column_scores(a, b)
+            return score_cache[key]
+
+        def pair_score(a: str, b: str) -> float:
+            scores = pair_measures(a, b)
+            return scores[measure] if measure is not None else self._combine(scores)
+
+        # Candidate generation: per query column, its top-k columns anywhere
+        # (exact: scored against every other column; indexed: against the
+        # per-measure index probes only).
         candidates: set[str] = set()
-        others = [
+        all_others = [
             cid for cid in self.profile.columns
             if self.profile.columns[cid].table_name != table_name
         ]
         for qc in query_columns:
+            if self.strategy == "indexed":
+                # Unsorted is fine: the (-score, id) sort below canonicalises.
+                others = self.candidates.union_candidates(qc, k=self.candidate_k)
+            else:
+                others = all_others
             scored = [(oc, pair_score(qc, oc)) for oc in others]
             scored.sort(key=lambda kv: (-kv[1], kv[0]))
             for oc, s in scored[: self.candidate_k]:

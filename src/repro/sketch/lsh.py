@@ -48,6 +48,14 @@ class LSHIndex:
     def signature_of(self, key: str) -> MinHashSignature:
         return self._signatures[key]
 
+    def keys(self) -> list[str]:
+        """All indexed keys, in insertion order."""
+        return list(self._signatures)
+
+    def items(self) -> list[tuple[str, MinHashSignature]]:
+        """All ``(key, signature)`` pairs, in insertion order."""
+        return list(self._signatures.items())
+
     # -------------------------------------------------------------- query
 
     def candidates(self, signature: MinHashSignature) -> set[str]:

@@ -27,6 +27,11 @@ from repro.sketch.minhash import MinHashSignature
 class LSHEnsemble:
     """Containment-search index partitioned by indexed-set size."""
 
+    #: Partitions at or below this size are fully scanned instead of banded:
+    #: banding cannot prune meaningfully there, and the scan restores perfect
+    #: recall on small lakes (the regime of the parity tests).
+    SCAN_LIMIT = 50
+
     def __init__(self, num_partitions: int = 8, num_bands: int = 16):
         if num_partitions <= 0:
             raise ValueError(f"num_partitions must be positive, got {num_partitions}")
@@ -74,6 +79,21 @@ class LSHEnsemble:
             return sum(len(p) for p in self._partitions)
         return len(self._pending)
 
+    @property
+    def prunes(self) -> bool:
+        """True when at least one partition is large enough for banding to
+        beat a full scan — i.e. :meth:`candidate_keys` actually prunes.
+
+        Answerable without building: partition sizes are determined by the
+        entry count alone, so reading this never mutates index state.
+        """
+        if self._built:
+            return any(len(p) > self.SCAN_LIMIT for p in self._partitions)
+        n = len(self._pending)
+        num_parts = min(self.num_partitions, max(1, n))
+        largest = -(-n // num_parts)  # ceil division
+        return largest > self.SCAN_LIMIT
+
     # -------------------------------------------------------------- query
 
     def query(
@@ -95,7 +115,7 @@ class LSHEnsemble:
         scored: list[tuple[str, float]] = []
         for index in self._partitions:
             for key in index.candidates(signature) | (
-                set() if len(index) > 50 else set(index._signatures)
+                set() if len(index) > self.SCAN_LIMIT else set(index.keys())
             ):
                 if key in exclude:
                     continue
@@ -105,7 +125,7 @@ class LSHEnsemble:
         if not scored:
             # Banding found nothing anywhere: full scan (totality guarantee).
             for index in self._partitions:
-                for key, sig in index._signatures.items():
+                for key, sig in index.items():
                     if key in exclude:
                         continue
                     c = signature.containment(sig)
@@ -117,6 +137,32 @@ class LSHEnsemble:
                 best[key] = c
         ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:k]
+
+    def candidate_keys(
+        self, signature: MinHashSignature, exclude: set[str] | None = None
+    ) -> set[str]:
+        """Raw candidate set for a query signature, with no top-k cut.
+
+        Band-collision candidates from every partition, plus full scans of
+        partitions at or below :attr:`SCAN_LIMIT` entries; falls back to all
+        keys when banding finds nothing anywhere (totality). This is the
+        entry point for the candidate-generation layer, which re-ranks with
+        exact scores downstream and therefore must not lose entries whose
+        containment is directional (small set inside a large query).
+        """
+        if not self._built:
+            self.build()
+        exclude = exclude or set()
+        found: set[str] = set()
+        for index in self._partitions:
+            if len(index) <= self.SCAN_LIMIT:
+                found.update(index.keys())
+            else:
+                found.update(index.candidates(signature))
+        if not found:
+            for index in self._partitions:
+                found.update(index.keys())
+        return found - exclude
 
     def partition_of(self, set_size: int) -> int:
         """Index of the partition an entry of ``set_size`` would land in."""

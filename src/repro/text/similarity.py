@@ -8,6 +8,7 @@ schema-name similarity used for PK-FK and unionability.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Collection
 
 from repro.text.tokenizer import split_identifier
@@ -95,3 +96,14 @@ def name_similarity(name1: str, name2: str) -> float:
     token_score = jaccard(t1, t2)
     string_score = jaro_winkler(" ".join(t1), " ".join(t2))
     return 0.5 * token_score + 0.5 * string_score
+
+
+@lru_cache(maxsize=65536)
+def cached_name_similarity(name1: str, name2: str) -> float:
+    """Memoised :func:`name_similarity` for the discovery hot paths.
+
+    Schema names repeat heavily across a lake's tables, and the measure is
+    a pure function of the two strings, so one process-wide cache serves
+    every discovery module (PK-FK, unionability) at once.
+    """
+    return name_similarity(name1, name2)

@@ -30,6 +30,23 @@ def sentences(text: str) -> list[str]:
     return [p for p in (part.strip() for part in parts) if p]
 
 
+def name_trigrams(name: str) -> list[str]:
+    """Character trigrams of a normalised schema identifier.
+
+    The identifier is lowercased and token-joined first, so ``DrugKey`` and
+    ``drug_key`` produce the same grams. Names shorter than three characters
+    yield the whole normalised name as a single gram, keeping the output
+    non-empty for any non-blank identifier.
+
+    >>> name_trigrams("DrugKey")
+    ['dru', 'rug', 'ug ', 'g k', ' ke', 'key']
+    """
+    normalised = " ".join(split_identifier(name))
+    if len(normalised) < 3:
+        return [normalised] if normalised else []
+    return [normalised[i : i + 3] for i in range(len(normalised) - 2)]
+
+
 def split_identifier(name: str) -> list[str]:
     """Tokenise a schema identifier such as ``Enzyme_Targets`` or ``drugKey``.
 

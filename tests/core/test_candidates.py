@@ -1,0 +1,346 @@
+"""Tests for the index-backed candidate-generation layer.
+
+Covers the :class:`~repro.core.candidates.CandidateGenerator` probe recall
+guarantees, the supporting index structures (interval index, LSH accessors),
+the strategy knob, the union pair-score memoization, and — under the ``slow``
+marker — full indexed-vs-exact parity sweeps on the seed lakes.
+"""
+
+import pytest
+
+from repro.ann.intervals import IntervalIndex
+from repro.core.candidates import CandidateGenerator, resolve_strategy
+from repro.core.indexes import IndexCatalog
+from repro.core.joinability import JoinDiscovery
+from repro.core.pkfk import PKFKDiscovery
+from repro.core.profiler import Profiler
+from repro.core.unionability import UnionDiscovery
+from repro.relational.catalog import DataLake
+from repro.relational.stats import numeric_stats
+from repro.relational.table import Table
+from repro.sketch.lsh import LSHIndex
+from repro.sketch.lshensemble import LSHEnsemble
+from repro.sketch.minhash import MinHash
+
+
+@pytest.fixture(scope="module")
+def candidate_lake() -> DataLake:
+    lake = DataLake("candidates")
+    lake.add_table(Table.from_dict("drugs", {
+        "drug_id": [f"DB{i:05d}" for i in range(40)],
+        "name": [f"compound{i}" for i in range(40)],
+        "score": [f"{i * 0.5:.1f}" for i in range(40)],
+    }))
+    # FK table: drug_ref covers only the first 10 drugs (skewed containment).
+    lake.add_table(Table.from_dict("targets", {
+        "target_id": [f"T{i}" for i in range(40)],
+        "drug_ref": [f"DB{i % 10:05d}" for i in range(40)],
+    }))
+    # Unionable variant of drugs (projection + rename).
+    lake.add_table(Table.from_dict("drugs_copy", {
+        "drug_key": [f"DB{i:05d}" for i in range(10, 30)],
+        "title": [f"compound{i}" for i in range(10, 30)],
+        "score": [f"{i * 0.5:.1f}" for i in range(10, 30)],
+    }))
+    # Numeric tables with overlapping ranges (interval-probe territory).
+    lake.add_table(Table.from_dict("readings", {
+        "sensor": [f"s{i}" for i in range(30)],
+        "reading": [str(i) for i in range(30)],
+    }))
+    lake.add_table(Table.from_dict("calibration", {
+        "device": [f"d{i}" for i in range(20)],
+        "reading": [str(10 + i) for i in range(20)],
+    }))
+    # Unrelated table.
+    lake.add_table(Table.from_dict("cities", {
+        "city": [f"town{i}" for i in range(40)],
+        "population": [str(1000 + i) for i in range(40)],
+    }))
+    return lake
+
+
+@pytest.fixture(scope="module")
+def profile(candidate_lake):
+    return Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(candidate_lake)
+
+
+@pytest.fixture(scope="module")
+def catalog(profile):
+    return IndexCatalog(profile, num_partitions=2, num_bands=8, num_trees=4)
+
+
+@pytest.fixture(scope="module")
+def generator(profile, catalog):
+    return CandidateGenerator(profile, catalog)
+
+
+@pytest.fixture(scope="module")
+def uniqueness(candidate_lake):
+    return {c.qualified_name: c.uniqueness for c in candidate_lake.columns}
+
+
+# ---------------------------------------------------------- interval index
+
+
+class TestIntervalIndex:
+    def test_overlap_query(self):
+        index = IntervalIndex()
+        index.add("a", numeric_stats([0.0, 10.0]))
+        index.add("b", numeric_stats([8.0, 20.0]))
+        index.add("c", numeric_stats([100.0, 101.0]))
+        hits = index.query(numeric_stats([5.0, 9.0]))
+        assert "a" in hits and "b" in hits
+        assert "c" not in hits
+
+    def test_mean_window_catches_disjoint_ranges(self):
+        # numeric_overlap awards up to 0.3 for mean proximity even with
+        # disjoint ranges; the index must not prune such near-miss pairs.
+        index = IntervalIndex()
+        index.add("near", numeric_stats([11.0, 12.0, 13.0]))
+        hits = index.query(numeric_stats([8.0, 9.0, 10.0]))
+        assert "near" in hits
+
+    def test_empty_index(self):
+        assert IntervalIndex().query(numeric_stats([1.0])) == []
+
+    def test_duplicate_key_rejected(self):
+        index = IntervalIndex()
+        index.add("a", numeric_stats([1.0]))
+        with pytest.raises(ValueError):
+            index.add("a", numeric_stats([2.0]))
+
+    def test_exclude(self):
+        index = IntervalIndex()
+        index.add("a", numeric_stats([0.0, 10.0]))
+        assert index.query(numeric_stats([5.0]), exclude={"a"}) == []
+
+    def test_len_and_contains(self):
+        index = IntervalIndex()
+        index.add("a", numeric_stats([0.0]))
+        assert len(index) == 1 and "a" in index and "b" not in index
+
+
+# ------------------------------------------------------------ lsh accessors
+
+
+class TestLSHAccessors:
+    def test_keys_and_items(self):
+        mh = MinHash(num_hashes=32, seed=0)
+        index = LSHIndex(num_bands=8)
+        index.add("x", mh.signature({"a", "b"}))
+        index.add("y", mh.signature({"c", "d"}))
+        assert set(index.keys()) == {"x", "y"}
+        assert dict(index.items())["x"] == index.signature_of("x")
+
+    def test_ensemble_candidate_keys_total_on_small_partitions(self):
+        mh = MinHash(num_hashes=32, seed=0)
+        ensemble = LSHEnsemble(num_partitions=2, num_bands=8)
+        for i in range(10):
+            ensemble.add(f"k{i}", mh.signature({f"v{i}", f"w{i}"}))
+        ensemble.build()
+        # Every partition is under SCAN_LIMIT -> totality regardless of the
+        # query's similarity to anything indexed.
+        probe = mh.signature({"zzz"})
+        assert ensemble.candidate_keys(probe) == {f"k{i}" for i in range(10)}
+
+    def test_ensemble_candidate_keys_exclude(self):
+        mh = MinHash(num_hashes=32, seed=0)
+        ensemble = LSHEnsemble(num_partitions=1, num_bands=8)
+        ensemble.add("only", mh.signature({"a"}))
+        ensemble.build()
+        assert ensemble.candidate_keys(mh.signature({"a"}), exclude={"only"}) == set()
+
+
+# ------------------------------------------------------- candidate recall
+
+
+class TestCandidateGenerator:
+    def test_join_candidates_find_containment_partners(self, generator):
+        cands = generator.join_candidates("drugs.drug_id")
+        assert "targets.drug_ref" in cands
+        assert "drugs_copy.drug_key" in cands
+
+    def test_join_candidates_exclude_self_and_same_table(self, generator):
+        cands = generator.join_candidates("drugs.drug_id")
+        assert not any(c.startswith("drugs.") for c in cands)
+
+    def test_join_candidates_only_join_eligible(self, generator, profile):
+        for qc in ("drugs.drug_id", "cities.city"):
+            for c in generator.join_candidates(qc):
+                assert profile.columns[c].tags.join_discovery
+
+    def test_join_recall_guarantee(self, generator, profile):
+        # Recall oracle: every pair the exact scorer rates >= 0.3 must be in
+        # the candidate set (on this small lake the probes are total).
+        jd = JoinDiscovery(profile)
+        eligible = [
+            cid for cid, s in profile.columns.items()
+            if s.tags is not None and s.tags.join_discovery
+        ]
+        for qc in eligible:
+            cands = generator.join_candidates(qc)
+            for oc in eligible:
+                if oc == qc or (profile.columns[oc].table_name
+                                == profile.columns[qc].table_name):
+                    continue
+                if jd.score(qc, oc) >= 0.3:
+                    assert oc in cands, (qc, oc)
+
+    def test_union_recall_guarantee(self, generator, profile):
+        # Every column in the exact per-query top-candidate_k with a positive
+        # ensemble score must appear in the union candidate set.
+        ud = UnionDiscovery(profile)
+        for qc in profile.columns:
+            table = profile.columns[qc].table_name
+            others = [
+                oc for oc in profile.columns
+                if profile.columns[oc].table_name != table
+            ]
+            scored = sorted(
+                ((oc, ud.ensemble_score(qc, oc)) for oc in others),
+                key=lambda kv: (-kv[1], kv[0]),
+            )
+            top = [oc for oc, s in scored[: ud.candidate_k] if s > 0]
+            cands = generator.union_candidates(qc, k=ud.candidate_k)
+            assert set(top) <= cands, qc
+
+    def test_pkfk_candidates_contain_true_link(self, generator):
+        assert "targets.drug_ref" in generator.pkfk_candidates("drugs.drug_id")
+
+    def test_pkfk_candidates_only_pkfk_eligible(self, generator, profile):
+        for c in generator.pkfk_candidates("drugs.drug_id"):
+            assert profile.columns[c].tags.pkfk_discovery
+
+    def test_numeric_probe_bridges_numeric_columns(self, generator):
+        # 'readings.reading' and 'calibration.reading' overlap in range but
+        # share no values-as-text probes; the interval probe must link them.
+        cands = generator.union_candidates("readings.reading", k=5)
+        assert "calibration.reading" in cands
+
+
+# ------------------------------------------------------------ strategy knob
+
+
+class TestStrategyKnob:
+    def test_default_without_candidates_is_exact(self, profile):
+        assert JoinDiscovery(profile).strategy == "exact"
+        assert UnionDiscovery(profile).strategy == "exact"
+
+    def test_default_with_candidates_is_indexed(self, profile, generator):
+        assert JoinDiscovery(profile, candidates=generator).strategy == "indexed"
+
+    def test_indexed_without_candidates_rejected(self, profile):
+        with pytest.raises(ValueError):
+            JoinDiscovery(profile, strategy="indexed")
+
+    def test_unknown_strategy_rejected(self, profile, generator):
+        with pytest.raises(ValueError):
+            resolve_strategy("fuzzy", generator)
+
+
+# -------------------------------------------------------- union memoization
+
+
+class TestUnionMemoization:
+    def test_pair_scores_computed_once_per_query(self, profile, monkeypatch):
+        calls = []
+        original = UnionDiscovery.column_scores
+
+        def counting(self, a, b):
+            calls.append((a, b))
+            return original(self, a, b)
+
+        monkeypatch.setattr(UnionDiscovery, "column_scores", counting)
+        UnionDiscovery(profile).unionable_tables("drugs", k=5)
+        assert calls, "expected column_scores to be exercised"
+        assert len(calls) == len(set(calls)), "pair scored more than once"
+
+
+# ------------------------------------------------- indexed vs exact parity
+
+
+def _assert_ranked_parity(exact, indexed, context):
+    assert [i for i, _ in exact] == [i for i, _ in indexed], context
+    for (_, se), (_, si) in zip(exact, indexed):
+        assert se == pytest.approx(si, abs=1e-9), context
+
+
+@pytest.mark.slow
+class TestIndexedExactParityStructuredLake:
+    """Parity on the handcrafted lake: identical top-k ids and scores."""
+
+    def test_join_parity(self, profile, generator):
+        exact = JoinDiscovery(profile)
+        indexed = JoinDiscovery(profile, candidates=generator)
+        for qc in profile.columns:
+            sketch = profile.columns[qc]
+            if sketch.tags is None or not sketch.tags.join_discovery:
+                continue
+            _assert_ranked_parity(
+                exact.joinable_columns(qc, k=10),
+                indexed.joinable_columns(qc, k=10),
+                qc,
+            )
+
+    def test_union_parity(self, profile, generator, candidate_lake):
+        exact = UnionDiscovery(profile)
+        indexed = UnionDiscovery(profile, candidates=generator)
+        for table in candidate_lake.table_names:
+            _assert_ranked_parity(
+                exact.unionable_tables(table, k=5),
+                indexed.unionable_tables(table, k=5),
+                table,
+            )
+
+    def test_pkfk_parity(self, profile, generator, uniqueness):
+        exact = PKFKDiscovery(profile, uniqueness).discover()
+        indexed = PKFKDiscovery(
+            profile, uniqueness, candidates=generator
+        ).discover()
+        as_tuples = lambda links: [
+            (l.pk_column, l.fk_column, round(l.score, 9)) for l in links
+        ]
+        assert as_tuples(exact) == as_tuples(indexed)
+
+
+@pytest.mark.slow
+class TestIndexedExactParitySeedLake:
+    """Parity on the tiny pharma seed lake through the fitted engine."""
+
+    def test_join_parity(self, fitted_cmdl):
+        profile = fitted_cmdl.profile
+        exact = JoinDiscovery(profile)
+        indexed = fitted_cmdl.engine.join_discovery
+        assert indexed.strategy == "indexed"
+        for qc in profile.columns:
+            sketch = profile.columns[qc]
+            if sketch.tags is None or not sketch.tags.join_discovery:
+                continue
+            _assert_ranked_parity(
+                exact.joinable_columns(qc, k=10),
+                indexed.joinable_columns(qc, k=10),
+                qc,
+            )
+
+    def test_union_parity(self, fitted_cmdl):
+        profile = fitted_cmdl.profile
+        exact = UnionDiscovery(profile)
+        indexed = fitted_cmdl.engine.union_discovery
+        assert indexed.strategy == "indexed"
+        for table in sorted(profile.table_columns):
+            _assert_ranked_parity(
+                exact.unionable_tables(table, k=5),
+                indexed.unionable_tables(table, k=5),
+                table,
+            )
+
+    def test_pkfk_parity(self, fitted_cmdl):
+        profile = fitted_cmdl.profile
+        indexed_discovery = fitted_cmdl.engine.pkfk_discovery
+        assert indexed_discovery.strategy == "indexed"
+        exact = PKFKDiscovery(profile, indexed_discovery.uniqueness).discover()
+        indexed = indexed_discovery.discover()
+        as_tuples = lambda links: [
+            (l.pk_column, l.fk_column, round(l.score, 9)) for l in links
+        ]
+        assert as_tuples(exact) == as_tuples(indexed)

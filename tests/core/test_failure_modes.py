@@ -24,6 +24,14 @@ class TestDegenerateLakes:
         engine = CMDL(CMDLConfig(seed=0)).fit(DataLake("empty"))
         assert engine.content_search("anything", mode="text").items == []
 
+    def test_empty_lake_free_text_query_raises_cleanly(self):
+        # A free-text cross-modal query needs an existing sketch to borrow
+        # hash-family settings from; an empty profile must raise ValueError,
+        # not leak a bare StopIteration.
+        engine = CMDL(CMDLConfig(seed=0)).fit(DataLake("empty"))
+        with pytest.raises(ValueError, match="empty profile"):
+            engine.cross_modal_search("anything at all")
+
     def test_documents_only(self):
         lake = DataLake("docs-only")
         lake.add_document(Document("d", "t", "an isolated note about enzymes"))
