@@ -1,0 +1,128 @@
+"""Smoke benchmark: SRQL single-query loop vs batched execution.
+
+Builds a deterministic 100-query mixed workload (keyword, cross-modal,
+joinable, unionable, PK-FK, plus composed intersect/pipeline queries, with
+the zipf-ish repetition a shared discovery service sees) over the Pharma
+benchmark lake, and times
+
+* a loop of ``engine.discover(q)`` calls (one plan + execute per query);
+* one ``engine.discover_batch(workload)`` call (shared-subplan dedup,
+  operator grouping, and a single PK-FK sweep per strategy).
+
+Results must be identical; the batch path must win. The report — appended
+to ``benchmarks/results.txt`` — includes the executor's reuse stats: how
+many primitive evaluations the batch actually ran vs how many the query
+trees requested, and how many pkfk queries shared how many sweeps.
+
+Run:  PYTHONPATH=src python benchmarks/bench_srql.py
+
+Intentionally NOT named ``test_*``: the tier-1 suite should not pay for a
+latency sweep; correctness parity lives in tests/core/test_srql*.py.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.srql import Q
+from repro.core.system import CMDL, CMDLConfig
+from repro.eval.benchmarks import build_benchmark
+from repro.eval.reporting import format_table
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+WORKLOAD_SIZE = 100
+
+
+def build_workload(profile) -> list:
+    """100 mixed queries over a deterministic pool with repetition."""
+    tables = sorted(profile.table_columns)[:8]
+    docs = sorted(profile.documents)[:6]
+    terms = ["enzyme inhibitor", "drug target", "synthase activity",
+             "compound interaction", "protein binding"]
+    pool = []
+    for table in tables:
+        pool.append(Q.pkfk(table, top_n=3))
+        pool.append(Q.joinable(table, top_n=3))
+    for table in tables[:4]:
+        pool.append(Q.unionable(table, top_n=3))
+    for term in terms:
+        pool.append(Q.content_search(term, k=5))
+        pool.append(Q.content_search(term, mode="table", k=5))
+        pool.append(Q.metadata_search(term, mode="table", k=5))
+    for doc in docs:
+        pool.append(Q.cross_modal(doc, top_n=3, representation="solo"))
+    # Composite queries: intersect and a pipelined chain.
+    for table in tables[:3]:
+        pool.append(Q.joinable(table, top_n=5) & Q.unionable(table, top_n=5))
+    for term in terms[:3]:
+        pool.append(
+            Q.content_search(term, mode="table", k=5)
+            .then(lambda hit: Q.pkfk(hit.split(".")[0], top_n=3))
+        )
+    # Deterministic zipf-ish mix: stride through the pool with repeats.
+    return [pool[(i * 7) % len(pool)] for i in range(WORKLOAD_SIZE)]
+
+
+def main() -> None:
+    bench = build_benchmark("1B")
+    engine = CMDL(CMDLConfig(use_joint=False)).fit(bench.lake)
+    workload = build_workload(engine.profile)
+    distinct = len(set(workload))
+
+    # Warm code paths once (index lazies, tokenizer tables), then time both
+    # modes from the same cold-sweep state.
+    engine.discover(Q.joinable(sorted(engine.profile.table_columns)[0]))
+
+    engine.invalidate()
+    start = time.perf_counter()
+    single_results = [engine.discover(q) for q in workload]
+    single_s = time.perf_counter() - start
+
+    engine.invalidate()
+    start = time.perf_counter()
+    batch_results = engine.discover_batch(workload)
+    batch_s = time.perf_counter() - start
+    stats = engine.last_batch_stats
+
+    mismatches = sum(
+        a.items != b.items for a, b in zip(single_results, batch_results)
+    )
+    rows = [
+        ["single discover() loop", WORKLOAD_SIZE, round(1000 * single_s, 1),
+         round(WORKLOAD_SIZE / single_s, 1), "-"],
+        ["discover_batch()", WORKLOAD_SIZE, round(1000 * batch_s, 1),
+         round(WORKLOAD_SIZE / batch_s, 1),
+         f"{single_s / batch_s:.2f}x"],
+    ]
+    report = format_table(
+        ["Execution mode", "Queries", "Total (ms)", "Qps", "Speedup"],
+        rows,
+        title=(f"SRQL batch execution: {WORKLOAD_SIZE}-query mixed workload "
+               f"({distinct} distinct) on Pharma (1B)"),
+    )
+    report += (
+        f"\n  batch reuse: {stats.requested} primitive evaluations requested, "
+        f"{stats.executed} executed ({stats.reused} served from shared "
+        f"subplans)\n"
+        f"  pkfk amortisation: {stats.pkfk_queries} pkfk queries shared "
+        f"{stats.pkfk_sweeps} link sweep(s)\n"
+        f"  result parity: {WORKLOAD_SIZE - mismatches}/{WORKLOAD_SIZE} "
+        f"identical to the single-query loop"
+    )
+    print(report)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(report + "\n\n")
+
+    assert mismatches == 0, "batch results diverged from single-query loop"
+    assert batch_s < single_s, (
+        f"discover_batch ({batch_s:.3f}s) did not beat the single-query "
+        f"loop ({single_s:.3f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ Run:  python examples/custom_lake_weak_supervision.py
 
 from __future__ import annotations
 
-from repro import CMDL, CMDLConfig, DataLake, Document
+from repro import CMDL, CMDLConfig, DataLake, Document, Q
 from repro.relational.csvio import table_from_csv
 from repro.weaklabel.lf import LabelingFunction
 
@@ -103,16 +103,23 @@ def main() -> None:
         state = "disabled" if name in report.disabled_lfs else "kept"
         print(f"  {name:18s} {acc:.2f}  [{state}]")
 
+    # Discovery through the SRQL layer: one batched workload for all three
+    # questions (identical results to the per-operator engine calls).
+    glass, travel, joins = engine.discover_batch([
+        Q.cross_modal("rev:2", top_n=3),
+        Q.cross_modal("rev:3", top_n=3),
+        Q.joinable("movies", top_n=2),
+    ])
     print("\nTables related to the Glass Harbor review:")
-    for table, score in engine.cross_modal_search("rev:2", top_n=3):
+    for table, score in glass:
         print(f"  {table}  ({score:.3f})")
 
     print("\nTables related to the travel diary:")
-    for table, score in engine.cross_modal_search("rev:3", top_n=3):
+    for table, score in travel:
         print(f"  {table}  ({score:.3f})")
 
     print("\nTables joinable with 'movies':")
-    for table, score in engine.joinable("movies", top_n=2):
+    for table, score in joins:
         print(f"  {table}  ({score:.3f})")
 
 

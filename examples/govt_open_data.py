@@ -12,7 +12,7 @@ Run:  python examples/govt_open_data.py
 
 from __future__ import annotations
 
-from repro import CMDL, CMDLConfig, generate_ukopen_lake
+from repro import CMDL, CMDLConfig, Q, generate_ukopen_lake
 from repro.baselines import CMDLDocToTable, ElasticSearchBaseline
 from repro.eval.metrics import recall_at_k
 
@@ -36,8 +36,8 @@ def main() -> None:
     print(f"  true table family ({len(relevant)}): {sorted(relevant)}")
 
     print("\nCMDL cross-modal search (solo embeddings):")
-    cmdl_hits = engine.cross_modal_search(doc_id, top_n=8,
-                                          representation="solo")
+    cmdl_hits = engine.discover(
+        Q.cross_modal(doc_id, top_n=8, representation="solo"))
     for table, score in cmdl_hits:
         marker = "*" if table in relevant else " "
         print(f"  {marker} {table}  ({score:.3f})")
@@ -65,7 +65,7 @@ def main() -> None:
 
     # Expand a discovered table into its unionable family (Q5-style).
     seed_table = next(iter(sorted(relevant)))
-    union = engine.unionable(seed_table, top_n=5)
+    union = engine.discover(Q.unionable(seed_table, top_n=5))
     print(f"\nTables unionable with '{seed_table}':")
     for table, score in union:
         marker = "*" if table in gt.relevant(doc_id) else " "

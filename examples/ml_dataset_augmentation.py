@@ -11,7 +11,7 @@ Run:  python examples/ml_dataset_augmentation.py
 
 from __future__ import annotations
 
-from repro import CMDL, CMDLConfig, generate_mlopen_lake
+from repro import CMDL, CMDLConfig, Q, generate_mlopen_lake
 from repro.core.ekg import EKGBuilder
 
 
@@ -28,12 +28,18 @@ def main() -> None:
     print(f"\nAugmenting training table: '{seed_table}'")
     print("  columns:", lake.table(seed_table).column_names)
 
+    # Both expansions in one batched SRQL workload: the executor plans and
+    # runs them together (shared subplans are deduplicated automatically).
+    joins, unions = engine.discover_batch([
+        Q.joinable(seed_table, top_n=4),
+        Q.unionable(seed_table, top_n=4),
+    ])
     print("\nJoinable tables (feature augmentation):")
-    for table, score in engine.joinable(seed_table, top_n=4):
+    for table, score in joins:
         print(f"  {table}  ({score:.3f})")
 
     print("\nUnionable tables (row augmentation):")
-    for table, score in engine.unionable(seed_table, top_n=4):
+    for table, score in unions:
         print(f"  {table}  ({score:.3f})")
 
     # Reviews mentioning entities of this table's theme (reverse
@@ -53,7 +59,7 @@ def main() -> None:
     builder = EKGBuilder(engine.profile, top_k=3, threshold=0.5)
     ekg = builder.build(
         join_discovery=engine.join_discovery,
-        pkfk_links=engine.pkfk_discovery.discover(),
+        pkfk_links=engine.pkfk_links(),  # the engine's cached sweep
         union_discovery=None,  # union edges are expensive; omitted here
     )
     print(f"  EKG: {ekg.num_nodes} nodes, {ekg.num_edges} edges")

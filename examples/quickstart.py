@@ -1,9 +1,10 @@
-"""Quickstart: the Figure-1 discovery pipeline on the Pharma lake.
+"""Quickstart: the Figure-1 discovery pipeline on the Pharma lake, in SRQL.
 
 Builds the synthetic Pharma data lake (DrugBank/ChEMBL/ChEBI tables +
 PubMed-style abstracts), fits the full CMDL stack (profiling, indexing,
 weak-supervised labeling, joint representation training), and walks the
-five-question discovery chain from the paper's motivation example:
+five-question discovery chain from the paper's motivation example — each
+question a declarative ``Q`` query handed to ``engine.discover``:
 
     Q1  keyword search for documents about an enzyme;
     Q2  cross-modal search: tables related to a returned document;
@@ -16,7 +17,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import CMDL, CMDLConfig, generate_pharma_lake
+from repro import CMDL, CMDLConfig, Q, generate_pharma_lake
 
 
 def show(title: str, drs) -> None:
@@ -41,21 +42,40 @@ def main() -> None:
     print(f"  joint model: {training.epochs} epochs, "
           f"{training.seconds:.1f}s, error {training.error_percent:.1f}%")
 
-    r1 = engine.content_search("thymidylate synthase", mode="text", k=3)
+    # Each discovery step is a declarative query; engine.discover plans it
+    # (validation + indexed/exact strategy choice) and executes it.
+    r1 = engine.discover(Q.content_search("thymidylate synthase", k=3))
     show("Q1: documents about 'thymidylate synthase'", r1)
 
-    r2 = engine.cross_modal_search(r1[1], top_n=3)
+    r2 = engine.discover(Q.cross_modal(r1[1], top_n=3))
     show(f"Q2: tables related to document {r1[1]}", r2)
 
-    r3 = engine.cross_modal_search(r1[min(2, len(r1))], top_n=3)
+    r3 = engine.discover(Q.cross_modal(r1[min(2, len(r1))], top_n=3))
     show(f"Q3: tables related to document {r1[min(2, len(r1))]}", r3)
 
-    r4 = engine.pkfk(r3[1], top_n=2)
+    r4 = engine.discover(Q.pkfk(r3[1], top_n=2))
     show(f"Q4: tables PK-FK-joinable with '{r3[1]}'", r4)
 
     union_source = r4[1] if len(r4) else r3[1]
-    r5 = engine.unionable(union_source, top_n=2)
+    r5 = engine.discover(Q.unionable(union_source, top_n=2))
     show(f"Q5: tables unionable with '{union_source}'", r5)
+
+    # The whole Q1 -> Q2 -> Q4 chain is also ONE pipelined query: each hop
+    # feeds the previous stage's top hit into the next operator. The same
+    # query in the paper's string syntax parses to an identical AST.
+    chain = (Q.content_search("thymidylate synthase", k=3)
+               .cross_modal(top_n=3)
+               .pkfk(top_n=2))
+    show("Q1->Q2->Q4 as one pipelined SRQL query", engine.discover(chain))
+    print("\nThe same query as an SRQL string:")
+    print("  SELECT * FROM lake WHERE content_search('thymidylate synthase',"
+          " k=3)\n      THEN crossModal_search(top_n=3) THEN pkfk(top_n=2)")
+
+    # Migration note — the pre-SRQL imperative calls still work and return
+    # identical results; discover() is the blessed entrypoint:
+    #   engine.content_search("thymidylate synthase", mode="text", k=3)
+    #   engine.cross_modal_search(doc_id, top_n=3)
+    #   engine.pkfk(table, top_n=2); engine.unionable(table, top_n=2)
 
     gt = generated.ground_truth("doc_to_table")
     relevant = gt.relevant(r1[1])

@@ -5,17 +5,23 @@ Lakes (Eltabakh, Kunjir, Elmagarmid, Ahmad; arXiv:2306.00932).
 
 Quickstart::
 
-    from repro import CMDL, generate_pharma_lake
+    from repro import CMDL, Q, generate_pharma_lake
 
     generated = generate_pharma_lake()
     engine = CMDL().fit(generated.lake)
-    docs = engine.content_search("thymidylate synthase", mode="text")
-    tables = engine.cross_modal_search(docs[1], top_n=3)
-    joinable = engine.pkfk(tables[1], top_n=2)
+    docs = engine.discover(Q.content_search("thymidylate synthase"))
+    tables = engine.discover(Q.cross_modal(docs[1], top_n=3))
+    joinable = engine.discover(Q.pkfk(tables[1], top_n=2))
+
+    # or as one declarative pipeline / an SRQL string:
+    engine.discover(Q.content_search("thymidylate synthase")
+                      .cross_modal(top_n=3).pkfk(top_n=2))
+    engine.discover("SELECT * FROM lake WHERE joinable('drugs') TOP 2")
 """
 
 from repro.core.system import CMDL, CMDLConfig
 from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
+from repro.core.srql import Q, parse_srql, to_srql
 from repro.relational.catalog import DataLake, Document
 from repro.relational.table import Column, Table
 from repro.lakes import (
@@ -29,6 +35,9 @@ __version__ = "1.0.0"
 __all__ = [
     "CMDL",
     "CMDLConfig",
+    "Q",
+    "parse_srql",
+    "to_srql",
     "DiscoveryEngine",
     "DiscoveryResultSet",
     "DataLake",

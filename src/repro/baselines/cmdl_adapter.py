@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from repro.baselines.base import DocToTableMethod
 from repro.core.discovery import DiscoveryEngine
+from repro.core.srql import Q
 
 
 class CMDLDocToTable(DocToTableMethod):
-    """Ranks tables with a fitted CMDL engine."""
+    """Ranks tables with a fitted CMDL engine via the SRQL query layer."""
 
     def __init__(self, engine: DiscoveryEngine, representation: str = "joint",
                  label: str | None = None):
@@ -23,8 +24,19 @@ class CMDLDocToTable(DocToTableMethod):
         self.representation = representation
         self.name = label or f"cmdl_{representation}"
 
+    def _query(self, doc_id: str, k: int):
+        return Q.cross_modal(doc_id, top_n=k, representation=self.representation)
+
     def rank_tables(self, doc_id: str, k: int) -> list[tuple[str, float]]:
-        drs = self.engine.cross_modal_search(
-            doc_id, top_n=k, representation=self.representation
-        )
+        drs = self.engine.discover(self._query(doc_id, k))
         return list(drs.items)
+
+    def rank_tables_batch(
+        self, doc_ids: list[str], k: int
+    ) -> dict[str, list[tuple[str, float]]]:
+        """Batched variant for evaluation sweeps: one planned workload,
+        shared subplans deduplicated by the executor."""
+        results = self.engine.discover_batch(
+            [self._query(d, k) for d in doc_ids]
+        )
+        return {d: list(drs.items) for d, drs in zip(doc_ids, results)}

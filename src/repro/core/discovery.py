@@ -6,6 +6,15 @@ motivation pipeline (Figure 1 / §5.2): ``content_search`` (Q1),
 ``joinable`` and keyword search over either modality. Results are
 :class:`DiscoveryResultSet` objects carrying scores and provenance, and can
 be composed (intersect / unite with normalised score sums).
+
+The blessed entrypoints are :meth:`DiscoveryEngine.discover` and
+:meth:`DiscoveryEngine.discover_batch`: they take declarative SRQL queries
+(a chainable :class:`~repro.core.srql.builder.Q`, a raw AST node, or a
+``SELECT ... FROM lake WHERE ...`` string) and run them through the
+planner/executor of :mod:`repro.core.srql` — validation, per-operator
+``indexed``/``exact`` strategy choice, and batch amortisation included.
+The imperative per-operator methods remain as the thin physical layer the
+executor drives (and as a stable back-compat surface).
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.candidates import CandidateGenerator, resolve_strategy
+from repro.core.candidates import CandidateGenerator
 from repro.core.indexes import IndexCatalog
 from repro.core.joinability import JoinDiscovery
 from repro.core.joint.model import JointRepresentationModel
@@ -24,6 +33,24 @@ from repro.core.profiler import DESketch, DOCUMENT, Profile
 from repro.core.unionability import UnionDiscovery
 from repro.text.pipeline import BagOfWords
 from repro.text.tokenizer import tokenize
+
+# NOTE: repro.core.srql modules are imported lazily inside methods — the
+# srql package imports this module (its executor drives the engine), so a
+# module-level import here would be circular.
+
+
+def check_positive(value, name: str) -> None:
+    """Shared guard for ``k`` / ``top_n``-style arguments: a clear,
+    consistent ``ValueError`` instead of silent empty results."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+
+def check_search_args(mode: str, k) -> None:
+    """The ``mode``/``k`` validation shared by content and metadata search."""
+    if mode not in ("text", "table"):
+        raise ValueError(f"mode must be 'text' or 'table', got {mode!r}")
+    check_positive(k, "k")
 
 
 @dataclass
@@ -97,29 +124,91 @@ class DiscoveryEngine:
         uniqueness: dict[str, float],
         pkfk_params: dict | None = None,
         strategy: str = "indexed",
+        operator_strategies: dict[str, str] | None = None,
     ):
-        """``strategy`` picks the structured-discovery path: ``"indexed"``
-        (default) routes join/union/PK-FK candidate generation through the
-        sketch indexes; ``"exact"`` brute-forces every eligible pair."""
+        """``strategy`` picks the default structured-discovery path:
+        ``"indexed"`` routes join/union/PK-FK candidate generation through
+        the sketch indexes, ``"exact"`` brute-forces every eligible pair,
+        and ``"auto"`` resolves per operator via the planner's size/density
+        heuristic. ``operator_strategies`` overrides the choice for
+        individual operators (``{"pkfk": "exact", ...}``)."""
+        from repro.core.srql.planner import STRUCTURED_OPS, Planner
+
         self.profile = profile
         self.indexes = indexes
         self.joint_model = joint_model
-        candidates = (
-            CandidateGenerator(profile, indexes) if strategy == "indexed" else None
+        self.uniqueness = uniqueness
+        self.pkfk_params = dict(pkfk_params or {})
+        self.strategy = strategy
+        self.operator_strategies = dict(operator_strategies or {})
+        # The planner owns knob validation and auto-resolution; the engine
+        # reads the concrete per-operator choices back from it so the two
+        # can never disagree.
+        self._planner = Planner(
+            profile,
+            default_strategy=strategy,
+            operator_strategies=self.operator_strategies,
         )
-        self.strategy = resolve_strategy(strategy, candidates)
-        self.candidates = candidates
-        self.join_discovery = JoinDiscovery(
-            profile, candidates=candidates, strategy=self.strategy
+        #: Concrete (indexed/exact) strategy per structured operator.
+        self.operator_strategy: dict[str, str] = {
+            op: self._planner.strategy_for(op) for op in STRUCTURED_OPS
+        }
+
+        self.candidates: CandidateGenerator | None = (
+            CandidateGenerator(profile, indexes)
+            if "indexed" in self.operator_strategy.values()
+            else None
         )
-        self.union_discovery = UnionDiscovery(
-            profile, candidates=candidates, strategy=self.strategy
-        )
-        self.pkfk_discovery = PKFKDiscovery(
-            profile, uniqueness, candidates=candidates, strategy=self.strategy,
-            **(pkfk_params or {})
-        )
-        self._pkfk_cache: list[PKFKLink] | None = None
+        self._structured_cache: dict[tuple[str, str], object] = {}
+        self.join_discovery: JoinDiscovery = self._structured("joinable")
+        self.union_discovery: UnionDiscovery = self._structured("unionable")
+        self.pkfk_discovery: PKFKDiscovery = self._structured("pkfk")
+        self._pkfk_links: dict[str, list[PKFKLink]] = {}
+        #: Diagnostic: full PK-FK sweeps run so far (the batch executor
+        #: reports sweep reuse from this counter).
+        self.pkfk_sweeps = 0
+        self._executor = None
+
+    # ----------------------------------------------------- physical layer
+
+    def _ensure_candidates(self) -> CandidateGenerator:
+        if self.candidates is None:
+            self.candidates = CandidateGenerator(self.profile, self.indexes)
+        return self.candidates
+
+    def _resolve_op_strategy(self, op: str, strategy: str | None) -> str:
+        if strategy is None:
+            return self.operator_strategy[op]
+        from repro.core.srql.planner import choose_strategy, validate_strategy
+
+        validate_strategy(strategy, knob="strategy")
+        if strategy == "auto":
+            return choose_strategy(op, self.profile)
+        return strategy
+
+    def _structured(self, op: str, strategy: str | None = None):
+        """The scorer for ``op`` under ``strategy`` (cached per pair)."""
+        resolved = self._resolve_op_strategy(op, strategy)
+        key = (op, resolved)
+        if key not in self._structured_cache:
+            candidates = (
+                self._ensure_candidates() if resolved == "indexed" else None
+            )
+            if op == "joinable":
+                module = JoinDiscovery(
+                    self.profile, candidates=candidates, strategy=resolved
+                )
+            elif op == "unionable":
+                module = UnionDiscovery(
+                    self.profile, candidates=candidates, strategy=resolved
+                )
+            else:
+                module = PKFKDiscovery(
+                    self.profile, self.uniqueness, candidates=candidates,
+                    strategy=resolved, **self.pkfk_params
+                )
+            self._structured_cache[key] = module
+        return self._structured_cache[key]
 
     # --------------------------------------------------------- text queries
 
@@ -159,8 +248,7 @@ class DiscoveryEngine:
     def content_search(self, value: str, mode: str = "text",
                        k: int = 10) -> DiscoveryResultSet:
         """Keyword search over documents (``mode='text'``) or columns."""
-        if mode not in ("text", "table"):
-            raise ValueError(f"mode must be 'text' or 'table', got {mode!r}")
+        check_search_args(mode, k)
         terms = tokenize(value)
         engine = self.indexes.doc_content if mode == "text" else self.indexes.column_content
         hits = engine.search(terms, k=k)
@@ -171,8 +259,7 @@ class DiscoveryEngine:
     def metadata_search(self, value: str, mode: str = "text",
                         k: int = 10) -> DiscoveryResultSet:
         """Keyword search over metadata (titles / schema names)."""
-        if mode not in ("text", "table"):
-            raise ValueError(f"mode must be 'text' or 'table', got {mode!r}")
+        check_search_args(mode, k)
         terms = tokenize(value)
         engine = (
             self.indexes.doc_metadata if mode == "text" else self.indexes.column_metadata
@@ -200,6 +287,9 @@ class DiscoveryEngine:
         """
         if representation not in ("joint", "solo"):
             raise ValueError(f"unknown representation {representation!r}")
+        check_positive(top_n, "top_n")
+        if column_k is not None:
+            check_positive(column_k, "column_k")
         column_k = column_k or max(top_n * 5, 10)
 
         if value in self.profile.documents:
@@ -252,18 +342,42 @@ class DiscoveryEngine:
 
     # ---------------------------------------------------------- structured
 
-    def joinable(self, table_name: str, top_n: int = 2) -> DiscoveryResultSet:
-        hits = self.join_discovery.joinable_tables(table_name, k=top_n)
+    def joinable(self, table_name: str, top_n: int = 2,
+                 strategy: str | None = None) -> DiscoveryResultSet:
+        check_positive(top_n, "top_n")
+        scorer = self._structured("joinable", strategy)
+        hits = scorer.joinable_tables(table_name, k=top_n)
         return DiscoveryResultSet(
             hits, operation="joinable", inputs={"table": table_name}
         )
 
-    def pkfk(self, table_name: str, top_n: int = 2) -> DiscoveryResultSet:
+    def pkfk_links(self, strategy: str | None = None,
+                   refresh: bool = False) -> list[PKFKLink]:
+        """The lake-wide PK-FK link sweep, cached per strategy.
+
+        This is the public accessor the executor, benchmarks, and tests
+        share — nothing should poke a private cache. ``refresh=True``
+        forces a re-sweep; :meth:`invalidate` drops all cached sweeps.
+        """
+        resolved = self._resolve_op_strategy("pkfk", strategy)
+        if refresh or resolved not in self._pkfk_links:
+            self._pkfk_links[resolved] = self._structured(
+                "pkfk", resolved
+            ).discover()
+            self.pkfk_sweeps += 1
+        return self._pkfk_links[resolved]
+
+    def invalidate(self) -> None:
+        """Drop cached PK-FK sweeps (e.g. after swapping engine internals
+        in tests, or to force fresh sweeps for a timing run)."""
+        self._pkfk_links.clear()
+
+    def pkfk(self, table_name: str, top_n: int = 2,
+             strategy: str | None = None) -> DiscoveryResultSet:
         """Tables PK-FK-joinable with ``table_name``."""
-        if self._pkfk_cache is None:
-            self._pkfk_cache = self.pkfk_discovery.discover()
+        check_positive(top_n, "top_n")
         best: dict[str, float] = {}
-        for link in self._pkfk_cache:
+        for link in self.pkfk_links(strategy):
             pk_table = self.profile.columns[link.pk_column].table_name
             fk_table = self.profile.columns[link.fk_column].table_name
             if pk_table == table_name and fk_table != table_name:
@@ -275,8 +389,59 @@ class DiscoveryEngine:
             ranked[:top_n], operation="pkfk", inputs={"table": table_name}
         )
 
-    def unionable(self, table_name: str, top_n: int = 2) -> DiscoveryResultSet:
-        hits = self.union_discovery.unionable_tables(table_name, k=top_n)
+    def unionable(self, table_name: str, top_n: int = 2,
+                  strategy: str | None = None) -> DiscoveryResultSet:
+        check_positive(top_n, "top_n")
+        scorer = self._structured("unionable", strategy)
+        hits = scorer.unionable_tables(table_name, k=top_n)
         return DiscoveryResultSet(
             hits, operation="unionable", inputs={"table": table_name}
         )
+
+    # ------------------------------------------------------- SRQL queries
+
+    def _query_runtime(self):
+        """The (planner, lazily-built executor) pair for SRQL queries."""
+        if self._executor is None:
+            from repro.core.srql.executor import Executor
+
+            self._executor = Executor(self, planner=self._planner)
+        return self._planner, self._executor
+
+    @staticmethod
+    def _to_ast(query):
+        from repro.core.srql.parser import parse_srql
+
+        if isinstance(query, str):
+            return parse_srql(query)
+        return getattr(query, "ast", query)
+
+    def discover(self, query) -> DiscoveryResultSet:
+        """Run one declarative SRQL query.
+
+        ``query`` may be a chainable :class:`~repro.core.srql.builder.Q`,
+        a raw AST node, or an SRQL string (``SELECT * FROM lake WHERE
+        joinable('drugs') TOP 2``). The query is validated and planned
+        against this engine's profile, then executed; results are identical
+        to the corresponding imperative method calls.
+        """
+        planner, executor = self._query_runtime()
+        return executor.execute(planner.plan(self._to_ast(query)))
+
+    def discover_batch(self, queries) -> list[DiscoveryResultSet]:
+        """Run a workload of SRQL queries with batch amortisation.
+
+        Shared subplans (structurally equal queries or subqueries) are
+        computed once, same-operator primitives run grouped, and all
+        ``pkfk`` queries share one link sweep per strategy. Results align
+        positionally with ``queries``; :attr:`last_batch_stats` reports
+        the reuse achieved.
+        """
+        planner, executor = self._query_runtime()
+        plans = planner.plan_batch([self._to_ast(q) for q in queries])
+        return executor.execute_batch(plans)
+
+    @property
+    def last_batch_stats(self):
+        """Stats of the most recent discover / discover_batch call."""
+        return self._executor.last_stats if self._executor else None

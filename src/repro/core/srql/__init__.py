@@ -1,0 +1,70 @@
+"""SRQL — the declarative discovery query layer (paper §5.2, Figure 1).
+
+Discovery requests are expressed as composable query trees instead of
+imperative calls into :class:`~repro.core.discovery.DiscoveryEngine`
+internals. The subsystem has four stages:
+
+* :mod:`~repro.core.srql.ast` — typed, immutable query nodes: the six
+  discovery primitives plus ``Intersect`` / ``Unite`` / ``Then`` pipelining
+  and ``Top`` truncation;
+* :mod:`~repro.core.srql.builder` — the lazy chainable :class:`Q` API, e.g.
+  ``Q.content_search("thymidylate synthase").cross_modal().pkfk().top(2)``;
+* :mod:`~repro.core.srql.planner` — validates a query against the fitted
+  profile, picks ``indexed`` vs ``exact`` per structured operator via a
+  size/density heuristic, and deduplicates shared subplans;
+* :mod:`~repro.core.srql.executor` — runs plans against a
+  :class:`~repro.core.discovery.DiscoveryEngine`, with a batch path that
+  groups same-operator queries and amortises the PK-FK sweep.
+
+:mod:`~repro.core.srql.parser` is the string front-end: it parses the
+paper's ``SELECT * FROM lake WHERE joinable('drugs')``-style examples into
+the same AST (and :func:`to_srql` serialises any standard query back).
+"""
+
+from repro.core.srql.ast import (
+    ContentSearch,
+    CrossModal,
+    Intersect,
+    Joinable,
+    MetadataSearch,
+    OpBinder,
+    PKFK,
+    Query,
+    Then,
+    Top,
+    Unionable,
+    Unite,
+    make_op,
+    op_binder,
+)
+from repro.core.srql.builder import Q
+from repro.core.srql.parser import SRQLSyntaxError, parse_srql, to_srql
+from repro.core.srql.planner import Planner, PlanNode, QueryPlan, choose_strategy
+from repro.core.srql.executor import ExecutionStats, Executor
+
+__all__ = [
+    "Q",
+    "Query",
+    "ContentSearch",
+    "MetadataSearch",
+    "CrossModal",
+    "Joinable",
+    "PKFK",
+    "Unionable",
+    "Intersect",
+    "Unite",
+    "Then",
+    "Top",
+    "OpBinder",
+    "op_binder",
+    "make_op",
+    "parse_srql",
+    "to_srql",
+    "SRQLSyntaxError",
+    "Planner",
+    "PlanNode",
+    "QueryPlan",
+    "choose_strategy",
+    "Executor",
+    "ExecutionStats",
+]

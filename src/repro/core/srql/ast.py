@@ -1,0 +1,235 @@
+"""Typed SRQL query nodes.
+
+Every node is a frozen (hashable, equality-comparable) dataclass, so a query
+tree doubles as its own cache key: the planner deduplicates shared subplans
+and the batch executor memoises results simply by using nodes as dict keys.
+
+The six primitives mirror the paper's discovery operations (§5.2):
+``content_search`` / ``metadata_search`` (keyword search over either
+modality), ``cross_modal`` (Doc2Table), and the structured trio
+``joinable`` / ``pkfk`` / ``unionable``. Composition nodes are
+:class:`Intersect` and :class:`Unite` (the DRS score-sum semantics),
+:class:`Top` (rank truncation), and :class:`Then` (pipelining: feed one
+result of a query into the next operator, the ``r2.[1]`` idiom of Figure 1).
+
+:class:`OpBinder` is the *standard* pipelining binder — a declarative
+"apply operator X to the chosen hit" record. Because it is a frozen
+dataclass (not an opaque lambda), two pipelines built independently — via
+the builder or the string parser — compare equal, which is what makes the
+string front-end round-trip exactly. Arbitrary callables are also accepted
+as binders for full generality, at the cost of identity-only equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable
+
+
+class Query:
+    """Base class for all SRQL AST nodes (frozen dataclass instances)."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        """Compact single-line rendering (repr is the dataclass default)."""
+        name = type(self).__name__
+        parts = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
+        return f"{name}({parts})"
+
+
+# ------------------------------------------------------------- primitives
+
+
+@dataclass(frozen=True)
+class ContentSearch(Query):
+    """Keyword search over document (``mode='text'``) or column content."""
+
+    value: str
+    mode: str = "text"
+    k: int = 10
+
+
+@dataclass(frozen=True)
+class MetadataSearch(Query):
+    """Keyword search over metadata (titles / schema names)."""
+
+    value: str
+    mode: str = "text"
+    k: int = 10
+
+
+@dataclass(frozen=True)
+class CrossModal(Query):
+    """Tables related to a document id or free text (Q2/Q3, Doc2Table)."""
+
+    value: str
+    top_n: int = 3
+    representation: str = "joint"
+
+
+@dataclass(frozen=True)
+class Joinable(Query):
+    """Tables syntactically joinable with ``table`` (max containment)."""
+
+    table: str
+    top_n: int = 2
+
+
+@dataclass(frozen=True)
+class PKFK(Query):
+    """Tables PK-FK-joinable with ``table`` (Q4)."""
+
+    table: str
+    top_n: int = 2
+
+
+@dataclass(frozen=True)
+class Unionable(Query):
+    """Tables unionable with ``table`` (Q5, ensemble + alignment)."""
+
+    table: str
+    top_n: int = 2
+
+
+# ------------------------------------------------------------ composition
+
+
+@dataclass(frozen=True)
+class Intersect(Query):
+    """Ids in both operands; scores are the normalised sum (paper §5.2)."""
+
+    left: Query
+    right: Query
+
+
+@dataclass(frozen=True)
+class Unite(Query):
+    """Ids in either operand; scores are the normalised sum."""
+
+    left: Query
+    right: Query
+
+
+@dataclass(frozen=True)
+class Top(Query):
+    """Truncate the source result set to its first ``n`` ranks."""
+
+    source: Query
+    n: int
+
+
+@dataclass(frozen=True)
+class OpBinder:
+    """Declarative ``Then`` binder: apply ``op`` to the selected hit.
+
+    ``params`` is a canonically-sorted tuple of ``(name, value)`` keyword
+    arguments for the target operator; the hit id fills the operator's
+    value/table slot. Use :func:`op_binder` to construct one.
+    """
+
+    op: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __call__(self, hit: str) -> Query:
+        return make_op(self.op, hit, **dict(self.params))
+
+
+@dataclass(frozen=True)
+class Then(Query):
+    """Pipelining: run ``source``, take its rank-``rank`` hit (1-based),
+    and evaluate ``binder(hit)`` — the next query of the chain.
+
+    An empty / too-short source result propagates as an empty result
+    rather than an error (a discovery chain that finds nothing upstream
+    finds nothing downstream).
+    """
+
+    source: Query
+    binder: Callable[[str], Any]
+    rank: int = 1
+
+
+# ------------------------------------------------------ operator registry
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One discovery primitive: node class, value slot, keyword params."""
+
+    name: str
+    node: type
+    value_field: str
+    params: tuple[str, ...]
+
+
+#: Canonical operator name -> spec, for the builder, parser, and planner.
+OPERATORS: dict[str, OpSpec] = {
+    "content_search": OpSpec("content_search", ContentSearch, "value", ("mode", "k")),
+    "metadata_search": OpSpec(
+        "metadata_search", MetadataSearch, "value", ("mode", "k")
+    ),
+    "cross_modal": OpSpec(
+        "cross_modal", CrossModal, "value", ("top_n", "representation")
+    ),
+    "joinable": OpSpec("joinable", Joinable, "table", ("top_n",)),
+    "pkfk": OpSpec("pkfk", PKFK, "table", ("top_n",)),
+    "unionable": OpSpec("unionable", Unionable, "table", ("top_n",)),
+}
+
+#: Alternate spellings accepted by the parser and ``make_op`` (the paper
+#: writes ``crossModal_search``; snake_case variants are natural in python).
+OPERATOR_ALIASES: dict[str, str] = {
+    "crossmodal_search": "cross_modal",
+    "cross_modal_search": "cross_modal",
+    "crossmodal": "cross_modal",
+}
+
+#: Node class -> canonical operator name (for the planner and serializer).
+NODE_OPS: dict[type, str] = {spec.node: name for name, spec in OPERATORS.items()}
+
+
+def canonical_op(name: str) -> str:
+    """Resolve an operator name or alias; raise ``ValueError`` if unknown."""
+    key = name.lower()
+    key = OPERATOR_ALIASES.get(key, key)
+    if key not in OPERATORS:
+        raise ValueError(
+            f"unknown SRQL operator {name!r}; expected one of "
+            f"{sorted(OPERATORS)}"
+        )
+    return key
+
+
+def make_op(name: str, value: str, **params: Any) -> Query:
+    """Construct a primitive node from its operator name.
+
+    ``value`` fills the operator's query slot (search text, document id, or
+    table name); ``params`` are the operator's keyword arguments.
+    """
+    spec = OPERATORS[canonical_op(name)]
+    unknown = set(params) - set(spec.params)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for SRQL operator "
+            f"{spec.name!r}; expected a subset of {list(spec.params)}"
+        )
+    return spec.node(**{spec.value_field: value}, **params)
+
+
+def op_binder(name: str, **params: Any) -> OpBinder:
+    """The standard ``Then`` binder for operator ``name``.
+
+    Parameters are canonically sorted so binders built via the chainable
+    builder and via the string parser compare equal.
+    """
+    spec = OPERATORS[canonical_op(name)]
+    unknown = set(params) - set(spec.params)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for SRQL operator "
+            f"{spec.name!r}; expected a subset of {list(spec.params)}"
+        )
+    return OpBinder(spec.name, tuple(sorted(params.items())))

@@ -1,0 +1,128 @@
+"""The chainable ``Q`` builder — the blessed way to write SRQL in python.
+
+``Q`` is lazy: it only assembles an AST; nothing touches an engine until
+the query is handed to :meth:`DiscoveryEngine.discover`. Class-level calls
+start a query with a primitive; instance-level calls continue it:
+
+    Q.content_search("thymidylate synthase", k=3)      # a primitive
+    Q.pkfk("drugs", top_n=2)                           # another
+
+    (Q.content_search("thymidylate synthase")          # a pipeline:
+       .cross_modal(top_n=3)                           #   Doc2Table on hit 1
+       .pkfk()                                         #   PK-FK on hit 1
+       .top(2))
+
+    Q.joinable("drugs") & Q.unionable("drugs")         # intersect
+    Q.joinable("drugs") | Q.unionable("drugs")         # unite
+
+The same operator name works in both positions (``Q.pkfk("drugs")`` vs
+``q.pkfk()``): on the class it builds the primitive, on an instance it
+pipelines — the instance form takes *no* value argument because the value
+is the chosen hit of the previous stage (``rank=`` selects which, 1-based).
+Custom hops use :meth:`then` with any callable returning a ``Q`` or AST
+node, e.g. ``.then(lambda hit: Q.cross_modal(hit))``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.srql.ast import (
+    Intersect,
+    Query,
+    Then,
+    Top,
+    Unite,
+    make_op,
+    op_binder,
+)
+
+
+class _op:
+    """Descriptor making one operator name usable both ways.
+
+    Accessed on the class, it constructs the primitive node; accessed on an
+    instance, it appends a standard pipelining hop (:class:`Then` with an
+    :class:`~repro.core.srql.ast.OpBinder`).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __get__(self, instance, owner):
+        name = self.name
+        if instance is None:
+            def start(value: str, **params: Any) -> "Q":
+                return owner(make_op(name, value, **params))
+            start.__name__ = name
+            start.__doc__ = f"Start a query with the {name!r} primitive."
+            return start
+
+        # rank is keyword-only: a stray positional (meant as top_n/k) must
+        # not silently become the hit selector.
+        def chain(*, rank: int = 1, **params: Any) -> "Q":
+            return owner(Then(instance.ast, op_binder(name, **params), rank=rank))
+        chain.__name__ = name
+        chain.__doc__ = (
+            f"Pipeline: apply {name!r} to the rank-``rank`` hit of this query."
+        )
+        return chain
+
+
+class Q:
+    """A lazy SRQL query wrapping an immutable AST node (``.ast``)."""
+
+    __slots__ = ("ast",)
+
+    def __init__(self, node: Query):
+        if isinstance(node, Q):
+            node = node.ast
+        if not isinstance(node, Query):
+            raise TypeError(
+                f"Q wraps SRQL AST nodes, got {type(node).__name__}"
+            )
+        object.__setattr__(self, "ast", node)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Q objects are immutable")
+
+    # -------------------------------------------------------- primitives
+    # (class position: start a query; instance position: pipeline a hop)
+
+    content_search = _op("content_search")
+    metadata_search = _op("metadata_search")
+    cross_modal = _op("cross_modal")
+    joinable = _op("joinable")
+    pkfk = _op("pkfk")
+    unionable = _op("unionable")
+
+    # ------------------------------------------------------- combinators
+
+    def then(self, binder: Callable[[str], Any], rank: int = 1) -> "Q":
+        """Custom pipelining hop: ``binder(hit)`` returns the next query."""
+        if not callable(binder):
+            raise TypeError("then() expects a callable hit -> Q/Query")
+        return Q(Then(self.ast, binder, rank=rank))
+
+    def intersect(self, other: "Q | Query") -> "Q":
+        return Q(Intersect(self.ast, Q(other).ast))
+
+    def unite(self, other: "Q | Query") -> "Q":
+        return Q(Unite(self.ast, Q(other).ast))
+
+    def top(self, n: int) -> "Q":
+        return Q(Top(self.ast, n))
+
+    __and__ = intersect
+    __or__ = unite
+
+    # -------------------------------------------------------- comparison
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Q) and self.ast == other.ast
+
+    def __hash__(self) -> int:
+        return hash(self.ast)
+
+    def __repr__(self) -> str:
+        return f"Q({self.ast!r})"

@@ -1,0 +1,311 @@
+"""String front-end: the paper's SRQL surface syntax.
+
+Parses ``SELECT * FROM lake WHERE <expression>`` strings into the same AST
+the :class:`~repro.core.srql.builder.Q` builder produces, so both fronts
+share the planner and executor. The expression grammar::
+
+    expr    := pipe ((AND | OR) pipe)*        # AND -> Intersect, OR -> Unite
+    pipe    := primary tail*
+    tail    := THEN opcall [AT <int>]         # pipelining (rank, 1-based)
+             | TOP <int>                      # rank truncation
+    primary := opcall | '(' expr ')'
+    opcall  := name '(' [value [, kw=v ...]] ')'
+
+Operator names match the python API (``content_search``, ``cross_modal``,
+``joinable``, ``pkfk``, ``unionable``, ...) plus the paper's spellings
+(``crossModal_search``). Keywords are case-insensitive; the ``SELECT ...
+WHERE`` prologue is optional — a bare expression is also accepted.
+
+:func:`to_srql` is the inverse: it serialises any query whose pipeline hops
+are standard (:class:`~repro.core.srql.ast.OpBinder`) back to a string that
+parses to an equal AST — the round-trip property the parity suite asserts.
+Queries pipelined through opaque python callables have no string form.
+
+Examples::
+
+    SELECT * FROM lake WHERE content_search('thymidylate synthase', k=3)
+    SELECT * FROM lake WHERE joinable('drugs') AND unionable('drugs') TOP 2
+    SELECT * FROM lake WHERE content_search('synthase')
+        THEN crossModal_search(top_n=3) THEN pkfk(top_n=2) AT 1 TOP 2
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.core.srql.ast import (
+    NODE_OPS,
+    OPERATORS,
+    Intersect,
+    OpBinder,
+    Query,
+    Then,
+    Top,
+    Unite,
+    make_op,
+    op_binder,
+)
+
+
+class SRQLSyntaxError(ValueError):
+    """A malformed SRQL string (message carries the offending position)."""
+
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<punct>[(),=*])
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "then", "top", "at"}
+
+
+def _tokenize(text: str) -> list[tuple[str, Any, int]]:
+    tokens: list[tuple[str, Any, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise SRQLSyntaxError(
+                    f"unexpected character {text[pos:].strip()[0]!r} at "
+                    f"position {pos} in SRQL string"
+                )
+            break
+        pos = match.end()
+        if match.lastgroup == "string":
+            raw = match.group("string")
+            value = re.sub(r"\\(.)", r"\1", raw[1:-1])
+            tokens.append(("string", value, match.start()))
+        elif match.lastgroup == "number":
+            raw = match.group("number")
+            tokens.append(("number", float(raw) if "." in raw else int(raw),
+                           match.start()))
+        elif match.lastgroup == "name":
+            name = match.group("name")
+            kind = "keyword" if name.lower() in _KEYWORDS else "name"
+            tokens.append((kind, name, match.start()))
+        else:
+            tokens.append(("punct", match.group("punct"), match.start()))
+    tokens.append(("eof", None, len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    # ------------------------------------------------------------ helpers
+
+    def peek(self) -> tuple[str, Any, int]:
+        return self.tokens[self.i]
+
+    def next(self) -> tuple[str, Any, int]:
+        token = self.tokens[self.i]
+        self.i += 1
+        return token
+
+    def error(self, expected: str) -> SRQLSyntaxError:
+        kind, value, pos = self.peek()
+        got = "end of input" if kind == "eof" else f"{value!r}"
+        return SRQLSyntaxError(
+            f"expected {expected}, got {got} at position {pos} in SRQL string"
+        )
+
+    def accept_keyword(self, word: str) -> bool:
+        kind, value, _ = self.peek()
+        if kind == "keyword" and value.lower() == word:
+            self.next()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"keyword {word.upper()!r}")
+
+    def expect_punct(self, char: str) -> None:
+        kind, value, _ = self.peek()
+        if kind == "punct" and value == char:
+            self.next()
+            return
+        raise self.error(f"{char!r}")
+
+    def expect_int(self, what: str) -> int:
+        kind, value, _ = self.peek()
+        if kind == "number" and isinstance(value, int):
+            self.next()
+            return value
+        raise self.error(f"an integer {what}")
+
+    # ------------------------------------------------------------ grammar
+
+    def parse(self) -> Query:
+        if self.accept_keyword("select"):
+            kind, value, _ = self.peek()
+            if kind == "punct" and value == "*":
+                self.next()
+            elif kind == "name":
+                self.next()
+            else:
+                raise self.error("'*' or an identifier after SELECT")
+            self.expect_keyword("from")
+            kind, _, _ = self.peek()
+            if kind not in ("name", "keyword"):
+                raise self.error("a lake identifier after FROM")
+            self.next()
+            self.expect_keyword("where")
+        node = self.expr()
+        kind, _, _ = self.peek()
+        if kind != "eof":
+            raise self.error("end of input")
+        return node
+
+    def expr(self) -> Query:
+        node = self.pipe()
+        while True:
+            if self.accept_keyword("and"):
+                node = Intersect(node, self.pipe())
+            elif self.accept_keyword("or"):
+                node = Unite(node, self.pipe())
+            else:
+                return node
+
+    def pipe(self) -> Query:
+        node = self.primary()
+        while True:
+            if self.accept_keyword("then"):
+                name, _, params = self.opcall(positional=False)
+                rank = self.expect_int("after AT") if self.accept_keyword("at") else 1
+                node = Then(node, op_binder(name, **params), rank=rank)
+            elif self.accept_keyword("top"):
+                node = Top(node, self.expect_int("after TOP"))
+            else:
+                return node
+
+    def primary(self) -> Query:
+        kind, value, _ = self.peek()
+        if kind == "punct" and value == "(":
+            self.next()
+            node = self.expr()
+            self.expect_punct(")")
+            return node
+        if kind == "name":
+            name, value_arg, params = self.opcall(positional=True)
+            return make_op(name, value_arg, **params)
+        raise self.error("an operator call or '('")
+
+    def opcall(self, positional: bool) -> tuple[str, Any, dict[str, Any]]:
+        kind, name, pos = self.next()
+        if kind != "name":
+            raise SRQLSyntaxError(
+                f"expected an operator name, got {name!r} at position {pos}"
+            )
+        self.expect_punct("(")
+        value_arg: Any = None
+        have_value = False
+        params: dict[str, Any] = {}
+        while True:
+            kind, value, _ = self.peek()
+            if kind == "punct" and value == ")":
+                self.next()
+                break
+            if params or have_value:
+                self.expect_punct(",")
+                kind, value, _ = self.peek()
+            if kind == "name":
+                key = self.next()[1]
+                self.expect_punct("=")
+                vk, vv, _ = self.peek()
+                if vk not in ("string", "number"):
+                    raise self.error("a literal parameter value")
+                self.next()
+                params[key] = vv
+            elif kind in ("string", "number") and not have_value and not params:
+                if not positional:
+                    raise self.error(
+                        "keyword parameters only (a THEN operator takes its "
+                        "value from the previous stage)"
+                    )
+                value_arg = self.next()[1]
+                have_value = True
+            else:
+                raise self.error("a parameter")
+        if positional and not have_value:
+            raise SRQLSyntaxError(
+                f"operator {name!r} needs a value argument, e.g. "
+                f"{name}('...') — at position {pos}"
+            )
+        return name, value_arg, params
+
+
+def parse_srql(text: str) -> Query:
+    """Parse an SRQL string (with or without the SELECT prologue)."""
+    if not isinstance(text, str) or not text.strip():
+        raise SRQLSyntaxError("empty SRQL string")
+    return _Parser(text).parse()
+
+
+# --------------------------------------------------------------- serialise
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise ValueError(f"cannot serialise literal {value!r} to SRQL")
+
+
+def _opcall(name: str, value: Any, params: list[tuple[str, Any]]) -> str:
+    args = [] if value is None else [_literal(value)]
+    args += [f"{k}={_literal(v)}" for k, v in params]
+    # The paper spells the Doc2Table operator crossModal_search; prefer it
+    # in emitted strings so examples read like Figure 1.
+    label = "crossModal_search" if name == "cross_modal" else name
+    return f"{label}({', '.join(args)})"
+
+
+def _serialise(node: Query) -> str:
+    op = NODE_OPS.get(type(node))
+    if op is not None:
+        spec = OPERATORS[op]
+        value = getattr(node, spec.value_field)
+        params = [(p, getattr(node, p)) for p in spec.params]
+        return _opcall(op, value, params)
+    if isinstance(node, Intersect):
+        return f"({_serialise(node.left)} AND {_serialise(node.right)})"
+    if isinstance(node, Unite):
+        return f"({_serialise(node.left)} OR {_serialise(node.right)})"
+    if isinstance(node, Top):
+        return f"{_serialise(node.source)} TOP {node.n}"
+    if isinstance(node, Then):
+        if not isinstance(node.binder, OpBinder):
+            raise ValueError(
+                "cannot serialise a Then with an opaque python binder; only "
+                "standard OpBinder pipelines have a string form"
+            )
+        suffix = f" AT {node.rank}" if node.rank != 1 else ""
+        return (
+            f"{_serialise(node.source)} THEN "
+            f"{_opcall(node.binder.op, None, list(node.binder.params))}{suffix}"
+        )
+    raise ValueError(f"cannot serialise SRQL node {node!r}")
+
+
+def to_srql(query, prologue: bool = True) -> str:
+    """Serialise a query (AST node or ``Q``) to its SRQL string form.
+
+    The output always parses back to an equal AST. Raises ``ValueError``
+    for pipelines bound with opaque callables (no declarative form).
+    """
+    node = getattr(query, "ast", query)
+    body = _serialise(node)
+    return f"SELECT * FROM lake WHERE {body}" if prologue else body

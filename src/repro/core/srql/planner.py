@@ -1,0 +1,270 @@
+"""Query planning: validation, per-operator strategy choice, subplan dedup.
+
+The planner sits between the declarative AST and the executor. For every
+query it
+
+* **validates** the tree against the fitted profile — unknown tables,
+  bad modes/representations, non-positive ``k`` / ``top_n`` / ``TOP`` /
+  rank values all fail here with a clear ``ValueError`` instead of deep
+  inside an engine method;
+* **annotates** each structured operator (``joinable`` / ``unionable`` /
+  ``pkfk``) with a physical strategy — ``indexed`` (candidate-probe) or
+  ``exact`` (brute-force) — resolving ``"auto"`` with the size/density
+  heuristic of :func:`choose_strategy`;
+* **deduplicates** shared subplans: within one :meth:`Planner.plan_batch`
+  call, structurally-equal subtrees map to the *same* :class:`PlanNode`
+  object, so the executor computes each once per batch.
+
+The heuristic captures the crossover the ROADMAP flags: at seed scale the
+exact PK-FK sweep is a few milliseconds (the process-wide name-similarity
+cache turns most pair checks into dict lookups), so index probes only pay
+off once the eligible-pair count — ``(density x lake size)²`` — outgrows
+the probe overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.discovery import check_positive
+from repro.core.profiler import Profile
+from repro.core.srql.ast import (
+    NODE_OPS,
+    OPERATORS,
+    Intersect,
+    OpBinder,
+    Query,
+    Then,
+    Top,
+    Unite,
+)
+
+#: Operator families with a physical (indexed vs exact) strategy choice.
+STRUCTURED_OPS = ("joinable", "unionable", "pkfk")
+
+#: Values accepted wherever a strategy knob appears (config, planner).
+STRATEGY_CHOICES = ("indexed", "exact", "auto")
+
+#: ``auto`` crossover points. Join/union exact scans are O(columns) per
+#: query column; past these column counts the index probes win (the
+#: candidate-layer micro-bench shows ~2x for joins already at seed scale,
+#: hence the low bar). The PK-FK sweep is pair-quadratic but each pair
+#: check is a cached dict lookup, so its bar is expressed in *pairs*.
+JOIN_EXACT_COLUMN_LIMIT = 48
+UNION_EXACT_COLUMN_LIMIT = 96
+PKFK_EXACT_PAIR_LIMIT = 40_000
+
+
+def validate_strategy(value: str, knob: str = "discovery_strategy") -> str:
+    """Check one strategy knob; raise a ``ValueError`` naming the choices."""
+    if value not in STRATEGY_CHOICES:
+        raise ValueError(
+            f"invalid {knob} {value!r}; allowed values are "
+            f"{', '.join(repr(c) for c in STRATEGY_CHOICES)}"
+        )
+    return value
+
+
+def validate_operator_strategies(overrides: dict | None) -> dict[str, str]:
+    """Check a per-operator strategy override mapping (satellite of the
+    config surface): keys must be structured operator names, values must be
+    valid strategy choices."""
+    if not overrides:
+        return {}
+    unknown = set(overrides) - set(STRUCTURED_OPS)
+    if unknown:
+        raise ValueError(
+            f"invalid operator_strategies key(s) {sorted(unknown)}; "
+            f"per-operator overrides exist for {list(STRUCTURED_OPS)}"
+        )
+    for op, value in overrides.items():
+        validate_strategy(value, knob=f"operator_strategies[{op!r}]")
+    return dict(overrides)
+
+
+def choose_strategy(op: str, profile: Profile) -> str:
+    """Size/density heuristic resolving ``"auto"`` for one operator.
+
+    ``joinable`` / ``unionable``: exact scans score every eligible column
+    per query column, so the eligible-column count is the size axis.
+    ``pkfk``: the exact sweep checks ``eligible²`` pairs (eligible =
+    pkfk-density x lake size); below :data:`PKFK_EXACT_PAIR_LIMIT` pairs
+    the cached exact sweep beats the probe overhead.
+    """
+    if op == "joinable":
+        eligible = sum(
+            1 for s in profile.columns.values()
+            if s.tags is not None and s.tags.join_discovery
+        )
+        return "indexed" if eligible > JOIN_EXACT_COLUMN_LIMIT else "exact"
+    if op == "unionable":
+        return (
+            "indexed" if len(profile.columns) > UNION_EXACT_COLUMN_LIMIT
+            else "exact"
+        )
+    if op == "pkfk":
+        eligible = sum(
+            1 for s in profile.columns.values()
+            if s.tags is not None and s.tags.pkfk_discovery
+        )
+        return "indexed" if eligible * eligible > PKFK_EXACT_PAIR_LIMIT else "exact"
+    raise ValueError(f"no strategy choice for operator {op!r}")
+
+
+@dataclass
+class PlanNode:
+    """One evaluated step of a plan tree.
+
+    ``query`` is the AST node (also the executor's memo key), ``op`` its
+    operator label (primitive name or ``intersect`` / ``unite`` / ``top`` /
+    ``then``), ``strategy`` the physical choice for structured primitives
+    (``None`` elsewhere).
+    """
+
+    query: Query
+    op: str
+    strategy: str | None = None
+    children: tuple["PlanNode", ...] = ()
+
+
+@dataclass
+class QueryPlan:
+    """A validated, strategy-annotated plan for one query."""
+
+    root: PlanNode
+    query: Query
+
+    def nodes(self) -> list[PlanNode]:
+        """All plan nodes, deduplicated, children before parents."""
+        seen: dict[int, PlanNode] = {}
+        def walk(node: PlanNode) -> None:
+            if id(node) in seen:
+                return
+            for child in node.children:
+                walk(child)
+            seen[id(node)] = node
+        walk(self.root)
+        return list(seen.values())
+
+
+@dataclass
+class Planner:
+    """Validates queries against a fitted profile and assigns strategies.
+
+    ``operator_strategies`` maps each structured operator to ``"indexed"``,
+    ``"exact"``, or ``"auto"`` (resolved per operator by
+    :func:`choose_strategy`); operators not named fall back to
+    ``default_strategy``.
+    """
+
+    profile: Profile
+    default_strategy: str = "auto"
+    operator_strategies: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        validate_strategy(self.default_strategy, knob="default_strategy")
+        self.operator_strategies = validate_operator_strategies(
+            self.operator_strategies
+        )
+        self._resolved: dict[str, str] = {}
+        for op in STRUCTURED_OPS:
+            choice = self.operator_strategies.get(op, self.default_strategy)
+            if choice == "auto":
+                choice = choose_strategy(op, self.profile)
+            self._resolved[op] = choice
+
+    # ------------------------------------------------------------ public
+
+    def strategy_for(self, op: str) -> str:
+        """The resolved (concrete) strategy for one structured operator."""
+        return self._resolved[op]
+
+    def plan(self, query: Query, _memo: dict | None = None) -> QueryPlan:
+        """Validate ``query`` and produce its annotated plan tree."""
+        memo = {} if _memo is None else _memo
+        return QueryPlan(root=self._plan(query, memo), query=query)
+
+    def plan_batch(self, queries: list[Query]) -> list[QueryPlan]:
+        """Plan many queries with shared-subplan deduplication: equal
+        subtrees across the batch share one :class:`PlanNode` object."""
+        memo: dict[Query, PlanNode] = {}
+        return [QueryPlan(root=self._plan(q, memo), query=q) for q in queries]
+
+    # ---------------------------------------------------------- internals
+
+    def _plan(self, node: Query, memo: dict) -> PlanNode:
+        if not isinstance(node, Query):
+            raise TypeError(
+                f"expected an SRQL query node, got {type(node).__name__} "
+                "(pass a Q, an AST node, or an SRQL string)"
+            )
+        if node in memo:
+            return memo[node]
+        plan = self._plan_fresh(node, memo)
+        memo[node] = plan
+        return plan
+
+    def _plan_fresh(self, node: Query, memo: dict) -> PlanNode:
+        op = NODE_OPS.get(type(node))
+        if op is not None:
+            self._validate_primitive(op, node)
+            strategy = self._resolved.get(op)
+            return PlanNode(query=node, op=op, strategy=strategy)
+        if isinstance(node, (Intersect, Unite)):
+            label = "intersect" if isinstance(node, Intersect) else "unite"
+            children = (self._plan(node.left, memo), self._plan(node.right, memo))
+            return PlanNode(query=node, op=label, children=children)
+        if isinstance(node, Top):
+            self._positive(node.n, "TOP n")
+            return PlanNode(
+                query=node, op="top", children=(self._plan(node.source, memo),)
+            )
+        if isinstance(node, Then):
+            self._positive(node.rank, "Then rank")
+            if not callable(node.binder):
+                raise ValueError("Then binder must be callable (hit -> query)")
+            if isinstance(node.binder, OpBinder):
+                # Validate the hop's operator and parameters now; the bound
+                # value is only known at execution time.
+                spec = OPERATORS[node.binder.op]
+                params = dict(node.binder.params)
+                probe = spec.node(**{spec.value_field: "<hit>"}, **params)
+                self._validate_primitive(node.binder.op, probe, dynamic=True)
+            return PlanNode(
+                query=node, op="then", children=(self._plan(node.source, memo),)
+            )
+        raise TypeError(f"unknown SRQL node type {type(node).__name__}")
+
+    def _validate_primitive(self, op: str, node: Query, dynamic: bool = False):
+        spec = OPERATORS[op]
+        value = getattr(node, spec.value_field)
+        if not isinstance(value, str):
+            raise ValueError(
+                f"SRQL {op}() takes a string {spec.value_field}, got {value!r}"
+            )
+        if op in ("content_search", "metadata_search"):
+            if node.mode not in ("text", "table"):
+                raise ValueError(
+                    f"mode must be 'text' or 'table', got {node.mode!r}"
+                )
+            self._positive(node.k, "k")
+        elif op == "cross_modal":
+            if node.representation not in ("joint", "solo"):
+                raise ValueError(
+                    f"unknown representation {node.representation!r}"
+                )
+            self._positive(node.top_n, "top_n")
+        else:  # structured trio
+            self._positive(node.top_n, "top_n")
+            # Literal table names are checked against the profile; tables
+            # produced by a pipeline hop are validated at execution time.
+            if not dynamic and node.table not in self.profile.table_columns:
+                known = len(self.profile.table_columns)
+                raise ValueError(
+                    f"unknown table {node.table!r} in SRQL {op}() query; the "
+                    f"fitted profile has {known} tables"
+                )
+
+    # The engine's shared guard, so planner-side and engine-side errors
+    # can never diverge.
+    _positive = staticmethod(check_positive)

@@ -19,6 +19,10 @@ from repro.core.joint.trainer import JointTrainer, TrainingResult
 from repro.core.joint.triplets import TripletGenerator
 from repro.core.labeling import LabelingReport, TrainingDatasetGenerator
 from repro.core.profiler import Profile, Profiler
+from repro.core.srql.planner import (
+    validate_operator_strategies,
+    validate_strategy,
+)
 from repro.relational.catalog import DataLake
 from repro.weaklabel.lf import LabelingFunction
 
@@ -59,8 +63,13 @@ class CMDLConfig:
 
     #: Structured-discovery path: "indexed" serves join/union/PK-FK candidate
     #: generation from the sketch indexes (sub-linear probes, §6.4);
-    #: "exact" brute-forces every eligible pair (the correctness oracle).
+    #: "exact" brute-forces every eligible pair (the correctness oracle);
+    #: "auto" lets the SRQL planner pick per operator via its size/density
+    #: heuristic (exact sweeps win on small lakes, probes on large ones).
     discovery_strategy: str = "indexed"
+    #: Per-operator strategy overrides, e.g. ``{"pkfk": "exact"}``; keys are
+    #: "joinable" / "unionable" / "pkfk", values as discovery_strategy.
+    operator_strategies: dict[str, str] = field(default_factory=dict)
 
     seed: int = 0
     extra_labeling_functions: list[LabelingFunction] = field(default_factory=list)
@@ -92,6 +101,10 @@ class CMDL:
         "joint embedding + gold tuning" variant).
         """
         cfg = self.config
+        # Fail on a bad strategy knob here, with the allowed values spelled
+        # out, rather than deep inside the discovery stack after profiling.
+        validate_strategy(cfg.discovery_strategy)
+        validate_operator_strategies(cfg.operator_strategies)
         profiler = Profiler(
             embedding_dim=cfg.embedding_dim,
             num_hashes=cfg.num_hashes,
@@ -116,6 +129,7 @@ class CMDL:
                 "key_uniqueness_threshold": cfg.pkfk_key_uniqueness,
             },
             strategy=cfg.discovery_strategy,
+            operator_strategies=cfg.operator_strategies,
         )
         return self.engine
 

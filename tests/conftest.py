@@ -80,6 +80,18 @@ def engine(fitted_cmdl):
     return fitted_cmdl.engine
 
 
+@pytest.fixture(scope="session")
+def ukopen_engine(ukopen_generated):
+    """UK-Open engine without joint training (fast; solo/structured paths)."""
+    return CMDL(CMDLConfig(use_joint=False, seed=0)).fit(ukopen_generated.lake)
+
+
+@pytest.fixture(scope="session")
+def mlopen_engine(mlopen_generated):
+    """ML-Open engine without joint training (fast; solo/structured paths)."""
+    return CMDL(CMDLConfig(use_joint=False, seed=0)).fit(mlopen_generated.lake)
+
+
 @pytest.fixture()
 def toy_lake() -> DataLake:
     """A handcrafted 3-table, 3-document lake with obvious relationships."""

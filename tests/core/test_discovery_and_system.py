@@ -40,6 +40,55 @@ class TestDiscoveryResultSet:
         assert set(merged.ids()) == {"x", "y"}
 
 
+class TestResultSetCompositionEdgeCases:
+    def test_intersect_with_empty_is_empty(self):
+        a = DiscoveryResultSet([("x", 1.0), ("y", 0.5)], operation="a")
+        empty = DiscoveryResultSet([], operation="b")
+        assert a.intersect(empty).items == []
+        assert empty.intersect(a).items == []
+
+    def test_unite_with_empty_keeps_normalised_other(self):
+        a = DiscoveryResultSet([("x", 4.0), ("y", 2.0)], operation="a")
+        empty = DiscoveryResultSet([], operation="b")
+        assert a.unite(empty).items == [("x", 1.0), ("y", 0.5)]
+        assert empty.unite(a).items == [("x", 1.0), ("y", 0.5)]
+
+    def test_both_empty(self):
+        a = DiscoveryResultSet([], operation="a")
+        b = DiscoveryResultSet([], operation="b")
+        assert a.intersect(b).items == []
+        assert a.unite(b).items == []
+
+    def test_all_zero_scores_survive_without_dividing(self):
+        a = DiscoveryResultSet([("x", 0.0), ("y", 0.0)], operation="a")
+        b = DiscoveryResultSet([("y", 0.0), ("z", 0.0)], operation="b")
+        merged = a.unite(b)
+        assert merged.scores() == {"x": 0.0, "y": 0.0, "z": 0.0}
+        common = a.intersect(b)
+        assert common.items == [("y", 0.0)]
+
+    def test_zero_scores_against_positive_scores(self):
+        zero = DiscoveryResultSet([("x", 0.0), ("y", 0.0)], operation="a")
+        pos = DiscoveryResultSet([("y", 2.0)], operation="b")
+        merged = zero.intersect(pos)
+        assert merged.items == [("y", 1.0)]  # 0-normalised + 2/2
+
+    def test_deterministic_tie_breaking_by_id(self):
+        a = DiscoveryResultSet([("b", 1.0), ("c", 1.0), ("a", 1.0)],
+                               operation="a")
+        b = DiscoveryResultSet([("c", 1.0), ("a", 1.0), ("b", 1.0)],
+                               operation="b")
+        assert a.unite(b).ids() == ["a", "b", "c"]
+        assert a.intersect(b).ids() == ["a", "b", "c"]
+        assert b.unite(a).ids() == ["a", "b", "c"]
+
+    def test_operation_provenance_of_composition(self):
+        a = DiscoveryResultSet([("x", 1.0)], operation="a")
+        b = DiscoveryResultSet([("x", 1.0)], operation="b")
+        assert "a" in a.intersect(b).operation
+        assert "b" in a.unite(b).operation
+
+
 class TestContentSearch:
     def test_doc_search_finds_relevant(self, engine, pharma_generated):
         doc = pharma_generated.lake.documents[0]
@@ -59,6 +108,36 @@ class TestContentSearch:
         result = engine.metadata_search("drug", mode="table", k=5)
         assert len(result) > 0
         assert any("drug" in cid for cid in result.ids())
+
+
+class TestArgumentValidation:
+    """k / top_n guards are shared and consistent across every operation."""
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 2.5, "3", True])
+    def test_content_search_rejects_bad_k(self, engine, bad_k):
+        with pytest.raises(ValueError, match="k must be a positive integer"):
+            engine.content_search("x", k=bad_k)
+
+    @pytest.mark.parametrize("bad_k", [0, -1])
+    def test_metadata_search_rejects_bad_k(self, engine, bad_k):
+        with pytest.raises(ValueError, match="k must be a positive integer"):
+            engine.metadata_search("x", mode="table", k=bad_k)
+
+    def test_metadata_search_rejects_bad_mode(self, engine):
+        with pytest.raises(ValueError, match="mode must be"):
+            engine.metadata_search("x", mode="rows")
+
+    @pytest.mark.parametrize("method", ["cross_modal_search", "joinable",
+                                        "pkfk", "unionable"])
+    def test_top_n_rejected_when_not_positive(self, engine, method):
+        with pytest.raises(ValueError,
+                           match="top_n must be a positive integer"):
+            getattr(engine, method)("drugs", top_n=0)
+
+    def test_cross_modal_rejects_bad_column_k(self, engine):
+        with pytest.raises(ValueError,
+                           match="column_k must be a positive integer"):
+            engine.cross_modal_search("drugs", column_k=-5)
 
 
 class TestCrossModalSearch:

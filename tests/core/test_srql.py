@@ -1,0 +1,380 @@
+"""SRQL query layer: AST, builder, planner, and executor semantics."""
+
+import pytest
+
+from repro.core.srql import (
+    ContentSearch,
+    CrossModal,
+    Intersect,
+    Joinable,
+    MetadataSearch,
+    PKFK,
+    Planner,
+    Q,
+    Then,
+    Top,
+    Unionable,
+    Unite,
+    make_op,
+    op_binder,
+)
+from repro.core.srql import planner as planner_module
+from repro.core.srql.ast import OpBinder, canonical_op
+from repro.core.srql.planner import choose_strategy
+from repro.core.system import CMDL, CMDLConfig
+
+
+# ---------------------------------------------------------------- AST
+
+
+class TestAST:
+    def test_nodes_are_hashable_and_equal_by_value(self):
+        a = Joinable("drugs", top_n=3)
+        b = Joinable("drugs", top_n=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_make_op_resolves_aliases(self):
+        node = make_op("crossModal_search", "doc:1", top_n=5)
+        assert node == CrossModal("doc:1", top_n=5)
+        assert canonical_op("CROSS_MODAL_SEARCH") == "cross_modal"
+
+    def test_make_op_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown SRQL operator"):
+            make_op("teleport", "x")
+
+    def test_make_op_unknown_param(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            make_op("pkfk", "drugs", depth=3)
+
+    def test_op_binder_params_are_canonically_sorted(self):
+        a = op_binder("cross_modal", top_n=3, representation="solo")
+        b = op_binder("cross_modal", representation="solo", top_n=3)
+        assert a == b
+        assert a("doc:1") == CrossModal("doc:1", top_n=3,
+                                        representation="solo")
+
+
+# ------------------------------------------------------------- builder
+
+
+class TestQBuilder:
+    def test_primitive_constructors(self):
+        assert Q.content_search("x", k=5).ast == ContentSearch("x", k=5)
+        assert Q.metadata_search("x", mode="table").ast == MetadataSearch(
+            "x", mode="table")
+        assert Q.pkfk("drugs").ast == PKFK("drugs")
+        assert Q.joinable("drugs", top_n=4).ast == Joinable("drugs", top_n=4)
+        assert Q.unionable("drugs").ast == Unionable("drugs")
+
+    def test_chaining_builds_then_with_op_binder(self):
+        q = Q.content_search("synthase").cross_modal(top_n=3).pkfk(top_n=2)
+        inner = q.ast
+        assert isinstance(inner, Then)
+        assert inner.binder == OpBinder("pkfk", (("top_n", 2),))
+        assert isinstance(inner.source, Then)
+        assert inner.source.source == ContentSearch("synthase")
+
+    def test_equivalent_chains_compare_equal(self):
+        a = Q.content_search("synthase").pkfk(top_n=2)
+        b = Q.content_search("synthase").pkfk(top_n=2)
+        assert a == b
+        assert a.ast == b.ast
+
+    def test_then_accepts_custom_callable(self):
+        binder = lambda hit: Q.pkfk(hit)  # noqa: E731
+        q = Q.content_search("x").then(binder, rank=2)
+        assert q.ast == Then(ContentSearch("x"), binder, rank=2)
+
+    def test_then_rejects_non_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            Q.content_search("x").then("pkfk")
+
+    def test_operators_and_or_top(self):
+        q = (Q.joinable("drugs") & Q.unionable("drugs")).top(2)
+        assert q.ast == Top(
+            Intersect(Joinable("drugs"), Unionable("drugs")), 2)
+        q2 = Q.joinable("drugs") | Q.pkfk("drugs")
+        assert q2.ast == Unite(Joinable("drugs"), PKFK("drugs"))
+
+    def test_q_is_immutable_and_wraps_only_queries(self):
+        q = Q.pkfk("drugs")
+        with pytest.raises(AttributeError):
+            q.ast = None
+        with pytest.raises(TypeError):
+            Q("pkfk('drugs')")
+
+    def test_q_wraps_q_transparently(self):
+        q = Q.pkfk("drugs")
+        assert Q(q).ast is q.ast
+
+
+# ------------------------------------------------------------- planner
+
+
+class TestPlanner:
+    @pytest.fixture()
+    def planner(self, engine):
+        return Planner(engine.profile, default_strategy="indexed")
+
+    def test_unknown_table_rejected(self, planner):
+        with pytest.raises(ValueError, match="unknown table 'nope'"):
+            planner.plan(PKFK("nope"))
+
+    def test_bad_mode_rejected(self, planner):
+        with pytest.raises(ValueError, match="mode must be"):
+            planner.plan(ContentSearch("x", mode="rows"))
+
+    def test_non_positive_k_rejected(self, planner):
+        with pytest.raises(ValueError, match="k must be a positive integer"):
+            planner.plan(ContentSearch("x", k=0))
+
+    def test_non_positive_top_rejected(self, planner):
+        with pytest.raises(ValueError, match="TOP n must be a positive"):
+            planner.plan(Top(ContentSearch("x"), 0))
+
+    def test_bad_representation_rejected(self, planner):
+        with pytest.raises(ValueError, match="unknown representation"):
+            planner.plan(CrossModal("d", representation="quantum"))
+
+    def test_non_string_value_rejected(self, planner):
+        with pytest.raises(ValueError, match="takes a string"):
+            planner.plan(ContentSearch(123))
+
+    def test_then_hop_params_validated_eagerly(self, planner):
+        q = Q.content_search("x").pkfk(top_n=0)
+        with pytest.raises(ValueError, match="top_n must be a positive"):
+            planner.plan(q.ast)
+
+    def test_then_rank_validated(self, planner):
+        q = Q.content_search("x").pkfk(rank=0)
+        with pytest.raises(ValueError, match="rank must be a positive"):
+            planner.plan(q.ast)
+
+    def test_structured_ops_annotated_with_strategy(self, planner):
+        plan = planner.plan(Joinable("drugs"))
+        assert plan.root.strategy == "indexed"
+        plan = planner.plan(ContentSearch("x"))
+        assert plan.root.strategy is None
+
+    def test_batch_shares_equal_subplans(self, planner):
+        shared = Joinable("drugs", top_n=5)
+        plans = planner.plan_batch(
+            [shared, Intersect(shared, Unionable("drugs")), shared]
+        )
+        roots = [p.root for p in plans]
+        assert roots[0] is roots[2]
+        assert roots[1].children[0] is roots[0]
+
+    def test_invalid_default_strategy(self, engine):
+        with pytest.raises(ValueError, match="allowed values"):
+            Planner(engine.profile, default_strategy="fuzzy")
+
+    def test_invalid_operator_override(self, engine):
+        with pytest.raises(ValueError, match="operator_strategies"):
+            Planner(engine.profile, operator_strategies={"teleport": "exact"})
+
+
+class TestStrategyHeuristic:
+    def test_auto_resolves_to_concrete_choice(self, engine):
+        for op in ("joinable", "unionable", "pkfk"):
+            assert choose_strategy(op, engine.profile) in ("indexed", "exact")
+
+    def test_limits_steer_the_choice(self, engine, monkeypatch):
+        monkeypatch.setattr(planner_module, "JOIN_EXACT_COLUMN_LIMIT", 0)
+        monkeypatch.setattr(planner_module, "UNION_EXACT_COLUMN_LIMIT", 0)
+        monkeypatch.setattr(planner_module, "PKFK_EXACT_PAIR_LIMIT", 0)
+        for op in ("joinable", "unionable", "pkfk"):
+            assert choose_strategy(op, engine.profile) == "indexed"
+        huge = 10**9
+        monkeypatch.setattr(planner_module, "JOIN_EXACT_COLUMN_LIMIT", huge)
+        monkeypatch.setattr(planner_module, "UNION_EXACT_COLUMN_LIMIT", huge)
+        monkeypatch.setattr(planner_module, "PKFK_EXACT_PAIR_LIMIT", huge)
+        for op in ("joinable", "unionable", "pkfk"):
+            assert choose_strategy(op, engine.profile) == "exact"
+
+    def test_unknown_operator(self, engine):
+        with pytest.raises(ValueError, match="no strategy choice"):
+            choose_strategy("content_search", engine.profile)
+
+
+# ---------------------------------------------------- config validation
+
+
+class TestConfigValidation:
+    def test_bad_discovery_strategy_fails_at_fit(self, toy_lake):
+        cmdl = CMDL(CMDLConfig(discovery_strategy="fuzzy"))
+        with pytest.raises(ValueError, match="'indexed', 'exact', 'auto'"):
+            cmdl.fit(toy_lake)
+
+    def test_bad_operator_key_fails_at_fit(self, toy_lake):
+        cmdl = CMDL(CMDLConfig(operator_strategies={"teleport": "exact"}))
+        with pytest.raises(ValueError, match="operator_strategies key"):
+            cmdl.fit(toy_lake)
+
+    def test_bad_operator_value_fails_at_fit(self, toy_lake):
+        cmdl = CMDL(CMDLConfig(operator_strategies={"pkfk": "sometimes"}))
+        with pytest.raises(ValueError, match="allowed values"):
+            cmdl.fit(toy_lake)
+
+    def test_auto_strategy_fits_and_resolves(self, toy_lake):
+        engine = CMDL(
+            CMDLConfig(use_joint=False, discovery_strategy="auto")
+        ).fit(toy_lake)
+        assert set(engine.operator_strategy) == {"joinable", "unionable", "pkfk"}
+        assert all(
+            s in ("indexed", "exact")
+            for s in engine.operator_strategy.values()
+        )
+
+    def test_operator_override_is_applied(self, toy_lake):
+        engine = CMDL(
+            CMDLConfig(use_joint=False, operator_strategies={"pkfk": "exact"})
+        ).fit(toy_lake)
+        assert engine.operator_strategy["pkfk"] == "exact"
+        assert engine.operator_strategy["joinable"] == "indexed"
+
+
+# ------------------------------------------------------------- executor
+
+
+class TestExecutor:
+    def test_single_discover_accepts_q_ast_and_string(self, engine):
+        by_q = engine.discover(Q.pkfk("drugs", top_n=5))
+        by_ast = engine.discover(PKFK("drugs", top_n=5))
+        by_str = engine.discover(
+            "SELECT * FROM lake WHERE pkfk('drugs', top_n=5)")
+        assert by_q.items == by_ast.items == by_str.items
+
+    def test_discover_rejects_non_queries(self, engine):
+        with pytest.raises(TypeError, match="expected an SRQL query node"):
+            engine.discover(42)
+
+    def test_top_truncates(self, engine):
+        full = engine.discover(Q.pkfk("drugs", top_n=5))
+        if len(full) < 2:
+            pytest.skip("lake yields too few pkfk hits for truncation")
+        topped = engine.discover(Q.pkfk("drugs", top_n=5).top(1))
+        assert topped.items == full.items[:1]
+        assert "top1" in topped.operation
+
+    def test_intersect_matches_manual_composition(self, engine):
+        a = engine.joinable("drugs", top_n=5)
+        b = engine.unionable("drugs", top_n=5)
+        via_srql = engine.discover(
+            Q.joinable("drugs", top_n=5) & Q.unionable("drugs", top_n=5))
+        assert via_srql.items == a.intersect(b).items
+
+    def test_unite_matches_manual_composition(self, engine):
+        a = engine.joinable("drugs", top_n=5)
+        b = engine.unionable("drugs", top_n=5)
+        via_srql = engine.discover(
+            Q.joinable("drugs", top_n=5) | Q.unionable("drugs", top_n=5))
+        assert via_srql.items == a.unite(b).items
+
+    def test_pipeline_matches_stepwise_execution(self, engine):
+        r1 = engine.content_search("synthase", mode="text", k=3)
+        assert len(r1) > 0
+        r2 = engine.cross_modal_search(r1[1], top_n=3)
+        chained = engine.discover(
+            Q.content_search("synthase", k=3).cross_modal(top_n=3))
+        assert chained.items == r2.items
+
+    def test_then_with_empty_source_is_empty(self, engine):
+        result = engine.discover(
+            Q.content_search("zzzz_no_such_term_zzzz", k=3).pkfk())
+        assert len(result) == 0
+        assert result.operation.startswith("then(")
+
+    def test_then_with_rank_beyond_results_is_empty(self, engine):
+        result = engine.discover(
+            Q.content_search("synthase", k=1).pkfk(rank=99))
+        assert len(result) == 0
+
+    def test_custom_callable_binder_runs(self, engine):
+        q = Q.content_search("synthase", k=3).then(
+            lambda hit: Q.cross_modal(hit, top_n=2))
+        result = engine.discover(q)
+        r1 = engine.content_search("synthase", mode="text", k=3)
+        expected = engine.cross_modal_search(r1[1], top_n=2)
+        assert result.items == expected.items
+
+    def test_dynamic_table_validated_at_execution(self, engine):
+        q = Q.content_search("synthase", k=1).then(
+            lambda hit: Q.pkfk("definitely_not_a_table"))
+        with pytest.raises(ValueError, match="unknown table"):
+            engine.discover(q)
+
+    def test_batch_matches_singles_and_dedupes(self, engine):
+        workload = [
+            Q.pkfk("drugs", top_n=3),
+            Q.joinable("drugs", top_n=3),
+            Q.pkfk("drugs", top_n=3),
+            Q.content_search("synthase", k=3),
+        ]
+        singles = [engine.discover(q) for q in workload]
+        batch = engine.discover_batch(workload)
+        assert [b.items for b in batch] == [s.items for s in singles]
+        stats = engine.last_batch_stats
+        assert stats.requested == 4
+        assert stats.executed == 3  # duplicate pkfk served from the memo
+        assert stats.reused == 1
+        assert stats.pkfk_queries == 1
+
+    def test_batch_shares_one_pkfk_sweep(self, engine):
+        engine.invalidate()
+        tables = sorted(engine.profile.table_columns)[:4]
+        engine.discover_batch([Q.pkfk(t, top_n=2) for t in tables])
+        stats = engine.last_batch_stats
+        assert stats.pkfk_queries == len(tables)
+        assert stats.pkfk_sweeps == 1
+
+    def test_per_query_strategy_override(self, engine):
+        indexed = engine.discover(Q.joinable("drugs", top_n=3))
+        exact = engine.joinable("drugs", top_n=3, strategy="exact")
+        # Seed-scale probes reach full recall: identical top-k either way.
+        assert indexed.items == exact.items
+
+
+# ----------------------------------------------------- engine accessors
+
+
+class TestPkfkLinksAccessor:
+    def test_links_are_cached_per_strategy(self, engine):
+        engine.invalidate()
+        before = engine.pkfk_sweeps
+        first = engine.pkfk_links()
+        assert engine.pkfk_sweeps == before + 1
+        assert engine.pkfk_links() is first  # cache hit, no new sweep
+        assert engine.pkfk_sweeps == before + 1
+
+    def test_refresh_forces_resweep(self, engine):
+        engine.invalidate()
+        before = engine.pkfk_sweeps
+        engine.pkfk_links()
+        engine.pkfk_links(refresh=True)
+        assert engine.pkfk_sweeps == before + 2
+
+    def test_invalidate_drops_cache(self, engine):
+        engine.pkfk_links()
+        before = engine.pkfk_sweeps
+        engine.invalidate()
+        engine.pkfk_links()
+        assert engine.pkfk_sweeps == before + 1
+
+    def test_strategies_cached_independently(self, engine):
+        engine.invalidate()
+        exact = engine.pkfk_links(strategy="exact")
+        indexed = engine.pkfk_links(strategy="indexed")
+        assert engine.pkfk_links(strategy="exact") is exact
+        assert engine.pkfk_links(strategy="indexed") is indexed
+        # Seed lakes: both sweeps find the same links (parity).
+        assert (
+            [(l.pk_column, l.fk_column) for l in exact]
+            == [(l.pk_column, l.fk_column) for l in indexed]
+        )
+
+    def test_bad_strategy_rejected(self, engine):
+        with pytest.raises(ValueError, match="invalid strategy"):
+            engine.pkfk_links(strategy="fuzzy")

@@ -1,0 +1,133 @@
+"""SRQL parity: discover(Q...) equals the direct engine calls on all seed
+lakes (Pharma, UK-Open, ML-Open), for every primitive, composition, and the
+string front-end — the query layer adds planning, not different answers."""
+
+import pytest
+
+from repro.core.srql import Q, to_srql
+
+
+@pytest.fixture(params=["pharma", "ukopen", "mlopen"])
+def any_engine(request, engine, ukopen_engine, mlopen_engine):
+    return {
+        "pharma": engine,
+        "ukopen": ukopen_engine,
+        "mlopen": mlopen_engine,
+    }[request.param]
+
+
+def first_table(eng) -> str:
+    return sorted(eng.profile.table_columns)[0]
+
+
+def first_doc(eng) -> str:
+    return sorted(eng.profile.documents)[0]
+
+
+class TestPrimitiveParity:
+    def test_content_search(self, any_engine):
+        for mode in ("text", "table"):
+            direct = any_engine.content_search("data survey", mode=mode, k=5)
+            via = any_engine.discover(
+                Q.content_search("data survey", mode=mode, k=5))
+            assert via.items == direct.items
+            assert via.operation == direct.operation
+
+    def test_metadata_search(self, any_engine):
+        direct = any_engine.metadata_search("drug", mode="table", k=5)
+        via = any_engine.discover(Q.metadata_search("drug", mode="table", k=5))
+        assert via.items == direct.items
+
+    def test_cross_modal_solo(self, any_engine):
+        doc = first_doc(any_engine)
+        direct = any_engine.cross_modal_search(doc, top_n=3,
+                                               representation="solo")
+        via = any_engine.discover(
+            Q.cross_modal(doc, top_n=3, representation="solo"))
+        assert via.items == direct.items
+
+    def test_cross_modal_free_text(self, any_engine):
+        direct = any_engine.cross_modal_search("annual report data", top_n=3,
+                                               representation="solo")
+        via = any_engine.discover(
+            Q.cross_modal("annual report data", top_n=3,
+                          representation="solo"))
+        assert via.items == direct.items
+
+    def test_joinable(self, any_engine):
+        table = first_table(any_engine)
+        direct = any_engine.joinable(table, top_n=3)
+        via = any_engine.discover(Q.joinable(table, top_n=3))
+        assert via.items == direct.items
+
+    def test_pkfk(self, any_engine):
+        table = first_table(any_engine)
+        direct = any_engine.pkfk(table, top_n=3)
+        via = any_engine.discover(Q.pkfk(table, top_n=3))
+        assert via.items == direct.items
+
+    def test_unionable(self, any_engine):
+        table = first_table(any_engine)
+        direct = any_engine.unionable(table, top_n=3)
+        via = any_engine.discover(Q.unionable(table, top_n=3))
+        assert via.items == direct.items
+
+
+class TestCrossModalJointParity:
+    def test_joint_representation(self, engine, pharma_generated):
+        """Joint-space parity on the lake with a trained joint model."""
+        doc = pharma_generated.ground_truth("doc_to_table").queries[0]
+        direct = engine.cross_modal_search(doc, top_n=3)
+        via = engine.discover(Q.cross_modal(doc, top_n=3))
+        assert via.items == direct.items
+
+
+class TestCompositionParity:
+    def test_intersect_and_unite(self, any_engine):
+        table = first_table(any_engine)
+        a = any_engine.joinable(table, top_n=5)
+        b = any_engine.unionable(table, top_n=5)
+        via_i = any_engine.discover(
+            Q.joinable(table, top_n=5) & Q.unionable(table, top_n=5))
+        via_u = any_engine.discover(
+            Q.joinable(table, top_n=5) | Q.unionable(table, top_n=5))
+        assert via_i.items == a.intersect(b).items
+        assert via_u.items == a.unite(b).items
+
+    def test_pipeline_equals_stepwise(self, any_engine):
+        table = first_table(any_engine)
+        step1 = any_engine.joinable(table, top_n=3)
+        if not len(step1):
+            pytest.skip("no joinable tables to pipeline from")
+        step2 = any_engine.unionable(step1[1], top_n=2)
+        via = any_engine.discover(
+            Q.joinable(table, top_n=3).unionable(top_n=2))
+        assert via.items == step2.items
+
+
+class TestStringFrontEndParity:
+    def test_string_form_gives_identical_results(self, any_engine):
+        table = first_table(any_engine)
+        queries = [
+            Q.content_search("data survey", mode="table", k=5),
+            Q.joinable(table, top_n=3),
+            Q.pkfk(table, top_n=3),
+            Q.joinable(table, top_n=5) & Q.unionable(table, top_n=5),
+        ]
+        for q in queries:
+            via_q = any_engine.discover(q)
+            via_str = any_engine.discover(to_srql(q))
+            assert via_str.items == via_q.items
+
+
+class TestBatchParity:
+    def test_batch_equals_singles_on_mixed_workload(self, any_engine):
+        tables = sorted(any_engine.profile.table_columns)[:3]
+        workload = [Q.pkfk(t, top_n=3) for t in tables]
+        workload += [Q.joinable(t, top_n=3) for t in tables]
+        workload += [Q.unionable(tables[0], top_n=2),
+                     Q.content_search("data", mode="table", k=5)]
+        workload += workload[:3]  # repeats, as a service would see
+        singles = [any_engine.discover(q) for q in workload]
+        batch = any_engine.discover_batch(workload)
+        assert [b.items for b in batch] == [s.items for s in singles]

@@ -1,0 +1,177 @@
+"""SRQL string front-end: parsing, serialisation, and round-trip parity.
+
+The exhaustive round-trip suite (every query shape expressible via ``Q``
+serialises with ``to_srql`` and parses back to an equal AST) is marked
+``slow`` alongside the other parity sweeps; a fast smoke subset runs in
+tier 1.
+"""
+
+import pytest
+
+from repro.core.srql import (
+    ContentSearch,
+    CrossModal,
+    Intersect,
+    Joinable,
+    MetadataSearch,
+    PKFK,
+    Q,
+    SRQLSyntaxError,
+    Then,
+    Top,
+    Unionable,
+    Unite,
+    parse_srql,
+    to_srql,
+)
+from repro.core.srql.ast import op_binder
+
+
+class TestParsing:
+    def test_bare_expression(self):
+        assert parse_srql("pkfk('drugs')") == PKFK("drugs")
+
+    def test_full_prologue(self):
+        node = parse_srql(
+            "SELECT * FROM lake WHERE content_search('enzyme', mode='table', k=5)"
+        )
+        assert node == ContentSearch("enzyme", mode="table", k=5)
+
+    def test_keywords_are_case_insensitive(self):
+        node = parse_srql("select * from lake where pkfk('drugs') top 1")
+        assert node == Top(PKFK("drugs"), 1)
+
+    def test_paper_spelling_cross_modal(self):
+        node = parse_srql("crossModal_search('doc:1', top_n=5)")
+        assert node == CrossModal("doc:1", top_n=5)
+
+    def test_and_or_left_associative(self):
+        node = parse_srql("joinable('a') AND unionable('a') OR pkfk('a')")
+        assert node == Unite(
+            Intersect(Joinable("a"), Unionable("a")), PKFK("a"))
+
+    def test_parentheses_group(self):
+        node = parse_srql("joinable('a') AND (unionable('a') OR pkfk('a'))")
+        assert node == Intersect(
+            Joinable("a"), Unite(Unionable("a"), PKFK("a")))
+
+    def test_then_builds_standard_binder(self):
+        node = parse_srql(
+            "content_search('synthase', k=3) THEN crossModal_search(top_n=3) "
+            "THEN pkfk(top_n=2) AT 2"
+        )
+        assert node == Then(
+            Then(ContentSearch("synthase", k=3),
+                 op_binder("cross_modal", top_n=3)),
+            op_binder("pkfk", top_n=2),
+            rank=2,
+        )
+
+    def test_top_after_then(self):
+        node = parse_srql("content_search('x') THEN pkfk() TOP 2")
+        assert node == Top(
+            Then(ContentSearch("x"), op_binder("pkfk")), 2)
+
+    def test_top_before_then_via_position(self):
+        node = parse_srql("content_search('x') TOP 2 THEN pkfk()")
+        assert node == Then(
+            Top(ContentSearch("x"), 2), op_binder("pkfk"))
+
+    def test_escaped_quotes_in_value(self):
+        node = parse_srql(r"content_search('o\'neill\'s data')")
+        assert node == ContentSearch("o'neill's data")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "pkfk('drugs'",                  # unbalanced paren
+        "pkfk()",                        # missing value
+        "pkfk('a') AND",                 # dangling operator
+        "teleport('a')",                 # unknown operator
+        "pkfk('a') THEN pkfk('b')",      # THEN ops take no value
+        "pkfk('a') TOP",                 # TOP without integer
+        "pkfk('a') TOP 1.5",             # TOP with non-integer
+        "pkfk('a', depth=2)",            # unknown parameter
+        "pkfk('a') pkfk('b')",           # missing combinator
+        "SELECT * FROM lake",            # prologue without WHERE clause
+        "pkfk('a') @ 2",                 # stray character
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises((SRQLSyntaxError, ValueError)):
+            parse_srql(bad)
+
+
+class TestSerialisation:
+    def test_emits_prologue_by_default(self):
+        text = to_srql(Q.pkfk("drugs"))
+        assert text.startswith("SELECT * FROM lake WHERE ")
+
+    def test_opaque_binder_has_no_string_form(self):
+        q = Q.content_search("x").then(lambda hit: Q.pkfk(hit))
+        with pytest.raises(ValueError, match="opaque python binder"):
+            to_srql(q)
+
+    def test_escapes_quotes(self):
+        text = to_srql(Q.content_search("o'neill"), prologue=False)
+        assert parse_srql(text) == ContentSearch("o'neill")
+
+
+#: Every query shape expressible via the builder (the acceptance-criterion
+#: catalogue): all six primitives, every combinator, and nested mixes.
+ROUND_TRIP_QUERIES = [
+    Q.content_search("thymidylate synthase"),
+    Q.content_search("enzyme", mode="table", k=5),
+    Q.metadata_search("drug", mode="table", k=7),
+    Q.metadata_search("survey"),
+    Q.cross_modal("doc:42", top_n=4, representation="solo"),
+    Q.cross_modal("free text query", top_n=3),
+    Q.joinable("drugs", top_n=4),
+    Q.pkfk("drugs"),
+    Q.unionable("targets", top_n=6),
+    Q.joinable("drugs") & Q.unionable("drugs"),
+    Q.pkfk("drugs") | Q.joinable("drugs", top_n=5),
+    (Q.joinable("a") & Q.unionable("b")) | Q.pkfk("c"),
+    Q.joinable("a") & (Q.unionable("b") | Q.pkfk("c")),
+    Q.pkfk("drugs", top_n=5).top(2),
+    (Q.joinable("a") & Q.unionable("a")).top(3),
+    Q.content_search("synthase", k=3).cross_modal(top_n=3),
+    Q.content_search("synthase").cross_modal(top_n=3).pkfk(top_n=2),
+    Q.content_search("synthase").cross_modal(rank=2).unionable(top_n=4),
+    Q.content_search("synthase").joinable(top_n=3, rank=3).top(1),
+    Q.metadata_search("drug", mode="table").pkfk(top_n=2).top(2),
+    (Q.content_search("a") & Q.metadata_search("b")).cross_modal(top_n=2),
+    Q.content_search("x").cross_modal().pkfk().top(1),
+    Q.cross_modal("doc:1", top_n=3).unionable(top_n=2)
+      & Q.pkfk("drugs", top_n=3),
+]
+
+
+class TestRoundTripSmoke:
+    def test_primitive_and_pipeline(self):
+        for q in ROUND_TRIP_QUERIES[:3] + ROUND_TRIP_QUERIES[-3:]:
+            assert parse_srql(to_srql(q)) == q.ast
+
+
+@pytest.mark.slow
+class TestRoundTripExhaustive:
+    """Acceptance: every Q-expressible query has a string form that parses
+    back to the same AST (both with and without the SELECT prologue)."""
+
+    @pytest.mark.parametrize(
+        "q", ROUND_TRIP_QUERIES,
+        ids=[f"q{i}" for i in range(len(ROUND_TRIP_QUERIES))],
+    )
+    def test_round_trip(self, q):
+        assert parse_srql(to_srql(q)) == q.ast
+        assert parse_srql(to_srql(q, prologue=False)) == q.ast
+
+    @pytest.mark.parametrize(
+        "q", ROUND_TRIP_QUERIES,
+        ids=[f"q{i}" for i in range(len(ROUND_TRIP_QUERIES))],
+    )
+    def test_round_trip_is_stable(self, q):
+        """Serialise -> parse -> serialise is a fixed point."""
+        text = to_srql(q)
+        assert to_srql(parse_srql(text)) == text
