@@ -1,0 +1,116 @@
+"""Smoke benchmark: incremental lake-session mutations vs cold refits.
+
+Opens a mutable session (``CMDL.open``) over the Pharma benchmark lake and
+times each mutation primitive — single-table add, document add, table
+remove, ``refresh()`` — against the baseline a frozen system would pay for
+the same change: a full ``CMDL.fit`` on the final lake. The add path must
+be at least 5x cheaper than the refit (it skips corpus-wide re-profiling,
+embedder training, and index rebuilds; the gap widens with lake size since
+the delta work is per-DE, not per-lake).
+
+Also verifies that the value-semantics operators (joinable / pkfk, which do
+not depend on the fit-time embedder corpus) return identical top-k results
+from the mutated session and from a cold fit on the same final lake.
+
+Run:  PYTHONPATH=src python benchmarks/bench_incremental.py
+
+Intentionally NOT named ``test_*``: the tier-1 suite should not pay for a
+latency sweep; correctness parity lives in
+tests/core/test_incremental_parity.py and tests/core/test_session.py.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.srql import Q
+from repro.core.system import CMDL, CMDLConfig
+from repro.eval.benchmarks import build_benchmark
+from repro.eval.reporting import format_table
+from repro.relational.catalog import DataLake
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+MIN_ADD_SPEEDUP = 5.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def main() -> None:
+    bench = build_benchmark("1B")
+    lake = bench.lake
+    config = lambda: CMDLConfig(use_joint=False)  # noqa: E731
+
+    # Baseline: what absorbing any change costs a frozen (fit-only) system.
+    cold_s, cold = _timed(lambda: CMDL(config()).fit(lake))
+
+    # Session: open over the lake minus its last table, then add it back.
+    tables, documents = lake.tables, lake.documents
+    delta_table = tables[-1]
+    base = DataLake(name=lake.name)
+    for table in tables[:-1]:
+        base.add_table(table)
+    for doc in documents[:-1]:
+        base.add_document(doc)
+    open_s, session = _timed(lambda: CMDL(config()).open(base))
+
+    add_table_s, _ = _timed(lambda: session.add_table(delta_table))
+    add_doc_s, _ = _timed(lambda: session.add_document(documents[-1]))
+    remove_s, _ = _timed(lambda: session.remove(delta_table.name))
+    readd_s, _ = _timed(lambda: session.add_table(delta_table))
+    refresh_s, _ = _timed(lambda: session.refresh())
+
+    # Parity of the value-semantics operators against the cold fit. (The
+    # session ends on the full lake: add + remove + re-add + refresh.)
+    workload = []
+    for table in sorted(cold.profile.table_columns)[:8]:
+        workload += [Q.joinable(table, top_n=3), Q.pkfk(table, top_n=3)]
+    mismatches = sum(
+        session.discover(q).items != cold.discover(q).items for q in workload
+    )
+
+    def row(op, seconds):
+        return [op, round(1000 * seconds, 1),
+                f"{cold_s / seconds:.1f}x" if seconds else "-"]
+
+    rows = [
+        ["cold CMDL.fit (baseline)", round(1000 * cold_s, 1), "1.0x"],
+        row("add_table (1 table)", add_table_s),
+        row("add_document (1 doc)", add_doc_s),
+        row("remove (1 table)", remove_s),
+        row("re-add after remove", readd_s),
+        row("refresh() full refit", refresh_s),
+    ]
+    report = format_table(
+        ["Mutation", "Time (ms)", "vs cold refit"],
+        rows,
+        title=(f"Incremental lake session vs cold refit on Pharma (1B): "
+               f"{lake.num_tables} tables / {lake.num_columns} columns / "
+               f"{lake.num_documents} documents"),
+    )
+    report += (
+        f"\n  session open (fit on base lake): {1000 * open_s:.0f} ms"
+        f"\n  value-operator parity vs cold fit: "
+        f"{len(workload) - mismatches}/{len(workload)} identical"
+    )
+    print(report)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(report + "\n\n")
+
+    assert mismatches == 0, "mutated session diverged from cold fit"
+    speedup = cold_s / add_table_s
+    assert speedup >= MIN_ADD_SPEEDUP, (
+        f"single-table add must be >= {MIN_ADD_SPEEDUP}x cheaper than a cold "
+        f"refit, got {speedup:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,11 @@ def main() -> None:
     #   engine.cross_modal_search(doc_id, top_n=3)
     #   engine.pkfk(table, top_n=2); engine.unionable(table, top_n=2)
 
+    # Living lakes — when tables/documents churn, don't refit: open a
+    # mutable session instead (see examples/incremental_lake.py):
+    #   session = repro.open_lake(lake)
+    #   session.add_table(new_table); session.discover(...)  # no refit
+
     gt = generated.ground_truth("doc_to_table")
     relevant = gt.relevant(r1[1])
     if relevant:

@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from repro.core.system import CMDL, CMDLConfig
+from repro.core.session import LakeSession, open_lake
 from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
 from repro.core.srql import Q, parse_srql, to_srql
 from repro.relational.catalog import DataLake, Document
@@ -35,6 +36,8 @@ __version__ = "1.0.0"
 __all__ = [
     "CMDL",
     "CMDLConfig",
+    "LakeSession",
+    "open_lake",
     "Q",
     "parse_srql",
     "to_srql",

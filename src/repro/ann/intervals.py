@@ -41,6 +41,16 @@ class IntervalIndex:
         self._stats.append(stats)
         self._mins = None  # arrays are stale; rebuilt lazily
 
+    def remove(self, key: str) -> None:
+        """Delete one entry; the vectorised arrays are rebuilt lazily."""
+        if key not in self._key_set:
+            raise KeyError(f"no interval entry for key {key!r}")
+        i = self._keys.index(key)
+        del self._keys[i]
+        del self._stats[i]
+        self._key_set.discard(key)
+        self._mins = None
+
     def build(self) -> "IntervalIndex":
         self._mins = np.array([s.minimum for s in self._stats], dtype=float)
         self._maxs = np.array([s.maximum for s in self._stats], dtype=float)

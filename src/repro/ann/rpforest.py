@@ -35,7 +35,17 @@ class _Node:
 
 
 class RPForestIndex:
-    """Forest of random-projection trees with exact candidate re-ranking."""
+    """Forest of random-projection trees with exact candidate re-ranking.
+
+    Supports delta maintenance: :meth:`insert` keeps new points in a "fresh"
+    set that every query scans exactly (no recall loss) until they exceed
+    :attr:`REPLANT_FRACTION` of the forest, at which point the trees are
+    re-planted; :meth:`delete` tombstones a key (filtered at query time) and
+    compacts once tombstones pass the same fraction.
+    """
+
+    #: Fresh-insert / tombstone fraction that triggers a tree re-plant.
+    REPLANT_FRACTION = 0.25
 
     def __init__(
         self,
@@ -56,6 +66,10 @@ class RPForestIndex:
         self._rows: list[np.ndarray] = []
         self._matrix: np.ndarray | None = None
         self._trees: list[_Node] = []
+        #: Live key -> row index (tombstoned rows have no entry here).
+        self._key_pos: dict[str, int] = {}
+        self._fresh: set[int] = set()
+        self._deleted_idx: set[int] = set()
 
     # -------------------------------------------------------------- build
 
@@ -65,11 +79,22 @@ class RPForestIndex:
         norm = np.linalg.norm(vector)
         self._keys.append(key)
         self._rows.append(vector / norm if norm > 0 else np.asarray(vector, dtype=float))
+        self._key_pos[key] = len(self._keys) - 1
         self._matrix = None
         self._trees = []
 
     def build(self) -> "RPForestIndex":
-        """(Re)build the forest over all added points."""
+        """(Re)build the forest over all live points."""
+        if self._deleted_idx:
+            live = [
+                (k, r) for i, (k, r) in enumerate(zip(self._keys, self._rows))
+                if i not in self._deleted_idx
+            ]
+            self._keys = [k for k, _ in live]
+            self._rows = [r for _, r in live]
+            self._key_pos = {k: i for i, k in enumerate(self._keys)}
+            self._deleted_idx = set()
+        self._fresh = set()
         if not self._rows:
             self._matrix = np.zeros((0, self.dim))
             self._trees = []
@@ -81,6 +106,55 @@ class RPForestIndex:
             self._build_node(all_indexes, rng, depth=0) for _ in range(self.num_trees)
         ]
         return self
+
+    # ----------------------------------------------------------- mutation
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._key_pos
+
+    def insert(self, key: str, vector: np.ndarray) -> None:
+        """Add one point to a built forest (delta path).
+
+        The point joins the fresh set, which queries scan exactly alongside
+        the tree candidates — zero recall loss — until fresh points exceed
+        :attr:`REPLANT_FRACTION` of the forest and the trees are re-planted.
+        (On an unbuilt forest this is just :meth:`add`; a previously
+        tombstoned key re-enters as a new row, no rebuild needed.)
+        """
+        if key in self._key_pos:
+            raise ValueError(f"duplicate ANN key {key!r}")
+        if self._matrix is None:
+            self.add(key, vector)
+            return
+        if len(vector) != self.dim:
+            raise ValueError(f"vector has dim {len(vector)}, index expects {self.dim}")
+        norm = np.linalg.norm(vector)
+        row = vector / norm if norm > 0 else np.asarray(vector, dtype=float)
+        self._keys.append(key)
+        self._rows.append(row)
+        self._key_pos[key] = len(self._keys) - 1
+        # The matrix is NOT extended per insert (that would copy O(n*d) per
+        # point): fresh rows are scored straight from _rows until the next
+        # re-plant folds them in.
+        self._fresh.add(len(self._keys) - 1)
+        self._maybe_replant()
+
+    def delete(self, key: str) -> None:
+        """Tombstone one point; compacts/re-plants past the churn bar."""
+        idx = self._key_pos.pop(key, None)
+        if idx is None:
+            raise KeyError(f"no ANN entry for key {key!r}")
+        self._deleted_idx.add(idx)
+        self._fresh.discard(idx)
+        self._maybe_replant()
+
+    def _maybe_replant(self) -> None:
+        live = max(len(self), 1)
+        if (
+            len(self._fresh) > self.REPLANT_FRACTION * live
+            or len(self._deleted_idx) > self.REPLANT_FRACTION * live
+        ):
+            self.build()
 
     def _build_node(self, indexes: list[int], rng, depth: int) -> _Node:
         if len(indexes) <= self.leaf_size or depth > 32:
@@ -110,7 +184,7 @@ class RPForestIndex:
         )
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._keys) - len(self._deleted_idx)
 
     # -------------------------------------------------------------- query
 
@@ -152,12 +226,20 @@ class RPForestIndex:
                 counter += 1
                 node = near
             candidates.update(node.indexes)
+        # Fresh (not-yet-planted) points are always scanned exactly, ON TOP
+        # of the tree budget (they must not starve the tree walk), so
+        # incremental inserts lose no recall between re-plants.
+        candidates.update(self._fresh)
 
         scored = []
+        planted = self._matrix.shape[0]
         for idx in candidates:
+            if idx in self._deleted_idx:
+                continue
             key = self._keys[idx]
             if key in exclude:
                 continue
-            scored.append((key, float(self._matrix[idx] @ q)))
+            row = self._matrix[idx] if idx < planted else self._rows[idx]
+            scored.append((key, float(row @ q)))
         scored.sort(key=lambda kv: (-kv[1], kv[0]))
         return scored[:k]

@@ -12,9 +12,12 @@ Modules map to the architecture of Figure 2:
 * :mod:`repro.core.ekg` — Enterprise Knowledge Graph builder.
 * :mod:`repro.core.discovery` — SRQL-style query interface.
 * :mod:`repro.core.system` — the :class:`CMDL` facade wiring it all.
+* :mod:`repro.core.session` — mutable lake sessions (incremental
+  add/remove/refresh with delta index maintenance).
 """
 
 from repro.core.system import CMDL, CMDLConfig
+from repro.core.session import LakeSession, open_lake
 from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
 from repro.core.profiler import Profile, Profiler
 from repro.core.indexes import IndexCatalog
@@ -22,6 +25,8 @@ from repro.core.indexes import IndexCatalog
 __all__ = [
     "CMDL",
     "CMDLConfig",
+    "LakeSession",
+    "open_lake",
     "DiscoveryEngine",
     "DiscoveryResultSet",
     "Profile",

@@ -65,13 +65,20 @@ class CandidateGenerator:
         indexes: "IndexCatalog",
         probe_multiplier: int = 4,
         min_probe: int = 32,
+        generation: int = 0,
     ):
         """``probe_multiplier`` scales each probe's budget relative to the
-        caller's k; ``min_probe`` floors it so small-k queries keep recall."""
+        caller's k; ``min_probe`` floors it so small-k queries keep recall.
+        ``generation`` stamps the engine cache generation this snapshot was
+        built under: the stacked signature matrix, eligibility masks, and
+        name-probe cache all freeze the profile as of construction, so the
+        engine discards the whole generator on mutation rather than patching
+        it (the generation-counter invalidation protocol)."""
         self.profile = profile
         self.indexes = indexes
         self.probe_multiplier = probe_multiplier
         self.min_probe = min_probe
+        self.generation = generation
         self._join_eligible = {
             cid for cid, s in profile.columns.items()
             if s.tags is not None and s.tags.join_discovery

@@ -154,15 +154,20 @@ class DiscoveryEngine:
             op: self._planner.strategy_for(op) for op in STRUCTURED_OPS
         }
 
+        #: Cache generation: bumped by :meth:`invalidate`, which lake
+        #: sessions call on every mutation. Everything derived from the
+        #: profile or the indexes (candidate generator, structured scorers,
+        #: PK-FK sweeps) is stamped with the generation it was built under
+        #: and rebuilt lazily after a bump — the protocol that keeps SRQL
+        #: memoisation and the candidate-layer caches from serving stale
+        #: results across mutations.
+        self.generation = 0
         self.candidates: CandidateGenerator | None = (
-            CandidateGenerator(profile, indexes)
+            CandidateGenerator(profile, indexes, generation=0)
             if "indexed" in self.operator_strategy.values()
             else None
         )
         self._structured_cache: dict[tuple[str, str], object] = {}
-        self.join_discovery: JoinDiscovery = self._structured("joinable")
-        self.union_discovery: UnionDiscovery = self._structured("unionable")
-        self.pkfk_discovery: PKFKDiscovery = self._structured("pkfk")
         self._pkfk_links: dict[str, list[PKFKLink]] = {}
         #: Diagnostic: full PK-FK sweeps run so far (the batch executor
         #: reports sweep reuse from this counter).
@@ -171,16 +176,41 @@ class DiscoveryEngine:
 
     # ----------------------------------------------------- physical layer
 
+    @property
+    def join_discovery(self) -> JoinDiscovery:
+        """The joinable scorer under the default strategy (generation-fresh)."""
+        return self._structured("joinable")
+
+    @property
+    def union_discovery(self) -> UnionDiscovery:
+        """The unionable scorer under the default strategy (generation-fresh)."""
+        return self._structured("unionable")
+
+    @property
+    def pkfk_discovery(self) -> PKFKDiscovery:
+        """The PK-FK scorer under the default strategy (generation-fresh)."""
+        return self._structured("pkfk")
+
     def _ensure_candidates(self) -> CandidateGenerator:
         if self.candidates is None:
-            self.candidates = CandidateGenerator(self.profile, self.indexes)
+            self.candidates = CandidateGenerator(
+                self.profile, self.indexes, generation=self.generation
+            )
         return self.candidates
 
     def _resolve_op_strategy(self, op: str, strategy: str | None) -> str:
-        if strategy is None:
-            return self.operator_strategy[op]
         from repro.core.srql.planner import choose_strategy, validate_strategy
 
+        if strategy is None:
+            # Under "auto" the choice is re-evaluated per call/sweep against
+            # the *current* profile (ROADMAP's size/density heuristic: small
+            # lakes take the warm-name-cache exact sweep, large lakes the
+            # indexed probes) — it can flip as a session's lake churns. The
+            # thresholds live in one place: the SRQL planner.
+            configured = self._planner.configured_for(op)
+            if configured == "auto":
+                return choose_strategy(op, self.profile)
+            return self.operator_strategy[op]
         validate_strategy(strategy, knob="strategy")
         if strategy == "auto":
             return choose_strategy(op, self.profile)
@@ -367,10 +397,42 @@ class DiscoveryEngine:
             self.pkfk_sweeps += 1
         return self._pkfk_links[resolved]
 
-    def invalidate(self) -> None:
-        """Drop cached PK-FK sweeps (e.g. after swapping engine internals
-        in tests, or to force fresh sweeps for a timing run)."""
+    #: Valid :meth:`invalidate` scopes, narrowest first.
+    INVALIDATE_SCOPES = ("pkfk", "candidates", "all")
+
+    def invalidate(self, scope: str = "all") -> None:
+        """Drop derived state so no query can read stale results.
+
+        ``scope`` selects how much to drop:
+
+        * ``"pkfk"`` — cached PK-FK sweeps only (e.g. to force fresh sweeps
+          for a timing run);
+        * ``"candidates"`` — additionally the candidate generator and the
+          structured scorers built over it (their probe caches and stacked
+          signature matrices snapshot the profile);
+        * ``"all"`` (default) — additionally bump :attr:`generation` and
+          re-resolve ``"auto"`` operator strategies against the current
+          profile size. Lake sessions call this on every mutation.
+        """
+        if scope not in self.INVALIDATE_SCOPES:
+            raise ValueError(
+                f"invalid invalidate scope {scope!r}; allowed values are "
+                f"{', '.join(repr(s) for s in self.INVALIDATE_SCOPES)}"
+            )
         self._pkfk_links.clear()
+        if scope == "pkfk":
+            return
+        self.candidates = None
+        self._structured_cache.clear()
+        if scope == "candidates":
+            return
+        self.generation += 1
+        self._planner.refresh()
+        from repro.core.srql.planner import STRUCTURED_OPS
+
+        self.operator_strategy = {
+            op: self._planner.strategy_for(op) for op in STRUCTURED_OPS
+        }
 
     def pkfk(self, table_name: str, top_n: int = 2,
              strategy: str | None = None) -> DiscoveryResultSet:

@@ -67,51 +67,101 @@ class IndexCatalog:
         self.column_schema_ngrams = SearchEngine(ranker=ranker)
         self.column_numeric = IntervalIndex()
 
-        text_columns = set(profile.text_discovery_columns())
+        self._text_columns = set(profile.text_discovery_columns())
         encoding_dim = None
         embedding_dim = None
 
-        for doc_id, sketch in profile.documents.items():
-            self.doc_content.add(doc_id, sketch.content_bow.terms)
-            self.doc_metadata.add(doc_id, sketch.metadata_bow.terms)
+        for sketch in profile.documents.values():
             encoding_dim = encoding_dim or len(sketch.encoding)
-        for col_id, sketch in profile.columns.items():
+        for sketch in profile.columns.values():
             encoding_dim = encoding_dim or len(sketch.encoding)
             embedding_dim = embedding_dim or len(sketch.content_embedding)
-            self.value_containment.add(col_id, sketch.join_signature)
-            self.column_schema.add(col_id, split_identifier(sketch.column_name))
-            self.column_schema_ngrams.add(col_id, name_trigrams(sketch.column_name))
-            if sketch.numeric is not None:
-                self.column_numeric.add(col_id, sketch.numeric)
-            if col_id not in text_columns:
-                continue
-            self.column_content.add(col_id, sketch.content_bow.terms)
-            self.column_metadata.add(col_id, sketch.metadata_bow.terms)
-            self.column_containment.add(col_id, sketch.signature)
-        self.column_containment.build()
-        self.value_containment.build()
-        self.column_numeric.build()
 
         self.column_semantic = RPForestIndex(
             dim=embedding_dim or 100, num_trees=num_trees, seed=seed
         )
-        for col_id, sketch in profile.columns.items():
-            self.column_semantic.add(col_id, sketch.content_embedding)
-        self.column_semantic.build()
-
         dim = encoding_dim or 200
         self.doc_solo = RPForestIndex(dim=dim, num_trees=num_trees, seed=seed)
         self.column_solo = RPForestIndex(dim=dim, num_trees=num_trees, seed=seed)
+
         for doc_id, sketch in profile.documents.items():
-            self.doc_solo.add(doc_id, sketch.encoding)
+            self._index_document(doc_id, sketch)
         for col_id, sketch in profile.columns.items():
-            if col_id in text_columns:
-                self.column_solo.add(col_id, sketch.encoding)
+            self._index_column(col_id, sketch)
+        self.column_containment.build()
+        self.value_containment.build()
+        self.column_numeric.build()
+        self.column_semantic.build()
         self.doc_solo.build()
         self.column_solo.build()
 
         self.doc_joint: RPForestIndex | None = None
         self.column_joint: RPForestIndex | None = None
+
+    # ----------------------------------------------------------- indexing
+
+    def _index_document(self, doc_id: str, sketch) -> None:
+        """Route one document sketch into every index that covers it.
+
+        Works both at build time (entries staged, caller builds) and as the
+        delta path (the sketch structures' ``insert`` absorbs post-build
+        adds; the keyword engines are incremental by construction).
+        """
+        self.doc_content.add(doc_id, sketch.content_bow.terms)
+        self.doc_metadata.add(doc_id, sketch.metadata_bow.terms)
+        self.doc_solo.insert(doc_id, sketch.encoding)
+
+    def _index_column(self, col_id: str, sketch) -> None:
+        """Route one column sketch into every index that covers it."""
+        self.value_containment.insert(col_id, sketch.join_signature)
+        self.column_schema.add(col_id, split_identifier(sketch.column_name))
+        self.column_schema_ngrams.add(col_id, name_trigrams(sketch.column_name))
+        self.column_semantic.insert(col_id, sketch.content_embedding)
+        if sketch.numeric is not None:
+            self.column_numeric.add(col_id, sketch.numeric)
+        if col_id not in self._text_columns:
+            return
+        self.column_content.add(col_id, sketch.content_bow.terms)
+        self.column_metadata.add(col_id, sketch.metadata_bow.terms)
+        self.column_containment.insert(col_id, sketch.signature)
+        self.column_solo.insert(col_id, sketch.encoding)
+
+    # ------------------------------------------------------------- deltas
+
+    def insert_document(self, sketch) -> None:
+        """Index one new document sketch (delta path)."""
+        self._index_document(sketch.de_id, sketch)
+
+    def remove_document(self, doc_id: str) -> None:
+        """Drop one document from every index that covers it."""
+        self.doc_content.remove(doc_id)
+        self.doc_metadata.remove(doc_id)
+        self.doc_solo.delete(doc_id)
+        if self.doc_joint is not None and doc_id in self.doc_joint:
+            self.doc_joint.delete(doc_id)
+
+    def insert_column(self, sketch) -> None:
+        """Index one new column sketch (delta path); honours its tags."""
+        if sketch.tags is not None and sketch.tags.text_discovery:
+            self._text_columns.add(sketch.de_id)
+        self._index_column(sketch.de_id, sketch)
+
+    def remove_column(self, col_id: str) -> None:
+        """Drop one column from every index that covers it."""
+        self.value_containment.delete(col_id)
+        self.column_schema.remove(col_id)
+        self.column_schema_ngrams.remove(col_id)
+        self.column_semantic.delete(col_id)
+        if col_id in self.column_numeric:
+            self.column_numeric.remove(col_id)
+        if col_id in self._text_columns:
+            self._text_columns.discard(col_id)
+            self.column_content.remove(col_id)
+            self.column_metadata.remove(col_id)
+            self.column_containment.delete(col_id)
+            self.column_solo.delete(col_id)
+        if self.column_joint is not None and col_id in self.column_joint:
+            self.column_joint.delete(col_id)
 
     # ------------------------------------------------------------- joint
 
@@ -136,6 +186,16 @@ class IndexCatalog:
             self.column_joint.add(col_id, vec)
         self.doc_joint.build()
         self.column_joint.build()
+
+    def insert_joint_document(self, doc_id: str, vector: np.ndarray) -> None:
+        """Delta-index one joint-space document vector (no-op pre-training)."""
+        if self.doc_joint is not None:
+            self.doc_joint.insert(doc_id, vector)
+
+    def insert_joint_column(self, col_id: str, vector: np.ndarray) -> None:
+        """Delta-index one joint-space column vector (no-op pre-training)."""
+        if self.column_joint is not None:
+            self.column_joint.insert(col_id, vector)
 
     @property
     def has_joint(self) -> bool:

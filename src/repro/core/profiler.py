@@ -99,6 +99,34 @@ class Profile:
     def columns_of_table(self, table_name: str) -> list[str]:
         return self.table_columns.get(table_name, [])
 
+    # ------------------------------------------------------------ mutation
+
+    def add_one(self, sketch: DESketch) -> None:
+        """Register one freshly-profiled DE (delta path of lake sessions)."""
+        if sketch.kind == DOCUMENT:
+            if sketch.de_id in self.documents:
+                raise ValueError(f"duplicate document sketch {sketch.de_id!r}")
+            self.documents[sketch.de_id] = sketch
+        else:
+            if sketch.de_id in self.columns:
+                raise ValueError(f"duplicate column sketch {sketch.de_id!r}")
+            self.columns[sketch.de_id] = sketch
+            self.table_columns.setdefault(sketch.table_name, []).append(sketch.de_id)
+
+    def drop_one(self, de_id: str) -> DESketch:
+        """Forget one DE's sketch; returns it so callers can unindex it."""
+        if de_id in self.documents:
+            return self.documents.pop(de_id)
+        if de_id in self.columns:
+            sketch = self.columns.pop(de_id)
+            ids = self.table_columns.get(sketch.table_name)
+            if ids is not None:
+                ids.remove(de_id)
+                if not ids:
+                    del self.table_columns[sketch.table_name]
+            return sketch
+        raise KeyError(f"no sketch for DE {de_id!r}")
+
     def text_discovery_columns(self) -> list[str]:
         """Columns tagged as eligible for doc-column / keyword discovery."""
         return [
@@ -187,8 +215,49 @@ class Profiler:
         profile.structured_seconds = t_cols.elapsed
         return profile
 
-    def _profile_document(self, document: Document) -> DESketch:
-        content = self.pipeline.transform(document.text)
+    # ---------------------------------------------------------- delta path
+
+    def _require_embedder(self) -> None:
+        if self.embedder is None:
+            raise RuntimeError(
+                "profiler has no embedder yet; profile() a lake first (which "
+                "trains the default blended embedder) or construct the "
+                "Profiler with an explicit embedder"
+            )
+
+    def profile_one(
+        self, item: "Document | Column", content: BagOfWords | None = None
+    ) -> DESketch:
+        """Sketch one new DE without re-profiling the lake (delta path).
+
+        Documents are transformed with the pipeline as currently fitted and
+        embedded with the embedder as currently trained — lake sessions own
+        keeping both in sync (:class:`~repro.core.session.LakeSession`
+        re-fits the pipeline on document churn; the embedder stays frozen
+        until ``refresh()``). ``content`` short-circuits the document
+        transform when the caller already computed the bag (the session's
+        drift check does).
+        """
+        self._require_embedder()
+        if isinstance(item, Document):
+            return self._profile_document(item, content=content)
+        if isinstance(item, Column):
+            return self._profile_column(item)
+        raise TypeError(
+            f"profile_one takes a Document or a Column, got {type(item).__name__}"
+        )
+
+    def profile_table(self, table) -> list[DESketch]:
+        """Sketch every column of one new table (delta path)."""
+        return [self.profile_one(column) for column in table.columns]
+
+    # ----------------------------------------------------------- internals
+
+    def _profile_document(
+        self, document: Document, content: BagOfWords | None = None
+    ) -> DESketch:
+        if content is None:
+            content = self.pipeline.transform(document.text)
         meta_terms = Counter(tokenize(document.title))
         if document.source:
             meta_terms.update(tokenize(document.source))

@@ -1,0 +1,264 @@
+"""Mutable lake sessions: incremental add / remove / refresh over a fitted CMDL.
+
+The paper presents discovery over a *living* data lake, but ``CMDL.fit`` is a
+snapshot: any churn means a full refit. :class:`LakeSession` keeps a fitted
+system live while the lake changes — the always-on posture HTAP systems take
+toward mixing updates with analytics (Polynesia, arXiv:2103.00798) — by
+maintaining delta paths through every layer:
+
+* the **profiler** sketches only the new DEs (``profile_one`` /
+  ``profile_table``; ``Profile.add_one`` / ``drop_one``);
+* the **index catalog** inserts/deletes per DE — BM25 inverted indexes
+  update their corpus statistics exactly (tombstoned postings, compacted
+  past 25% churn), the LSH / LSH-Ensemble structures insert into the
+  matching size partition and repartition lazily, the RP-forest ANN indexes
+  scan fresh points exactly until a re-plant, and the interval index
+  rebuilds its arrays lazily;
+* the **engine** is invalidated under the generation-counter protocol
+  (:meth:`DiscoveryEngine.invalidate`): the candidate generator, structured
+  scorers, cached PK-FK sweeps, and ``"auto"`` strategy choices are all
+  rebuilt lazily on the next query, so SRQL memoisation and the candidate
+  caches can never serve stale results across mutations.
+
+``engine.discover()`` keeps working unchanged mid-session. **Parity
+contract:** value-set, name, numeric, and keyword semantics match a cold
+``CMDL.fit`` on the final lake exactly (document bags are re-synced when the
+corpus-wide df filter shifts). Embedding-based scores use the embedder *as
+trained at fit time*: with a corpus-independent embedder (e.g.
+:class:`~repro.embed.hashing_embedder.HashingEmbedder` via
+``CMDLConfig.embedder``) incremental results are identical to a cold fit for
+all six primitives; with the default corpus-trained blended embedder (or a
+trained joint model) embeddings are frozen until :meth:`LakeSession.refresh`
+retrains them.
+"""
+
+from __future__ import annotations
+
+from repro.core.discovery import DiscoveryEngine
+from repro.core.profiler import DESketch
+from repro.core.system import CMDL, CMDLConfig
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+
+
+def open_lake(
+    lake: DataLake,
+    config: CMDLConfig | None = None,
+    gold_pairs: list[tuple[str, str, int]] | None = None,
+) -> "LakeSession":
+    """Fit a CMDL system over ``lake`` and return a mutable session.
+
+    Top-level convenience for ``CMDL(config).open(lake)``::
+
+        from repro import open_lake, Q, Table
+
+        session = open_lake(lake)
+        session.discover(Q.joinable("drugs", top_n=2))
+        session.add_table(Table.from_dict("trials", {...}))
+        session.discover(Q.joinable("trials", top_n=2))   # no refit
+    """
+    return CMDL(config).open(lake, gold_pairs=gold_pairs)
+
+
+class LakeSession:
+    """A fitted CMDL system plus the mutable lake it serves.
+
+    Obtained from :meth:`CMDL.open` / :func:`open_lake`. All mutators keep
+    the profile, every index, and the engine's caches consistent; queries
+    between mutations are served without any refitting.
+    """
+
+    def __init__(
+        self,
+        cmdl: CMDL,
+        lake: DataLake,
+        gold_pairs: list[tuple[str, str, int]] | None = None,
+    ):
+        if cmdl.engine is None or cmdl.profiler is None:
+            raise RuntimeError(
+                "LakeSession needs a fitted CMDL; use CMDL.open(lake) or "
+                "repro.open_lake(lake)"
+            )
+        self.cmdl = cmdl
+        self.lake = lake
+        #: Gold pairs the system was fitted with; :meth:`refresh` reuses
+        #: them so a refreshed session equals a cold fit with the same gold.
+        self.gold_pairs = gold_pairs
+        #: Mutations applied since open()/refresh() (diagnostic).
+        self.mutations = 0
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def engine(self) -> DiscoveryEngine:
+        """The live engine (replaced wholesale by :meth:`refresh`)."""
+        return self.cmdl.engine
+
+    @property
+    def profile(self):
+        return self.cmdl.profile
+
+    @property
+    def indexes(self):
+        return self.cmdl.indexes
+
+    @property
+    def profiler(self):
+        return self.cmdl.profiler
+
+    @property
+    def generation(self) -> int:
+        """The engine's cache generation; bumps on every mutation."""
+        return self.engine.generation
+
+    def discover(self, query):
+        """Run one SRQL query against the current lake state."""
+        return self.engine.discover(query)
+
+    def discover_batch(self, queries):
+        """Run an SRQL workload against the current lake state."""
+        return self.engine.discover_batch(queries)
+
+    # ----------------------------------------------------------- mutators
+
+    def add_table(self, table: Table) -> None:
+        """Add one table: sketch its columns, delta-index them, invalidate."""
+        self.lake.add_table(table)
+        self._register_table(table)
+        self._commit()
+
+    def add_document(self, document: Document) -> None:
+        """Add one document (re-syncing df-filtered bags), invalidate."""
+        self.lake.add_document(document)
+        self._resync_documents()
+        self._commit()
+
+    def add_documents(self, documents: list[Document]) -> None:
+        """Add several documents with a single re-sync and invalidation."""
+        self.lake.add_documents(documents)
+        self._resync_documents()
+        self._commit()
+
+    def remove(self, name: str) -> None:
+        """Remove a table (by name) or a document (by id) from the session.
+
+        Table and document ids share no namespace in practice (column DEs
+        are ``table.column``); tables are checked first.
+        """
+        if self.lake.has_table(name):
+            self._unregister_table(name)
+            self.lake.remove_table(name)
+        elif self.lake.has_document(name):
+            self.indexes.remove_document(name)
+            self.profile.drop_one(name)
+            self.lake.remove_document(name)
+            self._resync_documents()
+        else:
+            raise KeyError(
+                f"lake {self.lake.name!r} has no table or document {name!r}"
+            )
+        self._commit()
+
+    def update_table(self, table: Table) -> None:
+        """Replace an existing table in place (schema/type changes included).
+
+        Equivalent to ``remove`` + ``add_table`` under one invalidation;
+        raises ``KeyError`` if no table of that name exists.
+        """
+        if table.name not in self.lake.table_names:
+            raise KeyError(
+                f"lake {self.lake.name!r} has no table {table.name!r} to update"
+            )
+        self._unregister_table(table.name)
+        self.lake.remove_table(table.name)
+        self.lake.add_table(table)
+        self._register_table(table)
+        self._commit()
+
+    def refresh(self, gold_pairs=None) -> DiscoveryEngine:
+        """Full refit on the current lake: cold-fit equivalence restored.
+
+        Retrains the embedder (when corpus-trained) and the joint model,
+        rebuilds every index from scratch, and replaces the engine. The
+        gold pairs the session was opened with are reused unless new ones
+        are passed (which become the session's gold from then on). The
+        generation counter stays monotonic across the swap so stale
+        :class:`~repro.core.srql.executor.ExecutionStats` remain detectable.
+        """
+        if gold_pairs is not None:
+            self.gold_pairs = gold_pairs
+        generation = self.engine.generation
+        self.cmdl.fit(self.lake, gold_pairs=self.gold_pairs)
+        engine = self.cmdl.engine
+        engine.generation = generation + 1
+        if engine.candidates is not None:
+            # Keep the stamp invariant: the freshly-built generator belongs
+            # to the generation the refreshed engine now carries.
+            engine.candidates.generation = engine.generation
+        self.mutations = 0
+        return engine
+
+    # ---------------------------------------------------------- internals
+
+    def _commit(self) -> None:
+        self.mutations += 1
+        self.engine.invalidate("all")
+
+    def _register_table(self, table: Table) -> None:
+        # Cold fit registers every table, including zero-column ones.
+        self.profile.table_columns.setdefault(table.name, [])
+        for sketch in self.profiler.profile_table(table):
+            self.profile.add_one(sketch)
+            self.indexes.insert_column(sketch)
+            self.engine.uniqueness[sketch.de_id] = table.column(
+                sketch.column_name
+            ).uniqueness
+            self._joint_index_column(sketch)
+
+    def _unregister_table(self, name: str) -> None:
+        for col_id in list(self.profile.columns_of_table(name)):
+            self.indexes.remove_column(col_id)
+            self.profile.drop_one(col_id)
+            self.engine.uniqueness.pop(col_id, None)
+        self.profile.table_columns.pop(name, None)
+
+    def _resync_documents(self) -> None:
+        """Re-fit the document pipeline and re-sketch drifted documents.
+
+        The pipeline's df filter is corpus-wide, so adding or removing a
+        document can change *other* documents' bags of words; only those
+        whose bag actually changed are re-sketched and re-indexed, which
+        keeps the keyword/containment paths byte-identical to a cold fit on
+        the current corpus.
+        """
+        pipeline = self.profiler.pipeline
+        pipeline.fit(d.text for d in self.lake.documents)
+        for document in self.lake.documents:
+            old = self.profile.documents.get(document.doc_id)
+            bow = None
+            if old is not None:
+                bow = pipeline.transform(document.text)
+                if bow.terms == old.content_bow.terms:
+                    continue
+                self.indexes.remove_document(document.doc_id)
+                self.profile.drop_one(document.doc_id)
+            sketch = self.profiler.profile_one(document, content=bow)
+            self.profile.add_one(sketch)
+            self.indexes.insert_document(sketch)
+            self._joint_index_document(sketch)
+
+    def _joint_index_column(self, sketch: DESketch) -> None:
+        """Delta-index a new column's joint vector under the frozen model
+        (text-discovery columns only, matching the fit-time population)."""
+        if self.cmdl.joint_model is None or not self.indexes.has_joint:
+            return
+        if sketch.tags is None or not sketch.tags.text_discovery:
+            return
+        vector = self.cmdl.joint_model.embed(sketch.encoding[None, :])[0]
+        self.indexes.insert_joint_column(sketch.de_id, vector)
+
+    def _joint_index_document(self, sketch: DESketch) -> None:
+        if self.cmdl.joint_model is None or self.indexes.doc_joint is None:
+            return
+        vector = self.cmdl.joint_model.embed(sketch.encoding[None, :])[0]
+        self.indexes.insert_joint_document(sketch.de_id, vector)

@@ -58,6 +58,11 @@ class ExecutionStats:
     pkfk_queries: int = 0
     #: Executed-primitive counts by operator name.
     by_op: Counter = field(default_factory=Counter)
+    #: Engine cache generation the batch executed under. Lake-session
+    #: mutations bump the engine's generation, so comparing this across
+    #: calls makes stale-read bugs observable: two batches with the same
+    #: generation ran against the same lake state.
+    generation: int = 0
 
     @property
     def reused(self) -> int:
@@ -82,7 +87,7 @@ class Executor:
     def execute_batch(self, plans: list[QueryPlan]) -> list[DiscoveryResultSet]:
         """Evaluate a workload with memoisation, operator grouping, and a
         shared PK-FK sweep. Results are positionally aligned with ``plans``."""
-        stats = ExecutionStats()
+        stats = ExecutionStats(generation=self.engine.generation)
         memo: dict[Query, DiscoveryResultSet] = {}
 
         # Group the batch's unique primitive nodes by operator. Plan nodes

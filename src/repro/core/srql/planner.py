@@ -167,13 +167,27 @@ class Planner:
             self.operator_strategies
         )
         self._resolved: dict[str, str] = {}
+        self.refresh()
+
+    # ------------------------------------------------------------ public
+
+    def refresh(self) -> None:
+        """Re-resolve ``"auto"`` choices against the profile's current size.
+
+        Lake sessions call this on every mutation: the size/density
+        crossovers of :func:`choose_strategy` can flip as the lake grows or
+        shrinks, so ``auto`` operators are re-resolved rather than frozen at
+        fit time.
+        """
         for op in STRUCTURED_OPS:
             choice = self.operator_strategies.get(op, self.default_strategy)
             if choice == "auto":
                 choice = choose_strategy(op, self.profile)
             self._resolved[op] = choice
 
-    # ------------------------------------------------------------ public
+    def configured_for(self, op: str) -> str:
+        """The configured (possibly ``"auto"``) choice for one operator."""
+        return self.operator_strategies.get(op, self.default_strategy)
 
     def strategy_for(self, op: str) -> str:
         """The resolved (concrete) strategy for one structured operator."""

@@ -71,6 +71,15 @@ class CMDLConfig:
     #: "joinable" / "unionable" / "pkfk", values as discovery_strategy.
     operator_strategies: dict[str, str] = field(default_factory=dict)
 
+    #: Word embedder for the solo encodings. ``None`` trains the default
+    #: blended embedder on the lake's own text at fit time. Pass a
+    #: corpus-independent embedder (e.g.
+    #: :class:`~repro.embed.hashing_embedder.HashingEmbedder`) when lake
+    #: *sessions* must keep exact embedding parity under mutation: the
+    #: blended embedder is frozen at fit, so embeddings of DEs added later
+    #: reflect the fit-time corpus until :meth:`LakeSession.refresh`.
+    embedder: object | None = None
+
     seed: int = 0
     extra_labeling_functions: list[LabelingFunction] = field(default_factory=list)
 
@@ -80,6 +89,7 @@ class CMDL:
 
     def __init__(self, config: CMDLConfig | None = None):
         self.config = config or CMDLConfig()
+        self.profiler: Profiler | None = None
         self.profile: Profile | None = None
         self.indexes: IndexCatalog | None = None
         self.joint_model: JointRepresentationModel | None = None
@@ -105,13 +115,14 @@ class CMDL:
         # out, rather than deep inside the discovery stack after profiling.
         validate_strategy(cfg.discovery_strategy)
         validate_operator_strategies(cfg.operator_strategies)
-        profiler = Profiler(
+        self.profiler = Profiler(
             embedding_dim=cfg.embedding_dim,
             num_hashes=cfg.num_hashes,
             pooling=cfg.pooling,
+            embedder=cfg.embedder,
             seed=cfg.seed,
         )
-        self.profile = profiler.profile(lake)
+        self.profile = self.profiler.profile(lake)
         self.indexes = IndexCatalog(self.profile, ranker=cfg.ranker, seed=cfg.seed)
 
         if cfg.use_joint and self.profile.documents:
@@ -132,6 +143,23 @@ class CMDL:
             operator_strategies=cfg.operator_strategies,
         )
         return self.engine
+
+    # ----------------------------------------------------------- sessions
+
+    def open(self, lake: DataLake, gold_pairs=None) -> "LakeSession":
+        """Fit on ``lake`` and return a mutable :class:`LakeSession`.
+
+        The session keeps the fitted system live while the lake churns:
+        ``add_table`` / ``add_document`` / ``remove`` / ``update_table``
+        maintain the profile and every index incrementally (delta
+        sketching, index inserts/deletes with lazy rebuilds) instead of
+        refitting, and ``refresh()`` restores full cold-fit equivalence
+        (embedder + joint model retrained).
+        """
+        from repro.core.session import LakeSession
+
+        self.fit(lake, gold_pairs=gold_pairs)
+        return LakeSession(self, lake, gold_pairs=gold_pairs)
 
     # ------------------------------------------------------------ internals
 

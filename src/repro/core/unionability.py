@@ -14,6 +14,8 @@ Recall analysis of Table 5.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
@@ -106,6 +108,8 @@ class UnionDiscovery:
         """
         if measure is not None and measure not in UNION_MEASURES:
             raise ValueError(f"unknown measure {measure!r}")
+        if k <= 0:
+            return []
         query_columns = self.profile.columns_of_table(table_name)
         if not query_columns:
             return []
@@ -126,9 +130,10 @@ class UnionDiscovery:
             return scores[measure] if measure is not None else self._combine(scores)
 
         # Candidate generation: per query column, its top-k columns anywhere
-        # (exact: scored against every other column; indexed: against the
-        # per-measure index probes only).
-        candidates: set[str] = set()
+        # (exact: scored against every other table; indexed: against the
+        # per-measure index probes only). The best pair score observed per
+        # candidate table doubles as the visit-order evidence below.
+        evidence: dict[str, float] = {}
         all_others = [
             cid for cid in self.profile.columns
             if self.profile.columns[cid].table_name != table_name
@@ -143,25 +148,57 @@ class UnionDiscovery:
             scored.sort(key=lambda kv: (-kv[1], kv[0]))
             for oc, s in scored[: self.candidate_k]:
                 if s > 0:
-                    candidates.add(self.profile.columns[oc].table_name)
+                    table = self.profile.columns[oc].table_name
+                    evidence[table] = max(evidence.get(table, 0.0), s)
 
         # Alignment: maximal bipartite matching on the pair-score matrix.
-        results = []
-        for candidate in sorted(candidates):
-            score = self._alignment_score(query_columns, candidate, pair_score)
+        # Candidates are visited best-evidence-first so the top-k floor
+        # rises quickly, and any table whose per-column best-case sum cannot
+        # beat the floor is skipped before its matrix is fully scored.
+        results: list[tuple[str, float]] = []
+        top_scores: list[float] = []  # min-heap of the k best scores so far
+        floor = float("-inf")
+        for candidate in sorted(evidence, key=lambda t: (-evidence[t], t)):
+            score = self._alignment_score(
+                query_columns, candidate, pair_score, floor=floor
+            )
+            if score is None:
+                continue  # upper bound below the floor: cannot enter the top-k
             results.append((candidate, score))
+            heapq.heappush(top_scores, score)
+            if len(top_scores) > k:
+                heapq.heappop(top_scores)
+            if len(top_scores) == k:
+                floor = top_scores[0]
         results.sort(key=lambda kv: (-kv[1], kv[0]))
         return results[:k]
 
-    def _alignment_score(self, query_columns, candidate_table, pair_score) -> float:
+    def _alignment_score(
+        self, query_columns, candidate_table, pair_score, floor=float("-inf")
+    ) -> float | None:
+        """Bipartite alignment score, or ``None`` when early-terminated.
+
+        The matrix is filled row by row while an optimistic upper bound is
+        maintained: every matched pair contributes at most its row's best
+        score, and unfilled rows at most 1.0 (all four measures live in
+        [0, 1]; negative cosines clip to 0 since matching never helps from
+        them). As soon as the bound drops *strictly* below ``floor`` — the
+        caller's current top-k cutoff — the remaining rows and the matching
+        itself are skipped: the table provably cannot enter the top-k.
+        """
         cand_columns = self.profile.columns_of_table(candidate_table)
         if not cand_columns:
-            return 0.0
+            # Upper bound is exactly 0.0: prune only when strictly below.
+            return 0.0 if floor <= 0.0 else None
+        denom = min(len(query_columns), len(cand_columns))
         matrix = np.zeros((len(query_columns), len(cand_columns)))
+        best_case = float(len(query_columns))
         for i, qc in enumerate(query_columns):
             for j, cc in enumerate(cand_columns):
                 matrix[i, j] = pair_score(qc, cc)
+            best_case += max(matrix[i].max(), 0.0) - 1.0
+            if best_case / denom < floor:
+                return None
         rows, cols = linear_sum_assignment(-matrix)
         matched = matrix[rows, cols]
-        denom = min(len(query_columns), len(cand_columns))
-        return float(matched.sum() / denom) if denom else 0.0
+        return float(matched.sum() / denom)

@@ -64,6 +64,16 @@ class DataLake:
             raise ValueError(f"duplicate table name {table.name!r}")
         self._tables[table.name] = table
 
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def remove_table(self, name: str) -> Table:
+        """Drop and return a table; raises ``KeyError`` if absent."""
+        try:
+            return self._tables.pop(name)
+        except KeyError:
+            raise KeyError(f"lake {self.name!r} has no table {name!r}") from None
+
     def table(self, name: str) -> Table:
         try:
             return self._tables[name]
@@ -98,6 +108,16 @@ class DataLake:
     def add_documents(self, documents: list[Document]) -> None:
         for document in documents:
             self.add_document(document)
+
+    def has_document(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def remove_document(self, doc_id: str) -> Document:
+        """Drop and return a document; raises ``KeyError`` if absent."""
+        try:
+            return self._documents.pop(doc_id)
+        except KeyError:
+            raise KeyError(f"lake {self.name!r} has no document {doc_id!r}") from None
 
     def document(self, doc_id: str) -> Document:
         try:

@@ -34,6 +34,10 @@ class SearchEngine:
         self.index.add(key, terms)
         self._scorer = None  # statistics changed; rebuild lazily
 
+    def remove(self, key: str) -> None:
+        self.index.remove(key)
+        self._scorer = None
+
     def __len__(self) -> int:
         return self.index.num_docs
 

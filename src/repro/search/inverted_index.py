@@ -22,23 +22,79 @@ class InvertedIndex:
     token bag). The index maintains the statistics both BM25 and
     LM-Dirichlet need: document frequencies, document lengths, collection
     term frequencies.
+
+    Removal is tombstone-based: :meth:`remove` updates every corpus
+    statistic exactly (so rankings match a cold-built index over the live
+    documents) but leaves dead entries in the postings lists, which
+    :meth:`postings` filters lazily; the lists are compacted once tombstones
+    exceed :attr:`COMPACT_FRACTION` of the live document count.
     """
+
+    #: Tombstone fraction (dead / live) that triggers postings compaction.
+    COMPACT_FRACTION = 0.25
 
     def __init__(self) -> None:
         self._postings: dict[str, list[Posting]] = defaultdict(list)
         self._doc_lengths: dict[str, int] = {}
         self._collection_tf: Counter = Counter()
+        self._doc_terms: dict[str, Counter] = {}
+        self._df: Counter = Counter()
+        #: Tombstoned key -> the terms its dead postings live under.
+        self._deleted: dict[str, frozenset[str]] = {}
 
     # -------------------------------------------------------------- build
 
     def add(self, key: str, terms: list[str] | Counter) -> None:
         if key in self._doc_lengths:
             raise ValueError(f"duplicate index key {key!r}")
+        dead_terms = self._deleted.pop(key, None)
+        if dead_terms is not None:
+            # Re-adding a tombstoned key: purge just its dead postings so
+            # the new entry is the only one under this key.
+            for term in dead_terms:
+                self._purge_term(term, key)
         tf = terms if isinstance(terms, Counter) else Counter(terms)
         self._doc_lengths[key] = sum(tf.values())
+        self._doc_terms[key] = Counter(tf)
         for term, count in tf.items():
             self._postings[term].append(Posting(key, count))
             self._collection_tf[term] += count
+            self._df[term] += 1
+
+    def remove(self, key: str) -> None:
+        """Tombstone one document, keeping every corpus statistic exact."""
+        if key not in self._doc_lengths:
+            raise KeyError(f"no index entry for key {key!r}")
+        tf = self._doc_terms.pop(key)
+        del self._doc_lengths[key]
+        for term, count in tf.items():
+            self._collection_tf[term] -= count
+            if self._collection_tf[term] <= 0:
+                del self._collection_tf[term]
+            self._df[term] -= 1
+            if self._df[term] <= 0:
+                del self._df[term]
+        self._deleted[key] = frozenset(tf)
+        if len(self._deleted) > self.COMPACT_FRACTION * max(self.num_docs, 1):
+            self._compact()
+
+    def _purge_term(self, term: str, key: str) -> None:
+        live = [p for p in self._postings.get(term, ()) if p.doc_key != key]
+        if live:
+            self._postings[term] = live
+        elif term in self._postings:
+            del self._postings[term]
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries from the postings lists."""
+        dead = self._deleted
+        for term in list(self._postings):
+            live = [p for p in self._postings[term] if p.doc_key not in dead]
+            if live:
+                self._postings[term] = live
+            else:
+                del self._postings[term]
+        self._deleted = {}
 
     # --------------------------------------------------------------- stats
 
@@ -58,13 +114,16 @@ class InvertedIndex:
         return self._doc_lengths.get(key, 0)
 
     def document_frequency(self, term: str) -> int:
-        return len(self._postings.get(term, ()))
+        return self._df.get(term, 0)
 
     def collection_frequency(self, term: str) -> int:
         return self._collection_tf.get(term, 0)
 
     def postings(self, term: str) -> list[Posting]:
-        return self._postings.get(term, [])
+        entries = self._postings.get(term, [])
+        if self._deleted:
+            return [p for p in entries if p.doc_key not in self._deleted]
+        return entries
 
     def __contains__(self, key: str) -> bool:
         return key in self._doc_lengths

@@ -39,6 +39,17 @@ class LSHIndex:
         for band, h in enumerate(signature.band_hashes(self.num_bands)):
             self._buckets[band][h].append(key)
 
+    def remove(self, key: str) -> None:
+        """Delete one entry (bucket lists are short: band-local collisions)."""
+        signature = self._signatures.pop(key, None)
+        if signature is None:
+            raise KeyError(f"no LSH entry for key {key!r}")
+        for band, h in enumerate(signature.band_hashes(self.num_bands)):
+            bucket = self._buckets[band][h]
+            bucket.remove(key)
+            if not bucket:
+                del self._buckets[band][h]
+
     def __len__(self) -> int:
         return len(self._signatures)
 

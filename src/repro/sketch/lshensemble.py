@@ -32,15 +32,26 @@ class LSHEnsemble:
     #: recall on small lakes (the regime of the parity tests).
     SCAN_LIMIT = 50
 
+    #: Churn fractions (relative to current size) past which an incremental
+    #: ensemble repartitions. Inserts land in the nearest size partition —
+    #: correct (the re-rank is exact) but balance drifts, so both kinds of
+    #: churn trigger a lazy rebuild rather than rebuilding on every mutation.
+    REBUILD_DELETED_FRACTION = 0.25
+    REBUILD_INSERTED_FRACTION = 0.5
+
     def __init__(self, num_partitions: int = 8, num_bands: int = 16):
         if num_partitions <= 0:
             raise ValueError(f"num_partitions must be positive, got {num_partitions}")
         self.num_partitions = num_partitions
         self.num_bands = num_bands
         self._pending: list[tuple[str, MinHashSignature]] = []
+        self._pending_keys: set[str] = set()
         self._partitions: list[LSHIndex] = []
         self._partition_upper: list[int] = []
         self._built = False
+        self._inserted_since_build = 0
+        self._deleted_since_build = 0
+        self._built_size = 0
 
     # -------------------------------------------------------------- build
 
@@ -49,6 +60,72 @@ class LSHEnsemble:
         if self._built:
             raise RuntimeError("LSHEnsemble is already built; create a new index to add")
         self._pending.append((key, signature))
+        self._pending_keys.add(key)
+
+    # ---------------------------------------------------------- mutation
+
+    def __contains__(self, key: str) -> bool:
+        if self._built:
+            return any(key in p for p in self._partitions)
+        return key in self._pending_keys
+
+    def insert(self, key: str, signature: MinHashSignature) -> None:
+        """Add one entry to the ensemble (delta path).
+
+        On a built ensemble the entry lands in the partition whose size
+        range it matches today; partition balance drifts with churn, so the
+        ensemble repartitions itself once inserts exceed
+        :attr:`REBUILD_INSERTED_FRACTION` of its size. Before :meth:`build`
+        this is :meth:`add` plus the duplicate check.
+        """
+        if key in self:
+            raise ValueError(f"duplicate ensemble key {key!r}")
+        if not self._built:
+            self.add(key, signature)
+            return
+        self._partitions[self.partition_of(signature.set_size)].add(key, signature)
+        self._inserted_since_build += 1
+        self._maybe_rebuild()
+
+    def delete(self, key: str) -> None:
+        """Remove one entry (delta path); repartitions past the churn bar."""
+        if not self._built:
+            for i, (k, _) in enumerate(self._pending):
+                if k == key:
+                    del self._pending[i]
+                    self._pending_keys.discard(key)
+                    return
+            raise KeyError(f"no ensemble entry for key {key!r}")
+        for partition in self._partitions:
+            if key in partition:
+                partition.remove(key)
+                self._deleted_since_build += 1
+                self._maybe_rebuild()
+                return
+        raise KeyError(f"no ensemble entry for key {key!r}")
+
+    def _maybe_rebuild(self) -> None:
+        base = max(self._built_size, 1)
+        if (
+            self._deleted_since_build > self.REBUILD_DELETED_FRACTION * base
+            or self._inserted_since_build > self.REBUILD_INSERTED_FRACTION * base
+        ):
+            self.rebuild()
+
+    def rebuild(self) -> "LSHEnsemble":
+        """Repartition all live entries from scratch (eager form of the lazy
+        rebuild the mutation paths schedule)."""
+        if not self._built:
+            return self.build()
+        for partition in self._partitions:
+            self._pending.extend(partition.items())
+        self._pending_keys = {k for k, _ in self._pending}
+        self._partitions = []
+        self._partition_upper = []
+        self._built = False
+        self._inserted_since_build = 0
+        self._deleted_since_build = 0
+        return self.build()
 
     def build(self) -> "LSHEnsemble":
         """Partition staged entries by set size and build per-partition LSH."""
@@ -71,7 +148,11 @@ class LSHEnsemble:
             self._partitions.append(index)
             self._partition_upper.append(chunk[-1][1].set_size if chunk else 0)
         self._pending = []
+        self._pending_keys = set()
         self._built = True
+        self._inserted_since_build = 0
+        self._deleted_since_build = 0
+        self._built_size = n
         return self
 
     def __len__(self) -> int:

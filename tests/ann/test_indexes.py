@@ -137,3 +137,90 @@ class TestRPForest:
             return idx.build().query(points[3], k=5)
 
         assert build() == build()
+
+
+class TestRPForestMutation:
+    def _built(self, points, n=80):
+        idx = RPForestIndex(dim=16, num_trees=4, leaf_size=8, seed=0)
+        for i, v in enumerate(points[:n]):
+            idx.add(f"p{i}", v)
+        return idx.build()
+
+    def test_insert_found_without_replant(self, points):
+        idx = self._built(points)
+        idx.insert("fresh", points[100])
+        # The fresh point is scanned exactly: it must be its own nearest hit.
+        assert idx.query(points[100], k=1)[0][0] == "fresh"
+        assert len(idx) == 81
+
+    def test_insert_duplicate_rejected(self, points):
+        idx = self._built(points)
+        with pytest.raises(ValueError, match="duplicate"):
+            idx.insert("p0", points[0])
+
+    def test_delete_tombstones(self, points):
+        idx = self._built(points)
+        idx.delete("p7")
+        assert "p7" not in idx
+        assert len(idx) == 79
+        assert all(k != "p7" for k, _ in idx.query(points[7], k=10))
+
+    def test_delete_missing_raises(self, points):
+        idx = self._built(points)
+        with pytest.raises(KeyError, match="no ANN entry"):
+            idx.delete("ghost")
+
+    def test_replant_past_churn_bar(self, points):
+        idx = self._built(points, n=20)
+        for i in range(40, 47):
+            idx.insert(f"f{i}", points[i])
+        # Fresh inserts exceeded 25% of the forest: trees were re-planted.
+        assert idx._fresh == set()
+        assert len(idx) == 27
+        assert idx.query(points[44], k=1)[0][0] == "f44"
+
+    def test_reinsert_after_delete(self, points):
+        idx = self._built(points, n=20)
+        idx.delete("p3")
+        idx.insert("p3", points[50])
+        assert idx.query(points[50], k=1)[0][0] == "p3"
+
+
+class TestIntervalRemove:
+    def test_remove_then_query(self):
+        from repro.ann.intervals import IntervalIndex
+        from repro.relational.stats import numeric_stats
+
+        idx = IntervalIndex()
+        idx.add("a", numeric_stats([0.0, 1.0, 2.0]))
+        idx.add("b", numeric_stats([100.0, 101.0]))
+        idx.build()
+        idx.remove("a")
+        assert "a" not in idx
+        assert len(idx) == 1
+        hits = idx.query(numeric_stats([0.5, 1.5]))
+        assert "a" not in hits
+
+    def test_remove_missing_raises(self):
+        from repro.ann.intervals import IntervalIndex
+
+        with pytest.raises(KeyError, match="no interval entry"):
+            IntervalIndex().remove("ghost")
+
+
+class TestFreshDoesNotStarveBudget:
+    def test_planted_points_found_with_large_fresh_set(self, points):
+        """Fresh points are scanned ON TOP of the tree budget: a big fresh
+        set must not evict planted points from the candidate pool."""
+        idx = RPForestIndex(dim=16, num_trees=4, leaf_size=8, seed=0)
+        for i, v in enumerate(points[:80]):
+            idx.add(f"p{i}", v)
+        idx.build()
+        # 17 fresh inserts: above the k=1 budget (16), below the replant bar.
+        for i in range(100, 117):
+            idx.insert(f"f{i}", points[i])
+        assert idx._fresh  # replant did not fire; fresh path is live
+        # An exact planted vector must still be its own nearest neighbour.
+        assert idx.query(points[5], k=1)[0][0] == "p5"
+        # And an exact fresh vector must be too.
+        assert idx.query(points[105], k=1)[0][0] == "f105"

@@ -1,0 +1,110 @@
+"""Incremental-build vs cold-fit parity on the three seed lakes.
+
+The acceptance bar of the lake-session redesign: building a lake through N
+incremental ``add_table`` / ``add_document`` calls must yield *identical*
+``discover()`` top-k results — for all six SRQL primitives — to a cold
+``CMDL.fit`` on the same final lake.
+
+Both systems run with the corpus-independent hashing embedder (the
+documented parity configuration: the default blended embedder is trained on
+the fit-time corpus, so its vectors are frozen between ``refresh()`` calls
+and embedding-based scores drift by design).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import open_lake
+from repro.core.system import CMDL, CMDLConfig
+from repro.core.srql import Q
+from repro.embed.hashing_embedder import HashingEmbedder
+from repro.relational.catalog import DataLake
+
+
+def _config() -> CMDLConfig:
+    return CMDLConfig(use_joint=False, embedder=HashingEmbedder(seed=0))
+
+
+def _build_pair(lake):
+    """(cold engine, incrementally-built session) over the same final lake."""
+    cold = CMDL(_config()).fit(lake)
+
+    tables = lake.tables
+    documents = lake.documents
+    base = DataLake(name=lake.name)
+    base.add_table(tables[0])
+    base.add_document(documents[0])
+    session = open_lake(base, _config())
+    for table in tables[1:]:
+        session.add_table(table)
+    session.add_documents(documents[1:])
+    assert session.generation == len(tables)  # one bump per mutation call
+    return cold, session
+
+
+@pytest.fixture(scope="module")
+def pharma_pair(pharma_generated):
+    return _build_pair(pharma_generated.lake)
+
+
+@pytest.fixture(scope="module")
+def ukopen_pair(ukopen_generated):
+    return _build_pair(ukopen_generated.lake)
+
+
+@pytest.fixture(scope="module")
+def mlopen_pair(mlopen_generated):
+    return _build_pair(mlopen_generated.lake)
+
+
+def _workload(profile) -> list:
+    """All six primitives over a deterministic slice of the lake."""
+    tables = sorted(profile.table_columns)[:6]
+    docs = sorted(profile.documents)[:4]
+    queries = [
+        Q.content_search("rate change", k=5),
+        Q.content_search("name", mode="table", k=5),
+        Q.metadata_search("report", k=5),
+        Q.metadata_search("id", mode="table", k=5),
+    ]
+    queries += [
+        Q.cross_modal(doc, top_n=3, representation="solo") for doc in docs
+    ]
+    for table in tables:
+        queries += [
+            Q.joinable(table, top_n=3),
+            Q.unionable(table, top_n=3),
+            Q.pkfk(table, top_n=3),
+        ]
+    return queries
+
+
+def _assert_parity(pair):
+    cold, session = pair
+    for query in _workload(cold.profile):
+        incremental = session.discover(query)
+        expected = cold.discover(query)
+        assert incremental.items == expected.items, (
+            f"incremental build diverged from cold fit on {query!r}"
+        )
+
+
+class TestIncrementalParity:
+    def test_pharma(self, pharma_pair):
+        _assert_parity(pharma_pair)
+
+    def test_ukopen(self, ukopen_pair):
+        _assert_parity(ukopen_pair)
+
+    def test_mlopen(self, mlopen_pair):
+        _assert_parity(mlopen_pair)
+
+    def test_batch_parity_after_mutations(self, ukopen_pair):
+        """discover_batch over the mutated session matches single queries."""
+        cold, session = ukopen_pair
+        workload = _workload(cold.profile)
+        batch = session.discover_batch(workload)
+        singles = [cold.discover(q) for q in workload]
+        assert [b.items for b in batch] == [s.items for s in singles]
+        assert session.engine.last_batch_stats.generation == session.generation

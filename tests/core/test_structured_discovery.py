@@ -159,3 +159,36 @@ class TestUnionDiscovery:
 
     def test_missing_table_empty(self, profile):
         assert UnionDiscovery(profile).unionable_tables("ghost", k=3) == []
+
+
+class TestUnionEarlyTermination:
+    """The alignment upper bound must never change top-k results."""
+
+    def test_small_k_matches_prefix_of_full_ranking(self, profile):
+        ud = UnionDiscovery(profile)
+        for table in profile.table_columns:
+            # k >= #tables: the floor never activates, nothing is pruned.
+            full = ud.unionable_tables(table, k=50)
+            for k in (1, 2):
+                assert ud.unionable_tables(table, k=k) == full[:k]
+
+    def test_alignment_prunes_below_floor(self, profile):
+        ud = UnionDiscovery(profile)
+        query_columns = profile.columns_of_table("drugs")
+        score = ud._alignment_score(
+            query_columns, "cities", ud.ensemble_score
+        )
+        assert score is not None
+        # A floor above the table's best case makes the scan bail out.
+        assert ud._alignment_score(
+            query_columns, "cities", ud.ensemble_score, floor=1.1
+        ) is None
+        # A floor just below the true score keeps it.
+        assert ud._alignment_score(
+            query_columns, "cities", ud.ensemble_score, floor=score - 1e-9
+        ) == pytest.approx(score)
+
+    def test_k_nonpositive_returns_empty(self, profile):
+        ud = UnionDiscovery(profile)
+        assert ud.unionable_tables("drugs", k=0) == []
+        assert ud.unionable_tables("drugs", k=-1) == []

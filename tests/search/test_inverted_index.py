@@ -58,3 +58,45 @@ class TestPostings:
     def test_contains_and_keys(self, index):
         assert "d1" in index
         assert set(index.keys()) == {"d1", "d2", "d3"}
+
+
+class TestRemove:
+    def test_stats_match_cold_build(self, index):
+        index.remove("d2")
+        cold = InvertedIndex()
+        cold.add("d1", ["drug", "enzyme", "drug"])
+        cold.add("d3", Counter({"drug": 1, "city": 2}))
+        assert index.num_docs == cold.num_docs
+        assert index.collection_length == cold.collection_length
+        for term in ("drug", "city", "population", "enzyme"):
+            assert index.document_frequency(term) == cold.document_frequency(term)
+            assert index.collection_frequency(term) == cold.collection_frequency(term)
+            assert {(p.doc_key, p.term_frequency) for p in index.postings(term)} == {
+                (p.doc_key, p.term_frequency) for p in cold.postings(term)
+            }
+
+    def test_removed_key_gone(self, index):
+        index.remove("d1")
+        assert "d1" not in index
+        assert index.doc_length("d1") == 0
+        assert all(p.doc_key != "d1" for p in index.postings("drug"))
+
+    def test_remove_missing_raises(self, index):
+        with pytest.raises(KeyError, match="no index entry"):
+            index.remove("ghost")
+
+    def test_compaction_past_churn_bar(self):
+        idx = InvertedIndex()
+        for i in range(8):
+            idx.add(f"d{i}", ["shared", f"t{i}"])
+        for i in range(4):
+            idx.remove(f"d{i}")
+        # >25% of the live corpus was tombstoned: postings were compacted.
+        assert not idx._deleted
+        assert len(idx._postings["shared"]) == 4
+
+    def test_readd_after_remove(self, index):
+        index.remove("d2")
+        index.add("d2", ["city"])
+        assert index.doc_length("d2") == 1
+        assert index.document_frequency("city") == 2  # d2 + d3

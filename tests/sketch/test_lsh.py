@@ -79,3 +79,29 @@ class TestQuery:
     def test_signature_of(self, mh):
         index = build_index(mh, {"a": {"x"}})
         assert index.signature_of("a") == mh.signature({"x"})
+
+
+class TestRemove:
+    def test_removed_key_not_returned(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i, i + 20)} for i in range(6)}
+        index = build_index(mh, sets)
+        index.remove("s2")
+        assert "s2" not in index
+        result = index.query(mh.signature(sets["s2"]), k=10)
+        assert all(key != "s2" for key, _ in result)
+
+    def test_candidates_drop_removed_key(self, mh):
+        base = {f"x{i}" for i in range(50)}
+        index = build_index(mh, {"base": base, "other": {"y1", "y2"}})
+        index.remove("base")
+        assert "base" not in index.candidates(mh.signature(base))
+
+    def test_remove_missing_raises(self, mh):
+        index = build_index(mh, {"a": {"x"}})
+        with pytest.raises(KeyError, match="no LSH entry"):
+            index.remove("ghost")
+
+    def test_len_after_remove(self, mh):
+        index = build_index(mh, {"a": {"x"}, "b": {"y"}})
+        index.remove("a")
+        assert len(index) == 1

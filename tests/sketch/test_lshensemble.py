@@ -109,3 +109,76 @@ class TestContainmentQuery:
         result = ens.query(mh.signature({f"x{j}" for j in range(5, 15)}), k=10)
         scores = [s for _, s in result]
         assert scores == sorted(scores, reverse=True)
+
+
+class TestMutation:
+    def test_insert_before_build_stages(self, mh):
+        ens = LSHEnsemble()
+        ens.insert("a", mh.signature({"x", "y"}))
+        assert ens.query(mh.signature({"x"}), k=1)[0][0] == "a"
+
+    def test_insert_after_build_is_queryable(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(10)} for i in range(6)}
+        ens = build(mh, sets)
+        new = {f"x{j}" for j in range(10)} | {"fresh"}
+        ens.insert("new", mh.signature(new))
+        assert "new" in ens
+        assert len(ens) == 7
+        hits = [k for k, _ in ens.query(mh.signature(new), k=3)]
+        assert "new" in hits
+
+    def test_insert_duplicate_rejected(self, mh):
+        ens = build(mh, {"a": {"x"}})
+        with pytest.raises(ValueError, match="duplicate"):
+            ens.insert("a", mh.signature({"y"}))
+
+    def test_delete_removes_from_queries(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i, i + 10)} for i in range(6)}
+        ens = build(mh, sets)
+        ens.delete("s0")
+        assert "s0" not in ens
+        assert all(
+            k != "s0"
+            for k, _ in ens.query(mh.signature(sets["s0"]), k=10)
+        )
+        assert "s0" not in ens.candidate_keys(mh.signature(sets["s0"]))
+
+    def test_delete_missing_raises(self, mh):
+        ens = build(mh, {"a": {"x"}})
+        with pytest.raises(KeyError, match="no ensemble entry"):
+            ens.delete("ghost")
+
+    def test_churn_triggers_repartition(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i, i + 8)} for i in range(8)}
+        ens = build(mh, sets, num_partitions=2)
+        for i in range(8):
+            ens.insert(f"n{i}", mh.signature({f"y{j}" for j in range(i, i + 8)}))
+        # Inserts exceeded half the built base: it repartitioned itself
+        # (the rebuilt base includes the inserts absorbed so far).
+        assert ens._built_size > 8
+        assert ens._inserted_since_build < 8
+        assert len(ens) == 16
+
+    def test_mutated_matches_cold_build(self, mh):
+        sets = {f"s{i}": {f"x{j}" for j in range(i, i + 12)} for i in range(10)}
+        ens = build(mh, sets)
+        ens.delete("s3")
+        ens.insert("s99", mh.signature({"q1", "q2", "q3"}))
+        cold_sets = {k: v for k, v in sets.items() if k != "s3"}
+        cold_sets["s99"] = {"q1", "q2", "q3"}
+        cold = build(mh, cold_sets)
+        query = mh.signature({f"x{j}" for j in range(4, 12)})
+        assert ens.query(query, k=10) == cold.query(query, k=10)
+
+    def test_insert_duplicate_rejected_before_build(self, mh):
+        ens = LSHEnsemble()
+        ens.insert("a", mh.signature({"x"}))
+        with pytest.raises(ValueError, match="duplicate"):
+            ens.insert("a", mh.signature({"y"}))
+
+    def test_delete_before_build(self, mh):
+        ens = LSHEnsemble()
+        ens.insert("a", mh.signature({"x"}))
+        ens.delete("a")
+        assert "a" not in ens
+        assert len(ens) == 0
