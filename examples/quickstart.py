@@ -41,6 +41,9 @@ def main() -> None:
           f"({report.positive_pairs} with positive votes)")
     print(f"  joint model: {training.epochs} epochs, "
           f"{training.seconds:.1f}s, error {training.error_percent:.1f}%")
+    # Every fit records a wall-clock breakdown of its batched stages
+    # (bag building / sketching / embedding / index build / training).
+    print(f"  fit stages: {cmdl.fit_stats.summary()}")
 
     # Each discovery step is a declarative query; engine.discover plans it
     # (validation + indexed/exact strategy choice) and executes it.

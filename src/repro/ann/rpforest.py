@@ -83,6 +83,28 @@ class RPForestIndex:
         self._matrix = None
         self._trees = []
 
+    def build_bulk(self, entries: list[tuple[str, np.ndarray]]) -> "RPForestIndex":
+        """Add a whole ``(key, vector)`` batch and plant the forest once.
+
+        Row normalisation matches :meth:`add` exactly (same per-row norm),
+        so the planted forest is identical to per-item adds followed by
+        :meth:`build` — without invalidating the matrix/trees per point.
+        """
+        for key, vector in entries:
+            if key in self._key_pos:
+                raise ValueError(f"duplicate ANN key {key!r}")
+            if len(vector) != self.dim:
+                raise ValueError(
+                    f"vector has dim {len(vector)}, index expects {self.dim}"
+                )
+            norm = np.linalg.norm(vector)
+            self._keys.append(key)
+            self._rows.append(
+                vector / norm if norm > 0 else np.asarray(vector, dtype=float)
+            )
+            self._key_pos[key] = len(self._keys) - 1
+        return self.build()
+
     def build(self) -> "RPForestIndex":
         """(Re)build the forest over all live points."""
         if self._deleted_idx:

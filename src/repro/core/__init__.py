@@ -19,7 +19,7 @@ Modules map to the architecture of Figure 2:
 from repro.core.system import CMDL, CMDLConfig
 from repro.core.session import LakeSession, open_lake
 from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
-from repro.core.profiler import Profile, Profiler
+from repro.core.profiler import FitStats, Profile, Profiler
 from repro.core.indexes import IndexCatalog
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "open_lake",
     "DiscoveryEngine",
     "DiscoveryResultSet",
+    "FitStats",
     "Profile",
     "Profiler",
     "IndexCatalog",

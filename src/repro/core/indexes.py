@@ -44,6 +44,7 @@ class IndexCatalog:
         num_trees: int = 8,
         ranker: str = "bm25",
         seed: int = 0,
+        bulk: bool = True,
     ):
         self.profile = profile
         self.seed = seed
@@ -84,21 +85,65 @@ class IndexCatalog:
         self.doc_solo = RPForestIndex(dim=dim, num_trees=num_trees, seed=seed)
         self.column_solo = RPForestIndex(dim=dim, num_trees=num_trees, seed=seed)
 
-        for doc_id, sketch in profile.documents.items():
-            self._index_document(doc_id, sketch)
-        for col_id, sketch in profile.columns.items():
-            self._index_column(col_id, sketch)
-        self.column_containment.build()
-        self.value_containment.build()
-        self.column_numeric.build()
-        self.column_semantic.build()
-        self.doc_solo.build()
-        self.column_solo.build()
+        if bulk:
+            self._build_bulk(profile)
+        else:
+            for doc_id, sketch in profile.documents.items():
+                self._index_document(doc_id, sketch)
+            for col_id, sketch in profile.columns.items():
+                self._index_column(col_id, sketch)
+            self.column_containment.build()
+            self.value_containment.build()
+            self.column_numeric.build()
+            self.column_semantic.build()
+            self.doc_solo.build()
+            self.column_solo.build()
 
         self.doc_joint: RPForestIndex | None = None
         self.column_joint: RPForestIndex | None = None
 
     # ----------------------------------------------------------- indexing
+
+    def _build_bulk(self, profile: Profile) -> None:
+        """One-pass construction of every index from a full profile.
+
+        Each structure ingests its whole entry stream at once (fused
+        postings assembly, staged-then-built sketch/ANN structures) instead
+        of N incremental ``add``/``insert`` calls. Entry order matches the
+        per-item path, so the built state is identical to ``bulk=False``.
+        """
+        docs = profile.documents
+        self.doc_content.build_bulk(
+            (doc_id, s.content_bow.terms) for doc_id, s in docs.items()
+        )
+        self.doc_metadata.build_bulk(
+            (doc_id, s.metadata_bow.terms) for doc_id, s in docs.items()
+        )
+        self.doc_solo.build_bulk([(doc_id, s.encoding) for doc_id, s in docs.items()])
+
+        cols = profile.columns
+        self.value_containment.build_bulk(
+            [(col_id, s.join_signature) for col_id, s in cols.items()]
+        )
+        self.column_schema.build_bulk(
+            (col_id, split_identifier(s.column_name)) for col_id, s in cols.items()
+        )
+        self.column_schema_ngrams.build_bulk(
+            (col_id, name_trigrams(s.column_name)) for col_id, s in cols.items()
+        )
+        self.column_semantic.build_bulk(
+            [(col_id, s.content_embedding) for col_id, s in cols.items()]
+        )
+        for col_id, sketch in cols.items():
+            if sketch.numeric is not None:
+                self.column_numeric.add(col_id, sketch.numeric)
+        self.column_numeric.build()
+
+        text = [(c, s) for c, s in cols.items() if c in self._text_columns]
+        self.column_content.build_bulk((c, s.content_bow.terms) for c, s in text)
+        self.column_metadata.build_bulk((c, s.metadata_bow.terms) for c, s in text)
+        self.column_containment.build_bulk([(c, s.signature) for c, s in text])
+        self.column_solo.build_bulk([(c, s.encoding) for c, s in text])
 
     def _index_document(self, doc_id: str, sketch) -> None:
         """Route one document sketch into every index that covers it.

@@ -18,12 +18,13 @@ from repro.core.joint.model import JointRepresentationModel
 from repro.core.joint.trainer import JointTrainer, TrainingResult
 from repro.core.joint.triplets import TripletGenerator
 from repro.core.labeling import LabelingReport, TrainingDatasetGenerator
-from repro.core.profiler import Profile, Profiler
+from repro.core.profiler import FitStats, Profile, Profiler
 from repro.core.srql.planner import (
     validate_operator_strategies,
     validate_strategy,
 )
 from repro.relational.catalog import DataLake
+from repro.utils.timing import Timer
 from repro.weaklabel.lf import LabelingFunction
 
 
@@ -71,6 +72,14 @@ class CMDLConfig:
     #: "joinable" / "unionable" / "pkfk", values as discovery_strategy.
     operator_strategies: dict[str, str] = field(default_factory=dict)
 
+    #: Fit pipeline: "batched" (the default) assembles bags lake-wide, then
+    #: computes every minhash signature in one vectorised pass over a shared
+    #: fingerprint cache, embeds the union vocabulary once, and bulk-builds
+    #: every index; "legacy" drives the whole fit through the per-item delta
+    #: routines. Output is byte-identical either way — "legacy" is the
+    #: parity oracle and the baseline of ``benchmarks/bench_fit.py``.
+    fit_mode: str = "batched"
+
     #: Word embedder for the solo encodings. ``None`` trains the default
     #: blended embedder on the lake's own text at fit time. Pass a
     #: corpus-independent embedder (e.g.
@@ -96,6 +105,9 @@ class CMDL:
         self.labeling_report: LabelingReport | None = None
         self.training_result: TrainingResult | None = None
         self.engine: DiscoveryEngine | None = None
+        #: Stage timing of the last :meth:`fit` (see
+        #: :class:`~repro.core.profiler.FitStats`).
+        self.fit_stats: FitStats | None = None
 
     # ------------------------------------------------------------------ fit
 
@@ -115,33 +127,47 @@ class CMDL:
         # out, rather than deep inside the discovery stack after profiling.
         validate_strategy(cfg.discovery_strategy)
         validate_operator_strategies(cfg.operator_strategies)
-        self.profiler = Profiler(
-            embedding_dim=cfg.embedding_dim,
-            num_hashes=cfg.num_hashes,
-            pooling=cfg.pooling,
-            embedder=cfg.embedder,
-            seed=cfg.seed,
-        )
-        self.profile = self.profiler.profile(lake)
-        self.indexes = IndexCatalog(self.profile, ranker=cfg.ranker, seed=cfg.seed)
+        if cfg.fit_mode not in ("batched", "legacy"):
+            raise ValueError(
+                f"unknown fit_mode {cfg.fit_mode!r}; expected 'batched' or 'legacy'"
+            )
+        batched = cfg.fit_mode == "batched"
+        with Timer() as t_total:
+            self.profiler = Profiler(
+                embedding_dim=cfg.embedding_dim,
+                num_hashes=cfg.num_hashes,
+                pooling=cfg.pooling,
+                embedder=cfg.embedder,
+                seed=cfg.seed,
+            )
+            self.profile = self.profiler.profile(lake, batched=batched)
+            with Timer() as t_index:
+                self.indexes = IndexCatalog(
+                    self.profile, ranker=cfg.ranker, seed=cfg.seed, bulk=batched
+                )
 
-        if cfg.use_joint and self.profile.documents:
-            self._train_joint(gold_pairs)
+            with Timer() as t_train:
+                if cfg.use_joint and self.profile.documents:
+                    self._train_joint(gold_pairs)
 
-        uniqueness = {c.qualified_name: c.uniqueness for c in lake.columns}
-        self.engine = DiscoveryEngine(
-            profile=self.profile,
-            indexes=self.indexes,
-            joint_model=self.joint_model,
-            uniqueness=uniqueness,
-            pkfk_params={
-                "containment_threshold": cfg.pkfk_containment_threshold,
-                "name_threshold": cfg.pkfk_name_threshold,
-                "key_uniqueness_threshold": cfg.pkfk_key_uniqueness,
-            },
-            strategy=cfg.discovery_strategy,
-            operator_strategies=cfg.operator_strategies,
-        )
+            uniqueness = {c.qualified_name: c.uniqueness for c in lake.columns}
+            self.engine = DiscoveryEngine(
+                profile=self.profile,
+                indexes=self.indexes,
+                joint_model=self.joint_model,
+                uniqueness=uniqueness,
+                pkfk_params={
+                    "containment_threshold": cfg.pkfk_containment_threshold,
+                    "name_threshold": cfg.pkfk_name_threshold,
+                    "key_uniqueness_threshold": cfg.pkfk_key_uniqueness,
+                },
+                strategy=cfg.discovery_strategy,
+                operator_strategies=cfg.operator_strategies,
+            )
+        self.fit_stats = self.profile.fit_stats
+        self.fit_stats.index_seconds = t_index.elapsed
+        self.fit_stats.train_seconds = t_train.elapsed
+        self.fit_stats.total_seconds = t_total.elapsed
         return self.engine
 
     # ----------------------------------------------------------- sessions

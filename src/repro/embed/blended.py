@@ -11,6 +11,8 @@ keeping the output dimensionality at the paper's 100.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.embed.hashing_embedder import HashingEmbedder
@@ -66,6 +68,12 @@ class BlendedEmbedder:
     def embed_words(self, words: list[str]) -> np.ndarray:
         if not words:
             return np.zeros((0, self.dim))
+        # Warm the subword model for every uncached word first: one batched
+        # bucket-table draw instead of per-word materialisation. The blend
+        # itself stays per-word, so rows match embed_word exactly.
+        missing = [w.lower() for w in words if w.lower() not in self._cache]
+        if missing:
+            self.subword.embed_words(missing)
         return np.vstack([self.embed_word(w) for w in words])
 
     def similarity(self, w1: str, w2: str) -> float:
@@ -74,6 +82,51 @@ class BlendedEmbedder:
         if n1 == 0 or n2 == 0:
             return 0.0
         return float(np.dot(v1, v2) / (n1 * n2))
+
+
+class LakeEmbedderTraining:
+    """In-flight training of the default lake embedder.
+
+    The distributional (PPMI) component trains on a background thread — its
+    heavy lifting is GIL-releasing sparse-algebra and Lanczos work — while
+    the caller warms the subword component (e.g. one batched
+    ``subword.embed_words`` over the fit's union vocabulary) and runs other
+    fit stages. :meth:`result` joins and assembles the blended embedder; the
+    vectors are identical to a sequential :func:`build_lake_embedder` call —
+    the thread changes scheduling, not arithmetic.
+    """
+
+    def __init__(self, token_corpora: list[list[str]], dim: int = 100, seed: int = 0):
+        self.subword = HashingEmbedder(dim=dim, seed=seed)
+        self._dim = dim
+        self._seed = seed
+        self._box: dict[str, object] = {}
+
+        def _train() -> None:
+            try:
+                self._box["model"] = PPMIEmbedder(dim=dim, seed=seed).fit(
+                    token_corpora
+                )
+            except BaseException as exc:  # surfaced by result()
+                self._box["error"] = exc
+
+        self._thread = threading.Thread(
+            target=_train, name="lake-embedder-train", daemon=True
+        )
+        self._thread.start()
+
+    def result(self) -> BlendedEmbedder:
+        """Wait for training and assemble the blended embedder."""
+        self._thread.join()
+        error = self._box.get("error")
+        if error is not None:
+            raise error  # type: ignore[misc]
+        return BlendedEmbedder(
+            dim=self._dim,
+            subword=self.subword,
+            distributional=self._box["model"],  # type: ignore[arg-type]
+            seed=self._seed,
+        )
 
 
 def build_lake_embedder(
@@ -86,5 +139,4 @@ def build_lake_embedder(
     the returned embedder provides a vector for *every* word (subword path
     covers OOV) with distributional structure learned from the lake.
     """
-    distributional = PPMIEmbedder(dim=dim, seed=seed).fit(token_corpora)
-    return BlendedEmbedder(dim=dim, distributional=distributional, seed=seed)
+    return LakeEmbedderTraining(token_corpora, dim=dim, seed=seed).result()

@@ -2,18 +2,42 @@
 
 fasttext (Bojanowski et al. 2016) represents a word as the sum of vectors of
 its character n-grams, looked up in a fixed-size hashed bucket table. We
-reproduce the representation side: bucket vectors are generated
-deterministically (unit Gaussians seeded by the bucket id), so any two
-processes produce identical embeddings without a training phase. The
-resulting space encodes *surface-form* similarity: words sharing many
-n-grams get high cosine similarity.
+reproduce the representation side with a fully *vectorised* bucket table:
+component ``j`` of bucket ``x`` is the centred unit-variance uniform draw
+``sqrt(12) * ((h_j(x) + 0.5) / p - 0.5)`` where ``h_j`` is the shared
+universal hash family of :mod:`repro.utils.hashing` (fasttext itself
+initialises its bucket table uniformly). Each component is a deterministic
+draw, distinct buckets decorrelate through the per-component ``(a_j, b_j)``
+coefficients, and — unlike per-bucket seeded RNG streams, which force one
+Python-level generator construction per bucket — the table rows for *every*
+gram of *every* word materialise in one numpy expression. Gram -> bucket
+routing uses crc32 (deterministic, C-speed); any two processes produce
+identical embeddings without a training phase, and the resulting space
+encodes *surface-form* similarity: words sharing many n-grams get high
+cosine similarity.
+
+Per-word arithmetic is batch-size independent by construction: a word's
+vector is ``table[gram_rows].sum(axis=0)`` normalised, computed identically
+whether the word arrives alone (:meth:`HashingEmbedder.embed_word`) or
+inside a vocabulary batch (:meth:`HashingEmbedder.embed_words`), which is
+what lets the batched fit pipeline and the per-item delta path produce
+byte-identical profiles.
 """
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
-from repro.utils.hashing import stable_hash_64
+from repro.utils.hashing import (
+    UNIVERSAL_HASH_PRIME,
+    stable_hash_32,
+    universal_hash_family,
+)
+
+#: sqrt(12): scales a centred uniform [-0.5, 0.5) draw to unit variance.
+_UNIFORM_SCALE = 3.4641016151377544
 
 
 class HashingEmbedder:
@@ -43,7 +67,17 @@ class HashingEmbedder:
         self.max_n = max_n
         self.num_buckets = num_buckets
         self.seed = seed
+        self._a, self._b = universal_hash_family(dim, seed, tag="bucket")
+        #: crc32 seed value mixed into every gram -> bucket route.
+        self._crc_seed = stable_hash_32(f"bucket-route-{seed}")
         self._cache: dict[str, np.ndarray] = {}
+        self._gram_bucket: dict[str, int] = {}
+        #: Drawn slice of the bucket table: bucket id -> row of _table.
+        #: _table grows geometrically; rows beyond _table_len are spare
+        #: capacity, so incremental draws append without copying the table.
+        self._bucket_row: dict[int, int] = {}
+        self._table = np.zeros((0, dim))
+        self._table_len = 0
 
     # ---------------------------------------------------------- internals
 
@@ -57,10 +91,66 @@ class HashingEmbedder:
             grams.extend(marked[i : i + n] for i in range(len(marked) - n + 1))
         return grams
 
+    def _buckets_of(self, grams: list[str]) -> list[int]:
+        """Bucket ids for a gram list, each gram routed once per instance."""
+        cache = self._gram_bucket
+        crc_seed = self._crc_seed
+        num_buckets = self.num_buckets
+        out = []
+        for gram in grams:
+            bucket = cache.get(gram)
+            if bucket is None:
+                bucket = zlib.crc32(gram.encode("utf-8"), crc_seed) % num_buckets
+                cache[gram] = bucket
+            out.append(bucket)
+        return out
+
+    def _materialise_buckets(self, buckets: list[int]) -> None:
+        """Extend the drawn table with any not-yet-drawn bucket ids."""
+        row_of = self._bucket_row
+        missing_set = {b for b in buckets if b not in row_of}
+        if not missing_set:
+            return
+        missing = sorted(missing_set)
+        p = np.uint64(UNIVERSAL_HASH_PRIME)
+        x = np.array(missing, dtype=np.uint64)[:, None]
+        hashed = (self._a[None, :] * x + self._b[None, :]) % p
+        uniform = (hashed.astype(np.float64) + 0.5) / float(p)
+        rows = (uniform - 0.5) * _UNIFORM_SCALE
+        base = self._table_len
+        needed = base + len(missing)
+        if needed > self._table.shape[0]:
+            grown = np.zeros((max(needed, 2 * self._table.shape[0]), self.dim))
+            grown[:base] = self._table[:base]
+            self._table = grown
+        self._table[base:needed] = rows
+        self._table_len = needed
+        for offset, bucket in enumerate(missing):
+            row_of[bucket] = base + offset
+
     def _bucket_vector(self, gram: str) -> np.ndarray:
-        bucket = stable_hash_64(gram, self.seed) % self.num_buckets
-        rng = np.random.default_rng(bucket ^ (self.seed << 32))
-        return rng.standard_normal(self.dim)
+        """The table row of one gram (kept for introspection and tests)."""
+        (bucket,) = self._buckets_of([gram])
+        self._materialise_buckets([bucket])
+        return self._table[self._bucket_row[bucket]]
+
+    def _pool_segments(
+        self, gather: np.ndarray, offsets: list[int], counts: list[int]
+    ) -> list[np.ndarray]:
+        """Mean + unit-norm per gram segment of one stacked row gather.
+
+        ``np.add.reduceat`` reduces each segment independently and
+        sequentially, so a segment's sum depends only on its own rows —
+        which is exactly what makes the word formula batch-size
+        independent: :meth:`embed_word` is the one-segment special case.
+        """
+        sums = np.add.reduceat(gather, offsets, axis=0)
+        out = []
+        for row, count in zip(sums, counts):
+            vec = row / count
+            norm = np.linalg.norm(vec)
+            out.append(vec / norm if norm > 0 else vec)
+        return out
 
     # -------------------------------------------------------------- public
 
@@ -71,21 +161,53 @@ class HashingEmbedder:
         if cached is not None:
             return cached
         grams = self._ngrams(word)
-        vec = np.zeros(self.dim)
-        for gram in grams:
-            vec += self._bucket_vector(gram)
-        vec /= len(grams)
-        norm = np.linalg.norm(vec)
-        if norm > 0:
-            vec = vec / norm
+        buckets = self._buckets_of(grams)
+        self._materialise_buckets(buckets)
+        row_of = self._bucket_row
+        gather = self._table[[row_of[b] for b in buckets]]
+        (vec,) = self._pool_segments(gather, [0], [len(grams)])
         self._cache[word] = vec
         return vec
 
     def embed_words(self, words: list[str]) -> np.ndarray:
-        """Stack word vectors into an (n, dim) matrix."""
+        """Stack word vectors into an (n, dim) matrix, batching table draws.
+
+        All bucket rows any uncached word needs are materialised in one
+        vectorised pass, every word's gram rows are gathered into one
+        stacked matrix, and the per-word means come from a single segmented
+        reduction — the same formula as :meth:`embed_word` (its one-segment
+        special case), so every row is byte-identical to the per-word path
+        no matter how the vocabulary is batched.
+        """
         if not words:
             return np.zeros((0, self.dim))
-        return np.vstack([self.embed_word(w) for w in words])
+        cache = self._cache
+        pending: list[str] = []
+        seen_pending: set[str] = set()
+        flat_rows: list[int] = []
+        offsets: list[int] = []
+        counts: list[int] = []
+        pending_buckets: list[list[int]] = []
+        for word in words:
+            word = word.lower()
+            if word not in cache and word not in seen_pending:
+                seen_pending.add(word)
+                pending.append(word)
+                pending_buckets.append(self._buckets_of(self._ngrams(word)))
+        if pending:
+            all_buckets: list[int] = []
+            for buckets in pending_buckets:
+                all_buckets.extend(buckets)
+            self._materialise_buckets(all_buckets)
+            row_of = self._bucket_row
+            for buckets in pending_buckets:
+                offsets.append(len(flat_rows))
+                counts.append(len(buckets))
+                flat_rows.extend(row_of[b] for b in buckets)
+            vectors = self._pool_segments(self._table[flat_rows], offsets, counts)
+            for word, vec in zip(pending, vectors):
+                cache[word] = vec
+        return np.vstack([cache[w.lower()] for w in words])
 
     def similarity(self, w1: str, w2: str) -> float:
         """Cosine similarity between two word vectors."""

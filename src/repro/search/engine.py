@@ -34,6 +34,12 @@ class SearchEngine:
         self.index.add(key, terms)
         self._scorer = None  # statistics changed; rebuild lazily
 
+    def build_bulk(self, bags) -> None:
+        """Index many ``(key, terms)`` pairs in one pass (state identical
+        to per-item :meth:`add` calls in the same order)."""
+        self.index.build_bulk(bags)
+        self._scorer = None
+
     def remove(self, key: str) -> None:
         self.index.remove(key)
         self._scorer = None

@@ -61,6 +61,36 @@ class InvertedIndex:
             self._collection_tf[term] += count
             self._df[term] += 1
 
+    def build_bulk(self, bags) -> None:
+        """Add many ``(key, terms)`` documents in one fused pass.
+
+        State (postings order, corpus statistics) is identical to calling
+        :meth:`add` per bag in the same order; on a fresh index the loop is
+        fused with no per-document tombstone bookkeeping. Used by the bulk
+        index construction of :class:`~repro.core.indexes.IndexCatalog`.
+        """
+        if self._doc_lengths or self._deleted:
+            # Non-empty or churned index: per-item add handles re-added
+            # tombstoned keys correctly.
+            for key, terms in bags:
+                self.add(key, terms)
+            return
+        postings = self._postings
+        doc_lengths = self._doc_lengths
+        doc_terms = self._doc_terms
+        collection_tf = self._collection_tf
+        df = self._df
+        for key, terms in bags:
+            if key in doc_lengths:
+                raise ValueError(f"duplicate index key {key!r}")
+            tf = terms if isinstance(terms, Counter) else Counter(terms)
+            doc_lengths[key] = sum(tf.values())
+            doc_terms[key] = Counter(tf)
+            for term, count in tf.items():
+                postings[term].append(Posting(key, count))
+                collection_tf[term] += count
+                df[term] += 1
+
     def remove(self, key: str) -> None:
         """Tombstone one document, keeping every corpus statistic exact."""
         if key not in self._doc_lengths:

@@ -7,8 +7,15 @@ which partitions the indexed sets by size so the asymmetric containment
 measure remains accurate under skewed cardinalities.
 """
 
+from repro.sketch.fingerprints import FingerprintCache
 from repro.sketch.minhash import MinHash, MinHashSignature
 from repro.sketch.lsh import LSHIndex
 from repro.sketch.lshensemble import LSHEnsemble
 
-__all__ = ["MinHash", "MinHashSignature", "LSHIndex", "LSHEnsemble"]
+__all__ = [
+    "FingerprintCache",
+    "MinHash",
+    "MinHashSignature",
+    "LSHIndex",
+    "LSHEnsemble",
+]

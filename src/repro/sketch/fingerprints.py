@@ -1,0 +1,98 @@
+"""Per-fit fingerprint cache: each distinct string is hashed exactly once.
+
+Minhash signatures consume *fingerprints* — ``stable_hash_32(item, seed) %
+UNIVERSAL_HASH_PRIME`` — and a cold fit sketches every column twice (content
+tokens and raw value set) plus every document, with heavy string overlap
+between the sets (ids, categories, and vocabulary terms recur across the
+lake). The per-item path pays one blake2b call per occurrence; the cache
+pays one per *distinct* string and serves every further occurrence from a
+dict lookup, returning ready-to-hash uint64 arrays for whole sets at once.
+
+A cache is scoped to one ``(seed,)`` hash family — :class:`MinHash` owns the
+family coefficients, the cache owns the string -> fingerprint map. The
+profiler creates one per fit and threads it through every signature built
+for that lake (content and value sketches alike), which is what makes
+:meth:`MinHash.signatures_batch` a pure array computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.hashing import UNIVERSAL_HASH_PRIME, stable_hash_32
+
+
+def raw_fingerprint(item: str, seed: int = 0) -> int:
+    """The minhash fingerprint of one string — the single home of the
+    formula; cached and uncached signature paths both call this."""
+    return stable_hash_32(item, seed) % UNIVERSAL_HASH_PRIME
+
+
+class FingerprintCache:
+    """String -> uint64 minhash fingerprint map with bulk array lookup.
+
+    Bounded: a cold fit resets its cache, but the delta path keeps feeding
+    the same instance for a session's whole lifetime, so past
+    :attr:`MAX_ENTRIES` the map stops growing (fingerprints are still
+    computed, just not retained) rather than interning every string the
+    lake has ever contained.
+    """
+
+    #: Retention bound (~100 bytes/entry -> tens of MB worst case).
+    MAX_ENTRIES = 1 << 20
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._map: dict[str, int] = {}
+        #: Distinct strings hashed (== len(self)) vs total strings served;
+        #: the gap is the blake2b work the cache saved.
+        self.hits = 0
+        self.misses = 0
+
+    def fingerprint(self, item: str) -> int:
+        """The fingerprint of one string (hashed on first sight only)."""
+        value = self._map.get(item)
+        if value is None:
+            value = raw_fingerprint(item, self.seed)
+            if len(self._map) < self.MAX_ENTRIES:
+                self._map[item] = value
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def fingerprints(self, items) -> np.ndarray:
+        """Fingerprints of an iterable of strings as a uint64 array.
+
+        Iteration order is preserved (callers that feed sets get whatever
+        order the set yields — fingerprint consumers are order-free).
+        """
+        get = self._map.get
+        cache = self._map
+        bound = self.MAX_ENTRIES
+        out = []
+        misses = 0
+        seed = self.seed
+        for item in items:
+            value = get(item)
+            if value is None:
+                value = raw_fingerprint(item, seed)
+                if len(cache) < bound:
+                    cache[item] = value
+                misses += 1
+            out.append(value)
+        self.misses += misses
+        self.hits += len(out) - misses
+        return np.array(out, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._map
+
+    def __repr__(self) -> str:
+        return (
+            f"FingerprintCache(seed={self.seed}, distinct={len(self._map)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

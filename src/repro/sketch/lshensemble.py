@@ -62,6 +62,21 @@ class LSHEnsemble:
         self._pending.append((key, signature))
         self._pending_keys.add(key)
 
+    def build_bulk(
+        self, entries: list[tuple[str, MinHashSignature]]
+    ) -> "LSHEnsemble":
+        """Stage a whole ``(key, signature)`` batch and build in one step.
+
+        Partition layout is identical to per-item :meth:`add` calls followed
+        by :meth:`build` (the build sorts staged entries by set size either
+        way); this is the one-shot construction path of the index catalog.
+        """
+        if self._built:
+            raise RuntimeError("LSHEnsemble is already built; create a new index to add")
+        self._pending.extend(entries)
+        self._pending_keys.update(key for key, _ in entries)
+        return self.build()
+
     # ---------------------------------------------------------- mutation
 
     def __contains__(self, key: str) -> bool:

@@ -9,19 +9,31 @@ with the true set sizes it also estimates containment (Zhu et al. 2016):
 
 where j is the estimated Jaccard similarity.
 
-Hashing uses the universal family h(x) = (a*x + b) mod p with the Mersenne
-prime p = 2^31 - 1, so that a*x fits in uint64 and the whole signature
-computation vectorises over items and hash functions at once.
+The hash family is the shared vectorised universal family of
+:mod:`repro.utils.hashing` (h(x) = (a*x + b) mod (2^31 - 1); see that module
+for the prime choice). Because min is exact and order-free,
+:meth:`MinHash.signatures_batch` computes the signatures of many sets in one
+``np.minimum.reduceat`` pass over their concatenated fingerprints and is
+byte-identical to calling :meth:`MinHash.signature` per set.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.hashing import stable_hash_32, stable_hash_64
+from repro.sketch.fingerprints import FingerprintCache, raw_fingerprint
+from repro.utils.hashing import (
+    UNIVERSAL_HASH_PRIME,
+    stable_hash_64,
+    universal_hash_family,
+)
 
-# 2^31 - 1: products a*x stay below 2^62, safely inside uint64.
-MINHASH_PRIME = (1 << 31) - 1
+#: Re-export: minhash arithmetic works modulo the shared universal prime.
+MINHASH_PRIME = UNIVERSAL_HASH_PRIME
+
+#: Batched signature computation caps each (num_hashes, chunk) work matrix
+#: at roughly this many fingerprints per slab to bound peak memory.
+_BATCH_CHUNK_ITEMS = 1 << 15
 
 
 class MinHash:
@@ -32,31 +44,44 @@ class MinHash:
             raise ValueError(f"num_hashes must be positive, got {num_hashes}")
         self.num_hashes = num_hashes
         self.seed = seed
-        self._a = np.array(
-            [stable_hash_32(f"minhash-a-{i}", seed) % (MINHASH_PRIME - 1) + 1
-             for i in range(num_hashes)],
-            dtype=np.uint64,
-        )
-        self._b = np.array(
-            [stable_hash_32(f"minhash-b-{i}", seed) % MINHASH_PRIME
-             for i in range(num_hashes)],
-            dtype=np.uint64,
+        self._a, self._b = universal_hash_family(num_hashes, seed, tag="minhash")
+
+    def _check_cache(self, cache: FingerprintCache) -> None:
+        if cache.seed != self.seed:
+            raise ValueError(
+                f"fingerprint cache seed {cache.seed} does not match the "
+                f"hash family seed {self.seed}; signatures would be wrong"
+            )
+
+    def _empty_signature(self) -> "MinHashSignature":
+        return MinHashSignature(
+            values=np.full(self.num_hashes, MINHASH_PRIME, dtype=np.uint64),
+            set_size=0,
+            num_hashes=self.num_hashes,
+            seed=self.seed,
         )
 
-    def signature(self, items: set[str] | list[str]) -> "MinHashSignature":
-        """Compute the signature of a set of string items."""
-        distinct = set(items)
+    def signature(
+        self,
+        items: set[str] | frozenset[str] | list[str],
+        cache: FingerprintCache | None = None,
+    ) -> "MinHashSignature":
+        """Compute the signature of a set of string items.
+
+        ``cache`` (a :class:`FingerprintCache` for this seed) serves repeated
+        strings without re-hashing; the profiler shares one per fit.
+        """
+        distinct = items if isinstance(items, (set, frozenset)) else set(items)
         if not distinct:
-            return MinHashSignature(
-                values=np.full(self.num_hashes, MINHASH_PRIME, dtype=np.uint64),
-                set_size=0,
-                num_hashes=self.num_hashes,
-                seed=self.seed,
+            return self._empty_signature()
+        if cache is not None:
+            self._check_cache(cache)
+            fingerprints = cache.fingerprints(distinct)
+        else:
+            fingerprints = np.array(
+                [raw_fingerprint(item, self.seed) for item in distinct],
+                dtype=np.uint64,
             )
-        fingerprints = np.array(
-            [stable_hash_32(item, self.seed) % MINHASH_PRIME for item in distinct],
-            dtype=np.uint64,
-        )
         # (k, n) = a[:,None] * x[None,:] + b[:,None], all exact in uint64.
         hashed = (self._a[:, None] * fingerprints[None, :] + self._b[:, None]) % np.uint64(
             MINHASH_PRIME
@@ -67,6 +92,64 @@ class MinHash:
             num_hashes=self.num_hashes,
             seed=self.seed,
         )
+
+    def signatures_batch(
+        self,
+        sets: list[set[str] | frozenset[str] | list[str]],
+        cache: FingerprintCache | None = None,
+    ) -> list["MinHashSignature"]:
+        """Signatures of many sets in one vectorised pass.
+
+        Fingerprints of all sets are concatenated into one uint64 array, the
+        hash family is applied to whole slabs at once, and per-set minima
+        come from ``np.minimum.reduceat`` over the set offsets. Exact-min
+        arithmetic makes the result byte-identical to per-set
+        :meth:`signature` calls; empty sets yield the canonical empty
+        signature. Peak memory is bounded by slabbing the concatenation at
+        ~``2**15`` fingerprints (whole sets only).
+        """
+        if cache is None:
+            cache = FingerprintCache(self.seed)
+        else:
+            self._check_cache(cache)
+        out: list[MinHashSignature | None] = [None] * len(sets)
+
+        # One slab = a run of non-empty sets whose total item count fits the
+        # chunk budget (a single oversized set still forms its own slab).
+        slab_sets: list[tuple[int, np.ndarray, int]] = []  # (out idx, fp, size)
+        slab_items = 0
+
+        def flush() -> None:
+            nonlocal slab_sets, slab_items
+            if not slab_sets:
+                return
+            concat = np.concatenate([fp for _, fp, _ in slab_sets])
+            offsets = np.cumsum([0] + [len(fp) for _, fp, _ in slab_sets[:-1]])
+            hashed = (
+                self._a[:, None] * concat[None, :] + self._b[:, None]
+            ) % np.uint64(MINHASH_PRIME)
+            minima = np.minimum.reduceat(hashed, offsets, axis=1)
+            for column, (index, _, size) in enumerate(slab_sets):
+                out[index] = MinHashSignature(
+                    values=minima[:, column].copy(),
+                    set_size=size,
+                    num_hashes=self.num_hashes,
+                    seed=self.seed,
+                )
+            slab_sets = []
+            slab_items = 0
+
+        for index, items in enumerate(sets):
+            distinct = items if isinstance(items, (set, frozenset)) else set(items)
+            if not distinct:
+                out[index] = self._empty_signature()
+                continue
+            if slab_items and slab_items + len(distinct) > _BATCH_CHUNK_ITEMS:
+                flush()
+            slab_sets.append((index, cache.fingerprints(distinct), len(distinct)))
+            slab_items += len(distinct)
+        flush()
+        return out  # type: ignore[return-value]
 
 
 class MinHashSignature:
@@ -88,6 +171,9 @@ class MinHashSignature:
     def jaccard(self, other: "MinHashSignature") -> float:
         """Estimate Jaccard similarity as the fraction of matching components."""
         self._check_compatible(other)
+        return self._jaccard_unchecked(other)
+
+    def _jaccard_unchecked(self, other: "MinHashSignature") -> float:
         if self.set_size == 0 and other.set_size == 0:
             return 0.0
         return float(np.mean(self.values == other.values))
@@ -97,7 +183,7 @@ class MinHashSignature:
         self._check_compatible(other)
         if self.set_size == 0:
             return 0.0
-        j = self.jaccard(other)
+        j = self._jaccard_unchecked(other)
         estimate = j * (self.set_size + other.set_size) / ((1.0 + j) * self.set_size)
         return float(min(1.0, max(0.0, estimate)))
 

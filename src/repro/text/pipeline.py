@@ -18,6 +18,9 @@ from repro.text.pos import is_probable_noun
 from repro.text.stopwords import is_stopword
 from repro.text.tokenizer import tokenize
 
+#: Sentinel distinguishing "never decided" from a memoised None (filtered).
+_MISSING = object()
+
 
 @dataclass
 class BagOfWords:
@@ -61,6 +64,9 @@ class DocumentPipeline:
         every token is content-bearing.
     """
 
+    #: Bound on the per-pipeline token -> lemma-decision memo.
+    TERM_MEMO_MAX = 1 << 16
+
     def __init__(self, max_doc_frequency: float = 0.5, keep_pos_nouns: bool = True):
         if not 0.0 < max_doc_frequency <= 1.0:
             raise ValueError(f"max_doc_frequency must be in (0, 1], got {max_doc_frequency}")
@@ -68,6 +74,10 @@ class DocumentPipeline:
         self.keep_pos_nouns = keep_pos_nouns
         self._common_terms: set[str] = set()
         self._num_docs_fit = 0
+        #: token -> lemma (or None when filtered); the stopword/POS/lemma
+        #: decision is a pure function of the token, so it is shared across
+        #: documents and fits of this pipeline instance.
+        self._term_memo: dict[str, str | None] = {}
 
     # ------------------------------------------------------------------ fit
 
@@ -97,21 +107,52 @@ class DocumentPipeline:
         return BagOfWords(Counter(terms))
 
     def fit_transform(self, corpus: list[str]) -> list[BagOfWords]:
-        self.fit(corpus)
-        return [self.transform(text) for text in corpus]
+        """Fit the df filter and transform the corpus in one pass.
+
+        Equivalent to ``fit(corpus)`` followed by ``transform`` per document
+        (same filter, same bags), but each document is tokenised/lemmatised
+        once instead of twice — the batch fit path of the profiler runs on
+        this.
+        """
+        base = [self._base_terms(text) for text in corpus]
+        doc_freq: Counter = Counter()
+        for terms in base:
+            doc_freq.update(set(terms))
+        self._num_docs_fit = len(base)
+        if len(base) >= 5:
+            cutoff = self.max_doc_frequency * len(base)
+            self._common_terms = {t for t, df in doc_freq.items() if df > cutoff}
+        else:
+            self._common_terms = set()
+        return [
+            BagOfWords(Counter(t for t in terms if t not in self._common_terms))
+            for terms in base
+        ]
 
     # ------------------------------------------------------------ internals
 
     def _base_terms(self, text: str) -> list[str]:
-        """Tokenise + stopword-filter + POS-filter + lemmatise."""
+        """Tokenise + stopword-filter + POS-filter + lemmatise (memoised)."""
+        memo = self._term_memo
+        missing = _MISSING
         out = []
         for token in tokenize(text):
-            if is_stopword(token):
-                continue
-            if self.keep_pos_nouns and not is_probable_noun(token):
-                continue
-            lemma = lemmatize(token)
-            if len(lemma) < 2:
-                continue
-            out.append(lemma)
+            lemma = memo.get(token, missing)
+            if lemma is missing:
+                lemma = self._term_decision(token)
+                if len(memo) < self.TERM_MEMO_MAX:
+                    memo[token] = lemma
+            if lemma is not None:
+                out.append(lemma)
         return out
+
+    def _term_decision(self, token: str) -> str | None:
+        """The per-token filter chain; None when the token is dropped."""
+        if is_stopword(token):
+            return None
+        if self.keep_pos_nouns and not is_probable_noun(token):
+            return None
+        lemma = lemmatize(token)
+        if len(lemma) < 2:
+            return None
+        return lemma

@@ -5,14 +5,20 @@ module so that runs are reproducible across processes (Python's built-in
 ``hash`` is salted per process and therefore unusable for sketches).
 """
 
-from repro.utils.hashing import stable_hash_32, stable_hash_64, hash_family
+from repro.utils.hashing import (
+    UNIVERSAL_HASH_PRIME,
+    stable_hash_32,
+    stable_hash_64,
+    universal_hash_family,
+)
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 
 __all__ = [
+    "UNIVERSAL_HASH_PRIME",
     "stable_hash_32",
     "stable_hash_64",
-    "hash_family",
+    "universal_hash_family",
     "ensure_rng",
     "Timer",
 ]

@@ -2,23 +2,41 @@
 
 The minhash sketches, LSH bands, and the subword-hashing embedder all need
 hash functions that (a) are deterministic across interpreter sessions and
-(b) can be drawn as an indexed family ``h_0, h_1, ...``. We build them from
-blake2b with an explicit seed baked into the key, which is both fast and has
-excellent distribution properties.
+(b) can be drawn as an indexed family ``h_0, h_1, ...``. Scalar hashes come
+from blake2b with an explicit seed baked into the key, which is both fast
+and has excellent distribution properties; indexed families use the classic
+universal construction h(x) = (a*x + b) mod p with coefficient arrays, so a
+whole family can be applied to a whole array of inputs in one vectorised
+numpy expression.
+
+Prime choice
+------------
+The family modulus is the Mersenne prime ``UNIVERSAL_HASH_PRIME = 2**31 - 1``
+everywhere. With ``a, b, x < 2**31`` every product ``a*x`` stays below
+``2**62`` and the multiply-add-mod evaluates exactly in uint64, which is what
+lets minhash signatures and embedder bucket tables vectorise over items and
+hash functions at once. (The other standard choice, ``2**61 - 1``, would
+need 128-bit intermediates and forces per-item Python arithmetic — the repo
+used to carry a closure-based family over it next to the vectorised one;
+this module is now the single home of the family and its prime.)
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Callable
+
+import numpy as np
 
 _MASK_64 = (1 << 64) - 1
 _MASK_32 = (1 << 32) - 1
 
-# Parameters of the classic universal-hash family h(x) = (a*x + b) mod p.
-# 2**61 - 1 is a Mersenne prime, the standard choice for 64-bit minhash.
-MERSENNE_PRIME = (1 << 61) - 1
+#: Modulus of every universal-hash family in the repo (see module docstring).
+UNIVERSAL_HASH_PRIME = (1 << 31) - 1
+
+
+#: seed -> little-endian blake2b key, so the hot path packs each seed once.
+_KEY_CACHE: dict[int, bytes] = {}
 
 
 def stable_hash_64(value: str | bytes, seed: int = 0) -> int:
@@ -29,9 +47,12 @@ def stable_hash_64(value: str | bytes, seed: int = 0) -> int:
     """
     if isinstance(value, str):
         value = value.encode("utf-8", errors="replace")
-    key = struct.pack("<Q", seed & _MASK_64)
+    key = _KEY_CACHE.get(seed)
+    if key is None:
+        key = struct.pack("<Q", seed & _MASK_64)
+        _KEY_CACHE[seed] = key
     digest = hashlib.blake2b(value, digest_size=8, key=key).digest()
-    return struct.unpack("<Q", digest)[0]
+    return int.from_bytes(digest, "little")
 
 
 def stable_hash_32(value: str | bytes, seed: int = 0) -> int:
@@ -39,26 +60,32 @@ def stable_hash_32(value: str | bytes, seed: int = 0) -> int:
     return stable_hash_64(value, seed) & _MASK_32
 
 
-def hash_family(num_hashes: int, seed: int = 0) -> list[Callable[[int], int]]:
-    """Return ``num_hashes`` independent universal hash functions over ints.
+def universal_hash_family(
+    num_hashes: int, seed: int = 0, tag: str = "minhash"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the ``(a, b)`` coefficient arrays of an indexed hash family.
 
-    Each function maps a 64-bit integer to ``[0, 2**61 - 2]`` using the
-    multiply-add-mod-prime construction. The (a, b) coefficients are derived
-    deterministically from ``seed`` so sketches built in different processes
-    are comparable.
+    ``h_i(x) = (a[i] * x + b[i]) mod UNIVERSAL_HASH_PRIME`` with
+    ``a[i] in [1, p-1]`` and ``b[i] in [0, p-1]``, both uint64 so the whole
+    family applies to a uint64 input array in one vectorised expression
+    (products stay below 2**62 — see the module docstring on the prime).
+    Coefficients are derived deterministically from ``(tag, seed)``, so
+    families built in different processes are identical; distinct ``tag``
+    values (e.g. ``"minhash"`` vs ``"bucket"``) give independent families
+    from the same seed.
     """
     if num_hashes <= 0:
         raise ValueError(f"num_hashes must be positive, got {num_hashes}")
-    functions = []
-    for i in range(num_hashes):
-        a = stable_hash_64(f"minhash-a-{i}", seed) % (MERSENNE_PRIME - 1) + 1
-        b = stable_hash_64(f"minhash-b-{i}", seed) % MERSENNE_PRIME
-
-        def h(x: int, a: int = a, b: int = b) -> int:
-            return (a * x + b) % MERSENNE_PRIME
-
-        functions.append(h)
-    return functions
+    p = UNIVERSAL_HASH_PRIME
+    a = np.array(
+        [stable_hash_32(f"{tag}-a-{i}", seed) % (p - 1) + 1 for i in range(num_hashes)],
+        dtype=np.uint64,
+    )
+    b = np.array(
+        [stable_hash_32(f"{tag}-b-{i}", seed) % p for i in range(num_hashes)],
+        dtype=np.uint64,
+    )
+    return a, b
 
 
 def token_fingerprint(token: str, seed: int = 0) -> int:

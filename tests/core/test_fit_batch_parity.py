@@ -1,0 +1,444 @@
+"""Batch == per-item parity for the vectorised fit pipeline.
+
+The batched cold fit (``CMDLConfig.fit_mode="batched"``, the default) must
+produce *byte-identical* output to driving the whole fit through the
+per-item delta routines (``fit_mode="legacy"``): every bag, signature,
+embedding, value set, and index structure. These tests pin that contract on
+all three seed lakes plus the handcrafted edge cases (empty sets,
+all-missing columns, duplicate-heavy values), and pin the fit output itself
+against a recorded fingerprint so silent drift in either path fails loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.ann.rpforest import RPForestIndex
+from repro.core.indexes import IndexCatalog
+from repro.core.profiler import Profiler
+from repro.core.system import CMDL, CMDLConfig
+from repro.embed.blended import BlendedEmbedder
+from repro.embed.hashing_embedder import HashingEmbedder
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+from repro.search.engine import SearchEngine
+from repro.sketch.lshensemble import LSHEnsemble
+from repro.sketch.minhash import MinHash
+
+
+def assert_sketch_equal(a, b) -> None:
+    assert a.de_id == b.de_id and a.kind == b.kind
+    assert a.content_bow.terms == b.content_bow.terms
+    assert a.metadata_bow.terms == b.metadata_bow.terms
+    assert np.array_equal(a.signature.values, b.signature.values)
+    assert a.signature.set_size == b.signature.set_size
+    assert (a.value_signature is None) == (b.value_signature is None)
+    if a.value_signature is not None:
+        assert np.array_equal(a.value_signature.values, b.value_signature.values)
+        assert a.value_signature.set_size == b.value_signature.set_size
+    assert np.array_equal(a.content_embedding, b.content_embedding)
+    assert np.array_equal(a.metadata_embedding, b.metadata_embedding)
+    assert a.value_set == b.value_set
+    assert a.numeric == b.numeric
+    assert a.tags == b.tags
+    assert a.table_name == b.table_name and a.column_name == b.column_name
+
+
+def assert_profiles_equal(a, b) -> None:
+    assert set(a.documents) == set(b.documents)
+    assert set(a.columns) == set(b.columns)
+    assert a.table_columns == b.table_columns
+    for de_id in a.documents:
+        assert_sketch_equal(a.documents[de_id], b.documents[de_id])
+    for de_id in a.columns:
+        assert_sketch_equal(a.columns[de_id], b.columns[de_id])
+
+
+@pytest.fixture(scope="module")
+def pharma_lake_m(pharma_generated):
+    return pharma_generated.lake
+
+
+@pytest.fixture(scope="module")
+def ukopen_lake_m(ukopen_generated):
+    return ukopen_generated.lake
+
+
+@pytest.fixture(scope="module")
+def mlopen_lake_m(mlopen_generated):
+    return mlopen_generated.lake
+
+
+@pytest.fixture(scope="module")
+def pin_lake() -> DataLake:
+    """Handcrafted, generator-independent lake for the pinned fingerprint."""
+    lake = DataLake(name="pin")
+    lake.add_table(Table.from_dict(
+        "drugs",
+        {
+            "drug_id": ["D1", "D2", "D3", "D4"],
+            "name": ["aspirin", "ibuprofen", "codeine", "morphine"],
+            "year": ["1999", "2001", "2005", "2010"],
+        },
+    ))
+    lake.add_table(Table.from_dict(
+        "targets",
+        {
+            "target_id": ["T1", "T2", "T3"],
+            "drug_ref": ["D1", "D2", "D2"],
+            "protein": ["cox synthase", "cox reductase", "mu receptor"],
+        },
+    ))
+    lake.add_document(Document(
+        doc_id="doc:aspirin",
+        title="Aspirin and cox synthase",
+        text="Aspirin inhibits cox synthase and reduces inflammation.",
+    ))
+    lake.add_document(Document(
+        doc_id="doc:ibuprofen",
+        title="Ibuprofen study",
+        text="Ibuprofen targets cox reductase in chronic inflammation.",
+    ))
+    return lake
+
+
+def edge_case_lake() -> DataLake:
+    """Empty vocab, all-missing columns, duplicate-heavy values, empty doc."""
+    lake = DataLake(name="edge")
+    lake.add_table(Table.from_dict(
+        "weird",
+        {
+            "all_missing": ["", "N/A", "null", "", ""],
+            "numbers": ["1.5", "2.5", "", "4.0", "1.5"],
+            "empty_name": ["only", "two", "vals", "here", "vals"],
+        },
+    ))
+    lake.add_table(Table.from_dict(
+        "dupes", {"dup_heavy": ["x"] * 40 + ["y"], "tail": [""] * 40 + ["z"]}
+    ))
+    lake.add_table(Table.from_dict("lonely", {"single": ["v"] * 3}))
+    lake.add_document(Document(doc_id="doc:empty", title="", text=""))
+    lake.add_document(Document(
+        doc_id="doc:dup", title="dup dup", text="alpha alpha alpha beta. " * 20
+    ))
+    return lake
+
+
+@pytest.fixture(scope="module")
+def edge_lake():
+    return edge_case_lake()
+
+
+class TestProfileParity:
+    @pytest.mark.parametrize("lake_fixture", [
+        "pharma_lake_m", "ukopen_lake_m", "mlopen_lake_m",
+    ])
+    def test_seed_lake_profiles_identical(self, lake_fixture, request):
+        lake = request.getfixturevalue(lake_fixture)
+        batched = Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(lake)
+        legacy = Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(
+            lake, batched=False
+        )
+        assert_profiles_equal(batched, legacy)
+
+    def test_edge_lake_profiles_identical(self, edge_lake):
+        # The edge lake's PPMI matrix is tiny and degenerate, where scipy's
+        # truncated SVD is not refit-deterministic (a pre-existing property
+        # that test_incremental_parity sidesteps the same way) — so both
+        # paths share one trained distributional model; subword tables,
+        # blending, sketching, and pooling still run fresh per path.
+        from repro.embed.ppmi import PPMIEmbedder
+
+        corpora = Profiler(seed=0)._training_corpora(edge_lake)
+        distributional = PPMIEmbedder(dim=24, seed=0).fit(corpora)
+
+        def profiler():
+            return Profiler(
+                embedding_dim=24,
+                num_hashes=64,
+                embedder=BlendedEmbedder(
+                    dim=24, distributional=distributional, seed=0
+                ),
+                seed=0,
+            )
+
+        assert_profiles_equal(
+            profiler().profile(edge_lake),
+            profiler().profile(edge_lake, batched=False),
+        )
+
+    def test_explicit_embedder_profiles_identical(self, edge_lake):
+        def profiler():
+            return Profiler(
+                embedding_dim=16,
+                num_hashes=32,
+                embedder=HashingEmbedder(dim=16, seed=0),
+                seed=0,
+            )
+
+        assert_profiles_equal(
+            profiler().profile(edge_lake),
+            profiler().profile(edge_lake, batched=False),
+        )
+
+    def test_fit_stats_populated(self, edge_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, embedding_dim=16))
+        cmdl.fit(edge_lake)
+        stats = cmdl.fit_stats.as_dict()
+        assert stats["total_seconds"] > 0
+        assert all(v >= 0 for v in stats.values())
+        assert cmdl.fit_stats.summary().startswith("profile=")
+
+    def test_bad_fit_mode_rejected(self, edge_lake):
+        with pytest.raises(ValueError, match="fit_mode"):
+            CMDL(CMDLConfig(fit_mode="bogus")).fit(edge_lake)
+
+
+class TestIndexStateParity:
+    @pytest.fixture(scope="class")
+    def profile_pair(self, pharma_lake_m):
+        profile = Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(
+            pharma_lake_m
+        )
+        bulk = IndexCatalog(profile, seed=0, bulk=True)
+        incremental = IndexCatalog(profile, seed=0, bulk=False)
+        return bulk, incremental
+
+    def test_keyword_engines_identical(self, profile_pair):
+        bulk, incremental = profile_pair
+        for name in ("doc_content", "doc_metadata", "column_content",
+                     "column_metadata", "column_schema", "column_schema_ngrams"):
+            a = getattr(bulk, name).index
+            b = getattr(incremental, name).index
+            assert a._postings == b._postings, name
+            assert a._doc_lengths == b._doc_lengths, name
+            assert a._df == b._df and a._collection_tf == b._collection_tf, name
+
+    def test_ann_forests_identical(self, profile_pair):
+        bulk, incremental = profile_pair
+        for name in ("doc_solo", "column_solo", "column_semantic"):
+            a, b = getattr(bulk, name), getattr(incremental, name)
+            assert a._keys == b._keys, name
+            assert np.array_equal(a._matrix, b._matrix), name
+
+    def test_ensembles_identical(self, profile_pair):
+        bulk, incremental = profile_pair
+        for name in ("column_containment", "value_containment"):
+            a, b = getattr(bulk, name), getattr(incremental, name)
+            assert [p.keys() for p in a._partitions] == [
+                p.keys() for p in b._partitions
+            ], name
+            assert a._partition_upper == b._partition_upper, name
+
+    def test_interval_index_identical(self, profile_pair):
+        bulk, incremental = profile_pair
+        assert bulk.column_numeric._keys == incremental.column_numeric._keys
+
+
+class TestBulkBuilders:
+    def test_search_engine_bulk_matches_adds(self):
+        bags = [("a", ["x", "y", "x"]), ("b", ["y"]), ("c", [])]
+        bulk, single = SearchEngine(), SearchEngine()
+        bulk.build_bulk(bags)
+        for key, terms in bags:
+            single.add(key, terms)
+        assert bulk.index._postings == single.index._postings
+        assert bulk.index._doc_lengths == single.index._doc_lengths
+        assert bulk.search(["x", "y"]) == single.search(["x", "y"])
+
+    def test_search_engine_bulk_on_nonempty_index(self):
+        engine = SearchEngine()
+        engine.add("a", ["x"])
+        engine.build_bulk([("b", ["y"])])
+        assert "a" in engine and "b" in engine
+        with pytest.raises(ValueError):
+            engine.build_bulk([("b", ["z"])])
+
+    def test_lshensemble_bulk_matches_adds(self):
+        mh = MinHash(num_hashes=64, seed=0)
+        entries = [(f"k{i}", mh.signature({f"v{j}" for j in range(i + 1)}))
+                   for i in range(12)]
+        bulk = LSHEnsemble(num_partitions=4).build_bulk(entries)
+        single = LSHEnsemble(num_partitions=4)
+        for key, sig in entries:
+            single.add(key, sig)
+        single.build()
+        assert [p.keys() for p in bulk._partitions] == [
+            p.keys() for p in single._partitions
+        ]
+        probe = mh.signature({"v0", "v1"})
+        assert bulk.query(probe, k=3) == single.query(probe, k=3)
+
+    def test_lshensemble_bulk_rejects_built(self):
+        ensemble = LSHEnsemble().build()
+        with pytest.raises(RuntimeError):
+            ensemble.build_bulk([])
+
+    def test_rpforest_bulk_matches_adds(self):
+        rng = np.random.default_rng(0)
+        entries = [(f"p{i}", rng.standard_normal(8)) for i in range(30)]
+        bulk = RPForestIndex(dim=8, seed=0).build_bulk(entries)
+        single = RPForestIndex(dim=8, seed=0)
+        for key, vec in entries:
+            single.add(key, vec)
+        single.build()
+        assert bulk._keys == single._keys
+        assert np.array_equal(bulk._matrix, single._matrix)
+        q = rng.standard_normal(8)
+        assert bulk.query(q, k=5) == single.query(q, k=5)
+
+    def test_rpforest_bulk_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            RPForestIndex(dim=4).build_bulk([("k", np.zeros(3))])
+
+
+class TestEmbeddingBatchParity:
+    WORDS = ["alpha", "beta", "alphabet", "gamma", "a", "synthase", "alpha"]
+
+    def test_hashing_embedder_batch_equals_single(self):
+        batch = HashingEmbedder(dim=32, seed=0).embed_words(self.WORDS)
+        single_embedder = HashingEmbedder(dim=32, seed=0)
+        singles = np.vstack([single_embedder.embed_word(w) for w in self.WORDS])
+        assert np.array_equal(batch, singles)
+
+    def test_hashing_embedder_split_invariant(self):
+        whole = HashingEmbedder(dim=16, seed=1).embed_words(self.WORDS)
+        split_embedder = HashingEmbedder(dim=16, seed=1)
+        parts = [split_embedder.embed_words(self.WORDS[:3]),
+                 split_embedder.embed_words(self.WORDS[3:])]
+        assert np.array_equal(whole, np.vstack(parts))
+
+    def test_blended_batch_equals_single(self):
+        from repro.embed.ppmi import PPMIEmbedder
+
+        dist = PPMIEmbedder(dim=16, min_count=1, seed=0).fit(
+            [["alpha", "beta"], ["alpha", "gamma"]] * 4
+        )
+        batch = BlendedEmbedder(dim=16, distributional=dist, seed=0).embed_words(
+            self.WORDS
+        )
+        single_embedder = BlendedEmbedder(dim=16, distributional=dist, seed=0)
+        singles = np.vstack([single_embedder.embed_word(w) for w in self.WORDS])
+        assert np.array_equal(batch, singles)
+
+    def test_async_training_equals_sequential(self):
+        from repro.embed.blended import LakeEmbedderTraining, build_lake_embedder
+
+        corpora = [["drug", "enzyme", "target"], ["drug", "protein"]] * 5
+        sequential = build_lake_embedder(corpora, dim=16, seed=0)
+        training = LakeEmbedderTraining(corpora, dim=16, seed=0)
+        training.subword.embed_words(["drug", "protein", "novel"])
+        overlapped = training.result()
+        for word in ["drug", "enzyme", "novel", "unseen-word"]:
+            assert np.array_equal(
+                sequential.embed_word(word), overlapped.embed_word(word)
+            )
+
+
+class TestEndToEndParity:
+    def test_discovery_identical_across_fit_modes(self, pharma_lake_m):
+        from repro.core.srql import Q
+
+        batched = CMDL(CMDLConfig(use_joint=False, seed=0))
+        batched.fit(pharma_lake_m)
+        legacy = CMDL(CMDLConfig(use_joint=False, seed=0, fit_mode="legacy"))
+        legacy.fit(pharma_lake_m)
+        assert_profiles_equal(batched.profile, legacy.profile)
+        tables = sorted(batched.profile.table_columns)[:4]
+        for table in tables:
+            for query in (Q.joinable(table, top_n=3), Q.pkfk(table, top_n=3),
+                          Q.unionable(table, top_n=3)):
+                assert (batched.engine.discover(query).items
+                        == legacy.engine.discover(query).items)
+
+
+def fit_output_fingerprint(cmdl: CMDL, values_only: bool = False) -> str:
+    """Canonical digest of a fitted profile.
+
+    ``values_only`` restricts the digest to value-semantics outputs (bags,
+    value sets, minhash signatures), which are independent of the embedding
+    scheme; the full digest also covers both solo embeddings byte-for-byte.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    profile = cmdl.profile
+    for de_id in sorted(list(profile.documents) + list(profile.columns)):
+        sketch = profile.sketch(de_id)
+        digest.update(de_id.encode())
+        for term, count in sorted(sketch.content_bow.terms.items()):
+            digest.update(f"{term}:{count};".encode())
+        for term, count in sorted(sketch.metadata_bow.terms.items()):
+            digest.update(f"{term}:{count};".encode())
+        for value in sorted(sketch.value_set):
+            digest.update(value.encode())
+        digest.update(sketch.signature.values.tobytes())
+        if sketch.value_signature is not None:
+            digest.update(sketch.value_signature.values.tobytes())
+        if not values_only:
+            digest.update(np.ascontiguousarray(sketch.content_embedding).tobytes())
+            digest.update(np.ascontiguousarray(sketch.metadata_embedding).tobytes())
+    return digest.hexdigest()
+
+
+class TestPinnedFitFingerprint:
+    """Guard against silent drift of the cold-fit output.
+
+    The value-semantics digest (bags + value sets + minhash signatures) is
+    invariant under this PR — VALUES_DIGEST was computed by running the
+    *pre-refactor* fit (commit 8b8a6f3) over the same lake and matches the
+    batched pipeline exactly. The full digest additionally pins the solo
+    embeddings as produced by the vectorised bucket-table scheme this PR
+    introduced (re-pin deliberately if the scheme ever changes).
+    """
+
+    VALUES_DIGEST = "ff807ae64a1c306a22645ebb604032b4"
+    FULL_DIGEST = "12ba180d4fc127669216b0930cdaefdd"
+
+    @pytest.fixture(scope="class")
+    def fitted(self, pin_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, seed=0))
+        cmdl.fit(pin_lake)
+        return cmdl
+
+    def test_value_semantics_fingerprint_unchanged(self, fitted):
+        assert fit_output_fingerprint(fitted, values_only=True) == self.VALUES_DIGEST
+
+    def test_full_fingerprint_unchanged(self, fitted):
+        assert fit_output_fingerprint(fitted) == self.FULL_DIGEST
+
+    def test_legacy_mode_same_fingerprint(self, pin_lake, fitted):
+        legacy = CMDL(CMDLConfig(use_joint=False, seed=0, fit_mode="legacy"))
+        legacy.fit(pin_lake)
+        assert fit_output_fingerprint(legacy) == fit_output_fingerprint(fitted)
+
+
+class TestReviewFixRegressions:
+    def test_rpforest_bulk_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RPForestIndex(dim=3).build_bulk(
+                [("k", np.ones(3)), ("k", np.zeros(3))]
+            )
+
+    def test_fingerprint_cache_bounded(self, monkeypatch):
+        from repro.sketch.fingerprints import FingerprintCache
+
+        monkeypatch.setattr(FingerprintCache, "MAX_ENTRIES", 2)
+        cache = FingerprintCache()
+        values = cache.fingerprints(["a", "b", "c", "d"])
+        assert len(cache) == 2  # retention capped ...
+        assert cache.fingerprint("d") == int(values[3])  # ... values still exact
+
+    def test_bucket_table_grows_without_stale_rows(self):
+        embedder = HashingEmbedder(dim=8, seed=0)
+        first = embedder.embed_word("alpha").copy()
+        # Force many incremental materialisations past several growths.
+        for i in range(200):
+            embedder.embed_word(f"w{i}")
+        assert np.array_equal(embedder.embed_word("alpha"), first)
+        fresh = HashingEmbedder(dim=8, seed=0)
+        for i in range(200):
+            assert np.array_equal(
+                embedder.embed_word(f"w{i}"), fresh.embed_word(f"w{i}")
+            )

@@ -1,0 +1,68 @@
+"""Tests for the per-fit fingerprint cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sketch.fingerprints import FingerprintCache
+from repro.sketch.minhash import MINHASH_PRIME
+from repro.utils.hashing import stable_hash_32
+
+
+class TestFingerprintCache:
+    def test_matches_direct_hash(self):
+        cache = FingerprintCache(seed=3)
+        assert cache.fingerprint("abc") == stable_hash_32("abc", 3) % MINHASH_PRIME
+
+    def test_each_string_hashed_once(self):
+        cache = FingerprintCache()
+        cache.fingerprints(["a", "b", "a"])
+        cache.fingerprints(["a", "c"])
+        assert cache.misses == 3  # a, b, c
+        assert cache.hits == 2
+        assert len(cache) == 3
+
+    def test_bulk_matches_single(self):
+        cache = FingerprintCache(seed=1)
+        items = ["x", "y", "z", "x"]
+        bulk = cache.fingerprints(items)
+        singles = [FingerprintCache(seed=1).fingerprint(i) for i in items]
+        assert bulk.dtype == np.uint64
+        assert bulk.tolist() == singles
+
+    def test_contains(self):
+        cache = FingerprintCache()
+        cache.fingerprint("seen")
+        assert "seen" in cache
+        assert "unseen" not in cache
+
+    def test_seed_changes_values(self):
+        assert FingerprintCache(seed=1).fingerprint("v") != FingerprintCache(
+            seed=2
+        ).fingerprint("v")
+
+    @given(st.lists(st.text(max_size=8)))
+    def test_order_preserved_and_in_range(self, items):
+        cache = FingerprintCache()
+        out = cache.fingerprints(items)
+        assert len(out) == len(items)
+        assert all(0 <= int(v) < MINHASH_PRIME for v in out)
+        again = cache.fingerprints(items)
+        assert np.array_equal(out, again)
+
+
+class TestCacheSeedGuard:
+    def test_mismatched_cache_seed_rejected(self):
+        from repro.sketch.minhash import MinHash
+
+        mh = MinHash(num_hashes=32, seed=0)
+        wrong = FingerprintCache(seed=1)
+        with pytest.raises(ValueError, match="seed"):
+            mh.signature({"a"}, cache=wrong)
+        with pytest.raises(ValueError, match="seed"):
+            mh.signatures_batch([{"a"}], cache=wrong)
+
+    def test_raw_fingerprint_is_the_formula(self):
+        from repro.sketch.fingerprints import raw_fingerprint
+
+        assert raw_fingerprint("abc", 3) == stable_hash_32("abc", 3) % MINHASH_PRIME

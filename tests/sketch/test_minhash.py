@@ -142,3 +142,88 @@ class TestVectorisedCorrectness:
                 for x in fingerprints
             )
             assert int(sig.values[k]) == expected
+
+
+class TestSignaturesBatch:
+    """Batch signatures must be byte-identical to per-set signature()."""
+
+    def _assert_batch_matches(self, mh, sets):
+        batch = mh.signatures_batch(sets)
+        singles = [mh.signature(s) for s in sets]
+        assert len(batch) == len(singles)
+        for got, want in zip(batch, singles):
+            assert np.array_equal(got.values, want.values)
+            assert got.set_size == want.set_size
+            assert got.num_hashes == want.num_hashes and got.seed == want.seed
+
+    def test_basic_parity(self, mh):
+        self._assert_batch_matches(
+            mh, [{"a", "b"}, {"c"}, {"a", "b", "c", "d"}]
+        )
+
+    def test_empty_sets_interleaved(self, mh):
+        self._assert_batch_matches(mh, [set(), {"a"}, set(), {"b", "c"}, set()])
+
+    def test_all_empty(self, mh):
+        self._assert_batch_matches(mh, [set(), frozenset()])
+
+    def test_empty_batch(self, mh):
+        assert mh.signatures_batch([]) == []
+
+    def test_duplicate_heavy_lists(self, mh):
+        self._assert_batch_matches(mh, [["a"] * 50 + ["b"], ["b"] * 99])
+
+    def test_frozensets_and_lists_mixed(self, mh):
+        self._assert_batch_matches(mh, [frozenset({"x"}), ["y", "x"], {"z"}])
+
+    def test_shared_cache_changes_nothing(self, mh):
+        from repro.sketch.fingerprints import FingerprintCache
+
+        sets = [{"a", "b"}, {"b", "c"}, {"a", "c"}]
+        cache = FingerprintCache(mh.seed)
+        with_cache = mh.signatures_batch(sets, cache=cache)
+        without = mh.signatures_batch(sets)
+        for got, want in zip(with_cache, without):
+            assert np.array_equal(got.values, want.values)
+        # every distinct string hashed exactly once through the cache
+        assert cache.misses == 3
+
+    def test_slab_boundaries(self, mh, monkeypatch):
+        # Force tiny slabs so sets split across several reduceat passes.
+        import repro.sketch.minhash as minhash_mod
+
+        sets = [{f"s{i}-{j}" for j in range(5)} for i in range(10)] + [set()]
+        monkeypatch.setattr(minhash_mod, "_BATCH_CHUNK_ITEMS", 7)
+        batch = mh.signatures_batch(sets)
+        singles = [mh.signature(s) for s in sets]
+        for got, want in zip(batch, singles):
+            assert np.array_equal(got.values, want.values)
+
+    def test_oversized_single_set(self, mh, monkeypatch):
+        import repro.sketch.minhash as minhash_mod
+
+        monkeypatch.setattr(minhash_mod, "_BATCH_CHUNK_ITEMS", 4)
+        big = {f"t{i}" for i in range(64)}
+        (got,) = mh.signatures_batch([big])
+        assert np.array_equal(got.values, mh.signature(big).values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(small_sets, max_size=8))
+    def test_parity_property(self, sets):
+        mh = MinHash(num_hashes=32, seed=5)
+        self._assert_batch_matches(mh, sets)
+
+
+class TestSignatureInputHandling:
+    def test_set_input_not_copied_semantics(self, mh):
+        # Passing a set/frozenset directly must equal the list path.
+        items = ["a", "b", "b", "c"]
+        assert mh.signature(set(items)) == mh.signature(items)
+        assert mh.signature(frozenset(items)) == mh.signature(items)
+
+    def test_containment_single_compat_check(self, mh):
+        # containment() delegates estimation without re-checking the family.
+        a = mh.signature({"a", "b"})
+        other = MinHash(num_hashes=128, seed=9).signature({"a"})
+        with pytest.raises(ValueError):
+            a.containment(other)

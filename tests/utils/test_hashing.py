@@ -1,14 +1,15 @@
 """Tests for repro.utils.hashing."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.hashing import (
-    MERSENNE_PRIME,
-    hash_family,
+    UNIVERSAL_HASH_PRIME,
     stable_hash_32,
     stable_hash_64,
     token_fingerprint,
+    universal_hash_family,
 )
 
 
@@ -44,29 +45,51 @@ class TestStableHash:
         assert stable_hash_64("naïve café 東京") == stable_hash_64("naïve café 東京")
 
 
-class TestHashFamily:
-    def test_size(self):
-        assert len(hash_family(7)) == 7
+class TestUniversalHashFamily:
+    def test_shapes_and_dtype(self):
+        a, b = universal_hash_family(7)
+        assert a.shape == b.shape == (7,)
+        assert a.dtype == b.dtype == np.uint64
 
     def test_rejects_non_positive(self):
         with pytest.raises(ValueError):
-            hash_family(0)
+            universal_hash_family(0)
+
+    def test_coefficient_ranges(self):
+        a, b = universal_hash_family(64, seed=3)
+        assert (a >= 1).all() and (a < UNIVERSAL_HASH_PRIME).all()
+        assert (b < UNIVERSAL_HASH_PRIME).all()
 
     def test_functions_differ(self):
-        h = hash_family(3)
-        values = {f(12345) for f in h}
+        a, b = universal_hash_family(3)
+        x = np.uint64(12345)
+        values = {int((ai * x + bi) % np.uint64(UNIVERSAL_HASH_PRIME))
+                  for ai, bi in zip(a, b)}
         assert len(values) == 3
 
     def test_deterministic_family(self):
-        h1 = hash_family(4, seed=9)
-        h2 = hash_family(4, seed=9)
-        for f1, f2 in zip(h1, h2):
-            assert f1(42) == f2(42)
+        a1, b1 = universal_hash_family(4, seed=9)
+        a2, b2 = universal_hash_family(4, seed=9)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
 
-    def test_output_below_prime(self):
-        for f in hash_family(8):
-            for x in (0, 1, 2**40, 2**63):
-                assert 0 <= f(x) < MERSENNE_PRIME
+    def test_tag_gives_independent_family(self):
+        a1, _ = universal_hash_family(4, seed=9)
+        a2, _ = universal_hash_family(4, seed=9, tag="bucket")
+        assert not np.array_equal(a1, a2)
+
+    def test_vectorised_output_below_prime(self):
+        a, b = universal_hash_family(8)
+        x = np.array([0, 1, 2**20, UNIVERSAL_HASH_PRIME - 1], dtype=np.uint64)
+        hashed = (a[:, None] * x[None, :] + b[:, None]) % np.uint64(
+            UNIVERSAL_HASH_PRIME
+        )
+        assert (hashed < UNIVERSAL_HASH_PRIME).all()
+
+    def test_products_fit_uint64(self):
+        # The prime-choice contract: a * x never wraps in uint64.
+        a, _ = universal_hash_family(16, seed=1)
+        x = np.uint64(UNIVERSAL_HASH_PRIME - 1)
+        assert int(a.max()) * int(x) < 2**64
 
 
 class TestTokenFingerprint:
