@@ -85,6 +85,13 @@ def main() -> None:
     #   session = repro.open_lake(lake)
     #   session.add_table(new_table); session.discover(...)  # no refit
 
+    # Big lakes — partition into independently-fitted shards behind the
+    # same surface (see examples/sharded_lake.py): mutations route to the
+    # owning shard, queries scatter-gather into one global top-k, and
+    # global_stats=True keeps keyword scores byte-equal to one big fit:
+    #   session = repro.open_lake(lake, shards=4, global_stats=True)
+    #   session.discover(Q.joinable("drugs", top_n=2))
+
     gt = generated.ground_truth("doc_to_table")
     relevant = gt.relevant(r1[1])
     if relevant:

@@ -21,6 +21,7 @@ Quickstart::
 
 from repro.core.system import CMDL, CMDLConfig
 from repro.core.session import LakeSession, open_lake
+from repro.core.sharding import ShardedLakeSession, ShardRouter
 from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
 from repro.core.srql import Q, parse_srql, to_srql
 from repro.relational.catalog import DataLake, Document
@@ -37,6 +38,8 @@ __all__ = [
     "CMDL",
     "CMDLConfig",
     "LakeSession",
+    "ShardedLakeSession",
+    "ShardRouter",
     "open_lake",
     "Q",
     "parse_srql",

@@ -323,18 +323,31 @@ class CandidateGenerator:
         }
 
     # ------------------------------------------------------------ queries
+    #
+    # Each probe family has an id-based entry point (the query column lives
+    # in this generator's profile) and a sketch-based ``*_for`` twin that
+    # accepts a *foreign* query sketch — a column profiled on another shard.
+    # Foreign sketches probe exactly like local ones: the same-table
+    # exclusion falls back to table-name comparison (a foreign table has no
+    # columns here), and the self-exclusion is a no-op.
 
     def join_candidates(self, column_id: str, k: int = 10) -> set[str]:
         """Join-eligible columns in other tables that may contain / be
         contained in ``column_id``'s value set (syntactic-join probe)."""
-        sketch = self.profile.columns[column_id]
+        return self.join_candidates_for(self.profile.columns[column_id], k=k)
+
+    def join_candidates_for(self, sketch: DESketch, k: int = 10) -> set[str]:
+        """:meth:`join_candidates` for an explicit (possibly foreign) sketch."""
         allowed = self._allowed_mask(self._join_mask, sketch)
         return self._containment_probe(sketch, k, allowed)
 
     def union_candidates(self, column_id: str, k: int = 10) -> set[str]:
         """Columns in other tables that may score on *any* of the union
         ensemble's four measures against ``column_id``."""
-        sketch = self.profile.columns[column_id]
+        return self.union_candidates_for(self.profile.columns[column_id], k=k)
+
+    def union_candidates_for(self, sketch: DESketch, k: int = 10) -> set[str]:
+        """:meth:`union_candidates` for an explicit (possibly foreign) sketch."""
         allowed = self._allowed_mask(self._all_mask, sketch)
         own_table = set(self.profile.columns_of_table(sketch.table_name))
         probe_k = self._probe_k(k)
@@ -391,13 +404,27 @@ class CandidateGenerator:
         table_scope: set[str] | None = None,
     ) -> dict[str, set[str]]:
         """:meth:`pkfk_candidates` for a whole PK sweep in one batched pass."""
+        return self.pkfk_candidates_batch_for(
+            [self.profile.columns[pk] for pk in pk_column_ids],
+            k=k, numeric_threshold=numeric_threshold, table_scope=table_scope,
+        )
+
+    def pkfk_candidates_batch_for(
+        self,
+        sketches: list[DESketch],
+        k: int = 10,
+        numeric_threshold: float | None = None,
+        table_scope: set[str] | None = None,
+    ) -> dict[str, set[str]]:
+        """:meth:`pkfk_candidates_batch` over explicit (possibly foreign) PK
+        sketches — the scatter unit of the sharded PK-FK sweep, where every
+        shard probes its local FK columns against the lake-wide PK set."""
         eligibility, scope_exclude = self._scope_restrictions(table_scope)
-        sketches = [self.profile.columns[pk] for pk in pk_column_ids]
         masks = [self._allowed_mask(eligibility, s) for s in sketches]
         probe_k = self._probe_k(k)
         contained = self._containment_probe_batch(sketches, k, masks)
         out: dict[str, set[str]] = {}
-        for pk, sketch, found in zip(pk_column_ids, sketches, contained):
+        for sketch, found in zip(sketches, contained):
             found |= self._name_probe(
                 sketch, probe_k, tag="pkfk", extra_exclude=scope_exclude or None
             )
@@ -411,5 +438,5 @@ class CandidateGenerator:
                     sketch, k=probe_k, exclude=own_table | scope_exclude
                 )
             found &= self._pkfk_eligible
-            out[pk] = self._other_table(found, sketch)
+            out[sketch.de_id] = self._other_table(found, sketch)
         return out

@@ -53,6 +53,43 @@ def check_search_args(mode: str, k) -> None:
     check_positive(k, "k")
 
 
+def aggregate_to_tables(
+    column_hits: list[tuple[str, float]], table_of
+) -> list[tuple[str, float]]:
+    """Aggregate column relatedness to the table level (max per table).
+
+    ``table_of`` resolves a column id to its table name — the monolithic
+    engine passes a profile lookup, the sharded gatherer its merged
+    catalog's. Shared so the two paths can never drift apart (the sharded
+    parity contract depends on identical aggregation and tie-breaks).
+    """
+    best: dict[str, float] = {}
+    for col_id, score in column_hits:
+        table = table_of(col_id)
+        if score > best.get(table, float("-inf")):
+            best[table] = score
+    return sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def pkfk_tables_for(
+    links, table_name: str, table_of
+) -> list[tuple[str, float]]:
+    """Tables PK-FK-linked to ``table_name``, best link score per table.
+
+    Shared by the monolithic :meth:`DiscoveryEngine.pkfk` and the sharded
+    gatherer (which resolves tables through its merged catalog).
+    """
+    best: dict[str, float] = {}
+    for link in links:
+        pk_table = table_of(link.pk_column)
+        fk_table = table_of(link.fk_column)
+        if pk_table == table_name and fk_table != table_name:
+            best[fk_table] = max(best.get(fk_table, 0.0), link.score)
+        elif fk_table == table_name and pk_table != table_name:
+            best[pk_table] = max(best.get(pk_table, 0.0), link.score)
+    return sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
 @dataclass
 class DiscoveryResultSet:
     """A ranked discovery answer with provenance (the paper's DRS)."""
@@ -216,6 +253,17 @@ class DiscoveryEngine:
             return choose_strategy(op, self.profile)
         return strategy
 
+    def scorer(self, op: str, strategy: str | None = None):
+        """The structured scorer for ``op`` under ``strategy``.
+
+        Public accessor for the per-(operator, strategy) scorer cache —
+        the sharded scatter-gather executor drives shard-local scorers
+        through this (``strategy=None`` resolves the engine's configured
+        choice, re-evaluating ``"auto"`` against the *current* profile, so
+        every shard picks exact-vs-indexed from its own local size).
+        """
+        return self._structured(op, strategy)
+
     def _structured(self, op: str, strategy: str | None = None):
         """The scorer for ``op`` under ``strategy`` (cached per pair)."""
         resolved = self._resolve_op_strategy(op, strategy)
@@ -241,6 +289,15 @@ class DiscoveryEngine:
         return self._structured_cache[key]
 
     # --------------------------------------------------------- text queries
+
+    def text_query_sketch(self, text: str) -> DESketch:
+        """Ad-hoc sketch for a free-text query (public alias).
+
+        The sharded path builds the query sketch once (signatures are
+        hash-family-compatible across shards, which share the fit seed and
+        hash count) and broadcasts it to every shard's index probes.
+        """
+        return self._text_sketch(text)
 
     def _text_sketch(self, text: str) -> DESketch:
         """Ad-hoc sketch for a free-text query (not a profiled DE).
@@ -333,23 +390,14 @@ class DiscoveryEngine:
                 query_vec = self.joint_model.embed(sketch.encoding[None, :])[0]
                 hits = self.indexes.column_joint.query(query_vec, k=column_k)
             else:
-                hits = self.indexes.column_solo.query(sketch.encoding, k=column_k)
+                hits = self.encoding_column_hits(sketch.encoding, column_k)
         else:
             # Free-text query: containment + content keyword scores.
-            sketch = self._text_sketch(value)
-            containment = dict(
-                self.indexes.column_containment.query(sketch.signature, k=column_k)
+            sketch = self.text_query_sketch(value)
+            containment, keyword = self.text_column_parts(sketch, column_k)
+            hits = self.merge_text_column_parts(
+                dict(containment), dict(keyword), column_k
             )
-            keyword = dict(
-                self.indexes.column_content.search(sketch.content_bow.terms,
-                                                   k=column_k)
-            )
-            top_kw = max(keyword.values(), default=1.0) or 1.0
-            merged = {
-                cid: containment.get(cid, 0.0) + keyword.get(cid, 0.0) / top_kw
-                for cid in set(containment) | set(keyword)
-            }
-            hits = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))[:column_k]
 
         tables = self._aggregate_to_tables(hits)
         return DiscoveryResultSet(
@@ -358,17 +406,56 @@ class DiscoveryEngine:
             inputs={"value": value, "representation": representation},
         )
 
+    # The three pieces below are the scatter units of sharded cross-modal
+    # search: each runs against local indexes only, returns raw
+    # (column id, score) evidence, and defers the cross-source merge to
+    # ``merge_text_column_parts`` / table aggregation — which the sharded
+    # gatherer applies over per-shard parts exactly as the monolithic path
+    # applies them over its own.
+
+    def encoding_column_hits(
+        self, encoding: np.ndarray, column_k: int
+    ) -> list[tuple[str, float]]:
+        """Top-``column_k`` columns by solo-encoding similarity (local ANN)."""
+        return self.indexes.column_solo.query(encoding, k=column_k)
+
+    def text_column_parts(
+        self, sketch: DESketch, column_k: int
+    ) -> tuple[list[tuple[str, float]], list[tuple[str, float]]]:
+        """(containment hits, keyword hits) for a free-text query sketch."""
+        containment = self.indexes.column_containment.query(
+            sketch.signature, k=column_k
+        )
+        keyword = self.indexes.column_content.search(
+            sketch.content_bow.terms, k=column_k
+        )
+        return containment, keyword
+
+    @staticmethod
+    def merge_text_column_parts(
+        containment: dict[str, float], keyword: dict[str, float], column_k: int
+    ) -> list[tuple[str, float]]:
+        """Combine containment + keyword evidence into ranked column hits.
+
+        Keyword scores are normalised by the best keyword score *in the
+        pool*, so the gatherer must merge per-shard keyword lists first
+        (with group-merged corpus statistics the scores are comparable and
+        the global best is the max of the per-shard bests).
+        """
+        top_kw = max(keyword.values(), default=1.0) or 1.0
+        merged = {
+            cid: containment.get(cid, 0.0) + keyword.get(cid, 0.0) / top_kw
+            for cid in set(containment) | set(keyword)
+        }
+        return sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))[:column_k]
+
     def _aggregate_to_tables(
         self, column_hits: list[tuple[str, float]]
     ) -> list[tuple[str, float]]:
         """Aggregate column relatedness to the table level (max per table)."""
-        best: dict[str, float] = {}
-        for col_id, score in column_hits:
-            table = self.profile.columns[col_id].table_name
-            if score > best.get(table, float("-inf")):
-                best[table] = score
-        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
-        return ranked
+        return aggregate_to_tables(
+            column_hits, lambda cid: self.profile.columns[cid].table_name
+        )
 
     # ---------------------------------------------------------- structured
 
@@ -438,15 +525,10 @@ class DiscoveryEngine:
              strategy: str | None = None) -> DiscoveryResultSet:
         """Tables PK-FK-joinable with ``table_name``."""
         check_positive(top_n, "top_n")
-        best: dict[str, float] = {}
-        for link in self.pkfk_links(strategy):
-            pk_table = self.profile.columns[link.pk_column].table_name
-            fk_table = self.profile.columns[link.fk_column].table_name
-            if pk_table == table_name and fk_table != table_name:
-                best[fk_table] = max(best.get(fk_table, 0.0), link.score)
-            elif fk_table == table_name and pk_table != table_name:
-                best[pk_table] = max(best.get(pk_table, 0.0), link.score)
-        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        ranked = pkfk_tables_for(
+            self.pkfk_links(strategy), table_name,
+            lambda cid: self.profile.columns[cid].table_name,
+        )
         return DiscoveryResultSet(
             ranked[:top_n], operation="pkfk", inputs={"table": table_name}
         )

@@ -23,6 +23,11 @@ class JoinDiscovery:
     eligible column pair and serves as the correctness oracle.
     """
 
+    #: Per-query-column candidate budget of :meth:`joinable_tables` —
+    #: also the budget the sharded gatherer merges per-shard lists to, so
+    #: the two paths can never disagree on the cut.
+    PER_COLUMN_K = 10
+
     def __init__(
         self,
         profile: Profile,
@@ -41,10 +46,14 @@ class JoinDiscovery:
 
     # ------------------------------------------------------------- scoring
 
-    def score(self, col_a: str, col_b: str) -> float:
-        """Max-direction containment between two columns' value sets."""
-        sa = self.profile.columns[col_a]
-        sb = self.profile.columns[col_b]
+    def score_sketches(self, sa, sb) -> float:
+        """Max-direction containment between two column sketches' value sets.
+
+        The score is a pure pair function of the two sketches, so either
+        side may be *foreign* — a column profiled on another shard — which
+        is what lets the sharded scatter-gather path score a broadcast
+        query sketch against shard-local columns.
+        """
         if self.use_exact_sets:
             fwd = jaccard_containment(sa.value_set, sb.value_set)
             bwd = jaccard_containment(sb.value_set, sa.value_set)
@@ -53,47 +62,84 @@ class JoinDiscovery:
             bwd = sb.signature.containment(sa.signature)
         return max(fwd, bwd)
 
+    def score(self, col_a: str, col_b: str) -> float:
+        """Max-direction containment between two columns' value sets."""
+        return self.score_sketches(
+            self.profile.columns[col_a], self.profile.columns[col_b]
+        )
+
     # ------------------------------------------------------------- queries
 
     def joinable_columns(
         self, column_id: str, k: int = 10, min_score: float = 0.0
     ) -> list[tuple[str, float]]:
         """Top-k joinable columns in *other* tables, by containment."""
-        query_table = self.profile.columns[column_id].table_name
+        return self.joinable_columns_for(
+            self.profile.columns[column_id], k=k, min_score=min_score
+        )
+
+    def joinable_columns_for(
+        self, sketch, k: int = 10, min_score: float = 0.0
+    ) -> list[tuple[str, float]]:
+        """:meth:`joinable_columns` for an explicit (possibly foreign) query
+        sketch — the scatter unit of the sharded join path. Candidates come
+        from this profile only; the query sketch may live anywhere."""
         if self.strategy == "indexed":
             # Iteration order is irrelevant: the score sort below breaks ties
             # by candidate id, so the result is deterministic either way.
-            pool = self.candidates.join_candidates(column_id, k=k)
+            pool = self.candidates.join_candidates_for(sketch, k=k)
         else:
             pool = self._eligible
         scored = []
         for candidate in pool:
-            if candidate == column_id:
+            if candidate == sketch.de_id:
                 continue
-            if self.profile.columns[candidate].table_name == query_table:
+            other = self.profile.columns[candidate]
+            if other.table_name == sketch.table_name:
                 continue
-            s = self.score(column_id, candidate)
+            s = self.score_sketches(sketch, other)
             if s > min_score:
                 scored.append((candidate, s))
         scored.sort(key=lambda kv: (-kv[1], kv[0]))
         return scored[:k]
 
+    @staticmethod
+    def fold_best_pairs(
+        best: dict[str, float],
+        scored_columns: list[tuple[str, float]],
+        table_of,
+    ) -> dict[str, float]:
+        """Fold scored column hits into best-pair-per-table evidence.
+
+        Shared by :meth:`joinable_tables` and the sharded gatherer (which
+        folds globally-merged per-column lists through its own catalog
+        resolver) so aggregation semantics — including the "scores must
+        beat 0.0 to enter" rule — live in one place.
+        """
+        for col_id, score in scored_columns:
+            table = table_of(col_id)
+            if score > best.get(table, 0.0):
+                best[table] = score
+        return best
+
     def joinable_tables(
-        self, table_name: str, k: int = 10, per_column_k: int = 10
+        self, table_name: str, k: int = 10, per_column_k: int | None = None
     ) -> list[tuple[str, float]]:
         """Top-k tables joinable with ``table_name``.
 
         A candidate table's score is the best containment over all column
         pairs between the two tables.
         """
+        if per_column_k is None:
+            per_column_k = self.PER_COLUMN_K
         best: dict[str, float] = {}
+        table_of = lambda cid: self.profile.columns[cid].table_name
         for column_id in self.profile.columns_of_table(table_name):
             sketch = self.profile.columns[column_id]
             if sketch.tags is None or not sketch.tags.join_discovery:
                 continue
-            for other, score in self.joinable_columns(column_id, k=per_column_k):
-                other_table = self.profile.columns[other].table_name
-                if score > best.get(other_table, 0.0):
-                    best[other_table] = score
+            self.fold_best_pairs(
+                best, self.joinable_columns(column_id, k=per_column_k), table_of
+            )
         ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:k]

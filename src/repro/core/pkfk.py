@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.candidates import CandidateGenerator, resolve_strategy
-from repro.core.profiler import Profile
+from repro.core.profiler import DESketch, Profile
 from repro.relational.stats import numeric_overlap
 from repro.text.similarity import cached_name_similarity, jaccard_containment
 
@@ -68,14 +68,22 @@ class PKFKDiscovery:
         self.candidates = candidates
         self.strategy = resolve_strategy(strategy, candidates)
 
-    def _candidate_pks(self) -> list[str]:
+    def candidate_pk_entries(self) -> list[tuple["DESketch", float]]:
+        """Local candidate-PK (sketch, uniqueness) pairs, sorted by id.
+
+        PK candidacy — pkfk-tagged and key-like — is a per-column property,
+        so this is the gather unit of the sharded sweep: every shard
+        contributes its local PKs and receives the lake-wide set back.
+        """
         out = []
-        for cid, sketch in self.profile.columns.items():
+        for cid in sorted(self.profile.columns):
+            sketch = self.profile.columns[cid]
             if sketch.tags is None or not sketch.tags.pkfk_discovery:
                 continue
-            if self.uniqueness.get(cid, 0.0) >= self.key_uniqueness_threshold:
-                out.append(cid)
-        return sorted(out)
+            uniqueness = self.uniqueness.get(cid, 0.0)
+            if uniqueness >= self.key_uniqueness_threshold:
+                out.append((sketch, uniqueness))
+        return out
 
     def _candidate_fks(self) -> list[str]:
         return sorted(
@@ -85,23 +93,39 @@ class PKFKDiscovery:
 
     def discover(self, table_scope: set[str] | None = None) -> list[PKFKLink]:
         """All PK-FK links (optionally restricted to a table subset)."""
+        return self.links_for(self.candidate_pk_entries(), table_scope=table_scope)
+
+    def links_for(
+        self,
+        pk_entries: list[tuple["DESketch", float]],
+        table_scope: set[str] | None = None,
+    ) -> list[PKFKLink]:
+        """PK-FK links between the given PK entries and *local* FK columns.
+
+        ``pk_entries`` are ``(sketch, uniqueness)`` pairs and may include
+        foreign PKs (columns profiled on other shards): every pair check is
+        a pure function of the two sketches. :meth:`discover` is this over
+        the local PK set; the sharded sweep broadcasts the lake-wide PK set
+        to every shard and unions the per-shard link lists — each (PK, FK)
+        pair is checked exactly once, by the shard owning the FK.
+        """
         links: list[PKFKLink] = []
-        pks = self._candidate_pks()
         if table_scope is not None:
-            pks = [
-                pk for pk in pks
-                if self.profile.columns[pk].table_name in table_scope
+            pk_entries = [
+                (sketch, uniqueness) for sketch, uniqueness in pk_entries
+                if sketch.table_name in table_scope
             ]
         if self.strategy == "indexed":
             fks = []  # unused: each PK gets its own pool below
-            pools = self.candidates.pkfk_candidates_batch(
-                pks, numeric_threshold=self.numeric_threshold,
+            pools = self.candidates.pkfk_candidates_batch_for(
+                [sketch for sketch, _ in pk_entries],
+                numeric_threshold=self.numeric_threshold,
                 table_scope=table_scope,
             )
         else:
             fks = self._candidate_fks()
-        for pk in pks:
-            pk_sketch = self.profile.columns[pk]
+        for pk_sketch, pk_uniqueness in pk_entries:
+            pk = pk_sketch.de_id
             if self.strategy == "indexed":
                 # No need to sort the pool: every surviving pair is appended
                 # and the final links.sort canonicalises the output order.
@@ -135,7 +159,7 @@ class PKFKDiscovery:
                         fk_column=fk,
                         containment=inclusion,
                         name_score=name_score,
-                        pk_uniqueness=self.uniqueness.get(pk, 0.0),
+                        pk_uniqueness=pk_uniqueness,
                     )
                 )
         links.sort(key=lambda link: (-link.score, link.pk_column, link.fk_column))

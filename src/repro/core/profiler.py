@@ -210,6 +210,7 @@ class Profiler:
         pooling: str = "mean",
         max_doc_frequency: float = 0.5,
         embedder=None,
+        pipeline: DocumentPipeline | None = None,
         seed: int = 0,
     ):
         if pooling not in POOLERS:
@@ -217,7 +218,10 @@ class Profiler:
         self.embedding_dim = embedding_dim
         self.pooling = POOLERS[pooling]
         self.minhash = MinHash(num_hashes=num_hashes, seed=seed)
-        self.pipeline = DocumentPipeline(max_doc_frequency=max_doc_frequency)
+        # ``pipeline`` lets a caller supply a pre-configured document
+        # pipeline — the sharded lake passes per-shard pipelines pinned to
+        # the corpus-wide df filter (global-stats mode).
+        self.pipeline = pipeline or DocumentPipeline(max_doc_frequency=max_doc_frequency)
         self.embedder = embedder  # resolved lazily in profile() if None
         self.seed = seed
         #: Per-fit string -> fingerprint cache shared by every signature of

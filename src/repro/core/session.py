@@ -45,7 +45,12 @@ def open_lake(
     lake: DataLake,
     config: CMDLConfig | None = None,
     gold_pairs: list[tuple[str, str, int]] | None = None,
-) -> "LakeSession":
+    shards: int | None = None,
+    router=None,
+    global_stats: bool = False,
+    auto_refresh_threshold: float | None = None,
+    fit_workers: int | None = None,
+):
     """Fit a CMDL system over ``lake`` and return a mutable session.
 
     Top-level convenience for ``CMDL(config).open(lake)``::
@@ -56,8 +61,23 @@ def open_lake(
         session.discover(Q.joinable("drugs", top_n=2))
         session.add_table(Table.from_dict("trials", {...}))
         session.discover(Q.joinable("trials", top_n=2))   # no refit
+
+    ``shards=N`` partitions the lake into N independently-fitted shards and
+    returns a :class:`~repro.core.sharding.ShardedLakeSession` with the
+    same mutation/query surface::
+
+        session = open_lake(lake, shards=4)
+        session.discover(Q.joinable("drugs", top_n=2))    # scatter-gather
     """
-    return CMDL(config).open(lake, gold_pairs=gold_pairs)
+    return CMDL(config).open(
+        lake,
+        gold_pairs=gold_pairs,
+        shards=shards,
+        router=router,
+        global_stats=global_stats,
+        auto_refresh_threshold=auto_refresh_threshold,
+        fit_workers=fit_workers,
+    )
 
 
 class LakeSession:
@@ -73,6 +93,7 @@ class LakeSession:
         cmdl: CMDL,
         lake: DataLake,
         gold_pairs: list[tuple[str, str, int]] | None = None,
+        auto_refresh_threshold: float | None = None,
     ):
         if cmdl.engine is None or cmdl.profiler is None:
             raise RuntimeError(
@@ -86,6 +107,22 @@ class LakeSession:
         self.gold_pairs = gold_pairs
         #: Mutations applied since open()/refresh() (diagnostic).
         self.mutations = 0
+        #: When set, every mutation checks :meth:`drift` against this bound
+        #: and triggers :meth:`refresh` once exceeded — the session retrains
+        #: its frozen embedder on its own schedule as churn accumulates.
+        self.auto_refresh_threshold = auto_refresh_threshold
+        if auto_refresh_threshold is not None and not (
+            0.0 <= auto_refresh_threshold <= 1.0
+        ):
+            raise ValueError(
+                "auto_refresh_threshold must be in [0, 1] (an OOV rate), "
+                f"got {auto_refresh_threshold!r}"
+            )
+        self._fit_vocabulary: set[str] = self._profile_vocabulary()
+        #: Post-fit DE id -> its distinct terms. Keyed per DE so removals
+        #: and replacements prune their contribution: drift always reflects
+        #: the DEs *currently* in the lake that the fit never saw.
+        self._post_fit_terms: dict[str, frozenset[str]] = {}
 
     # ------------------------------------------------------------- access
 
@@ -119,6 +156,53 @@ class LakeSession:
         """Run an SRQL workload against the current lake state."""
         return self.engine.discover_batch(queries)
 
+    # -------------------------------------------------------------- drift
+
+    def drift(self) -> float:
+        """Embedding drift: OOV rate of post-fit DEs vs the fit vocabulary.
+
+        Lake sessions keep the corpus-trained embedder frozen between
+        :meth:`refresh` calls, so DEs added since the fit are embedded with
+        vectors that never saw their vocabulary. This metric is the
+        fraction of *distinct* terms across the post-fit DEs still in the
+        lake (content + metadata bags; removed or replaced DEs stop
+        counting) that are out-of-vocabulary w.r.t. the fit-time
+        vocabulary — 0.0 right after a fit/refresh, rising toward 1.0 as
+        mutations introduce novel language. With a corpus-independent
+        embedder (the parity config) drift is harmless to scores, but it
+        still measures how far the lake has moved from the fitted corpus.
+        """
+        oov, total = self._drift_counts()
+        return oov / total if total else 0.0
+
+    def _drift_counts(self) -> tuple[int, int]:
+        """(OOV terms, total terms) over live post-fit DEs — the
+        aggregation unit sharded sessions sum across shards."""
+        if not self._post_fit_terms:
+            return 0, 0
+        terms: set[str] = set().union(*self._post_fit_terms.values())
+        if not terms:
+            return 0, 0
+        oov = len(terms - self._fit_vocabulary)
+        return oov, len(terms)
+
+    def _profile_vocabulary(self) -> set[str]:
+        """Every term the fit embedded (content + metadata bags, all DEs)."""
+        vocabulary: set[str] = set()
+        profile = self.cmdl.profile
+        for sketch in {**profile.documents, **profile.columns}.values():
+            vocabulary.update(sketch.content_bow.terms)
+            vocabulary.update(sketch.metadata_bow.terms)
+        return vocabulary
+
+    def _track_post_fit(self, sketch: DESketch) -> None:
+        self._post_fit_terms[sketch.de_id] = frozenset(
+            set(sketch.content_bow.terms) | set(sketch.metadata_bow.terms)
+        )
+
+    def _untrack_post_fit(self, de_id: str) -> None:
+        self._post_fit_terms.pop(de_id, None)
+
     # ----------------------------------------------------------- mutators
 
     def add_table(self, table: Table) -> None:
@@ -131,12 +215,15 @@ class LakeSession:
         """Add one document (re-syncing df-filtered bags), invalidate."""
         self.lake.add_document(document)
         self._resync_documents()
+        self._track_post_fit(self.profile.documents[document.doc_id])
         self._commit()
 
     def add_documents(self, documents: list[Document]) -> None:
         """Add several documents with a single re-sync and invalidation."""
         self.lake.add_documents(documents)
         self._resync_documents()
+        for document in documents:
+            self._track_post_fit(self.profile.documents[document.doc_id])
         self._commit()
 
     def remove(self, name: str) -> None:
@@ -152,6 +239,7 @@ class LakeSession:
             self.indexes.remove_document(name)
             self.profile.drop_one(name)
             self.lake.remove_document(name)
+            self._untrack_post_fit(name)
             self._resync_documents()
         else:
             raise KeyError(
@@ -196,6 +284,8 @@ class LakeSession:
             # to the generation the refreshed engine now carries.
             engine.candidates.generation = engine.generation
         self.mutations = 0
+        self._fit_vocabulary = self._profile_vocabulary()
+        self._post_fit_terms = {}
         return engine
 
     # ---------------------------------------------------------- internals
@@ -203,6 +293,13 @@ class LakeSession:
     def _commit(self) -> None:
         self.mutations += 1
         self.engine.invalidate("all")
+        if (
+            self.auto_refresh_threshold is not None
+            and self.drift() > self.auto_refresh_threshold
+        ):
+            # Churn introduced enough novel vocabulary: retrain now. The
+            # refresh resets the drift trackers, so this cannot recurse.
+            self.refresh()
 
     def _register_table(self, table: Table) -> None:
         # Cold fit registers every table, including zero-column ones.
@@ -214,25 +311,33 @@ class LakeSession:
                 sketch.column_name
             ).uniqueness
             self._joint_index_column(sketch)
+            self._track_post_fit(sketch)
 
     def _unregister_table(self, name: str) -> None:
         for col_id in list(self.profile.columns_of_table(name)):
             self.indexes.remove_column(col_id)
             self.profile.drop_one(col_id)
             self.engine.uniqueness.pop(col_id, None)
+            self._untrack_post_fit(col_id)
         self.profile.table_columns.pop(name, None)
 
-    def _resync_documents(self) -> None:
+    def _resync_documents(self) -> int:
         """Re-fit the document pipeline and re-sketch drifted documents.
 
         The pipeline's df filter is corpus-wide, so adding or removing a
         document can change *other* documents' bags of words; only those
         whose bag actually changed are re-sketched and re-indexed, which
         keeps the keyword/containment paths byte-identical to a cold fit on
-        the current corpus.
+        the current corpus. (When the pipeline's filter is *pinned* — the
+        sharded global-stats mode — the fit call is a no-op and only
+        documents whose bag changed under the pinned filter are touched.)
+        Returns the number of documents (re-)sketched, so callers — the
+        sharded session syncing sibling shards after a corpus-wide filter
+        shift — can tell whether this shard actually changed.
         """
         pipeline = self.profiler.pipeline
         pipeline.fit(d.text for d in self.lake.documents)
+        changed = 0
         for document in self.lake.documents:
             old = self.profile.documents.get(document.doc_id)
             bow = None
@@ -246,6 +351,12 @@ class LakeSession:
             self.profile.add_one(sketch)
             self.indexes.insert_document(sketch)
             self._joint_index_document(sketch)
+            if sketch.de_id in self._post_fit_terms:
+                # A post-fit document re-sketched under a shifted df filter:
+                # keep its drift contribution in step with its live bag.
+                self._track_post_fit(sketch)
+            changed += 1
+        return changed
 
     def _joint_index_column(self, sketch: DESketch) -> None:
         """Delta-index a new column's joint vector under the frozen model

@@ -1,0 +1,921 @@
+"""Sharded lake architecture: partitioned fit, per-shard catalogs,
+scatter-gather SRQL execution.
+
+Every earlier layer assumes one monolithic profile and one index catalog,
+so lake size is bounded by a single fit and a single index's memory and
+latency. This module partitions the lake into N independently-fitted
+shards, mirroring how specialised HTAP designs isolate workloads into
+replicas that are maintained independently and merged at query time
+(Polynesia, arXiv:2103.00798; HW/SW-cooperation follow-up,
+arXiv:2204.11275):
+
+* :class:`ShardRouter` — deterministic hash (or explicit-assignment)
+  partitioning of tables and documents to shards, rebalance-aware;
+* :class:`ShardedLakeSession` — owns N inner
+  :class:`~repro.core.session.LakeSession` shards, fits them concurrently
+  on a thread pool through the batched fit pipeline, routes every mutation
+  to the owning shard (per-shard generation counters; mutations never
+  re-sketch or re-index sibling shards), and exposes the same public
+  surface as a monolithic session;
+* :class:`ShardedExecutor` — the scatter-gather SRQL path: each planned
+  primitive fans out across shards and the per-shard top-k lists are
+  merged into the global top-k; DRS composition (``Intersect`` / ``Unite``
+  / ``Top`` / ``Then``) runs on the merged result sets.
+
+**Exactness of the merge.** For every primitive the per-shard evaluation
+is *locally complete* — a shard's top-k list is the true top-k over its own
+partition, computed with the same pure pair functions (containment, the
+union ensemble, PK-FK inclusion) or globally comparable scores — so a
+score-based k-way merge of per-shard top-k lists equals the monolithic
+top-k. Two statistics are corpus-wide rather than pair-local and therefore
+shard-dependent by default:
+
+* **BM25 / LM corpus statistics** (document frequencies, corpus size,
+  average length) behind every keyword score, and
+* the **document pipeline's df filter** ("drop terms occurring in a large
+  fraction of documents"), which shapes document bags themselves.
+
+With ``global_stats=False`` (the default) both are shard-local: keyword
+scores and document bags reflect each shard's own corpus — mutations stay
+perfectly isolated to the owning shard, at the cost of keyword rankings
+that can deviate from a monolithic fit (the BM25/df freshness trade-off).
+With ``global_stats=True`` the session merges document frequencies across
+shards (:class:`~repro.search.engine.CorpusStatsGroup`) and pins every
+shard's document pipeline to the corpus-wide df filter, restoring
+byte-parity with a monolithic fit; the price is that *document* churn can
+ripple: a document add/remove that shifts the corpus-wide filter re-syncs
+the (few) drifted documents on sibling shards, exactly as a monolithic
+session re-syncs its own.
+
+As everywhere else in the session stack, exact embedding parity under
+mutation additionally needs a corpus-independent embedder
+(``CMDLConfig.embedder``); the default blended embedder is trained
+per-shard on the shard's own corpus and frozen until ``refresh()``.
+``cross_modal`` with ``representation="joint"`` is rejected on sharded
+sessions: per-shard joint models live in incomparable embedding spaces.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from repro.core.discovery import (
+    DiscoveryEngine,
+    DiscoveryResultSet,
+    aggregate_to_tables,
+    pkfk_tables_for,
+)
+from repro.core.joinability import JoinDiscovery
+from repro.core.session import LakeSession
+from repro.core.srql.executor import OP_ORDER, ExecutionStats, Executor
+from repro.core.srql.planner import Planner
+from repro.core.system import CMDL, CMDLConfig
+from repro.relational.catalog import DataLake, Document
+from repro.search.engine import CorpusStatsGroup
+from repro.text.pipeline import DocumentPipeline
+from repro.utils.hashing import stable_hash_64
+from repro.utils.timing import Timer
+
+#: Keyword-engine families whose corpus statistics are merged across shards
+#: under ``global_stats=True`` (the four "elastic" indexes of the paper plus
+#: the two schema-name probe engines of the candidate layer).
+STATS_FAMILIES = (
+    "doc_content",
+    "doc_metadata",
+    "column_content",
+    "column_metadata",
+    "column_schema",
+    "column_schema_ngrams",
+)
+
+
+def _merge_topk(ranked_lists, k: int) -> list[tuple[str, float]]:
+    """K-way merge of per-shard ``(id, score)`` lists into the global top-k.
+
+    Every input list is sorted by ``(-score, id)`` and locally complete
+    (the true top-k of its shard), and ids are disjoint across shards, so
+    sorting the concatenation and cutting at ``k`` is exactly the
+    monolithic top-k under the same ordering.
+    """
+    merged = [item for ranked in ranked_lists for item in ranked]
+    merged.sort(key=lambda kv: (-kv[1], kv[0]))
+    return merged[:k]
+
+
+class ShardRouter:
+    """Deterministic table/document -> shard assignment.
+
+    Names route by a stable 64-bit hash by default; :meth:`assign` pins a
+    name to an explicit shard (the rebalance path), overriding the hash.
+    The router is the single source of truth for ownership: partitioning at
+    open time and mutation routing afterwards both go through
+    :meth:`shard_of`, so they can never disagree.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        assignments: dict[str, int] | None = None,
+        seed: int = 0,
+    ):
+        if not isinstance(num_shards, int) or isinstance(num_shards, bool) \
+                or num_shards < 1:
+            raise ValueError(
+                f"num_shards must be a positive integer, got {num_shards!r}"
+            )
+        self.num_shards = num_shards
+        self.seed = seed
+        self.assignments: dict[str, int] = {}
+        for name, shard in (assignments or {}).items():
+            self.assign(name, shard)
+
+    def shard_of(self, name: str) -> int:
+        """Owning shard for a table name or document id."""
+        pinned = self.assignments.get(name)
+        if pinned is not None:
+            return pinned
+        return int(stable_hash_64(f"shard-route-{self.seed}-{name}") % self.num_shards)
+
+    def assign(self, name: str, shard: int) -> None:
+        """Pin ``name`` to ``shard`` explicitly (wins over the hash route)."""
+        if not isinstance(shard, int) or isinstance(shard, bool) \
+                or not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.num_shards}), got {shard!r}"
+            )
+        self.assignments[name] = shard
+
+    def partition(self, lake: DataLake) -> list[DataLake]:
+        """Split a lake into one sub-lake per shard (tables + documents)."""
+        sublakes = [
+            DataLake(name=f"{lake.name}#shard{i}") for i in range(self.num_shards)
+        ]
+        for table in lake.tables:
+            sublakes[self.shard_of(table.name)].add_table(table)
+        for document in lake.documents:
+            sublakes[self.shard_of(document.doc_id)].add_document(document)
+        return sublakes
+
+
+class _MergedCatalog:
+    """Read-only profile façade over all shards.
+
+    Duck-types the parts of :class:`~repro.core.profiler.Profile` the SRQL
+    planner (validation, the "auto" heuristic) and the gather phase (column
+    -> table resolution) read: ``table_columns``, ``columns``,
+    ``documents``. Merged lazily and cached against the per-shard
+    generation vector, so any shard mutation invalidates the snapshot.
+    """
+
+    def __init__(self, shards: list[LakeSession]):
+        self._shards = shards
+        self._key: tuple[int, ...] | None = None
+        self._table_columns: dict[str, list[str]] = {}
+        self._columns: dict = {}
+        self._documents: dict = {}
+
+    def _sync(self) -> None:
+        key = tuple(shard.generation for shard in self._shards)
+        if key == self._key:
+            return
+        table_columns: dict[str, list[str]] = {}
+        columns: dict = {}
+        documents: dict = {}
+        for shard in self._shards:
+            table_columns.update(shard.profile.table_columns)
+            columns.update(shard.profile.columns)
+            documents.update(shard.profile.documents)
+        self._table_columns = table_columns
+        self._columns = columns
+        self._documents = documents
+        self._key = key
+
+    @property
+    def table_columns(self) -> dict[str, list[str]]:
+        self._sync()
+        return self._table_columns
+
+    @property
+    def columns(self) -> dict:
+        self._sync()
+        return self._columns
+
+    @property
+    def documents(self) -> dict:
+        self._sync()
+        return self._documents
+
+    def columns_of_table(self, table_name: str) -> list[str]:
+        return self.table_columns.get(table_name, [])
+
+    @property
+    def num_des(self) -> int:
+        return len(self.documents) + len(self.columns)
+
+
+class ShardedExecutor(Executor):
+    """Scatter-gather execution of SRQL plans over a sharded session.
+
+    Reuses the monolithic :class:`~repro.core.srql.executor.Executor`'s
+    composition, memoisation and grouping machinery; only primitive
+    evaluation is overridden to fan out across shards and merge. Physical
+    strategy is resolved *per shard*: plan-node annotations (made against
+    the merged catalog) are ignored and each shard's engine re-resolves the
+    configured choice against its own shard-local size — the "auto"
+    heuristic sees the shard, not the lake.
+
+    :class:`~repro.core.srql.executor.ExecutionStats` gains the sharded
+    diagnostics: ``shard_generations`` (the per-shard generation vector the
+    batch executed under) and ``shard_seconds`` (wall-clock inside each
+    shard's scatter calls — the straggler signal).
+    """
+
+    def __init__(self, session: "ShardedLakeSession", planner: Planner):
+        self.session = session
+        self.planner = planner
+        self.last_stats: ExecutionStats = ExecutionStats()
+        #: (generation vector, merged links) of the last lake-wide PK-FK
+        #: sweep; any shard mutation changes the vector and invalidates it.
+        self._links_cache: tuple[tuple[int, ...], list] | None = None
+
+    # ------------------------------------------------------------- public
+
+    def execute_batch(self, plans) -> list[DiscoveryResultSet]:
+        """Evaluate a workload: memoised, operator-grouped, scatter-gather."""
+        session = self.session
+        stats = ExecutionStats(
+            generation=session.generation,
+            shard_generations={
+                i: shard.generation for i, shard in enumerate(session.shards)
+            },
+        )
+        memo: dict = {}
+        groups: dict[str, dict] = {op: {} for op in OP_ORDER}
+        for plan in plans:
+            for node in plan.nodes():
+                if node.op in groups:
+                    groups[node.op].setdefault(node.query, node)
+        if groups["pkfk"]:
+            # Amortise the lake-wide sweep: one scatter feeds every pkfk
+            # query in the batch (and later batches, until a mutation).
+            self._pkfk_links(stats)
+        for op in OP_ORDER:
+            for query, node in groups[op].items():
+                if query not in memo:
+                    memo[query] = self._run_primitive(node, stats)
+        results = [self._eval(plan.root, memo, stats) for plan in plans]
+        self.last_stats = stats
+        return results
+
+    # -------------------------------------------------------- primitives
+
+    def _run_primitive(self, node, stats: ExecutionStats) -> DiscoveryResultSet:
+        query = node.query
+        stats.executed += 1
+        stats.by_op[node.op] += 1
+        if node.op == "content_search":
+            return self._keyword(stats, "content_search", query)
+        if node.op == "metadata_search":
+            return self._keyword(stats, "metadata_search", query)
+        if node.op == "cross_modal":
+            return self._cross_modal(stats, query)
+        if node.op == "joinable":
+            return self._joinable(stats, query)
+        if node.op == "unionable":
+            return self._unionable(stats, query)
+        if node.op == "pkfk":
+            stats.pkfk_queries += 1
+            return self._pkfk(stats, query)
+        raise ValueError(f"unknown primitive op {node.op!r}")  # pragma: no cover
+
+    @property
+    def catalog(self) -> _MergedCatalog:
+        return self.session.catalog
+
+    def _scatter(self, stats, fn):
+        return self.session.scatter(fn, stats=stats)
+
+    def _table_of(self, column_id: str) -> str:
+        return self.catalog.columns[column_id].table_name
+
+    # keyword search ---------------------------------------------------
+
+    def _keyword(self, stats, op: str, query) -> DiscoveryResultSet:
+        hit_lists = self._scatter(
+            stats,
+            lambda i, shard: getattr(shard.engine, op)(
+                query.value, mode=query.mode, k=query.k
+            ).items,
+        )
+        return DiscoveryResultSet(
+            _merge_topk(hit_lists, query.k),
+            operation=op,
+            inputs={"value": query.value, "mode": query.mode},
+        )
+
+    # cross-modal ------------------------------------------------------
+
+    def _cross_modal(self, stats, query) -> DiscoveryResultSet:
+        column_k = max(query.top_n * 5, 10)
+        owner = next(
+            (
+                shard for shard in self.session.shards
+                if query.value in shard.profile.documents
+            ),
+            None,
+        )
+        if owner is not None:
+            if query.representation == "joint":
+                raise RuntimeError(
+                    "cross_modal(representation='joint') is not supported on "
+                    "sharded sessions: each shard trains its own joint model "
+                    "and the per-shard embedding spaces are not comparable; "
+                    "query with representation='solo' or use a monolithic "
+                    "session"
+                )
+            encoding = owner.profile.documents[query.value].encoding
+            hit_lists = self._scatter(
+                stats,
+                lambda i, shard: shard.engine.encoding_column_hits(
+                    encoding, column_k
+                ),
+            )
+            hits = _merge_topk(hit_lists, column_k)
+        else:
+            probe = next(
+                (
+                    shard for shard in self.session.shards
+                    if shard.profile.num_des
+                ),
+                None,
+            )
+            if probe is None:
+                raise ValueError(
+                    "cannot build a free-text query sketch over an empty "
+                    "profile (no documents and no columns to borrow "
+                    "hash-family settings from)"
+                )
+            # One query sketch for all shards: signatures are hash-family
+            # compatible because every shard fits with the same seed/hashes.
+            sketch = probe.engine.text_query_sketch(query.value)
+            parts = self._scatter(
+                stats,
+                lambda i, shard: shard.engine.text_column_parts(sketch, column_k),
+            )
+            containment = _merge_topk([p[0] for p in parts], column_k)
+            keyword = _merge_topk([p[1] for p in parts], column_k)
+            hits = DiscoveryEngine.merge_text_column_parts(
+                dict(containment), dict(keyword), column_k
+            )
+        tables = aggregate_to_tables(hits, self._table_of)
+        return DiscoveryResultSet(
+            tables[: query.top_n],
+            operation="crossModal_search",
+            inputs={"value": query.value, "representation": query.representation},
+        )
+
+    # joinable ---------------------------------------------------------
+
+    def _query_sketches(self, table_name: str) -> list:
+        owner = self.session.shards[self.session.router.shard_of(table_name)]
+        return [
+            owner.profile.columns[cid]
+            for cid in owner.profile.columns_of_table(table_name)
+        ]
+
+    def _joinable(self, stats, query) -> DiscoveryResultSet:
+        sketches = [
+            s for s in self._query_sketches(query.table)
+            if s.tags is not None and s.tags.join_discovery
+        ]
+        per_column_k = JoinDiscovery.PER_COLUMN_K
+        hits_by_shard = self._scatter(
+            stats,
+            lambda i, shard: {
+                sketch.de_id: shard.engine.scorer("joinable")
+                .joinable_columns_for(sketch, k=per_column_k)
+                for sketch in sketches
+            },
+        )
+        best: dict[str, float] = {}
+        for sketch in sketches:
+            merged = _merge_topk(
+                [hits[sketch.de_id] for hits in hits_by_shard], per_column_k
+            )
+            JoinDiscovery.fold_best_pairs(best, merged, self._table_of)
+        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        return DiscoveryResultSet(
+            ranked[: query.top_n],
+            operation="joinable",
+            inputs={"table": query.table},
+        )
+
+    # unionable --------------------------------------------------------
+
+    def _unionable(self, stats, query) -> DiscoveryResultSet:
+        sketches = self._query_sketches(query.table)
+        inputs = {"table": query.table}
+        if not sketches:
+            return DiscoveryResultSet([], operation="unionable", inputs=inputs)
+        # Per-shard pair-score memo shared by both phases: each (query
+        # column, candidate) ensemble is computed at most once per query.
+        caches = [dict() for _ in self.session.shards]
+
+        # Phase 1 — candidate scoring: per shard, per query column, the
+        # locally-complete top-k scored candidates (+ exact-mode caps).
+        phase1 = self._scatter(
+            stats,
+            lambda i, shard: shard.engine.scorer("unionable").candidate_hits_for(
+                sketches, pair_cache=caches[i]
+            ),
+        )
+        candidate_k = self.session.shards[0].engine.scorer("unionable").candidate_k
+        evidence: dict[str, float] = {}
+        for sketch in sketches:
+            merged = _merge_topk(
+                [hits[sketch.de_id] for hits, _ in phase1], candidate_k
+            )
+            for col_id, score in merged:
+                if score > 0:
+                    table = self._table_of(col_id)
+                    evidence[table] = max(evidence.get(table, 0.0), score)
+
+        # Probe-score caps are only sound when every shard scored its full
+        # local column set (exact strategy); the global cap per query
+        # column is then the max of the per-shard maxima.
+        cap_dicts = [caps for _, caps in phase1]
+        row_caps = None
+        if all(caps is not None for caps in cap_dicts):
+            row_caps = {
+                sketch.de_id: max(caps[sketch.de_id] for caps in cap_dicts)
+                for sketch in sketches
+            }
+
+        # Phase 2 — alignment on the owning shards, each pruning against
+        # its local top-k floor (a superset of its global contribution).
+        shard_evidence: list[dict[str, float]] = [
+            {} for _ in self.session.shards
+        ]
+        for table, ev in evidence.items():
+            shard_evidence[self.session.router.shard_of(table)][table] = ev
+        phase2 = self._scatter(
+            stats,
+            lambda i, shard: shard.engine.scorer("unionable").alignment_scores_for(
+                sketches, shard_evidence[i], query.top_n,
+                row_caps=row_caps, pair_cache=caches[i],
+            ),
+        )
+        results = [item for shard_results in phase2 for item in shard_results]
+        results.sort(key=lambda kv: (-kv[1], kv[0]))
+        return DiscoveryResultSet(
+            results[: query.top_n], operation="unionable", inputs=inputs
+        )
+
+    # pkfk -------------------------------------------------------------
+
+    def _pkfk_links(self, stats: ExecutionStats) -> list:
+        """The lake-wide PK-FK sweep: gather PKs, broadcast, merge links.
+
+        Candidate-PK status is a per-column property, so every shard
+        contributes its local PKs; the lake-wide PK set is then broadcast
+        and every shard checks it against its *local* FK columns — each
+        (PK, FK) pair is examined exactly once, by the shard owning the FK.
+        Cached against the generation vector (per-shard sweeps additionally
+        reuse their own engine caches between batches).
+        """
+        key = tuple(shard.generation for shard in self.session.shards)
+        if self._links_cache is None or self._links_cache[0] != key:
+            entry_lists = self._scatter(
+                stats,
+                lambda i, shard: shard.engine.scorer("pkfk").candidate_pk_entries(),
+            )
+            entries = sorted(
+                (entry for entry_list in entry_lists for entry in entry_list),
+                key=lambda entry: entry[0].de_id,
+            )
+            link_lists = self._scatter(
+                stats,
+                lambda i, shard: shard.engine.scorer("pkfk").links_for(entries),
+            )
+            links = [link for link_list in link_lists for link in link_list]
+            links.sort(key=lambda link: (-link.score, link.pk_column, link.fk_column))
+            self._links_cache = (key, links)
+            stats.pkfk_sweeps += 1
+        return self._links_cache[1]
+
+    def _pkfk(self, stats, query) -> DiscoveryResultSet:
+        ranked = pkfk_tables_for(
+            self._pkfk_links(stats), query.table, self._table_of
+        )
+        return DiscoveryResultSet(
+            ranked[: query.top_n], operation="pkfk", inputs={"table": query.table}
+        )
+
+
+class ShardedLakeSession:
+    """N independently-fitted lake shards behind one session surface.
+
+    Obtained from ``CMDL.open(lake, shards=N)`` / ``repro.open_lake(lake,
+    shards=N)``. Fitting partitions the lake with the router and fits every
+    shard through the batched pipeline, concurrently on a thread pool when
+    the host has the cores for it. Mutations (``add_table`` /
+    ``add_document`` / ``remove`` / ``update_table``) route to the owning
+    shard and bump only that shard's generation counter; queries
+    (``discover`` / ``discover_batch``) scatter each planned primitive
+    across shards and merge per-shard top-k lists into the global top-k
+    (see the module docs for the exactness argument and the
+    ``global_stats`` corpus-statistics trade-off).
+    """
+
+    def __init__(
+        self,
+        lake: DataLake,
+        config: CMDLConfig | None = None,
+        shards: int | None = None,
+        router: ShardRouter | None = None,
+        global_stats: bool = False,
+        gold_pairs: list[tuple[str, str, int]] | None = None,
+        auto_refresh_threshold: float | None = None,
+        fit_workers: int | None = None,
+    ):
+        if router is None:
+            if shards is None:
+                raise ValueError("pass shards=N or an explicit ShardRouter")
+            router = ShardRouter(shards)
+        elif shards is not None and shards != router.num_shards:
+            raise ValueError(
+                f"shards={shards} disagrees with the router's "
+                f"{router.num_shards} shards"
+            )
+        if auto_refresh_threshold is not None and not (
+            0.0 <= auto_refresh_threshold <= 1.0
+        ):
+            # Fail before any shard fits (LakeSession re-checks per shard).
+            raise ValueError(
+                "auto_refresh_threshold must be in [0, 1] (an OOV rate), "
+                f"got {auto_refresh_threshold!r}"
+            )
+        self.config = config or CMDLConfig()
+        self.router = router
+        self.name = lake.name
+        self.global_stats = global_stats
+        self.gold_pairs = gold_pairs
+        self.auto_refresh_threshold = auto_refresh_threshold
+        workers = (
+            fit_workers if fit_workers is not None
+            else min(router.num_shards, os.cpu_count() or 1)
+        )
+        self.fit_workers = max(1, workers)
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=self.fit_workers, thread_name_prefix="lake-shard"
+            )
+            if self.fit_workers > 1 and router.num_shards > 1
+            else None
+        )
+        #: Corpus-wide df calculator for global-stats mode (its term memo
+        #: stays warm across filter re-syncs).
+        self._df_pipeline = DocumentPipeline() if global_stats else None
+        if global_stats:
+            self._df_pipeline.fit(d.text for d in lake.documents)
+
+        sublakes = router.partition(lake)
+        try:
+            self.shards: list[LakeSession] = self._fit_shards(sublakes)
+        except BaseException:
+            self.close()  # a failed construction must not leak the pool
+            raise
+        self._stats_groups: dict[str, CorpusStatsGroup] = {}
+        self._wired_indexes: list = []
+        if global_stats:
+            self._wire_stats_groups()
+        self.catalog = _MergedCatalog(self.shards)
+        self._planner: Planner | None = None
+        self._executor: ShardedExecutor | None = None
+
+    # ------------------------------------------------------------ fitting
+
+    def _fit_shards(self, sublakes: list[DataLake]) -> list[LakeSession]:
+        def build(i: int) -> LakeSession:
+            cmdl = CMDL(self._shard_config())
+            return cmdl.open(
+                sublakes[i],
+                gold_pairs=self._filter_gold(sublakes[i]),
+                auto_refresh_threshold=self.auto_refresh_threshold,
+            )
+
+        if self._pool is not None:
+            return list(self._pool.map(build, range(len(sublakes))))
+        return [build(i) for i in range(len(sublakes))]
+
+    def _shard_config(self) -> CMDLConfig:
+        cfg = replace(self.config)
+        if self.config.embedder is not None:
+            # Each shard embeds on its own copy: deterministic embedders
+            # produce identical vectors, and concurrent fits never contend
+            # on one instance's internal caches.
+            cfg.embedder = copy.deepcopy(self.config.embedder)
+        if self.global_stats:
+            pipeline = DocumentPipeline()
+            pipeline.pin_filter(
+                self._df_pipeline.common_terms, self._df_pipeline.num_docs_fit
+            )
+            cfg.document_pipeline = pipeline
+        return cfg
+
+    def _filter_gold(self, sublake: DataLake):
+        """The gold pairs wholly inside one shard (cross-shard pairs cannot
+        supervise a per-shard joint model and are dropped)."""
+        if not self.gold_pairs:
+            return None
+        docs = {d.doc_id for d in sublake.documents}
+        tables = set(sublake.table_names)
+        kept = [
+            (doc, col, label) for doc, col, label in self.gold_pairs
+            if doc in docs and col.partition(".")[0] in tables
+        ]
+        return kept or None
+
+    def _wire_stats_groups(self) -> None:
+        self._stats_groups = {
+            family: CorpusStatsGroup(
+                [getattr(shard.indexes, family) for shard in self.shards]
+            )
+            for family in STATS_FAMILIES
+        }
+        self._wired_indexes = [shard.indexes for shard in self.shards]
+
+    def _ensure_stats_wiring(self) -> None:
+        """Re-wire the stats groups if any shard replaced its catalog (a
+        refresh — explicit or drift-triggered — builds new indexes)."""
+        if not self.global_stats:
+            return
+        if self._wired_indexes != [shard.indexes for shard in self.shards]:
+            self._wire_stats_groups()
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def profile(self) -> _MergedCatalog:
+        """Merged, read-only profile view across shards (planner surface)."""
+        return self.catalog
+
+    @property
+    def generations(self) -> dict[int, int]:
+        """Per-shard generation counters (each bumps on its own mutations)."""
+        return {i: shard.generation for i, shard in enumerate(self.shards)}
+
+    @property
+    def generation(self) -> int:
+        """Summed generation vector: monotonic, equal iff no shard mutated."""
+        return sum(shard.generation for shard in self.shards)
+
+    @property
+    def mutations(self) -> int:
+        return sum(shard.mutations for shard in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def table_names(self) -> list[str]:
+        return [name for shard in self.shards for name in shard.lake.table_names]
+
+    @property
+    def document_ids(self) -> list[str]:
+        return [d.doc_id for shard in self.shards for d in shard.lake.documents]
+
+    def shard_of(self, name: str) -> int:
+        """The owning shard index for a table name or document id."""
+        return self.router.shard_of(name)
+
+    def drift(self) -> float:
+        """Lake-wide embedding drift: pooled OOV rate across shards."""
+        oov = total = 0
+        for shard in self.shards:
+            shard_oov, shard_total = shard._drift_counts()
+            oov += shard_oov
+            total += shard_total
+        return oov / total if total else 0.0
+
+    # ------------------------------------------------------------ queries
+
+    def _runtime(self) -> tuple[Planner, ShardedExecutor]:
+        if self._executor is None:
+            self._planner = Planner(
+                self.catalog,
+                default_strategy=self.config.discovery_strategy,
+                operator_strategies=self.config.operator_strategies,
+            )
+            self._executor = ShardedExecutor(self, self._planner)
+        return self._planner, self._executor
+
+    def discover(self, query) -> DiscoveryResultSet:
+        """Run one SRQL query, scatter-gathered across all shards."""
+        planner, executor = self._runtime()
+        return executor.execute(planner.plan(DiscoveryEngine._to_ast(query)))
+
+    def discover_batch(self, queries) -> list[DiscoveryResultSet]:
+        """Run an SRQL workload with batch amortisation across shards."""
+        planner, executor = self._runtime()
+        plans = planner.plan_batch(
+            [DiscoveryEngine._to_ast(q) for q in queries]
+        )
+        return executor.execute_batch(plans)
+
+    @property
+    def last_batch_stats(self) -> ExecutionStats | None:
+        """Stats of the most recent discover / discover_batch call."""
+        return self._executor.last_stats if self._executor else None
+
+    def scatter(self, fn, stats: ExecutionStats | None = None) -> list:
+        """Run ``fn(shard_index, shard)`` on every shard; results in shard
+        order. Uses the session thread pool when one exists; per-shard wall
+        time is accumulated into ``stats.shard_seconds`` when given."""
+
+        def run(i: int):
+            with Timer() as timer:
+                result = fn(i, self.shards[i])
+            return result, timer.elapsed
+
+        if self._pool is not None:
+            outcomes = list(self._pool.map(run, range(len(self.shards))))
+        else:
+            outcomes = [run(i) for i in range(len(self.shards))]
+        if stats is not None:
+            for i, (_, seconds) in enumerate(outcomes):
+                stats.shard_seconds[i] = stats.shard_seconds.get(i, 0.0) + seconds
+        return [result for result, _ in outcomes]
+
+    # ----------------------------------------------------------- mutators
+
+    def add_table(self, table) -> None:
+        """Add one table to its owning shard (sibling shards untouched)."""
+        shard = self.shards[self.router.shard_of(table.name)]
+        shard.add_table(table)
+        self._ensure_stats_wiring()
+
+    def update_table(self, table) -> None:
+        """Replace an existing table in place on its owning shard."""
+        shard = self.shards[self.router.shard_of(table.name)]
+        if table.name not in shard.lake.table_names:
+            raise KeyError(
+                f"lake {self.name!r} has no table {table.name!r} to update"
+            )
+        shard.update_table(table)
+        self._ensure_stats_wiring()
+
+    def add_document(self, document: Document) -> None:
+        """Add one document to its owning shard.
+
+        In global-stats mode the corpus-wide df filter is recomputed first
+        (including the new document) and any sibling documents whose bag
+        drifted under the new filter are re-synced — the byte-parity
+        counterpart of a monolithic session's own re-sync.
+        """
+        self.add_documents([document])
+
+    def add_documents(self, documents: list[Document]) -> None:
+        """Add several documents, each routed to its owning shard."""
+        by_owner: dict[int, list[Document]] = {}
+        for document in documents:
+            by_owner.setdefault(
+                self.router.shard_of(document.doc_id), []
+            ).append(document)
+        if self.global_stats:
+            self._sync_document_filter(extra_texts=[d.text for d in documents])
+        for owner, batch in sorted(by_owner.items()):
+            self.shards[owner].add_documents(batch)
+        if self.global_stats:
+            self._resync_siblings(skip=set(by_owner))
+        self._ensure_stats_wiring()
+
+    def remove(self, name: str) -> None:
+        """Remove a table (by name) or document (by id) from its shard."""
+        shard_index = self.router.shard_of(name)
+        shard = self.shards[shard_index]
+        if shard.lake.has_table(name):
+            shard.remove(name)
+        elif shard.lake.has_document(name):
+            if self.global_stats:
+                # Pin the post-removal filter first so the owner's re-sync
+                # (and the siblings') runs under the final corpus.
+                self._sync_document_filter(exclude={name})
+                shard.remove(name)
+                self._resync_siblings(skip={shard_index})
+            else:
+                shard.remove(name)
+        else:
+            raise KeyError(
+                f"lake {self.name!r} has no table or document {name!r}"
+            )
+        self._ensure_stats_wiring()
+
+    def rebalance(self, assignments: dict[str, int]) -> int:
+        """Move tables/documents to explicitly-assigned shards.
+
+        Each move is a delta remove on the source shard plus a delta add on
+        the target (two generation bumps, no refits); the router records
+        the assignment so future routing — including :meth:`remove` and
+        :meth:`update_table` — follows the entry to its new home. Returns
+        the number of entries actually moved (already-home assignments are
+        recorded but move nothing). The corpus is unchanged, so the
+        global-stats df filter needs no re-sync.
+        """
+        moves = 0
+        for name, target in assignments.items():
+            current = self.router.shard_of(name)
+            self.router.assign(name, target)  # validates the target index
+            if current == target:
+                continue
+            source = self.shards[current]
+            destination = self.shards[target]
+            if source.lake.has_table(name):
+                table = source.lake.table(name)
+                source.remove(name)
+                destination.add_table(table)
+            elif source.lake.has_document(name):
+                document = source.lake.document(name)
+                source.remove(name)
+                destination.add_document(document)
+            else:
+                raise KeyError(
+                    f"lake {self.name!r} has no table or document {name!r}"
+                )
+            moves += 1
+        self._ensure_stats_wiring()
+        return moves
+
+    def refresh(self, gold_pairs=None) -> None:
+        """Full refit of every shard (concurrent when a pool exists).
+
+        Per-shard generation counters stay monotonic across the swap; the
+        global-stats groups are re-wired onto the fresh index catalogs.
+        """
+        if gold_pairs is not None:
+            self.gold_pairs = gold_pairs
+            for shard in self.shards:
+                shard.gold_pairs = self._filter_gold_lake(shard.lake)
+        if self.global_stats:
+            self._sync_document_filter()
+        self.scatter(lambda i, shard: shard.refresh())
+        if self.global_stats:
+            self._wire_stats_groups()
+
+    def _filter_gold_lake(self, sublake: DataLake):
+        return self._filter_gold(sublake)
+
+    def close(self) -> None:
+        """Shut down the session's thread pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedLakeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- internals
+
+    def _sync_document_filter(
+        self, extra_texts: list[str] | None = None, exclude: set[str] | None = None
+    ) -> None:
+        """Recompute the corpus-wide df filter and pin it on every shard."""
+        exclude = exclude or set()
+        texts = [
+            document.text
+            for shard in self.shards
+            for document in shard.lake.documents
+            if document.doc_id not in exclude
+        ]
+        texts.extend(extra_texts or ())
+        self._df_pipeline.fit(texts)
+        for shard in self.shards:
+            shard.profiler.pipeline.pin_filter(
+                self._df_pipeline.common_terms, len(texts)
+            )
+
+    def _resync_siblings(self, skip: set[int]) -> None:
+        """Re-sketch sibling documents whose bags drifted under a new
+        corpus-wide filter; only shards that actually changed commit (and
+        therefore bump their generation)."""
+        for i, shard in enumerate(self.shards):
+            if i in skip:
+                continue
+            if shard._resync_documents():
+                shard._commit()
+
+    def __repr__(self) -> str:
+        tables = sum(shard.lake.num_tables for shard in self.shards)
+        docs = sum(shard.lake.num_documents for shard in self.shards)
+        return (
+            f"ShardedLakeSession({self.name!r}, shards={self.num_shards}, "
+            f"tables={tables}, documents={docs}, "
+            f"global_stats={self.global_stats})"
+        )

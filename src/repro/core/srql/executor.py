@@ -61,8 +61,18 @@ class ExecutionStats:
     #: Engine cache generation the batch executed under. Lake-session
     #: mutations bump the engine's generation, so comparing this across
     #: calls makes stale-read bugs observable: two batches with the same
-    #: generation ran against the same lake state.
+    #: generation ran against the same lake state. For a sharded session
+    #: this is the *sum* of the per-shard generations (monotonic, and equal
+    #: iff no shard mutated), with the per-shard breakdown in
+    #: :attr:`shard_generations`.
     generation: int = 0
+    #: Per-shard engine generations the batch executed under (sharded
+    #: sessions only; empty for a monolithic engine).
+    shard_generations: dict = field(default_factory=dict)
+    #: Wall-clock seconds spent inside each shard's scatter calls during
+    #: this batch (sharded sessions only) — the straggler diagnostic of the
+    #: scatter-gather path.
+    shard_seconds: dict = field(default_factory=dict)
 
     @property
     def reused(self) -> int:

@@ -65,9 +65,12 @@ class CMDLConfig:
     #: Structured-discovery path: "indexed" serves join/union/PK-FK candidate
     #: generation from the sketch indexes (sub-linear probes, §6.4);
     #: "exact" brute-forces every eligible pair (the correctness oracle);
-    #: "auto" lets the SRQL planner pick per operator via its size/density
-    #: heuristic (exact sweeps win on small lakes, probes on large ones).
-    discovery_strategy: str = "indexed"
+    #: "auto" (the default) lets the SRQL planner pick per operator via its
+    #: size/density heuristic — exact sweeps win on small lakes, probes on
+    #: large ones (the crossover the sharded benchmarks measure per shard;
+    #: in a sharded session every shard resolves "auto" against its own
+    #: shard-local size).
+    discovery_strategy: str = "auto"
     #: Per-operator strategy overrides, e.g. ``{"pkfk": "exact"}``; keys are
     #: "joinable" / "unionable" / "pkfk", values as discovery_strategy.
     operator_strategies: dict[str, str] = field(default_factory=dict)
@@ -79,6 +82,13 @@ class CMDLConfig:
     #: routines. Output is byte-identical either way — "legacy" is the
     #: parity oracle and the baseline of ``benchmarks/bench_fit.py``.
     fit_mode: str = "batched"
+
+    #: Document pipeline override. ``None`` builds the default
+    #: :class:`~repro.text.pipeline.DocumentPipeline` per fit. The sharded
+    #: lake passes per-shard pipelines pinned to the corpus-wide df filter
+    #: (``ShardedLakeSession(global_stats=True)``) so shard-local fits keep
+    #: document bags byte-identical to a monolithic fit.
+    document_pipeline: object | None = None
 
     #: Word embedder for the solo encodings. ``None`` trains the default
     #: blended embedder on the lake's own text at fit time. Pass a
@@ -138,6 +148,7 @@ class CMDL:
                 num_hashes=cfg.num_hashes,
                 pooling=cfg.pooling,
                 embedder=cfg.embedder,
+                pipeline=cfg.document_pipeline,
                 seed=cfg.seed,
             )
             self.profile = self.profiler.profile(lake, batched=batched)
@@ -172,8 +183,17 @@ class CMDL:
 
     # ----------------------------------------------------------- sessions
 
-    def open(self, lake: DataLake, gold_pairs=None) -> "LakeSession":
-        """Fit on ``lake`` and return a mutable :class:`LakeSession`.
+    def open(
+        self,
+        lake: DataLake,
+        gold_pairs=None,
+        shards: int | None = None,
+        router=None,
+        global_stats: bool = False,
+        auto_refresh_threshold: float | None = None,
+        fit_workers: int | None = None,
+    ):
+        """Fit on ``lake`` and return a mutable session.
 
         The session keeps the fitted system live while the lake churns:
         ``add_table`` / ``add_document`` / ``remove`` / ``update_table``
@@ -181,11 +201,39 @@ class CMDL:
         sketching, index inserts/deletes with lazy rebuilds) instead of
         refitting, and ``refresh()`` restores full cold-fit equivalence
         (embedder + joint model retrained).
+
+        ``shards=N`` (or an explicit ``router``) partitions the lake into N
+        independently-fitted shards and returns a
+        :class:`~repro.core.sharding.ShardedLakeSession` instead: shards
+        fit concurrently on a thread pool, mutations route to the owning
+        shard, and SRQL queries scatter-gather across shards.
+        ``global_stats=True`` merges document-frequency / BM25 corpus
+        statistics across shards for byte-parity with a monolithic fit
+        (see the sharding module docs for the freshness trade-off).
+        ``auto_refresh_threshold`` arms the embedding-drift auto-refresh on
+        the session (each shard of a sharded session refreshes itself on
+        its own schedule).
         """
+        if shards is not None or router is not None:
+            from repro.core.sharding import ShardedLakeSession
+
+            return ShardedLakeSession(
+                lake,
+                config=self.config,
+                shards=shards,
+                router=router,
+                global_stats=global_stats,
+                gold_pairs=gold_pairs,
+                auto_refresh_threshold=auto_refresh_threshold,
+                fit_workers=fit_workers,
+            )
         from repro.core.session import LakeSession
 
         self.fit(lake, gold_pairs=gold_pairs)
-        return LakeSession(self, lake, gold_pairs=gold_pairs)
+        return LakeSession(
+            self, lake, gold_pairs=gold_pairs,
+            auto_refresh_threshold=auto_refresh_threshold,
+        )
 
     # ------------------------------------------------------------ internals
 

@@ -8,6 +8,18 @@ alignment. Candidate tables are then aligned with a maximal bipartite
 matching between the two column sets (the TUS algorithm), and the matching
 score, normalised by the smaller column count, ranks the candidates.
 
+The query is decomposed into two phases that are also the scatter units of
+the sharded path (every pair score is a pure function of the two column
+sketches, so the query table's sketches can be broadcast to foreign
+shards):
+
+1. :meth:`UnionDiscovery.candidate_hits_for` — per query column, the top-k
+   scored candidate columns (plus, in exact mode, the per-query-column best
+   score over *all* local columns, used as an optimistic alignment cap);
+2. :meth:`UnionDiscovery.alignment_scores_for` — exact bipartite alignment
+   of the evidence tables, visited best-evidence-first with early
+   termination against the current top-k floor.
+
 The individual measures are exposed separately to support the Relative
 Recall analysis of Table 5.
 """
@@ -20,7 +32,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.core.candidates import CandidateGenerator, resolve_strategy
-from repro.core.profiler import Profile
+from repro.core.profiler import DESketch, Profile
 from repro.relational.stats import numeric_overlap
 from repro.text.similarity import cached_name_similarity, jaccard_containment
 
@@ -36,6 +48,10 @@ class UnionDiscovery:
     probe per ensemble measure) instead of scoring every column of every
     other table; ``strategy="exact"`` is the brute-force oracle. Either way
     candidate tables are aligned with the exact bipartite matching.
+
+    ``early_termination=False`` disables the alignment pruning (every
+    evidence table's matrix is fully scored and matched) — the oracle the
+    bound-tightening tests compare against; results are provably identical.
     """
 
     def __init__(
@@ -45,6 +61,7 @@ class UnionDiscovery:
         candidate_k: int = 10,
         candidates: CandidateGenerator | None = None,
         strategy: str | None = None,
+        early_termination: bool = True,
     ):
         self.profile = profile
         self.weights = weights or {m: 1.0 for m in UNION_MEASURES}
@@ -54,13 +71,17 @@ class UnionDiscovery:
         self.candidate_k = candidate_k
         self.candidates = candidates
         self.strategy = resolve_strategy(strategy, candidates)
+        self.early_termination = early_termination
 
     # -------------------------------------------------------- column scores
 
-    def column_scores(self, col_a: str, col_b: str) -> dict[str, float]:
-        """All four measure scores for one column pair."""
-        sa = self.profile.columns[col_a]
-        sb = self.profile.columns[col_b]
+    def column_scores_sketches(self, sa: DESketch, sb: DESketch) -> dict[str, float]:
+        """All four measure scores for one column-sketch pair.
+
+        A pure pair function: either sketch may be foreign (profiled on
+        another shard) — the sharded union path relies on this to score a
+        broadcast query column against shard-local candidates.
+        """
         scores = {
             "name": cached_name_similarity(sa.column_name, sb.column_name),
             "containment": max(
@@ -71,6 +92,12 @@ class UnionDiscovery:
             "semantic": self._cosine(sa.content_embedding, sb.content_embedding),
         }
         return scores
+
+    def column_scores(self, col_a: str, col_b: str) -> dict[str, float]:
+        """All four measure scores for one column pair."""
+        return self.column_scores_sketches(
+            self.profile.columns[col_a], self.profile.columns[col_b]
+        )
 
     def _combine(self, scores: dict[str, float]) -> float:
         """Weighted mean of precomputed measure scores (CMDL's combination)."""
@@ -93,7 +120,124 @@ class UnionDiscovery:
             return 0.0
         return float(np.dot(a, b) / (na * nb))
 
+    # --------------------------------------------------------- pair scoring
+
+    def _pair_scorer(self, measure: str | None, pair_cache: dict | None):
+        """A ``(query sketch, candidate id) -> score`` function over a memo.
+
+        ``pair_cache`` holds the 4-measure dicts keyed by the id pair, so
+        candidate generation and alignment — possibly separate calls in the
+        sharded flow — score each pair at most once per cache lifetime.
+        """
+        cache = {} if pair_cache is None else pair_cache
+
+        def pair_measures(qs: DESketch, candidate: str) -> dict[str, float]:
+            key = (qs.de_id, candidate)
+            found = cache.get(key)
+            if found is None:
+                found = self.column_scores_sketches(
+                    qs, self.profile.columns[candidate]
+                )
+                cache[key] = found
+            return found
+
+        def pair_score(qs: DESketch, candidate: str) -> float:
+            scores = pair_measures(qs, candidate)
+            return scores[measure] if measure is not None else self._combine(scores)
+
+        return pair_score
+
     # ---------------------------------------------------------- table query
+
+    def candidate_hits_for(
+        self,
+        query_sketches: list[DESketch],
+        measure: str | None = None,
+        pair_cache: dict | None = None,
+    ) -> tuple[dict[str, list[tuple[str, float]]], dict[str, float] | None]:
+        """Phase 1: per query column, its top-``candidate_k`` local columns.
+
+        Returns ``(hits, caps)``. ``hits`` maps each query column id to its
+        scored ``(candidate id, score)`` list, sorted by (-score, id) and
+        cut to :attr:`candidate_k`. ``caps`` — only under the exact
+        strategy, where every other-table column was scored — maps each
+        query column to ``max(0, best score over all local columns)``, a
+        sound optimistic cap on any alignment-matrix row of that query
+        column (the probe-score bound the alignment phase prunes with);
+        ``None`` under the indexed strategy, whose probes are partial.
+        """
+        pair_score = self._pair_scorer(measure, pair_cache)
+        exact = self.strategy == "exact"
+        if exact:
+            all_others_by_table: dict[str, list[str]] = {}
+            for cid, sketch in self.profile.columns.items():
+                all_others_by_table.setdefault(sketch.table_name, []).append(cid)
+        hits: dict[str, list[tuple[str, float]]] = {}
+        caps: dict[str, float] = {}
+        for qs in query_sketches:
+            if exact:
+                others = [
+                    cid
+                    for table, ids in all_others_by_table.items()
+                    if table != qs.table_name
+                    for cid in ids
+                ]
+            else:
+                # Unsorted is fine: the (-score, id) sort below canonicalises.
+                others = self.candidates.union_candidates_for(qs, k=self.candidate_k)
+            scored = [(oc, pair_score(qs, oc)) for oc in others]
+            scored.sort(key=lambda kv: (-kv[1], kv[0]))
+            if exact:
+                caps[qs.de_id] = max((s for _, s in scored), default=0.0)
+                caps[qs.de_id] = max(caps[qs.de_id], 0.0)
+            hits[qs.de_id] = scored[: self.candidate_k]
+        return hits, (caps if exact else None)
+
+    def alignment_scores_for(
+        self,
+        query_sketches: list[DESketch],
+        evidence: dict[str, float],
+        k: int,
+        row_caps: dict[str, float] | None = None,
+        measure: str | None = None,
+        pair_cache: dict | None = None,
+    ) -> list[tuple[str, float]]:
+        """Phase 2: exact bipartite alignment of the evidence tables.
+
+        ``evidence`` maps candidate table -> best observed pair score (the
+        visit-order heuristic); tables are visited best-evidence-first so
+        the local top-``k`` floor rises quickly, and any table whose
+        optimistic bound cannot beat the floor is skipped mid-matrix.
+        ``row_caps`` (from :meth:`candidate_hits_for` under the exact
+        strategy) tightens the bound's starting point from "1.0 per query
+        column" to the per-column best observed score. Returns every
+        computed ``(table, score)`` — pruned tables are provably outside
+        the local top-``k``, so dropping them cannot change any top-``k``
+        merge built from the result.
+        """
+        pair_score = self._pair_scorer(measure, pair_cache)
+        caps = (
+            [row_caps.get(qs.de_id, 1.0) for qs in query_sketches]
+            if row_caps is not None else None
+        )
+        results: list[tuple[str, float]] = []
+        top_scores: list[float] = []  # min-heap of the k best scores so far
+        floor = float("-inf")
+        for candidate in sorted(evidence, key=lambda t: (-evidence[t], t)):
+            score = self._alignment_score(
+                query_sketches, candidate, pair_score,
+                floor=floor if self.early_termination else float("-inf"),
+                row_caps=caps,
+            )
+            if score is None:
+                continue  # upper bound below the floor: cannot enter the top-k
+            results.append((candidate, score))
+            heapq.heappush(top_scores, score)
+            if len(top_scores) > k:
+                heapq.heappop(top_scores)
+            if len(top_scores) == k:
+                floor = top_scores[0]
+        return results
 
     def unionable_tables(
         self,
@@ -113,90 +257,65 @@ class UnionDiscovery:
         query_columns = self.profile.columns_of_table(table_name)
         if not query_columns:
             return []
+        query_sketches = [self.profile.columns[cid] for cid in query_columns]
 
         # Per-query memo: candidate generation and alignment both score the
         # same (query column, other column) pairs, so each pair's 4-measure
         # dict is computed at most once per unionable_tables call.
-        score_cache: dict[tuple[str, str], dict[str, float]] = {}
-
-        def pair_measures(a: str, b: str) -> dict[str, float]:
-            key = (a, b)
-            if key not in score_cache:
-                score_cache[key] = self.column_scores(a, b)
-            return score_cache[key]
-
-        def pair_score(a: str, b: str) -> float:
-            scores = pair_measures(a, b)
-            return scores[measure] if measure is not None else self._combine(scores)
-
-        # Candidate generation: per query column, its top-k columns anywhere
-        # (exact: scored against every other table; indexed: against the
-        # per-measure index probes only). The best pair score observed per
-        # candidate table doubles as the visit-order evidence below.
+        pair_cache: dict = {}
+        hits, caps = self.candidate_hits_for(
+            query_sketches, measure=measure, pair_cache=pair_cache
+        )
         evidence: dict[str, float] = {}
-        all_others = [
-            cid for cid in self.profile.columns
-            if self.profile.columns[cid].table_name != table_name
-        ]
-        for qc in query_columns:
-            if self.strategy == "indexed":
-                # Unsorted is fine: the (-score, id) sort below canonicalises.
-                others = self.candidates.union_candidates(qc, k=self.candidate_k)
-            else:
-                others = all_others
-            scored = [(oc, pair_score(qc, oc)) for oc in others]
-            scored.sort(key=lambda kv: (-kv[1], kv[0]))
-            for oc, s in scored[: self.candidate_k]:
+        for scored in hits.values():
+            for oc, s in scored:
                 if s > 0:
                     table = self.profile.columns[oc].table_name
                     evidence[table] = max(evidence.get(table, 0.0), s)
 
-        # Alignment: maximal bipartite matching on the pair-score matrix.
-        # Candidates are visited best-evidence-first so the top-k floor
-        # rises quickly, and any table whose per-column best-case sum cannot
-        # beat the floor is skipped before its matrix is fully scored.
-        results: list[tuple[str, float]] = []
-        top_scores: list[float] = []  # min-heap of the k best scores so far
-        floor = float("-inf")
-        for candidate in sorted(evidence, key=lambda t: (-evidence[t], t)):
-            score = self._alignment_score(
-                query_columns, candidate, pair_score, floor=floor
-            )
-            if score is None:
-                continue  # upper bound below the floor: cannot enter the top-k
-            results.append((candidate, score))
-            heapq.heappush(top_scores, score)
-            if len(top_scores) > k:
-                heapq.heappop(top_scores)
-            if len(top_scores) == k:
-                floor = top_scores[0]
+        results = self.alignment_scores_for(
+            query_sketches, evidence, k,
+            row_caps=caps, measure=measure, pair_cache=pair_cache,
+        )
         results.sort(key=lambda kv: (-kv[1], kv[0]))
         return results[:k]
 
     def _alignment_score(
-        self, query_columns, candidate_table, pair_score, floor=float("-inf")
+        self,
+        query_sketches: list[DESketch],
+        candidate_table: str,
+        pair_score,
+        floor=float("-inf"),
+        row_caps: list[float] | None = None,
     ) -> float | None:
         """Bipartite alignment score, or ``None`` when early-terminated.
 
         The matrix is filled row by row while an optimistic upper bound is
         maintained: every matched pair contributes at most its row's best
-        score, and unfilled rows at most 1.0 (all four measures live in
-        [0, 1]; negative cosines clip to 0 since matching never helps from
-        them). As soon as the bound drops *strictly* below ``floor`` — the
-        caller's current top-k cutoff — the remaining rows and the matching
-        itself are skipped: the table provably cannot enter the top-k.
+        score, unfilled rows at most their *cap* — the per-query-column best
+        probe score when the exact candidate pass supplied one (every
+        alignment row is a subset of the columns that pass scored), else 1.0
+        (all four measures live in [0, 1]; negative cosines clip to 0 since
+        matching never helps from them). As soon as the bound drops
+        *strictly* below ``floor`` — the caller's current top-k cutoff — the
+        remaining rows and the matching itself are skipped: the table
+        provably cannot enter the top-k.
         """
         cand_columns = self.profile.columns_of_table(candidate_table)
         if not cand_columns:
             # Upper bound is exactly 0.0: prune only when strictly below.
             return 0.0 if floor <= 0.0 else None
-        denom = min(len(query_columns), len(cand_columns))
-        matrix = np.zeros((len(query_columns), len(cand_columns)))
-        best_case = float(len(query_columns))
-        for i, qc in enumerate(query_columns):
+        denom = min(len(query_sketches), len(cand_columns))
+        matrix = np.zeros((len(query_sketches), len(cand_columns)))
+        if row_caps is None:
+            row_caps = [1.0] * len(query_sketches)
+        best_case = float(sum(row_caps))
+        if best_case / denom < floor:
+            return None  # even the probe-score caps cannot reach the floor
+        for i, qs in enumerate(query_sketches):
             for j, cc in enumerate(cand_columns):
-                matrix[i, j] = pair_score(qc, cc)
-            best_case += max(matrix[i].max(), 0.0) - 1.0
+                matrix[i, j] = pair_score(qs, cc)
+            best_case += max(matrix[i].max(), 0.0) - row_caps[i]
             if best_case / denom < floor:
                 return None
         rows, cols = linear_sum_assignment(-matrix)

@@ -8,6 +8,131 @@ from repro.search.inverted_index import InvertedIndex
 from repro.search.scoring import BM25Scorer, LMDirichletScorer
 
 
+class CorpusStatsGroup:
+    """Merged corpus statistics across several same-family keyword engines.
+
+    The sharded lake partitions one logical index (e.g. "document content")
+    into per-shard :class:`SearchEngine` instances. BM25 / LM-Dirichlet
+    scores depend on corpus-wide statistics — document frequencies, corpus
+    size, average document length — so per-shard scores computed from
+    shard-local statistics are not comparable across shards (nor equal to a
+    monolithic index's scores). A group merges those statistics: every
+    member engine keeps its own postings but scores against the *summed*
+    df / N / collection stats of the whole group, which makes per-shard
+    scores byte-identical to a monolithic index over the union of members
+    (each document's score depends only on its own tf/length plus the
+    global statistics).
+
+    Members call :meth:`mark_dirty` whenever their index changes; the
+    merged tables are recomputed lazily on the next stats read, so a
+    mutation touches only the owning shard's structures.
+    """
+
+    def __init__(self, engines: list["SearchEngine"]):
+        self._engines = list(engines)
+        self._dirty = True
+        self._df: Counter = Counter()
+        self._collection_tf: Counter = Counter()
+        self._num_docs = 0
+        self._collection_length = 0
+        for engine in self._engines:
+            engine.share_stats(self)
+
+    def mark_dirty(self) -> None:
+        self._dirty = True
+
+    def _refresh(self) -> None:
+        if not self._dirty:
+            return
+        df: Counter = Counter()
+        ctf: Counter = Counter()
+        num_docs = 0
+        collection_length = 0
+        for engine in self._engines:
+            index = engine.index
+            df.update(index.document_frequencies())
+            ctf.update(index.collection_frequencies())
+            num_docs += index.num_docs
+            collection_length += index.collection_length
+        self._df = df
+        self._collection_tf = ctf
+        self._num_docs = num_docs
+        self._collection_length = collection_length
+        self._dirty = False
+
+    # ------------------------------------------------------- merged stats
+
+    @property
+    def num_docs(self) -> int:
+        self._refresh()
+        return self._num_docs
+
+    @property
+    def collection_length(self) -> int:
+        self._refresh()
+        return self._collection_length
+
+    @property
+    def average_doc_length(self) -> float:
+        self._refresh()
+        return self._collection_length / self._num_docs if self._num_docs else 0.0
+
+    def document_frequency(self, term: str) -> int:
+        self._refresh()
+        return self._df.get(term, 0)
+
+    def collection_frequency(self, term: str) -> int:
+        self._refresh()
+        return self._collection_tf.get(term, 0)
+
+
+class _SharedStatsIndex:
+    """Duck-typed :class:`InvertedIndex` view: local postings, group stats.
+
+    Everything per-document (postings, lengths, membership) reads from the
+    wrapped local index; every corpus statistic the rankers consume reads
+    from the :class:`CorpusStatsGroup`, so a scorer built over this view
+    ranks local documents exactly as a monolithic index over the whole
+    group would.
+    """
+
+    def __init__(self, index: InvertedIndex, group: CorpusStatsGroup):
+        self._index = index
+        self._group = group
+
+    # per-document, local
+    def postings(self, term: str):
+        return self._index.postings(term)
+
+    def doc_length(self, key: str) -> int:
+        return self._index.doc_length(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> list[str]:
+        return self._index.keys()
+
+    # corpus-wide, merged
+    @property
+    def num_docs(self) -> int:
+        return self._group.num_docs
+
+    @property
+    def collection_length(self) -> int:
+        return self._group.collection_length
+
+    @property
+    def average_doc_length(self) -> float:
+        return self._group.average_doc_length
+
+    def document_frequency(self, term: str) -> int:
+        return self._group.document_frequency(term)
+
+    def collection_frequency(self, term: str) -> int:
+        return self._group.collection_frequency(term)
+
+
 class SearchEngine:
     """A named keyword index with pluggable ranking (bm25 | lm_dirichlet).
 
@@ -27,22 +152,38 @@ class SearchEngine:
         self._bm25_params = (k1, b)
         self._mu = mu
         self._scorer = None
+        self._stats_group: CorpusStatsGroup | None = None
 
     # -------------------------------------------------------------- build
 
     def add(self, key: str, terms: list[str] | Counter) -> None:
         self.index.add(key, terms)
-        self._scorer = None  # statistics changed; rebuild lazily
+        self._invalidate()  # statistics changed; rebuild lazily
 
     def build_bulk(self, bags) -> None:
         """Index many ``(key, terms)`` pairs in one pass (state identical
         to per-item :meth:`add` calls in the same order)."""
         self.index.build_bulk(bags)
-        self._scorer = None
+        self._invalidate()
 
     def remove(self, key: str) -> None:
         self.index.remove(key)
+        self._invalidate()
+
+    def share_stats(self, group: CorpusStatsGroup | None) -> None:
+        """Score against a :class:`CorpusStatsGroup`'s merged statistics.
+
+        Postings stay local; df / N / collection stats come from the group,
+        so scores are comparable (and merge-exact) across the group's
+        members. ``None`` restores shard-local statistics.
+        """
+        self._stats_group = group
         self._scorer = None
+
+    def _invalidate(self) -> None:
+        self._scorer = None
+        if self._stats_group is not None:
+            self._stats_group.mark_dirty()
 
     def __len__(self) -> int:
         return self.index.num_docs
@@ -54,11 +195,15 @@ class SearchEngine:
 
     def _get_scorer(self):
         if self._scorer is None:
+            index = (
+                self.index if self._stats_group is None
+                else _SharedStatsIndex(self.index, self._stats_group)
+            )
             if self.ranker == "bm25":
                 k1, b = self._bm25_params
-                self._scorer = BM25Scorer(self.index, k1=k1, b=b)
+                self._scorer = BM25Scorer(index, k1=k1, b=b)
             else:
-                self._scorer = LMDirichletScorer(self.index, mu=self._mu)
+                self._scorer = LMDirichletScorer(index, mu=self._mu)
         return self._scorer
 
     def search(

@@ -149,6 +149,19 @@ class InvertedIndex:
     def collection_frequency(self, term: str) -> int:
         return self._collection_tf.get(term, 0)
 
+    def document_frequencies(self) -> Counter:
+        """Copy of the full term -> document-frequency table.
+
+        Snapshot accessor for cross-index statistics merging (the sharded
+        lake's global-stats mode); exact under tombstones, like the per-term
+        accessors.
+        """
+        return Counter(self._df)
+
+    def collection_frequencies(self) -> Counter:
+        """Copy of the full term -> collection-frequency table."""
+        return Counter(self._collection_tf)
+
     def postings(self, term: str) -> list[Posting]:
         entries = self._postings.get(term, [])
         if self._deleted:

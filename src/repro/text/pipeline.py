@@ -74,6 +74,7 @@ class DocumentPipeline:
         self.keep_pos_nouns = keep_pos_nouns
         self._common_terms: set[str] = set()
         self._num_docs_fit = 0
+        self._pinned = False
         #: token -> lemma (or None when filtered); the stopword/POS/lemma
         #: decision is a pure function of the token, so it is shared across
         #: documents and fits of this pipeline instance.
@@ -81,8 +82,40 @@ class DocumentPipeline:
 
     # ------------------------------------------------------------------ fit
 
+    def pin_filter(self, common_terms: set[str], num_docs: int) -> "DocumentPipeline":
+        """Pin the df filter to an externally-computed term set.
+
+        A sharded lake in global-stats mode computes the "occurs in a large
+        fraction of documents" filter over the *whole* corpus and pins each
+        shard's pipeline with the result, so shard-local :meth:`fit` /
+        :meth:`fit_transform` calls keep the corpus-wide filter instead of
+        re-deriving it from the shard's own documents. While pinned, fitting
+        is a no-op for the filter (transforms still run normally);
+        :meth:`unpin_filter` restores self-fitting behaviour.
+        """
+        self._common_terms = set(common_terms)
+        self._num_docs_fit = num_docs
+        self._pinned = True
+        return self
+
+    def unpin_filter(self) -> None:
+        """Forget a pinned filter; the next :meth:`fit` re-derives it."""
+        self._pinned = False
+
+    @property
+    def common_terms(self) -> frozenset[str]:
+        """The df-filtered ("too common") term set of the current filter."""
+        return frozenset(self._common_terms)
+
+    @property
+    def num_docs_fit(self) -> int:
+        """Corpus size the current filter was derived from (or pinned with)."""
+        return self._num_docs_fit
+
     def fit(self, corpus: Iterable[str]) -> "DocumentPipeline":
         """Learn the corpus-wide document frequencies used for term filtering."""
+        if self._pinned:
+            return self
         doc_freq: Counter = Counter()
         n = 0
         for text in corpus:
@@ -115,15 +148,16 @@ class DocumentPipeline:
         this.
         """
         base = [self._base_terms(text) for text in corpus]
-        doc_freq: Counter = Counter()
-        for terms in base:
-            doc_freq.update(set(terms))
-        self._num_docs_fit = len(base)
-        if len(base) >= 5:
-            cutoff = self.max_doc_frequency * len(base)
-            self._common_terms = {t for t, df in doc_freq.items() if df > cutoff}
-        else:
-            self._common_terms = set()
+        if not self._pinned:
+            doc_freq: Counter = Counter()
+            for terms in base:
+                doc_freq.update(set(terms))
+            self._num_docs_fit = len(base)
+            if len(base) >= 5:
+                cutoff = self.max_doc_frequency * len(base)
+                self._common_terms = {t for t, df in doc_freq.items() if df > cutoff}
+            else:
+                self._common_terms = set()
         return [
             BagOfWords(Counter(t for t in terms if t not in self._common_terms))
             for terms in base

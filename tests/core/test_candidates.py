@@ -244,15 +244,15 @@ class TestStrategyKnob:
 class TestUnionMemoization:
     def test_pair_scores_computed_once_per_query(self, profile, monkeypatch):
         calls = []
-        original = UnionDiscovery.column_scores
+        original = UnionDiscovery.column_scores_sketches
 
-        def counting(self, a, b):
-            calls.append((a, b))
-            return original(self, a, b)
+        def counting(self, sa, sb):
+            calls.append((sa.de_id, sb.de_id))
+            return original(self, sa, sb)
 
-        monkeypatch.setattr(UnionDiscovery, "column_scores", counting)
+        monkeypatch.setattr(UnionDiscovery, "column_scores_sketches", counting)
         UnionDiscovery(profile).unionable_tables("drugs", k=5)
-        assert calls, "expected column_scores to be exercised"
+        assert calls, "expected column_scores_sketches to be exercised"
         assert len(calls) == len(set(calls)), "pair scored more than once"
 
 
@@ -310,7 +310,7 @@ class TestIndexedExactParitySeedLake:
     def test_join_parity(self, fitted_cmdl):
         profile = fitted_cmdl.profile
         exact = JoinDiscovery(profile)
-        indexed = fitted_cmdl.engine.join_discovery
+        indexed = fitted_cmdl.engine.scorer("joinable", "indexed")
         assert indexed.strategy == "indexed"
         for qc in profile.columns:
             sketch = profile.columns[qc]
@@ -325,7 +325,7 @@ class TestIndexedExactParitySeedLake:
     def test_union_parity(self, fitted_cmdl):
         profile = fitted_cmdl.profile
         exact = UnionDiscovery(profile)
-        indexed = fitted_cmdl.engine.union_discovery
+        indexed = fitted_cmdl.engine.scorer("unionable", "indexed")
         assert indexed.strategy == "indexed"
         for table in sorted(profile.table_columns):
             _assert_ranked_parity(
@@ -336,7 +336,9 @@ class TestIndexedExactParitySeedLake:
 
     def test_pkfk_parity(self, fitted_cmdl):
         profile = fitted_cmdl.profile
-        indexed_discovery = fitted_cmdl.engine.pkfk_discovery
+        # Requested explicitly: under the "auto" default the engine would
+        # resolve exact at this pair count, and parity needs the probes.
+        indexed_discovery = fitted_cmdl.engine.scorer("pkfk", "indexed")
         assert indexed_discovery.strategy == "indexed"
         exact = PKFKDiscovery(profile, indexed_discovery.uniqueness).discover()
         indexed = indexed_discovery.discover()

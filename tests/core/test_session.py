@@ -32,6 +32,15 @@ def session(toy_lake) -> LakeSession:
     return open_lake(toy_lake, session_config())
 
 
+@pytest.fixture()
+def indexed_session(toy_lake) -> LakeSession:
+    """Session pinned to the indexed path (the "auto" default resolves to
+    exact at toy scale, which would leave no CandidateGenerator to test)."""
+    config = session_config()
+    config.discovery_strategy = "indexed"
+    return open_lake(toy_lake, config)
+
+
 CITIES_EXTRA = {
     "city": ["london", "madrid", "rome"],
     "mayor": ["sadiq", "jose", "roberto"],
@@ -209,25 +218,26 @@ class TestInvalidationProtocol:
         with pytest.raises(ValueError, match="invalid invalidate scope"):
             session.engine.invalidate("everything")
 
-    def test_scope_pkfk_keeps_candidates(self, session):
-        engine = session.engine
+    def test_scope_pkfk_keeps_candidates(self, indexed_session):
+        engine = indexed_session.engine
         engine.pkfk_links()
         generator = engine.candidates
+        assert generator is not None
         engine.invalidate("pkfk")
         assert engine._pkfk_links == {}
         assert engine.candidates is generator
         assert engine.generation == 0
 
-    def test_scope_candidates_drops_generator_not_generation(self, session):
-        engine = session.engine
+    def test_scope_candidates_drops_generator_not_generation(self, indexed_session):
+        engine = indexed_session.engine
         scorer = engine.join_discovery
         engine.invalidate("candidates")
         assert engine.candidates is None
         assert engine.generation == 0
         assert engine.join_discovery is not scorer  # rebuilt lazily
 
-    def test_scope_all_stamps_new_generation(self, session):
-        engine = session.engine
+    def test_scope_all_stamps_new_generation(self, indexed_session):
+        engine = indexed_session.engine
         engine.invalidate("all")
         assert engine.generation == 1
         engine.joinable("drugs", top_n=2)  # rebuilds the generator lazily
@@ -372,8 +382,79 @@ class TestGoldPairsRetention:
         assert session.gold_pairs == replacement
 
 
+class TestDrift:
+    """session.drift(): OOV rate of post-fit DEs vs the fit vocabulary."""
+
+    NEOLOGISMS = {"blarfle": ["wuggish", "snorfling", "quibblet"]}
+
+    def test_zero_after_open(self, session):
+        assert session.drift() == 0.0
+
+    def test_novel_vocabulary_raises_drift(self, session):
+        session.add_table(Table.from_dict("neologisms", self.NEOLOGISMS))
+        assert session.drift() > 0.5  # nearly every term is unseen
+
+    def test_known_vocabulary_keeps_drift_zero(self, session):
+        session.add_document(Document(
+            doc_id="doc:aspirin2",
+            title="Aspirin and cox synthase",
+            text="Aspirin inhibits cox synthase and reduces inflammation.",
+        ))
+        assert session.drift() == 0.0
+
+    def test_removing_the_drifted_de_prunes_its_contribution(self, session):
+        session.add_table(Table.from_dict("neologisms", self.NEOLOGISMS))
+        assert session.drift() > 0.0
+        session.remove("neologisms")
+        # The lake is back to fit-time vocabulary: no spurious drift (and
+        # so no spurious auto-refresh) from DEs that are no longer there.
+        assert session.drift() == 0.0
+
+    def test_update_replaces_drift_contribution(self, session):
+        session.add_table(Table.from_dict("neologisms", self.NEOLOGISMS))
+        assert session.drift() > 0.0
+        session.update_table(Table.from_dict("neologisms", {
+            "name": ["aspirin", "ibuprofen"],  # fit-time vocabulary
+        }))
+        drift = session.drift()
+        assert drift < 0.5  # only the table-name metadata terms remain OOV
+
+    def test_refresh_resets_drift(self, session):
+        session.add_table(Table.from_dict("neologisms", self.NEOLOGISMS))
+        assert session.drift() > 0.0
+        session.refresh()
+        assert session.drift() == 0.0
+
+    def test_threshold_validated(self, toy_lake):
+        with pytest.raises(ValueError, match="auto_refresh_threshold"):
+            open_lake(toy_lake, session_config(), auto_refresh_threshold=2.0)
+
+    def test_auto_refresh_triggers_on_threshold(self, toy_lake):
+        session = open_lake(
+            toy_lake, session_config(), auto_refresh_threshold=0.05
+        )
+        session.add_table(Table.from_dict("neologisms", self.NEOLOGISMS))
+        # The mutation pushed drift past the bound: the session refreshed
+        # itself (commit bump + refresh bump, mutation counter reset).
+        assert session.mutations == 0
+        assert session.drift() == 0.0
+        assert session.generation == 2
+
+    def test_below_threshold_no_refresh(self, toy_lake):
+        # Drift must *exceed* the bound: at the maximum threshold of 1.0
+        # even a fully-OOV mutation (drift == 1.0) never triggers.
+        session = open_lake(
+            toy_lake, session_config(), auto_refresh_threshold=1.0
+        )
+        session.add_table(Table.from_dict("neologisms", self.NEOLOGISMS))
+        assert session.mutations == 1
+        assert session.generation == 1
+        assert 0.0 < session.drift() <= 1.0
+
+
 class TestRefreshRestampsCandidates:
-    def test_candidates_generation_matches_engine_after_refresh(self, session):
+    def test_candidates_generation_matches_engine_after_refresh(self, indexed_session):
+        session = indexed_session
         session.add_table(Table.from_dict("capitals", CITIES_EXTRA))
         engine = session.refresh()
         engine.joinable("drugs", top_n=2)  # materialise the generator

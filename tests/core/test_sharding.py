@@ -1,0 +1,391 @@
+"""Sharded-vs-monolithic parity, mutation routing, and rebalance tests.
+
+The acceptance bar of the sharded-lake architecture: a
+:class:`~repro.core.sharding.ShardedLakeSession` in global-stats mode must
+return *identical* top-k results to a monolithic session — for all six SRQL
+primitives, on all three seed lakes, at 1/2/4 shards — before and after
+interleaved add/remove/update mutations. Both sides run the documented
+parity configuration (no joint model, the corpus-independent hashing
+embedder); ``global_stats=True`` merges BM25/df corpus statistics across
+shards, which is what makes keyword scores merge-exact (see the sharding
+module docs for the trade-off).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import LakeSession, open_lake
+from repro.core.sharding import ShardedLakeSession, ShardRouter
+from repro.core.srql import Q
+from repro.core.system import CMDLConfig
+from repro.embed.hashing_embedder import HashingEmbedder
+from repro.relational.catalog import DataLake, Document
+from repro.relational.table import Table
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _config() -> CMDLConfig:
+    return CMDLConfig(use_joint=False, embedder=HashingEmbedder(seed=0))
+
+
+def _copy_lake(lake: DataLake) -> DataLake:
+    """A fresh DataLake over the same Table/Document objects (each session
+    must own its mutable catalog)."""
+    fresh = DataLake(name=lake.name)
+    for table in lake.tables:
+        fresh.add_table(table)
+    for document in lake.documents:
+        fresh.add_document(document)
+    return fresh
+
+
+def _workload(profile) -> list:
+    """All six primitives over a deterministic slice of the lake."""
+    tables = sorted(profile.table_columns)[:6]
+    docs = sorted(profile.documents)[:3]
+    queries = [
+        Q.content_search("rate change", k=5),
+        Q.content_search("name", mode="table", k=5),
+        Q.metadata_search("report", k=5),
+        Q.metadata_search("id", mode="table", k=5),
+        Q.cross_modal("compound formulation trial", top_n=3,
+                      representation="solo"),
+    ]
+    queries += [
+        Q.cross_modal(doc, top_n=3, representation="solo") for doc in docs
+    ]
+    for table in tables:
+        queries += [
+            Q.joinable(table, top_n=3),
+            Q.unionable(table, top_n=3),
+            Q.pkfk(table, top_n=3),
+        ]
+    return queries
+
+
+def _mutate(session) -> None:
+    """The interleaved mutation script, identical on every session."""
+    tables = sorted(
+        session.table_names if isinstance(session, ShardedLakeSession)
+        else session.lake.table_names
+    )
+    docs = sorted(
+        session.document_ids if isinstance(session, ShardedLakeSession)
+        else [d.doc_id for d in session.lake.documents]
+    )
+    session.add_table(Table.from_dict("parity_extra", {
+        "extra_id": ["X1", "X2", "X3"],
+        "label": ["alpha", "beta", "gamma"],
+    }))
+    session.add_documents([
+        Document(doc_id="doc:parity0", title="Parity report",
+                 text="A fresh report about compound rates and alpha labels."),
+        Document(doc_id="doc:parity1", title="Second parity report",
+                 text="Beta labels appear in the rate change discussion."),
+    ])
+    session.remove(docs[0])
+    session.remove(tables[-1])
+    # Shrink an existing table in place (schema kept, half the rows).
+    target = tables[0]
+    if isinstance(session, ShardedLakeSession):
+        owner = session.shards[session.shard_of(target)]
+        table = owner.lake.table(target)
+    else:
+        table = session.lake.table(target)
+    keep = list(range(max(1, table.num_rows // 2)))
+    session.update_table(table.select_rows(keep, target))
+
+
+def _assert_parity(mono, sharded, context: str) -> None:
+    for query in _workload(mono.profile):
+        expected = mono.discover(query)
+        got = sharded.discover(query)
+        assert got.items == expected.items, (
+            f"{context}: sharded diverged from monolithic on {query!r}\n"
+            f"  mono={expected.items}\n  shard={got.items}"
+        )
+
+
+def _parity_case(lake: DataLake, shards: int) -> None:
+    mono = open_lake(_copy_lake(lake), _config())
+    sharded = open_lake(
+        _copy_lake(lake), _config(), shards=shards, global_stats=True
+    )
+    _assert_parity(mono, sharded, f"{lake.name} shards={shards} (cold)")
+    _mutate(mono)
+    _mutate(sharded)
+    assert sharded.generation >= 1
+    _assert_parity(mono, sharded, f"{lake.name} shards={shards} (mutated)")
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_pharma(self, pharma_generated, shards):
+        _parity_case(pharma_generated.lake, shards)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_ukopen(self, ukopen_generated, shards):
+        _parity_case(ukopen_generated.lake, shards)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_mlopen(self, mlopen_generated, shards):
+        _parity_case(mlopen_generated.lake, shards)
+
+
+@pytest.mark.slow
+class TestShardedParitySlow:
+    """Heavier cross-checks: batch execution, threaded scatter, and the
+    structured trio without global statistics."""
+
+    def test_batch_matches_singles_and_reports_shards(self, ukopen_generated):
+        lake = ukopen_generated.lake
+        mono = open_lake(_copy_lake(lake), _config())
+        sharded = open_lake(
+            _copy_lake(lake), _config(), shards=4, global_stats=True
+        )
+        workload = _workload(mono.profile)
+        batch = sharded.discover_batch(workload)
+        singles = [mono.discover(q) for q in workload]
+        assert [b.items for b in batch] == [s.items for s in singles]
+        stats = sharded.last_batch_stats
+        assert stats.generation == sharded.generation
+        assert set(stats.shard_generations) == {0, 1, 2, 3}
+        assert set(stats.shard_seconds) == {0, 1, 2, 3}
+        assert stats.pkfk_sweeps == 1  # one lake-wide sweep fed every query
+
+    def test_threaded_scatter_matches_serial(self, pharma_generated):
+        lake = pharma_generated.lake
+        serial = open_lake(
+            _copy_lake(lake), _config(), shards=2, global_stats=True,
+            fit_workers=1,
+        )
+        with open_lake(
+            _copy_lake(lake), _config(), shards=2, global_stats=True,
+            fit_workers=2,
+        ) as threaded:
+            assert threaded._pool is not None
+            for query in _workload(serial.profile):
+                assert (
+                    threaded.discover(query).items
+                    == serial.discover(query).items
+                )
+
+    def test_structured_ops_exact_without_global_stats(self, mlopen_generated):
+        """Join/union/PK-FK scores are pure pair functions, so the
+        structured trio merges exactly even with shard-local corpus stats
+        (only keyword/cross-modal scores need the global-stats opt-in)."""
+        lake = mlopen_generated.lake
+        mono = open_lake(_copy_lake(lake), _config())
+        sharded = open_lake(_copy_lake(lake), _config(), shards=4)
+        for table in sorted(mono.profile.table_columns)[:6]:
+            for op in (Q.joinable, Q.unionable, Q.pkfk):
+                query = op(table, top_n=3)
+                assert (
+                    sharded.discover(query).items
+                    == mono.discover(query).items
+                ), f"{op.__name__}({table!r})"
+
+
+# ------------------------------------------------------------------ router
+
+
+class TestShardRouter:
+    def test_deterministic_and_total(self, pharma_generated):
+        lake = pharma_generated.lake
+        router = ShardRouter(4)
+        again = ShardRouter(4)
+        names = lake.table_names + [d.doc_id for d in lake.documents]
+        assert [router.shard_of(n) for n in names] == [
+            again.shard_of(n) for n in names
+        ]
+        assert all(0 <= router.shard_of(n) < 4 for n in names)
+
+    def test_partition_is_disjoint_and_complete(self, pharma_generated):
+        lake = pharma_generated.lake
+        sublakes = ShardRouter(3).partition(lake)
+        tables = [t for sub in sublakes for t in sub.table_names]
+        docs = [d.doc_id for sub in sublakes for d in sub.documents]
+        assert sorted(tables) == sorted(lake.table_names)
+        assert sorted(docs) == sorted(d.doc_id for d in lake.documents)
+
+    def test_explicit_assignment_wins(self):
+        router = ShardRouter(4)
+        hashed = router.shard_of("drugs")
+        router.assign("drugs", (hashed + 1) % 4)
+        assert router.shard_of("drugs") == (hashed + 1) % 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardRouter(0)
+        with pytest.raises(ValueError, match="shard must be in"):
+            ShardRouter(2).assign("drugs", 2)
+        with pytest.raises(ValueError, match="shards=3 disagrees"):
+            ShardedLakeSession(DataLake(), shards=3, router=ShardRouter(2))
+        with pytest.raises(ValueError, match="shards=N or an explicit"):
+            ShardedLakeSession(DataLake())
+        # Rejected up front — before any shard fit or pool construction.
+        with pytest.raises(ValueError, match="auto_refresh_threshold"):
+            ShardedLakeSession(DataLake(), shards=2, auto_refresh_threshold=2.0)
+
+
+# -------------------------------------------------------------- mutations
+
+
+@pytest.fixture()
+def toy_sharded(toy_lake) -> ShardedLakeSession:
+    return open_lake(_copy_lake(toy_lake), _config(), shards=3,
+                     global_stats=True)
+
+
+class TestMutationRouting:
+    def test_add_table_touches_only_owner(self, toy_sharded):
+        session = toy_sharded
+        table = Table.from_dict("capitals", {
+            "city": ["london", "madrid"], "mayor": ["sadiq", "jose"],
+        })
+        owner = session.shard_of("capitals")
+        before = session.generations
+        session.add_table(table)
+        after = session.generations
+        assert after[owner] == before[owner] + 1
+        assert all(
+            after[i] == before[i] for i in after if i != owner
+        ), "a table add must never touch sibling shards"
+        assert "capitals" in session.shards[owner].lake.table_names
+
+    def test_remove_and_update_route_to_owner(self, toy_sharded):
+        session = toy_sharded
+        owner = session.shard_of("drugs")
+        updated = session.shards[owner].lake.table("drugs").select_rows(
+            [0, 1], "drugs"
+        )
+        session.update_table(updated)
+        assert session.shards[owner].lake.table("drugs").num_rows == 2
+        session.remove("drugs")
+        assert "drugs" not in session.table_names
+
+    def test_unknown_names_raise(self, toy_sharded):
+        with pytest.raises(KeyError, match="no table or document"):
+            toy_sharded.remove("nope")
+        with pytest.raises(KeyError, match="no table 'nope'"):
+            toy_sharded.update_table(Table.from_dict("nope", {"a": ["1"]}))
+
+    def test_joint_representation_rejected(self, toy_sharded):
+        with pytest.raises(RuntimeError, match="not supported on sharded"):
+            toy_sharded.discover(
+                Q.cross_modal("doc:aspirin", top_n=2, representation="joint")
+            )
+
+    def test_document_mutations_keep_global_filter_parity(self, toy_lake):
+        """Document churn under global_stats must keep bags byte-identical
+        to a monolithic session applying the same churn (the df filter is
+        corpus-wide, so siblings re-sync when it shifts)."""
+        mono = open_lake(_copy_lake(toy_lake), _config())
+        sharded = open_lake(_copy_lake(toy_lake), _config(), shards=3,
+                            global_stats=True)
+        repeated = [
+            Document(
+                doc_id=f"doc:flood{i}",
+                title=f"Flood {i}",
+                text="population growth population growth in london berlin "
+                     "paris madrid population",
+            )
+            for i in range(6)
+        ]
+        for session in (mono, sharded):
+            session.add_documents(repeated)
+            session.remove("doc:city")
+        mono_bags = {
+            doc_id: sketch.content_bow.terms
+            for doc_id, sketch in mono.profile.documents.items()
+        }
+        sharded_bags = {
+            doc_id: sketch.content_bow.terms
+            for shard in sharded.shards
+            for doc_id, sketch in shard.profile.documents.items()
+        }
+        assert sharded_bags == mono_bags
+        for query in (
+            Q.content_search("population growth", k=5),
+            Q.metadata_search("flood", k=5),
+        ):
+            assert sharded.discover(query).items == mono.discover(query).items
+
+
+# -------------------------------------------------------------- rebalance
+
+
+class TestRebalance:
+    def test_moves_update_routing_and_preserve_results(self, toy_lake):
+        mono = open_lake(_copy_lake(toy_lake), _config())
+        session = open_lake(_copy_lake(toy_lake), _config(), shards=3,
+                            global_stats=True)
+        workload = [
+            Q.joinable("drugs", top_n=3),
+            Q.unionable("drugs", top_n=3),
+            Q.pkfk("drugs", top_n=3),
+            Q.content_search("cox inflammation", k=5),
+        ]
+        expected = [mono.discover(q).items for q in workload]
+        names = session.table_names + session.document_ids
+        moved = session.rebalance({name: 0 for name in names})
+        assert moved == sum(
+            1 for name in names
+            if ShardRouter(3).shard_of(name) != 0
+        )
+        assert all(session.shard_of(name) == 0 for name in names)
+        assert session.shards[0].lake.num_tables == len(session.table_names)
+        assert [session.discover(q).items for q in workload] == expected
+
+    def test_already_home_assignment_moves_nothing(self, toy_sharded):
+        session = toy_sharded
+        owner = session.shard_of("drugs")
+        before = session.generations
+        assert session.rebalance({"drugs": owner}) == 0
+        assert session.generations == before
+
+    def test_rebalanced_entry_keeps_routing_for_mutations(self, toy_sharded):
+        session = toy_sharded
+        target = (session.shard_of("drugs") + 1) % session.num_shards
+        session.rebalance({"drugs": target})
+        updated = session.shards[target].lake.table("drugs").select_rows(
+            [0], "drugs"
+        )
+        session.update_table(updated)  # must follow the new assignment
+        assert session.shards[target].lake.table("drugs").num_rows == 1
+
+
+# ------------------------------------------------------------------ drift
+
+
+class TestShardedDrift:
+    def test_drift_starts_at_zero_and_rises(self, toy_sharded):
+        assert toy_sharded.drift() == 0.0
+        toy_sharded.add_table(Table.from_dict("neologisms", {
+            "blarfle": ["wuggish", "snorfling", "quibblet"],
+        }))
+        assert toy_sharded.drift() > 0.0
+
+    def test_auto_refresh_is_per_shard(self, toy_lake):
+        session = open_lake(
+            _copy_lake(toy_lake), _config(), shards=3,
+            auto_refresh_threshold=0.1,
+        )
+        owner = session.shard_of("neologisms")
+        session.add_table(Table.from_dict("neologisms", {
+            "blarfle": ["wuggish", "snorfling", "quibblet"],
+        }))
+        # The owning shard crossed the drift bound and refreshed itself
+        # (mutation counter reset); siblings never noticed.
+        assert session.shards[owner].mutations == 0
+        assert session.shards[owner].drift() == 0.0
+        assert all(
+            shard.mutations == 0 for i, shard in enumerate(session.shards)
+            if i != owner
+        )
+        assert all(
+            session.generations[i] == 0
+            for i in session.generations if i != owner
+        )

@@ -230,10 +230,20 @@ class TestConfigValidation:
 
     def test_operator_override_is_applied(self, toy_lake):
         engine = CMDL(
-            CMDLConfig(use_joint=False, operator_strategies={"pkfk": "exact"})
+            CMDLConfig(
+                use_joint=False,
+                discovery_strategy="indexed",
+                operator_strategies={"pkfk": "exact"},
+            )
         ).fit(toy_lake)
         assert engine.operator_strategy["pkfk"] == "exact"
         assert engine.operator_strategy["joinable"] == "indexed"
+
+    def test_default_strategy_is_auto(self):
+        """ROADMAP flip, pinned: the config default lets the planner pick
+        exact-vs-indexed per operator from the lake's size (the sharded
+        benchmarks supplied the larger-lake evidence)."""
+        assert CMDLConfig().discovery_strategy == "auto"
 
 
 # ------------------------------------------------------------- executor

@@ -192,3 +192,74 @@ class TestUnionEarlyTermination:
         ud = UnionDiscovery(profile)
         assert ud.unionable_tables("drugs", k=0) == []
         assert ud.unionable_tables("drugs", k=-1) == []
+
+
+class TestUnionProbeScoreCaps:
+    """The per-query-column probe-score caps tighten the alignment bound
+    (ROADMAP open item) without changing any top-k — asserted against the
+    no-pruning oracle on all three seed lakes."""
+
+    @staticmethod
+    def _assert_topk_unchanged(profile):
+        pruned = UnionDiscovery(profile)
+        oracle = UnionDiscovery(profile, early_termination=False)
+        for table in sorted(profile.table_columns):
+            assert (
+                pruned.unionable_tables(table, k=5)
+                == oracle.unionable_tables(table, k=5)
+            ), table
+
+    def test_pharma_topk_unchanged(self, engine):
+        self._assert_topk_unchanged(engine.profile)
+
+    def test_ukopen_topk_unchanged(self, ukopen_engine):
+        self._assert_topk_unchanged(ukopen_engine.profile)
+
+    def test_mlopen_topk_unchanged(self, mlopen_engine):
+        self._assert_topk_unchanged(mlopen_engine.profile)
+
+    def test_caps_prune_before_any_scoring(self, profile):
+        """Caps below the floor reject a table without filling a single
+        matrix row (the tightened starting bound), where the cap-less bound
+        would have had to score at least one row first."""
+        ud = UnionDiscovery(profile)
+        sketches = [
+            profile.columns[cid] for cid in profile.columns_of_table("drugs")
+        ]
+        calls = []
+
+        def counting_pair_score(qs, cc):
+            calls.append((qs.de_id, cc))
+            return ud.ensemble_score(qs.de_id, cc)
+
+        low_caps = [0.05] * len(sketches)
+        assert ud._alignment_score(
+            sketches, "cities", counting_pair_score,
+            floor=0.5, row_caps=low_caps,
+        ) is None
+        assert calls == [], "caps should reject without scoring any pair"
+        # Without caps the same floor requires scoring a row to find out.
+        assert ud._alignment_score(
+            sketches, "cities", counting_pair_score, floor=0.5,
+        ) is None
+        assert calls, "the 1.0-per-row bound only tightens after scoring"
+
+    def test_exact_candidate_pass_reports_sound_caps(self, profile):
+        ud = UnionDiscovery(profile)
+        sketches = [
+            profile.columns[cid] for cid in profile.columns_of_table("drugs")
+        ]
+        _, caps = ud.candidate_hits_for(sketches)
+        assert caps is not None  # exact strategy scored every local column
+        for sketch in sketches:
+            cap = caps[sketch.de_id]
+            assert cap >= 0.0
+            best = max(
+                (
+                    ud.ensemble_score(sketch.de_id, other)
+                    for other, s in profile.columns.items()
+                    if s.table_name != sketch.table_name
+                ),
+                default=0.0,
+            )
+            assert cap == pytest.approx(max(best, 0.0))
