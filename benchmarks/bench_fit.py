@@ -210,9 +210,71 @@ def _bench_lake(name: str, lake: DataLake, reference_repeats: int = 2) -> dict:
             k.removesuffix("_seconds"): round(1000 * v, 1)
             for k, v in batched.fit_stats.as_dict().items()
         },
+        "index_breakdown_ms": {
+            k: round(1000 * v, 1)
+            for k, v in batched.fit_stats.index_breakdown.items()
+        },
         "parity": f"{len(workload) - mismatches}/{len(workload)}",
         "_mismatches": mismatches,
     }
+
+
+def smoke() -> None:
+    """Kernel-parity assertions only: no timing gates, no file writes.
+
+    Run in CI (``python benchmarks/bench_fit.py --smoke``) so a columnar
+    kernel that drifts from its per-item oracle fails fast there, not in a
+    full bench run. Covers the three kernels of the fit hot path:
+
+    * band hashes — ``band_hashes_batch`` vs per-signature ``band_hashes``;
+    * RP forests — array-backed vs ``_Node`` builder query results;
+    * the two fit modes — batched vs legacy value-operator results, plus
+      identical index breakdown groups.
+    """
+    from repro.ann.rpforest import RPForestIndex
+    from repro.sketch.minhash import MinHash, band_hashes_batch
+
+    lake = generate_pharma_lake(PharmaLakeConfig(
+        num_drugs=30, num_enzymes=15, num_documents=30, noise_documents=5,
+        interactions_rows=40, targets_rows=30, chembl_compounds=30,
+        chebi_compounds=18, union_derived_per_base=1, seed=0,
+    )).lake
+
+    rng = np.random.default_rng(11)
+    minhash = MinHash(num_hashes=64, seed=3)
+    signatures = [
+        minhash.signature({f"v{rng.integers(500)}" for _ in range(30)})
+        for _ in range(40)
+    ]
+    matrix = band_hashes_batch(signatures, num_bands=16)
+    assert [
+        [int(h) for h in row] for row in matrix
+    ] == [s.band_hashes(16) for s in signatures], "band kernel diverged"
+
+    points = rng.standard_normal((300, 24))
+    entries = [(f"p{i}", v) for i, v in enumerate(points)]
+    array_forest = RPForestIndex(dim=24, seed=5).build_bulk(entries)
+    node_forest = RPForestIndex(dim=24, seed=5, backend="nodes").build_bulk(entries)
+    for i in range(0, 300, 30):
+        assert array_forest.query(points[i], k=10) == node_forest.query(
+            points[i], k=10
+        ), "forest backends diverged"
+
+    batched = _fit_once(lake, "batched")
+    legacy = _fit_once(lake, "legacy")
+    workload = []
+    for table in sorted(batched.profile.table_columns)[:6]:
+        workload += [Q.joinable(table, top_n=3), Q.pkfk(table, top_n=3)]
+    mismatches = sum(
+        batched.engine.discover(q).items != legacy.engine.discover(q).items
+        for q in workload
+    )
+    assert mismatches == 0, f"{mismatches}/{len(workload)} operator mismatches"
+    assert set(batched.fit_stats.index_breakdown) == set(
+        legacy.fit_stats.index_breakdown
+    ), "fit modes disagree on index breakdown groups"
+    print(f"smoke OK: band kernel, forest backends, "
+          f"{len(workload)}/{len(workload)} operator parity")
 
 
 def main() -> None:
@@ -269,6 +331,11 @@ def main() -> None:
         stats = results[key]["fit_stats_batched_ms"]
         breakdown = " ".join(f"{k}={v:.0f}ms" for k, v in stats.items())
         report += f"\n  FitStats ({label}, batched): {breakdown}"
+        structures = " ".join(
+            f"{k}={v:.0f}ms"
+            for k, v in results[key]["index_breakdown_ms"].items()
+        )
+        report += f"\n  index stage by structure ({label}): {structures}"
         report += f"\n  value-operator parity batched vs legacy ({label}): " \
                   f"{results[key]['parity']} identical"
     print("\n" + report)
@@ -310,4 +377,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+    else:
+        main()

@@ -42,8 +42,15 @@ def main() -> None:
     print(f"  joint model: {training.epochs} epochs, "
           f"{training.seconds:.1f}s, error {training.error_percent:.1f}%")
     # Every fit records a wall-clock breakdown of its batched stages
-    # (bag building / sketching / embedding / index build / training).
+    # (bag building / sketching / embedding / index build / training),
+    # plus a per-structure split of the index stage, so a slow fit is
+    # attributable to one structure. CMDLConfig(fit_workers=N) threads
+    # the embed stage (byte-identical output at any worker count).
     print(f"  fit stages: {cmdl.fit_stats.summary()}")
+    breakdown = cmdl.fit_stats.index_breakdown
+    print("  index stage by structure: "
+          + " ".join(f"{k}={v * 1000:.0f}ms"
+                     for k, v in sorted(breakdown.items(), key=lambda kv: -kv[1])))
 
     # Each discovery step is a declarative query; engine.discover plans it
     # (validation + indexed/exact strategy choice) and executes it.

@@ -6,6 +6,22 @@ the segment between them (Annoy's "two means" split in its simplest form).
 Leaves hold at most ``leaf_size`` points. A query descends every tree with a
 shared max-heap prioritised by margin distance, collecting at least
 ``search_k`` candidates, which are then re-ranked exactly by cosine.
+
+Two planting backends share one split rule:
+
+* ``"array"`` (default) — level-synchronous planting into flat CSR-style
+  node arrays (children / plane / offset / leaf spans); queries walk the
+  arrays with no object graph in the hot path.
+* ``"nodes"`` — the recursive ``_Node`` builder, kept as the parity oracle.
+
+Every node draws its randomness from its *position* — a splitmix64-style
+hash of ``(seed, tree, heap-path)``, no per-node Generator construction in
+the hot path — and both backends project candidate rows with
+the same ``matrix[idx] @ normal`` GEMV expression, so the two plant
+bit-identical trees and answer queries with identical keys in identical
+order. (A stacked GEMM over a whole level is NOT bitwise equal to per-plane
+GEMV on this BLAS; reassociating the reduction could flip the side of a
+point sitting on a split boundary, which is why projections stay per-node.)
 """
 
 from __future__ import annotations
@@ -15,12 +31,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
+_MASK64 = (1 << 64) - 1
+#: splitmix64 stream increment (golden-ratio gamma).
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finaliser: avalanche one 64-bit word."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
 
 
 @dataclass
 class _Node:
-    """Internal split node or leaf of one RP tree."""
+    """Internal split node or leaf of one RP tree (``"nodes"`` backend)."""
 
     # Leaf: indexes is set, normal/offset/children are None.
     indexes: list[int] | None = None
@@ -47,25 +73,47 @@ class RPForestIndex:
     #: Fresh-insert / tombstone fraction that triggers a tree re-plant.
     REPLANT_FRACTION = 0.25
 
+    #: Depth past which a node becomes a leaf regardless of size (guards
+    #: against adversarial point sets that refuse to split).
+    MAX_DEPTH = 32
+
     def __init__(
         self,
         dim: int,
         num_trees: int = 8,
         leaf_size: int = 16,
         seed: int = 0,
+        backend: str = "array",
     ):
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         if num_trees <= 0 or leaf_size <= 1:
             raise ValueError("num_trees must be >=1 and leaf_size >= 2")
+        if backend not in ("array", "nodes"):
+            raise ValueError(f"backend must be 'array' or 'nodes', got {backend!r}")
         self.dim = dim
         self.num_trees = num_trees
         self.leaf_size = leaf_size
         self.seed = seed
+        self.backend = backend
         self._keys: list[str] = []
         self._rows: list[np.ndarray] = []
         self._matrix: np.ndarray | None = None
+        self._planted = False
+        # "nodes" backend: one root _Node per tree.
         self._trees: list[_Node] = []
+        # "array" backend: flat node arrays. Children are node ids
+        # (-1 = leaf); internal nodes carry a row of _planes plus an offset;
+        # leaves carry a [start, end) span into _leaf_items.
+        self._tree_roots: list[int] = []
+        self._node_left = np.zeros(0, dtype=np.int32)
+        self._node_right = np.zeros(0, dtype=np.int32)
+        self._node_plane = np.zeros(0, dtype=np.int32)
+        self._node_offset = np.zeros(0, dtype=np.float64)
+        self._planes = np.zeros((0, dim))
+        self._leaf_start = np.zeros(0, dtype=np.int64)
+        self._leaf_end = np.zeros(0, dtype=np.int64)
+        self._leaf_items = np.zeros(0, dtype=np.int64)
         #: Live key -> row index (tombstoned rows have no entry here).
         self._key_pos: dict[str, int] = {}
         self._fresh: set[int] = set()
@@ -81,7 +129,7 @@ class RPForestIndex:
         self._rows.append(vector / norm if norm > 0 else np.asarray(vector, dtype=float))
         self._key_pos[key] = len(self._keys) - 1
         self._matrix = None
-        self._trees = []
+        self._planted = False
 
     def build_bulk(self, entries: list[tuple[str, np.ndarray]]) -> "RPForestIndex":
         """Add a whole ``(key, vector)`` batch and plant the forest once.
@@ -117,16 +165,22 @@ class RPForestIndex:
             self._key_pos = {k: i for i, k in enumerate(self._keys)}
             self._deleted_idx = set()
         self._fresh = set()
+        self._trees = []
+        self._tree_roots = []
         if not self._rows:
             self._matrix = np.zeros((0, self.dim))
-            self._trees = []
+            self._planted = True
             return self
         self._matrix = np.vstack(self._rows)
-        rng = ensure_rng(self.seed)
-        all_indexes = list(range(len(self._keys)))
-        self._trees = [
-            self._build_node(all_indexes, rng, depth=0) for _ in range(self.num_trees)
-        ]
+        if self.backend == "nodes":
+            all_indexes = list(range(len(self._keys)))
+            self._trees = [
+                self._build_node(all_indexes, tree, path=1, depth=0)
+                for tree in range(self.num_trees)
+            ]
+        else:
+            self._plant_arrays()
+        self._planted = True
         return self
 
     # ----------------------------------------------------------- mutation
@@ -178,21 +232,53 @@ class RPForestIndex:
         ):
             self.build()
 
-    def _build_node(self, indexes: list[int], rng, depth: int) -> _Node:
-        if len(indexes) <= self.leaf_size or depth > 32:
-            return _Node(indexes=list(indexes))
-        # Sample two distinct points; hyperplane = perpendicular bisector.
-        i, j = rng.choice(len(indexes), size=2, replace=False)
+    # ----------------------------------------------------------- planting
+
+    def _node_words(self, tree: int, path: int) -> tuple[int, int]:
+        """Two decorrelated 64-bit hash words of one tree node.
+
+        ``path`` is the heap-style position id (root 1, children ``2p`` /
+        ``2p+1``): a node's randomness depends only on where it sits, never
+        on the order the builder visits nodes in — which is what lets the
+        level-synchronous array builder and the recursive oracle plant
+        bit-identical trees. Integer mixing (splitmix64) instead of a
+        ``default_rng`` per node keeps planting out of Generator
+        construction, which dominated the build at lake scale.
+        """
+        base = _mix64(_mix64(self.seed ^ (tree * _SPLITMIX_GAMMA)) ^ path)
+        return base, _mix64(base + _SPLITMIX_GAMMA)
+
+    def _split_plane(self, indexes, tree: int, path: int) -> tuple[np.ndarray, float]:
+        """Sample one node's splitting hyperplane: the perpendicular bisector
+        of two distinct sampled points (random plane if they coincide).
+
+        ``indexes`` may be a list (nodes backend) or an int array (array
+        backend); both hit identical scalar arithmetic.
+        """
+        h1, h2 = self._node_words(tree, path)
+        n = len(indexes)
+        i = h1 % n
+        j = h2 % (n - 1)
+        if j >= i:  # j drawn from [0, n-1) then shifted past i: j != i, uniform
+            j += 1
         p, q = self._matrix[indexes[i]], self._matrix[indexes[j]]
         normal = p - q
         norm = np.linalg.norm(normal)
         if norm < 1e-12:
-            # Identical sample points: random hyperplane through the origin.
-            normal = rng.standard_normal(self.dim)
+            # Identical sample points: random hyperplane through the origin
+            # (rare enough that a seeded Generator is fine here).
+            normal = np.random.default_rng(h1).standard_normal(self.dim)
             norm = np.linalg.norm(normal)
         normal = normal / norm
         midpoint = (p + q) / 2.0
         offset = float(normal @ midpoint)
+        return normal, offset
+
+    def _build_node(self, indexes: list[int], tree: int, path: int, depth: int) -> _Node:
+        """Recursive oracle builder (``"nodes"`` backend)."""
+        if len(indexes) <= self.leaf_size or depth > self.MAX_DEPTH:
+            return _Node(indexes=list(indexes))
+        normal, offset = self._split_plane(indexes, tree, path)
         projections = self._matrix[indexes] @ normal - offset
         left_idx = [ix for ix, s in zip(indexes, projections) if s <= 0]
         right_idx = [ix for ix, s in zip(indexes, projections) if s > 0]
@@ -201,8 +287,88 @@ class RPForestIndex:
         return _Node(
             normal=normal,
             offset=offset,
-            left=self._build_node(left_idx, rng, depth + 1),
-            right=self._build_node(right_idx, rng, depth + 1),
+            left=self._build_node(left_idx, tree, 2 * path, depth + 1),
+            right=self._build_node(right_idx, tree, 2 * path + 1, depth + 1),
+        )
+
+    def _plant_arrays(self) -> None:
+        """Plant all trees level-synchronously into flat node arrays.
+
+        The frontier carries ``(tree, path, node id, row-index array)``
+        entries for one depth at a time; splits partition index *arrays*
+        with boolean masks (no per-element Python), and leaves append their
+        spans to one flat ``_leaf_items`` vector CSR-style. Projections are
+        the same ``matrix[idx] @ normal`` GEMV the oracle uses — see the
+        module docstring for why that, plus position-keyed randomness,
+        makes the two backends bit-identical.
+        """
+        n = self._matrix.shape[0]
+        left: list[int] = []
+        right: list[int] = []
+        plane_of: list[int] = []
+        offsets: list[float] = []
+        leaf_start: list[int] = []
+        leaf_end: list[int] = []
+        leaf_chunks: list[np.ndarray] = []
+        planes: list[np.ndarray] = []
+        items_written = 0
+
+        def alloc() -> int:
+            left.append(-1)
+            right.append(-1)
+            plane_of.append(-1)
+            offsets.append(0.0)
+            leaf_start.append(0)
+            leaf_end.append(0)
+            return len(left) - 1
+
+        def seal_leaf(node: int, idx: np.ndarray) -> None:
+            nonlocal items_written
+            leaf_start[node] = items_written
+            items_written += int(idx.size)
+            leaf_end[node] = items_written
+            leaf_chunks.append(idx)
+
+        all_idx = np.arange(n, dtype=np.int64)
+        self._tree_roots = [alloc() for _ in range(self.num_trees)]
+        frontier: list[tuple[int, int, int, np.ndarray]] = [
+            (tree, 1, root, all_idx) for tree, root in enumerate(self._tree_roots)
+        ]
+        depth = 0
+        while frontier:
+            next_frontier: list[tuple[int, int, int, np.ndarray]] = []
+            for tree, path, node, idx in frontier:
+                if idx.size <= self.leaf_size or depth > self.MAX_DEPTH:
+                    seal_leaf(node, idx)
+                    continue
+                normal, offset = self._split_plane(idx, tree, path)
+                projections = self._matrix[idx] @ normal - offset
+                mask = projections <= 0
+                left_idx = idx[mask]
+                right_idx = idx[~mask]
+                if left_idx.size == 0 or right_idx.size == 0:
+                    seal_leaf(node, idx)
+                    continue
+                plane_of[node] = len(planes)
+                planes.append(normal)
+                offsets[node] = offset
+                lo, hi = alloc(), alloc()
+                left[node] = lo
+                right[node] = hi
+                next_frontier.append((tree, 2 * path, lo, left_idx))
+                next_frontier.append((tree, 2 * path + 1, hi, right_idx))
+            frontier = next_frontier
+            depth += 1
+
+        self._node_left = np.asarray(left, dtype=np.int32)
+        self._node_right = np.asarray(right, dtype=np.int32)
+        self._node_plane = np.asarray(plane_of, dtype=np.int32)
+        self._node_offset = np.asarray(offsets, dtype=np.float64)
+        self._planes = np.vstack(planes) if planes else np.zeros((0, self.dim))
+        self._leaf_start = np.asarray(leaf_start, dtype=np.int64)
+        self._leaf_end = np.asarray(leaf_end, dtype=np.int64)
+        self._leaf_items = (
+            np.concatenate(leaf_chunks) if leaf_chunks else np.zeros(0, dtype=np.int64)
         )
 
     def __len__(self) -> int:
@@ -210,30 +376,35 @@ class RPForestIndex:
 
     # -------------------------------------------------------------- query
 
-    def query(
-        self,
-        vector: np.ndarray,
-        k: int = 10,
-        search_k: int | None = None,
-        exclude: set[str] | None = None,
-    ) -> list[tuple[str, float]]:
-        """Top-k keys by cosine similarity with approximate candidate search.
-
-        ``search_k`` is the candidate budget (default: ``k * num_trees * 4``,
-        matching Annoy's rule of thumb); higher values trade speed for recall.
-        """
-        if self._matrix is None or (not self._trees and self._rows):
-            self.build()
-        if self._matrix.shape[0] == 0:
-            return []
-        exclude = exclude or set()
-        norm = np.linalg.norm(vector)
-        q = vector / norm if norm > 0 else np.asarray(vector, dtype=float)
-        budget = search_k if search_k is not None else max(k * self.num_trees * 4, k)
-
+    def _walk_arrays(self, q: np.ndarray, budget: int) -> set[int]:
+        """Candidate row ids from the flat-array trees (shared heap walk)."""
         candidates: set[int] = set()
-        # Shared priority queue over (negative margin, tiebreak, node): explore
-        # the most promising branch across all trees first, like Annoy.
+        heap: list[tuple[float, int, int]] = []
+        counter = 0
+        for root in self._tree_roots:
+            heapq.heappush(heap, (-np.inf, counter, root))
+            counter += 1
+        left, right = self._node_left, self._node_right
+        plane_of, offsets = self._node_plane, self._node_offset
+        planes = self._planes
+        items, starts, ends = self._leaf_items, self._leaf_start, self._leaf_end
+        while heap and len(candidates) < budget:
+            _, _, node = heapq.heappop(heap)
+            while left[node] >= 0:
+                margin = float(planes[plane_of[node]] @ q - offsets[node])
+                near, far = (
+                    (left[node], right[node]) if margin <= 0
+                    else (right[node], left[node])
+                )
+                heapq.heappush(heap, (-abs(margin), counter, far))
+                counter += 1
+                node = near
+            candidates.update(items[starts[node]:ends[node]].tolist())
+        return candidates
+
+    def _walk_nodes(self, q: np.ndarray, budget: int) -> set[int]:
+        """Candidate row ids from the ``_Node`` trees (parity oracle walk)."""
+        candidates: set[int] = set()
         heap: list[tuple[float, int, _Node]] = []
         counter = 0
         for tree in self._trees:
@@ -248,6 +419,36 @@ class RPForestIndex:
                 counter += 1
                 node = near
             candidates.update(node.indexes)
+        return candidates
+
+    def query(
+        self,
+        vector: np.ndarray,
+        k: int = 10,
+        search_k: int | None = None,
+        exclude: set[str] | None = None,
+    ) -> list[tuple[str, float]]:
+        """Top-k keys by cosine similarity with approximate candidate search.
+
+        ``search_k`` is the candidate budget (default: ``k * num_trees * 4``,
+        matching Annoy's rule of thumb); higher values trade speed for recall.
+        Both backends explore the most promising branch across all trees
+        first via a shared priority queue over (negative margin, tiebreak,
+        node), like Annoy.
+        """
+        if self._matrix is None or (not self._planted and self._rows):
+            self.build()
+        if self._matrix.shape[0] == 0:
+            return []
+        exclude = exclude or set()
+        norm = np.linalg.norm(vector)
+        q = vector / norm if norm > 0 else np.asarray(vector, dtype=float)
+        budget = search_k if search_k is not None else max(k * self.num_trees * 4, k)
+
+        if self.backend == "nodes":
+            candidates = self._walk_nodes(q, budget)
+        else:
+            candidates = self._walk_arrays(q, budget)
         # Fresh (not-yet-planted) points are always scanned exactly, ON TOP
         # of the tree budget (they must not starve the tree walk), so
         # incremental inserts lose no recall between re-plants.

@@ -23,6 +23,9 @@ column (not just the text-discovery subset):
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.ann.intervals import IntervalIndex
@@ -48,6 +51,18 @@ class IndexCatalog:
     ):
         self.profile = profile
         self.seed = seed
+        #: Build seconds per structure *group* (value_containment, schema,
+        #: numeric, semantic, keyword) — see :meth:`_timed` for the
+        #: grouping. Filled by both construction paths and accumulated by
+        #: the delta routes, so a fit regression is attributable to a
+        #: structure, not just the index stage as a whole.
+        self.index_breakdown: dict[str, float] = {
+            "value_containment": 0.0,
+            "schema": 0.0,
+            "numeric": 0.0,
+            "semantic": 0.0,
+            "keyword": 0.0,
+        }
 
         self.doc_content = SearchEngine(ranker=ranker)
         self.doc_metadata = SearchEngine(ranker=ranker)
@@ -92,17 +107,36 @@ class IndexCatalog:
                 self._index_document(doc_id, sketch)
             for col_id, sketch in profile.columns.items():
                 self._index_column(col_id, sketch)
-            self.column_containment.build()
-            self.value_containment.build()
-            self.column_numeric.build()
-            self.column_semantic.build()
-            self.doc_solo.build()
-            self.column_solo.build()
+            with self._timed("value_containment"):
+                self.column_containment.build()
+                self.value_containment.build()
+            with self._timed("numeric"):
+                self.column_numeric.build()
+            with self._timed("semantic"):
+                self.column_semantic.build()
+                self.doc_solo.build()
+                self.column_solo.build()
 
         self.doc_joint: RPForestIndex | None = None
         self.column_joint: RPForestIndex | None = None
 
     # ----------------------------------------------------------- indexing
+
+    @contextmanager
+    def _timed(self, group: str):
+        """Accumulate elapsed build seconds into one breakdown group.
+
+        Groups: ``keyword`` = the BM25 engines (doc/column content and
+        metadata); ``value_containment`` = both LSH Ensembles (value sets
+        and content signatures); ``schema`` = the column-name token and
+        trigram engines; ``numeric`` = the interval index; ``semantic`` =
+        every RP forest over solo encodings/embeddings.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.index_breakdown[group] += time.perf_counter() - start
 
     def _build_bulk(self, profile: Profile) -> None:
         """One-pass construction of every index from a full profile.
@@ -113,37 +147,48 @@ class IndexCatalog:
         per-item path, so the built state is identical to ``bulk=False``.
         """
         docs = profile.documents
-        self.doc_content.build_bulk(
-            (doc_id, s.content_bow.terms) for doc_id, s in docs.items()
-        )
-        self.doc_metadata.build_bulk(
-            (doc_id, s.metadata_bow.terms) for doc_id, s in docs.items()
-        )
-        self.doc_solo.build_bulk([(doc_id, s.encoding) for doc_id, s in docs.items()])
+        with self._timed("keyword"):
+            self.doc_content.build_bulk(
+                (doc_id, s.content_bow.terms) for doc_id, s in docs.items()
+            )
+            self.doc_metadata.build_bulk(
+                (doc_id, s.metadata_bow.terms) for doc_id, s in docs.items()
+            )
+        with self._timed("semantic"):
+            self.doc_solo.build_bulk(
+                [(doc_id, s.encoding) for doc_id, s in docs.items()]
+            )
 
         cols = profile.columns
-        self.value_containment.build_bulk(
-            [(col_id, s.join_signature) for col_id, s in cols.items()]
-        )
-        self.column_schema.build_bulk(
-            (col_id, split_identifier(s.column_name)) for col_id, s in cols.items()
-        )
-        self.column_schema_ngrams.build_bulk(
-            (col_id, name_trigrams(s.column_name)) for col_id, s in cols.items()
-        )
-        self.column_semantic.build_bulk(
-            [(col_id, s.content_embedding) for col_id, s in cols.items()]
-        )
-        for col_id, sketch in cols.items():
-            if sketch.numeric is not None:
-                self.column_numeric.add(col_id, sketch.numeric)
-        self.column_numeric.build()
+        with self._timed("value_containment"):
+            self.value_containment.build_bulk(
+                [(col_id, s.join_signature) for col_id, s in cols.items()]
+            )
+        with self._timed("schema"):
+            self.column_schema.build_bulk(
+                (col_id, split_identifier(s.column_name)) for col_id, s in cols.items()
+            )
+            self.column_schema_ngrams.build_bulk(
+                (col_id, name_trigrams(s.column_name)) for col_id, s in cols.items()
+            )
+        with self._timed("semantic"):
+            self.column_semantic.build_bulk(
+                [(col_id, s.content_embedding) for col_id, s in cols.items()]
+            )
+        with self._timed("numeric"):
+            for col_id, sketch in cols.items():
+                if sketch.numeric is not None:
+                    self.column_numeric.add(col_id, sketch.numeric)
+            self.column_numeric.build()
 
         text = [(c, s) for c, s in cols.items() if c in self._text_columns]
-        self.column_content.build_bulk((c, s.content_bow.terms) for c, s in text)
-        self.column_metadata.build_bulk((c, s.metadata_bow.terms) for c, s in text)
-        self.column_containment.build_bulk([(c, s.signature) for c, s in text])
-        self.column_solo.build_bulk([(c, s.encoding) for c, s in text])
+        with self._timed("keyword"):
+            self.column_content.build_bulk((c, s.content_bow.terms) for c, s in text)
+            self.column_metadata.build_bulk((c, s.metadata_bow.terms) for c, s in text)
+        with self._timed("value_containment"):
+            self.column_containment.build_bulk([(c, s.signature) for c, s in text])
+        with self._timed("semantic"):
+            self.column_solo.build_bulk([(c, s.encoding) for c, s in text])
 
     def _index_document(self, doc_id: str, sketch) -> None:
         """Route one document sketch into every index that covers it.
@@ -152,24 +197,33 @@ class IndexCatalog:
         delta path (the sketch structures' ``insert`` absorbs post-build
         adds; the keyword engines are incremental by construction).
         """
-        self.doc_content.add(doc_id, sketch.content_bow.terms)
-        self.doc_metadata.add(doc_id, sketch.metadata_bow.terms)
-        self.doc_solo.insert(doc_id, sketch.encoding)
+        with self._timed("keyword"):
+            self.doc_content.add(doc_id, sketch.content_bow.terms)
+            self.doc_metadata.add(doc_id, sketch.metadata_bow.terms)
+        with self._timed("semantic"):
+            self.doc_solo.insert(doc_id, sketch.encoding)
 
     def _index_column(self, col_id: str, sketch) -> None:
         """Route one column sketch into every index that covers it."""
-        self.value_containment.insert(col_id, sketch.join_signature)
-        self.column_schema.add(col_id, split_identifier(sketch.column_name))
-        self.column_schema_ngrams.add(col_id, name_trigrams(sketch.column_name))
-        self.column_semantic.insert(col_id, sketch.content_embedding)
+        with self._timed("value_containment"):
+            self.value_containment.insert(col_id, sketch.join_signature)
+        with self._timed("schema"):
+            self.column_schema.add(col_id, split_identifier(sketch.column_name))
+            self.column_schema_ngrams.add(col_id, name_trigrams(sketch.column_name))
+        with self._timed("semantic"):
+            self.column_semantic.insert(col_id, sketch.content_embedding)
         if sketch.numeric is not None:
-            self.column_numeric.add(col_id, sketch.numeric)
+            with self._timed("numeric"):
+                self.column_numeric.add(col_id, sketch.numeric)
         if col_id not in self._text_columns:
             return
-        self.column_content.add(col_id, sketch.content_bow.terms)
-        self.column_metadata.add(col_id, sketch.metadata_bow.terms)
-        self.column_containment.insert(col_id, sketch.signature)
-        self.column_solo.insert(col_id, sketch.encoding)
+        with self._timed("keyword"):
+            self.column_content.add(col_id, sketch.content_bow.terms)
+            self.column_metadata.add(col_id, sketch.metadata_bow.terms)
+        with self._timed("value_containment"):
+            self.column_containment.insert(col_id, sketch.signature)
+        with self._timed("semantic"):
+            self.column_solo.insert(col_id, sketch.encoding)
 
     # ------------------------------------------------------------- deltas
 

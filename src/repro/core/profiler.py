@@ -27,6 +27,7 @@ is what the parity suite and the legacy-vs-batched benchmark compare.
 from __future__ import annotations
 
 from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +53,25 @@ COLUMN = "column"
 TOKEN_MEMO_MAX = 1 << 16
 
 
+def _vocab_chunks(words: list[str], workers: int) -> list[list[str]]:
+    """Split a vocabulary into at most ``workers`` contiguous chunks."""
+    size = max(1, -(-len(words) // workers))
+    return [words[i : i + size] for i in range(0, len(words), size)]
+
+
+def _thread_safe_embedder(embedder) -> bool:
+    """True for embedders whose caches tolerate concurrent ``embed_words``.
+
+    Only our own embedders make that promise (the subword bucket table is
+    lock-guarded; blended/PPMI cache fills are idempotent); an arbitrary
+    user embedder is warmed sequentially instead.
+    """
+    from repro.embed.blended import BlendedEmbedder
+    from repro.embed.hashing_embedder import HashingEmbedder
+
+    return isinstance(embedder, (BlendedEmbedder, HashingEmbedder))
+
+
 @dataclass
 class FitStats:
     """Wall-clock breakdown of one ``CMDL.fit`` (seconds per stage).
@@ -69,6 +89,16 @@ class FitStats:
     and per-DE embedding, so there ``embed_seconds`` carries only the
     embedder-training time and everything else is lumped into
     ``profile_seconds`` (``sketch_seconds`` stays 0).
+
+    With ``CMDLConfig.fit_workers > 1`` the embed warm-up runs underneath
+    the sketch stage, so ``embed_seconds`` reports only the non-overlapped
+    remainder (join + matrix assembly + pooling).
+
+    ``index_breakdown`` splits ``index_seconds`` by structure group
+    (value_containment / schema / numeric / semantic / keyword build
+    seconds, from :attr:`~repro.core.indexes.IndexCatalog.index_breakdown`)
+    so an index-stage regression is attributable to a structure. It is kept
+    out of :meth:`as_dict`, which stays flat-scalar for report tables.
     """
 
     profile_seconds: float = 0.0
@@ -77,6 +107,7 @@ class FitStats:
     index_seconds: float = 0.0
     train_seconds: float = 0.0
     total_seconds: float = 0.0
+    index_breakdown: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -212,6 +243,7 @@ class Profiler:
         embedder=None,
         pipeline: DocumentPipeline | None = None,
         seed: int = 0,
+        workers: int = 1,
     ):
         if pooling not in POOLERS:
             raise ValueError(f"unknown pooling {pooling!r}; expected {list(POOLERS)}")
@@ -224,6 +256,12 @@ class Profiler:
         self.pipeline = pipeline or DocumentPipeline(max_doc_frequency=max_doc_frequency)
         self.embedder = embedder  # resolved lazily in profile() if None
         self.seed = seed
+        #: Thread count of the batched fit's embed stage (1 = sequential).
+        #: Workers warm per-word embedding caches in vocabulary chunks,
+        #: overlapping the sketch stage; the matrix is then assembled by one
+        #: ordinary ``embed_words`` call over the warm caches, so the output
+        #: is byte-identical to the sequential path at any worker count.
+        self.workers = max(1, workers)
         #: Per-fit string -> fingerprint cache shared by every signature of
         #: the fit; reset by :meth:`profile`, reused by the delta path.
         self.fingerprints = FingerprintCache(seed)
@@ -376,49 +414,97 @@ class Profiler:
                     seed=self.seed,
                 )
 
-        # ---- sketch: every signature of the fit in one batched pass
-        with Timer() as t_sketch:
-            sets: list = [bow.vocabulary for bow in doc_contents]
-            sets += [bow.vocabulary for bow in col_contents]
-            sets += [column.distinct_values for column in columns]
-            signatures = self.minhash.signatures_batch(sets, cache=self.fingerprints)
-            n_docs, n_cols = len(documents), len(columns)
-            doc_sigs = signatures[:n_docs]
-            col_content_sigs = signatures[n_docs : n_docs + n_cols]
-            col_value_sigs = signatures[n_docs + n_cols :]
-        stats.sketch_seconds = t_sketch.elapsed
-
-        # ---- embed: one union-vocabulary pass + per-DE pooled row slices
-        with Timer() as t_embed:
+        # ---- union vocabulary, computed *before* sketching so the embed
+        # warm-up below can run on worker threads underneath the sketch pass
+        with Timer() as t_union:
             union: set[str] = set()
-            for bow in doc_contents:
-                union.update(bow.terms)
-            for bow in doc_metas:
-                union.update(bow.terms)
-            for bow in col_contents:
-                union.update(bow.terms)
-            for bow in col_metas:
-                union.update(bow.terms)
+            for bows in (doc_contents, doc_metas, col_contents, col_metas):
+                for bow in bows:
+                    union.update(bow.terms)
             words = sorted(union)
-            if training is not None:
-                # Warm the subword table for the whole fit vocabulary while
-                # the distributional model finishes on its thread.
-                training.subword.embed_words(words)
-                self.embedder = training.result()
-            matrix = self.embedder.embed_words(words)
-            position = {word: i for i, word in enumerate(words)}
 
-            def pooled(bow: BagOfWords) -> np.ndarray:
-                if not bow.terms:
-                    return np.zeros(self.embedding_dim)
-                rows = matrix[[position[w] for w in sorted(bow.terms)]]
-                return self.pooling(rows, dim_hint=self.embedding_dim)
+        # With workers > 1, warm per-word embedding caches in vocabulary
+        # chunks while the sketch stage runs: cache fills are idempotent and
+        # order-independent, and the matrix itself is assembled afterwards
+        # by one ordinary embed_words call over the warm caches — identical
+        # bytes to the sequential path, overlapped wall-clock. Before the
+        # blended embedder exists only its subword component can be warmed;
+        # an explicit embedder is warmed only when it is one of ours (an
+        # arbitrary user embedder makes no thread-safety promises).
+        pool = warm_futures = None
+        if self.workers > 1 and words:
+            warm_target = (
+                training.subword if training is not None
+                else self.embedder if _thread_safe_embedder(self.embedder)
+                else None
+            )
+            if warm_target is not None:
+                pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="fit-embed"
+                )
+                warm_futures = [
+                    pool.submit(warm_target.embed_words, chunk)
+                    for chunk in _vocab_chunks(words, self.workers)
+                ]
 
-            doc_content_emb = [pooled(bow) for bow in doc_contents]
-            doc_meta_emb = [pooled(bow) for bow in doc_metas]
-            col_content_emb = [pooled(bow) for bow in col_contents]
-            col_meta_emb = [pooled(bow) for bow in col_metas]
-        stats.embed_seconds = t_corpora.elapsed + t_embed.elapsed
+        try:
+            # ---- sketch: every signature of the fit in one batched pass
+            with Timer() as t_sketch:
+                sets: list = [bow.vocabulary for bow in doc_contents]
+                sets += [bow.vocabulary for bow in col_contents]
+                sets += [column.distinct_values for column in columns]
+                signatures = self.minhash.signatures_batch(
+                    sets, cache=self.fingerprints
+                )
+                n_docs, n_cols = len(documents), len(columns)
+                doc_sigs = signatures[:n_docs]
+                col_content_sigs = signatures[n_docs : n_docs + n_cols]
+                col_value_sigs = signatures[n_docs + n_cols :]
+            stats.sketch_seconds = t_sketch.elapsed
+
+            # ---- embed: one union-vocabulary pass + per-DE pooled slices
+            with Timer() as t_embed:
+                if warm_futures is not None:
+                    for future in warm_futures:
+                        future.result()
+                if training is not None:
+                    if pool is None:
+                        # Warm the subword table for the whole fit vocabulary
+                        # while the distributional model finishes its thread.
+                        training.subword.embed_words(words)
+                    self.embedder = training.result()
+                    if pool is not None:
+                        # The blended cache can only warm now that the
+                        # distributional component exists; the subword table
+                        # underneath is already hot from the overlapped pass.
+                        for future in [
+                            pool.submit(self.embedder.embed_words, chunk)
+                            for chunk in _vocab_chunks(words, self.workers)
+                        ]:
+                            future.result()
+                matrix = self.embedder.embed_words(words)
+                position = {word: i for i, word in enumerate(words)}
+
+                def pooled(bow: BagOfWords) -> np.ndarray:
+                    if not bow.terms:
+                        return np.zeros(self.embedding_dim)
+                    rows = matrix[[position[w] for w in sorted(bow.terms)]]
+                    return self.pooling(rows, dim_hint=self.embedding_dim)
+
+                if pool is not None:
+                    doc_content_emb = list(pool.map(pooled, doc_contents))
+                    doc_meta_emb = list(pool.map(pooled, doc_metas))
+                    col_content_emb = list(pool.map(pooled, col_contents))
+                    col_meta_emb = list(pool.map(pooled, col_metas))
+                else:
+                    doc_content_emb = [pooled(bow) for bow in doc_contents]
+                    doc_meta_emb = [pooled(bow) for bow in doc_metas]
+                    col_content_emb = [pooled(bow) for bow in col_contents]
+                    col_meta_emb = [pooled(bow) for bow in col_metas]
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        stats.embed_seconds = t_corpora.elapsed + t_union.elapsed + t_embed.elapsed
 
         # ---- assembly
         with Timer() as t_doc_assembly:

@@ -83,6 +83,14 @@ class CMDLConfig:
     #: parity oracle and the baseline of ``benchmarks/bench_fit.py``.
     fit_mode: str = "batched"
 
+    #: Thread count of the batched fit's embed stage. Workers warm the
+    #: embedder's per-word caches in vocabulary chunks overlapped with the
+    #: sketch stage; output is byte-identical at any setting (1 = the
+    #: sequential path). Distinct from the ``fit_workers`` argument of
+    #: :meth:`CMDL.open`, which sizes the *per-shard* fit pool of a sharded
+    #: session; this knob parallelises inside one fit.
+    fit_workers: int = 1
+
     #: Document pipeline override. ``None`` builds the default
     #: :class:`~repro.text.pipeline.DocumentPipeline` per fit. The sharded
     #: lake passes per-shard pipelines pinned to the corpus-wide df filter
@@ -150,6 +158,7 @@ class CMDL:
                 embedder=cfg.embedder,
                 pipeline=cfg.document_pipeline,
                 seed=cfg.seed,
+                workers=cfg.fit_workers,
             )
             self.profile = self.profiler.profile(lake, batched=batched)
             with Timer() as t_index:
@@ -177,6 +186,7 @@ class CMDL:
             )
         self.fit_stats = self.profile.fit_stats
         self.fit_stats.index_seconds = t_index.elapsed
+        self.fit_stats.index_breakdown = dict(self.indexes.index_breakdown)
         self.fit_stats.train_seconds = t_train.elapsed
         self.fit_stats.total_seconds = t_total.elapsed
         return self.engine

@@ -26,6 +26,7 @@ byte-identical profiles.
 
 from __future__ import annotations
 
+import threading
 import zlib
 
 import numpy as np
@@ -78,6 +79,22 @@ class HashingEmbedder:
         self._bucket_row: dict[int, int] = {}
         self._table = np.zeros((0, dim))
         self._table_len = 0
+        #: Serialises table growth: the parallel embed warm-up calls
+        #: ``embed_words`` from several threads, and concurrent draws must
+        #: not hand two buckets the same row slot. Row *content* is a pure
+        #: function of the bucket id, so assignment order stays irrelevant.
+        self._table_lock = threading.Lock()
+
+    # Locks don't copy or pickle; sharded sessions deep-copy the embedder
+    # per shard, so the copy recreates its own (uncontended) lock.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_table_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._table_lock = threading.Lock()
 
     # ---------------------------------------------------------- internals
 
@@ -111,7 +128,16 @@ class HashingEmbedder:
         missing_set = {b for b in buckets if b not in row_of}
         if not missing_set:
             return
-        missing = sorted(missing_set)
+        with self._table_lock:
+            # Re-check under the lock: a concurrent warm thread may have
+            # drawn some of these buckets between the test above and here.
+            missing = sorted(b for b in missing_set if b not in row_of)
+            if not missing:
+                return
+            self._draw_rows(missing)
+
+    def _draw_rows(self, missing: list[int]) -> None:
+        """Draw table rows for ``missing`` bucket ids (caller holds the lock)."""
         p = np.uint64(UNIVERSAL_HASH_PRIME)
         x = np.array(missing, dtype=np.uint64)[:, None]
         hashed = (self._a[None, :] * x + self._b[None, :]) % p
@@ -126,7 +152,7 @@ class HashingEmbedder:
         self._table[base:needed] = rows
         self._table_len = needed
         for offset, bucket in enumerate(missing):
-            row_of[bucket] = base + offset
+            self._bucket_row[bucket] = base + offset
 
     def _bucket_vector(self, gram: str) -> np.ndarray:
         """The table row of one gram (kept for introspection and tests)."""

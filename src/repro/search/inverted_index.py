@@ -55,7 +55,7 @@ class InvertedIndex:
                 self._purge_term(term, key)
         tf = terms if isinstance(terms, Counter) else Counter(terms)
         self._doc_lengths[key] = sum(tf.values())
-        self._doc_terms[key] = Counter(tf)
+        self._doc_terms[key] = tf.copy()
         for term, count in tf.items():
             self._postings[term].append(Posting(key, count))
             self._collection_tf[term] += count
@@ -85,7 +85,9 @@ class InvertedIndex:
                 raise ValueError(f"duplicate index key {key!r}")
             tf = terms if isinstance(terms, Counter) else Counter(terms)
             doc_lengths[key] = sum(tf.values())
-            doc_terms[key] = Counter(tf)
+            # .copy() is a C-level dict copy — same state as Counter(tf)
+            # without re-counting every term through Python.
+            doc_terms[key] = tf.copy()
             for term, count in tf.items():
                 postings[term].append(Posting(key, count))
                 collection_tf[term] += count

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.sketch.minhash import MinHashSignature
+import numpy as np
+
+from repro.sketch.minhash import MinHashSignature, band_hashes_batch
 
 
 class LSHIndex:
@@ -38,6 +40,44 @@ class LSHIndex:
         self._signatures[key] = signature
         for band, h in enumerate(signature.band_hashes(self.num_bands)):
             self._buckets[band][h].append(key)
+
+    def build_bulk(
+        self,
+        entries: list[tuple[str, MinHashSignature]],
+        band_matrix: np.ndarray | None = None,
+    ) -> "LSHIndex":
+        """Ingest a whole ``(key, signature)`` batch in one columnar pass.
+
+        The band matrix for every signature comes from one
+        :func:`~repro.sketch.minhash.band_hashes_batch` kernel call (callers
+        that already hold the slab — the LSH-Ensemble build — pass their
+        row slice via ``band_matrix``), and bucket postings are assembled a
+        band *column* at a time. Entry order matches per-item :meth:`add`
+        calls, so the built index is identical to the incremental path.
+        """
+        if not entries:
+            return self
+        for key, _ in entries:
+            if key in self._signatures:
+                raise ValueError(f"duplicate LSH key {key!r}")
+        if band_matrix is None:
+            band_matrix = band_hashes_batch(
+                [signature for _, signature in entries], self.num_bands
+            )
+        else:
+            # A caller-provided slab skips the kernel; seed the per-signature
+            # memos from it so the delta paths never recompute bands.
+            for (_, signature), row in zip(entries, band_matrix):
+                if self.num_bands not in signature._band_memo:
+                    signature._band_memo[self.num_bands] = [int(h) for h in row]
+        for key, signature in entries:
+            self._signatures[key] = signature
+        keys = [key for key, _ in entries]
+        for band in range(self.num_bands):
+            buckets = self._buckets[band]
+            for key, h in zip(keys, band_matrix[:, band].tolist()):
+                buckets[h].append(key)
+        return self
 
     def remove(self, key: str) -> None:
         """Delete one entry (bucket lists are short: band-local collisions)."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 import bisect
 
 from repro.sketch.lsh import LSHIndex
-from repro.sketch.minhash import MinHashSignature
+from repro.sketch.minhash import MinHashSignature, band_hashes_batch
 
 
 class LSHEnsemble:
@@ -143,11 +143,20 @@ class LSHEnsemble:
         return self.build()
 
     def build(self) -> "LSHEnsemble":
-        """Partition staged entries by set size and build per-partition LSH."""
+        """Partition staged entries by set size and build per-partition LSH.
+
+        Band hashes for *all* staged signatures come from one
+        :func:`~repro.sketch.minhash.band_hashes_batch` kernel call over the
+        sorted slab; each partition then ingests its row slice columnar via
+        :meth:`LSHIndex.build_bulk` instead of per-key ``add`` calls.
+        """
         if self._built:
             return self
         self._pending.sort(key=lambda kv: (kv[1].set_size, kv[0]))
         n = len(self._pending)
+        band_matrix = band_hashes_batch(
+            [sig for _, sig in self._pending], self.num_bands
+        )
         num_parts = min(self.num_partitions, max(1, n))
         base, extra = divmod(n, num_parts) if n else (0, 0)
         self._partitions = []
@@ -156,10 +165,9 @@ class LSHEnsemble:
         for p in range(num_parts):
             size = base + (1 if p < extra else 0)
             chunk = self._pending[start : start + size]
-            start += size
             index = LSHIndex(num_bands=self.num_bands)
-            for key, sig in chunk:
-                index.add(key, sig)
+            index.build_bulk(chunk, band_matrix=band_matrix[start : start + size])
+            start += size
             self._partitions.append(index)
             self._partition_upper.append(chunk[-1][1].set_size if chunk else 0)
         self._pending = []
@@ -208,29 +216,16 @@ class LSHEnsemble:
         if not self._built:
             self.build()
         exclude = exclude or set()
-        scored: list[tuple[str, float]] = []
-        for index in self._partitions:
-            for key in index.candidates(signature) | (
-                set() if len(index) > self.SCAN_LIMIT else set(index.keys())
-            ):
+        best: dict[str, float] = {}
+        for index, candidates in zip(
+            self._partitions, self._partition_candidates(signature)
+        ):
+            for key in candidates:
                 if key in exclude:
                     continue
                 c = signature.containment(index.signature_of(key))
-                if c >= threshold:
-                    scored.append((key, c))
-        if not scored:
-            # Banding found nothing anywhere: full scan (totality guarantee).
-            for index in self._partitions:
-                for key, sig in index.items():
-                    if key in exclude:
-                        continue
-                    c = signature.containment(sig)
-                    if c >= threshold:
-                        scored.append((key, c))
-        best: dict[str, float] = {}
-        for key, c in scored:
-            if key not in best or c > best[key]:
-                best[key] = c
+                if c >= threshold and (key not in best or c > best[key]):
+                    best[key] = c
         ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:k]
 
@@ -250,15 +245,31 @@ class LSHEnsemble:
             self.build()
         exclude = exclude or set()
         found: set[str] = set()
-        for index in self._partitions:
-            if len(index) <= self.SCAN_LIMIT:
-                found.update(index.keys())
-            else:
-                found.update(index.candidates(signature))
-        if not found:
-            for index in self._partitions:
-                found.update(index.keys())
+        for candidates in self._partition_candidates(signature):
+            found.update(candidates)
         return found - exclude
+
+    def _partition_candidates(self, signature: MinHashSignature) -> list[set[str]]:
+        """Candidate set of each partition, computed exactly once per probe.
+
+        Partitions at or below :attr:`SCAN_LIMIT` contribute all their keys
+        (banding cannot prune there), larger ones their band collisions.
+        When banding yields nothing anywhere the partitions' full key sets
+        are returned instead (totality) — :meth:`query` and
+        :meth:`candidate_keys` both consume this single pass, so neither
+        re-derives collisions nor re-iterates partitions in a fallback
+        path. (A probe whose candidates all score below ``query``'s
+        threshold returns empty without a rescan: a full scan could only
+        re-find the same below-threshold entries.)
+        """
+        per_partition = [
+            set(index.keys()) if len(index) <= self.SCAN_LIMIT
+            else index.candidates(signature)
+            for index in self._partitions
+        ]
+        if not any(per_partition):
+            per_partition = [set(index.keys()) for index in self._partitions]
+        return per_partition
 
     def partition_of(self, set_size: int) -> int:
         """Index of the partition an entry of ``set_size`` would land in."""

@@ -25,8 +25,9 @@ from repro.embed.hashing_embedder import HashingEmbedder
 from repro.relational.catalog import DataLake, Document
 from repro.relational.table import Table
 from repro.search.engine import SearchEngine
+from repro.sketch.lsh import LSHIndex
 from repro.sketch.lshensemble import LSHEnsemble
-from repro.sketch.minhash import MinHash
+from repro.sketch.minhash import MinHash, band_hashes_batch
 
 
 def assert_sketch_equal(a, b) -> None:
@@ -442,3 +443,159 @@ class TestReviewFixRegressions:
             assert np.array_equal(
                 embedder.embed_word(f"w{i}"), fresh.embed_word(f"w{i}")
             )
+
+
+class TestColumnarBandKernel:
+    """The one-slab band kernel must match the per-signature band hashes."""
+
+    @staticmethod
+    def _signatures():
+        mh = MinHash(num_hashes=64, seed=0)
+        rng = np.random.default_rng(7)
+        sigs = []
+        for _ in range(40):
+            size = int(rng.integers(1, 30))
+            values = rng.integers(0, 500, size=size).tolist()
+            sigs.append(mh.signature({f"v{v}" for v in values}))
+        return sigs
+
+    def test_batch_matches_per_signature(self):
+        # Two independent signature lists over the same sets: one hashed
+        # through the columnar kernel, one via the per-signature path, so
+        # memo seeding on the batched list cannot mask a kernel mismatch.
+        matrix = band_hashes_batch(self._signatures(), 16)
+        expected = [s.band_hashes(16) for s in self._signatures()]
+        assert matrix.shape == (40, 16)
+        for row, exp in zip(matrix, expected):
+            assert [int(h) for h in row] == exp
+
+    def test_batch_seeds_per_signature_memo(self):
+        sig = MinHash(num_hashes=32, seed=0).signature({"a", "b", "c"})
+        matrix = band_hashes_batch([sig], 8)
+        assert sig._band_memo[8] == [int(h) for h in matrix[0]]
+        # The later per-key probe is a dict lookup, not a recompute.
+        assert sig.band_hashes(8) is sig._band_memo[8]
+
+    def test_band_hashes_memoised(self):
+        sig = MinHash(num_hashes=32, seed=0).signature({"x", "y"})
+        first = sig.band_hashes(8)
+        assert sig.band_hashes(8) is first
+        # Distinct band counts memoise independently.
+        assert sig.band_hashes(4) is not first
+
+    def test_lsh_index_bulk_matches_adds(self):
+        mh = MinHash(num_hashes=64, seed=0)
+        entries = [
+            (f"k{i}", mh.signature({f"v{j}" for j in range(i + 1)}))
+            for i in range(15)
+        ]
+        bulk = LSHIndex(num_bands=16).build_bulk(entries)
+        single = LSHIndex(num_bands=16)
+        for key, sig in entries:
+            single.add(key, sig)
+        assert [dict(b) for b in bulk._buckets] == [
+            dict(b) for b in single._buckets
+        ]
+        probe = mh.signature({"v0", "v1", "v2"})
+        assert bulk.query(probe, k=5) == single.query(probe, k=5)
+
+
+class TestForestBackendParity:
+    """Array-backed planting must equal the recursive ``_Node`` oracle.
+
+    Identical *query output* — same keys, same order — not just overlapping
+    candidate sets: both backends plant bit-identical trees from the
+    position-keyed per-node RNG, so every walk visits the same leaves.
+    """
+
+    @staticmethod
+    def _pair(entries, dim, **kw):
+        array = RPForestIndex(dim=dim, backend="array", **kw).build_bulk(entries)
+        nodes = RPForestIndex(dim=dim, backend="nodes", **kw).build_bulk(entries)
+        return array, nodes
+
+    def test_random_points_identical(self):
+        rng = np.random.default_rng(3)
+        vecs = rng.standard_normal((300, 12))
+        vecs[5] = vecs[17]  # duplicate rows force the degenerate-plane path
+        vecs[40] = 0.0
+        entries = [(f"p{i}", v) for i, v in enumerate(vecs)]
+        array, nodes = self._pair(
+            entries, dim=12, num_trees=6, leaf_size=8, seed=0
+        )
+        queries = [rng.standard_normal(12) for _ in range(20)]
+        queries += [np.zeros(12), vecs[5]]
+        for q in queries:
+            for k in (1, 5, 20):
+                assert array.query(q, k=k) == nodes.query(q, k=k)
+
+    @pytest.mark.parametrize("lake_fixture", [
+        "pharma_lake_m", "ukopen_lake_m", "mlopen_lake_m",
+    ])
+    def test_seed_lakes_identical(self, lake_fixture, request):
+        lake = request.getfixturevalue(lake_fixture)
+        profile = Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(lake)
+        sketches = {**profile.documents, **profile.columns}
+        entries = [(de_id, s.encoding) for de_id, s in sorted(sketches.items())]
+        dim = entries[0][1].shape[0]
+        array, nodes = self._pair(entries, dim=dim, seed=0)
+        for de_id, vec in entries:
+            assert array.query(vec, k=10) == nodes.query(vec, k=10), de_id
+
+    def test_mutation_keeps_backends_aligned(self):
+        rng = np.random.default_rng(11)
+        entries = [(f"p{i}", rng.standard_normal(8)) for i in range(80)]
+        array, nodes = self._pair(
+            entries, dim=8, num_trees=4, leaf_size=4, seed=2
+        )
+        extra = rng.standard_normal(8)
+        for index in (array, nodes):
+            index.insert("extra", extra)
+            index.delete("p3")
+        for q in (rng.standard_normal(8), extra):
+            assert array.query(q, k=8) == nodes.query(q, k=8)
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            RPForestIndex(dim=4, backend="bogus")
+
+
+class TestParallelEmbedParity:
+    """The pooled embed stage must be byte-identical to the sequential one."""
+
+    def test_workers_match_sequential_default_embedder(self, pin_lake):
+        base = Profiler(embedding_dim=24, num_hashes=64, seed=0).profile(pin_lake)
+        pooled = Profiler(
+            embedding_dim=24, num_hashes=64, seed=0, workers=4
+        ).profile(pin_lake)
+        assert_profiles_equal(base, pooled)
+
+    def test_workers_match_sequential_explicit_embedder(self, edge_lake):
+        def profiler(workers):
+            return Profiler(
+                embedding_dim=16,
+                num_hashes=32,
+                embedder=HashingEmbedder(dim=16, seed=0),
+                seed=0,
+                workers=workers,
+            )
+
+        assert_profiles_equal(
+            profiler(1).profile(edge_lake), profiler(4).profile(edge_lake)
+        )
+
+    def test_fit_workers_knob_keeps_pinned_fingerprint(self, pin_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, seed=0, fit_workers=3))
+        cmdl.fit(pin_lake)
+        assert fit_output_fingerprint(cmdl) == TestPinnedFitFingerprint.FULL_DIGEST
+
+    def test_index_breakdown_recorded(self, pin_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, seed=0))
+        cmdl.fit(pin_lake)
+        breakdown = cmdl.fit_stats.index_breakdown
+        assert set(breakdown) == {
+            "keyword", "value_containment", "schema", "numeric", "semantic"
+        }
+        assert all(v >= 0 for v in breakdown.values())
+        # as_dict() stays flat-scalar for the benchmark emitters.
+        assert "index_breakdown" not in cmdl.fit_stats.as_dict()
