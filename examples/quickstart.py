@@ -99,6 +99,15 @@ def main() -> None:
     #   session = repro.open_lake(lake, shards=4, global_stats=True)
     #   session.discover(Q.joinable("drugs", top_n=2))
 
+    # Durable lakes — fit once, save, reopen later without refitting
+    # (see examples/persistent_lake.py): save() writes one SQLite catalog
+    # per shard; open_lake(path) rebuilds the exact session, and mutations
+    # journal to disk so even an unsaved close replays on reopen:
+    #   session = repro.open_lake(lake)
+    #   session.save("pharma.catalog")
+    #   ... later, another process ...
+    #   session = repro.open_lake("pharma.catalog")   # no refit
+
     gt = generated.ground_truth("doc_to_table")
     relevant = gt.relevant(r1[1])
     if relevant:

@@ -64,6 +64,21 @@ class IntervalIndex:
     def __contains__(self, key: str) -> bool:
         return key in self._key_set
 
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """Keys and stats only; the vectorised arrays are lazy and rebuilt
+        on the first post-restore probe."""
+        return {"keys": list(self._keys), "stats": list(self._stats)}
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "IntervalIndex":
+        index = cls()
+        index._keys = list(state["keys"])
+        index._key_set = set(index._keys)
+        index._stats = list(state["stats"])
+        return index
+
     # -------------------------------------------------------------- query
 
     def query(

@@ -374,6 +374,80 @@ class RPForestIndex:
     def __len__(self) -> int:
         return len(self._keys) - len(self._deleted_idx)
 
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """Rows as one slab plus the flat planted arrays verbatim.
+
+        ``matrix_rows`` records how many leading rows the planted matrix
+        covered (-1 = never planted): post-plant inserts only extend
+        ``_rows``, so ``_matrix == stacked_rows[:m]`` always holds and the
+        matrix need not be stored twice. ``_key_pos`` is derived (live keys
+        only) and rebuilt on restore.
+        """
+        n = len(self._keys)
+        rows = np.vstack(self._rows) if self._rows else np.zeros((0, self.dim))
+        return {
+            "dim": self.dim,
+            "num_trees": self.num_trees,
+            "leaf_size": self.leaf_size,
+            "seed": self.seed,
+            "backend": self.backend,
+            "keys": list(self._keys),
+            "rows": rows,
+            "matrix_rows": -1 if self._matrix is None else int(self._matrix.shape[0]),
+            "planted": self._planted,
+            "fresh": sorted(self._fresh),
+            "deleted_idx": sorted(self._deleted_idx),
+            "trees": self._trees,
+            "tree_roots": list(self._tree_roots),
+            "node_left": self._node_left,
+            "node_right": self._node_right,
+            "node_plane": self._node_plane,
+            "node_offset": self._node_offset,
+            "planes": self._planes,
+            "leaf_start": self._leaf_start,
+            "leaf_end": self._leaf_end,
+            "leaf_items": self._leaf_items,
+            "n": n,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "RPForestIndex":
+        index = cls(
+            dim=state["dim"],
+            num_trees=state["num_trees"],
+            leaf_size=state["leaf_size"],
+            seed=state["seed"],
+            backend=state["backend"],
+        )
+        rows = np.asarray(state["rows"], dtype=float)
+        n = state["n"]
+        index._keys = list(state["keys"])
+        index._rows = [rows[i] for i in range(n)]
+        m = state["matrix_rows"]
+        index._matrix = None if m < 0 else rows[:m]
+        index._planted = state["planted"]
+        index._fresh = set(state["fresh"])
+        index._deleted_idx = set(state["deleted_idx"])
+        index._trees = state["trees"]
+        index._tree_roots = list(state["tree_roots"])
+        index._node_left = np.asarray(state["node_left"], dtype=np.int32)
+        index._node_right = np.asarray(state["node_right"], dtype=np.int32)
+        index._node_plane = np.asarray(state["node_plane"], dtype=np.int32)
+        index._node_offset = np.asarray(state["node_offset"], dtype=np.float64)
+        index._planes = np.asarray(state["planes"], dtype=float)
+        index._leaf_start = np.asarray(state["leaf_start"], dtype=np.int64)
+        index._leaf_end = np.asarray(state["leaf_end"], dtype=np.int64)
+        index._leaf_items = np.asarray(state["leaf_items"], dtype=np.int64)
+        # Live keys only; a re-inserted (previously tombstoned) key's live
+        # row is the later one, so last-write-wins over the enumeration.
+        index._key_pos = {
+            key: i for i, key in enumerate(index._keys)
+            if i not in index._deleted_idx
+        }
+        return index
+
     # -------------------------------------------------------------- query
 
     def _walk_arrays(self, q: np.ndarray, budget: int) -> set[int]:

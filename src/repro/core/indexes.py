@@ -262,6 +262,70 @@ class IndexCatalog:
         if self.column_joint is not None and col_id in self.column_joint:
             self.column_joint.delete(col_id)
 
+    # -------------------------------------------------------- persistence
+
+    #: Structure groups of the catalog, by persistence shape.
+    ENGINES = (
+        "doc_content",
+        "doc_metadata",
+        "column_content",
+        "column_metadata",
+        "column_schema",
+        "column_schema_ngrams",
+    )
+    ENSEMBLES = ("column_containment", "value_containment")
+    FORESTS = ("column_semantic", "doc_solo", "column_solo")
+
+    def persistent_state(self) -> dict:
+        state: dict = {
+            "seed": self.seed,
+            "index_breakdown": dict(self.index_breakdown),
+            "text_columns": sorted(self._text_columns),
+        }
+        for name in self.ENGINES:
+            state[name] = getattr(self, name).persistent_state()
+        for name in self.ENSEMBLES:
+            state[name] = getattr(self, name).persistent_state()
+        for name in self.FORESTS:
+            state[name] = getattr(self, name).persistent_state()
+        state["column_numeric"] = self.column_numeric.persistent_state()
+        state["doc_joint"] = (
+            None if self.doc_joint is None else self.doc_joint.persistent_state()
+        )
+        state["column_joint"] = (
+            None if self.column_joint is None
+            else self.column_joint.persistent_state()
+        )
+        return state
+
+    @classmethod
+    def restore_state(cls, profile: Profile, state: dict) -> "IndexCatalog":
+        """Rebuild a catalog from persisted per-structure state, bypassing
+        ``__init__`` (which would refit every index from the profile)."""
+        catalog = cls.__new__(cls)
+        catalog.profile = profile
+        catalog.seed = state["seed"]
+        catalog.index_breakdown = dict(state["index_breakdown"])
+        catalog._text_columns = set(state["text_columns"])
+        for name in cls.ENGINES:
+            setattr(catalog, name, SearchEngine.restore_state(state[name]))
+        for name in cls.ENSEMBLES:
+            setattr(catalog, name, LSHEnsemble.restore_state(state[name]))
+        for name in cls.FORESTS:
+            setattr(catalog, name, RPForestIndex.restore_state(state[name]))
+        catalog.column_numeric = IntervalIndex.restore_state(
+            state["column_numeric"]
+        )
+        catalog.doc_joint = (
+            None if state["doc_joint"] is None
+            else RPForestIndex.restore_state(state["doc_joint"])
+        )
+        catalog.column_joint = (
+            None if state["column_joint"] is None
+            else RPForestIndex.restore_state(state["column_joint"])
+        )
+        return catalog
+
     # ------------------------------------------------------------- joint
 
     def index_joint_embeddings(

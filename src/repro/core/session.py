@@ -34,6 +34,9 @@ retrains them.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+from pathlib import Path
+
 from repro.core.discovery import DiscoveryEngine
 from repro.core.profiler import DESketch
 from repro.core.system import CMDL, CMDLConfig
@@ -42,7 +45,7 @@ from repro.relational.table import Table
 
 
 def open_lake(
-    lake: DataLake,
+    lake: DataLake | str | Path,
     config: CMDLConfig | None = None,
     gold_pairs: list[tuple[str, str, int]] | None = None,
     shards: int | None = None,
@@ -68,7 +71,23 @@ def open_lake(
 
         session = open_lake(lake, shards=4)
         session.discover(Q.joinable("drugs", top_n=2))    # scatter-gather
+
+    Passing a path instead of a lake reopens a catalog previously written
+    by ``session.save(path)`` — no refitting; every fit-time option was
+    saved with the catalog, so none may be passed here::
+
+        session = open_lake("catalog/")
     """
+    if isinstance(lake, (str, Path)):
+        if config is not None or shards is not None or router is not None:
+            raise ValueError(
+                "open_lake(path) reopens a saved catalog; fit-time options "
+                "(config/shards/router) were persisted with it and cannot "
+                "be overridden here"
+            )
+        from repro.store import load_catalog
+
+        return load_catalog(lake)
     return CMDL(config).open(
         lake,
         gold_pairs=gold_pairs,
@@ -123,6 +142,9 @@ class LakeSession:
         #: and replacements prune their contribution: drift always reflects
         #: the DEs *currently* in the lake that the fit never saw.
         self._post_fit_terms: dict[str, frozenset[str]] = {}
+        #: Bound :class:`~repro.store.catalog.LakeStore` once :meth:`save`
+        #: has written (or :func:`repro.open_lake` has reopened) a catalog.
+        self._store = None
 
     # ------------------------------------------------------------- access
 
@@ -207,24 +229,27 @@ class LakeSession:
 
     def add_table(self, table: Table) -> None:
         """Add one table: sketch its columns, delta-index them, invalidate."""
-        self.lake.add_table(table)
-        self._register_table(table)
-        self._commit()
+        with self._journal("add_table", {"table": table}):
+            self.lake.add_table(table)
+            self._register_table(table)
+            self._commit()
 
     def add_document(self, document: Document) -> None:
         """Add one document (re-syncing df-filtered bags), invalidate."""
-        self.lake.add_document(document)
-        self._resync_documents()
-        self._track_post_fit(self.profile.documents[document.doc_id])
-        self._commit()
+        with self._journal("add_documents", {"documents": [document]}):
+            self.lake.add_document(document)
+            self._resync_documents()
+            self._track_post_fit(self.profile.documents[document.doc_id])
+            self._commit()
 
     def add_documents(self, documents: list[Document]) -> None:
         """Add several documents with a single re-sync and invalidation."""
-        self.lake.add_documents(documents)
-        self._resync_documents()
-        for document in documents:
-            self._track_post_fit(self.profile.documents[document.doc_id])
-        self._commit()
+        with self._journal("add_documents", {"documents": list(documents)}):
+            self.lake.add_documents(documents)
+            self._resync_documents()
+            for document in documents:
+                self._track_post_fit(self.profile.documents[document.doc_id])
+            self._commit()
 
     def remove(self, name: str) -> None:
         """Remove a table (by name) or a document (by id) from the session.
@@ -232,20 +257,21 @@ class LakeSession:
         Table and document ids share no namespace in practice (column DEs
         are ``table.column``); tables are checked first.
         """
-        if self.lake.has_table(name):
-            self._unregister_table(name)
-            self.lake.remove_table(name)
-        elif self.lake.has_document(name):
-            self.indexes.remove_document(name)
-            self.profile.drop_one(name)
-            self.lake.remove_document(name)
-            self._untrack_post_fit(name)
-            self._resync_documents()
-        else:
-            raise KeyError(
-                f"lake {self.lake.name!r} has no table or document {name!r}"
-            )
-        self._commit()
+        with self._journal("remove", {"name": name}):
+            if self.lake.has_table(name):
+                self._unregister_table(name)
+                self.lake.remove_table(name)
+            elif self.lake.has_document(name):
+                self.indexes.remove_document(name)
+                self.profile.drop_one(name)
+                self.lake.remove_document(name)
+                self._untrack_post_fit(name)
+                self._resync_documents()
+            else:
+                raise KeyError(
+                    f"lake {self.lake.name!r} has no table or document {name!r}"
+                )
+            self._commit()
 
     def update_table(self, table: Table) -> None:
         """Replace an existing table in place (schema/type changes included).
@@ -253,15 +279,17 @@ class LakeSession:
         Equivalent to ``remove`` + ``add_table`` under one invalidation;
         raises ``KeyError`` if no table of that name exists.
         """
-        if table.name not in self.lake.table_names:
-            raise KeyError(
-                f"lake {self.lake.name!r} has no table {table.name!r} to update"
-            )
-        self._unregister_table(table.name)
-        self.lake.remove_table(table.name)
-        self.lake.add_table(table)
-        self._register_table(table)
-        self._commit()
+        with self._journal("update_table", {"table": table}):
+            if table.name not in self.lake.table_names:
+                raise KeyError(
+                    f"lake {self.lake.name!r} has no table {table.name!r} "
+                    "to update"
+                )
+            self._unregister_table(table.name)
+            self.lake.remove_table(table.name)
+            self.lake.add_table(table)
+            self._register_table(table)
+            self._commit()
 
     def refresh(self, gold_pairs=None) -> DiscoveryEngine:
         """Full refit on the current lake: cold-fit equivalence restored.
@@ -273,20 +301,68 @@ class LakeSession:
         generation counter stays monotonic across the swap so stale
         :class:`~repro.core.srql.executor.ExecutionStats` remain detectable.
         """
-        if gold_pairs is not None:
-            self.gold_pairs = gold_pairs
-        generation = self.engine.generation
-        self.cmdl.fit(self.lake, gold_pairs=self.gold_pairs)
-        engine = self.cmdl.engine
-        engine.generation = generation + 1
-        if engine.candidates is not None:
-            # Keep the stamp invariant: the freshly-built generator belongs
-            # to the generation the refreshed engine now carries.
-            engine.candidates.generation = engine.generation
-        self.mutations = 0
-        self._fit_vocabulary = self._profile_vocabulary()
-        self._post_fit_terms = {}
+        with self._journal(
+            "refresh",
+            {"with_gold": gold_pairs is not None, "gold_pairs": gold_pairs},
+        ):
+            if gold_pairs is not None:
+                self.gold_pairs = gold_pairs
+            generation = self.engine.generation
+            self.cmdl.fit(self.lake, gold_pairs=self.gold_pairs)
+            engine = self.cmdl.engine
+            engine.generation = generation + 1
+            if engine.candidates is not None:
+                # Keep the stamp invariant: the freshly-built generator
+                # belongs to the generation the refreshed engine carries.
+                engine.candidates.generation = engine.generation
+            self.mutations = 0
+            self._fit_vocabulary = self._profile_vocabulary()
+            self._post_fit_terms = {}
         return engine
+
+    # -------------------------------------------------------- persistence
+
+    def save(self, path: str | Path | None = None):
+        """Write (or checkpoint) this session's durable catalog.
+
+        The first call needs a ``path`` and full-writes the catalog; the
+        session stays bound to it, journaling every subsequent mutation.
+        Later calls checkpoint the bound catalog — folding the journal tail
+        into the data tables incrementally — or, given a *different* path,
+        rebind with a fresh full write. Returns the catalog path.
+        """
+        from repro.store import LakeStore
+
+        if self._store is not None and (
+            path is None or Path(path) == self._store.path
+        ):
+            self._store.checkpoint()
+            return self._store.path
+        if path is None:
+            raise ValueError(
+                "this session has no bound catalog; pass save(path=...)"
+            )
+        LakeStore.create(path, self)
+        return self._store.path
+
+    def close(self) -> None:
+        """Release the bound catalog's file handles (idempotent)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "LakeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _journal(self, op: str, payload: dict):
+        """Write-ahead journal scope for one mutation (no-op when no
+        catalog is bound)."""
+        if self._store is None:
+            return nullcontext()
+        return self._store.journal_scope(op, payload)
 
     # ---------------------------------------------------------- internals
 

@@ -60,7 +60,9 @@ from __future__ import annotations
 import copy
 import os
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import replace
+from pathlib import Path
 
 from repro.core.discovery import (
     DiscoveryEngine,
@@ -576,6 +578,10 @@ class ShardedLakeSession:
             if self.fit_workers > 1 and router.num_shards > 1
             else None
         )
+        #: Bound :class:`~repro.store.catalog.LakeStore` once :meth:`save`
+        #: has written (or :func:`repro.open_lake` has reopened) a catalog.
+        #: Set before shard fitting: a failed fit calls :meth:`close`.
+        self._store = None
         #: Corpus-wide df calculator for global-stats mode (its term memo
         #: stays warm across filter re-syncs).
         self._df_pipeline = DocumentPipeline() if global_stats else None
@@ -595,6 +601,49 @@ class ShardedLakeSession:
         self.catalog = _MergedCatalog(self.shards)
         self._planner: Planner | None = None
         self._executor: ShardedExecutor | None = None
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        config: CMDLConfig,
+        router: ShardRouter,
+        name: str,
+        global_stats: bool,
+        gold_pairs,
+        auto_refresh_threshold: float | None,
+        fit_workers: int,
+        df_pipeline: DocumentPipeline | None,
+        shards: list[LakeSession],
+    ) -> "ShardedLakeSession":
+        """Assemble a session around already-restored shards (the catalog
+        reopen path) — ``__init__`` would refit every shard from scratch."""
+        session = cls.__new__(cls)
+        session.config = config
+        session.router = router
+        session.name = name
+        session.global_stats = global_stats
+        session.gold_pairs = gold_pairs
+        session.auto_refresh_threshold = auto_refresh_threshold
+        session.fit_workers = fit_workers
+        session._pool = (
+            ThreadPoolExecutor(
+                max_workers=fit_workers, thread_name_prefix="lake-shard"
+            )
+            if fit_workers > 1 and router.num_shards > 1
+            else None
+        )
+        session._df_pipeline = df_pipeline
+        session.shards = shards
+        session._stats_groups = {}
+        session._wired_indexes = []
+        if global_stats:
+            session._wire_stats_groups()
+        session.catalog = _MergedCatalog(session.shards)
+        session._planner = None
+        session._executor = None
+        session._store = None
+        return session
 
     # ------------------------------------------------------------ fitting
 
@@ -755,19 +804,21 @@ class ShardedLakeSession:
 
     def add_table(self, table) -> None:
         """Add one table to its owning shard (sibling shards untouched)."""
-        shard = self.shards[self.router.shard_of(table.name)]
-        shard.add_table(table)
-        self._ensure_stats_wiring()
+        with self._journal("add_table", {"table": table}):
+            shard = self.shards[self.router.shard_of(table.name)]
+            shard.add_table(table)
+            self._ensure_stats_wiring()
 
     def update_table(self, table) -> None:
         """Replace an existing table in place on its owning shard."""
-        shard = self.shards[self.router.shard_of(table.name)]
-        if table.name not in shard.lake.table_names:
-            raise KeyError(
-                f"lake {self.name!r} has no table {table.name!r} to update"
-            )
-        shard.update_table(table)
-        self._ensure_stats_wiring()
+        with self._journal("update_table", {"table": table}):
+            shard = self.shards[self.router.shard_of(table.name)]
+            if table.name not in shard.lake.table_names:
+                raise KeyError(
+                    f"lake {self.name!r} has no table {table.name!r} to update"
+                )
+            shard.update_table(table)
+            self._ensure_stats_wiring()
 
     def add_document(self, document: Document) -> None:
         """Add one document to its owning shard.
@@ -781,39 +832,44 @@ class ShardedLakeSession:
 
     def add_documents(self, documents: list[Document]) -> None:
         """Add several documents, each routed to its owning shard."""
-        by_owner: dict[int, list[Document]] = {}
-        for document in documents:
-            by_owner.setdefault(
-                self.router.shard_of(document.doc_id), []
-            ).append(document)
-        if self.global_stats:
-            self._sync_document_filter(extra_texts=[d.text for d in documents])
-        for owner, batch in sorted(by_owner.items()):
-            self.shards[owner].add_documents(batch)
-        if self.global_stats:
-            self._resync_siblings(skip=set(by_owner))
-        self._ensure_stats_wiring()
+        with self._journal("add_documents", {"documents": list(documents)}):
+            by_owner: dict[int, list[Document]] = {}
+            for document in documents:
+                by_owner.setdefault(
+                    self.router.shard_of(document.doc_id), []
+                ).append(document)
+            if self.global_stats:
+                self._sync_document_filter(
+                    extra_texts=[d.text for d in documents]
+                )
+            for owner, batch in sorted(by_owner.items()):
+                self.shards[owner].add_documents(batch)
+            if self.global_stats:
+                self._resync_siblings(skip=set(by_owner))
+            self._ensure_stats_wiring()
 
     def remove(self, name: str) -> None:
         """Remove a table (by name) or document (by id) from its shard."""
-        shard_index = self.router.shard_of(name)
-        shard = self.shards[shard_index]
-        if shard.lake.has_table(name):
-            shard.remove(name)
-        elif shard.lake.has_document(name):
-            if self.global_stats:
-                # Pin the post-removal filter first so the owner's re-sync
-                # (and the siblings') runs under the final corpus.
-                self._sync_document_filter(exclude={name})
+        with self._journal("remove", {"name": name}):
+            shard_index = self.router.shard_of(name)
+            shard = self.shards[shard_index]
+            if shard.lake.has_table(name):
                 shard.remove(name)
-                self._resync_siblings(skip={shard_index})
+            elif shard.lake.has_document(name):
+                if self.global_stats:
+                    # Pin the post-removal filter first so the owner's
+                    # re-sync (and the siblings') runs under the final
+                    # corpus.
+                    self._sync_document_filter(exclude={name})
+                    shard.remove(name)
+                    self._resync_siblings(skip={shard_index})
+                else:
+                    shard.remove(name)
             else:
-                shard.remove(name)
-        else:
-            raise KeyError(
-                f"lake {self.name!r} has no table or document {name!r}"
-            )
-        self._ensure_stats_wiring()
+                raise KeyError(
+                    f"lake {self.name!r} has no table or document {name!r}"
+                )
+            self._ensure_stats_wiring()
 
     def rebalance(self, assignments: dict[str, int]) -> int:
         """Move tables/documents to explicitly-assigned shards.
@@ -826,28 +882,29 @@ class ShardedLakeSession:
         recorded but move nothing). The corpus is unchanged, so the
         global-stats df filter needs no re-sync.
         """
-        moves = 0
-        for name, target in assignments.items():
-            current = self.router.shard_of(name)
-            self.router.assign(name, target)  # validates the target index
-            if current == target:
-                continue
-            source = self.shards[current]
-            destination = self.shards[target]
-            if source.lake.has_table(name):
-                table = source.lake.table(name)
-                source.remove(name)
-                destination.add_table(table)
-            elif source.lake.has_document(name):
-                document = source.lake.document(name)
-                source.remove(name)
-                destination.add_document(document)
-            else:
-                raise KeyError(
-                    f"lake {self.name!r} has no table or document {name!r}"
-                )
-            moves += 1
-        self._ensure_stats_wiring()
+        with self._journal("rebalance", {"assignments": dict(assignments)}):
+            moves = 0
+            for name, target in assignments.items():
+                current = self.router.shard_of(name)
+                self.router.assign(name, target)  # validates the target index
+                if current == target:
+                    continue
+                source = self.shards[current]
+                destination = self.shards[target]
+                if source.lake.has_table(name):
+                    table = source.lake.table(name)
+                    source.remove(name)
+                    destination.add_table(table)
+                elif source.lake.has_document(name):
+                    document = source.lake.document(name)
+                    source.remove(name)
+                    destination.add_document(document)
+                else:
+                    raise KeyError(
+                        f"lake {self.name!r} has no table or document {name!r}"
+                    )
+                moves += 1
+            self._ensure_stats_wiring()
         return moves
 
     def refresh(self, gold_pairs=None) -> None:
@@ -856,24 +913,62 @@ class ShardedLakeSession:
         Per-shard generation counters stay monotonic across the swap; the
         global-stats groups are re-wired onto the fresh index catalogs.
         """
-        if gold_pairs is not None:
-            self.gold_pairs = gold_pairs
-            for shard in self.shards:
-                shard.gold_pairs = self._filter_gold_lake(shard.lake)
-        if self.global_stats:
-            self._sync_document_filter()
-        self.scatter(lambda i, shard: shard.refresh())
-        if self.global_stats:
-            self._wire_stats_groups()
+        with self._journal(
+            "refresh",
+            {"with_gold": gold_pairs is not None, "gold_pairs": gold_pairs},
+        ):
+            if gold_pairs is not None:
+                self.gold_pairs = gold_pairs
+                for shard in self.shards:
+                    shard.gold_pairs = self._filter_gold_lake(shard.lake)
+            if self.global_stats:
+                self._sync_document_filter()
+            self.scatter(lambda i, shard: shard.refresh())
+            if self.global_stats:
+                self._wire_stats_groups()
 
     def _filter_gold_lake(self, sublake: DataLake):
         return self._filter_gold(sublake)
 
+    # -------------------------------------------------------- persistence
+
+    def save(self, path: str | Path | None = None):
+        """Write (or checkpoint) this session's durable catalog.
+
+        Same contract as :meth:`LakeSession.save`: the first call needs a
+        ``path`` and full-writes one file per shard plus a manifest; later
+        calls checkpoint the bound catalog incrementally.
+        """
+        from repro.store import LakeStore
+
+        if self._store is not None and (
+            path is None or Path(path) == self._store.path
+        ):
+            self._store.checkpoint()
+            return self._store.path
+        if path is None:
+            raise ValueError(
+                "this session has no bound catalog; pass save(path=...)"
+            )
+        LakeStore.create(path, self)
+        return self._store.path
+
+    def _journal(self, op: str, payload: dict):
+        """Write-ahead journal scope for one mutation (no-op when no
+        catalog is bound)."""
+        if self._store is None:
+            return nullcontext()
+        return self._store.journal_scope(op, payload)
+
     def close(self) -> None:
-        """Shut down the session's thread pool (idempotent)."""
+        """Shut down the thread pool and release any bound catalog's file
+        handles (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     def __enter__(self) -> "ShardedLakeSession":
         return self

@@ -245,6 +245,22 @@ class CMDL:
             auto_refresh_threshold=auto_refresh_threshold,
         )
 
+    @staticmethod
+    def load(path):
+        """Reopen a catalog written by ``session.save(path)`` — no refit.
+
+        Returns a live :class:`~repro.core.session.LakeSession` or
+        :class:`~repro.core.sharding.ShardedLakeSession` (whichever was
+        saved) restored entirely from disk: profiles, every index
+        structure, embedder/pipeline state, and the engine's fit-time
+        strategy decisions come back verbatim, and any write-ahead journal
+        tail left by the previous writer is replayed. Top-k results for
+        all six SRQL primitives match the saved session byte-for-byte.
+        """
+        from repro.store import load_catalog
+
+        return load_catalog(path)
+
     # ------------------------------------------------------------ internals
 
     def _train_joint(self, gold_pairs) -> None:

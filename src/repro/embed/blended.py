@@ -83,6 +83,39 @@ class BlendedEmbedder:
             return 0.0
         return float(np.dot(v1, v2) / (n1 * n2))
 
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """Sub-embedder states plus the projection matrix verbatim — the
+        construction seed is not stored on the instance, so the projection
+        itself is the durable artefact. The blended word cache is derived
+        warmth (sub-embedder lookups are deterministic) and is rebuilt
+        lazily instead of persisted."""
+        return {
+            "dim": self.dim,
+            "subword_weight": self.subword_weight,
+            "projection": self._projection,
+            "subword": self.subword.persistent_state(),
+            "distributional": (
+                None if self.distributional is None
+                else self.distributional.persistent_state()
+            ),
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "BlendedEmbedder":
+        embedder = cls(
+            dim=state["dim"],
+            subword=HashingEmbedder.restore_state(state["subword"]),
+            distributional=(
+                None if state["distributional"] is None
+                else PPMIEmbedder.restore_state(state["distributional"])
+            ),
+            subword_weight=state["subword_weight"],
+        )
+        embedder._projection = np.asarray(state["projection"], dtype=float)
+        return embedder
+
 
 class LakeEmbedderTraining:
     """In-flight training of the default lake embedder.

@@ -96,6 +96,31 @@ class HashingEmbedder:
         self.__dict__.update(state)
         self._table_lock = threading.Lock()
 
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """Config only. Everything else — the hash family (``_a``/``_b``/
+        ``_crc_seed``), the bucket table, the gram/word caches — is a pure
+        function of (dim, seed) re-derived lazily on demand, so persisting
+        it would store megabytes of recomputable warmth in every catalog."""
+        return {
+            "dim": self.dim,
+            "min_n": self.min_n,
+            "max_n": self.max_n,
+            "num_buckets": self.num_buckets,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "HashingEmbedder":
+        return cls(
+            dim=state["dim"],
+            min_n=state["min_n"],
+            max_n=state["max_n"],
+            num_buckets=state["num_buckets"],
+            seed=state["seed"],
+        )
+
     # ---------------------------------------------------------- internals
 
     def _ngrams(self, word: str) -> list[str]:

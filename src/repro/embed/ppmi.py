@@ -138,6 +138,36 @@ class PPMIEmbedder:
         u, s, _ = svds(matrix, k=k, random_state=self.seed)
         return u, s
 
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """Config + trained factors: the SVD is never re-run on restore
+        (solver choice affects vector bytes, so the trained matrix itself
+        is the durable artefact)."""
+        return {
+            "dim": self.dim,
+            "window": self.window,
+            "min_count": self.min_count,
+            "seed": self.seed,
+            "vocabulary": dict(self.vocabulary),
+            "vectors": self._vectors,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "PPMIEmbedder":
+        embedder = cls(
+            dim=state["dim"],
+            window=state["window"],
+            min_count=state["min_count"],
+            seed=state["seed"],
+        )
+        embedder.vocabulary = dict(state["vocabulary"])
+        vectors = state["vectors"]
+        embedder._vectors = (
+            None if vectors is None else np.asarray(vectors, dtype=float)
+        )
+        return embedder
+
     # -------------------------------------------------------------- lookup
 
     @property

@@ -191,6 +191,34 @@ class SearchEngine:
     def __contains__(self, key: str) -> bool:
         return key in self.index
 
+    # -------------------------------------------------------- persistence
+
+    def __getstate__(self) -> dict:
+        # The scorer is a derived cache; the stats group is a cross-engine
+        # wiring the owning session re-establishes after restore.
+        state = dict(self.__dict__)
+        state["_scorer"] = None
+        state["_stats_group"] = None
+        return state
+
+    def persistent_state(self) -> dict:
+        k1, b = self._bm25_params
+        return {
+            "ranker": self.ranker,
+            "k1": k1,
+            "b": b,
+            "mu": self._mu,
+            "index": self.index.persistent_state(),
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "SearchEngine":
+        engine = cls(
+            ranker=state["ranker"], k1=state["k1"], b=state["b"], mu=state["mu"]
+        )
+        engine.index = InvertedIndex.restore_state(state["index"])
+        return engine
+
     # -------------------------------------------------------------- query
 
     def _get_scorer(self):

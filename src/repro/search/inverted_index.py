@@ -175,3 +175,27 @@ class InvertedIndex:
 
     def keys(self) -> list[str]:
         return list(self._doc_lengths)
+
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """The live documents plus tombstones; postings and every corpus
+        statistic are derived and rebuilt exactly on restore."""
+        return {
+            "docs": [(key, dict(tf)) for key, tf in self._doc_terms.items()],
+            "deleted": {key: sorted(terms) for key, terms in self._deleted.items()},
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "InvertedIndex":
+        index = cls()
+        index.build_bulk(
+            (key, Counter(tf)) for key, tf in state["docs"]
+        )
+        # Tombstones restored after the build: the fused bulk path requires
+        # an empty ``_deleted``, and the restored map only gates the lazy
+        # postings filter (statistics already reflect live docs only).
+        index._deleted = {
+            key: frozenset(terms) for key, terms in state["deleted"].items()
+        }
+        return index

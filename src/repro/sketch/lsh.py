@@ -107,6 +107,49 @@ class LSHIndex:
         """All ``(key, signature)`` pairs, in insertion order."""
         return list(self._signatures.items())
 
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """Signatures as one slab; buckets are derived and rebuilt on restore
+        (the band family is process-wide deterministic, so the rebuilt
+        buckets are identical — including per-band insertion order)."""
+        keys = list(self._signatures)
+        signatures = [self._signatures[key] for key in keys]
+        if signatures:
+            values = np.stack([s.values for s in signatures])
+            num_hashes = signatures[0].num_hashes
+            seed = signatures[0].seed
+        else:
+            values = np.zeros((0, 0), dtype=np.uint64)
+            num_hashes = 0
+            seed = 0
+        return {
+            "num_bands": self.num_bands,
+            "keys": keys,
+            "values": values,
+            "set_sizes": np.array([s.set_size for s in signatures], dtype=np.int64),
+            "num_hashes": num_hashes,
+            "seed": seed,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "LSHIndex":
+        index = cls(num_bands=state["num_bands"])
+        keys = state["keys"]
+        values = np.asarray(state["values"], dtype=np.uint64)
+        set_sizes = state["set_sizes"]
+        signatures = [
+            MinHashSignature(
+                values=values[i],
+                set_size=int(set_sizes[i]),
+                num_hashes=state["num_hashes"],
+                seed=state["seed"],
+            )
+            for i in range(len(keys))
+        ]
+        index.build_bulk(list(zip(keys, signatures)))
+        return index
+
     # -------------------------------------------------------------- query
 
     def candidates(self, signature: MinHashSignature) -> set[str]:

@@ -198,6 +198,46 @@ class LSHEnsemble:
         largest = -(-n // num_parts)  # ceil division
         return largest > self.SCAN_LIMIT
 
+    # -------------------------------------------------------- persistence
+
+    def persistent_state(self) -> dict:
+        """Exact structural state: partition layout and churn counters are
+        preserved verbatim so a restored ensemble repartitions at the same
+        future mutation the live one would."""
+        return {
+            "num_partitions": self.num_partitions,
+            "num_bands": self.num_bands,
+            "pending": [
+                (key, signature.persistent_state())
+                for key, signature in self._pending
+            ],
+            "partitions": [p.persistent_state() for p in self._partitions],
+            "partition_upper": list(self._partition_upper),
+            "built": self._built,
+            "inserted_since_build": self._inserted_since_build,
+            "deleted_since_build": self._deleted_since_build,
+            "built_size": self._built_size,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "LSHEnsemble":
+        ensemble = cls(
+            num_partitions=state["num_partitions"], num_bands=state["num_bands"]
+        )
+        ensemble._pending = [
+            (key, MinHashSignature.restore_state(s)) for key, s in state["pending"]
+        ]
+        ensemble._pending_keys = {key for key, _ in ensemble._pending}
+        ensemble._partitions = [
+            LSHIndex.restore_state(p) for p in state["partitions"]
+        ]
+        ensemble._partition_upper = list(state["partition_upper"])
+        ensemble._built = state["built"]
+        ensemble._inserted_since_build = state["inserted_since_build"]
+        ensemble._deleted_since_build = state["deleted_since_build"]
+        ensemble._built_size = state["built_size"]
+        return ensemble
+
     # -------------------------------------------------------------- query
 
     def query(

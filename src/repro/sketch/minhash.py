@@ -312,6 +312,37 @@ class MinHashSignature:
             self._band_memo[num_bands] = memoised
         return memoised
 
+    # -------------------------------------------------------- persistence
+
+    def __getstate__(self) -> dict:
+        # The band memo is a derived cache keyed by a process-wide
+        # deterministic family; re-derivable, so never persisted.
+        state = dict(self.__dict__)
+        del state["_band_memo"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._band_memo = {}
+
+    def persistent_state(self) -> dict:
+        """The minimal durable state (band memos excluded, recomputable)."""
+        return {
+            "values": self.values,
+            "set_size": self.set_size,
+            "num_hashes": self.num_hashes,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "MinHashSignature":
+        return cls(
+            values=np.asarray(state["values"], dtype=np.uint64),
+            set_size=state["set_size"],
+            num_hashes=state["num_hashes"],
+            seed=state["seed"],
+        )
+
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, MinHashSignature)

@@ -1,0 +1,30 @@
+"""Durable lake catalogs: save a fitted session, reopen without refit.
+
+Public surface::
+
+    session = repro.open_lake(lake)       # fit once
+    session.save("catalog/")              # durable on-disk catalog
+    ...
+    session = repro.open_lake("catalog/")   # reopen: no refit
+    session = repro.CMDL.load("catalog/")   # equivalent
+
+See :mod:`repro.store.catalog` for the on-disk layout, the write-ahead
+mutation journal, and the incremental checkpoint machinery.
+"""
+
+from repro.store.catalog import (
+    DEFAULT_CHECKPOINT_EVERY,
+    LakeStore,
+    ShardDirt,
+    load_catalog,
+)
+from repro.store.shard import SCHEMA_VERSION, ShardStore
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "LakeStore",
+    "SCHEMA_VERSION",
+    "ShardDirt",
+    "ShardStore",
+    "load_catalog",
+]

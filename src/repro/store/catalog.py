@@ -1,0 +1,824 @@
+"""Persistent lake catalogs: save a fitted session, reopen without refit.
+
+A saved catalog is a directory::
+
+    catalog/
+        catalog.sqlite      # manifest: kind, shard count, router, journal seq
+        shard-0000.sqlite   # per-shard data (monolithic lakes have one)
+        shard-0001.sqlite
+        ...
+
+Each shard file (see :class:`~repro.store.shard.ShardStore`) carries
+everything a cold ``CMDL.fit`` would have produced for that shard — lake
+rows, DE sketches, every index structure's ``persistent_state()``, embedder
+and pipeline state, the engine's resolved strategy table, and the session's
+drift trackers — so :func:`load_catalog` rebuilds a live session with *no*
+refitting: byte-identical profiles, indexes restored slab-for-slab, and the
+engine's fit-time strategy decisions pinned rather than re-derived against
+whatever the profile has since become.
+
+Durability between checkpoints comes from a **write-ahead mutation
+journal**: a bound session appends each mutation (add/update/remove/
+rebalance/refresh) to the owning shard's journal *before* applying it, and
+:meth:`LakeStore.checkpoint` folds the accumulated state back into the data
+tables and clears the tail. Reopening a catalog replays any surviving tail
+through the public mutators — the reopened session lands on the exact
+generation the writer last reached.
+
+Checkpoints are incremental: per-shard dirty tracking (row-level for lake
+tables/documents/sketches, doc-side vs column-side for index structures)
+rewrites only what the journaled mutations touched; a refresh — which
+replaces a shard's whole catalog — falls back to a full rewrite, detected
+by identity against the index catalog seen at the previous checkpoint.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.candidates import CandidateGenerator
+from repro.core.discovery import DiscoveryEngine
+from repro.core.indexes import IndexCatalog
+from repro.core.profiler import Profile, Profiler
+from repro.core.session import LakeSession
+from repro.core.sharding import ShardedLakeSession, ShardRouter
+from repro.core.system import CMDL
+from repro.embed.blended import BlendedEmbedder
+from repro.embed.hashing_embedder import HashingEmbedder
+from repro.embed.ppmi import PPMIEmbedder
+from repro.relational.catalog import DataLake
+from repro.store.shard import SCHEMA_VERSION, ShardStore
+from repro.text.pipeline import DocumentPipeline
+
+#: Default mutation count between automatic checkpoints of a bound session.
+DEFAULT_CHECKPOINT_EVERY = 64
+
+#: Index structures persisted as their own state sections, split by which
+#: side of the lake mutates them: document churn never touches the column
+#: structures and vice versa, so a delta checkpoint rewrites only one side.
+DOC_INDEX_SECTIONS = ("doc_content", "doc_metadata", "doc_solo", "doc_joint")
+COL_INDEX_SECTIONS = (
+    "column_content",
+    "column_metadata",
+    "column_schema",
+    "column_schema_ngrams",
+    "column_containment",
+    "value_containment",
+    "column_numeric",
+    "column_semantic",
+    "column_solo",
+    "column_joint",
+)
+INDEX_SECTIONS = DOC_INDEX_SECTIONS + COL_INDEX_SECTIONS
+
+_EMBEDDER_CLASSES = {
+    cls.__name__: cls
+    for cls in (HashingEmbedder, PPMIEmbedder, BlendedEmbedder)
+}
+
+
+class ShardDirt:
+    """What one shard's journaled mutations touched since the checkpoint.
+
+    ``tables`` / ``docs`` are dicts used as ordered sets: delta rewrites
+    must hit SQLite in the same sequence the live dict was mutated, so the
+    DELETE+INSERT rowid order keeps matching dict insertion order.
+    """
+
+    __slots__ = (
+        "tables",
+        "tables_removed",
+        "docs",
+        "docs_removed",
+        "sketches",
+        "sketches_removed",
+        "all_doc_sketches",
+        "doc_indexes",
+        "col_indexes",
+        "full",
+    )
+
+    def __init__(self):
+        self.tables: dict[str, None] = {}
+        self.tables_removed: set[str] = set()
+        self.docs: dict[str, None] = {}
+        self.docs_removed: set[str] = set()
+        self.sketches: set[str] = set()
+        self.sketches_removed: set[str] = set()
+        #: A corpus-wide df-filter shift can re-sketch *any* document.
+        self.all_doc_sketches = False
+        self.doc_indexes = False
+        self.col_indexes = False
+        self.full = False
+
+    def mark_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+        self.tables[name] = None
+        self.tables_removed.discard(name)
+
+    def mark_doc(self, doc_id: str) -> None:
+        self.docs.pop(doc_id, None)
+        self.docs[doc_id] = None
+        self.docs_removed.discard(doc_id)
+
+    def mark_sketch(self, de_id: str) -> None:
+        self.sketches.add(de_id)
+        self.sketches_removed.discard(de_id)
+
+    def remove_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+        self.tables_removed.add(name)
+
+    def remove_doc(self, doc_id: str) -> None:
+        self.docs.pop(doc_id, None)
+        self.docs_removed.add(doc_id)
+
+    def remove_sketch(self, de_id: str) -> None:
+        self.sketches.discard(de_id)
+        self.sketches_removed.add(de_id)
+
+    def any(self) -> bool:
+        return bool(
+            self.full
+            or self.tables
+            or self.tables_removed
+            or self.docs
+            or self.docs_removed
+            or self.sketches
+            or self.sketches_removed
+            or self.all_doc_sketches
+            or self.doc_indexes
+            or self.col_indexes
+        )
+
+
+# ------------------------------------------------------------ state helpers
+
+
+def _embedder_state(embedder):
+    """Class-tagged embedder state; unknown embedder types pickle whole."""
+    if embedder is None:
+        return None
+    name = type(embedder).__name__
+    if _EMBEDDER_CLASSES.get(name) is type(embedder):
+        return {"class": name, "state": embedder.persistent_state()}
+    return {"class": "__pickled__", "state": embedder}
+
+
+def _restore_embedder(payload):
+    if payload is None:
+        return None
+    if payload["class"] == "__pickled__":
+        return payload["state"]
+    return _EMBEDDER_CLASSES[payload["class"]].restore_state(payload["state"])
+
+
+def _config_state(config) -> dict:
+    """The config with its live embedder/pipeline objects stripped — those
+    are persisted (and restored) through their own state sections."""
+    return {
+        "config": replace(config, embedder=None, document_pipeline=None),
+        "had_embedder": config.embedder is not None,
+        "had_pipeline": config.document_pipeline is not None,
+    }
+
+
+def _index_section_state(indexes: IndexCatalog, name: str):
+    structure = getattr(indexes, name)
+    if structure is None:  # the optional joint forests
+        return None
+    return structure.persistent_state()
+
+
+# ----------------------------------------------------------- shard writing
+
+
+def _write_shard_small(db: ShardStore, session: LakeSession) -> None:
+    """The sections rewritten on every checkpoint: cheap, always current."""
+    profile = session.profile
+    db.put_state(
+        "profile_meta",
+        {
+            "doc_order": list(profile.documents),
+            "col_order": list(profile.columns),
+            "table_columns": {
+                name: list(cols) for name, cols in profile.table_columns.items()
+            },
+            "structured_seconds": profile.structured_seconds,
+            "unstructured_seconds": profile.unstructured_seconds,
+            "fit_stats": profile.fit_stats,
+        },
+    )
+    engine = session.engine
+    db.put_state(
+        "engine",
+        {
+            "strategy": engine.strategy,
+            "operator_strategies": dict(engine.operator_strategies),
+            # The *resolved* per-operator table: reopening must pin the
+            # fit-time decisions, not re-run "auto" against a profile that
+            # journaled mutations may have grown or shrunk.
+            "operator_strategy": dict(engine.operator_strategy),
+            "uniqueness": dict(engine.uniqueness),
+            "pkfk_params": dict(engine.pkfk_params),
+            "generation": engine.generation,
+        },
+    )
+    db.put_state(
+        "session",
+        {
+            "gold_pairs": session.gold_pairs,
+            "mutations": session.mutations,
+            "auto_refresh_threshold": session.auto_refresh_threshold,
+            "fit_vocabulary": sorted(session._fit_vocabulary),
+            "post_fit_terms": {
+                de_id: sorted(terms)
+                for de_id, terms in session._post_fit_terms.items()
+            },
+        },
+    )
+    indexes = session.indexes
+    db.put_state(
+        "index:meta",
+        {
+            "seed": indexes.seed,
+            "index_breakdown": dict(indexes.index_breakdown),
+            "text_columns": sorted(indexes._text_columns),
+        },
+    )
+    db.put_meta("generation", str(engine.generation))
+    db.put_meta("lake_name", session.lake.name)
+
+
+def _write_shard_full(db: ShardStore, session: LakeSession) -> None:
+    db.clear("lake_tables")
+    db.clear("lake_documents")
+    db.clear("sketches")
+    for table in session.lake.tables:
+        db.put_row("lake_tables", table.name, table)
+    for document in session.lake.documents:
+        db.put_row("lake_documents", document.doc_id, document)
+    for de_id, sketch in session.profile.documents.items():
+        db.put_sketch(de_id, sketch.kind, sketch)
+    for de_id, sketch in session.profile.columns.items():
+        db.put_sketch(de_id, sketch.kind, sketch)
+    indexes = session.indexes
+    for name in INDEX_SECTIONS:
+        db.put_state(f"index:{name}", _index_section_state(indexes, name))
+    db.put_state("embedder", _embedder_state(session.profiler.embedder))
+    db.put_state("pipeline", session.profiler.pipeline.persistent_state())
+    db.put_state("config", _config_state(session.cmdl.config))
+    db.put_state("joint", {"model": session.cmdl.joint_model})
+    _write_shard_small(db, session)
+
+
+def _write_shard_delta(
+    db: ShardStore, session: LakeSession, dirt: ShardDirt
+) -> None:
+    for name in dirt.tables_removed:
+        db.delete_row("lake_tables", name)
+    for name in dirt.tables:  # insertion order — see ShardDirt
+        if session.lake.has_table(name):
+            db.put_row("lake_tables", name, session.lake.table(name))
+    for doc_id in dirt.docs_removed:
+        db.delete_row("lake_documents", doc_id)
+    for doc_id in dirt.docs:
+        if session.lake.has_document(doc_id):
+            db.put_row("lake_documents", doc_id, session.lake.document(doc_id))
+
+    for de_id in sorted(dirt.sketches_removed):
+        db.delete_sketch(de_id)
+    dirty_sketches = set(dirt.sketches)
+    if dirt.all_doc_sketches:
+        # A df-filter shift may have re-sketched any document: rewrite the
+        # document side wholesale (sketch row order is immaterial — restore
+        # orders by the profile_meta lists).
+        db.delete_sketches_of_kind("document")
+        dirty_sketches.update(session.profile.documents)
+    for de_id in sorted(dirty_sketches):
+        sketch = session.profile.documents.get(de_id)
+        if sketch is None:
+            sketch = session.profile.columns.get(de_id)
+        if sketch is not None:
+            db.put_sketch(de_id, sketch.kind, sketch)
+
+    indexes = session.indexes
+    if dirt.doc_indexes:
+        for name in DOC_INDEX_SECTIONS:
+            db.put_state(f"index:{name}", _index_section_state(indexes, name))
+    if dirt.col_indexes:
+        for name in COL_INDEX_SECTIONS:
+            db.put_state(f"index:{name}", _index_section_state(indexes, name))
+    if dirt.all_doc_sketches or dirt.docs or dirt.docs_removed:
+        # Document churn refits the df filter (and its pinned copies).
+        db.put_state("pipeline", session.profiler.pipeline.persistent_state())
+    _write_shard_small(db, session)
+
+
+# ---------------------------------------------------------- shard restoring
+
+
+def _restore_shard(db: ShardStore) -> LakeSession:
+    """One shard file -> one live :class:`LakeSession`, no refitting."""
+    pipeline = DocumentPipeline.restore_state(db.get_state("pipeline"))
+    embedder = _restore_embedder(db.get_state("embedder"))
+    config_payload = db.get_state("config")
+    config = config_payload["config"]
+    if config_payload["had_pipeline"]:
+        config.document_pipeline = pipeline
+    if config_payload["had_embedder"]:
+        config.embedder = embedder
+
+    lake = DataLake(name=db.get_meta("lake_name", "lake"))
+    for _, table in db.iter_rows("lake_tables"):
+        lake.add_table(table)
+    for _, document in db.iter_rows("lake_documents"):
+        lake.add_document(document)
+
+    sketches = {de_id: sketch for de_id, _, sketch in db.iter_sketches()}
+    profile_meta = db.get_state("profile_meta")
+    profile = Profile(
+        documents={d: sketches[d] for d in profile_meta["doc_order"]},
+        columns={c: sketches[c] for c in profile_meta["col_order"]},
+        table_columns={
+            name: list(cols)
+            for name, cols in profile_meta["table_columns"].items()
+        },
+        structured_seconds=profile_meta["structured_seconds"],
+        unstructured_seconds=profile_meta["unstructured_seconds"],
+        fit_stats=profile_meta["fit_stats"],
+    )
+
+    index_meta = db.get_state("index:meta")
+    index_state = {
+        "seed": index_meta["seed"],
+        "index_breakdown": index_meta["index_breakdown"],
+        "text_columns": index_meta["text_columns"],
+    }
+    for name in INDEX_SECTIONS:
+        index_state[name] = db.get_state(f"index:{name}")
+    indexes = IndexCatalog.restore_state(profile, index_state)
+    joint_model = db.get_state("joint")["model"]
+
+    cmdl = CMDL(config)
+    cmdl.profiler = Profiler(
+        embedding_dim=config.embedding_dim,
+        num_hashes=config.num_hashes,
+        pooling=config.pooling,
+        embedder=embedder,
+        pipeline=pipeline,
+        seed=config.seed,
+        workers=config.fit_workers,
+    )
+    cmdl.profile = profile
+    cmdl.indexes = indexes
+    cmdl.joint_model = joint_model
+    cmdl.fit_stats = profile.fit_stats
+
+    engine_state = db.get_state("engine")
+    engine = DiscoveryEngine(
+        profile=profile,
+        indexes=indexes,
+        joint_model=joint_model,
+        uniqueness=engine_state["uniqueness"],
+        pkfk_params=engine_state["pkfk_params"],
+        strategy=engine_state["strategy"],
+        operator_strategies=engine_state["operator_strategies"],
+    )
+    # Pin the fit-time resolution (an "auto" strategy re-resolved here would
+    # see the journal-mutated profile, not the one the writer fitted).
+    engine.operator_strategy = dict(engine_state["operator_strategy"])
+    engine.generation = engine_state["generation"]
+    if "indexed" in engine.operator_strategy.values():
+        if engine.candidates is None:
+            engine.candidates = CandidateGenerator(
+                profile, indexes, generation=engine.generation
+            )
+        else:
+            engine.candidates.generation = engine.generation
+    else:
+        engine.candidates = None
+    cmdl.engine = engine
+
+    session_state = db.get_state("session")
+    session = LakeSession(
+        cmdl,
+        lake,
+        gold_pairs=session_state["gold_pairs"],
+        auto_refresh_threshold=session_state["auto_refresh_threshold"],
+    )
+    session.mutations = session_state["mutations"]
+    # Drift trackers survive the reopen: the fit-time vocabulary, not the
+    # current profile's, is the OOV baseline.
+    session._fit_vocabulary = set(session_state["fit_vocabulary"])
+    session._post_fit_terms = {
+        de_id: frozenset(terms)
+        for de_id, terms in session_state["post_fit_terms"].items()
+    }
+    return session
+
+
+# -------------------------------------------------------------- lake store
+
+
+class LakeStore:
+    """A saved catalog directory bound to one live session.
+
+    Created by ``session.save(path)`` (which full-writes every shard) or by
+    :func:`load_catalog` (which restores the session from disk). While
+    bound, every session mutation passes through :meth:`journal_scope` —
+    write-ahead journaling plus dirty tracking — and :meth:`checkpoint`
+    folds the journal tail into the data tables incrementally.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        kind: str,
+        catalog_db: ShardStore,
+        shard_dbs: list[ShardStore],
+        session,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ):
+        self.path = path
+        self.kind = kind
+        self.catalog_db = catalog_db
+        self.shard_dbs = shard_dbs
+        self.session = session
+        self.checkpoint_every = checkpoint_every
+        self._seq = int(catalog_db.get_meta("journal_seq", "0"))
+        self._dirt = [ShardDirt() for _ in shard_dbs]
+        self._seen_indexes = [
+            weakref.ref(s.indexes) for s in self._shard_sessions()
+        ]
+        self._pending = 0
+        self._active = False
+        self._replaying = False
+
+    # ------------------------------------------------------------- create
+
+    @classmethod
+    def create(cls, path: str | Path, session) -> "LakeStore":
+        """Full-write ``session`` into a (possibly pre-existing) catalog
+        directory and bind the store to the session."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        kind = (
+            "sharded" if isinstance(session, ShardedLakeSession) else "monolithic"
+        )
+        shard_sessions = session.shards if kind == "sharded" else [session]
+        # Drop shard files (and WAL sidecars) a previous, differently-shaped
+        # catalog left behind.
+        keep = {f"shard-{i:04d}.sqlite" for i in range(len(shard_sessions))}
+        for stale in path.glob("shard-*.sqlite*"):
+            if stale.name.split(".sqlite")[0] + ".sqlite" not in keep:
+                stale.unlink()
+        catalog_db = ShardStore(path / "catalog.sqlite", create=True)
+        shard_dbs = [
+            ShardStore(path / f"shard-{i:04d}.sqlite", create=True)
+            for i in range(len(shard_sessions))
+        ]
+        store = cls(path, kind, catalog_db, shard_dbs, session)
+        for db, shard_session in zip(shard_dbs, shard_sessions):
+            _write_shard_full(db, shard_session)
+            db.clear_journal()
+            db.commit()
+        store._seq = 0
+        store._write_manifest()
+        session._store = store
+        return store
+
+    # --------------------------------------------------------------- open
+
+    @classmethod
+    def open(cls, path: str | Path):
+        """Reopen a saved catalog: restore the session, replay the journal
+        tail, and return the bound live session."""
+        path = Path(path)
+        catalog_db = ShardStore(path / "catalog.sqlite")
+        kind = catalog_db.get_meta("kind")
+        if kind not in ("monolithic", "sharded"):
+            raise ValueError(f"catalog at {path} has unknown kind {kind!r}")
+        num_shards = int(catalog_db.get_meta("num_shards", "1"))
+        checkpoint_every = int(
+            catalog_db.get_meta("checkpoint_every", str(DEFAULT_CHECKPOINT_EVERY))
+        )
+        shard_dbs = [
+            ShardStore(path / f"shard-{i:04d}.sqlite") for i in range(num_shards)
+        ]
+        if kind == "monolithic":
+            session = _restore_shard(shard_dbs[0])
+        else:
+            shards = [_restore_shard(db) for db in shard_dbs]
+            router_state = catalog_db.get_state("router")
+            router = ShardRouter(
+                router_state["num_shards"],
+                assignments=dict(router_state["assignments"]),
+                seed=router_state["seed"],
+            )
+            top = catalog_db.get_state("top")
+            config_payload = top["config"]
+            config = config_payload["config"]
+            # The top-level config's live objects come back from shard 0's
+            # restored copies (shard fits deep-copy them anyway).
+            if config_payload["had_pipeline"]:
+                config.document_pipeline = shards[0].profiler.pipeline
+            if config_payload["had_embedder"]:
+                config.embedder = shards[0].profiler.embedder
+            df_pipeline = (
+                None
+                if top["df_pipeline"] is None
+                else DocumentPipeline.restore_state(top["df_pipeline"])
+            )
+            session = ShardedLakeSession._restore(
+                config=config,
+                router=router,
+                name=catalog_db.get_meta("name", "lake"),
+                global_stats=top["global_stats"],
+                gold_pairs=top["gold_pairs"],
+                auto_refresh_threshold=top["auto_refresh_threshold"],
+                fit_workers=top["fit_workers"],
+                df_pipeline=df_pipeline,
+                shards=shards,
+            )
+        store = cls(
+            path,
+            kind,
+            catalog_db,
+            shard_dbs,
+            session,
+            checkpoint_every=checkpoint_every,
+        )
+        session._store = store
+        store._replay()
+        return session
+
+    # ----------------------------------------------------------- journal
+
+    @contextmanager
+    def journal_scope(self, op: str, payload: dict):
+        """Write-ahead wrap of one session mutation.
+
+        The record is journaled *before* the mutation runs (a crash mid-op
+        replays it to completion on reopen) and dropped again if the
+        mutator raises before touching anything (e.g. a KeyError on an
+        unknown name). Nested entries — an auto-refresh firing inside a
+        mutator — are deliberately not journaled: replaying the outer op
+        re-triggers them deterministically.
+        """
+        if self._active:
+            yield
+            return
+        self._active = True
+        try:
+            shard_idx = self._route(op, payload)
+            pre = self._pre_dirt(shard_idx, op, payload)
+            seq = None
+            if not self._replaying:
+                seq = self._next_seq()
+                db = self.shard_dbs[shard_idx]
+                db.append_journal(seq, op, payload)
+                db.commit()
+            try:
+                yield
+            except BaseException:
+                if seq is not None:
+                    db.delete_journal(seq)
+                    db.commit()
+                raise
+            self._post_dirt(shard_idx, op, payload, pre)
+            if not self._replaying:
+                self._pending += 1
+                if self.checkpoint_every and self._pending >= self.checkpoint_every:
+                    self.checkpoint()
+        finally:
+            self._active = False
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        self.catalog_db.put_meta("journal_seq", str(self._seq))
+        self.catalog_db.commit()
+        return self._seq
+
+    def _replay(self) -> None:
+        entries: list[tuple[int, str, object]] = []
+        for db in self.shard_dbs:
+            entries.extend(db.journal_entries())
+        entries.sort(key=lambda entry: entry[0])
+        if not entries:
+            return
+        self._replaying = True
+        try:
+            for _, op, payload in entries:
+                self._apply(op, payload)
+        finally:
+            self._replaying = False
+        self._pending = len(entries)
+
+    def _apply(self, op: str, payload) -> None:
+        session = self.session
+        if op == "add_table":
+            session.add_table(payload["table"])
+        elif op == "update_table":
+            session.update_table(payload["table"])
+        elif op == "add_documents":
+            session.add_documents(payload["documents"])
+        elif op == "remove":
+            session.remove(payload["name"])
+        elif op == "rebalance":
+            session.rebalance(payload["assignments"])
+        elif op == "refresh":
+            if payload["with_gold"]:
+                session.refresh(payload["gold_pairs"])
+            else:
+                session.refresh()
+        else:
+            raise ValueError(f"unknown journal op {op!r}")
+
+    # ------------------------------------------------------------ routing
+
+    def _shard_sessions(self) -> list[LakeSession]:
+        if self.kind == "sharded":
+            return self.session.shards
+        return [self.session]
+
+    def _route(self, op: str, payload) -> int:
+        """The shard whose journal carries the record (placement only —
+        replay ordering is by the catalog-global seq)."""
+        if self.kind == "monolithic":
+            return 0
+        router = self.session.router
+        if op in ("add_table", "update_table"):
+            return router.shard_of(payload["table"].name)
+        if op == "remove":
+            return router.shard_of(payload["name"])
+        if op == "add_documents":
+            return router.shard_of(payload["documents"][0].doc_id)
+        return 0  # rebalance, refresh: lake-wide ops
+
+    # ------------------------------------------------------ dirty tracking
+
+    def _doc_dirt_shards(self, owner: int) -> list[int]:
+        """Shards whose document side a doc mutation may touch: the owner,
+        plus every sibling when a corpus-wide df filter is in play."""
+        if self.kind == "sharded" and self.session.global_stats:
+            return list(range(len(self.shard_dbs)))
+        return [owner]
+
+    def _pre_dirt(self, shard_idx: int, op: str, payload) -> dict:
+        session = self._shard_sessions()[shard_idx]
+        if op == "update_table":
+            name = payload["table"].name
+            return {
+                "old_columns": list(session.profile.columns_of_table(name))
+            }
+        if op == "remove":
+            name = payload["name"]
+            if session.lake.has_table(name):
+                return {
+                    "kind": "table",
+                    "columns": list(session.profile.columns_of_table(name)),
+                }
+            return {"kind": "document"}
+        return {}
+
+    def _post_dirt(self, shard_idx: int, op: str, payload, pre: dict) -> None:
+        dirt = self._dirt[shard_idx]
+        session = self._shard_sessions()[shard_idx]
+        if op == "add_table":
+            name = payload["table"].name
+            dirt.mark_table(name)
+            for col_id in session.profile.columns_of_table(name):
+                dirt.mark_sketch(col_id)
+            dirt.col_indexes = True
+        elif op == "update_table":
+            name = payload["table"].name
+            dirt.mark_table(name)
+            new_columns = set(session.profile.columns_of_table(name))
+            for col_id in set(pre["old_columns"]) - new_columns:
+                dirt.remove_sketch(col_id)
+            for col_id in session.profile.columns_of_table(name):
+                dirt.mark_sketch(col_id)
+            dirt.col_indexes = True
+        elif op == "add_documents":
+            for document in payload["documents"]:
+                owner = (
+                    self.session.router.shard_of(document.doc_id)
+                    if self.kind == "sharded"
+                    else shard_idx
+                )
+                self._dirt[owner].mark_doc(document.doc_id)
+            for idx in self._doc_dirt_shards(shard_idx):
+                self._dirt[idx].all_doc_sketches = True
+                self._dirt[idx].doc_indexes = True
+        elif op == "remove":
+            if pre["kind"] == "table":
+                dirt.remove_table(payload["name"])
+                for col_id in pre["columns"]:
+                    dirt.remove_sketch(col_id)
+                dirt.col_indexes = True
+            else:
+                dirt.remove_doc(payload["name"])
+                dirt.remove_sketch(payload["name"])
+                for idx in self._doc_dirt_shards(shard_idx):
+                    self._dirt[idx].all_doc_sketches = True
+                    self._dirt[idx].doc_indexes = True
+        elif op in ("rebalance", "refresh"):
+            for shard_dirt in self._dirt:
+                shard_dirt.full = True
+        else:  # pragma: no cover - _apply validates first
+            raise ValueError(f"unknown journal op {op!r}")
+
+    # --------------------------------------------------------- checkpoint
+
+    def checkpoint(self) -> None:
+        """Fold the journal tail into the data tables and clear it.
+
+        Shards whose index catalog was replaced since the last checkpoint
+        (an explicit or drift-triggered refresh) are rewritten in full; the
+        rest get a delta write covering exactly what the dirty tracker saw.
+        """
+        shard_sessions = self._shard_sessions()
+        for i, (db, shard_session) in enumerate(
+            zip(self.shard_dbs, shard_sessions)
+        ):
+            dirt = self._dirt[i]
+            if self._seen_indexes[i]() is not shard_session.indexes:
+                dirt.full = True
+            if dirt.full:
+                _write_shard_full(db, shard_session)
+            elif dirt.any():
+                _write_shard_delta(db, shard_session, dirt)
+            db.clear_journal()
+            db.commit()
+            self._dirt[i] = ShardDirt()
+            self._seen_indexes[i] = weakref.ref(shard_session.indexes)
+        self._write_manifest()
+        self._pending = 0
+
+    def _write_manifest(self) -> None:
+        catalog = self.catalog_db
+        catalog.put_meta("kind", self.kind)
+        catalog.put_meta("num_shards", str(len(self.shard_dbs)))
+        catalog.put_meta("checkpoint_every", str(self.checkpoint_every))
+        catalog.put_meta("journal_seq", str(self._seq))
+        session = self.session
+        if self.kind == "sharded":
+            catalog.put_meta("name", session.name)
+            catalog.put_state(
+                "router",
+                {
+                    "num_shards": session.router.num_shards,
+                    "seed": session.router.seed,
+                    "assignments": dict(session.router.assignments),
+                },
+            )
+            catalog.put_state(
+                "top",
+                {
+                    "global_stats": session.global_stats,
+                    "gold_pairs": session.gold_pairs,
+                    "auto_refresh_threshold": session.auto_refresh_threshold,
+                    "fit_workers": session.fit_workers,
+                    "config": _config_state(session.config),
+                    "df_pipeline": (
+                        None
+                        if session._df_pipeline is None
+                        else session._df_pipeline.persistent_state()
+                    ),
+                },
+            )
+        else:
+            catalog.put_meta("name", session.lake.name)
+        catalog.commit()
+
+    # -------------------------------------------------------------- admin
+
+    def pending_journal(self) -> int:
+        """Journaled mutations not yet folded into a checkpoint."""
+        return self._pending
+
+    def catalog_bytes(self) -> int:
+        """Total on-disk size of the catalog directory's SQLite files."""
+        return self.catalog_db.file_bytes() + sum(
+            db.file_bytes() for db in self.shard_dbs
+        )
+
+    def close(self) -> None:
+        for db in self.shard_dbs:
+            db.close()
+        self.catalog_db.close()
+
+
+def load_catalog(path: str | Path):
+    """Reopen a saved lake catalog as a live session — no refitting.
+
+    Returns a :class:`~repro.core.session.LakeSession` or
+    :class:`~repro.core.sharding.ShardedLakeSession` according to what was
+    saved; any journal tail left by an unsaved writer is replayed so the
+    session lands on the exact generation the writer last reached.
+    """
+    return LakeStore.open(path)

@@ -163,6 +163,34 @@ class DocumentPipeline:
             for terms in base
         ]
 
+    # ----------------------------------------------------------- persistence
+
+    def __getstate__(self) -> dict:
+        # The term memo is a pure-function cache; rebuilt on demand.
+        state = dict(self.__dict__)
+        state["_term_memo"] = {}
+        return state
+
+    def persistent_state(self) -> dict:
+        return {
+            "max_doc_frequency": self.max_doc_frequency,
+            "keep_pos_nouns": self.keep_pos_nouns,
+            "common_terms": sorted(self._common_terms),
+            "num_docs_fit": self._num_docs_fit,
+            "pinned": self._pinned,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "DocumentPipeline":
+        pipeline = cls(
+            max_doc_frequency=state["max_doc_frequency"],
+            keep_pos_nouns=state["keep_pos_nouns"],
+        )
+        pipeline._common_terms = set(state["common_terms"])
+        pipeline._num_docs_fit = state["num_docs_fit"]
+        pipeline._pinned = state["pinned"]
+        return pipeline
+
     # ------------------------------------------------------------ internals
 
     def _base_terms(self, text: str) -> list[str]:

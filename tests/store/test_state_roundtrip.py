@@ -1,0 +1,212 @@
+"""Pickle and ``persistent_state`` round-trips for every index structure.
+
+The persistence contract has two halves. Every structure must survive a
+plain ``pickle`` round-trip (the journal and the residual blobs rely on
+it), and its ``persistent_state()`` / ``restore_state()`` pair must
+rebuild an object whose *query behaviour* is byte-identical while
+excluding derived caches — band memos, term memos, lazy scorers — which
+are recomputed on demand after a reopen.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ann.intervals import IntervalIndex
+from repro.ann.rpforest import RPForestIndex
+from repro.relational.stats import NumericStats
+from repro.search.engine import SearchEngine
+from repro.search.inverted_index import InvertedIndex
+from repro.sketch.lsh import LSHIndex
+from repro.sketch.lshensemble import LSHEnsemble
+from repro.sketch.minhash import MinHash
+from repro.text.pipeline import DocumentPipeline
+
+WORDS = [
+    "aspirin", "ibuprofen", "codeine", "morphine", "paracetamol",
+    "cox", "synthase", "reductase", "receptor", "inflammation",
+    "trial", "compound", "formulation", "rate", "change",
+]
+
+
+def _signatures(count: int = 12, num_hashes: int = 64) -> list:
+    minhash = MinHash(num_hashes=num_hashes, seed=3)
+    sigs = []
+    for i in range(count):
+        items = {WORDS[(i + j) % len(WORDS)] for j in range(3 + i % 5)}
+        sigs.append(minhash.signature(items))
+    return sigs
+
+
+def _roundtrips(structure):
+    """Both halves of the contract for one structure."""
+    return [
+        pickle.loads(pickle.dumps(structure)),
+        type(structure).restore_state(structure.persistent_state()),
+    ]
+
+
+class TestMinHashSignature:
+    def test_pickle_drops_band_memo(self):
+        sig = _signatures(1)[0]
+        sig.band_hashes(8)
+        sig.band_hashes(16)
+        assert sig._band_memo  # warmed
+        copy = pickle.loads(pickle.dumps(sig))
+        assert copy._band_memo == {}
+        assert np.array_equal(copy.values, sig.values)
+        assert copy.set_size == sig.set_size
+        # The memo refills lazily and lands on the same hashes.
+        assert copy.band_hashes(8) == sig.band_hashes(8)
+
+    def test_jaccard_and_containment_preserved(self):
+        a, b = _signatures(2)
+        a2, b2 = pickle.loads(pickle.dumps((a, b)))
+        assert a2.jaccard(b2) == a.jaccard(b)
+        assert a2.containment(b2) == a.containment(b)
+
+
+class TestLSHIndex:
+    def test_roundtrip_query_parity(self):
+        sigs = _signatures(12)
+        index = LSHIndex(num_bands=8)
+        for i, sig in enumerate(sigs):
+            index.add(f"key:{i}", sig)
+        index.remove("key:7")
+        for restored in _roundtrips(index):
+            assert restored.keys() == index.keys()
+            assert "key:7" not in restored
+            for probe in sigs[:4]:
+                assert restored.candidates(probe) == index.candidates(probe)
+                assert restored.query(probe, k=5) == index.query(probe, k=5)
+
+    def test_restored_index_accepts_mutations(self):
+        sigs = _signatures(6)
+        index = LSHIndex(num_bands=8)
+        index.build_bulk((f"key:{i}", sig) for i, sig in enumerate(sigs))
+        restored = LSHIndex.restore_state(index.persistent_state())
+        extra = _signatures(7)[-1]
+        restored.add("key:new", extra)
+        index.add("key:new", extra)
+        assert restored.query(extra, k=3) == index.query(extra, k=3)
+
+
+class TestLSHEnsemble:
+    def test_roundtrip_preserves_partition_layout(self):
+        sigs = _signatures(14)
+        ensemble = LSHEnsemble(num_partitions=4, num_bands=8)
+        ensemble.build_bulk((f"key:{i}", sig) for i, sig in enumerate(sigs[:10]))
+        for i, sig in enumerate(sigs[10:], start=10):
+            ensemble.insert(f"key:{i}", sig)
+        ensemble.delete("key:3")
+        for restored in _roundtrips(ensemble):
+            assert [len(p) for p in restored._partitions] == [
+                len(p) for p in ensemble._partitions
+            ]
+            assert restored._partition_upper == ensemble._partition_upper
+            for probe in sigs[:4]:
+                assert restored.query(probe, k=5) == ensemble.query(probe, k=5)
+
+
+class TestRPForestIndex:
+    def test_roundtrip_query_parity(self):
+        rng = np.random.default_rng(11)
+        forest = RPForestIndex(dim=16, num_trees=4, leaf_size=4, seed=0)
+        vectors = rng.standard_normal((20, 16)).astype(np.float64)
+        forest.build_bulk(
+            (f"vec:{i}", vectors[i]) for i in range(16)
+        )
+        for i in range(16, 20):
+            forest.insert(f"vec:{i}", vectors[i])
+        forest.delete("vec:5")
+        for restored in _roundtrips(forest):
+            for probe in vectors[:4]:
+                assert restored.query(probe, k=5) == forest.query(probe, k=5)
+
+
+class TestIntervalIndex:
+    def test_roundtrip_query_parity(self):
+        index = IntervalIndex()
+        for i in range(10):
+            index.add(f"col:{i}", NumericStats(
+                count=20 + i, distinct=10 + i,
+                minimum=float(i), maximum=float(i + 5),
+                mean=float(i) + 2.5, std=1.0 + 0.1 * i,
+            ))
+        index.remove("col:4")
+        probe = NumericStats(count=8, distinct=8, minimum=3.0,
+                             maximum=6.0, mean=4.5, std=0.9)
+        for restored in _roundtrips(index):
+            assert restored.query(probe) == index.query(probe)
+            assert restored.query_scored(probe, k=5) == index.query_scored(
+                probe, k=5
+            )
+
+
+class TestInvertedIndex:
+    def _build(self) -> InvertedIndex:
+        index = InvertedIndex()
+        index.build_bulk(
+            (f"doc:{i}", [WORDS[(i + j) % len(WORDS)] for j in range(6)])
+            for i in range(8)
+        )
+        index.remove("doc:2")  # leaves a tombstone behind
+        return index
+
+    def test_roundtrip_statistics_and_postings(self):
+        index = self._build()
+        for restored in _roundtrips(index):
+            assert restored.keys() == index.keys()
+            assert restored.num_docs == index.num_docs
+            assert restored.collection_length == index.collection_length
+            for term in WORDS:
+                assert restored.document_frequency(term) == (
+                    index.document_frequency(term)
+                )
+                assert [
+                    (p.doc_key, p.term_frequency) for p in restored.postings(term)
+                ] == [(p.doc_key, p.term_frequency) for p in index.postings(term)]
+
+    def test_search_engine_drops_derived_caches(self):
+        engine = SearchEngine(ranker="bm25")
+        engine.build_bulk(
+            (f"doc:{i}", [WORDS[(i + j) % len(WORDS)] for j in range(6)])
+            for i in range(8)
+        )
+        before = engine.search(["cox", "inflammation"], k=5)
+        assert engine._scorer is not None  # warmed by the search
+        for restored in _roundtrips(engine):
+            assert restored._scorer is None
+            assert restored._stats_group is None
+            assert restored.search(["cox", "inflammation"], k=5) == before
+
+
+class TestDocumentPipeline:
+    def test_pickle_empties_term_memo(self):
+        pipeline = DocumentPipeline(max_doc_frequency=0.9)
+        corpus = [
+            "Aspirin inhibits cox synthase and reduces inflammation.",
+            "Ibuprofen targets cox reductase in chronic inflammation.",
+            "The population of london keeps growing.",
+        ]
+        pipeline.fit(corpus)
+        before = [pipeline.transform(text).terms for text in corpus]
+        assert pipeline._term_memo  # warmed by fit/transform
+        for restored in (
+            pickle.loads(pickle.dumps(pipeline)),
+            DocumentPipeline.restore_state(pipeline.persistent_state()),
+        ):
+            assert restored._term_memo == {}
+            assert [
+                restored.transform(text).terms for text in corpus
+            ] == before
+
+
+class TestStatefulRestoreRejectsGarbage:
+    @pytest.mark.parametrize("cls", [LSHIndex, LSHEnsemble, InvertedIndex])
+    def test_missing_keys_raise(self, cls):
+        with pytest.raises((KeyError, TypeError)):
+            cls.restore_state({})
