@@ -108,6 +108,15 @@ def main() -> None:
     #   ... later, another process ...
     #   session = repro.open_lake("pharma.catalog")   # no refit
 
+    # Served lakes — concurrent readers + a live writer behind one server
+    # (see examples/serving_lake.py): queries pin a generation snapshot
+    # (zero torn reads), per-shard partials cache until a mutation bumps
+    # the owning shard, and backend="process" runs one worker process per
+    # shard over a saved catalog:
+    #   server = session.serve()                    # thread backend
+    #   server = session.serve(backend="process")   # after session.save()
+    #   server.discover(Q.joinable("drugs", top_n=2)); server.close()
+
     gt = generated.ground_truth("doc_to_table")
     relevant = gt.relevant(r1[1])
     if relevant:

@@ -26,6 +26,7 @@ from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
 from repro.core.srql import Q, parse_srql, to_srql
 from repro.relational.catalog import DataLake, Document
 from repro.relational.table import Column, Table
+from repro.serve import LakeServer
 from repro.lakes import (
     generate_mlopen_lake,
     generate_pharma_lake,
@@ -37,6 +38,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CMDL",
     "CMDLConfig",
+    "LakeServer",
     "LakeSession",
     "ShardedLakeSession",
     "ShardRouter",

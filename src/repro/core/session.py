@@ -346,10 +346,38 @@ class LakeSession:
         return self._store.path
 
     def close(self) -> None:
-        """Release the bound catalog's file handles (idempotent)."""
+        """Release the bound catalog's file handles (idempotent).
+
+        Any journal tail not yet folded by a checkpoint stays durable on
+        disk — reopening the catalog replays it — so closing with a save
+        pending loses nothing.
+        """
         if self._store is not None:
             self._store.close()
             self._store = None
+
+    def serve(self, backend: str = "thread", **kwargs):
+        """Wrap this lake in a concurrent :class:`~repro.serve.LakeServer`.
+
+        ``backend="thread"`` serves the live session in place (the session
+        stays yours to close). ``backend="process"`` checkpoints the bound
+        catalog, closes this session, and serves the catalog directory
+        from a worker process — the server becomes the sole writer;
+        requires a prior :meth:`save`.
+        """
+        from repro.serve.server import LakeServer
+
+        if backend == "process":
+            if self._store is None:
+                raise ValueError(
+                    "serve(backend='process') serves the saved catalog: "
+                    "call save(path) first"
+                )
+            path = self._store.path
+            self._store.checkpoint()
+            self.close()
+            return LakeServer(path, backend="process", **kwargs)
+        return LakeServer(self, backend=backend, **kwargs)
 
     def __enter__(self) -> "LakeSession":
         return self

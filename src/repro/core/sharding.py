@@ -798,6 +798,9 @@ class ShardedLakeSession:
         if stats is not None:
             for i, (_, seconds) in enumerate(outcomes):
                 stats.shard_seconds[i] = stats.shard_seconds.get(i, 0.0) + seconds
+                stats.shard_round_trips[i] = (
+                    stats.shard_round_trips.get(i, 0) + 1
+                )
         return [result for result, _ in outcomes]
 
     # ----------------------------------------------------------- mutators
@@ -959,6 +962,32 @@ class ShardedLakeSession:
         if self._store is None:
             return nullcontext()
         return self._store.journal_scope(op, payload)
+
+    # ------------------------------------------------------------ serving
+
+    def serve(self, backend: str = "thread", **kwargs):
+        """Wrap this lake in a concurrent :class:`~repro.serve.LakeServer`.
+
+        ``backend="thread"`` serves the live session in place (the session
+        stays yours to close). ``backend="process"`` checkpoints the bound
+        catalog, closes this session, and serves the catalog directory
+        with one worker process per shard — the server becomes the sole
+        writer, so the in-process session must not stay live alongside it;
+        requires a prior :meth:`save`.
+        """
+        from repro.serve.server import LakeServer
+
+        if backend == "process":
+            if self._store is None:
+                raise ValueError(
+                    "serve(backend='process') serves the saved catalog: "
+                    "call save(path) first"
+                )
+            path = self._store.path
+            self._store.checkpoint()
+            self.close()
+            return LakeServer(path, backend="process", **kwargs)
+        return LakeServer(self, backend=backend, **kwargs)
 
     def close(self) -> None:
         """Shut down the thread pool and release any bound catalog's file

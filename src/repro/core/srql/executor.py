@@ -69,10 +69,21 @@ class ExecutionStats:
     #: Per-shard engine generations the batch executed under (sharded
     #: sessions only; empty for a monolithic engine).
     shard_generations: dict = field(default_factory=dict)
-    #: Wall-clock seconds spent inside each shard's scatter calls during
-    #: this batch (sharded sessions only) — the straggler diagnostic of the
-    #: scatter-gather path.
+    #: Wall-clock seconds spent inside each shard's round-trips during
+    #: this batch (sharded/serving sessions only). Divided by
+    #: :attr:`shard_round_trips` this is the per-round-trip latency — the
+    #: straggler diagnostic that attributes a slow batch to the shard (or
+    #: remote worker) that stalled it.
     shard_seconds: dict = field(default_factory=dict)
+    #: Round-trips issued to each shard during this batch. The in-process
+    #: scatter path counts one trip per scattered primitive; the serving
+    #: executor batches a whole operator group per trip, so this is how
+    #: the two are compared fairly.
+    shard_round_trips: dict = field(default_factory=dict)
+    #: Result-cache hits/misses of this batch (serving front-ends with a
+    #: cache enabled only; both stay 0 elsewhere).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def reused(self) -> int:

@@ -1,0 +1,29 @@
+"""Serving layer: shard workers behind a concurrent discovery front-end.
+
+The sharded session (PR 5) scatter-gathers inside one process, so every
+query and every mutation still share one GIL and one address space. This
+package splits the two roles the way HTAP designs isolate update
+propagation from analytics (Polynesia, arXiv:2103.00798):
+
+* :mod:`repro.serve.rpc` — length-prefixed socket framing that ships
+  sketches and per-shard top-k lists with the :mod:`repro.store.codec`
+  slab encoding (numpy arrays travel as raw typed segments, not pickle
+  bytes);
+* :mod:`repro.serve.ops` — the per-shard operation table. One dispatch
+  serves both backends: the thread backend calls it on in-process shard
+  sessions, the worker process calls it on its restored shard;
+* :mod:`repro.serve.worker` — one process per shard, booted from the
+  shard's own ``shard-NNNN.sqlite`` (reopen, never refit), plus the
+  parent-side handle that spawns, calls, and reaps it;
+* :mod:`repro.serve.cache` — the per-shard result cache keyed by
+  ``(plan node, generation scope)``;
+* :mod:`repro.serve.executor` — batched scatter: one round-trip per shard
+  ships a whole operator group, partial results flow through the cache;
+* :mod:`repro.serve.server` — :class:`LakeServer`: generation-pinned
+  snapshot reads, a single writer path per shard, ``session.serve()``.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.server import LakeServer
+
+__all__ = ["LakeServer", "ResultCache"]

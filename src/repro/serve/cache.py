@@ -1,0 +1,79 @@
+"""Per-shard result cache keyed by ``(plan node tag, generation scope)``.
+
+The serving executor caches the *per-shard partial results* it merges —
+a shard's keyword top-k, its candidate-union hits, its PK-FK link list —
+not the merged answers. Two consequences:
+
+* invalidation is exact and per-shard for free: every key carries the
+  generation scope its value depends on (the owning shard's counter, the
+  pair of counters an owner/remote probe spans, or the full generation
+  vector for corpus-wide statistics), so a mutation on shard *k* bumps
+  shard *k*'s counter and precisely the entries depending on it stop
+  matching — entries for untouched shards keep hitting;
+* a repeated query after a mutation still reuses the partials of every
+  shard the mutation did not touch, paying only the owning shard's
+  recompute.
+
+Plan nodes are hashable and structurally deduplicated by the planner
+(PR 2), so the tag half of the key is simply the primitive's identifying
+fields. Stale entries are never served (their generation scope no longer
+matches); they age out of the LRU ring instead of being swept eagerly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+_MISSING = object()
+
+
+class ResultCache:
+    """Thread-safe LRU over ``(shard, tag, generation-scope)`` keys."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = max_entries
+        self._lock = Lock()
+        self._entries: OrderedDict = OrderedDict()
+        #: Lifetime counters (the per-batch view lives in ExecutionStats).
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, shard: int, key: tuple):
+        """The cached partial for ``key`` on ``shard``, or ``None``."""
+        with self._lock:
+            value = self._entries.get((shard, key), _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((shard, key))
+            self.hits += 1
+            return value
+
+    def put(self, shard: int, key: tuple, value) -> None:
+        with self._lock:
+            self._entries[(shard, key)] = value
+            self._entries.move_to_end((shard, key))
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def keys(self) -> list[tuple]:
+        """Snapshot of the live ``(shard, key)`` pairs (tests/diagnostics)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

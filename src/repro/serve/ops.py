@@ -1,0 +1,331 @@
+"""Per-shard serving operations: one dispatch table for both backends.
+
+Every entry is a pure function of ``(host, payload)`` where ``host`` wraps
+one live :class:`~repro.core.session.LakeSession` (an in-process shard for
+the thread backend, a catalog-restored shard inside a worker process for
+the process backend). Keeping a single table is what makes the two
+backends byte-identical: the thread backend calls :meth:`ShardHost.handle`
+directly, the worker process calls it at the far end of the RPC pipe, and
+both run exactly the scatter units the in-process
+:class:`~repro.core.sharding.ShardedExecutor` runs.
+
+The remote-statistics ops implement global-stats mode over processes: the
+front-end gathers each shard's keyword-index statistics
+(:func:`_stats_snapshot`), then installs on every worker a real
+:class:`~repro.search.engine.CorpusStatsGroup` whose members are the
+shard's *live* engine plus frozen snapshot stubs of every sibling — local
+mutations re-merge immediately through the group's dirty tracking, and the
+front-end re-pushes sibling snapshots after each committed mutation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from threading import Lock
+
+from repro.core.joinability import JoinDiscovery
+from repro.core.session import LakeSession
+from repro.core.sharding import STATS_FAMILIES
+from repro.search.engine import CorpusStatsGroup
+
+class ColumnLite:
+    """The planner-facing slice of a column sketch: enough for validation,
+    the "auto" strategy heuristic, and column -> table resolution.
+
+    Deliberately not a (named)tuple: the RPC codec rebuilds tuples while
+    extracting array slabs, which would flatten a tuple subclass back to
+    ``tuple`` in transit.
+    """
+
+    __slots__ = ("table_name", "tags")
+
+    def __init__(self, table_name: str, tags):
+        self.table_name = table_name
+        self.tags = tags
+
+    def __getstate__(self):
+        return (self.table_name, self.tags)
+
+    def __setstate__(self, state):
+        self.table_name, self.tags = state
+
+    def __repr__(self) -> str:
+        return f"ColumnLite({self.table_name!r}, {self.tags!r})"
+
+#: Scratch entries (union pair caches) kept per shard before the oldest
+#: are dropped.
+_SCRATCH_LIMIT = 8
+
+
+class ShardHost:
+    """One shard session plus the serving scratch state around it."""
+
+    def __init__(self, session: LakeSession):
+        self.session = session
+        #: Transient per-query state (union pair caches shared between the
+        #: two alignment phases), keyed by (tag, table, generation).
+        self.scratch: dict = {}
+        #: Serialises ops on this shard: engine caches are not re-entrant.
+        self.lock = Lock()
+
+    def handle(self, op: str, payload: dict):
+        try:
+            fn = OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown shard op {op!r}") from None
+        return fn(self, payload)
+
+    def _scratch_put(self, key, value) -> None:
+        self.scratch[key] = value
+        while len(self.scratch) > _SCRATCH_LIMIT:
+            self.scratch.pop(next(iter(self.scratch)))
+
+
+# ------------------------------------------------------------ remote stats
+
+
+class _SnapshotIndex:
+    """Frozen corpus statistics of one remote shard's keyword index."""
+
+    def __init__(self, df: dict, ctf: dict, num_docs: int, collection_length: int):
+        self._df = Counter(df)
+        self._ctf = Counter(ctf)
+        self.num_docs = num_docs
+        self.collection_length = collection_length
+
+    def document_frequencies(self) -> Counter:
+        return self._df
+
+    def collection_frequencies(self) -> Counter:
+        return self._ctf
+
+
+class _SnapshotEngine:
+    """Duck-typed group member holding a :class:`_SnapshotIndex`."""
+
+    def __init__(self, index: _SnapshotIndex):
+        self.index = index
+
+    def share_stats(self, group) -> None:  # stubs never score anything
+        pass
+
+
+def _stats_snapshot(host: ShardHost, payload: dict) -> dict:
+    """Per-family (df, ctf, num_docs, collection_length) of this shard."""
+    snapshot = {}
+    for family in STATS_FAMILIES:
+        index = getattr(host.session.indexes, family).index
+        snapshot[family] = (
+            dict(index.document_frequencies()),
+            dict(index.collection_frequencies()),
+            index.num_docs,
+            index.collection_length,
+        )
+    return snapshot
+
+
+def _install_stats(host: ShardHost, payload: dict) -> None:
+    """Wire this shard's keyword engines to groups merging the (frozen)
+    sibling snapshots in ``payload["remote"]`` with the live local index."""
+    for family in STATS_FAMILIES:
+        members = [getattr(host.session.indexes, family)]
+        for df, ctf, num_docs, length in payload["remote"].get(family, []):
+            members.append(
+                _SnapshotEngine(_SnapshotIndex(df, ctf, num_docs, length))
+            )
+        CorpusStatsGroup(members)
+    return None
+
+
+# -------------------------------------------------------------- state reads
+
+
+def _generation(host: ShardHost, payload: dict) -> int:
+    return host.session.generation
+
+
+def _catalog_lite(host: ShardHost, payload: dict) -> dict:
+    """The front-end's planning view of this shard."""
+    session = host.session
+    profile = session.profile
+    config = session.cmdl.config
+    return {
+        "generation": session.generation,
+        "table_columns": {
+            name: list(cols) for name, cols in profile.table_columns.items()
+        },
+        "columns": {
+            cid: ColumnLite(sketch.table_name, sketch.tags)
+            for cid, sketch in profile.columns.items()
+        },
+        "documents": list(profile.documents),
+        "num_des": profile.num_des,
+        "discovery_strategy": config.discovery_strategy,
+        "operator_strategies": dict(config.operator_strategies or {}),
+        "union_candidate_k": session.engine.scorer("unionable").candidate_k,
+    }
+
+
+def _doc_texts(host: ShardHost, payload: dict) -> list[tuple[str, str]]:
+    return [(d.doc_id, d.text) for d in host.session.lake.documents]
+
+
+def _get_table(host: ShardHost, payload: dict):
+    return host.session.lake.table(payload["name"])
+
+
+def _document_encoding(host: ShardHost, payload: dict):
+    return host.session.profile.documents[payload["doc_id"]].encoding
+
+
+def _table_sketches(host: ShardHost, payload: dict) -> list:
+    profile = host.session.profile
+    return [
+        profile.columns[cid]
+        for cid in profile.columns_of_table(payload["table"])
+    ]
+
+
+# --------------------------------------------------------------- query ops
+
+
+def _keyword(host: ShardHost, payload: dict) -> list:
+    result = getattr(host.session.engine, payload["op"])(
+        payload["value"], mode=payload["mode"], k=payload["k"]
+    )
+    return result.items
+
+
+def _text_query_sketch(host: ShardHost, payload: dict):
+    return host.session.engine.text_query_sketch(payload["value"])
+
+
+def _text_column_parts(host: ShardHost, payload: dict) -> tuple:
+    return host.session.engine.text_column_parts(
+        payload["sketch"], payload["k"]
+    )
+
+
+def _encoding_column_hits(host: ShardHost, payload: dict) -> list:
+    return host.session.engine.encoding_column_hits(
+        payload["encoding"], payload["k"]
+    )
+
+
+def _joinable_columns_for(host: ShardHost, payload: dict) -> dict:
+    scorer = host.session.engine.scorer("joinable")
+    k = payload.get("k", JoinDiscovery.PER_COLUMN_K)
+    return {
+        sketch.de_id: scorer.joinable_columns_for(sketch, k=k)
+        for sketch in payload["sketches"]
+    }
+
+
+def _union_phase1(host: ShardHost, payload: dict) -> tuple:
+    """Candidate scoring; parks the pair cache for this query's phase 2."""
+    pair_cache: dict = {}
+    hits, caps = host.session.engine.scorer("unionable").candidate_hits_for(
+        payload["sketches"], pair_cache=pair_cache
+    )
+    host._scratch_put(
+        ("union", payload["table"], host.session.generation), pair_cache
+    )
+    return hits, caps
+
+
+def _union_phase2(host: ShardHost, payload: dict) -> list:
+    pair_cache = host.scratch.pop(
+        ("union", payload["table"], host.session.generation), None
+    )
+    if pair_cache is None:
+        pair_cache = {}
+    return host.session.engine.scorer("unionable").alignment_scores_for(
+        payload["sketches"],
+        payload["evidence"],
+        payload["top_n"],
+        row_caps=payload["row_caps"],
+        pair_cache=pair_cache,
+    )
+
+
+def _pk_entries(host: ShardHost, payload: dict) -> list:
+    return host.session.engine.scorer("pkfk").candidate_pk_entries()
+
+
+def _pkfk_links_for(host: ShardHost, payload: dict) -> list:
+    return host.session.engine.scorer("pkfk").links_for(payload["entries"])
+
+
+# ------------------------------------------------------------ mutation ops
+
+
+def _mutated(host: ShardHost) -> dict:
+    """Mutation response: new generation + the refreshed planning view."""
+    return {
+        "generation": host.session.generation,
+        "catalog": _catalog_lite(host, {}),
+    }
+
+
+def _add_table(host: ShardHost, payload: dict) -> dict:
+    host.session.add_table(payload["table"])
+    return _mutated(host)
+
+
+def _update_table(host: ShardHost, payload: dict) -> dict:
+    host.session.update_table(payload["table"])
+    return _mutated(host)
+
+
+def _add_documents(host: ShardHost, payload: dict) -> dict:
+    host.session.add_documents(payload["documents"])
+    return _mutated(host)
+
+
+def _remove(host: ShardHost, payload: dict) -> dict:
+    host.session.remove(payload["name"])
+    return _mutated(host)
+
+
+def _pin_filter(host: ShardHost, payload: dict) -> None:
+    """Pin the corpus-wide df filter the front-end just recomputed."""
+    host.session.profiler.pipeline.pin_filter(
+        set(payload["common_terms"]), payload["num_docs"]
+    )
+    return None
+
+
+def _resync_documents(host: ShardHost, payload: dict) -> dict:
+    """Sibling-shard half of a global-stats document mutation: re-sketch
+    any document whose bag drifted under the newly pinned filter."""
+    changed = host.session._resync_documents()
+    if changed:
+        host.session._commit()
+    return {"changed": changed, "generation": host.session.generation}
+
+
+OPS = {
+    "stats_snapshot": _stats_snapshot,
+    "install_stats": _install_stats,
+    "generation": _generation,
+    "catalog_lite": _catalog_lite,
+    "doc_texts": _doc_texts,
+    "get_table": _get_table,
+    "document_encoding": _document_encoding,
+    "table_sketches": _table_sketches,
+    "keyword": _keyword,
+    "text_query_sketch": _text_query_sketch,
+    "text_column_parts": _text_column_parts,
+    "encoding_column_hits": _encoding_column_hits,
+    "joinable_columns_for": _joinable_columns_for,
+    "union_phase1": _union_phase1,
+    "union_phase2": _union_phase2,
+    "pk_entries": _pk_entries,
+    "pkfk_links_for": _pkfk_links_for,
+    "add_table": _add_table,
+    "update_table": _update_table,
+    "add_documents": _add_documents,
+    "remove": _remove,
+    "pin_filter": _pin_filter,
+    "resync_documents": _resync_documents,
+}

@@ -1,0 +1,125 @@
+"""Length-prefixed socket RPC with codec slab encoding.
+
+One message is one frame::
+
+    u32 part_count | { u64 length | bytes } * part_count
+
+Part 0 is the pickled residual of :func:`repro.store.codec.split_arrays`
+plus the ``(dtype, shape)`` descriptors of every extracted array; parts
+1..n are the arrays' raw bytes. Query sketches, solo encodings, and slab
+payloads therefore cross the pipe as typed segments — the same encoding
+the shard catalogs store on disk — instead of being re-pickled
+element-wise.
+
+Requests and responses are plain tuples: ``(op, payload)`` up,
+``("ok", result) | ("err", traceback)`` down. One request is in flight
+per connection at a time; the parent serialises callers with a lock
+(:class:`repro.serve.worker.ShardWorker`).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import numpy as np
+
+from repro.store import codec
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: Sanity bound on a single frame part (1 GiB) — a corrupted length
+#: prefix fails loudly instead of attempting a huge allocation.
+MAX_PART_BYTES = 1 << 30
+
+
+def encode_message(obj) -> list[bytes]:
+    """Encode one message into its wire parts (residual + array slabs)."""
+    arrays: list[np.ndarray] = []
+    residual = codec.split_arrays(obj, arrays)
+    metas = []
+    parts: list[bytes] = [b""]  # placeholder for part 0
+    for array in arrays:
+        dtype, shape, data = codec.encode_array(array)
+        metas.append((dtype, shape))
+        parts.append(data)
+    parts[0] = codec.dumps((residual, metas))
+    return parts
+
+
+def decode_message(parts: list[bytes]):
+    """Inverse of :func:`encode_message`."""
+    residual, metas = codec.loads(parts[0])
+    if not metas:
+        return residual
+    arrays = [
+        codec.decode_array(dtype, shape, data)
+        for (dtype, shape), data in zip(metas, parts[1:])
+    ]
+    return codec.join_arrays(residual, arrays)
+
+
+class Connection:
+    """One framed, blocking RPC endpoint over a stream socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._closed = False
+
+    # ---------------------------------------------------------------- send
+
+    def send(self, obj) -> None:
+        parts = encode_message(obj)
+        frame = bytearray(_U32.pack(len(parts)))
+        for part in parts:
+            frame += _U64.pack(len(part))
+            frame += part
+        self._sock.sendall(frame)
+
+    # ---------------------------------------------------------------- recv
+
+    def _recv_exact(self, n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = self._sock.recv(n - len(buf))
+            if not chunk:
+                raise EOFError("connection closed mid-frame")
+            buf += chunk
+        return bytes(buf)
+
+    def recv(self):
+        (count,) = _U32.unpack(self._recv_exact(_U32.size))
+        parts = []
+        for _ in range(count):
+            (length,) = _U64.unpack(self._recv_exact(_U64.size))
+            if length > MAX_PART_BYTES:
+                raise ValueError(
+                    f"frame part of {length} bytes exceeds the "
+                    f"{MAX_PART_BYTES}-byte bound (corrupt stream?)"
+                )
+            parts.append(self._recv_exact(length))
+        return decode_message(parts)
+
+    # --------------------------------------------------------------- admin
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+
+class RemoteShardError(RuntimeError):
+    """An operation raised inside a shard worker; carries its traceback."""
+
+
+def check_response(response) -> object:
+    """Unwrap an ``("ok", result)`` response or raise the shipped error."""
+    status, value = response
+    if status == "ok":
+        return value
+    raise RemoteShardError(f"shard worker failed:\n{value}")

@@ -1,0 +1,688 @@
+"""`LakeServer`: concurrent discovery over thread- or process-hosted shards.
+
+The server splits the two roles a session interleaves — mutation and
+discovery — the way the HTAP systems in PAPERS.md isolate update
+propagation from analytics (Polynesia, arXiv:2103.00798):
+
+* **generation-pinned snapshot reads** — a query acquires the read side of
+  one server-wide reader/writer lock, captures the per-shard generation
+  vector, and plans *and* executes against exactly that vector. Mutations
+  take the write side, so a query in flight always completes against the
+  snapshot it planned under (zero torn reads), and a mutation commits to
+  the next generation only once no reader can observe it mid-apply;
+* **a single writer path per shard** — all mutations funnel through the
+  write lock, so each shard's journal records a single totally-ordered
+  history (seq allocation and the write-ahead append can never interleave
+  between two writers);
+* **the plan-level result cache** — per-shard partials keyed by
+  ``(plan node, generation scope)``; see :mod:`repro.serve.cache`.
+
+Two shard backends share the executor and the ops table:
+
+* ``backend="thread"`` wraps a *live* session (monolithic or sharded)
+  in-process — no serialisation cost, but every shard still shares the
+  caller's GIL;
+* ``backend="process"`` serves a *saved catalog* with one worker process
+  per shard (:mod:`repro.serve.worker`) — per-shard CPU parallelism, RPC
+  framing cost per round-trip. Corpus-wide statistics under
+  ``global_stats=True`` are kept coherent by snapshot exchange: after
+  every mutation the front-end re-collects the changed shards' df/N
+  statistics and re-installs merged :class:`CorpusStatsGroup` views on
+  every worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+from threading import Condition, Lock
+
+from repro.core.discovery import DiscoveryEngine, DiscoveryResultSet
+from repro.core.session import LakeSession
+from repro.core.sharding import STATS_FAMILIES, ShardedLakeSession, ShardRouter
+from repro.core.srql.executor import ExecutionStats
+from repro.core.srql.planner import Planner
+from repro.serve.cache import ResultCache
+from repro.serve.executor import ServingExecutor
+from repro.serve.ops import ShardHost
+from repro.serve.worker import ShardWorker
+from repro.store.shard import ShardStore
+from repro.text.pipeline import DocumentPipeline
+
+
+class _RWLock:
+    """Reader/writer lock with writer preference.
+
+    Readers run concurrently; a waiting writer blocks *new* readers (no
+    writer starvation) but never interrupts readers already inside — the
+    mechanism behind the snapshot guarantee: in-flight queries finish
+    against their pinned generations before any mutation applies.
+    """
+
+    def __init__(self):
+        self._cond = Condition(Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+# ------------------------------------------------------------ thread backend
+
+
+class ThreadBackend:
+    """Shards served from a live session in the caller's process."""
+
+    def __init__(self, session, owned: bool = False):
+        self.session = session
+        self.owned = owned
+        if isinstance(session, ShardedLakeSession):
+            self.sharded = True
+            self.router = session.router
+            self.global_stats = session.global_stats
+            self.catalog = session.catalog
+            self.name = session.name
+            self._shard_sessions = session.shards
+        else:
+            self.sharded = False
+            self.router = ShardRouter(1)
+            self.global_stats = True  # one shard: stats are the corpus
+            self.catalog = session.profile
+            self.name = session.lake.name
+            self._shard_sessions = [session]
+        self.num_shards = len(self._shard_sessions)
+        self.hosts = [ShardHost(s) for s in self._shard_sessions]
+        config = (
+            session.config if self.sharded else session.cmdl.config
+        )
+        self.default_strategy = config.discovery_strategy
+        self.operator_strategies = config.operator_strategies
+        self.union_candidate_k = (
+            self._shard_sessions[0].engine.scorer("unionable").candidate_k
+        )
+
+    def generations(self) -> dict[int, int]:
+        return {i: s.generation for i, s in enumerate(self._shard_sessions)}
+
+    def shard_documents(self, shard: int):
+        return self._shard_sessions[shard].profile.documents
+
+    def shard_num_des(self, shard: int) -> int:
+        return self._shard_sessions[shard].profile.num_des
+
+    def round_trip(self, shard: int, ops: list) -> list:
+        host = self.hosts[shard]
+        with host.lock:
+            return [host.handle(op, payload or {}) for op, payload in ops]
+
+    def apply(self, op: str, payload: dict) -> None:
+        """Mutations delegate to the wrapped session's own mutators: the
+        session handles journaling, global-stats ripple, and routing."""
+        session = self.session
+        if op == "add_table":
+            session.add_table(payload["table"])
+        elif op == "update_table":
+            session.update_table(payload["table"])
+        elif op == "add_documents":
+            session.add_documents(payload["documents"])
+        elif op == "remove":
+            session.remove(payload["name"])
+        else:
+            raise ValueError(f"unknown mutation op {op!r}")
+
+    def checkpoint(self) -> None:
+        if self.session._store is not None:
+            self.session._store.checkpoint()
+
+    def close(self) -> None:
+        if self.owned:
+            self.session.close()
+
+
+# ----------------------------------------------------------- process backend
+
+
+class _ShardView:
+    """Front-end copy of one worker's planning catalog (lite)."""
+
+    def __init__(self, lite: dict):
+        self.update(lite)
+
+    def update(self, lite: dict) -> None:
+        self.generation = lite["generation"]
+        self.table_columns = lite["table_columns"]
+        self.columns = lite["columns"]
+        self.documents = set(lite["documents"])
+        self.num_des = lite["num_des"]
+
+
+class _FrontCatalog:
+    """Merged planner-facing profile over the per-shard views.
+
+    Duck-types what :class:`~repro.core.srql.planner.Planner` and the
+    gather phase read (``table_columns`` / ``columns`` / ``documents`` /
+    ``columns_of_table`` / ``num_des``), merged lazily and cached against
+    the generation vector — the process-backend analogue of
+    :class:`~repro.core.sharding._MergedCatalog`.
+    """
+
+    def __init__(self, views: list[_ShardView]):
+        self._views = views
+        self._key: tuple | None = None
+        self._table_columns: dict = {}
+        self._columns: dict = {}
+        self._documents: dict = {}
+
+    def _sync(self) -> None:
+        key = tuple(view.generation for view in self._views)
+        if key == self._key:
+            return
+        table_columns: dict = {}
+        columns: dict = {}
+        documents: dict = {}
+        for view in self._views:
+            table_columns.update(view.table_columns)
+            columns.update(view.columns)
+            documents.update(dict.fromkeys(view.documents))
+        self._table_columns = table_columns
+        self._columns = columns
+        self._documents = documents
+        self._key = key
+
+    @property
+    def table_columns(self) -> dict:
+        self._sync()
+        return self._table_columns
+
+    @property
+    def columns(self) -> dict:
+        self._sync()
+        return self._columns
+
+    @property
+    def documents(self) -> dict:
+        self._sync()
+        return self._documents
+
+    def columns_of_table(self, table_name: str) -> list[str]:
+        return self.table_columns.get(table_name, [])
+
+    @property
+    def num_des(self) -> int:
+        return len(self.documents) + len(self.columns)
+
+
+class ProcessBackend:
+    """Shards served by one worker process each, from a saved catalog."""
+
+    def __init__(self, path: str | Path):
+        path = Path(path)
+        if not (path / "catalog.sqlite").exists():
+            raise FileNotFoundError(
+                f"{path} is not a saved lake catalog (no catalog.sqlite); "
+                "create one with session.save(path)"
+            )
+        self.path = path
+        self.catalog_db = ShardStore(path / "catalog.sqlite")
+        kind = self.catalog_db.get_meta("kind")
+        if kind not in ("monolithic", "sharded"):
+            raise ValueError(f"catalog at {path} has unknown kind {kind!r}")
+        self.kind = kind
+        self.num_shards = int(self.catalog_db.get_meta("num_shards", "1"))
+        self.name = self.catalog_db.get_meta("name", "lake")
+        self._seq = int(self.catalog_db.get_meta("journal_seq", "0"))
+        if kind == "sharded":
+            router_state = self.catalog_db.get_state("router")
+            self.router = ShardRouter(
+                router_state["num_shards"],
+                assignments=dict(router_state["assignments"]),
+                seed=router_state["seed"],
+            )
+            self._top = self.catalog_db.get_state("top")
+            self.global_stats = self._top["global_stats"]
+            self._df_pipeline = (
+                None
+                if self._top["df_pipeline"] is None
+                else DocumentPipeline.restore_state(self._top["df_pipeline"])
+            )
+        else:
+            self.router = ShardRouter(1)
+            self._top = None
+            self.global_stats = True  # one shard: stats are the corpus
+            self._df_pipeline = None
+        self.workers: list[ShardWorker] = []
+        self.views: list[_ShardView] = []
+        self._doc_texts: dict[str, str] = {}
+        try:
+            self._boot()
+        except BaseException:
+            self.close()
+            raise
+        self.catalog = _FrontCatalog(self.views)
+        self.default_strategy = self._lites[0]["discovery_strategy"]
+        self.operator_strategies = dict(self._lites[0]["operator_strategies"])
+        self.union_candidate_k = self._lites[0]["union_candidate_k"]
+        self._replay()
+
+    # --------------------------------------------------------------- boot
+
+    def _boot(self) -> None:
+        # Spawn every worker first, then collect handshakes: the shard
+        # restores run concurrently across the children.
+        self.workers = [
+            ShardWorker(self.path / f"shard-{i:04d}.sqlite", index=i)
+            for i in range(self.num_shards)
+        ]
+        for worker in self.workers:
+            worker.wait_ready()
+        self._lites = [w.call("catalog_lite") for w in self.workers]
+        self.views = [_ShardView(lite) for lite in self._lites]
+        self.gens = {i: view.generation for i, view in enumerate(self.views)}
+        if self._ripples():
+            for worker in self.workers:
+                for doc_id, text in worker.call("doc_texts"):
+                    self._doc_texts[doc_id] = text
+        self._push_stats(range(self.num_shards))
+
+    def _ripples(self) -> bool:
+        """Whether document churn ripples across shards (corpus-wide df)."""
+        return self.kind == "sharded" and self.global_stats
+
+    def _push_stats(self, fetch_shards) -> None:
+        """Re-collect ``fetch_shards``' corpus statistics and re-install
+        the merged view on every worker."""
+        if not (self.global_stats and self.num_shards > 1):
+            return
+        if not hasattr(self, "_stat_snapshots"):
+            self._stat_snapshots = [None] * self.num_shards
+        for i in fetch_shards:
+            self._stat_snapshots[i] = self.workers[i].call("stats_snapshot")
+        for i, worker in enumerate(self.workers):
+            remote = {
+                family: [
+                    self._stat_snapshots[j][family]
+                    for j in range(self.num_shards)
+                    if j != i
+                ]
+                for family in STATS_FAMILIES
+            }
+            worker.call("install_stats", {"remote": remote})
+
+    # ------------------------------------------------------------ queries
+
+    def generations(self) -> dict[int, int]:
+        return dict(self.gens)
+
+    def shard_documents(self, shard: int):
+        return self.views[shard].documents
+
+    def shard_num_des(self, shard: int) -> int:
+        return self.views[shard].num_des
+
+    def round_trip(self, shard: int, ops: list) -> list:
+        return self.workers[shard].call("batch", {"ops": list(ops)})
+
+    # ---------------------------------------------------------- mutations
+
+    def _route(self, op: str, payload: dict) -> int:
+        if op in ("add_table", "update_table"):
+            return self.router.shard_of(payload["table"].name)
+        if op == "remove":
+            return self.router.shard_of(payload["name"])
+        if op == "add_documents":
+            return self.router.shard_of(payload["documents"][0].doc_id)
+        return 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        self.catalog_db.put_meta("journal_seq", str(self._seq))
+        self.catalog_db.commit()
+        return self._seq
+
+    def _absorb(self, shard: int, response: dict) -> None:
+        self.gens[shard] = response["generation"]
+        self.views[shard].update(response["catalog"])
+
+    def apply(self, op: str, payload: dict, replaying: bool = False) -> None:
+        if op in ("refresh", "rebalance"):
+            raise NotImplementedError(
+                f"{op}() is not supported on a process-backed server: it "
+                "refits or repartitions whole shards; reopen the catalog "
+                "in-process (repro.open_lake(path)), run it there, save, "
+                "and serve again"
+            )
+        if op not in ("add_table", "update_table", "add_documents", "remove"):
+            raise ValueError(f"unknown mutation op {op!r}")
+        owner = self._route(op, payload)
+        self._validate(op, payload, owner)
+        seq = None
+        if not replaying:
+            seq = self._next_seq()
+            self.workers[owner].call(
+                "journal_append", {"seq": seq, "op": op, "payload": payload}
+            )
+        try:
+            changed = self._dispatch(op, payload, owner)
+        except BaseException:
+            if seq is not None:
+                self.workers[owner].call("journal_delete", {"seq": seq})
+            raise
+        self._push_stats(changed)
+
+    def _validate(self, op: str, payload: dict, owner: int) -> None:
+        """Front-end copies of the sharded session's pre-checks, raised
+        before anything is journaled or shipped."""
+        view = self.views[owner]
+        if op == "update_table":
+            name = payload["table"].name
+            if name not in view.table_columns:
+                raise KeyError(
+                    f"lake {self.name!r} has no table {name!r} to update"
+                )
+        elif op == "remove":
+            name = payload["name"]
+            if name not in view.table_columns and name not in view.documents:
+                raise KeyError(
+                    f"lake {self.name!r} has no table or document {name!r}"
+                )
+
+    def _dispatch(self, op: str, payload: dict, owner: int) -> set[int]:
+        """Apply one validated mutation; returns the shards whose
+        generation changed (for the stats re-push)."""
+        if op in ("add_table", "update_table"):
+            response = self.workers[owner].call(op, {"table": payload["table"]})
+            self._absorb(owner, response)
+            return {owner}
+        if op == "add_documents":
+            documents = payload["documents"]
+            by_owner: dict[int, list] = {}
+            for document in documents:
+                by_owner.setdefault(
+                    self.router.shard_of(document.doc_id), []
+                ).append(document)
+            if self._ripples():
+                for document in documents:
+                    self._doc_texts[document.doc_id] = document.text
+                self._pin_all()
+            changed = set()
+            for shard, batch in sorted(by_owner.items()):
+                response = self.workers[shard].call(
+                    "add_documents", {"documents": batch}
+                )
+                self._absorb(shard, response)
+                changed.add(shard)
+            if self._ripples():
+                changed |= self._resync_siblings(skip=set(by_owner))
+            return changed
+        # remove: a table or a document, resolved against the owner's view
+        name = payload["name"]
+        is_document = name in self.views[owner].documents
+        if is_document and self._ripples():
+            self._doc_texts.pop(name, None)
+            self._pin_all()
+            response = self.workers[owner].call("remove", {"name": name})
+            self._absorb(owner, response)
+            return {owner} | self._resync_siblings(skip={owner})
+        if is_document:
+            self._doc_texts.pop(name, None)
+        response = self.workers[owner].call("remove", {"name": name})
+        self._absorb(owner, response)
+        return {owner}
+
+    def _pin_all(self) -> None:
+        """Refit the corpus-wide df filter from the maintained text corpus
+        and pin it on every worker (mirrors ``_sync_document_filter``)."""
+        texts = list(self._doc_texts.values())
+        self._df_pipeline.fit(texts)
+        payload = {
+            "common_terms": sorted(self._df_pipeline.common_terms),
+            "num_docs": len(texts),
+        }
+        for worker in self.workers:
+            worker.call("pin_filter", payload)
+
+    def _resync_siblings(self, skip: set[int]) -> set[int]:
+        changed = set()
+        for i, worker in enumerate(self.workers):
+            if i in skip:
+                continue
+            response = worker.call("resync_documents")
+            if response["changed"]:
+                self.gens[i] = response["generation"]
+                self.views[i].generation = response["generation"]
+                changed.add(i)
+        return changed
+
+    def _replay(self) -> None:
+        """Re-apply any journal tail a previous writer left unsaved, in
+        global seq order — the serving analogue of ``LakeStore._replay``."""
+        entries: list[tuple[int, str, object]] = []
+        for worker in self.workers:
+            entries.extend(worker.call("journal_entries"))
+        if not entries:
+            return
+        entries.sort(key=lambda entry: entry[0])
+        for seq, op, payload in entries:
+            self.apply(op, payload, replaying=True)
+        self._seq = max(self._seq, entries[-1][0])
+
+    # -------------------------------------------------------- persistence
+
+    def checkpoint(self) -> None:
+        """Fold every worker's journal into its shard file and refresh the
+        manifest — the served catalog stays reopenable at any time."""
+        for worker in self.workers:
+            worker.call("checkpoint")
+        if self._top is not None:
+            top = dict(self._top)
+            top["df_pipeline"] = (
+                None
+                if self._df_pipeline is None
+                else self._df_pipeline.persistent_state()
+            )
+            self.catalog_db.put_state("top", top)
+            self._top = top
+        self.catalog_db.put_meta("journal_seq", str(self._seq))
+        self.catalog_db.commit()
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+        self.workers = []
+        self.catalog_db.close()
+
+
+# ------------------------------------------------------------------ server
+
+
+class LakeServer:
+    """Concurrent serving front-end over thread- or process-hosted shards.
+
+    Construct from a live session (``backend="thread"``) or a saved
+    catalog path (either backend); or call ``session.serve()``. Queries
+    (:meth:`discover` / :meth:`discover_batch`) may run from many threads
+    at once; mutations serialise on the writer path. See the module docs
+    for the snapshot and caching contracts.
+    """
+
+    def __init__(
+        self,
+        source,
+        backend: str = "thread",
+        cache: bool = True,
+        cache_entries: int = 4096,
+    ):
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        if isinstance(source, (str, Path)):
+            if backend == "process":
+                self.backend = ProcessBackend(source)
+            else:
+                from repro.store import load_catalog
+
+                self.backend = ThreadBackend(load_catalog(source), owned=True)
+        elif isinstance(source, (LakeSession, ShardedLakeSession)):
+            if backend == "process":
+                raise ValueError(
+                    "backend='process' serves a saved catalog: call "
+                    "session.save(path) then LakeServer(path, "
+                    "backend='process') — or session.serve("
+                    "backend='process') to do both"
+                )
+            self.backend = ThreadBackend(source, owned=False)
+        else:
+            raise TypeError(
+                f"source must be a session or a catalog path, got "
+                f"{type(source).__name__}"
+            )
+        self.cache = ResultCache(cache_entries) if cache else None
+        self.planner = Planner(
+            self.backend.catalog,
+            default_strategy=self.backend.default_strategy,
+            operator_strategies=self.backend.operator_strategies,
+        )
+        self._lock = _RWLock()
+        self._closed = False
+        workers = min(self.backend.num_shards, os.cpu_count() or 1)
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="lake-serve"
+            )
+            if workers > 1
+            else None
+        )
+        self.last_stats: ExecutionStats = ExecutionStats()
+
+    # ------------------------------------------------------------- reads
+
+    def discover(self, query) -> DiscoveryResultSet:
+        """Run one SRQL query against a pinned generation snapshot."""
+        return self.discover_batch([query])[0]
+
+    def discover_batch(self, queries) -> list[DiscoveryResultSet]:
+        """Run an SRQL workload under one snapshot, one executor, and at
+        most three batched round-trips per shard."""
+        self._check_open()
+        with self._lock.read():
+            generations = self.backend.generations()
+            executor = ServingExecutor(self, generations)
+            plans = self.planner.plan_batch(
+                [DiscoveryEngine._to_ast(q) for q in queries]
+            )
+            results = executor.execute_batch(plans)
+            self.last_stats = executor.last_stats
+            return results
+
+    def map_shards(self, fn, shards: list[int]) -> None:
+        """Run ``fn(shard)`` for each listed shard, concurrently when the
+        server has a pool (the executor's fan-out primitive)."""
+        if self._pool is not None and len(shards) > 1:
+            list(self._pool.map(fn, shards))
+        else:
+            for shard in shards:
+                fn(shard)
+
+    # ------------------------------------------------------------ writes
+
+    def add_table(self, table) -> None:
+        self._apply("add_table", {"table": table})
+
+    def update_table(self, table) -> None:
+        self._apply("update_table", {"table": table})
+
+    def add_document(self, document) -> None:
+        self.add_documents([document])
+
+    def add_documents(self, documents) -> None:
+        self._apply("add_documents", {"documents": list(documents)})
+
+    def remove(self, name: str) -> None:
+        self._apply("remove", {"name": name})
+
+    def _apply(self, op: str, payload: dict) -> None:
+        self._check_open()
+        with self._lock.write():
+            self.backend.apply(op, payload)
+
+    def checkpoint(self) -> None:
+        """Durably fold outstanding journal entries into the catalog."""
+        self._check_open()
+        with self._lock.write():
+            self.backend.checkpoint()
+
+    # ------------------------------------------------------------- admin
+
+    @property
+    def generations(self) -> dict[int, int]:
+        return self.backend.generations()
+
+    @property
+    def generation(self) -> int:
+        return sum(self.backend.generations().values())
+
+    @property
+    def num_shards(self) -> int:
+        return self.backend.num_shards
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this LakeServer is closed")
+
+    def close(self) -> None:
+        """Shut down workers/pool (idempotent). A thread backend wrapping
+        a caller-owned live session leaves that session open."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.backend.close()
+
+    def __enter__(self) -> "LakeServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        kind = type(self.backend).__name__
+        return (
+            f"LakeServer({self.backend.name!r}, {kind}, "
+            f"shards={self.backend.num_shards}, "
+            f"cache={'on' if self.cache is not None else 'off'})"
+        )

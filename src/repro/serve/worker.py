@@ -1,0 +1,205 @@
+"""Shard worker process: one ``shard-NNNN.sqlite`` behind an RPC pipe.
+
+The child side (:func:`main`, run as ``python -m repro.serve.worker``)
+restores its shard with the catalog-reopen path — PR 7's measurement is
+that reopening is ~13x cheaper than refitting, which is what makes
+per-shard worker processes a reasonable unit of deployment — wraps it in
+the shared :class:`~repro.serve.ops.ShardHost`, and answers framed
+requests until ``shutdown`` or EOF (the parent vanishing).
+
+The parent side (:class:`ShardWorker`) spawns the child over a
+``socketpair`` inherited by fd — no listening port, no fork of a
+thread-carrying parent — serialises callers onto the single in-flight
+request the protocol allows, and is reaped on GC via ``weakref.finalize``
+as a backstop for servers that were never closed.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import traceback
+import weakref
+from pathlib import Path
+from threading import Lock
+
+from repro.serve.rpc import Connection, check_response
+
+
+def _serve_loop(conn: Connection, db, host) -> None:
+    """Answer requests until shutdown/EOF. Op errors are shipped back as
+    ``("err", traceback)`` frames; the worker survives them."""
+    from repro.store.catalog import _write_shard_full
+
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            return  # parent closed the pipe (or died): exit quietly
+        payload = payload or {}
+        try:
+            if op == "shutdown":
+                conn.send(("ok", None))
+                return
+            if op == "batch":
+                result = [
+                    host.handle(sub_op, sub_payload or {})
+                    for sub_op, sub_payload in payload["ops"]
+                ]
+            elif op == "journal_append":
+                db.append_journal(payload["seq"], payload["op"], payload["payload"])
+                db.commit()
+                result = None
+            elif op == "journal_delete":
+                db.delete_journal(payload["seq"])
+                db.commit()
+                result = None
+            elif op == "journal_entries":
+                result = list(db.journal_entries())
+            elif op == "checkpoint":
+                _write_shard_full(db, host.session)
+                db.clear_journal()
+                db.commit()
+                result = None
+            else:
+                result = host.handle(op, payload)
+        except BaseException:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except OSError:
+                return
+            continue
+        try:
+            conn.send(("ok", result))
+        except OSError:
+            return
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Child entry point: ``python -m repro.serve.worker <shard.sqlite> <fd>``."""
+    from repro.serve.ops import ShardHost
+    from repro.store import ShardStore, restore_shard_session
+
+    argv = sys.argv[1:] if argv is None else argv
+    shard_path, fd = Path(argv[0]), int(argv[1])
+    sock = socket.socket(fileno=fd)
+    conn = Connection(sock)
+    try:
+        db = ShardStore(shard_path)
+        session = restore_shard_session(db)
+        host = ShardHost(session)
+        conn.send(("ok", {"ready": True, "pid": os.getpid()}))
+    except BaseException:
+        try:
+            conn.send(("err", traceback.format_exc()))
+        except OSError:
+            pass
+        conn.close()
+        return 1
+    try:
+        _serve_loop(conn, db, host)
+    finally:
+        conn.close()
+        db.close()
+    return 0
+
+
+# --------------------------------------------------------------- parent side
+
+
+def _reap(proc: subprocess.Popen, conn: Connection) -> None:
+    """GC / close backstop: drop the pipe, then escalate politely."""
+    conn.close()
+    if proc.poll() is None:
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def _child_env() -> dict:
+    """The child must import :mod:`repro` from the same tree the parent
+    runs, whatever the parent's launch mechanism put on ``sys.path``."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else os.pathsep.join([src_root, existing])
+    )
+    return env
+
+
+class ShardWorker:
+    """Parent-side handle on one shard worker process."""
+
+    def __init__(self, shard_path: str | Path, index: int = 0):
+        self.index = index
+        self.path = Path(shard_path)
+        parent_sock, child_sock = socket.socketpair()
+        try:
+            # Spawned via -c rather than -m: runpy would re-execute this
+            # module on top of the copy the import graph already loaded.
+            self.proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    "import sys; from repro.serve.worker import main; "
+                    "sys.exit(main(sys.argv[1:]))",
+                    str(self.path),
+                    str(child_sock.fileno()),
+                ],
+                pass_fds=(child_sock.fileno(),),
+                env=_child_env(),
+            )
+        finally:
+            child_sock.close()
+        self.conn = Connection(parent_sock)
+        self._lock = Lock()
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _reap, self.proc, self.conn)
+
+    def wait_ready(self) -> dict:
+        """Block until the child finished restoring its shard."""
+        return check_response(self.conn.recv())
+
+    def call(self, op: str, payload: dict | None = None):
+        """One RPC round-trip (callers are serialised on this worker)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"worker {self.index} is closed")
+            self.conn.send((op, payload or {}))
+            return check_response(self.conn.recv())
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed and self.proc.poll() is None
+
+    def close(self) -> None:
+        """Graceful shutdown: ask, wait, then let the reaper escalate."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self.conn.send(("shutdown", {}))
+                check_response(self.conn.recv())
+            except (OSError, EOFError):
+                pass
+        self._finalizer()  # close pipe + wait/terminate, then detach
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "closed"
+        return f"ShardWorker(index={self.index}, pid={self.proc.pid}, {state})"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

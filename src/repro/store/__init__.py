@@ -17,6 +17,7 @@ from repro.store.catalog import (
     LakeStore,
     ShardDirt,
     load_catalog,
+    restore_shard_session,
 )
 from repro.store.shard import SCHEMA_VERSION, ShardStore
 
@@ -27,4 +28,5 @@ __all__ = [
     "ShardDirt",
     "ShardStore",
     "load_catalog",
+    "restore_shard_session",
 ]

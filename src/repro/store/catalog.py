@@ -808,9 +808,19 @@ class LakeStore:
         )
 
     def close(self) -> None:
+        """Release every SQLite handle (idempotent — double-close through
+        a session's context manager plus an explicit close() is safe, and
+        an unfolded journal tail stays durable for the next reopen)."""
         for db in self.shard_dbs:
             db.close()
         self.catalog_db.close()
+
+
+def restore_shard_session(db: ShardStore) -> LakeSession:
+    """Restore one shard file into a live monolithic session — the shard
+    worker bootstrap (:mod:`repro.serve.worker`) and any tool that wants a
+    single shard without paying for the whole lake."""
+    return _restore_shard(db)
 
 
 def load_catalog(path: str | Path):

@@ -81,6 +81,7 @@ class ShardStore:
             raise FileNotFoundError(f"no shard catalog at {self.path}")
         # check_same_thread=False: sharded sessions run mutators from pool
         # threads; the store serialises its own writes at the session layer.
+        self._closed = False
         self.conn = sqlite3.connect(str(self.path), check_same_thread=False)
         self.conn.execute("PRAGMA journal_mode=WAL")
         self.conn.execute("PRAGMA synchronous=NORMAL")
@@ -231,6 +232,10 @@ class ShardStore:
         self.conn.commit()
 
     def close(self) -> None:
+        """Commit and release the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         self.conn.commit()
         self.conn.close()
 

@@ -1,0 +1,101 @@
+"""ResultCache: LRU behaviour, counters, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.cache import ResultCache
+
+
+def test_get_put_roundtrip():
+    cache = ResultCache()
+    assert cache.get(0, ("kw", (1,))) is None
+    cache.put(0, ("kw", (1,)), [1, 2, 3])
+    assert cache.get(0, ("kw", (1,))) == [1, 2, 3]
+    assert len(cache) == 1
+
+
+def test_keys_are_shard_scoped():
+    cache = ResultCache()
+    cache.put(0, ("kw", (1,)), "a")
+    cache.put(1, ("kw", (1,)), "b")
+    assert cache.get(0, ("kw", (1,))) == "a"
+    assert cache.get(1, ("kw", (1,))) == "b"
+    assert sorted(cache.keys()) == [(0, ("kw", (1,))), (1, ("kw", (1,)))]
+
+
+def test_counters_track_hits_and_misses():
+    cache = ResultCache()
+    cache.get(0, "k")            # miss
+    cache.put(0, "k", 1)
+    cache.get(0, "k")            # hit
+    cache.get(0, "other")        # miss
+    assert cache.hits == 1
+    assert cache.misses == 2
+
+
+def test_none_values_are_cacheable():
+    cache = ResultCache()
+    cache.put(0, "k", None)
+    assert cache.get(0, "k") is None
+    # ...but it counted as a hit: the sentinel distinguishes absence.
+    assert cache.hits == 1
+    assert cache.misses == 0
+
+
+def test_lru_eviction_prefers_recent_entries():
+    cache = ResultCache(max_entries=3)
+    for i in range(3):
+        cache.put(0, i, i)
+    cache.get(0, 0)              # touch 0: now 1 is the oldest
+    cache.put(0, 3, 3)           # evicts 1
+    assert cache.get(0, 0) == 0
+    assert cache.get(0, 1) is None
+    assert cache.get(0, 2) == 2
+    assert cache.get(0, 3) == 3
+    assert len(cache) == 3
+
+
+def test_put_refreshes_recency():
+    cache = ResultCache(max_entries=2)
+    cache.put(0, "a", 1)
+    cache.put(0, "b", 2)
+    cache.put(0, "a", 10)        # refresh "a": "b" is now the oldest
+    cache.put(0, "c", 3)         # evicts "b"
+    assert cache.get(0, "a") == 10
+    assert cache.get(0, "b") is None
+    assert cache.get(0, "c") == 3
+
+
+def test_clear_resets_entries_but_keeps_counters():
+    cache = ResultCache()
+    cache.put(0, "k", 1)
+    cache.get(0, "k")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(0, "k") is None
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_concurrent_access_is_safe():
+    cache = ResultCache(max_entries=64)
+    errors = []
+
+    def worker(base):
+        try:
+            for i in range(500):
+                key = (base * 500 + i) % 96  # force evictions
+                cache.put(base, key, i)
+                cache.get(base, key)
+                cache.get((base + 1) % 4, key)
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    assert len(cache) <= 64

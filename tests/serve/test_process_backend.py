@@ -1,0 +1,230 @@
+"""Process-backed LakeServer: one worker process per shard.
+
+The acceptance bar of the serving tentpole: with ``global_stats=True``
+and the hashing embedder, a process-backed server over a saved catalog
+returns byte-identical top-k to the in-process ShardedLakeSession for
+all six primitives on all three seed lakes — cold (fresh boot via the
+catalog-reopen path) and after interleaved mutations applied through the
+server's RPC writer path (including the corpus-wide df ripple that
+document churn triggers under global statistics).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.core.session import open_lake
+from repro.core.srql import Q
+from repro.relational.table import Table
+from repro.serve import LakeServer
+
+from tests.serve.conftest import (
+    assert_same_results,
+    copy_lake,
+    mutation_args,
+    mutation_script,
+    parity_config,
+    workload,
+)
+
+LAKES = ("pharma", "ukopen", "mlopen")
+
+
+def saved_session(lake, path, shards: int = 2):
+    """Fit + save a sharded session, then unbind its store so the process
+    server is the catalog's only writer. The session object stays usable
+    in memory as the parity reference."""
+    session = open_lake(
+        copy_lake(lake), parity_config(), shards=shards, global_stats=True
+    )
+    session.save(path)
+    session.close()
+    return session
+
+
+def wait_exit(procs, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(p.poll() is not None for p in procs):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def parity_case(lake, tmp_path, shards: int) -> None:
+    reference = saved_session(lake, tmp_path / "lake", shards=shards)
+    server = LakeServer(tmp_path / "lake", backend="process")
+    try:
+        assert server.num_shards == shards
+        queries = workload(reference)
+        expected = reference.discover_batch(queries)
+        got = server.discover_batch(queries)
+        assert_same_results(
+            expected, got, queries, f"{lake.name} shards={shards} cold"
+        )
+
+        mutation = mutation_args(reference)
+        mutation_script(reference, *mutation)
+        mutation_script(server, *mutation)
+
+        queries = workload(reference)
+        expected = reference.discover_batch(queries)
+        got = server.discover_batch(queries)
+        assert_same_results(
+            expected, got, queries, f"{lake.name} shards={shards} mutated"
+        )
+    finally:
+        server.close()
+
+
+class TestProcessParity:
+    @pytest.mark.parametrize("name", LAKES)
+    def test_two_shards_cold_and_mutated(self, seed_lakes, name, tmp_path):
+        parity_case(seed_lakes[name], tmp_path, shards=2)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", LAKES)
+    def test_four_shards_cold_and_mutated(self, seed_lakes, name, tmp_path):
+        parity_case(seed_lakes[name], tmp_path, shards=4)
+
+    def test_checkpoint_keeps_catalog_reopenable(self, seed_lakes, tmp_path):
+        """After mutating and checkpointing through the server, the same
+        directory reopens in-process with the mutations folded in."""
+        reference = saved_session(seed_lakes["pharma"], tmp_path / "lake")
+        server = LakeServer(tmp_path / "lake", backend="process")
+        try:
+            mutation = mutation_args(reference)
+            mutation_script(reference, *mutation)
+            mutation_script(server, *mutation)
+            server.checkpoint()
+        finally:
+            server.close()
+
+        reopened = open_lake(tmp_path / "lake")
+        try:
+            queries = workload(reference)
+            expected = reference.discover_batch(queries)
+            got = reopened.discover_batch(queries)
+            assert_same_results(expected, got, queries, "reopen after serve")
+        finally:
+            reopened.close()
+
+
+class TestJournalReplay:
+    def test_unsaved_mutations_replay_on_reboot(self, seed_lakes, tmp_path):
+        """Mutations applied through the server but never checkpointed
+        live in the shard journals; a rebooted server replays them."""
+        reference = saved_session(seed_lakes["pharma"], tmp_path / "lake")
+        queries = workload(reference)
+
+        server = LakeServer(tmp_path / "lake", backend="process")
+        try:
+            mutation = mutation_args(reference)
+            mutation_script(reference, *mutation)
+            mutation_script(server, *mutation)
+            expected = server.discover_batch(queries)
+            generations = server.generations
+        finally:
+            server.close()  # no checkpoint: the journal tail stays
+
+        rebooted = LakeServer(tmp_path / "lake", backend="process")
+        try:
+            got = rebooted.discover_batch(queries)
+            assert_same_results(expected, got, queries, "journal replay")
+            want = reference.discover_batch(queries)
+            assert_same_results(want, got, queries, "replay vs reference")
+        finally:
+            rebooted.close()
+
+
+class TestWorkerLifecycle:
+    def test_close_shuts_workers_down(self, seed_lakes, tmp_path):
+        saved_session(seed_lakes["pharma"], tmp_path / "lake")
+        server = LakeServer(tmp_path / "lake", backend="process")
+        procs = [worker.proc for worker in server.backend.workers]
+        assert len(procs) == 2
+        assert all(p.poll() is None for p in procs)
+        server.close()
+        assert wait_exit(procs), "workers still alive after close()"
+        server.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            server.discover(Q.content_search("rate", k=3))
+
+    def test_gc_reaps_abandoned_workers(self, seed_lakes, tmp_path):
+        saved_session(seed_lakes["pharma"], tmp_path / "lake")
+        server = LakeServer(tmp_path / "lake", backend="process")
+        procs = [worker.proc for worker in server.backend.workers]
+        del server
+        gc.collect()
+        assert wait_exit(procs), "workers leaked after the server was GC'd"
+
+    def test_serve_contract_on_sessions(self, seed_lakes, tmp_path):
+        """``session.serve(backend='process')`` hands the catalog over:
+        the session closes, the server becomes the sole writer."""
+        session = open_lake(
+            copy_lake(seed_lakes["pharma"]), parity_config(),
+            shards=2, global_stats=True,
+        )
+        # Unsaved sessions cannot be process-served.
+        with pytest.raises(ValueError, match="save"):
+            session.serve(backend="process")
+
+        session.save(tmp_path / "lake")
+        queries = workload(session)
+        expected = session.discover_batch(queries)
+        server = session.serve(backend="process")
+        try:
+            assert session._store is None  # handed over
+            got = server.discover_batch(queries)
+            assert_same_results(expected, got, queries, "session.serve")
+        finally:
+            server.close()
+
+
+class TestMutationSurface:
+    def test_validation_errors_match_the_session(self, seed_lakes, tmp_path):
+        reference = saved_session(seed_lakes["pharma"], tmp_path / "lake")
+        server = LakeServer(tmp_path / "lake", backend="process")
+        try:
+            ghost = Table.from_dict("ghost", {"x": [1]})
+            with pytest.raises(KeyError) as server_err:
+                server.update_table(ghost)
+            with pytest.raises(KeyError) as session_err:
+                reference.update_table(ghost)
+            assert str(server_err.value) == str(session_err.value)
+
+            with pytest.raises(KeyError) as server_err:
+                server.remove("no_such_thing")
+            with pytest.raises(KeyError) as session_err:
+                reference.remove("no_such_thing")
+            assert str(server_err.value) == str(session_err.value)
+
+            # A failed mutation leaves no journal residue: a reboot sees
+            # the same lake.
+            generations = server.generations
+            server.close()
+            rebooted = LakeServer(tmp_path / "lake", backend="process")
+            try:
+                assert rebooted.generations == generations
+            finally:
+                rebooted.close()
+        finally:
+            server.close()
+
+    def test_refresh_and_rebalance_are_rejected(self, seed_lakes, tmp_path):
+        saved_session(seed_lakes["pharma"], tmp_path / "lake")
+        server = LakeServer(tmp_path / "lake", backend="process")
+        try:
+            with pytest.raises(NotImplementedError, match="open_lake"):
+                server.backend.apply("refresh", {})
+            with pytest.raises(NotImplementedError, match="open_lake"):
+                server.backend.apply("rebalance", {})
+        finally:
+            server.close()
+
+    def test_missing_catalog_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="catalog.sqlite"):
+            LakeServer(tmp_path / "nowhere", backend="process")

@@ -1,0 +1,121 @@
+"""RPC framing: slab round-trips, socket transport, error shipping."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.ops import ColumnLite
+from repro.serve.rpc import (
+    Connection,
+    RemoteShardError,
+    check_response,
+    decode_message,
+    encode_message,
+)
+
+
+def roundtrip(obj):
+    return decode_message([bytes(p) for p in encode_message(obj)])
+
+
+class TestMessageCodec:
+    def test_plain_payloads_use_a_single_part(self):
+        parts = encode_message(("ok", {"generation": 3, "names": ["a", "b"]}))
+        assert len(parts) == 1
+        assert roundtrip(("ok", {"generation": 3})) == ("ok", {"generation": 3})
+
+    def test_arrays_travel_as_typed_slabs(self):
+        payload = {
+            "encoding": np.arange(12, dtype=np.float32).reshape(3, 4),
+            "ids": np.array([5, 7, 11], dtype=np.int64),
+            "k": 10,
+        }
+        parts = encode_message(payload)
+        assert len(parts) == 3  # residual + one slab per array
+        restored = decode_message(parts)
+        assert restored["k"] == 10
+        np.testing.assert_array_equal(restored["encoding"], payload["encoding"])
+        np.testing.assert_array_equal(restored["ids"], payload["ids"])
+        assert restored["encoding"].dtype == np.float32
+
+    def test_nested_containers_and_empty_arrays(self):
+        payload = [
+            ("batch", {"ops": [("keyword", {"k": 5})]}),
+            {"empty": np.zeros((0, 4), dtype=np.float64)},
+        ]
+        restored = roundtrip(payload)
+        assert restored[0] == ("batch", {"ops": [("keyword", {"k": 5})]})
+        assert restored[1]["empty"].shape == (0, 4)
+
+    def test_column_lite_survives_the_codec(self):
+        # split_arrays rebuilds tuples, so ColumnLite must not be one.
+        lite = ColumnLite("drugs", None)
+        restored = roundtrip({"col": lite})["col"]
+        assert isinstance(restored, ColumnLite)
+        assert restored.table_name == "drugs"
+        assert restored.tags is None
+
+
+class TestConnection:
+    def pair(self):
+        a, b = socket.socketpair()
+        return Connection(a), Connection(b)
+
+    def test_send_recv_roundtrip(self):
+        left, right = self.pair()
+        try:
+            message = ("keyword", {"value": "rate", "vec": np.ones(8)})
+            left.send(message)
+            op, payload = right.recv()
+            assert op == "keyword"
+            np.testing.assert_array_equal(payload["vec"], np.ones(8))
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_messages_in_both_directions(self):
+        left, right = self.pair()
+        try:
+            def echo():
+                for _ in range(20):
+                    right.send(right.recv())
+
+            thread = threading.Thread(target=echo)
+            thread.start()
+            for i in range(20):
+                left.send({"i": i, "slab": np.full(16, i, dtype=np.int32)})
+                back = left.recv()
+                assert back["i"] == i
+                assert back["slab"][0] == i
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_on_closed_peer(self):
+        left, right = self.pair()
+        left.close()
+        with pytest.raises(EOFError):
+            right.recv()
+        right.close()
+
+    def test_close_is_idempotent(self):
+        left, right = self.pair()
+        left.close()
+        left.close()
+        right.close()
+        right.close()
+
+
+class TestCheckResponse:
+    def test_ok_unwraps(self):
+        assert check_response(("ok", [1, 2])) == [1, 2]
+
+    def test_err_raises_with_remote_traceback(self):
+        with pytest.raises(RemoteShardError, match="ValueError: boom"):
+            check_response(("err", "Traceback ...\nValueError: boom"))
