@@ -116,6 +116,12 @@ def main() -> None:
     #   server = session.serve()                    # thread backend
     #   server = session.serve(backend="process")   # after session.save()
     #   server.discover(Q.joinable("drugs", top_n=2)); server.close()
+    # The process backend is fault tolerant: a crashed or hung worker is
+    # respawned inside the next read that needs it (catalog reopen +
+    # journal replay, back to the exact pre-crash state), with timeouts,
+    # retries, and backoff knobs on the constructor; degraded="partial"
+    # returns partial top-k (stats.degraded_shards says what's missing)
+    # instead of raising ShardUnavailable when a shard stays down.
 
     gt = generated.ground_truth("doc_to_table")
     relevant = gt.relevant(r1[1])

@@ -16,7 +16,13 @@ writer path mutates:
 * **process backend** — ``serve(backend="process")`` hands a *saved*
   catalog to one worker process per shard (booted via the cheap
   catalog-reopen path); the server becomes the catalog's sole writer
-  and mutations are write-ahead journaled exactly like a session's.
+  and mutations are write-ahead journaled exactly like a session's;
+* **fault tolerance** — a killed/hung worker is respawned inside the
+  first read that needs it (catalog reopen + journal-tail replay back
+  to the exact pre-crash generation), reads retry transparently, and a
+  shard down past its retry budget either fails the query
+  (``degraded="fail"``) or returns partial results with the gap
+  reported in ``stats.degraded_shards`` (``degraded="partial"``).
 
 Run:  python examples/serving_lake.py
 """
@@ -96,6 +102,24 @@ def main() -> None:
         print(f"  repeat batch served from cache: "
               f"hits={server.last_stats.cache_hits}, "
               f"round_trips={dict(server.last_stats.shard_round_trips)}")
+        # ---- fault tolerance: kill a worker, keep serving --------------
+        print("\nKilling shard 0's worker process mid-serve ...")
+        victim = server.backend.workers[0]
+        victim.proc.kill()
+        victim.proc.wait()
+        # Recovery is lazy: the next read that misses the cache and needs
+        # shard 0 respawns it (catalog reopen + journal replay) and then
+        # retries itself — the caller just sees a slower-than-usual query.
+        # (A cached query would not even notice: partials for dead shards
+        # keep serving from the result cache until a mutation bumps them.)
+        result = server.discover(Q.content_search("protein kinase", k=3))
+        stats = server.last_stats
+        print(f"  fresh query served anyway: {result.ids()}")
+        print(f"  stats: respawns={stats.respawns} retries={stats.retries} "
+              f"(crashes past max_respawns trip a per-shard circuit "
+              f"breaker; server.reset_shard(i) re-arms it, and "
+              f"degraded='partial' trades failure for partial top-k)")
+
         server.add_table(Table.from_dict("served_extra", {
             "extra_id": ["X1"], "note": ["added through the server"],
         }))

@@ -84,6 +84,16 @@ class ExecutionStats:
     #: cache enabled only; both stay 0 elsewhere).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Shards whose partials are missing from this batch's results
+    #: because the shard stayed down past its retry budget and the server
+    #: runs ``degraded="partial"`` (process-backed serving only; empty
+    #: means the answers are complete).
+    degraded_shards: list = field(default_factory=list)
+    #: Read round-trips retried after a worker failure, and workers
+    #: respawned, while this batch ran (process-backed serving only;
+    #: attribution is approximate when batches overlap).
+    retries: int = 0
+    respawns: int = 0
 
     @property
     def reused(self) -> int:

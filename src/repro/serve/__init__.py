@@ -20,10 +20,43 @@ propagation from analytics (Polynesia, arXiv:2103.00798):
 * :mod:`repro.serve.executor` — batched scatter: one round-trip per shard
   ships a whole operator group, partial results flow through the cache;
 * :mod:`repro.serve.server` — :class:`LakeServer`: generation-pinned
-  snapshot reads, a single writer path per shard, ``session.serve()``.
+  snapshot reads, a single writer path per shard, ``session.serve()``;
+* :mod:`repro.serve.faults` — deterministic fault injection for the
+  recovery tests and ``benchmarks/bench_faults.py``.
+
+Fault tolerance (process backend): transport failures surface as the
+typed :class:`RPCError` hierarchy, a :class:`WorkerSupervisor` respawns
+crashed or hung workers through the catalog-reopen path (the worker
+replays its own journal tail back to the exact pre-crash state), reads
+retry on the respawned worker pinned to their snapshot generation, and a
+shard down past its budget either fails the query
+(:class:`ShardUnavailable`, ``degraded="fail"``) or drops out of the
+top-k with ``ExecutionStats.degraded_shards`` populated
+(``degraded="partial"``).
 """
 
 from repro.serve.cache import ResultCache
+from repro.serve.rpc import (
+    ConnectionClosed,
+    FrameCorrupt,
+    RemoteShardError,
+    RPCError,
+    ShardUnavailable,
+    WorkerCrashed,
+    WorkerTimeout,
+)
 from repro.serve.server import LakeServer
+from repro.serve.worker import WorkerSupervisor
 
-__all__ = ["LakeServer", "ResultCache"]
+__all__ = [
+    "ConnectionClosed",
+    "FrameCorrupt",
+    "LakeServer",
+    "RPCError",
+    "RemoteShardError",
+    "ResultCache",
+    "ShardUnavailable",
+    "WorkerCrashed",
+    "WorkerSupervisor",
+    "WorkerTimeout",
+]

@@ -64,6 +64,18 @@ class ResultCache:
         with self._lock:
             return list(self._entries)
 
+    def drop_shard(self, shard: int) -> None:
+        """Evict every partial owned by one shard.
+
+        Respawn hygiene: a recovered worker may sit on a reconciled
+        (bumped) generation whose number an old entry also carries, so
+        the supervisor drops the shard's partials outright rather than
+        trusting generation matching across the crash.
+        """
+        with self._lock:
+            for entry in [k for k in self._entries if k[0] == shard]:
+                del self._entries[entry]
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -39,6 +39,7 @@ from repro.core.discovery import (
 from repro.core.joinability import JoinDiscovery
 from repro.core.sharding import _merge_topk
 from repro.core.srql.executor import OP_ORDER, ExecutionStats, Executor
+from repro.serve.rpc import ShardUnavailable
 from repro.utils.timing import Timer
 
 #: One unit of per-shard work: ``tag``/``dep`` form the cache key (``tag``
@@ -53,6 +54,27 @@ _JOINT_UNSUPPORTED = (
 )
 
 
+def _degraded_value(op: str, payload: dict):
+    """The neutral contribution of an unavailable shard.
+
+    Under ``degraded="partial"`` a shard that stays down past its retry
+    budget contributes exactly what an *empty* shard would: no keyword
+    hits, no sketches, no links. Merges then proceed unchanged — the
+    result is the correct top-k over the shards that answered.
+    """
+    if op == "text_column_parts":
+        return ([], [])
+    if op == "joinable_columns_for":
+        return {sketch.de_id: [] for sketch in payload["sketches"]}
+    if op == "union_phase1":
+        return ({sketch.de_id: [] for sketch in payload["sketches"]}, None)
+    if op in ("document_encoding", "text_query_sketch"):
+        return None
+    # keyword / encoding_column_hits / table_sketches / pk_entries /
+    # union_phase2 / pkfk_links_for: list-shaped partials merge as empty.
+    return []
+
+
 class ServingExecutor(Executor):
     """One batch's executor: pinned generations, staged fetches, cache."""
 
@@ -64,6 +86,9 @@ class ServingExecutor(Executor):
         self.gens = dict(generations)
         self.num_shards = server.backend.num_shards
         self.global_stats = server.backend.global_stats
+        self.degraded = getattr(server, "degraded", "fail")
+        self._retries0 = getattr(self.backend, "total_retries", 0)
+        self._respawns0 = getattr(self.backend, "total_respawns", 0)
         self.last_stats: ExecutionStats = ExecutionStats()
         #: Merged PK-FK links of this batch (one sweep feeds every pkfk
         #: query, as in the monolithic and sharded executors).
@@ -84,6 +109,10 @@ class ServingExecutor(Executor):
                     groups[node.op].setdefault(node.query, node)
         self._run_groups(groups, stats, memo)
         results = [self._eval(plan.root, memo, stats) for plan in plans]
+        stats.retries = getattr(self.backend, "total_retries", 0) - self._retries0
+        stats.respawns = (
+            getattr(self.backend, "total_respawns", 0) - self._respawns0
+        )
         self.last_stats = stats
         return results
 
@@ -112,7 +141,12 @@ class ServingExecutor(Executor):
 
     def _fetch(self, requests: list[_Request], stats: ExecutionStats):
         """Resolve requests through the cache; batch misses one round-trip
-        per shard. Returns ``(results, hit_mask)``."""
+        per shard, pinned to the batch's generation vector. Returns
+        ``(results, hit_mask, degraded)`` where ``degraded`` is the set of
+        request indices filled with neutral substitutes because their
+        shard stayed down past its retry budget (always empty under
+        ``degraded="fail"`` — the :class:`ShardUnavailable` is re-raised
+        instead). Substitutes are never cached."""
         results: list = [None] * len(requests)
         hit_mask = [False] * len(requests)
         pending: dict[tuple, list[int]] = {}  # in-flight key -> indices
@@ -137,11 +171,19 @@ class ServingExecutor(Executor):
                 pending[shard_key] = [i]
             misses.setdefault(request.shard, []).append(i)
 
+        failed: dict[int, ShardUnavailable] = {}
+
         def run(shard: int) -> None:
             indices = misses[shard]
             ops = [(requests[i].op, requests[i].payload) for i in indices]
-            with Timer() as timer:
-                values = self.backend.round_trip(shard, ops)
+            try:
+                with Timer() as timer:
+                    values = self.backend.round_trip(
+                        shard, ops, pinned_gen=self.gens.get(shard)
+                    )
+            except ShardUnavailable as exc:
+                failed[shard] = exc
+                return
             stats.shard_seconds[shard] = (
                 stats.shard_seconds.get(shard, 0.0) + timer.elapsed
             )
@@ -155,10 +197,25 @@ class ServingExecutor(Executor):
                     cache.put(request.shard, (request.tag, request.dep), value)
 
         self.server.map_shards(run, list(misses))
+        degraded: set[int] = set()
+        if failed:
+            if self.degraded != "partial":
+                raise failed[min(failed)]
+            for shard in failed:
+                if shard not in stats.degraded_shards:
+                    stats.degraded_shards.append(shard)
+                for i in misses[shard]:
+                    results[i] = _degraded_value(
+                        requests[i].op, requests[i].payload
+                    )
+                    degraded.add(i)
+            stats.degraded_shards.sort()
         for (_, key), indices in pending.items():
             for i in indices[1:]:
                 results[i] = results[indices[0]]
-        return results, hit_mask
+                if indices[0] in degraded:
+                    degraded.add(i)
+        return results, hit_mask, degraded
 
     # ------------------------------------------------------------- stages
 
@@ -225,7 +282,7 @@ class ServingExecutor(Executor):
             owner, at = owner_sketches(query.table)
             union_ctx.append({"query": query, "owner": owner, "tsk_at": at})
 
-        r0, _ = self._fetch(stage0, stats)
+        r0, _, d0 = self._fetch(stage0, stats)
 
         # ---- stage 1: broadcast probes --------------------------------
         stage1: list[_Request] = []
@@ -251,11 +308,31 @@ class ServingExecutor(Executor):
                     ),
                 })
 
+        def xm_degraded(ctx) -> bool:
+            """Owner/probe fetch lost to a down shard: the query has no
+            anchor to score against, so it degrades to an empty result."""
+            at = ctx.get("enc_at", ctx.get("tqs_at"))
+            if at not in d0:
+                return False
+            query = ctx["query"]
+            memo[query] = DiscoveryResultSet(
+                [],
+                operation="crossModal_search",
+                inputs={
+                    "value": query.value,
+                    "representation": query.representation,
+                },
+            )
+            ctx["at"] = None
+            return True
+
         for ctx in xm_ctx:
             query = ctx["query"]
             self._count(stats, "cross_modal")
             column_k = max(query.top_n * 5, 10)
             ctx["column_k"] = column_k
+            if xm_degraded(ctx):
+                continue
             if ctx["owner"] is not None:
                 encoding = r0[ctx["enc_at"]]
                 ctx["at"] = broadcast(
@@ -314,7 +391,7 @@ class ServingExecutor(Executor):
                 lambda i: (gens[i],),
             )
 
-        r1, _ = self._fetch(stage1, stats)
+        r1, _, _ = self._fetch(stage1, stats)
 
         # keyword / cross-modal / joinable finish on stage-1 partials.
         for ctx in keyword_ctx:
@@ -325,6 +402,8 @@ class ServingExecutor(Executor):
                 inputs={"value": query.value, "mode": query.mode},
             )
         for ctx in xm_ctx:
+            if ctx["at"] is None:
+                continue
             query = ctx["query"]
             column_k = ctx["column_k"]
             if ctx["owner"] is not None:
@@ -419,7 +498,7 @@ class ServingExecutor(Executor):
                     ("pkfk_links",), full,
                 ))
 
-        r2, r2_hits = self._fetch(stage2, stats)
+        r2, r2_hits, _ = self._fetch(stage2, stats)
 
         for ctx in union_ctx:
             if ctx["at"] is None:

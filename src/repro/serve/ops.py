@@ -287,6 +287,26 @@ def _remove(host: ShardHost, payload: dict) -> dict:
     return _mutated(host)
 
 
+def _bump_generation(host: ShardHost, payload: dict) -> int:
+    """Advance this shard's generation to at least ``payload["to"]``.
+
+    Crash-recovery reconciliation: sibling-resync bumps and the mutation
+    a worker died under are not in the shard's own journal, so a
+    respawned engine can come back *behind* the front-end's recorded
+    generation. Bumping restores the invariant the result cache rests on
+    — a ``(shard, generation)`` pair never names two different states —
+    without touching any derived state (the state itself is already
+    exact after journal replay).
+    """
+    engine = host.session.engine
+    target = payload["to"]
+    if engine.generation < target:
+        engine.generation = target
+        if engine.candidates is not None:
+            engine.candidates.generation = target
+    return engine.generation
+
+
 def _pin_filter(host: ShardHost, payload: dict) -> None:
     """Pin the corpus-wide df filter the front-end just recomputed."""
     host.session.profiler.pipeline.pin_filter(
@@ -326,6 +346,7 @@ OPS = {
     "update_table": _update_table,
     "add_documents": _add_documents,
     "remove": _remove,
+    "bump_generation": _bump_generation,
     "pin_filter": _pin_filter,
     "resync_documents": _resync_documents,
 }

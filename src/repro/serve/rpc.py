@@ -15,6 +15,13 @@ Requests and responses are plain tuples: ``(op, payload)`` up,
 ``("ok", result) | ("err", traceback)`` down. One request is in flight
 per connection at a time; the parent serialises callers with a lock
 (:class:`repro.serve.worker.ShardWorker`).
+
+Transport failures never leak as bare ``EOFError``/``OSError``/
+``socket.timeout``: every failure mode maps onto the typed
+:class:`RPCError` hierarchy so callers can tell a dead worker
+(:class:`WorkerCrashed`) from a hung one (:class:`WorkerTimeout`) from a
+corrupted stream (:class:`FrameCorrupt`) and react per class — respawn,
+retry, or give the shard up (:class:`ShardUnavailable`).
 """
 
 from __future__ import annotations
@@ -32,6 +39,51 @@ _U64 = struct.Struct("<Q")
 #: Sanity bound on a single frame part (1 GiB) — a corrupted length
 #: prefix fails loudly instead of attempting a huge allocation.
 MAX_PART_BYTES = 1 << 30
+
+
+# --------------------------------------------------------------------------
+# Failure taxonomy
+
+
+class RPCError(RuntimeError):
+    """Base class for every transport / supervision failure.
+
+    Application-level failures (the op itself raised inside a healthy
+    worker) stay :class:`RemoteShardError`; everything about the *pipe*
+    or the *process* is an :class:`RPCError` subclass.
+    """
+
+
+class ConnectionClosed(RPCError):
+    """The peer closed the stream (EOF or reset), possibly mid-frame."""
+
+
+class WorkerCrashed(ConnectionClosed):
+    """The shard worker process is gone (dead pid / broken pipe)."""
+
+
+class WorkerTimeout(RPCError):
+    """No response within the deadline; the connection is poisoned.
+
+    A timed-out connection may still have a partial frame in flight, so
+    it must not be reused — the supervisor kills and respawns instead.
+    """
+
+
+class FrameCorrupt(RPCError):
+    """The stream desynchronised: bad length prefix or undecodable frame."""
+
+
+class ShardUnavailable(RPCError):
+    """A shard stayed down past its retry/respawn budget (circuit open)."""
+
+
+class RemoteShardError(RuntimeError):
+    """An operation raised inside a shard worker; carries its traceback."""
+
+
+# --------------------------------------------------------------------------
+# Framing
 
 
 def encode_message(obj) -> list[bytes]:
@@ -60,8 +112,24 @@ def decode_message(parts: list[bytes]):
     return codec.join_arrays(residual, arrays)
 
 
+def frame_bytes(obj) -> bytes:
+    """The full wire frame for one message (used by send + fault hooks)."""
+    parts = encode_message(obj)
+    frame = bytearray(_U32.pack(len(parts)))
+    for part in parts:
+        frame += _U64.pack(len(part))
+        frame += part
+    return bytes(frame)
+
+
 class Connection:
-    """One framed, blocking RPC endpoint over a stream socket."""
+    """One framed, blocking RPC endpoint over a stream socket.
+
+    ``send``/``recv`` accept an optional per-call ``timeout`` (seconds).
+    A timeout raises :class:`WorkerTimeout`; EOF and socket errors raise
+    :class:`ConnectionClosed`; a bad length prefix or a frame that fails
+    to decode raises :class:`FrameCorrupt`.
+    """
 
     def __init__(self, sock: socket.socket):
         self._sock = sock
@@ -69,13 +137,17 @@ class Connection:
 
     # ---------------------------------------------------------------- send
 
-    def send(self, obj) -> None:
-        parts = encode_message(obj)
-        frame = bytearray(_U32.pack(len(parts)))
-        for part in parts:
-            frame += _U64.pack(len(part))
-            frame += part
-        self._sock.sendall(frame)
+    def send(self, obj, timeout: float | None = None) -> None:
+        frame = frame_bytes(obj)
+        try:
+            self._sock.settimeout(timeout)
+            self._sock.sendall(frame)
+        except socket.timeout as exc:
+            raise WorkerTimeout(
+                f"send did not complete within {timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise ConnectionClosed(f"connection lost during send: {exc}") from exc
 
     # ---------------------------------------------------------------- recv
 
@@ -84,22 +156,35 @@ class Connection:
         while len(buf) < n:
             chunk = self._sock.recv(n - len(buf))
             if not chunk:
-                raise EOFError("connection closed mid-frame")
+                raise ConnectionClosed("connection closed mid-frame")
             buf += chunk
         return bytes(buf)
 
-    def recv(self):
-        (count,) = _U32.unpack(self._recv_exact(_U32.size))
-        parts = []
-        for _ in range(count):
-            (length,) = _U64.unpack(self._recv_exact(_U64.size))
-            if length > MAX_PART_BYTES:
-                raise ValueError(
-                    f"frame part of {length} bytes exceeds the "
-                    f"{MAX_PART_BYTES}-byte bound (corrupt stream?)"
-                )
-            parts.append(self._recv_exact(length))
-        return decode_message(parts)
+    def recv(self, timeout: float | None = None):
+        try:
+            self._sock.settimeout(timeout)
+            (count,) = _U32.unpack(self._recv_exact(_U32.size))
+            parts = []
+            for _ in range(count):
+                (length,) = _U64.unpack(self._recv_exact(_U64.size))
+                if length > MAX_PART_BYTES:
+                    raise FrameCorrupt(
+                        f"frame part of {length} bytes exceeds the "
+                        f"{MAX_PART_BYTES}-byte bound (corrupt stream?)"
+                    )
+                parts.append(self._recv_exact(length))
+        except socket.timeout as exc:
+            raise WorkerTimeout(
+                f"no response within {timeout}s (hung worker?)"
+            ) from exc
+        except ConnectionClosed:
+            raise
+        except OSError as exc:
+            raise ConnectionClosed(f"connection lost during recv: {exc}") from exc
+        try:
+            return decode_message(parts)
+        except Exception as exc:  # undecodable pickle / slab mismatch
+            raise FrameCorrupt(f"frame failed to decode: {exc}") from exc
 
     # --------------------------------------------------------------- admin
 
@@ -111,10 +196,6 @@ class Connection:
             except OSError:
                 pass
             self._sock.close()
-
-
-class RemoteShardError(RuntimeError):
-    """An operation raised inside a shard worker; carries its traceback."""
 
 
 def check_response(response) -> object:

@@ -47,7 +47,15 @@ from repro.core.srql.planner import Planner
 from repro.serve.cache import ResultCache
 from repro.serve.executor import ServingExecutor
 from repro.serve.ops import ShardHost
-from repro.serve.worker import ShardWorker
+from repro.serve.rpc import (
+    FrameCorrupt,
+    RemoteShardError,
+    RPCError,
+    ShardUnavailable,
+    WorkerCrashed,
+    WorkerTimeout,
+)
+from repro.serve.worker import ShardWorker, WorkerSupervisor
 from repro.store.shard import ShardStore
 from repro.text.pipeline import DocumentPipeline
 
@@ -102,8 +110,24 @@ class _RWLock:
 # ------------------------------------------------------------ thread backend
 
 
+#: Transport failures that mean "the worker is gone or can't be trusted"
+#: — the supervisor's trigger set (application errors inside a healthy
+#: worker stay RemoteShardError and are never retried or respawned on).
+_WORKER_DOWN = (WorkerCrashed, WorkerTimeout, FrameCorrupt)
+
+
 class ThreadBackend:
-    """Shards served from a live session in the caller's process."""
+    """Shards served from a live session in the caller's process.
+
+    In-process shards cannot crash independently of the caller, so the
+    supervision surface is vestigial here: the counters stay zero and
+    ``pinned_gen`` never mismatches (generations only move under the
+    server's write lock).
+    """
+
+    supervisor = None
+    total_retries = 0
+    total_respawns = 0
 
     def __init__(self, session, owned: bool = False):
         self.session = session
@@ -142,7 +166,7 @@ class ThreadBackend:
     def shard_num_des(self, shard: int) -> int:
         return self._shard_sessions[shard].profile.num_des
 
-    def round_trip(self, shard: int, ops: list) -> list:
+    def round_trip(self, shard: int, ops: list, pinned_gen: int | None = None) -> list:
         host = self.hosts[shard]
         with host.lock:
             return [host.handle(op, payload or {}) for op, payload in ops]
@@ -245,9 +269,43 @@ class _FrontCatalog:
 
 
 class ProcessBackend:
-    """Shards served by one worker process each, from a saved catalog."""
+    """Shards served by one worker process each, from a saved catalog.
 
-    def __init__(self, path: str | Path):
+    Failure handling, per layer:
+
+    * every worker call carries ``request_timeout``; any transport
+      failure marks the worker broken and surfaces as one of
+      ``_WORKER_DOWN`` (:class:`WorkerCrashed` / :class:`WorkerTimeout`
+      / :class:`FrameCorrupt`);
+    * :meth:`_recover` respawns a broken worker through the
+      catalog-reopen path — the child replays its own journal tail back
+      to the exact pre-crash state — then reconciles the front-end
+      (re-pin the df filter, resync sketches, advance the generation to
+      at least the recorded one, re-push corpus stats, drop the shard's
+      cache partials via ``on_respawn``). :class:`WorkerSupervisor`
+      paces attempts (capped exponential backoff) and opens the circuit
+      after ``max_respawns`` consecutive failures;
+    * reads (:meth:`round_trip`) are idempotent and retry up to
+      ``read_retries`` times on a respawned worker, pinned to the
+      batch's snapshot generation — if recovery moved the shard past the
+      pinned generation the batch gets :class:`ShardUnavailable` rather
+      than a torn read;
+    * mutations are never blindly retried (replay would double-apply).
+      The write-ahead journal append is the commit point: a crash after
+      it leaves a durable record that recovery replays — the mutation
+      is delayed, never lost — while a crash before it leaves nothing
+      applied and the caller may safely retry.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        request_timeout: float | None = 30.0,
+        read_retries: int = 1,
+        max_respawns: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ):
         path = Path(path)
         if not (path / "catalog.sqlite").exists():
             raise FileNotFoundError(
@@ -282,6 +340,25 @@ class ProcessBackend:
             self._top = None
             self.global_stats = True  # one shard: stats are the corpus
             self._df_pipeline = None
+        self.request_timeout = request_timeout
+        self.read_retries = read_retries
+        self.supervisor = WorkerSupervisor(
+            max_respawns=max_respawns,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+        )
+        #: Monotonic supervision counters; executors snapshot deltas into
+        #: :class:`~repro.core.srql.executor.ExecutionStats`.
+        self.total_retries = 0
+        self.total_respawns = 0
+        #: Called with the shard index after every successful respawn —
+        #: the server points it at ``ResultCache.drop_shard``.
+        self.on_respawn = None
+        #: Shards that crashed under a journaled mutation whose apply is
+        #: unconfirmed: recovery must land strictly past the recorded
+        #: generation so no cache key spans the crash.
+        self._pending_crash: set[int] = set()
+        self._recover_locks = [Lock() for _ in range(self.num_shards)]
         self.workers: list[ShardWorker] = []
         self.views: list[_ShardView] = []
         self._doc_texts: dict[str, str] = {}
@@ -294,19 +371,23 @@ class ProcessBackend:
         self.default_strategy = self._lites[0]["discovery_strategy"]
         self.operator_strategies = dict(self._lites[0]["operator_strategies"])
         self.union_candidate_k = self._lites[0]["union_candidate_k"]
-        self._replay()
 
     # --------------------------------------------------------------- boot
 
+    def _spawn(self, shard: int) -> ShardWorker:
+        return ShardWorker(
+            self.path / f"shard-{shard:04d}.sqlite",
+            index=shard,
+            request_timeout=self.request_timeout,
+        )
+
     def _boot(self) -> None:
         # Spawn every worker first, then collect handshakes: the shard
-        # restores run concurrently across the children.
-        self.workers = [
-            ShardWorker(self.path / f"shard-{i:04d}.sqlite", index=i)
-            for i in range(self.num_shards)
-        ]
-        for worker in self.workers:
-            worker.wait_ready()
+        # restores (and journal-tail replays) run concurrently across the
+        # children. Replay happens *inside* each worker — the recovery
+        # path and the boot path are one code path.
+        self.workers = [self._spawn(i) for i in range(self.num_shards)]
+        readies = [w.wait_ready(timeout=self.request_timeout) for w in self.workers]
         self._lites = [w.call("catalog_lite") for w in self.workers]
         self.views = [_ShardView(lite) for lite in self._lites]
         self.gens = {i: view.generation for i, view in enumerate(self.views)}
@@ -314,7 +395,21 @@ class ProcessBackend:
             for worker in self.workers:
                 for doc_id, text in worker.call("doc_texts"):
                     self._doc_texts[doc_id] = text
+            if any(ready.get("replayed") for ready in readies):
+                # Replayed document churn may have shifted the corpus df
+                # filter: re-pin it from the final corpus and re-sketch
+                # whatever drifted (document bags depend only on the
+                # final pinned filter, so pin-then-resync converges to
+                # the undisturbed writer's state).
+                self._pin_all()
+                for i, worker in enumerate(self.workers):
+                    response = worker.call("resync_documents")
+                    self.gens[i] = response["generation"]
+                    self.views[i].generation = response["generation"]
         self._push_stats(range(self.num_shards))
+        self._seq = max(
+            [self._seq] + [ready.get("journal_seq", 0) for ready in readies]
+        )
 
     def _ripples(self) -> bool:
         """Whether document churn ripples across shards (corpus-wide df)."""
@@ -322,7 +417,12 @@ class ProcessBackend:
 
     def _push_stats(self, fetch_shards) -> None:
         """Re-collect ``fetch_shards``' corpus statistics and re-install
-        the merged view on every worker."""
+        the merged view on every worker.
+
+        The install fan-out skips broken workers: a dead sibling must
+        not fail another shard's mutation or recovery — its own
+        recovery re-installs the merged view (:meth:`_recouple`).
+        """
         if not (self.global_stats and self.num_shards > 1):
             return
         if not hasattr(self, "_stat_snapshots"):
@@ -338,7 +438,12 @@ class ProcessBackend:
                 ]
                 for family in STATS_FAMILIES
             }
-            worker.call("install_stats", {"remote": remote})
+            if not worker.usable:
+                continue
+            try:
+                worker.call("install_stats", {"remote": remote})
+            except _WORKER_DOWN:
+                self.supervisor.note_failure(i)
 
     # ------------------------------------------------------------ queries
 
@@ -351,8 +456,117 @@ class ProcessBackend:
     def shard_num_des(self, shard: int) -> int:
         return self.views[shard].num_des
 
-    def round_trip(self, shard: int, ops: list) -> list:
-        return self.workers[shard].call("batch", {"ops": list(ops)})
+    def round_trip(
+        self, shard: int, ops: list, pinned_gen: int | None = None
+    ) -> list:
+        """One batched read round-trip, supervised.
+
+        A worker failure triggers recovery and up to ``read_retries``
+        re-sends — safe because every batched read is idempotent. The
+        batch stays pinned to ``pinned_gen``: if recovery moved the
+        shard to a different generation (a journaled mutation the crash
+        had not yet acknowledged replayed during respawn), re-running
+        the reads would tear the snapshot, so the shard is reported
+        unavailable *for this batch* instead.
+        """
+        retries_left = self.read_retries
+        while True:
+            self._check_pin(shard, pinned_gen)
+            worker = self.workers[shard]
+            if not worker.usable:
+                self._recover(shard)
+                continue  # re-check the pin against the recovered state
+            try:
+                result = worker.call("batch", {"ops": list(ops)})
+            except _WORKER_DOWN as exc:
+                self.supervisor.note_failure(shard)
+                if retries_left <= 0:
+                    # Out of budget for this batch; still try to bring
+                    # the shard back for the callers after us.
+                    try:
+                        self._recover(shard)
+                    except ShardUnavailable:
+                        pass
+                    raise ShardUnavailable(
+                        f"shard {shard} failed a read past its retry "
+                        f"budget: {exc}"
+                    ) from exc
+                retries_left -= 1
+                self.total_retries += 1
+                self._recover(shard)
+                continue
+            self.supervisor.note_ok(shard)
+            return result
+
+    def _check_pin(self, shard: int, pinned_gen: int | None) -> None:
+        if pinned_gen is not None and self.gens[shard] != pinned_gen:
+            raise ShardUnavailable(
+                f"shard {shard} moved to generation {self.gens[shard]} "
+                f"during recovery; this batch pinned generation "
+                f"{pinned_gen}"
+            )
+
+    # ----------------------------------------------------------- recovery
+
+    def _recover(self, shard: int) -> ShardWorker:
+        """Respawn a broken worker and reconcile it into the serving
+        state; raises :class:`ShardUnavailable` when the circuit is open
+        or every attempt failed."""
+        with self._recover_locks[shard]:
+            worker = self.workers[shard]
+            if worker.usable:
+                return worker  # another caller already recovered it
+            last_error: Exception | None = None
+            while True:
+                if self.supervisor.tripped(shard):
+                    raise ShardUnavailable(
+                        f"shard {shard} is unavailable: circuit open "
+                        f"after {self.supervisor.failures.get(shard, 0)} "
+                        f"consecutive failures"
+                        + (f" (last: {last_error})" if last_error else "")
+                        + f"; server.reset_shard({shard}) re-arms it"
+                    ) from last_error
+                self.supervisor.backoff(shard)
+                self.workers[shard].kill()
+                fresh = self._spawn(shard)
+                try:
+                    fresh.wait_ready(timeout=self.request_timeout)
+                    self.workers[shard] = fresh
+                    self._recouple(shard, fresh)
+                except (RPCError, RemoteShardError) as exc:
+                    fresh.kill()
+                    self.supervisor.note_failure(shard)
+                    last_error = exc
+                    continue
+                break
+            self.total_respawns += 1
+            self.supervisor.note_respawn(shard)
+            self._pending_crash.discard(shard)
+            if self.on_respawn is not None:
+                self.on_respawn(shard)
+            return fresh
+
+    def _recouple(self, shard: int, fresh: ShardWorker) -> None:
+        """Bring a freshly respawned worker (journal already self-replayed
+        at boot) back into front-end state."""
+        if self._ripples():
+            # The persisted df filter predates the crash; re-pin the
+            # current one and re-sketch whatever drifted under it.
+            fresh.call("pin_filter", self._pin_payload())
+            fresh.call("resync_documents")
+        lite = fresh.call("catalog_lite")
+        recorded = self.gens[shard]
+        floor = recorded + 1 if shard in self._pending_crash else recorded
+        if lite["generation"] < floor:
+            # Sibling-resync bumps (and a mutation the worker died
+            # under) are not in this shard's own journal, so the
+            # recovered engine can come back behind the front-end's
+            # recorded generation. Advance it: a (shard, generation)
+            # cache key must never name two different states.
+            lite["generation"] = fresh.call("bump_generation", {"to": floor})
+        self.views[shard].update(lite)
+        self.gens[shard] = lite["generation"]
+        self._push_stats([shard])
 
     # ---------------------------------------------------------- mutations
 
@@ -375,7 +589,7 @@ class ProcessBackend:
         self.gens[shard] = response["generation"]
         self.views[shard].update(response["catalog"])
 
-    def apply(self, op: str, payload: dict, replaying: bool = False) -> None:
+    def apply(self, op: str, payload: dict) -> None:
         if op in ("refresh", "rebalance"):
             raise NotImplementedError(
                 f"{op}() is not supported on a process-backed server: it "
@@ -387,19 +601,59 @@ class ProcessBackend:
             raise ValueError(f"unknown mutation op {op!r}")
         owner = self._route(op, payload)
         self._validate(op, payload, owner)
-        seq = None
-        if not replaying:
-            seq = self._next_seq()
+        if not self.workers[owner].usable:
+            # Writer-inline recovery: we hold the write lock, so no
+            # reader can observe the generation moving under it.
+            self._recover(owner)
+        seq = self._next_seq()
+        try:
             self.workers[owner].call(
                 "journal_append", {"seq": seq, "op": op, "payload": payload}
             )
-        try:
-            changed = self._dispatch(op, payload, owner)
-        except BaseException:
-            if seq is not None:
-                self.workers[owner].call("journal_delete", {"seq": seq})
-            raise
+        except _WORKER_DOWN as exc:
+            self.supervisor.note_failure(owner)
+            self._pending_crash.add(owner)
+            changed = self._resume_after_append_crash(op, payload, owner, seq, exc)
+        else:
+            try:
+                changed = self._dispatch(op, payload, owner)
+            except ShardUnavailable:
+                # A shard died mid-apply and could not be respawned. The
+                # journaled record is durable and replays when the shard
+                # recovers: the mutation is delayed, never lost.
+                raise
+            except BaseException:
+                # Application-level failure (the worker rejected the op
+                # with the shard healthy): the record must not replay.
+                try:
+                    self.workers[owner].call("journal_delete", {"seq": seq})
+                except _WORKER_DOWN:
+                    self.supervisor.note_failure(owner)
+                    self._pending_crash.add(owner)
+                raise
         self._push_stats(changed)
+
+    def _resume_after_append_crash(
+        self, op: str, payload: dict, owner: int, seq: int, cause: Exception
+    ) -> set[int]:
+        """The owner died during the write-ahead append: decide the
+        mutation's fate from what recovery finds in its journal.
+
+        Seq present — the append committed before the crash, so the
+        respawned worker already replayed the owner's part; finish the
+        cross-shard remainder and report success. Seq absent — nothing
+        committed, nothing applied anywhere: fail cleanly and tell the
+        caller a retry is safe. Never re-send the append itself: replay
+        makes blind mutation retries double-applies.
+        """
+        self._recover(owner)  # ShardUnavailable (fate unknown) if it fails
+        entries = self.workers[owner].call("journal_entries")
+        if not any(entry[0] == seq for entry in entries):
+            raise ShardUnavailable(
+                f"shard {owner} crashed before journaling mutation "
+                f"{op!r} (seq {seq}); nothing was applied — safe to retry"
+            ) from cause
+        return self._dispatch(op, payload, owner, replayed={owner})
 
     def _validate(self, op: str, payload: dict, owner: int) -> None:
         """Front-end copies of the sharded session's pre-checks, raised
@@ -418,12 +672,39 @@ class ProcessBackend:
                     f"lake {self.name!r} has no table or document {name!r}"
                 )
 
-    def _dispatch(self, op: str, payload: dict, owner: int) -> set[int]:
-        """Apply one validated mutation; returns the shards whose
-        generation changed (for the stats re-push)."""
+    def _dispatch(
+        self, op: str, payload: dict, owner: int, replayed: set | None = None
+    ) -> set[int]:
+        """Apply one validated, journaled mutation; returns the shards
+        whose generation changed (for the stats re-push).
+
+        ``replayed`` collects the shards whose part of the mutation
+        landed through crash-recovery journal replay instead of a direct
+        call: their op call is skipped (replay already applied it — a
+        re-send would double-apply), and the post-mutation resync runs
+        on them too, since their replay predates the current df filter.
+        A sub-call crash recovers the shard inline (we hold the write
+        lock) and moves it into ``replayed``; only an unrecoverable
+        shard aborts with :class:`ShardUnavailable` — the journal record
+        stays durable for its eventual recovery.
+        """
+        replayed = set() if replayed is None else replayed
+
+        def mutate(shard: int, sub_op: str, sub_payload: dict) -> None:
+            if shard in replayed:
+                return
+            try:
+                response = self.workers[shard].call(sub_op, sub_payload)
+            except _WORKER_DOWN:
+                self.supervisor.note_failure(shard)
+                self._pending_crash.add(shard)
+                self._recover(shard)  # boot replay applies the journal slice
+                replayed.add(shard)
+            else:
+                self._absorb(shard, response)
+
         if op in ("add_table", "update_table"):
-            response = self.workers[owner].call(op, {"table": payload["table"]})
-            self._absorb(owner, response)
+            mutate(owner, op, {"table": payload["table"]})
             return {owner}
         if op == "add_documents":
             documents = payload["documents"]
@@ -436,75 +717,86 @@ class ProcessBackend:
                 for document in documents:
                     self._doc_texts[document.doc_id] = document.text
                 self._pin_all()
-            changed = set()
             for shard, batch in sorted(by_owner.items()):
-                response = self.workers[shard].call(
-                    "add_documents", {"documents": batch}
-                )
-                self._absorb(shard, response)
-                changed.add(shard)
+                mutate(shard, "add_documents", {"documents": batch})
+            changed = set(by_owner)
             if self._ripples():
-                changed |= self._resync_siblings(skip=set(by_owner))
+                changed |= self._resync_siblings(skip=set(by_owner) - replayed)
             return changed
         # remove: a table or a document, resolved against the owner's view
+        # (or the maintained text corpus, in case replay already removed
+        # it from the view)
         name = payload["name"]
-        is_document = name in self.views[owner].documents
+        is_document = name in self.views[owner].documents or name in self._doc_texts
         if is_document and self._ripples():
             self._doc_texts.pop(name, None)
             self._pin_all()
-            response = self.workers[owner].call("remove", {"name": name})
-            self._absorb(owner, response)
-            return {owner} | self._resync_siblings(skip={owner})
+            mutate(owner, "remove", {"name": name})
+            return {owner} | self._resync_siblings(skip={owner} - replayed)
         if is_document:
             self._doc_texts.pop(name, None)
-        response = self.workers[owner].call("remove", {"name": name})
-        self._absorb(owner, response)
+        mutate(owner, "remove", {"name": name})
         return {owner}
 
-    def _pin_all(self) -> None:
+    def _pin_payload(self) -> dict:
         """Refit the corpus-wide df filter from the maintained text corpus
-        and pin it on every worker (mirrors ``_sync_document_filter``)."""
+        (mirrors ``_sync_document_filter``)."""
         texts = list(self._doc_texts.values())
         self._df_pipeline.fit(texts)
-        payload = {
+        return {
             "common_terms": sorted(self._df_pipeline.common_terms),
             "num_docs": len(texts),
         }
-        for worker in self.workers:
-            worker.call("pin_filter", payload)
+
+    def _pin_all(self) -> None:
+        """Pin the current df filter on every reachable worker. A broken
+        worker is skipped: its recovery pins the filter (:meth:`_recouple`)."""
+        payload = self._pin_payload()
+        for shard, worker in enumerate(self.workers):
+            if not worker.usable:
+                continue
+            try:
+                worker.call("pin_filter", payload)
+            except _WORKER_DOWN:
+                self.supervisor.note_failure(shard)
 
     def _resync_siblings(self, skip: set[int]) -> set[int]:
         changed = set()
         for i, worker in enumerate(self.workers):
             if i in skip:
                 continue
-            response = worker.call("resync_documents")
+            try:
+                response = worker.call("resync_documents")
+            except _WORKER_DOWN:
+                # Recovery resyncs this shard when it comes back; don't
+                # let a dead sibling fail the mutation that completed.
+                self.supervisor.note_failure(i)
+                continue
             if response["changed"]:
                 self.gens[i] = response["generation"]
                 self.views[i].generation = response["generation"]
                 changed.add(i)
         return changed
 
-    def _replay(self) -> None:
-        """Re-apply any journal tail a previous writer left unsaved, in
-        global seq order — the serving analogue of ``LakeStore._replay``."""
-        entries: list[tuple[int, str, object]] = []
-        for worker in self.workers:
-            entries.extend(worker.call("journal_entries"))
-        if not entries:
-            return
-        entries.sort(key=lambda entry: entry[0])
-        for seq, op, payload in entries:
-            self.apply(op, payload, replaying=True)
-        self._seq = max(self._seq, entries[-1][0])
-
     # -------------------------------------------------------- persistence
 
     def checkpoint(self) -> None:
         """Fold every worker's journal into its shard file and refresh the
         manifest — the served catalog stays reopenable at any time."""
-        for worker in self.workers:
-            worker.call("checkpoint")
+        for shard, worker in enumerate(self.workers):
+            try:
+                worker.call("checkpoint")
+            except _WORKER_DOWN as exc:
+                # The staged rewrite rolls back with the crash; the
+                # journal tail is intact and recovery replays it.
+                self.supervisor.note_failure(shard)
+                self._pending_crash.add(shard)
+                self._recover(shard)
+                raise ShardUnavailable(
+                    f"shard {shard} crashed mid-checkpoint; its journal "
+                    f"tail is intact and has been replayed by recovery — "
+                    f"retry checkpoint()"
+                ) from exc
         if self._top is not None:
             top = dict(self._top)
             top["df_pipeline"] = (
@@ -535,6 +827,25 @@ class LakeServer:
     (:meth:`discover` / :meth:`discover_batch`) may run from many threads
     at once; mutations serialise on the writer path. See the module docs
     for the snapshot and caching contracts.
+
+    Fault tolerance (``backend="process"`` — in-process shards cannot
+    crash independently, so the knobs are inert on a thread backend):
+
+    * ``request_timeout`` — per-RPC deadline in seconds (``None`` waits
+      forever); a worker that misses it is treated as hung and respawned;
+    * ``read_retries`` — how many times a read batch is re-sent to a
+      freshly respawned worker before the shard counts as down for that
+      batch;
+    * ``max_respawns`` / ``backoff_base`` / ``backoff_cap`` — the
+      supervisor's circuit breaker and capped exponential backoff
+      (seconds) between respawn attempts; :meth:`reset_shard` re-arms an
+      open circuit;
+    * ``degraded`` — what a down shard does to a query: ``"fail"``
+      (default) raises :class:`~repro.serve.rpc.ShardUnavailable`;
+      ``"partial"`` returns top-k over the live shards and lists the
+      missing ones in ``last_stats.degraded_shards``. Mutations never
+      degrade: a mutation whose owner shard is down fails cleanly after
+      the write-ahead journal append, so it is delayed, never lost.
     """
 
     def __init__(
@@ -543,14 +854,32 @@ class LakeServer:
         backend: str = "thread",
         cache: bool = True,
         cache_entries: int = 4096,
+        degraded: str = "fail",
+        request_timeout: float | None = 30.0,
+        read_retries: int = 1,
+        max_respawns: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ):
         if backend not in ("thread", "process"):
             raise ValueError(
                 f"backend must be 'thread' or 'process', got {backend!r}"
             )
+        if degraded not in ("fail", "partial"):
+            raise ValueError(
+                f"degraded must be 'fail' or 'partial', got {degraded!r}"
+            )
+        self.degraded = degraded
         if isinstance(source, (str, Path)):
             if backend == "process":
-                self.backend = ProcessBackend(source)
+                self.backend = ProcessBackend(
+                    source,
+                    request_timeout=request_timeout,
+                    read_retries=read_retries,
+                    max_respawns=max_respawns,
+                    backoff_base=backoff_base,
+                    backoff_cap=backoff_cap,
+                )
             else:
                 from repro.store import load_catalog
 
@@ -570,6 +899,11 @@ class LakeServer:
                 f"{type(source).__name__}"
             )
         self.cache = ResultCache(cache_entries) if cache else None
+        if self.cache is not None and hasattr(self.backend, "on_respawn"):
+            # A respawned worker may reuse a reconciled generation
+            # number: drop its partials rather than trust key matching
+            # across the crash.
+            self.backend.on_respawn = self.cache.drop_shard
         self.planner = Planner(
             self.backend.catalog,
             default_strategy=self.backend.default_strategy,
@@ -645,6 +979,13 @@ class LakeServer:
             self.backend.checkpoint()
 
     # ------------------------------------------------------------- admin
+
+    def reset_shard(self, shard: int) -> None:
+        """Re-arm an open circuit: clear the shard's consecutive-failure
+        count so the next request attempts recovery again."""
+        supervisor = getattr(self.backend, "supervisor", None)
+        if supervisor is not None:
+            supervisor.reset(shard)
 
     @property
     def generations(self) -> dict[int, int]:

@@ -17,16 +17,19 @@ from repro.store.catalog import (
     LakeStore,
     ShardDirt,
     load_catalog,
+    replay_shard_journal,
     restore_shard_session,
 )
-from repro.store.shard import SCHEMA_VERSION, ShardStore
+from repro.store.shard import SCHEMA_VERSION, CatalogCorrupt, ShardStore
 
 __all__ = [
     "DEFAULT_CHECKPOINT_EVERY",
+    "CatalogCorrupt",
     "LakeStore",
     "SCHEMA_VERSION",
     "ShardDirt",
     "ShardStore",
     "load_catalog",
+    "replay_shard_journal",
     "restore_shard_session",
 ]

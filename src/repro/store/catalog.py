@@ -823,6 +823,81 @@ def restore_shard_session(db: ShardStore) -> LakeSession:
     return _restore_shard(db)
 
 
+def replay_shard_journal(
+    db: ShardStore,
+    session: LakeSession,
+    owns_document=None,
+    sibling_entries=None,
+) -> int:
+    """Replay one shard's journal tail through its restored session.
+
+    This is the single-shard recovery entry point: a respawned shard
+    worker calls it at boot so the shard lands back on its exact
+    pre-crash state without the front-end replaying anything. Entries
+    stay in the journal (checkpointing folds them later); the return
+    value is how many entries mutated this shard.
+
+    ``owns_document`` — optional ``doc_id -> bool`` predicate. A
+    journaled ``add_documents`` may batch documents routed to *several*
+    shards while the record sits in one shard's journal (placement is
+    the first document's owner); the predicate filters any batch down to
+    the documents this shard actually owns. Table ops never need it:
+    their journal placement is the owning shard.
+
+    ``sibling_entries`` — journal entries read from the *other* shards
+    of the same catalog. Only their ``add_documents`` records matter
+    (the cross-shard case above, seen from the non-placement side); they
+    are merged with this shard's own tail and the union replays in
+    global seq order, so adds and removes of the same document land in
+    their original order.
+
+    Replay is tolerant of entries whose mutator raises (they failed the
+    same way originally, so skipping reproduces the pre-crash state) but
+    refuses lake-wide ops (``rebalance``/``refresh``): those cannot be
+    applied shard-locally and are rejected at serve time anyway.
+    """
+    entries = list(db.journal_entries())
+    if sibling_entries:
+        entries.extend(
+            (seq, op, payload)
+            for seq, op, payload in sibling_entries
+            if op == "add_documents"
+        )
+        entries.sort(key=lambda entry: entry[0])
+    replayed = 0
+    for _, op, payload in entries:
+        if op in ("rebalance", "refresh"):
+            raise ValueError(
+                f"shard journal holds lake-wide op {op!r}; reopen the "
+                f"catalog with repro.open_lake() to fold it before serving"
+            )
+        try:
+            if op == "add_table":
+                session.add_table(payload["table"])
+            elif op == "update_table":
+                session.update_table(payload["table"])
+            elif op == "add_documents":
+                documents = payload["documents"]
+                if owns_document is not None:
+                    documents = [
+                        doc for doc in documents if owns_document(doc.doc_id)
+                    ]
+                if not documents:
+                    continue
+                session.add_documents(documents)
+            elif op == "remove":
+                session.remove(payload["name"])
+            else:
+                raise ValueError(f"unknown journal op {op!r}")
+        except (KeyError, ValueError):
+            # The mutator rejected the entry (duplicate name, unknown
+            # target): it raised identically when first applied, so the
+            # shard state never included it. Skip and keep replaying.
+            continue
+        replayed += 1
+    return replayed
+
+
 def load_catalog(path: str | Path):
     """Reopen a saved lake catalog as a live session — no refitting.
 

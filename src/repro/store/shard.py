@@ -28,6 +28,15 @@ from repro.store import codec
 #: Bumped on any incompatible layout change; a mismatch refuses to open.
 SCHEMA_VERSION = 1
 
+
+class CatalogCorrupt(ValueError):
+    """A shard catalog file is unreadable, truncated, or the wrong schema.
+
+    Subclasses :class:`ValueError` so pre-existing schema-mismatch
+    handlers keep working; carries the shard path in its message so a
+    worker boot failure names the exact file to inspect.
+    """
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
     key TEXT PRIMARY KEY,
@@ -83,16 +92,30 @@ class ShardStore:
         # threads; the store serialises its own writes at the session layer.
         self._closed = False
         self.conn = sqlite3.connect(str(self.path), check_same_thread=False)
-        self.conn.execute("PRAGMA journal_mode=WAL")
-        self.conn.execute("PRAGMA synchronous=NORMAL")
+        try:
+            self.conn.execute("PRAGMA journal_mode=WAL")
+            self.conn.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.DatabaseError as exc:
+            if create:
+                raise
+            raise CatalogCorrupt(
+                f"catalog file {self.path} is not a readable shard "
+                f"catalog: {exc}"
+            ) from exc
         if create:
             self.conn.executescript(_SCHEMA)
             self.put_meta("schema_version", str(SCHEMA_VERSION))
             self.conn.commit()
         else:
-            found = self.get_meta("schema_version")
+            try:
+                found = self.get_meta("schema_version")
+            except sqlite3.DatabaseError as exc:
+                raise CatalogCorrupt(
+                    f"catalog file {self.path} is not a readable shard "
+                    f"catalog: {exc}"
+                ) from exc
             if found != str(SCHEMA_VERSION):
-                raise ValueError(
+                raise CatalogCorrupt(
                     f"catalog file {self.path} has schema version {found!r}; "
                     f"this build reads version {SCHEMA_VERSION}"
                 )
@@ -207,8 +230,11 @@ class ShardStore:
     # ------------------------------------------------------------ journal
 
     def append_journal(self, seq: int, op: str, payload) -> None:
+        # OR REPLACE keeps the append idempotent: after an ack-lost crash
+        # the front-end cannot know whether the row committed, and a
+        # supervised retry must not trip the seq primary key.
         self.conn.execute(
-            "INSERT INTO journal (seq, op, payload) VALUES (?, ?, ?)",
+            "INSERT OR REPLACE INTO journal (seq, op, payload) VALUES (?, ?, ?)",
             (seq, op, codec.dumps(payload)),
         )
 
@@ -227,6 +253,26 @@ class ShardStore:
         self.conn.execute("DELETE FROM journal")
 
     # ------------------------------------------------------------- admin
+
+    def integrity_check(self) -> None:
+        """Boot-time integrity gate: SQLite ``PRAGMA quick_check``.
+
+        Raises :class:`CatalogCorrupt` (naming the shard path) when the
+        file is torn or internally inconsistent, so a corrupt catalog
+        fails at worker boot instead of as an opaque mid-query error.
+        """
+        try:
+            rows = self.conn.execute("PRAGMA quick_check").fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise CatalogCorrupt(
+                f"catalog file {self.path} failed SQLite quick_check: {exc}"
+            ) from exc
+        findings = [row[0] for row in rows if row[0] != "ok"]
+        if findings:
+            raise CatalogCorrupt(
+                f"catalog file {self.path} failed SQLite quick_check: "
+                + "; ".join(findings)
+            )
 
     def commit(self) -> None:
         self.conn.commit()

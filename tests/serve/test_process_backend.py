@@ -12,6 +12,7 @@ document churn triggers under global statistics).
 from __future__ import annotations
 
 import gc
+import shutil
 import time
 
 import pytest
@@ -19,7 +20,7 @@ import pytest
 from repro.core.session import open_lake
 from repro.core.srql import Q
 from repro.relational.table import Table
-from repro.serve import LakeServer
+from repro.serve import LakeServer, ShardUnavailable, faults
 
 from tests.serve.conftest import (
     assert_same_results,
@@ -137,6 +138,54 @@ class TestJournalReplay:
             want = reference.discover_batch(queries)
             assert_same_results(want, got, queries, "replay vs reference")
         finally:
+            rebooted.close()
+
+
+class TestCrashWindow:
+    def test_kill_between_append_and_apply_replays_on_reboot(
+        self, seed_lakes, tmp_path
+    ):
+        """The write-ahead window: a worker killed after the journal
+        append committed but before the op applied. With recovery
+        disabled the mutation fails in-flight — but the journaled record
+        is durable, so a reboot replays it to the exact generation an
+        undisturbed server reaches."""
+        reference = saved_session(seed_lakes["pharma"], tmp_path / "lake")
+        shutil.copytree(tmp_path / "lake", tmp_path / "twin")
+        table = Table.from_dict(
+            "window_extra", {"wx_id": ["W1", "W2"], "label": ["up", "down"]}
+        )
+        marker = tmp_path / "append-crash"
+        with faults.inject(f"crash:after_journal_append@{marker}"):
+            server = LakeServer(
+                tmp_path / "lake", backend="process", max_respawns=0
+            )
+            try:
+                with pytest.raises(ShardUnavailable):
+                    server.add_table(table)
+            finally:
+                server.close()
+        assert marker.exists(), "the injected crash never fired"
+
+        twin = LakeServer(tmp_path / "twin", backend="process")
+        rebooted = LakeServer(tmp_path / "lake", backend="process")
+        try:
+            twin.add_table(table)
+            assert "window_extra" in rebooted.backend.catalog.table_columns
+            assert rebooted.generations == twin.generations
+            reference.add_table(table)
+            queries = workload(reference)
+            expected = twin.discover_batch(queries)
+            got = rebooted.discover_batch(queries)
+            assert_same_results(
+                expected, got, queries, "crash-window reboot vs undisturbed"
+            )
+            want = reference.discover_batch(queries)
+            assert_same_results(
+                want, got, queries, "crash-window reboot vs reference"
+            )
+        finally:
+            twin.close()
             rebooted.close()
 
 

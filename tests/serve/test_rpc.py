@@ -10,11 +10,19 @@ import pytest
 
 from repro.serve.ops import ColumnLite
 from repro.serve.rpc import (
+    _U32,
+    _U64,
+    MAX_PART_BYTES,
     Connection,
+    ConnectionClosed,
+    FrameCorrupt,
     RemoteShardError,
+    RPCError,
+    WorkerTimeout,
     check_response,
     decode_message,
     encode_message,
+    frame_bytes,
 )
 
 
@@ -97,12 +105,59 @@ class TestConnection:
             left.close()
             right.close()
 
-    def test_eof_on_closed_peer(self):
+    def test_closed_peer_raises_typed_error_not_bare_eof(self):
         left, right = self.pair()
         left.close()
-        with pytest.raises(EOFError):
+        with pytest.raises(ConnectionClosed, match="closed"):
+            right.recv()
+        assert not issubclass(ConnectionClosed, EOFError)
+        right.close()
+
+    def test_mid_frame_close_raises_connection_closed(self):
+        left, right = self.pair()
+        frame = frame_bytes({"k": 1})
+        left._sock.sendall(frame[: len(frame) // 2])
+        left.close()
+        with pytest.raises(ConnectionClosed, match="mid-frame"):
             right.recv()
         right.close()
+
+    def test_recv_timeout_raises_worker_timeout(self):
+        left, right = self.pair()
+        try:
+            with pytest.raises(WorkerTimeout, match="no response within"):
+                right.recv(timeout=0.05)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_part_raises_frame_corrupt(self):
+        left, right = self.pair()
+        try:
+            left._sock.sendall(_U32.pack(1) + _U64.pack(MAX_PART_BYTES + 1))
+            with pytest.raises(FrameCorrupt):
+                right.recv()
+        finally:
+            left.close()
+            right.close()
+
+    def test_undecodable_frame_raises_frame_corrupt(self):
+        left, right = self.pair()
+        try:
+            garbage = b"\x00not msgpack\xff" * 3
+            left._sock.sendall(
+                _U32.pack(1) + _U64.pack(len(garbage)) + garbage
+            )
+            with pytest.raises(FrameCorrupt, match="failed to decode"):
+                right.recv()
+        finally:
+            left.close()
+            right.close()
+
+    def test_typed_errors_are_rpc_errors(self):
+        for exc_type in (ConnectionClosed, WorkerTimeout, FrameCorrupt):
+            assert issubclass(exc_type, RPCError)
+        assert issubclass(RPCError, RuntimeError)
 
     def test_close_is_idempotent(self):
         left, right = self.pair()

@@ -184,10 +184,10 @@ class TestSnapshotPinning:
         writer_done = threading.Event()
         inner = server.backend.round_trip
 
-        def blocking_round_trip(shard, ops):
+        def blocking_round_trip(shard, ops, pinned_gen=None):
             reader_entered.set()
             assert release_reader.wait(timeout=30)
-            return inner(shard, ops)
+            return inner(shard, ops, pinned_gen=pinned_gen)
 
         results: dict = {}
 
