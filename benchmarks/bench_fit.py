@@ -70,6 +70,16 @@ RECORDED_PREPR_MS = (2646.7, 2889.3, 2973.2, 3181.2)
 MIN_SPEEDUP_VS_RECORDED = 5.0
 MIN_SPEEDUP_VS_REFERENCE = 2.5
 
+#: Per-stage 10x-lake baselines recorded by the PR-6 bench run
+#: (BENCH_fit.json before the columnar embed kernels) and the stage
+#: ceilings gated against them: embed >= 2x faster, keyword >= 1.5x.
+#: Both gates use the per-stage minimum across the batched cold fits and
+#: the same host-speed guard as the recorded-baseline gate.
+RECORDED_10X_EMBED_MS = 608.4
+RECORDED_10X_KEYWORD_MS = 122.5
+MAX_10X_EMBED_MS = 300.0
+MAX_10X_KEYWORD_MS = 80.0
+
 
 class _PrePRSubwordEmbedder(HashingEmbedder):
     """The pre-PR bucket table, verbatim: one ``np.random.default_rng``
@@ -129,25 +139,67 @@ def _prepr_reference_fit(lake: DataLake) -> tuple[float, CMDL]:
     return _timed(run)
 
 
-def _best_fit(lake: DataLake, mode: str, repeats: int = 3):
-    """Best-of-N cold fit wall time for one fit_mode (fresh CMDL each)."""
-    best, best_cmdl = None, None
+def _best_fit(lake: DataLake, mode: str, repeats: int = 3, **config):
+    """Best-of-N cold fit for one fit_mode (fresh CMDL each).
+
+    Returns the best wall time, that fit's CMDL, and *every* rep's
+    FitStats — the caller aggregates per-stage minima across reps.
+    """
+    best, best_cmdl, all_stats = None, None, []
     for _ in range(repeats):
         seconds, cmdl = _timed(
-            lambda: _fit_once(lake, mode)
+            lambda: _fit_once(lake, mode, **config)
         )
+        all_stats.append(cmdl.fit_stats)
         if best is None or seconds < best:
             best, best_cmdl = seconds, cmdl
         else:
             del cmdl
     gc.collect()
-    return best, best_cmdl
+    return best, best_cmdl, all_stats
 
 
-def _fit_once(lake: DataLake, mode: str) -> CMDL:
-    cmdl = CMDL(CMDLConfig(use_joint=False, fit_mode=mode))
+def _fit_once(lake: DataLake, mode: str, **config) -> CMDL:
+    cmdl = CMDL(CMDLConfig(use_joint=False, fit_mode=mode, **config))
     cmdl.fit(lake)
     return cmdl
+
+
+def _stage_minima_ms(all_stats) -> dict[str, float]:
+    """Per-stage minima (ms) across cold-fit reps.
+
+    This host has minutes-long slow windows (shared tenancy), and a single
+    rep's total can hide another rep's clean stage — so each stage is
+    minimised *independently* across reps. The minima therefore need not
+    sum to any one rep's total; they are the honest per-stage floor.
+    """
+    minima: dict[str, float] = {}
+    for stats in all_stats:
+        for key, seconds in stats.as_dict().items():
+            stage = key.removesuffix("_seconds")
+            value = round(1000 * seconds, 1)
+            if stage not in minima or value < minima[stage]:
+                minima[stage] = value
+    return minima
+
+
+def _breakdown_minima_ms(all_stats, attr: str) -> dict[str, float]:
+    """Per-entry minima (ms) of one FitStats breakdown dict across reps."""
+    minima: dict[str, float] = {}
+    for stats in all_stats:
+        for key, seconds in getattr(stats, attr).items():
+            value = round(1000 * seconds, 1)
+            if key not in minima or value < minima[key]:
+                minima[key] = value
+    return minima
+
+
+def _best_embed_breakdown_ms(all_stats) -> dict[str, float]:
+    """``embed_breakdown`` (ms) of the rep with the minimal embed stage —
+    one coherent rep, so the kernel sub-stages are attributable to the
+    reported embed minimum (unlike the independently-minimised stages)."""
+    best = min(all_stats, key=lambda s: s.embed_seconds)
+    return {k: round(1000 * v, 1) for k, v in best.embed_breakdown.items()}
 
 
 def _scaled_lake(base: DataLake, derived_per_base: int = 9) -> DataLake:
@@ -166,22 +218,28 @@ def _scaled_lake(base: DataLake, derived_per_base: int = 9) -> DataLake:
     return lake
 
 
-def _bench_lake(name: str, lake: DataLake, reference_repeats: int = 2) -> dict:
+def _bench_lake(
+    name: str, lake: DataLake, reference_repeats: int = 2,
+    process_leg: bool = False,
+) -> dict:
     print(f"\n== {name}: {lake.num_tables} tables / {lake.num_columns} "
           f"columns / {lake.num_documents} documents ==")
     # This host shows minutes-long slow windows (shared tenancy), so each
     # path takes the min over several samples, and the batched samples are
     # split across the start and end of the sweep so every path sees the
     # same conditions rather than the tail of the run.
-    batched_s, batched = _best_fit(lake, "batched", repeats=3)
+    batched_s, batched, batched_stats = _best_fit(lake, "batched", repeats=3)
     reference_s = None
     for _ in range(reference_repeats):
         seconds, cmdl = _prepr_reference_fit(lake)
         reference_s = seconds if reference_s is None else min(reference_s, seconds)
         del cmdl
         gc.collect()
-    legacy_s, legacy = _best_fit(lake, "legacy", repeats=3)
-    batched_tail_s, batched_tail = _best_fit(lake, "batched", repeats=2)
+    legacy_s, legacy, _ = _best_fit(lake, "legacy", repeats=3)
+    batched_tail_s, batched_tail, tail_stats = _best_fit(
+        lake, "batched", repeats=2
+    )
+    batched_stats += tail_stats
     if batched_tail_s < batched_s:
         batched_s, batched = batched_tail_s, batched_tail
     else:
@@ -198,7 +256,7 @@ def _bench_lake(name: str, lake: DataLake, reference_repeats: int = 2) -> dict:
         for q in workload
     )
 
-    return {
+    result = {
         "lake": {"tables": lake.num_tables, "columns": lake.num_columns,
                  "documents": lake.num_documents},
         "prepr_reference_ms": round(1000 * reference_s, 1),
@@ -206,17 +264,52 @@ def _bench_lake(name: str, lake: DataLake, reference_repeats: int = 2) -> dict:
         "batched_ms": round(1000 * batched_s, 1),
         "speedup_vs_reference": round(reference_s / batched_s, 2),
         "speedup_vs_legacy": round(legacy_s / batched_s, 2),
-        "fit_stats_batched_ms": {
-            k.removesuffix("_seconds"): round(1000 * v, 1)
-            for k, v in batched.fit_stats.as_dict().items()
-        },
-        "index_breakdown_ms": {
-            k: round(1000 * v, 1)
-            for k, v in batched.fit_stats.index_breakdown.items()
-        },
+        # Per-stage minima across all batched reps (see _stage_minima_ms:
+        # stages are minimised independently, so they need not sum to the
+        # best total) plus per-structure / per-kernel splits.
+        "fit_stats_batched_ms": _stage_minima_ms(batched_stats),
+        "index_breakdown_ms": _breakdown_minima_ms(
+            batched_stats, "index_breakdown"
+        ),
+        "embed_breakdown_ms": _best_embed_breakdown_ms(batched_stats),
+        "fit_warnings": sorted(
+            {note for stats in batched_stats for note in stats.warnings}
+        ),
         "parity": f"{len(workload) - mismatches}/{len(workload)}",
         "_mismatches": mismatches,
     }
+
+    if process_leg:
+        # The process embed backend, labeled honestly: on a single-core
+        # host the forked warm-up is attribution (work moves between
+        # processes), not speedup — the leg is recorded for parity and for
+        # multi-core hosts, and never gates on this host class.
+        import os
+
+        process_s, process, process_stats = _best_fit(
+            lake, "batched", repeats=2,
+            fit_workers=2, fit_embed_backend="process",
+        )
+        process_mismatches = sum(
+            batched.engine.discover(q).items != process.engine.discover(q).items
+            for q in workload
+        )
+        result["process_backend"] = {
+            "fit_workers": 2,
+            "batched_ms": round(1000 * process_s, 1),
+            "fit_stats_ms": _stage_minima_ms(process_stats),
+            "embed_breakdown_ms": _best_embed_breakdown_ms(process_stats),
+            "warnings": sorted(
+                {note for stats in process_stats for note in stats.warnings}
+            ),
+            "single_core_host": (os.cpu_count() or 1) <= 1,
+            "parity": f"{len(workload) - process_mismatches}/{len(workload)}",
+        }
+        result["_mismatches"] += process_mismatches
+        del process
+        gc.collect()
+
+    return result
 
 
 def smoke() -> None:
@@ -224,14 +317,21 @@ def smoke() -> None:
 
     Run in CI (``python benchmarks/bench_fit.py --smoke``) so a columnar
     kernel that drifts from its per-item oracle fails fast there, not in a
-    full bench run. Covers the three kernels of the fit hot path:
+    full bench run. Covers the kernels of the fit hot path:
 
     * band hashes — ``band_hashes_batch`` vs per-signature ``band_hashes``;
     * RP forests — array-backed vs ``_Node`` builder query results;
+    * the embed slab kernel — batched ``embed_words`` vs per-word
+      ``embed_word``, and the gram slab vs the ``_ngrams`` oracle;
+    * columnar keyword postings — ``build_bulk`` vs per-item ``add``;
     * the two fit modes — batched vs legacy value-operator results, plus
-      identical index breakdown groups.
+      identical index breakdown groups;
+    * the process embed backend — ``fit_workers=2`` solo embeddings
+      byte-identical to the serial fit (a graceful thread fallback is
+      tolerated and reported — the backend degrades, never diverges).
     """
     from repro.ann.rpforest import RPForestIndex
+    from repro.search.inverted_index import InvertedIndex
     from repro.sketch.minhash import MinHash, band_hashes_batch
 
     lake = generate_pharma_lake(PharmaLakeConfig(
@@ -260,6 +360,34 @@ def smoke() -> None:
             points[i], k=10
         ), "forest backends diverged"
 
+    # Embed slab kernel vs the per-word oracle, on real lake vocabulary.
+    vocab = sorted({t for d in lake.documents for t in tokenize(d.text)})[:400]
+    slab_embedder = HashingEmbedder(dim=32, seed=0)
+    counts, slab = slab_embedder._gram_slab(vocab)
+    expected_grams = [slab_embedder._ngrams(w) for w in vocab]
+    assert counts == [len(g) for g in expected_grams], "gram counts diverged"
+    assert slab == [g for grams in expected_grams for g in grams], \
+        "gram slab diverged from the _ngrams oracle"
+    batch_vecs = slab_embedder.embed_words(vocab)
+    oracle = HashingEmbedder(dim=32, seed=0)
+    singles = np.vstack([oracle.embed_word(w) for w in vocab])
+    assert np.array_equal(batch_vecs, singles), "embed slab kernel diverged"
+
+    # Columnar keyword postings vs per-item add, same documents.
+    bags = [(d.doc_id, tokenize(d.text)) for d in lake.documents]
+    bulk_index = InvertedIndex()
+    bulk_index.build_bulk(bags)
+    item_index = InvertedIndex()
+    for key, terms in bags:
+        item_index.add(key, terms)
+    assert dict(bulk_index._postings) == dict(item_index._postings), \
+        "columnar postings diverged"
+    assert bulk_index._df == item_index._df, "document frequencies diverged"
+    assert bulk_index._collection_tf == item_index._collection_tf, \
+        "collection frequencies diverged"
+    assert bulk_index._doc_lengths == item_index._doc_lengths, \
+        "document lengths diverged"
+
     batched = _fit_once(lake, "batched")
     legacy = _fit_once(lake, "legacy")
     workload = []
@@ -273,8 +401,26 @@ def smoke() -> None:
     assert set(batched.fit_stats.index_breakdown) == set(
         legacy.fit_stats.index_breakdown
     ), "fit modes disagree on index breakdown groups"
-    print(f"smoke OK: band kernel, forest backends, "
-          f"{len(workload)}/{len(workload)} operator parity")
+
+    # Process embed backend: byte-identical embeddings at fit_workers=2.
+    # On hosts where the backend can't run it degrades to threads with a
+    # warning — parity must hold either way (degrade, never diverge).
+    process = _fit_once(
+        lake, "batched", fit_workers=2, fit_embed_backend="process"
+    )
+    for de_id in list(batched.profile.documents) + list(batched.profile.columns):
+        a = batched.profile.sketch(de_id)
+        b = process.profile.sketch(de_id)
+        assert np.array_equal(a.content_embedding, b.content_embedding), de_id
+        assert np.array_equal(a.metadata_embedding, b.metadata_embedding), de_id
+    process_note = "process backend parity"
+    if process.fit_stats.warnings:
+        process_note += (
+            " (degraded: " + "; ".join(process.fit_stats.warnings) + ")"
+        )
+    print(f"smoke OK: band kernel, forest backends, embed slab kernel, "
+          f"columnar postings, {len(workload)}/{len(workload)} operator "
+          f"parity, {process_note}")
 
 
 def main() -> None:
@@ -292,7 +438,7 @@ def main() -> None:
     results = {
         "pharma_1b": _bench_lake("Pharma-1B", pharma),
         "pharma_10x": _bench_lake("Pharma-1B x10", _scaled_lake(pharma),
-                                  reference_repeats=1),
+                                  reference_repeats=1, process_leg=True),
     }
     recorded_mean_ms = sum(RECORDED_PREPR_MS) / len(RECORDED_PREPR_MS)
     one_b = results["pharma_1b"]
@@ -330,14 +476,37 @@ def main() -> None:
     for key, label in (("pharma_1b", "Pharma-1B"), ("pharma_10x", "x10 scaled")):
         stats = results[key]["fit_stats_batched_ms"]
         breakdown = " ".join(f"{k}={v:.0f}ms" for k, v in stats.items())
-        report += f"\n  FitStats ({label}, batched): {breakdown}"
+        report += (f"\n  FitStats ({label}, batched, per-stage minima across"
+                   f" the cold-fit reps — minimised independently, so stages"
+                   f" need not sum to total): {breakdown}")
         structures = " ".join(
             f"{k}={v:.0f}ms"
             for k, v in results[key]["index_breakdown_ms"].items()
         )
         report += f"\n  index stage by structure ({label}): {structures}"
+        kernel = " ".join(
+            f"{k}={v:.0f}ms"
+            for k, v in results[key]["embed_breakdown_ms"].items()
+        )
+        report += f"\n  embed stage by kernel ({label}, best-embed rep): {kernel}"
         report += f"\n  value-operator parity batched vs legacy ({label}): " \
                   f"{results[key]['parity']} identical"
+        for note in results[key]["fit_warnings"]:
+            report += f"\n  fit warning ({label}): {note}"
+    process = results["pharma_10x"].get("process_backend")
+    if process:
+        report += (
+            f"\n  process embed backend (x10, fit_workers="
+            f"{process['fit_workers']}): total={process['batched_ms']:.0f}ms"
+            f" embed={process['fit_stats_ms']['embed']:.0f}ms,"
+            f" parity {process['parity']}"
+        )
+        if process["single_core_host"]:
+            report += ("\n    [single-core host: process overlap is "
+                       "attribution, not speedup — leg recorded for parity "
+                       "and multi-core hosts]")
+        for note in process["warnings"]:
+            report += f"\n    process-backend warning: {note}"
     print("\n" + report)
     with RESULTS_PATH.open("a") as fh:
         fh.write(report + "\n\n")
@@ -366,9 +535,23 @@ def main() -> None:
             f"than the recorded pre-PR baseline ({recorded_mean_ms:.0f} ms), "
             f"got {one_b['speedup_vs_recorded']:.1f}x"
         )
+        ten_x = results["pharma_10x"]
+        embed_min = ten_x["fit_stats_batched_ms"]["embed"]
+        assert embed_min <= MAX_10X_EMBED_MS, (
+            f"10x embed stage must be <= {MAX_10X_EMBED_MS:.0f} ms "
+            f"(>= 2x the recorded {RECORDED_10X_EMBED_MS:.0f} ms), "
+            f"got {embed_min:.0f} ms"
+        )
+        keyword_min = ten_x["index_breakdown_ms"]["keyword"]
+        assert keyword_min <= MAX_10X_KEYWORD_MS, (
+            f"10x keyword index build must be <= {MAX_10X_KEYWORD_MS:.0f} ms "
+            f"(>= 1.5x the recorded {RECORDED_10X_KEYWORD_MS:.0f} ms), "
+            f"got {keyword_min:.0f} ms"
+        )
     else:
-        print("  [recorded-baseline gate skipped: this host is slower than "
-              "the conditions the pre-PR baseline was recorded under]")
+        print("  [recorded-baseline and per-stage gates skipped: this host "
+              "is slower than the conditions the pre-PR baseline was "
+              "recorded under]")
     assert one_b["speedup_vs_reference"] >= MIN_SPEEDUP_VS_REFERENCE, (
         f"batched cold fit must be >= {MIN_SPEEDUP_VS_REFERENCE}x faster than "
         f"the re-measured pre-PR reference, got "

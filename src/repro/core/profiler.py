@@ -26,8 +26,12 @@ is what the parity suite and the legacy-vs-batched benchmark compare.
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
+import sys
+import time
 from collections import Counter
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,6 +76,53 @@ def _thread_safe_embedder(embedder) -> bool:
     return isinstance(embedder, (BlendedEmbedder, HashingEmbedder))
 
 
+def _process_warmable(embedder, warnings_sink: list[str]) -> bool:
+    """True when ``embedder`` can warm in worker processes.
+
+    Requires the cache-fill protocol (``cache_fills`` computes a chunk and
+    returns its picklable fills; ``merge_cache_fills`` merges them back)
+    and a picklable instance. A failed check degrades to the thread path
+    with a one-line note, never an error: the process backend is a
+    scheduling optimisation, not a semantic switch.
+    """
+    if not (
+        hasattr(embedder, "cache_fills") and hasattr(embedder, "merge_cache_fills")
+    ):
+        warnings_sink.append(
+            "process embed backend: embedder lacks the cache-fill protocol; "
+            "falling back to threads"
+        )
+        return False
+    try:
+        pickle.dumps(embedder)
+    except Exception as exc:
+        warnings_sink.append(
+            f"process embed backend: embedder failed to pickle "
+            f"({type(exc).__name__}); falling back to threads"
+        )
+        return False
+    return True
+
+
+def _warm_embedder_chunk(embedder, chunk: list[str]) -> dict:
+    """Process-pool warm task: embed one vocabulary chunk in a worker.
+
+    The worker gets a cold pickled copy of the embedder, warms its own
+    caches, and ships the per-word fills back for the parent to merge —
+    the warm-then-assemble protocol across a process boundary.
+    """
+    return embedder.cache_fills(chunk)
+
+
+def _kernel_snapshot(embedder) -> dict[str, float] | None:
+    """Copy of the embedder's slab-kernel timing counters, if it has any
+    (the blended embedder's live on its subword component)."""
+    if embedder is None:
+        return None
+    kernel = getattr(getattr(embedder, "subword", embedder), "kernel_seconds", None)
+    return dict(kernel) if kernel is not None else None
+
+
 @dataclass
 class FitStats:
     """Wall-clock breakdown of one ``CMDL.fit`` (seconds per stage).
@@ -99,6 +150,19 @@ class FitStats:
     seconds, from :attr:`~repro.core.indexes.IndexCatalog.index_breakdown`)
     so an index-stage regression is attributable to a structure. It is kept
     out of :meth:`as_dict`, which stays flat-scalar for report tables.
+
+    ``embed_breakdown`` does the same for the embed stage: ``grams`` /
+    ``route`` / ``draw`` / ``pool`` are the slab-kernel sub-stage seconds
+    accrued by the fit's embed work (wherever scheduled — the overlapped
+    warm-up counts too, and the process backend sums worker-side kernel
+    seconds, so with parallel workers the kernel total can exceed the
+    stage's wall clock), and ``train_overlap`` is the wall time the embed
+    stage spent blocked on the background embedder-training join. Zero
+    kernel entries for a custom embedder without the slab kernel.
+
+    ``warnings`` collects non-fatal fit degradations — today, the process
+    embed backend falling back to threads (unpicklable embedder, missing
+    cache-fill protocol, unusable start method). Empty on a clean fit.
     """
 
     profile_seconds: float = 0.0
@@ -108,6 +172,8 @@ class FitStats:
     train_seconds: float = 0.0
     total_seconds: float = 0.0
     index_breakdown: dict[str, float] = field(default_factory=dict)
+    embed_breakdown: dict[str, float] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -244,6 +310,7 @@ class Profiler:
         pipeline: DocumentPipeline | None = None,
         seed: int = 0,
         workers: int = 1,
+        embed_backend: str = "thread",
     ):
         if pooling not in POOLERS:
             raise ValueError(f"unknown pooling {pooling!r}; expected {list(POOLERS)}")
@@ -256,12 +323,25 @@ class Profiler:
         self.pipeline = pipeline or DocumentPipeline(max_doc_frequency=max_doc_frequency)
         self.embedder = embedder  # resolved lazily in profile() if None
         self.seed = seed
-        #: Thread count of the batched fit's embed stage (1 = sequential).
+        #: Worker count of the batched fit's embed stage (0/1 = sequential).
         #: Workers warm per-word embedding caches in vocabulary chunks,
         #: overlapping the sketch stage; the matrix is then assembled by one
         #: ordinary ``embed_words`` call over the warm caches, so the output
         #: is byte-identical to the sequential path at any worker count.
         self.workers = max(1, workers)
+        #: "thread" (default) or "process". The thread backend shares one
+        #: embedder under the GIL (wins only where the kernel releases it);
+        #: the process backend ships cold embedder copies to forked workers
+        #: and merges their cache fills, so the warm-up truly overlaps on
+        #: multi-core hosts. Degrades to threads (with a note in
+        #: ``FitStats.warnings``) when the platform or embedder can't
+        #: support it.
+        if embed_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown embed_backend {embed_backend!r}; "
+                "expected 'thread' or 'process'"
+            )
+        self.embed_backend = embed_backend
         #: Per-fit string -> fingerprint cache shared by every signature of
         #: the fit; reset by :meth:`profile`, reused by the delta path.
         self.fingerprints = FingerprintCache(seed)
@@ -367,6 +447,47 @@ class Profiler:
         profile.fit_stats.profile_seconds = t_docs.elapsed + t_cols.elapsed
         return profile
 
+    def _start_process_pool(self, warnings_sink: list[str]):
+        """Start (and fully spawn) the process-backend embed warm pool.
+
+        Called before the training thread exists: forking a multi-threaded
+        process can clone held allocator/BLAS locks into the child, so
+        under the fork start method every worker is forced to fork *now*,
+        while the process is still single-threaded. Any failure degrades
+        to the thread path with a note, never an error.
+        """
+        try:
+            context = multiprocessing.get_context("fork")
+            prefork = True
+        except ValueError:
+            try:
+                context = multiprocessing.get_context("spawn")
+                prefork = False
+            except ValueError:
+                warnings_sink.append(
+                    "process embed backend: no usable start method; "
+                    "falling back to threads"
+                )
+                return None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+            if prefork:
+                # Each submit forks a fresh worker while the previous ones
+                # are still busy sleeping, so all forks happen here.
+                for future in [
+                    pool.submit(time.sleep, 0.02) for _ in range(self.workers)
+                ]:
+                    future.result()
+        except Exception as exc:
+            warnings_sink.append(
+                f"process embed backend: pool failed to start "
+                f"({type(exc).__name__}); falling back to threads"
+            )
+            return None
+        return pool
+
     def _profile_batched(self, lake: DataLake) -> Profile:
         """Batch-first fit: stage-at-a-time over the whole lake."""
         profile = Profile()
@@ -375,8 +496,60 @@ class Profiler:
         tables = list(lake.tables)
         columns = [column for table in tables for column in table.columns]
 
+        # ---- process-backend warm pool, forked while the process is still
+        # single-threaded (see _start_process_pool); an explicit embedder
+        # must support the cache-fill protocol or we stay on threads
+        process_pool = None
+        if self.workers > 1 and self.embed_backend == "process":
+            if self.embedder is None or _process_warmable(
+                self.embedder, stats.warnings
+            ):
+                process_pool = self._start_process_pool(stats.warnings)
+
+        # ---- embedder training kicked off first: the PPMI component's
+        # heavy lifting releases the GIL, so it overlaps the bag-building
+        # and sketch stages below (and warms the cell-token memo those
+        # stages then hit). Arithmetic is identical to the sequential
+        # build — the thread changes scheduling, not bytes.
+        switch_interval = None
+        with Timer() as t_corpora:
+            training = None
+            if self.embedder is None:
+                from repro.embed.blended import LakeEmbedderTraining
+
+                # The corpora build runs on the training thread (it is
+                # training prep): the cell-token memo it warms is shared
+                # with the bags stage below, and concurrent fills are
+                # idempotent (tokenisation is deterministic per value).
+                training = LakeEmbedderTraining(
+                    lambda: self._training_corpora(lake),
+                    dim=self.embedding_dim,
+                    seed=self.seed,
+                )
+                # While the training thread is live, shorten the GIL switch
+                # interval: the PROPACK solver re-acquires the GIL on every
+                # sparse matvec callback, and under the default 5 ms
+                # interval the Python-heavy bag loops starve it — on one
+                # core the unabsorbed training then bleeds into the embed
+                # stage's wall. Scheduling only; bytes are unaffected.
+                switch_interval = sys.getswitchinterval()
+                sys.setswitchinterval(0.0005)
+
+        try:
+            return self._profile_batched_stages(
+                lake, profile, stats, documents, tables, columns,
+                training, process_pool, t_corpora,
+            )
+        finally:
+            if switch_interval is not None:
+                sys.setswitchinterval(switch_interval)
+
+    def _profile_batched_stages(
+        self, lake, profile, stats, documents, tables, columns,
+        training, process_pool, t_corpora,
+    ) -> Profile:
+        """Bags -> sketch -> embed -> assembly (body of the batched fit)."""
         # ---- bags: pipeline, tokenisation, metadata, tags, numeric stats
-        # (before embedder training so the corpora build hits a warm memo)
         with Timer() as t_docs:
             doc_contents = self.pipeline.fit_transform([d.text for d in documents])
             doc_metas = []
@@ -399,23 +572,8 @@ class Profiler:
             ]
         stats.profile_seconds = t_docs.elapsed + t_cols.elapsed
 
-        # ---- embedder training kicked off in the background: the PPMI
-        # component's heavy lifting releases the GIL, so it overlaps the
-        # sketch stage and the subword warm-up below. Arithmetic is
-        # identical to the sequential build (scheduling only).
-        with Timer() as t_corpora:
-            training = None
-            if self.embedder is None:
-                from repro.embed.blended import LakeEmbedderTraining
-
-                training = LakeEmbedderTraining(
-                    self._training_corpora(lake),
-                    dim=self.embedding_dim,
-                    seed=self.seed,
-                )
-
         # ---- union vocabulary, computed *before* sketching so the embed
-        # warm-up below can run on worker threads underneath the sketch pass
+        # warm-up below can run on workers underneath the sketch pass
         with Timer() as t_union:
             union: set[str] = set()
             for bows in (doc_contents, doc_metas, col_contents, col_metas):
@@ -424,29 +582,46 @@ class Profiler:
             words = sorted(union)
 
         # With workers > 1, warm per-word embedding caches in vocabulary
-        # chunks while the sketch stage runs: cache fills are idempotent and
-        # order-independent, and the matrix itself is assembled afterwards
-        # by one ordinary embed_words call over the warm caches — identical
-        # bytes to the sequential path, overlapped wall-clock. Before the
-        # blended embedder exists only its subword component can be warmed;
-        # an explicit embedder is warmed only when it is one of ours (an
-        # arbitrary user embedder makes no thread-safety promises).
-        pool = warm_futures = None
-        if self.workers > 1 and words:
-            warm_target = (
-                training.subword if training is not None
-                else self.embedder if _thread_safe_embedder(self.embedder)
-                else None
-            )
-            if warm_target is not None:
+        # chunks while the sketch stage runs: cache fills are idempotent
+        # and order-independent, and the matrix itself is assembled
+        # afterwards by one ordinary embed_words call over the warm caches
+        # — identical bytes to the sequential path, overlapped wall-clock.
+        # Thread workers share the embedder under its locks; process
+        # workers each warm a cold pickled copy and the parent merges their
+        # fills. Before the blended embedder exists only its subword
+        # component can be warmed; an explicit embedder is warmed only when
+        # it is one of ours (an arbitrary user embedder makes no
+        # thread-safety promises).
+        warm_target = (
+            training.subword if training is not None
+            else self.embedder if _thread_safe_embedder(self.embedder)
+            else None
+        )
+        kernel_source = training.subword if training is not None else self.embedder
+        kernel_before = _kernel_snapshot(kernel_source)
+        pool = warm_futures = process_futures = None
+        if self.workers > 1 and words and warm_target is not None:
+            chunks = _vocab_chunks(words, self.workers)
+            if process_pool is not None:
+                try:
+                    process_futures = [
+                        process_pool.submit(_warm_embedder_chunk, warm_target, chunk)
+                        for chunk in chunks
+                    ]
+                except Exception as exc:
+                    stats.warnings.append(
+                        f"process embed backend: submit failed "
+                        f"({type(exc).__name__}); falling back to threads"
+                    )
+                    process_futures = None
+            if process_futures is None:
+                warm = getattr(warm_target, "warm_words", warm_target.embed_words)
                 pool = ThreadPoolExecutor(
                     max_workers=self.workers, thread_name_prefix="fit-embed"
                 )
-                warm_futures = [
-                    pool.submit(warm_target.embed_words, chunk)
-                    for chunk in _vocab_chunks(words, self.workers)
-                ]
+                warm_futures = [pool.submit(warm, chunk) for chunk in chunks]
 
+        train_overlap = 0.0
         try:
             # ---- sketch: every signature of the fit in one batched pass
             with Timer() as t_sketch:
@@ -464,32 +639,60 @@ class Profiler:
 
             # ---- embed: one union-vocabulary pass + per-DE pooled slices
             with Timer() as t_embed:
+                if process_futures is not None:
+                    try:
+                        fills = [future.result() for future in process_futures]
+                    except Exception as exc:
+                        stats.warnings.append(
+                            f"process embed warm-up failed "
+                            f"({type(exc).__name__}: {exc}); embedding in-process"
+                        )
+                    else:
+                        for fill in fills:
+                            warm_target.merge_cache_fills(fill)
                 if warm_futures is not None:
                     for future in warm_futures:
                         future.result()
                 if training is not None:
-                    if pool is None:
+                    if pool is None and process_futures is None:
                         # Warm the subword table for the whole fit vocabulary
                         # while the distributional model finishes its thread.
-                        training.subword.embed_words(words)
+                        training.subword.warm_words(words)
+                    join_start = time.perf_counter()
                     self.embedder = training.result()
+                    train_overlap = time.perf_counter() - join_start
                     if pool is not None:
                         # The blended cache can only warm now that the
                         # distributional component exists; the subword table
                         # underneath is already hot from the overlapped pass.
                         for future in [
-                            pool.submit(self.embedder.embed_words, chunk)
+                            pool.submit(self.embedder.warm_words, chunk)
                             for chunk in _vocab_chunks(words, self.workers)
                         ]:
                             future.result()
                 matrix = self.embedder.embed_words(words)
                 position = {word: i for i, word in enumerate(words)}
+                position_of = position.__getitem__
+                # Derived tables repeat column content, so distinct bags
+                # repeat across DEs; pooling is a pure function of the
+                # sorted vocabulary, so duplicates share one pooled vector.
+                pooled_memo: dict[tuple[str, ...], np.ndarray] = {}
 
                 def pooled(bow: BagOfWords) -> np.ndarray:
                     if not bow.terms:
                         return np.zeros(self.embedding_dim)
-                    rows = matrix[[position[w] for w in sorted(bow.terms)]]
-                    return self.pooling(rows, dim_hint=self.embedding_dim)
+                    key = tuple(sorted(bow.terms))
+                    vec = pooled_memo.get(key)
+                    if vec is None:
+                        rows = matrix.take(
+                            np.fromiter(
+                                map(position_of, key), dtype=np.intp, count=len(key)
+                            ),
+                            axis=0,
+                        )
+                        vec = self.pooling(rows, dim_hint=self.embedding_dim)
+                        pooled_memo[key] = vec
+                    return vec
 
                 if pool is not None:
                     doc_content_emb = list(pool.map(pooled, doc_contents))
@@ -504,7 +707,19 @@ class Profiler:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
+            if process_pool is not None:
+                process_pool.shutdown(wait=True, cancel_futures=True)
         stats.embed_seconds = t_corpora.elapsed + t_union.elapsed + t_embed.elapsed
+        kernel_after = _kernel_snapshot(self.embedder)
+        breakdown = {"grams": 0.0, "route": 0.0, "draw": 0.0, "pool": 0.0}
+        if kernel_after is not None:
+            before = kernel_before or {}
+            for stage in breakdown:
+                breakdown[stage] = kernel_after.get(stage, 0.0) - before.get(
+                    stage, 0.0
+                )
+        breakdown["train_overlap"] = train_overlap
+        stats.embed_breakdown = breakdown
 
         # ---- assembly
         with Timer() as t_doc_assembly:

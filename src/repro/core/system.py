@@ -83,13 +83,24 @@ class CMDLConfig:
     #: parity oracle and the baseline of ``benchmarks/bench_fit.py``.
     fit_mode: str = "batched"
 
-    #: Thread count of the batched fit's embed stage. Workers warm the
+    #: Worker count of the batched fit's embed stage. Workers warm the
     #: embedder's per-word caches in vocabulary chunks overlapped with the
-    #: sketch stage; output is byte-identical at any setting (1 = the
+    #: sketch stage; output is byte-identical at any setting (0/1 = the
     #: sequential path). Distinct from the ``fit_workers`` argument of
     #: :meth:`CMDL.open`, which sizes the *per-shard* fit pool of a sharded
     #: session; this knob parallelises inside one fit.
     fit_workers: int = 1
+
+    #: Embed warm-up backend when ``fit_workers > 1``: "thread" (default)
+    #: shares one embedder across worker threads — overlap is limited to
+    #: the kernel's GIL-releasing spans; "process" forks workers that each
+    #: warm a cold copy of the embedder on a vocabulary chunk and ship
+    #: their per-word cache fills back to be merged, so the warm-up truly
+    #: runs in parallel on multi-core hosts. Falls back to the thread path
+    #: (noted in ``FitStats.warnings``) when the platform lacks a usable
+    #: start method or the embedder doesn't pickle. Output is
+    #: byte-identical across backends and worker counts.
+    fit_embed_backend: str = "thread"
 
     #: Document pipeline override. ``None`` builds the default
     #: :class:`~repro.text.pipeline.DocumentPipeline` per fit. The sharded
@@ -149,6 +160,11 @@ class CMDL:
             raise ValueError(
                 f"unknown fit_mode {cfg.fit_mode!r}; expected 'batched' or 'legacy'"
             )
+        if cfg.fit_embed_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown fit_embed_backend {cfg.fit_embed_backend!r}; "
+                "expected 'thread' or 'process'"
+            )
         batched = cfg.fit_mode == "batched"
         with Timer() as t_total:
             self.profiler = Profiler(
@@ -159,6 +175,7 @@ class CMDL:
                 pipeline=cfg.document_pipeline,
                 seed=cfg.seed,
                 workers=cfg.fit_workers,
+                embed_backend=cfg.fit_embed_backend,
             )
             self.profile = self.profiler.profile(lake, batched=batched)
             with Timer() as t_index:

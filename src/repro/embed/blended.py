@@ -66,15 +66,65 @@ class BlendedEmbedder:
         return vec
 
     def embed_words(self, words: list[str]) -> np.ndarray:
+        """Stack blended vectors, batching everything but the projection.
+
+        The subword rows come from one slab-kernel call, the distributional
+        rows from one gather, and the weighted concatenation is assembled
+        as a matrix — all elementwise, so each row matches the per-word
+        form. Only the JL projection itself stays a per-row GEMV: a single
+        GEMM accumulates in a different order than ``embed_word``'s
+        vector-matrix product and would change the output bytes.
+        """
         if not words:
             return np.zeros((0, self.dim))
-        # Warm the subword model for every uncached word first: one batched
-        # bucket-table draw instead of per-word materialisation. The blend
-        # itself stays per-word, so rows match embed_word exactly.
-        missing = [w.lower() for w in words if w.lower() not in self._cache]
-        if missing:
-            self.subword.embed_words(missing)
-        return np.vstack([self.embed_word(w) for w in words])
+        cache = self._cache
+        lowered = [w.lower() for w in words]
+        pending = list(dict.fromkeys(w for w in lowered if w not in cache))
+        if pending:
+            self._blend_pending(pending)
+        return np.vstack([cache[w] for w in lowered])
+
+    def warm_words(self, words: list[str]) -> None:
+        """Fill the blended cache without assembling the stacked matrix
+        (the overlapped fit warm-up only needs the cache side effect)."""
+        cache = self._cache
+        pending = list(dict.fromkeys(
+            w for w in (word.lower() for word in words) if w not in cache
+        ))
+        if pending:
+            self._blend_pending(pending)
+
+    def _blend_pending(self, pending: list[str]) -> None:
+        """Blend uncached (lowercased, deduped) words into the cache."""
+        dim = self.dim
+        sub = self.subword.embed_words(pending)
+        dist = np.zeros((len(pending), dim))
+        model = self.distributional
+        if model is not None and model.is_fitted and model.vocabulary:
+            vocab_get = model.vocabulary.get
+            vectors = model._vectors
+            for i, word in enumerate(pending):
+                idx = vocab_get(word)
+                if idx is not None:
+                    dist[i] = vectors[idx]
+        # Rows whose distributional half is all-zero (OOV or unfitted
+        # model) rely purely on subwords, as fasttext does for unseen words.
+        blendable = dist.any(axis=1)
+        weight = self.subword_weight
+        stacked = np.empty((len(pending), 2 * dim))
+        stacked[:, :dim] = weight * sub
+        stacked[:, dim:] = (1.0 - weight) * dist
+        projection = self._projection
+        cache = self._cache
+        for i, word in enumerate(pending):
+            if blendable[i]:
+                vec = stacked[i] @ projection
+                norm = np.linalg.norm(vec)
+                if norm > 0:
+                    vec = vec / norm
+            else:
+                vec = sub[i]
+            cache[word] = vec
 
     def similarity(self, w1: str, w2: str) -> float:
         v1, v2 = self.embed_word(w1), self.embed_word(w2)
@@ -82,6 +132,29 @@ class BlendedEmbedder:
         if n1 == 0 or n2 == 0:
             return 0.0
         return float(np.dot(v1, v2) / (n1 * n2))
+
+    # ---------------------------------------------- process-pool warm-up
+
+    def cache_fills(self, words: list[str]) -> dict:
+        """Embed ``words`` and return the picklable cache fills (blended
+        vectors plus the subword component's own fills), for the process-
+        backend warm-up — see :meth:`HashingEmbedder.cache_fills`."""
+        self.embed_words(words)
+        cache = self._cache
+        lowered = dict.fromkeys(w.lower() for w in words)
+        return {
+            "vectors": {w: cache[w] for w in lowered},
+            "subword": self.subword.cache_fills(list(lowered)),
+        }
+
+    def merge_cache_fills(self, fills: dict) -> None:
+        """Merge one :meth:`cache_fills` result (idempotent fills only)."""
+        cache = self._cache
+        for word, vec in fills["vectors"].items():
+            cache.setdefault(word, vec)
+        subword_fills = fills.get("subword")
+        if subword_fills:
+            self.subword.merge_cache_fills(subword_fills)
 
     # -------------------------------------------------------- persistence
 
@@ -129,7 +202,11 @@ class LakeEmbedderTraining:
     the thread changes scheduling, not arithmetic.
     """
 
-    def __init__(self, token_corpora: list[list[str]], dim: int = 100, seed: int = 0):
+    def __init__(self, token_corpora, dim: int = 100, seed: int = 0):
+        """``token_corpora`` is the list of token lists to train on, or a
+        zero-argument callable producing it — a callable moves the corpus
+        assembly itself onto the training thread, overlapping it with the
+        caller's other fit stages (it is training prep, not embed work)."""
         self.subword = HashingEmbedder(dim=dim, seed=seed)
         self._dim = dim
         self._seed = seed
@@ -137,8 +214,9 @@ class LakeEmbedderTraining:
 
         def _train() -> None:
             try:
+                corpora = token_corpora() if callable(token_corpora) else token_corpora
                 self._box["model"] = PPMIEmbedder(dim=dim, seed=seed).fit(
-                    token_corpora
+                    corpora
                 )
             except BaseException as exc:  # surfaced by result()
                 self._box["error"] = exc

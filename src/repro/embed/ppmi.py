@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import warnings
 from collections import Counter
+from itertools import chain, repeat
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -38,7 +39,7 @@ class PPMIEmbedder:
 
     def fit(self, token_lists: list[list[str]]) -> "PPMIEmbedder":
         """Train on a corpus given as lists of (already lowercased) tokens."""
-        word_counts = Counter(t for tokens in token_lists for t in tokens)
+        word_counts = Counter(chain.from_iterable(token_lists))
         vocab = sorted(w for w, c in word_counts.items() if c >= self.min_count)
         self.vocabulary = {w: i for i, w in enumerate(vocab)}
         v = len(vocab)
@@ -54,14 +55,21 @@ class PPMIEmbedder:
         # the counts come from one np.unique over encoded pair codes —
         # exact integers, identical to the per-token loop this replaces.
         vocab = self.vocabulary
-        flat: list[int] = []
-        list_of: list[int] = []
-        for n, tokens in enumerate(token_lists):
-            ids = [vocab[t] for t in tokens if t in vocab]
-            flat.extend(ids)
-            list_of.extend([n] * len(ids))
-        ids = np.array(flat, dtype=np.int64)
-        owner = np.array(list_of, dtype=np.int64)
+        # One C-speed pass: every token maps to its id (-1 for out-of-vocab),
+        # owners come from one np.repeat, and the OOV mask drops both in
+        # lock-step — the same (id, owner) stream as the per-list loop.
+        lengths = np.fromiter(
+            map(len, token_lists), dtype=np.int64, count=len(token_lists)
+        )
+        all_ids = np.fromiter(
+            map(vocab.get, chain.from_iterable(token_lists), repeat(-1)),
+            dtype=np.int64,
+            count=int(lengths.sum()),
+        )
+        owner_all = np.repeat(np.arange(len(token_lists), dtype=np.int64), lengths)
+        in_vocab = all_ids >= 0
+        ids = all_ids[in_vocab]
+        owner = owner_all[in_vocab]
         pair_codes: list[np.ndarray] = []
         for d in range(1, min(self.window, len(ids) - 1) + 1):
             same = owner[:-d] == owner[d:]

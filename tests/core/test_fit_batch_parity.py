@@ -599,3 +599,83 @@ class TestParallelEmbedParity:
         assert all(v >= 0 for v in breakdown.values())
         # as_dict() stays flat-scalar for the benchmark emitters.
         assert "index_breakdown" not in cmdl.fit_stats.as_dict()
+
+    def test_embed_breakdown_recorded(self, pin_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, seed=0))
+        cmdl.fit(pin_lake)
+        breakdown = cmdl.fit_stats.embed_breakdown
+        assert set(breakdown) == {
+            "grams", "route", "draw", "pool", "train_overlap"
+        }
+        assert all(v >= 0 for v in breakdown.values())
+        # The default embedder runs the slab kernel, so some sub-stage accrues.
+        assert sum(breakdown.values()) > 0
+        assert "embed_breakdown" not in cmdl.fit_stats.as_dict()
+
+
+class TestProcessEmbedBackend:
+    """The process warm-up backend is a scheduling change only: identical
+    bytes at any worker count, graceful thread fallback when it can't run."""
+
+    @pytest.mark.parametrize("workers", [0, 1, 2, 4])
+    def test_worker_counts_keep_pinned_fingerprint(self, pin_lake, workers):
+        cmdl = CMDL(CMDLConfig(
+            use_joint=False, seed=0,
+            fit_workers=workers, fit_embed_backend="process",
+        ))
+        cmdl.fit(pin_lake)
+        assert fit_output_fingerprint(cmdl) == TestPinnedFitFingerprint.FULL_DIGEST
+
+    def test_explicit_embedder_matches_thread_backend(self, edge_lake):
+        def profiler(backend):
+            return Profiler(
+                embedding_dim=16,
+                num_hashes=32,
+                embedder=HashingEmbedder(dim=16, seed=0),
+                seed=0,
+                workers=2,
+                embed_backend=backend,
+            )
+
+        process = profiler("process").profile(edge_lake)
+        thread = profiler("thread").profile(edge_lake)
+        assert_profiles_equal(process, thread)
+
+    def test_unpicklable_embedder_falls_back_with_warning(self, edge_lake):
+        embedder = HashingEmbedder(dim=16, seed=0)
+        embedder._unpicklable = lambda: None  # lambdas don't pickle
+        profiler = Profiler(
+            embedding_dim=16, num_hashes=32, embedder=embedder,
+            seed=0, workers=2, embed_backend="process",
+        )
+        profile = profiler.profile(edge_lake)
+        assert any(
+            "falling back to threads" in note
+            for note in profile.fit_stats.warnings
+        )
+        base = Profiler(
+            embedding_dim=16, num_hashes=32,
+            embedder=HashingEmbedder(dim=16, seed=0), seed=0,
+        ).profile(edge_lake)
+        assert_profiles_equal(base, profile)
+
+    def test_protocol_check_names_the_gap(self):
+        from repro.core.profiler import _process_warmable
+
+        class NoProtocol:
+            pass
+
+        sink: list[str] = []
+        assert not _process_warmable(NoProtocol(), sink)
+        assert "cache-fill protocol" in sink[0]
+
+    def test_clean_fit_has_no_warnings(self, pin_lake):
+        cmdl = CMDL(CMDLConfig(use_joint=False, seed=0, fit_workers=2))
+        cmdl.fit(pin_lake)
+        assert cmdl.fit_stats.warnings == []
+
+    def test_bad_backend_rejected(self, edge_lake):
+        with pytest.raises(ValueError, match="embed_backend"):
+            Profiler(embed_backend="bogus")
+        with pytest.raises(ValueError, match="fit_embed_backend"):
+            CMDL(CMDLConfig(fit_embed_backend="bogus")).fit(edge_lake)

@@ -73,3 +73,91 @@ class TestSimilarity:
     def test_bounded(self, embedder):
         for a, b in [("drug", "city"), ("enzyme", "protein")]:
             assert -1.0 <= embedder.similarity(a, b) <= 1.0
+
+
+class TestGramSlabKernel:
+    """Each stage of the columnar embed kernel against its per-word oracle."""
+
+    WORDS = ["alpha", "beta", "alphabet", "a", "ab", "synthase", "reductase"]
+
+    def test_gram_slab_matches_ngrams(self):
+        e = HashingEmbedder(dim=8, seed=0)
+        counts, slab = e._gram_slab(self.WORDS)
+        expected = [e._ngrams(w) for w in self.WORDS]
+        assert counts == [len(grams) for grams in expected]
+        assert slab == [g for grams in expected for g in grams]
+
+    def test_scalar_route_matches_list_route(self):
+        grams = HashingEmbedder(dim=8, seed=2)._ngrams("synthase")
+        scalar = HashingEmbedder(dim=8, seed=2)
+        listed = HashingEmbedder(dim=8, seed=2)
+        assert [scalar._bucket_of(g) for g in grams] == listed._buckets_of(grams)
+        # The memo serves repeat routes on both paths.
+        assert scalar._gram_bucket == listed._gram_bucket
+
+    def test_route_slab_rows_match_bucket_vectors(self):
+        e = HashingEmbedder(dim=8, seed=1)
+        _, slab = e._gram_slab(self.WORDS)
+        row_ids = e._route_slab(slab)
+        fresh = HashingEmbedder(dim=8, seed=1)
+        for gram, row in zip(slab, row_ids):
+            assert np.array_equal(e._table[row], fresh._bucket_vector(gram)), gram
+
+    def test_chunked_pooling_invariant(self, monkeypatch):
+        vocab = [f"word{i}" for i in range(50)] + self.WORDS
+        whole = HashingEmbedder(dim=16, seed=0).embed_words(vocab)
+        monkeypatch.setattr(HashingEmbedder, "_POOL_CHUNK_WORDS", 3)
+        chunked = HashingEmbedder(dim=16, seed=0).embed_words(vocab)
+        assert np.array_equal(whole, chunked)
+
+    def test_batch_matches_per_word(self):
+        batch = HashingEmbedder(dim=16, seed=0).embed_words(self.WORDS)
+        oracle = HashingEmbedder(dim=16, seed=0)
+        singles = np.vstack([oracle.embed_word(w) for w in self.WORDS])
+        assert np.array_equal(batch, singles)
+
+    def test_kernel_seconds_accrue(self):
+        e = HashingEmbedder(dim=8, seed=0)
+        e.embed_words(["alpha", "beta"])
+        assert set(e.kernel_seconds) == {"grams", "route", "draw", "pool"}
+        assert all(v >= 0 for v in e.kernel_seconds.values())
+        assert sum(e.kernel_seconds.values()) > 0
+
+
+class TestCacheFills:
+    """The process-backend warm protocol: fills must merge byte-identically."""
+
+    def test_fills_roundtrip_byte_identical(self):
+        worker = HashingEmbedder(dim=16, seed=4)
+        fills = worker.cache_fills(["Alpha", "beta", "gamma"])
+        parent = HashingEmbedder(dim=16, seed=4)
+        parent.merge_cache_fills(fills)
+        fresh = HashingEmbedder(dim=16, seed=4)
+        for word in ("alpha", "beta", "gamma"):
+            assert word in parent._cache
+            assert np.array_equal(parent.embed_word(word), fresh.embed_word(word))
+
+    def test_merge_keeps_existing_entries(self):
+        parent = HashingEmbedder(dim=16, seed=4)
+        first = parent.embed_word("alpha")
+        fills = HashingEmbedder(dim=16, seed=4).cache_fills(["alpha", "beta"])
+        parent.merge_cache_fills(fills)
+        assert parent._cache["alpha"] is first  # setdefault, not overwrite
+
+    def test_kernel_seconds_ride_along(self):
+        worker = HashingEmbedder(dim=16, seed=0)
+        fills = worker.cache_fills(["alpha", "beta"])
+        parent = HashingEmbedder(dim=16, seed=0)
+        parent.merge_cache_fills(fills)
+        assert sum(parent.kernel_seconds.values()) >= sum(
+            fills["kernel_seconds"].values()
+        )
+
+    def test_pickle_roundtrip_same_vectors(self):
+        import pickle
+
+        e = HashingEmbedder(dim=8, seed=0)
+        e.embed_word("alpha")
+        clone = pickle.loads(pickle.dumps(e))
+        assert np.array_equal(clone.embed_word("alpha"), e.embed_word("alpha"))
+        assert np.array_equal(clone.embed_word("beta"), e.embed_word("beta"))

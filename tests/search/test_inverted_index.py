@@ -100,3 +100,95 @@ class TestRemove:
         index.add("d2", ["city"])
         assert index.doc_length("d2") == 1
         assert index.document_frequency("city") == 2  # d2 + d3
+
+
+class TestColumnarBulkBuild:
+    """``build_bulk`` must equal per-item ``add`` exactly — postings content
+    and order, corpus statistics, even dict insertion order."""
+
+    BAGS = [
+        ("d1", ["drug", "enzyme", "drug"]),
+        ("d2", ["city", "population"]),
+        ("d3", Counter({"drug": 1, "city": 2})),
+        ("d4", []),
+        ("d5", Counter({"zeta": 3, "alpha": 1})),
+    ]
+
+    @staticmethod
+    def _per_item(bags) -> InvertedIndex:
+        idx = InvertedIndex()
+        for key, terms in bags:
+            idx.add(key, terms)
+        return idx
+
+    def test_matches_per_item_adds(self):
+        bulk = InvertedIndex()
+        bulk.build_bulk(self.BAGS)
+        single = self._per_item(self.BAGS)
+        assert dict(bulk._postings) == dict(single._postings)
+        assert list(bulk._postings) == list(single._postings)
+        assert bulk._doc_lengths == single._doc_lengths
+        assert list(bulk._doc_lengths) == list(single._doc_lengths)
+        assert bulk._df == single._df
+        assert list(bulk._df) == list(single._df)
+        assert bulk._collection_tf == single._collection_tf
+        assert list(bulk._collection_tf) == list(single._collection_tf)
+        assert bulk._doc_terms == single._doc_terms
+
+    def test_posting_lists_keep_document_order(self):
+        bulk = InvertedIndex()
+        bulk.build_bulk(self.BAGS)
+        assert [p.doc_key for p in bulk.postings("drug")] == ["d1", "d3"]
+        assert [p.term_frequency for p in bulk.postings("drug")] == [2, 1]
+
+    def test_empty_iterable_and_empty_bags(self):
+        idx = InvertedIndex()
+        idx.build_bulk([])
+        assert idx.num_docs == 0
+        idx.build_bulk([("a", [])])
+        assert idx.num_docs == 1 and idx.doc_length("a") == 0
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            InvertedIndex().build_bulk([("a", ["x"]), ("a", ["y"])])
+
+    def test_bulk_on_nonempty_index_falls_back(self):
+        idx = InvertedIndex()
+        idx.add("a", ["x"])
+        idx.build_bulk([("b", ["x", "y"])])
+        single = self._per_item([("a", ["x"]), ("b", ["x", "y"])])
+        assert dict(idx._postings) == dict(single._postings)
+        assert idx._df == single._df
+
+    def test_bulk_after_churn_handles_readded_tombstone(self):
+        idx = InvertedIndex()
+        idx.add("a", ["x"])
+        idx.add("b", ["y"])
+        idx.remove("a")
+        idx.build_bulk([("a", ["z"])])  # falls back: churned index
+        assert idx.document_frequency("z") == 1
+        assert idx.document_frequency("x") == 0
+        assert all(p.doc_key != "a" for p in idx.postings("x"))
+
+    def test_remove_and_compaction_after_bulk(self):
+        idx = InvertedIndex()
+        idx.build_bulk([(f"d{i}", ["shared", f"t{i}"]) for i in range(8)])
+        for i in range(4):
+            idx.remove(f"d{i}")
+        cold = self._per_item([(f"d{i}", ["shared", f"t{i}"]) for i in range(4, 8)])
+        assert not idx._deleted  # past the churn bar: compacted
+        assert idx.document_frequency("shared") == cold.document_frequency("shared")
+        assert [p.doc_key for p in idx.postings("shared")] == [
+            p.doc_key for p in cold.postings("shared")
+        ]
+
+    def test_restore_state_roundtrip(self):
+        idx = self._per_item(self.BAGS)
+        idx.remove("d2")
+        restored = InvertedIndex.restore_state(idx.persistent_state())
+        assert restored._doc_lengths == idx._doc_lengths
+        assert restored._df == idx._df
+        assert restored._collection_tf == idx._collection_tf
+        assert restored._deleted == idx._deleted
+        for term in ("drug", "city", "zeta"):
+            assert restored.postings(term) == idx.postings(term)
